@@ -1,0 +1,41 @@
+//! Analysis and experiment infrastructure for the STEM reproduction.
+//!
+//! * [`StackDistance`] — per-set LRU stack-distance profiling;
+//! * [`CapacityDemandProfiler`] — the §3.1 methodology behind Fig. 1:
+//!   per-sampling-period, per-set minimum ways needed to resolve all
+//!   conflict misses (relative to a 32-way bound);
+//! * [`Scheme`] — the scheme zoo, constructable by name, powering every
+//!   experiment binary;
+//! * [`run_scheme`], [`run_system`], [`assoc_sweep`] — experiment
+//!   drivers returning MPKI / [`SystemMetrics`] rows;
+//! * [`geomean`], [`Table`] — reporting helpers that render the paper's
+//!   tables as text.
+//!
+//! # Examples
+//!
+//! ```
+//! use stem_analysis::{run_scheme, Scheme};
+//! use stem_sim_core::CacheGeometry;
+//! use stem_workloads::BenchmarkProfile;
+//!
+//! let geom = CacheGeometry::new(64, 4, 64).unwrap();
+//! let trace = BenchmarkProfile::by_name("gromacs").unwrap().trace(geom, 20_000);
+//! let mpki = run_scheme(Scheme::Lru, geom, &trace);
+//! assert!(mpki >= 0.0);
+//! ```
+
+mod capacity;
+mod classify;
+mod mrc;
+mod report;
+mod scheme;
+mod stack_distance;
+
+pub use capacity::{CapacityDemandProfiler, DemandHistogram};
+pub use classify::{classify_workload, ClassificationReport};
+pub use mrc::MissRateCurve;
+pub use report::{geomean, Table};
+pub use scheme::{assoc_sweep, build_cache, run_scheme, run_scheme_warmed, run_system, Scheme};
+pub use stack_distance::StackDistance;
+
+pub use stem_hierarchy::SystemMetrics;

@@ -1,0 +1,175 @@
+//! Plain-text table rendering and summary statistics for the experiment
+//! binaries.
+
+use std::fmt;
+
+/// Geometric mean of a slice (the paper's cross-benchmark summary).
+///
+/// Returns 0 for an empty slice; non-positive entries are clamped to a
+/// tiny positive value so a single zero doesn't collapse the mean.
+///
+/// # Examples
+///
+/// ```
+/// use stem_analysis::geomean;
+///
+/// assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A simple fixed-width text table: headers plus formatted rows.
+///
+/// # Examples
+///
+/// ```
+/// use stem_analysis::Table;
+///
+/// let mut t = Table::new(vec!["bench".into(), "MPKI".into()]);
+/// t.row(vec!["ammp".into(), "2.53".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("ammp"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded; longer ones
+    /// are truncated.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: a row of a label plus `f64` cells rendered with 3
+    /// decimals.
+    pub fn row_f64(&mut self, label: &str, values: &[f64]) -> &mut Self {
+        let mut cells = vec![label.to_owned()];
+        cells.extend(values.iter().map(|v| format!("{v:.3}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (RFC 4180 quoting for cells containing
+    /// commas or quotes), for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        fn cell(c: &str) -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| cell(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.headers);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:>w$}", w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 8.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_tolerates_zero() {
+        let g = geomean(&[0.0, 1.0]);
+        assert!(g >= 0.0 && g < 1.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row_f64("geomean", &[0.5]);
+        let s = t.to_string();
+        assert!(s.contains("name"));
+        assert!(s.contains("geomean"));
+        assert!(s.contains("0.500"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_export_quotes_properly() {
+        let mut t = Table::new(vec!["name".into(), "note".into()]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,note\n"));
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["x".into()]);
+        assert!(t.to_string().lines().count() >= 3);
+    }
+}

@@ -1,0 +1,267 @@
+//! The scheme zoo and experiment drivers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use stem_hierarchy::{System, SystemConfig, SystemMetrics};
+use stem_llc::{StemCache, StemConfig};
+use stem_replacement::{Bip, Dip, Drrip, Lru, Nru, PeLifo, Plru, SetAssocCache, Srrip};
+use stem_sim_core::{CacheGeometry, CacheModel, Trace};
+use stem_spatial::{SbcCache, StaticSbcCache, VWayCache, VictimCache};
+
+/// Every LLC scheme the workspace can evaluate.
+///
+/// The first six are the paper's (§5.1 evaluates LRU, DIP, PeLIFO, V-Way,
+/// SBC and STEM); BIP and SRRIP are extra baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Baseline least-recently-used.
+    Lru,
+    /// Dynamic Insertion Policy (temporal).
+    Dip,
+    /// Pseudo-LIFO (temporal).
+    PeLifo,
+    /// V-Way cache (spatial).
+    VWay,
+    /// Set Balancing Cache (spatial).
+    Sbc,
+    /// The paper's contribution (spatiotemporal).
+    Stem,
+    /// Bimodal insertion (extra temporal baseline).
+    Bip,
+    /// Static RRIP (extra temporal baseline).
+    Srrip,
+    /// Tree pseudo-LRU (hardware-realistic baseline).
+    Plru,
+    /// Not-recently-used (hardware-realistic baseline).
+    Nru,
+    /// Dynamic RRIP (SRRIP/BRRIP set dueling; extra temporal baseline).
+    Drrip,
+    /// Static set-balancing (design-time index-complement pairs).
+    SbcStatic,
+    /// LRU with a 16-entry fully-associative victim buffer.
+    VictimCache,
+}
+
+impl Scheme {
+    /// The five schemes of the paper's comparison figures plus STEM, in
+    /// figure order.
+    pub const PAPER: [Scheme; 6] =
+        [Scheme::Lru, Scheme::Dip, Scheme::PeLifo, Scheme::VWay, Scheme::Sbc, Scheme::Stem];
+
+    /// Display name matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Lru => "LRU",
+            Scheme::Dip => "DIP",
+            Scheme::PeLifo => "PELIFO",
+            Scheme::VWay => "VWAY",
+            Scheme::Sbc => "SBC",
+            Scheme::Stem => "STEM",
+            Scheme::Bip => "BIP",
+            Scheme::Srrip => "SRRIP",
+            Scheme::Drrip => "DRRIP",
+            Scheme::Plru => "PLRU",
+            Scheme::Nru => "NRU",
+            Scheme::SbcStatic => "SBC-static",
+            Scheme::VictimCache => "LRU+VC",
+        }
+    }
+
+    /// Every scheme the workspace implements (the paper's six plus the
+    /// extra baselines).
+    pub const ALL: [Scheme; 13] = [
+        Scheme::Lru,
+        Scheme::Dip,
+        Scheme::PeLifo,
+        Scheme::VWay,
+        Scheme::Sbc,
+        Scheme::Stem,
+        Scheme::Bip,
+        Scheme::Srrip,
+        Scheme::Drrip,
+        Scheme::Plru,
+        Scheme::Nru,
+        Scheme::SbcStatic,
+        Scheme::VictimCache,
+    ];
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Scheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" => Ok(Scheme::Lru),
+            "dip" => Ok(Scheme::Dip),
+            "pelifo" => Ok(Scheme::PeLifo),
+            "vway" | "v-way" => Ok(Scheme::VWay),
+            "sbc" => Ok(Scheme::Sbc),
+            "stem" => Ok(Scheme::Stem),
+            "bip" => Ok(Scheme::Bip),
+            "srrip" => Ok(Scheme::Srrip),
+            "drrip" => Ok(Scheme::Drrip),
+            "plru" => Ok(Scheme::Plru),
+            "nru" => Ok(Scheme::Nru),
+            "sbc-static" | "sbcstatic" => Ok(Scheme::SbcStatic),
+            "lru+vc" | "victim" | "vc" => Ok(Scheme::VictimCache),
+            other => Err(format!("unknown scheme name: {other}")),
+        }
+    }
+}
+
+/// Constructs an LLC of the given scheme and geometry.
+pub fn build_cache(scheme: Scheme, geom: CacheGeometry) -> Box<dyn CacheModel> {
+    match scheme {
+        Scheme::Lru => Box::new(SetAssocCache::new(geom, Box::new(Lru::new(geom)))),
+        Scheme::Dip => Box::new(SetAssocCache::new(geom, Box::new(Dip::new(geom)))),
+        Scheme::PeLifo => Box::new(SetAssocCache::new(geom, Box::new(PeLifo::new(geom)))),
+        Scheme::VWay => Box::new(VWayCache::new(geom)),
+        Scheme::Sbc => Box::new(SbcCache::new(geom)),
+        Scheme::Stem => Box::new(StemCache::with_config(geom, StemConfig::micro2010())),
+        Scheme::Bip => Box::new(SetAssocCache::new(geom, Box::new(Bip::new(geom)))),
+        Scheme::Srrip => Box::new(SetAssocCache::new(geom, Box::new(Srrip::new(geom)))),
+        Scheme::Drrip => Box::new(SetAssocCache::new(geom, Box::new(Drrip::new(geom)))),
+        Scheme::Plru => Box::new(SetAssocCache::new(geom, Box::new(Plru::new(geom)))),
+        Scheme::Nru => Box::new(SetAssocCache::new(geom, Box::new(Nru::new(geom)))),
+        Scheme::SbcStatic => Box::new(StaticSbcCache::new(geom)),
+        Scheme::VictimCache => Box::new(VictimCache::new(geom, 16)),
+    }
+}
+
+/// Runs a trace directly against a bare LLC (no L1 filtering) and returns
+/// its MPKI. Used by the associativity sweeps, which study the LLC in
+/// isolation like the paper's Fig. 3.
+pub fn run_scheme(scheme: Scheme, geom: CacheGeometry, trace: &Trace) -> f64 {
+    run_scheme_warmed(scheme, geom, trace, 0.0)
+}
+
+/// Like [`run_scheme`], but replays the first `warmup_fraction` of the
+/// trace unmeasured first (the paper's cache-warming protocol).
+pub fn run_scheme_warmed(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    trace: &Trace,
+    warmup_fraction: f64,
+) -> f64 {
+    let mut cache = build_cache(scheme, geom);
+    let warm_len = ((trace.len() as f64) * warmup_fraction.clamp(0.0, 0.9)) as usize;
+    let mut instructions = 0u64;
+    for (i, a) in trace.iter().enumerate() {
+        if i == warm_len {
+            cache.reset_stats();
+        }
+        if i >= warm_len {
+            instructions += u64::from(a.inst_gap);
+        }
+        cache.access(a.addr, a.kind);
+    }
+    cache.stats().mpki(instructions.max(1))
+}
+
+/// Runs a trace through the full system (core + L1 + LLC) with a warm-up
+/// prefix and returns end-to-end metrics. `warmup_fraction` of the trace
+/// (from the front) is replayed unmeasured first, mirroring the paper's
+/// fast-forward + cache-warming protocol (§5.1).
+pub fn run_system(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    cfg: SystemConfig,
+    trace: &Trace,
+    warmup_fraction: f64,
+) -> SystemMetrics {
+    let mut system = System::new(cfg, build_cache(scheme, geom));
+    let warm_len = ((trace.len() as f64) * warmup_fraction.clamp(0.0, 0.9)) as usize;
+    let warm: Trace = trace.iter().take(warm_len).copied().collect();
+    let measured: Trace = trace.iter().skip(warm_len).copied().collect();
+    system.warm_then_run(&warm, &measured)
+}
+
+/// Sweeps associativity with a fixed set count (the Fig. 3 / Fig. 10
+/// protocol: the paper keeps the 2048-set organisation of Fig. 1 and
+/// varies the ways per set) and returns `(ways, mpki)` per point.
+///
+/// # Panics
+///
+/// Panics if any entry of `ways_points` is zero.
+pub fn assoc_sweep(
+    scheme: Scheme,
+    base: CacheGeometry,
+    ways_points: &[usize],
+    trace: &Trace,
+) -> Vec<(usize, f64)> {
+    ways_points
+        .iter()
+        .map(|&w| {
+            let geom = CacheGeometry::new(base.sets(), w, base.line_bytes())
+                .expect("sweep geometry must be valid");
+            (w, run_scheme_warmed(scheme, geom, trace, 0.2))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_sim_core::{Access, Address};
+    use stem_workloads::BenchmarkProfile;
+
+    fn small() -> CacheGeometry {
+        CacheGeometry::new(64, 4, 64).unwrap()
+    }
+
+    #[test]
+    fn all_schemes_build_and_run() {
+        let geom = small();
+        let trace: Trace = (0..500u64).map(|i| Access::read(Address::new(i % 128 * 64))).collect();
+        for scheme in Scheme::ALL {
+            let mut c = build_cache(scheme, geom);
+            c.run(&trace);
+            assert_eq!(c.stats().accesses(), 500, "{scheme} lost accesses");
+        }
+    }
+
+    #[test]
+    fn scheme_parsing_round_trips() {
+        for s in Scheme::PAPER {
+            assert_eq!(s.label().parse::<Scheme>().unwrap(), s);
+        }
+        assert_eq!("v-way".parse::<Scheme>().unwrap(), Scheme::VWay);
+        assert!("bogus".parse::<Scheme>().is_err());
+    }
+
+    #[test]
+    fn run_scheme_returns_mpki() {
+        let geom = small();
+        // Streaming trace: every access misses → MPKI == 1000 (gap 1).
+        let trace: Trace = (0..1000u64).map(|i| Access::read(Address::new(i * 64))).collect();
+        let mpki = run_scheme(Scheme::Lru, geom, &trace);
+        assert!((mpki - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assoc_sweep_covers_points() {
+        let geom = small();
+        let trace = BenchmarkProfile::by_name("gromacs").unwrap().trace(geom, 5_000);
+        let sweep = assoc_sweep(Scheme::Lru, geom, &[1, 2, 4, 8], &trace);
+        assert_eq!(sweep.len(), 4);
+        for (w, mpki) in sweep {
+            assert!(mpki >= 0.0, "ways {w}");
+        }
+    }
+
+    #[test]
+    fn run_system_with_warmup() {
+        let geom = small();
+        let trace = BenchmarkProfile::by_name("gromacs").unwrap().trace(geom, 10_000);
+        let m = run_system(Scheme::Stem, geom, SystemConfig::micro2010(), &trace, 0.2);
+        assert!(m.accesses > 0);
+        assert!(m.cpi > 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion benchmarks: simulation throughput of every LLC scheme.
+//!
+//! Each benchmark replays a fixed omnetpp-analog trace slice through one
+//! scheme at the paper's L2 geometry, so the numbers compare the *cost of
+//! the management machinery* (shadow sets, heaps, pointer chasing), not
+//! the workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stem_analysis::{build_cache, Scheme};
+use stem_sim_core::CacheGeometry;
+use stem_workloads::BenchmarkProfile;
+
+fn scheme_throughput(c: &mut Criterion) {
+    let geom = CacheGeometry::micro2010_l2();
+    let trace = BenchmarkProfile::by_name("omnetpp")
+        .expect("suite benchmark")
+        .trace(geom, 100_000);
+
+    let mut group = c.benchmark_group("scheme_access");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for scheme in Scheme::PAPER {
+        group.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &s| {
+            b.iter_batched(
+                || build_cache(s, geom),
+                |mut cache| {
+                    for a in &trace {
+                        cache.access(a.addr, a.kind);
+                    }
+                    cache.stats().misses()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn trace_generation(c: &mut Criterion) {
+    let geom = CacheGeometry::micro2010_l2();
+    let bench = BenchmarkProfile::by_name("mcf").expect("suite benchmark");
+    let mut group = c.benchmark_group("workload");
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("generate_mcf_50k", |b| {
+        b.iter(|| bench.trace(geom, 50_000).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scheme_throughput, trace_generation);
+criterion_main!(benches);

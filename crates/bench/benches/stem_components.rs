@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks of STEM's hardware components: the H3 hash,
+//! the shadow set, the SCDM counters, and the recency stack — the pieces
+//! whose area Table 3 budgets and whose latency sits on the miss path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stem_llc::{PolicyKind, SetMonitor, ShadowSet, TagHasher};
+use stem_replacement::RecencyStack;
+use stem_sim_core::SplitMix64;
+
+fn h3_hash(c: &mut Criterion) {
+    let hasher = TagHasher::new(10, 42);
+    let mut group = c.benchmark_group("stem_components");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("h3_hash_1k_tags", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for t in 0..1024u64 {
+                acc ^= hasher.hash(std::hint::black_box(t));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn shadow_set_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stem_components");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("shadow_insert_probe_256", |b| {
+        b.iter_batched(
+            || (ShadowSet::new(16), SplitMix64::new(7)),
+            |(mut shadow, mut rng)| {
+                for sig in 0..256u16 {
+                    shadow.insert(sig & 0x3ff, PolicyKind::Bip, 5, &mut rng);
+                    shadow.probe_invalidate((sig.wrapping_mul(7)) & 0x3ff);
+                }
+                shadow.valid_entries()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn monitor_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stem_components");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("scdm_update_1k", |b| {
+        b.iter_batched(
+            || (SetMonitor::new(16, 4, 3, 10), SplitMix64::new(9)),
+            |(mut m, mut rng)| {
+                for i in 0..1024u32 {
+                    if i % 3 == 0 {
+                        m.on_shadow_hit();
+                    } else {
+                        m.on_llc_hit(&mut rng);
+                    }
+                }
+                m.saturation_level()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn recency_stack_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stem_components");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("recency_touch_1k", |b| {
+        b.iter_batched(
+            || RecencyStack::new(16),
+            |mut s| {
+                for i in 0..1024usize {
+                    s.touch_mru(i % 16);
+                }
+                s.lru_way()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, h3_hash, shadow_set_ops, monitor_updates, recency_stack_ops);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ad-hoc inspection: run one benchmark against one scheme and dump the
+//! scheme's cooperative-caching counters. Useful when calibrating.
+
+use stem_analysis::{build_cache, Scheme};
+use stem_llc::{StemCache, StemConfig};
+use stem_sim_core::{CacheGeometry, CacheModel};
+use stem_workloads::BenchmarkProfile;
+
+fn main() {
+    let bench = std::env::var("BENCH").unwrap_or_else(|_| "soplex".into());
+    let scheme: Scheme = std::env::var("SCHEME")
+        .unwrap_or_else(|_| "stem".into())
+        .parse()
+        .expect("valid scheme");
+    let accesses: usize = std::env::var("STEM_ACCESSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    let ways: usize = std::env::var("WAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
+    let geom = CacheGeometry::new(2048, ways, 64).expect("valid geometry");
+    let trace = BenchmarkProfile::by_name(&bench).expect("known benchmark").trace(geom, accesses);
+    let mut cache: Box<dyn CacheModel> = match std::env::var("ABLATE").as_deref() {
+        Ok("temporal") => Box::new(StemCache::with_config(
+            geom,
+            StemConfig::micro2010().with_spatial_coupling(false),
+        )),
+        Ok("spatial") => Box::new(StemCache::with_config(
+            geom,
+            StemConfig::micro2010().with_temporal_adaptation(false),
+        )),
+        _ => build_cache(scheme, geom),
+    };
+    cache.run(&trace);
+    let s = cache.stats();
+    println!(
+        "{bench}/{scheme}: misses={} hits={} coop_hits={} spills={} receives={} couplings={} decouplings={} swaps={}",
+        s.misses(), s.hits(), s.coop_hits(), s.spills(), s.receives(),
+        s.couplings(), s.decouplings(), s.policy_swaps()
+    );
+}

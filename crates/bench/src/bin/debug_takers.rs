@@ -1,0 +1,30 @@
+//! Ad-hoc: which kinds of sets become takers/givers under STEM?
+
+use stem_llc::StemCache;
+use stem_sim_core::{CacheGeometry, CacheModel};
+use stem_workloads::BenchmarkProfile;
+
+fn main() {
+    let bench = std::env::var("BENCH").unwrap_or_else(|_| "soplex".into());
+    let accesses: usize = 2_000_000;
+    let geom = CacheGeometry::micro2010_l2();
+    let profile = BenchmarkProfile::by_name(&bench).expect("known benchmark");
+    let trace = profile.trace(geom, accesses);
+    let mut stem = StemCache::new(geom);
+    stem.run(&trace);
+    let mut takers = 0;
+    let mut givers = 0;
+    let mut coupled = 0;
+    let mut hist = [0usize; 16];
+    for s in 0..geom.sets() {
+        let m = stem.monitor(s);
+        hist[m.saturation_level() as usize] += 1;
+        if m.is_taker() { takers += 1; }
+        if m.is_giver() { givers += 1; }
+        if stem.associations().is_coupled(s) { coupled += 1; }
+    }
+    println!("{bench}: takers={takers} givers={givers} coupled={coupled}");
+    println!("SC_S histogram: {hist:?}");
+    println!("stats: {}", stem.stats());
+    println!("spills={} coop_hits={}", stem.stats().spills(), stem.stats().coop_hits());
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Fig. 10**: the sensitivity study — MPKI of all six
+//! schemes (including STEM) for the omnetpp and ammp analogs across
+//! associativities 1–32 with the 2048-set organisation of Fig. 1.
+//!
+//! Run with `cargo run --release -p stem-bench --bin fig10_sensitivity`.
+
+use stem_analysis::{assoc_sweep, Scheme, Table};
+use stem_bench::harness::{accesses_per_benchmark, sensitivity_benchmarks, sweep_ways};
+use stem_sim_core::CacheGeometry;
+
+fn main() {
+    let base = CacheGeometry::micro2010_l2();
+    let accesses = accesses_per_benchmark();
+    let ways = sweep_ways();
+
+    for bench in sensitivity_benchmarks() {
+        let trace = bench.trace(base, accesses);
+        eprintln!("Fig. 10 ({}) sweeping {} points x 6 schemes...", bench.name(), ways.len());
+        let mut headers = vec!["assoc".to_owned()];
+        headers.extend(Scheme::PAPER.iter().map(|s| s.label().to_owned()));
+        let mut t = Table::new(headers);
+        let series: Vec<Vec<(usize, f64)>> = Scheme::PAPER
+            .iter()
+            .map(|&s| assoc_sweep(s, base, &ways, &trace))
+            .collect();
+        for (i, &w) in ways.iter().enumerate() {
+            let values: Vec<f64> = series.iter().map(|v| v[i].1).collect();
+            t.row_f64(&w.to_string(), &values);
+        }
+        println!(
+            "\nFigure 10 ({}) — MPKI vs associativity, 2048 sets (with STEM)\n",
+            bench.name()
+        );
+        println!("{t}");
+    }
+}

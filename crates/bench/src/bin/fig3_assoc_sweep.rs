@@ -1,0 +1,35 @@
+//! Regenerates **Fig. 3**: MPKI of LRU, DIP, PeLIFO, V-Way and SBC for the
+//! omnetpp and ammp analogs across associativities 1–32 with the 2048-set
+//! organisation of Fig. 1 (the motivation study — STEM excluded; see
+//! `fig10_sensitivity` for the version with STEM).
+//!
+//! Run with `cargo run --release -p stem-bench --bin fig3_assoc_sweep`.
+
+use stem_analysis::{assoc_sweep, Scheme, Table};
+use stem_bench::harness::{accesses_per_benchmark, sensitivity_benchmarks, sweep_ways};
+use stem_sim_core::CacheGeometry;
+
+fn main() {
+    let base = CacheGeometry::micro2010_l2();
+    let accesses = accesses_per_benchmark();
+    let schemes = [Scheme::Lru, Scheme::Dip, Scheme::PeLifo, Scheme::VWay, Scheme::Sbc];
+    let ways = sweep_ways();
+
+    for bench in sensitivity_benchmarks() {
+        let trace = bench.trace(base, accesses);
+        eprintln!("Fig. 3 ({}) sweeping {} points...", bench.name(), ways.len());
+        let mut headers = vec!["assoc".to_owned()];
+        headers.extend(schemes.iter().map(|s| s.label().to_owned()));
+        let mut t = Table::new(headers);
+        let series: Vec<Vec<(usize, f64)>> = schemes
+            .iter()
+            .map(|&s| assoc_sweep(s, base, &ways, &trace))
+            .collect();
+        for (i, &w) in ways.iter().enumerate() {
+            let values: Vec<f64> = series.iter().map(|v| v[i].1).collect();
+            t.row_f64(&w.to_string(), &values);
+        }
+        println!("\nFigure 3 ({}) — MPKI vs associativity (2048 sets)\n", bench.name());
+        println!("{t}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates **Fig. 7**: normalized MPKI of DIP, PeLIFO, V-Way, SBC and
+//! STEM (relative to LRU) over the 15-benchmark suite, at the paper's
+//! 2MB 16-way L2 (Table 1).
+//!
+//! Run with `cargo run --release -p stem-bench --bin fig7_mpki`.
+//! `STEM_ACCESSES` overrides the per-benchmark trace length.
+
+use stem_bench::harness::{accesses_per_benchmark, normalized_table, run_benchmark_matrix};
+use stem_sim_core::CacheGeometry;
+
+fn main() {
+    let geom = CacheGeometry::micro2010_l2();
+    let accesses = accesses_per_benchmark();
+    eprintln!("Fig. 7: normalized MPKI, {accesses} accesses per benchmark");
+    let rows = run_benchmark_matrix(geom, accesses);
+    println!("\nFigure 7 — Normalized MPKI (lower is better, LRU = 1.0)\n");
+    println!("{}", normalized_table(&rows, 0));
+}

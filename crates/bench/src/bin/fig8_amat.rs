@@ -1,0 +1,17 @@
+//! Regenerates **Fig. 8**: normalized AMAT over the 15-benchmark suite,
+//! using the §5.1 latency algebra (local hit 14, coop hit 20, miss 6+300,
+//! coop miss 12+300 cycles in the L2).
+//!
+//! Run with `cargo run --release -p stem-bench --bin fig8_amat`.
+
+use stem_bench::harness::{accesses_per_benchmark, normalized_table, run_benchmark_matrix};
+use stem_sim_core::CacheGeometry;
+
+fn main() {
+    let geom = CacheGeometry::micro2010_l2();
+    let accesses = accesses_per_benchmark();
+    eprintln!("Fig. 8: normalized AMAT, {accesses} accesses per benchmark");
+    let rows = run_benchmark_matrix(geom, accesses);
+    println!("\nFigure 8 — Normalized AMAT (lower is better, LRU = 1.0)\n");
+    println!("{}", normalized_table(&rows, 1));
+}

@@ -1,0 +1,16 @@
+//! Regenerates **Fig. 9**: normalized CPI over the 15-benchmark suite,
+//! under the analytical core model documented in `DESIGN.md` §1.
+//!
+//! Run with `cargo run --release -p stem-bench --bin fig9_cpi`.
+
+use stem_bench::harness::{accesses_per_benchmark, normalized_table, run_benchmark_matrix};
+use stem_sim_core::CacheGeometry;
+
+fn main() {
+    let geom = CacheGeometry::micro2010_l2();
+    let accesses = accesses_per_benchmark();
+    eprintln!("Fig. 9: normalized CPI, {accesses} accesses per benchmark");
+    let rows = run_benchmark_matrix(geom, accesses);
+    println!("\nFigure 9 — Normalized CPI (lower is better, LRU = 1.0)\n");
+    println!("{}", normalized_table(&rows, 2));
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Table 3 / §5.4**: the hardware storage analysis behind the
+//! paper's 3.1% overhead claim, plus the same bill of materials for every
+//! comparison scheme.
+//!
+//! Run with `cargo run --release -p stem-bench --bin table3_overhead`.
+
+use stem_analysis::Table;
+use stem_llc::{overhead, StemConfig};
+use stem_sim_core::CacheGeometry;
+
+fn main() {
+    let geom = CacheGeometry::micro2010_l2();
+    let cfg = StemConfig::micro2010();
+
+    println!("Table 3 — field widths (2MB, 16-way, 64B lines, 44-bit addresses)\n");
+    let mut fields = Table::new(vec!["field".into(), "value".into()]);
+    fields.row(vec!["address length".into(), "44 bits".into()]);
+    fields.row(vec!["# LLC sets".into(), geom.sets().to_string()]);
+    fields.row(vec![
+        "association table".into(),
+        format!("{} entries x {} bits", geom.sets(), geom.index_bits()),
+    ]);
+    fields.row(vec!["set associativity".into(), geom.ways().to_string()]);
+    fields.row(vec!["cache line size".into(), format!("{} bytes", geom.line_bytes())]);
+    fields.row(vec!["tag field length".into(), format!("{} bits", geom.tag_bits())]);
+    fields.row(vec!["m (shadow tag)".into(), format!("{} bits", cfg.shadow_tag_bits)]);
+    fields.row(vec!["CC, V, D bits".into(), "1 bit each".into()]);
+    fields.row(vec!["replacement rank field".into(), "4 bits".into()]);
+    fields.row(vec!["k (saturating counter)".into(), format!("{} bits", cfg.counter_bits)]);
+    fields.row(vec!["n (spatial ratio log2)".into(), cfg.spatial_ratio_log2.to_string()]);
+    println!("{fields}");
+
+    let base = overhead::lru_baseline(geom);
+    let rows: Vec<(&str, overhead::StorageBreakdown)> = vec![
+        ("LRU (baseline)", base),
+        ("DIP", overhead::dip(geom)),
+        ("PeLIFO", overhead::pelifo(geom)),
+        ("V-Way", overhead::vway(geom, 2, 2)),
+        ("SBC", overhead::sbc(geom, 16, 5)),
+        ("STEM", overhead::stem(geom, &cfg)),
+    ];
+
+    let mut t = Table::new(vec![
+        "scheme".into(),
+        "data KiB".into(),
+        "tag KiB".into(),
+        "monitor KiB".into(),
+        "assoc KiB".into(),
+        "heap B".into(),
+        "overhead vs LRU".into(),
+    ]);
+    for (name, b) in &rows {
+        t.row(vec![
+            (*name).into(),
+            format!("{}", b.data_bits / 8 / 1024),
+            format!("{:.1}", b.tag_bits as f64 / 8.0 / 1024.0),
+            format!("{:.1}", b.monitor_bits as f64 / 8.0 / 1024.0),
+            format!("{:.1}", b.assoc_table_bits as f64 / 8.0 / 1024.0),
+            format!("{}", b.heap_bits / 8),
+            format!("{:+.2}%", b.overhead_vs(&base) * 100.0),
+        ]);
+    }
+    println!("Storage bill of materials (paper §5.4: STEM = +3.1%)\n");
+    println!("{t}");
+}

@@ -1,0 +1,147 @@
+//! Experiment-harness plumbing shared by the figure/table binaries.
+
+use std::time::Instant;
+
+use stem_analysis::{geomean, run_system, Scheme, SystemMetrics, Table};
+use stem_hierarchy::SystemConfig;
+use stem_sim_core::CacheGeometry;
+use stem_workloads::{spec2010_suite, BenchmarkProfile};
+
+/// Trace length (accesses) per benchmark, overridable with the
+/// `STEM_ACCESSES` environment variable. The default keeps the full
+/// benchmark matrix a few minutes of wall clock; the paper's 3B-instruction
+/// windows correspond to larger values with identical steady-state shapes.
+pub fn accesses_per_benchmark() -> usize {
+    std::env::var("STEM_ACCESSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000)
+}
+
+/// Warm-up fraction of every trace (discarded from measurement), matching
+/// the paper's cache-warming protocol.
+pub const WARMUP_FRACTION: f64 = 0.2;
+
+/// One benchmark row of the Fig. 7/8/9 matrix: metrics for every paper
+/// scheme, normalized to LRU.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Raw metrics per scheme, in [`Scheme::PAPER`] order.
+    pub metrics: Vec<SystemMetrics>,
+}
+
+impl BenchmarkRow {
+    /// Normalized (MPKI, AMAT, CPI) for scheme index `i` relative to LRU
+    /// (index 0).
+    pub fn normalized(&self, i: usize) -> (f64, f64, f64) {
+        self.metrics[i].normalized_to(&self.metrics[0])
+    }
+}
+
+/// Runs the whole 15-benchmark × 6-scheme matrix at the paper's L2
+/// configuration, printing progress to stderr.
+pub fn run_benchmark_matrix(geom: CacheGeometry, accesses: usize) -> Vec<BenchmarkRow> {
+    let cfg = SystemConfig::micro2010();
+    let mut rows = Vec::new();
+    for bench in spec2010_suite() {
+        let t0 = Instant::now();
+        let trace = bench.trace(geom, accesses);
+        let metrics: Vec<SystemMetrics> = Scheme::PAPER
+            .iter()
+            .map(|&s| run_system(s, geom, cfg, &trace, WARMUP_FRACTION))
+            .collect();
+        eprintln!(
+            "  {:<10} done in {:>6.1}s (LRU MPKI {:.2})",
+            bench.name(),
+            t0.elapsed().as_secs_f64(),
+            metrics[0].mpki
+        );
+        rows.push(BenchmarkRow { name: bench.name(), metrics });
+    }
+    rows
+}
+
+/// Renders one normalized-metric table (the shape of Fig. 7, 8 and 9):
+/// benchmarks as rows, schemes as columns, plus the geomean row.
+/// `select` picks which of the three normalized metrics to print
+/// (0 = MPKI, 1 = AMAT, 2 = CPI).
+pub fn normalized_table(rows: &[BenchmarkRow], select: usize) -> Table {
+    let mut headers = vec!["benchmark".to_owned()];
+    headers.extend(Scheme::PAPER.iter().skip(1).map(|s| s.label().to_owned()));
+    let mut table = Table::new(headers);
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); Scheme::PAPER.len() - 1];
+    for row in rows {
+        let mut values = Vec::new();
+        for i in 1..Scheme::PAPER.len() {
+            let (m, a, c) = row.normalized(i);
+            let v = [m, a, c][select];
+            values.push(v);
+            per_scheme[i - 1].push(v);
+        }
+        table.row_f64(row.name, &values);
+    }
+    let means: Vec<f64> = per_scheme.iter().map(|v| geomean(v)).collect();
+    table.row_f64("Geomean", &means);
+    table
+}
+
+/// Returns the Fig. 3 / Fig. 10 associativity sweep points used by the
+/// paper (1 plus the even associativities 2–32).
+pub fn sweep_ways() -> Vec<usize> {
+    let mut v = vec![1usize];
+    v.extend((1..=16).map(|i| i * 2));
+    v
+}
+
+/// The two sensitivity-study benchmarks of §3.3/§5.3.
+pub fn sensitivity_benchmarks() -> Vec<BenchmarkProfile> {
+    ["omnetpp", "ammp"]
+        .iter()
+        .map(|n| BenchmarkProfile::by_name(n).expect("suite contains the sensitivity benchmarks"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_ways_match_figure_axis() {
+        let w = sweep_ways();
+        assert_eq!(w.first(), Some(&1));
+        assert_eq!(w.last(), Some(&32));
+        assert_eq!(w.len(), 17);
+    }
+
+    #[test]
+    fn sensitivity_benchmarks_present() {
+        let b = sensitivity_benchmarks();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].name(), "omnetpp");
+        assert_eq!(b[1].name(), "ammp");
+    }
+
+    #[test]
+    fn normalized_table_has_geomean_row() {
+        use stem_sim_core::CacheStats;
+        let metrics = |mpki: f64| SystemMetrics {
+            mpki,
+            amat: 10.0,
+            cpi: 1.0,
+            l1_miss_rate: 0.1,
+            l2: CacheStats::default(),
+            instructions: 1,
+            accesses: 1,
+        };
+        let rows = vec![BenchmarkRow {
+            name: "fake",
+            metrics: (0..6).map(|i| metrics(10.0 - i as f64)).collect(),
+        }];
+        let t = normalized_table(&rows, 0);
+        let s = t.to_string();
+        assert!(s.contains("Geomean"));
+        assert!(s.contains("fake"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper (see `DESIGN.md` §4 for the index); the Criterion benches in
+//! `benches/` measure simulator throughput and run the ablations.
+
+pub mod harness;

@@ -1,0 +1,106 @@
+//! End-to-end performance metrics (the paper's three: MPKI, AMAT, CPI).
+
+use std::fmt;
+
+use stem_sim_core::CacheStats;
+
+/// The outcome of running a trace through a [`System`](crate::System).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemMetrics {
+    /// L2 (LLC) misses per 1000 instructions — the paper's primary metric.
+    pub mpki: f64,
+    /// Average memory access time in cycles, over all core-issued
+    /// accesses, using the §5.1 latency algebra.
+    pub amat: f64,
+    /// Cycles per instruction under the analytical core model.
+    pub cpi: f64,
+    /// L1 miss rate (fraction of core accesses reaching the L2).
+    pub l1_miss_rate: f64,
+    /// Raw L2 statistics (hits split local/cooperative, spills, …).
+    pub l2: CacheStats,
+    /// Instructions represented by the trace.
+    pub instructions: u64,
+    /// Core-issued accesses.
+    pub accesses: u64,
+}
+
+impl SystemMetrics {
+    /// This run's metric triple normalized to a baseline run (the paper
+    /// normalizes everything to LRU). Values below 1.0 mean better than
+    /// the baseline.
+    pub fn normalized_to(&self, baseline: &SystemMetrics) -> (f64, f64, f64) {
+        (
+            safe_ratio(self.mpki, baseline.mpki),
+            safe_ratio(self.amat, baseline.amat),
+            safe_ratio(self.cpi, baseline.cpi),
+        )
+    }
+}
+
+fn safe_ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        if a == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a / b
+    }
+}
+
+impl fmt::Display for SystemMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MPKI {:.3}  AMAT {:.2}cy  CPI {:.3}  (L1 miss {:.1}%, L2 {})",
+            self.mpki,
+            self.amat,
+            self.cpi,
+            self.l1_miss_rate * 100.0,
+            self.l2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(mpki: f64, amat: f64, cpi: f64) -> SystemMetrics {
+        SystemMetrics {
+            mpki,
+            amat,
+            cpi,
+            l1_miss_rate: 0.1,
+            l2: CacheStats::default(),
+            instructions: 1000,
+            accesses: 100,
+        }
+    }
+
+    #[test]
+    fn normalization_divides() {
+        let base = metrics(10.0, 20.0, 2.0);
+        let m = metrics(5.0, 10.0, 1.0);
+        assert_eq!(m.normalized_to(&base), (0.5, 0.5, 0.5));
+    }
+
+    #[test]
+    fn normalization_to_zero_baseline() {
+        let base = metrics(0.0, 0.0, 0.0);
+        let m = metrics(0.0, 1.0, 1.0);
+        let (a, b, c) = m.normalized_to(&base);
+        assert_eq!(a, 1.0);
+        assert!(b.is_infinite());
+        assert!(c.is_infinite());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = metrics(1.0, 2.0, 3.0).to_string();
+        assert!(s.contains("MPKI"));
+        assert!(s.contains("AMAT"));
+        assert!(s.contains("CPI"));
+    }
+}

@@ -1,0 +1,339 @@
+//! A conventional set-associative cache driven by any replacement policy.
+
+use stem_sim_core::{
+    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr,
+};
+
+use crate::ReplacementPolicy;
+
+/// One tag-store entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+}
+
+/// A conventional set-associative LLC (§2.1's three-tier organization) whose
+/// temporal behaviour is delegated to a [`ReplacementPolicy`].
+///
+/// This is the vehicle for the paper's temporal schemes: construct it with
+/// [`Lru`](crate::Lru), [`Bip`](crate::Bip), [`Dip`](crate::Dip),
+/// [`PeLifo`](crate::PeLifo), etc.
+///
+/// # Examples
+///
+/// ```
+/// use stem_replacement::{Dip, SetAssocCache};
+/// use stem_sim_core::{Access, Address, CacheGeometry, CacheModel, Trace};
+///
+/// # fn main() -> Result<(), stem_sim_core::GeometryError> {
+/// let geom = CacheGeometry::new(256, 8, 64)?;
+/// let mut cache = SetAssocCache::new(geom, Box::new(Dip::new(geom)));
+/// let trace: Trace = (0..100u64).map(|i| Access::read(Address::new(i * 64))).collect();
+/// cache.run(&trace);
+/// assert_eq!(cache.stats().accesses(), 100);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SetAssocCache {
+    geom: CacheGeometry,
+    /// `lines[set][way]`.
+    lines: Vec<Vec<Option<Line>>>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+    name: String,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache using `policy` for replacement. The cache's
+    /// [`name`](CacheModel::name) is taken from the policy.
+    pub fn new(geom: CacheGeometry, policy: Box<dyn ReplacementPolicy>) -> Self {
+        let name = policy.name().to_owned();
+        SetAssocCache {
+            geom,
+            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            policy,
+            stats: CacheStats::default(),
+            name,
+        }
+    }
+
+    /// Whether the line containing `addr` is currently resident.
+    pub fn contains(&self, addr: Address) -> bool {
+        let line = addr.line(self.geom.line_bytes());
+        let set = self.geom.set_index_of_line(line);
+        let tag = self.geom.tag_of_line(line);
+        self.find_way(set, tag).is_some()
+    }
+
+    /// The number of valid lines in `set` (analysis hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn valid_lines(&self, set: usize) -> usize {
+        self.lines[set].iter().flatten().count()
+    }
+
+    /// Immutable access to the policy, for policy-specific inspection.
+    pub fn policy(&self) -> &dyn ReplacementPolicy {
+        self.policy.as_ref()
+    }
+
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        self.lines[set]
+            .iter()
+            .position(|l| matches!(l, Some(line) if line.tag == tag))
+    }
+
+    fn find_free_way(&self, set: usize) -> Option<usize> {
+        self.lines[set].iter().position(Option::is_none)
+    }
+
+    /// Invalidates a line (test/extension hook). Returns `true` if the line
+    /// was present.
+    pub fn invalidate(&mut self, addr: Address) -> bool {
+        let line = addr.line(self.geom.line_bytes());
+        let set = self.geom.set_index_of_line(line);
+        let tag = self.geom.tag_of_line(line);
+        if let Some(way) = self.find_way(set, tag) {
+            if self.lines[set][way].map_or(false, |l| l.dirty) {
+                self.stats.record_writeback();
+            }
+            self.lines[set][way] = None;
+            self.policy.on_invalidate(set, way);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn line_of(&self, addr: Address) -> (usize, u64) {
+        let line: LineAddr = addr.line(self.geom.line_bytes());
+        (
+            self.geom.set_index_of_line(line),
+            self.geom.tag_of_line(line),
+        )
+    }
+}
+
+impl CacheModel for SetAssocCache {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let (set, tag) = self.line_of(addr);
+        if let Some(way) = self.find_way(set, tag) {
+            self.stats.record_local_hit();
+            self.policy.on_hit(set, way);
+            if kind.is_write() {
+                if let Some(line) = &mut self.lines[set][way] {
+                    line.dirty = true;
+                }
+            }
+            return AccessResult::HitLocal;
+        }
+
+        self.stats.record_local_miss();
+        self.policy.on_miss(set);
+
+        let way = match self.find_free_way(set) {
+            Some(w) => w,
+            None => {
+                let victim = self.policy.victim(set);
+                debug_assert!(victim < self.geom.ways());
+                let old = self.lines[set][victim].take().expect("victim way must be valid");
+                self.stats.record_eviction();
+                if old.dirty {
+                    self.stats.record_writeback();
+                }
+                victim
+            }
+        };
+        self.lines[set][way] = Some(Line { tag, dirty: kind.is_write() });
+        self.policy.on_fill(set, way);
+        AccessResult::MissLocal
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for SetAssocCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetAssocCache")
+            .field("geom", &self.geom)
+            .field("policy", &self.name)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bip, Lru};
+    use proptest::prelude::*;
+    use stem_sim_core::{Access, Trace};
+
+    fn small() -> CacheGeometry {
+        CacheGeometry::new(2, 2, 64).unwrap()
+    }
+
+    fn lru_cache(geom: CacheGeometry) -> SetAssocCache {
+        SetAssocCache::new(geom, Box::new(Lru::new(geom)))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = lru_cache(small());
+        let a = Address::new(0);
+        assert_eq!(c.access(a, AccessKind::Read), AccessResult::MissLocal);
+        assert_eq!(c.access(a, AccessKind::Read), AccessResult::HitLocal);
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2-way set: A, B, C (same set) -> A evicted; A misses again.
+        let geom = small();
+        let mut c = lru_cache(geom);
+        let a = geom.address_of(1, 0);
+        let b = geom.address_of(2, 0);
+        let d = geom.address_of(3, 0);
+        c.access(a, AccessKind::Read);
+        c.access(b, AccessKind::Read);
+        c.access(d, AccessKind::Read); // evicts a
+        assert!(!c.contains(a));
+        assert!(c.contains(b));
+        assert!(c.contains(d));
+        assert_eq!(c.stats().evictions(), 1);
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let geom = CacheGeometry::new(2, 1, 64).unwrap();
+        let mut c = lru_cache(geom);
+        c.access(geom.address_of(1, 0), AccessKind::Write);
+        c.access(geom.address_of(2, 0), AccessKind::Read); // evicts dirty
+        assert_eq!(c.stats().writebacks(), 1);
+        c.access(geom.address_of(3, 0), AccessKind::Read); // evicts clean
+        assert_eq!(c.stats().writebacks(), 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let geom = CacheGeometry::new(2, 1, 64).unwrap();
+        let mut c = lru_cache(geom);
+        c.access(geom.address_of(1, 0), AccessKind::Read);
+        c.access(geom.address_of(1, 0), AccessKind::Write); // hit, dirties
+        c.access(geom.address_of(2, 0), AccessKind::Read); // evicts dirty
+        assert_eq!(c.stats().writebacks(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let geom = small();
+        let mut c = lru_cache(geom);
+        let a = geom.address_of(1, 0);
+        c.access(a, AccessKind::Write);
+        assert!(c.invalidate(a));
+        assert!(!c.contains(a));
+        assert!(!c.invalidate(a));
+        assert_eq!(c.stats().writebacks(), 1); // dirty invalidation wrote back
+    }
+
+    #[test]
+    fn fills_use_free_ways_before_evicting() {
+        let geom = CacheGeometry::new(1, 4, 64).unwrap();
+        let mut c = lru_cache(geom);
+        for t in 0..4 {
+            c.access(geom.address_of(t, 0), AccessKind::Read);
+        }
+        assert_eq!(c.stats().evictions(), 0);
+        assert_eq!(c.valid_lines(0), 4);
+        c.access(geom.address_of(9, 0), AccessKind::Read);
+        assert_eq!(c.stats().evictions(), 1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let geom = small();
+        let mut c = lru_cache(geom);
+        let a = geom.address_of(1, 0);
+        c.access(a, AccessKind::Read);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+        assert_eq!(c.access(a, AccessKind::Read), AccessResult::HitLocal);
+    }
+
+    #[test]
+    fn cyclic_thrash_lru_vs_bip() {
+        // The classic motivation: a cyclic working set one block larger
+        // than the set thrashes LRU (0 hits) but BIP retains most of it.
+        let geom = CacheGeometry::new(1, 4, 64).unwrap();
+        let pattern: Vec<Address> = (0..5).map(|t| geom.address_of(t, 0)).collect();
+        let mut trace = Trace::new();
+        for _ in 0..200 {
+            for &a in &pattern {
+                trace.push(Access::read(a));
+            }
+        }
+        let mut lru = lru_cache(geom);
+        lru.run(&trace);
+        let mut bip = SetAssocCache::new(geom, Box::new(Bip::new(geom)));
+        bip.run(&trace);
+        assert_eq!(lru.stats().hits(), 0, "LRU must thrash on a 5-block cycle in 4 ways");
+        assert!(
+            bip.stats().hits() > trace.len() as u64 / 2,
+            "BIP should retain most of the cycle: {} hits of {}",
+            bip.stats().hits(),
+            trace.len()
+        );
+    }
+
+    proptest! {
+        /// The cache never reports more hits+misses than accesses fed, and
+        /// the number of valid lines never exceeds the geometry.
+        #[test]
+        fn stats_and_occupancy_invariants(addrs in proptest::collection::vec(0u64..4096, 1..300)) {
+            let geom = CacheGeometry::new(4, 2, 64).unwrap();
+            let mut c = lru_cache(geom);
+            for (i, &a) in addrs.iter().enumerate() {
+                c.access(Address::new(a * 64), if a % 3 == 0 { AccessKind::Write } else { AccessKind::Read });
+                prop_assert_eq!(c.stats().accesses(), (i + 1) as u64);
+            }
+            for s in 0..geom.sets() {
+                prop_assert!(c.valid_lines(s) <= geom.ways());
+            }
+            // Re-accessing anything just accessed is a hit.
+            let last = Address::new(addrs[addrs.len() - 1] * 64);
+            prop_assert!(c.contains(last));
+        }
+
+        /// An infinite-capacity-equivalent cache (more ways than distinct
+        /// lines) never evicts: every line misses exactly once.
+        #[test]
+        fn no_capacity_misses_when_everything_fits(addrs in proptest::collection::vec(0u64..16, 1..200)) {
+            let geom = CacheGeometry::new(1, 16, 64).unwrap();
+            let mut c = lru_cache(geom);
+            for &a in &addrs {
+                c.access(Address::new(a * 64), AccessKind::Read);
+            }
+            let distinct: std::collections::HashSet<_> = addrs.iter().collect();
+            prop_assert_eq!(c.stats().misses(), distinct.len() as u64);
+            prop_assert_eq!(c.stats().evictions(), 0);
+        }
+    }
+}

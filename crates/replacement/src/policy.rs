@@ -1,0 +1,47 @@
+//! The replacement-policy trait shared by all temporal schemes.
+
+/// A whole-cache replacement policy: per-set victim selection and
+/// lifetime-adjustment state.
+///
+/// One policy instance covers every set of a cache; the `set` argument of
+/// each method addresses the per-set state. [`SetAssocCache`] drives the
+/// policy through the following protocol:
+///
+/// 1. on a hit to `(set, way)`: [`on_hit`](ReplacementPolicy::on_hit);
+/// 2. on a miss to `set`: [`on_miss`](ReplacementPolicy::on_miss), then if
+///    the set is full [`victim`](ReplacementPolicy::victim) to choose the
+///    way to evict, then [`on_fill`](ReplacementPolicy::on_fill) for the
+///    way that receives the incoming block;
+/// 3. on an external invalidation:
+///    [`on_invalidate`](ReplacementPolicy::on_invalidate).
+///
+/// The trait is object-safe ([C-OBJECT]) so caches can be assembled at run
+/// time from scheme names.
+///
+/// [`SetAssocCache`]: crate::SetAssocCache
+/// [C-OBJECT]: https://rust-lang.github.io/api-guidelines/flexibility.html
+pub trait ReplacementPolicy {
+    /// Records a hit on `way` of `set` (lifetime promotion).
+    fn on_hit(&mut self, set: usize, way: usize);
+
+    /// Chooses the way of `set` to evict. Called only when every way of the
+    /// set holds a valid block.
+    fn victim(&mut self, set: usize) -> usize;
+
+    /// Records that a new block has been filled into `way` of `set`
+    /// (insertion-position decision).
+    fn on_fill(&mut self, set: usize, way: usize);
+
+    /// Records a miss on `set` before any fill happens. Policies that learn
+    /// from misses (DIP's PSEL, PeLIFO's duel) hook this; the default does
+    /// nothing.
+    fn on_miss(&mut self, _set: usize) {}
+
+    /// Records that `way` of `set` was invalidated externally. The default
+    /// does nothing (stack-based policies tolerate stale ranks on invalid
+    /// ways because fills re-rank).
+    fn on_invalidate(&mut self, _set: usize, _way: usize) {}
+
+    /// A short human-readable policy name (e.g. `"LRU"`).
+    fn name(&self) -> &str;
+}

@@ -1,0 +1,251 @@
+//! Per-set recency ranking, the building block of every stack-based policy.
+
+/// An explicit recency (or fill) ordering of the ways of one set.
+///
+/// `rank(way) == 0` means most-recently-used (MRU); `rank == ways - 1` means
+/// least-recently-used (LRU). The stack is a permutation of `0..ways` at all
+/// times — an invariant the property tests in this crate exercise.
+///
+/// The same structure doubles as PeLIFO's *fill stack* when `touch_mru` is
+/// called only on fills.
+///
+/// # Examples
+///
+/// ```
+/// use stem_replacement::RecencyStack;
+///
+/// let mut s = RecencyStack::new(4);
+/// s.touch_mru(2);
+/// assert_eq!(s.rank(2), 0);
+/// assert_eq!(s.mru_way(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecencyStack {
+    /// `rank[way]` = recency position of `way` (0 = MRU).
+    rank: Vec<u8>,
+}
+
+impl RecencyStack {
+    /// Creates a stack for `ways` ways, initially ranked `0, 1, …, ways-1`
+    /// (way 0 is MRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is 0 or greater than 255.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways >= 1 && ways <= 255, "ways must be in 1..=255");
+        RecencyStack { rank: (0..ways as u8).collect() }
+    }
+
+    /// Number of ways tracked.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Recency rank of `way` (0 = MRU).
+    #[inline]
+    pub fn rank(&self, way: usize) -> u8 {
+        self.rank[way]
+    }
+
+    /// Moves `way` to the MRU position, aging everything that was more
+    /// recent than it.
+    pub fn touch_mru(&mut self, way: usize) {
+        let old = self.rank[way];
+        for r in &mut self.rank {
+            if *r < old {
+                *r += 1;
+            }
+        }
+        self.rank[way] = 0;
+    }
+
+    /// Moves `way` to the LRU position, promoting everything that was less
+    /// recent than it.
+    pub fn demote_lru(&mut self, way: usize) {
+        let old = self.rank[way];
+        for r in &mut self.rank {
+            if *r > old {
+                *r -= 1;
+            }
+        }
+        self.rank[way] = (self.ways() - 1) as u8;
+    }
+
+    /// Places `way` at an arbitrary recency position `pos` (0 = MRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= ways`.
+    pub fn place_at(&mut self, way: usize, pos: u8) {
+        assert!((pos as usize) < self.ways(), "position out of range");
+        let old = self.rank[way];
+        if pos == old {
+            return;
+        }
+        if pos < old {
+            for r in &mut self.rank {
+                if *r >= pos && *r < old {
+                    *r += 1;
+                }
+            }
+        } else {
+            for r in &mut self.rank {
+                if *r > old && *r <= pos {
+                    *r -= 1;
+                }
+            }
+        }
+        self.rank[way] = pos;
+    }
+
+    /// The way currently at the LRU position.
+    pub fn lru_way(&self) -> usize {
+        self.way_at((self.ways() - 1) as u8)
+    }
+
+    /// The way currently at the MRU position.
+    pub fn mru_way(&self) -> usize {
+        self.way_at(0)
+    }
+
+    /// The way at recency position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= ways`.
+    pub fn way_at(&self, pos: u8) -> usize {
+        self.rank
+            .iter()
+            .position(|&r| r == pos)
+            .expect("recency stack invariant violated: rank not a permutation")
+    }
+
+    /// Whether the ranks form a valid permutation of `0..ways` (test hook).
+    pub fn is_permutation(&self) -> bool {
+        let mut seen = vec![false; self.ways()];
+        for &r in &self.rank {
+            let idx = r as usize;
+            if idx >= self.ways() || seen[idx] {
+                return false;
+            }
+            seen[idx] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_is_identity_permutation() {
+        let s = RecencyStack::new(4);
+        assert!(s.is_permutation());
+        assert_eq!(s.mru_way(), 0);
+        assert_eq!(s.lru_way(), 3);
+    }
+
+    #[test]
+    fn touch_mru_promotes_and_ages() {
+        let mut s = RecencyStack::new(4);
+        s.touch_mru(3);
+        assert_eq!(s.rank(3), 0);
+        assert_eq!(s.rank(0), 1);
+        assert_eq!(s.rank(1), 2);
+        assert_eq!(s.rank(2), 3);
+        assert!(s.is_permutation());
+    }
+
+    #[test]
+    fn touch_mru_of_mru_is_noop() {
+        let mut s = RecencyStack::new(4);
+        let before = s.clone();
+        s.touch_mru(0);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn demote_lru_sinks_way() {
+        let mut s = RecencyStack::new(4);
+        s.demote_lru(0);
+        assert_eq!(s.rank(0), 3);
+        assert_eq!(s.lru_way(), 0);
+        assert!(s.is_permutation());
+    }
+
+    #[test]
+    fn place_at_middle() {
+        let mut s = RecencyStack::new(4);
+        s.place_at(3, 1);
+        assert_eq!(s.rank(3), 1);
+        assert!(s.is_permutation());
+        s.place_at(3, 3);
+        assert_eq!(s.rank(3), 3);
+        assert!(s.is_permutation());
+    }
+
+    #[test]
+    fn lru_sequence_behaviour() {
+        // Touch ways in order 0,1,2,3 on a 4-way stack: LRU should be 0.
+        let mut s = RecencyStack::new(4);
+        for w in 0..4 {
+            s.touch_mru(w);
+        }
+        assert_eq!(s.lru_way(), 0);
+        s.touch_mru(0);
+        assert_eq!(s.lru_way(), 1);
+    }
+
+    #[test]
+    fn single_way_stack() {
+        let mut s = RecencyStack::new(1);
+        s.touch_mru(0);
+        s.demote_lru(0);
+        assert_eq!(s.lru_way(), 0);
+        assert_eq!(s.mru_way(), 0);
+    }
+
+    proptest! {
+        /// Any sequence of operations preserves the permutation invariant.
+        #[test]
+        fn ops_preserve_permutation(
+            ways in 1usize..16,
+            ops in proptest::collection::vec((0u8..3, 0usize..16, 0u8..16), 0..64)
+        ) {
+            let mut s = RecencyStack::new(ways);
+            for (op, way, pos) in ops {
+                let way = way % ways;
+                let pos = pos % ways as u8;
+                match op {
+                    0 => s.touch_mru(way),
+                    1 => s.demote_lru(way),
+                    _ => s.place_at(way, pos),
+                }
+                prop_assert!(s.is_permutation());
+            }
+        }
+
+        /// After touch_mru(w), w is MRU and relative order of others is kept.
+        #[test]
+        fn touch_preserves_relative_order(ways in 2usize..12, touches in proptest::collection::vec(0usize..12, 1..32)) {
+            let mut s = RecencyStack::new(ways);
+            for t in touches {
+                let w = t % ways;
+                let before: Vec<u8> = (0..ways).map(|x| s.rank(x)).collect();
+                s.touch_mru(w);
+                for a in 0..ways {
+                    for b in 0..ways {
+                        if a != w && b != w && before[a] < before[b] {
+                            prop_assert!(s.rank(a) < s.rank(b));
+                        }
+                    }
+                }
+                prop_assert_eq!(s.rank(w), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Differential testing: the simulator's LRU cache against an independent,
+//! obviously-correct reference model (vector-of-queues), over random
+//! traces. Any divergence in per-access hit/miss behaviour is a bug in
+//! the set/rank machinery every other policy builds on.
+
+use proptest::prelude::*;
+use stem_replacement::{Lru, SetAssocCache};
+use stem_sim_core::{AccessKind, Address, CacheGeometry, CacheModel, LineAddr};
+
+/// The reference: per-set Vec of lines ordered most-recent-first.
+struct RefLru {
+    geom: CacheGeometry,
+    sets: Vec<Vec<LineAddr>>,
+}
+
+impl RefLru {
+    fn new(geom: CacheGeometry) -> Self {
+        RefLru { geom, sets: vec![Vec::new(); geom.sets()] }
+    }
+
+    /// Returns `true` on hit.
+    fn access(&mut self, addr: Address) -> bool {
+        let line = addr.line(self.geom.line_bytes());
+        let set = self.geom.set_index_of_line(line);
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&l| l == line) {
+            let l = entries.remove(pos);
+            entries.insert(0, l);
+            true
+        } else {
+            entries.insert(0, line);
+            entries.truncate(self.geom.ways());
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-access hit/miss parity between the simulator's LRU and the
+    /// reference model, across random geometries and traces.
+    #[test]
+    fn lru_matches_reference_model(
+        sets_pow in 0u32..5,
+        ways in 1usize..9,
+        addrs in proptest::collection::vec(0u64..4096, 1..500)
+    ) {
+        let geom = CacheGeometry::new(1 << sets_pow, ways, 64).expect("valid geometry");
+        let mut sim = SetAssocCache::new(geom, Box::new(Lru::new(geom)));
+        let mut reference = RefLru::new(geom);
+        for (i, &a) in addrs.iter().enumerate() {
+            let addr = Address::new(a * 64);
+            let sim_hit = sim.access(addr, AccessKind::Read).is_hit();
+            let ref_hit = reference.access(addr);
+            prop_assert_eq!(
+                sim_hit, ref_hit,
+                "divergence at access {} (addr {:#x}, {} sets x {} ways)",
+                i, a * 64, geom.sets(), ways
+            );
+        }
+    }
+}

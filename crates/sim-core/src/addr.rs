@@ -1,0 +1,168 @@
+//! Physical and line-granular addresses.
+
+use std::fmt;
+
+/// A physical byte address.
+///
+/// The paper simulates the 44-bit effective physical addresses of an
+/// Alpha 21264 (Table 3); this newtype keeps addresses distinct from other
+/// `u64` quantities ([C-NEWTYPE]).
+///
+/// # Examples
+///
+/// ```
+/// use stem_sim_core::Address;
+///
+/// let a = Address::new(0x1000);
+/// assert_eq!(a.raw(), 0x1000);
+/// assert_eq!(a.line(64).raw(), 0x40);
+/// ```
+///
+/// [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(u64);
+
+/// The number of bits in the simulated physical address space (Table 3).
+pub const PHYSICAL_ADDRESS_BITS: u32 = 44;
+
+impl Address {
+    /// Creates an address from a raw byte address.
+    ///
+    /// Addresses are masked to the simulated 44-bit physical address space.
+    #[inline]
+    pub fn new(raw: u64) -> Self {
+        Address(raw & ((1u64 << PHYSICAL_ADDRESS_BITS) - 1))
+    }
+
+    /// Returns the raw byte address.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the line-granular address for a cache with `line_bytes`-byte
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `line_bytes` is not a power of two.
+    #[inline]
+    pub fn line(self, line_bytes: u64) -> LineAddr {
+        debug_assert!(line_bytes.is_power_of_two());
+        LineAddr(self.0 >> line_bytes.trailing_zeros())
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address::new(raw)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+/// A line-granular address: a byte address with the intra-line offset
+/// stripped.
+///
+/// Two byte addresses within the same cache line map to equal `LineAddr`s,
+/// which is the granularity every scheme in this workspace operates at.
+///
+/// # Examples
+///
+/// ```
+/// use stem_sim_core::{Address, LineAddr};
+///
+/// let a = Address::new(0x1004).line(64);
+/// let b = Address::new(0x103f).line(64);
+/// assert_eq!(a, b);
+/// assert_eq!(a, LineAddr::new(0x40));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address directly from a line number.
+    #[inline]
+    pub fn new(line_number: u64) -> Self {
+        LineAddr(line_number)
+    }
+
+    /// Returns the raw line number.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Converts back to the byte address of the first byte of the line.
+    #[inline]
+    pub fn to_address(self, line_bytes: u64) -> Address {
+        debug_assert!(line_bytes.is_power_of_two());
+        Address::new(self.0 << line_bytes.trailing_zeros())
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_masks_to_44_bits() {
+        let a = Address::new(u64::MAX);
+        assert_eq!(a.raw(), (1u64 << 44) - 1);
+    }
+
+    #[test]
+    fn line_strips_offset() {
+        let a = Address::new(0x1fff);
+        assert_eq!(a.line(64).raw(), 0x1fff >> 6);
+        assert_eq!(a.line(64), Address::new(0x1fc0).line(64));
+        assert_ne!(a.line(64), Address::new(0x2000).line(64));
+    }
+
+    #[test]
+    fn line_roundtrips_to_line_start() {
+        let a = Address::new(0x1234_5678);
+        let line = a.line(64);
+        assert_eq!(line.to_address(64).raw(), 0x1234_5678 & !63);
+    }
+
+    #[test]
+    fn from_u64_matches_new() {
+        assert_eq!(Address::from(42u64), Address::new(42));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Address::new(0xff).to_string(), "0xff");
+        assert_eq!(format!("{:x}", Address::new(0xff)), "ff");
+        assert_eq!(format!("{:X}", Address::new(0xff)), "FF");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Address::default()).is_empty());
+        assert!(!format!("{:?}", LineAddr::default()).is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for cache configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid cache geometry was requested.
+///
+/// Returned by [`CacheGeometry::new`](crate::CacheGeometry::new).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The number of sets must be a non-zero power of two (the MOD indexing
+    /// function of §2.1 requires it).
+    SetsNotPowerOfTwo(usize),
+    /// The line size must be a non-zero power of two.
+    LineBytesNotPowerOfTwo(u64),
+    /// Associativity must be at least 1.
+    ZeroWays,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::SetsNotPowerOfTwo(n) => {
+                write!(f, "number of sets ({n}) is not a non-zero power of two")
+            }
+            GeometryError::LineBytesNotPowerOfTwo(n) => {
+                write!(f, "line size ({n} bytes) is not a non-zero power of two")
+            }
+            GeometryError::ZeroWays => write!(f, "associativity must be at least 1"),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_unpunctuated() {
+        for err in [
+            GeometryError::SetsNotPowerOfTwo(3),
+            GeometryError::LineBytesNotPowerOfTwo(7),
+            GeometryError::ZeroWays,
+        ] {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with(char::is_numeric));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Core substrate for the STEM last-level-cache reproduction.
+//!
+//! This crate provides the vocabulary types shared by every cache scheme in
+//! the workspace:
+//!
+//! * [`Address`] / [`LineAddr`] — physical addresses and line-granular
+//!   addresses (the paper simulates 44-bit Alpha physical addresses);
+//! * [`CacheGeometry`] — sets × ways × line-size arithmetic (tag/index/offset
+//!   extraction);
+//! * [`Access`], [`AccessKind`], [`Trace`] — trace-driven simulation inputs;
+//! * [`CacheStats`] — hit/miss/spill accounting and MPKI;
+//! * [`TimingParams`] — the latency algebra of the paper's §5.1 / Table 1;
+//! * [`SaturatingCounter`] — the k-bit saturating counters used by STEM's
+//!   set-level capacity-demand monitor (and by SBC/DIP);
+//! * [`SplitMix64`] — a tiny deterministic RNG so every simulation is
+//!   reproducible without external crates;
+//! * [`CacheModel`] — the object-safe trait all six schemes implement.
+//!
+//! # Examples
+//!
+//! ```
+//! use stem_sim_core::{Address, CacheGeometry};
+//!
+//! # fn main() -> Result<(), stem_sim_core::GeometryError> {
+//! let geom = CacheGeometry::new(2048, 16, 64)?; // the paper's 2MB L2
+//! let addr = Address::new(0x1234_5678);
+//! assert_eq!(geom.set_index(addr), ((0x1234_5678u64 >> 6) % 2048) as usize);
+//! # Ok(())
+//! # }
+//! ```
+
+mod access;
+mod addr;
+mod counter;
+mod error;
+mod geometry;
+pub mod io;
+mod model;
+mod rng;
+mod stats;
+mod timing;
+mod trace;
+
+pub use access::{Access, AccessKind};
+pub use addr::{Address, LineAddr};
+pub use counter::SaturatingCounter;
+pub use error::GeometryError;
+pub use geometry::CacheGeometry;
+pub use model::{AccessResult, CacheModel};
+pub use rng::SplitMix64;
+pub use stats::CacheStats;
+pub use timing::{AccessLatency, TimingParams};
+pub use trace::{Trace, TraceStats};

@@ -1,0 +1,176 @@
+//! The trait every LLC scheme implements, and the four access outcomes the
+//! paper prices differently.
+
+use std::fmt;
+
+use crate::{Access, AccessKind, Address, CacheGeometry, CacheStats, Trace};
+
+/// The outcome of one cache access, at the granularity the paper's timing
+/// model distinguishes (§5.1).
+///
+/// Conventional schemes (LRU, DIP, PeLIFO, V-Way) only produce
+/// [`HitLocal`](AccessResult::HitLocal) and
+/// [`MissLocal`](AccessResult::MissLocal); SBC and STEM may additionally
+/// probe a cooperative set, producing the two `Cooperative` variants with
+/// their extra tag-store access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessResult {
+    /// Hit in the block's home set (one tag + one data access).
+    HitLocal,
+    /// Hit in the coupled/cooperative set (two tag + one data access).
+    HitCooperative,
+    /// Miss after probing only the home set (one tag access).
+    MissLocal,
+    /// Miss after probing the home set and the cooperative set (two tag
+    /// accesses).
+    MissCooperative,
+}
+
+impl AccessResult {
+    /// Whether the access hit anywhere on chip.
+    #[inline]
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessResult::HitLocal | AccessResult::HitCooperative)
+    }
+
+    /// Whether the access missed the LLC entirely.
+    #[inline]
+    pub fn is_miss(self) -> bool {
+        !self.is_hit()
+    }
+
+    /// Whether a second (cooperative) set was probed.
+    #[inline]
+    pub fn probed_cooperative(self) -> bool {
+        matches!(
+            self,
+            AccessResult::HitCooperative | AccessResult::MissCooperative
+        )
+    }
+}
+
+impl fmt::Display for AccessResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessResult::HitLocal => "local hit",
+            AccessResult::HitCooperative => "cooperative hit",
+            AccessResult::MissLocal => "miss",
+            AccessResult::MissCooperative => "miss after cooperative probe",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A last-level cache scheme under trace-driven simulation.
+///
+/// The trait is object-safe so experiments can hold heterogeneous scheme
+/// collections as `Box<dyn CacheModel>` ([C-OBJECT]).
+///
+/// # Examples
+///
+/// Run a trace through any scheme and read its statistics:
+///
+/// ```no_run
+/// use stem_sim_core::{Access, Address, CacheModel, Trace};
+///
+/// fn mpki(cache: &mut dyn CacheModel, trace: &Trace) -> f64 {
+///     cache.run(trace);
+///     cache.stats().mpki(trace.instructions())
+/// }
+/// ```
+///
+/// [C-OBJECT]: https://rust-lang.github.io/api-guidelines/flexibility.html
+pub trait CacheModel {
+    /// Processes one access and reports its outcome.
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult;
+
+    /// Aggregate statistics since construction (or the last
+    /// [`reset_stats`](CacheModel::reset_stats)).
+    fn stats(&self) -> &CacheStats;
+
+    /// Clears the statistics without disturbing cache contents — used to
+    /// exclude warm-up from measurement, mirroring the paper's
+    /// cache-warming phase (§5.1).
+    fn reset_stats(&mut self);
+
+    /// The data-store geometry of this cache.
+    fn geometry(&self) -> CacheGeometry;
+
+    /// A short scheme name for reports (e.g. `"LRU"`, `"STEM"`).
+    fn name(&self) -> &str;
+
+    /// Processes every access of a trace in order.
+    fn run(&mut self, trace: &Trace) {
+        for a in trace {
+            self.access(a.addr, a.kind);
+        }
+    }
+
+    /// Runs one access expressed as an [`Access`] record.
+    fn access_record(&mut self, access: Access) -> AccessResult {
+        self.access(access.addr, access.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_predicates() {
+        assert!(AccessResult::HitLocal.is_hit());
+        assert!(AccessResult::HitCooperative.is_hit());
+        assert!(AccessResult::MissLocal.is_miss());
+        assert!(AccessResult::MissCooperative.is_miss());
+        assert!(!AccessResult::HitLocal.probed_cooperative());
+        assert!(AccessResult::HitCooperative.probed_cooperative());
+        assert!(!AccessResult::MissLocal.probed_cooperative());
+        assert!(AccessResult::MissCooperative.probed_cooperative());
+    }
+
+    #[test]
+    fn result_display() {
+        assert_eq!(AccessResult::HitLocal.to_string(), "local hit");
+        assert_eq!(AccessResult::MissCooperative.to_string(), "miss after cooperative probe");
+    }
+
+    /// A trivial always-miss cache to exercise the trait's default methods.
+    struct NullCache {
+        stats: CacheStats,
+        geom: CacheGeometry,
+    }
+
+    impl CacheModel for NullCache {
+        fn access(&mut self, _addr: Address, _kind: AccessKind) -> AccessResult {
+            self.stats.record_local_miss();
+            AccessResult::MissLocal
+        }
+        fn stats(&self) -> &CacheStats {
+            &self.stats
+        }
+        fn reset_stats(&mut self) {
+            self.stats = CacheStats::default();
+        }
+        fn geometry(&self) -> CacheGeometry {
+            self.geom
+        }
+        fn name(&self) -> &str {
+            "null"
+        }
+    }
+
+    #[test]
+    fn run_processes_whole_trace_and_is_object_safe() {
+        let mut cache: Box<dyn CacheModel> = Box::new(NullCache {
+            stats: CacheStats::default(),
+            geom: CacheGeometry::micro2010_l2(),
+        });
+        let trace: Trace = (0..10u64).map(|i| Access::read(Address::new(i * 64))).collect();
+        cache.run(&trace);
+        assert_eq!(cache.stats().accesses(), 10);
+        cache.reset_stats();
+        assert_eq!(cache.stats().accesses(), 0);
+        let r = cache.access_record(Access::write(Address::new(0)));
+        assert!(r.is_miss());
+    }
+}

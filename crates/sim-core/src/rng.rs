@@ -1,0 +1,141 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! Several schemes need cheap randomness *inside* the cache controller: BIP's
+//! bimodal insertion throttle, and STEM's probabilistic 1-in-2ⁿ decrement of
+//! the spatial saturating counter ("the random number generator can be simply
+//! incorporated in the LLC controller", §4.4). Using a self-contained
+//! SplitMix64 keeps every simulation bit-for-bit reproducible from its seed
+//! and keeps the simulator crates free of external dependencies.
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use stem_sim_core::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a value uniform in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded sampling; bias is negligible for the small
+        // bounds used by cache policies.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns `true` with probability `1 / 2^n`.
+    ///
+    /// This is exactly the hardware trick the paper describes for the
+    /// spatial counter: "decremented by one only when an n-bit value
+    /// produced by a random number generator is zero" (§4.4).
+    #[inline]
+    pub fn one_in_pow2(&mut self, n: u32) -> bool {
+        debug_assert!(n < 64);
+        self.next_u64() & ((1u64 << n) - 1) == 0
+    }
+
+    /// Returns `true` with probability `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[inline]
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_below(den) < num
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        SplitMix64::new(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn one_in_pow2_rate_is_plausible() {
+        let mut r = SplitMix64::new(42);
+        let n = 3; // expect ~1/8
+        let hits = (0..80_000).filter(|_| r.one_in_pow2(n)).count();
+        let expected = 10_000.0;
+        assert!(
+            (hits as f64 - expected).abs() < expected * 0.1,
+            "1-in-8 sampling rate off: {hits}"
+        );
+    }
+
+    #[test]
+    fn one_in_pow2_zero_always_true() {
+        let mut r = SplitMix64::new(5);
+        assert!((0..100).all(|_| r.one_in_pow2(0)));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(11);
+        assert!((0..100).all(|_| r.chance(1, 1)));
+        assert!((0..100).all(|_| !r.chance(0, 5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The association table pairing cooperating sets.
+//!
+//! Both SBC (§6.2) and STEM (§4.5) maintain "an association table that
+//! maintains the association information of paired sets. If a set is not
+//! paired with any other set, the value of its association table entry is
+//! the set's own index."
+
+/// A symmetric pairing of cache sets.
+///
+/// Invariants (property-tested):
+/// * `partner(partner(s)) == s` for every coupled set;
+/// * an uncoupled set's entry is its own index;
+/// * a set is never coupled to itself.
+///
+/// # Examples
+///
+/// ```
+/// use stem_spatial::AssociationTable;
+///
+/// let mut t = AssociationTable::new(8);
+/// t.couple(1, 5);
+/// assert_eq!(t.partner(1), Some(5));
+/// assert_eq!(t.partner(5), Some(1));
+/// t.decouple(5);
+/// assert_eq!(t.partner(1), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssociationTable {
+    entries: Vec<u32>,
+}
+
+impl AssociationTable {
+    /// Creates a table for `sets` sets, all initially uncoupled.
+    pub fn new(sets: usize) -> Self {
+        AssociationTable { entries: (0..sets as u32).collect() }
+    }
+
+    /// Number of sets covered.
+    pub fn sets(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The partner of `set`, or `None` if it is uncoupled.
+    #[inline]
+    pub fn partner(&self, set: usize) -> Option<usize> {
+        let p = self.entries[set] as usize;
+        if p == set {
+            None
+        } else {
+            Some(p)
+        }
+    }
+
+    /// Whether `set` is currently coupled.
+    #[inline]
+    pub fn is_coupled(&self, set: usize) -> bool {
+        self.partner(set).is_some()
+    }
+
+    /// Couples `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either set is already coupled — callers must
+    /// decouple first, mirroring the hardware's single association entry.
+    pub fn couple(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "a set cannot couple with itself");
+        assert!(!self.is_coupled(a), "set {a} is already coupled");
+        assert!(!self.is_coupled(b), "set {b} is already coupled");
+        self.entries[a] = b as u32;
+        self.entries[b] = a as u32;
+    }
+
+    /// Dissolves the pair containing `set` (no-op when uncoupled), resetting
+    /// "the two sets' association table entries to their own original
+    /// indices" (§4.7).
+    pub fn decouple(&mut self, set: usize) {
+        if let Some(p) = self.partner(set) {
+            self.entries[p] = p as u32;
+            self.entries[set] = set as u32;
+        }
+    }
+
+    /// Number of coupled pairs (analysis hook).
+    pub fn coupled_pairs(&self) -> usize {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| (p as usize) != i)
+            .count()
+            / 2
+    }
+
+    /// Verifies the symmetry invariant (test hook).
+    pub fn is_consistent(&self) -> bool {
+        self.entries.iter().enumerate().all(|(i, &p)| {
+            let p = p as usize;
+            p < self.entries.len() && self.entries[p] as usize == i
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_table_uncoupled() {
+        let t = AssociationTable::new(4);
+        assert_eq!(t.sets(), 4);
+        for s in 0..4 {
+            assert_eq!(t.partner(s), None);
+            assert!(!t.is_coupled(s));
+        }
+        assert_eq!(t.coupled_pairs(), 0);
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn couple_is_symmetric() {
+        let mut t = AssociationTable::new(8);
+        t.couple(2, 7);
+        assert_eq!(t.partner(2), Some(7));
+        assert_eq!(t.partner(7), Some(2));
+        assert_eq!(t.coupled_pairs(), 1);
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn decouple_either_side() {
+        let mut t = AssociationTable::new(8);
+        t.couple(0, 3);
+        t.decouple(3);
+        assert!(!t.is_coupled(0));
+        assert!(!t.is_coupled(3));
+        t.couple(0, 3);
+        t.decouple(0);
+        assert!(!t.is_coupled(3));
+    }
+
+    #[test]
+    fn decouple_uncoupled_is_noop() {
+        let mut t = AssociationTable::new(4);
+        t.decouple(2);
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "already coupled")]
+    fn double_couple_panics() {
+        let mut t = AssociationTable::new(4);
+        t.couple(0, 1);
+        t.couple(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn self_couple_panics() {
+        let mut t = AssociationTable::new(4);
+        t.couple(1, 1);
+    }
+
+    proptest! {
+        /// Random couple/decouple sequences preserve symmetry.
+        #[test]
+        fn random_ops_stay_consistent(ops in proptest::collection::vec((0usize..16, 0usize..16, proptest::bool::ANY), 0..64)) {
+            let mut t = AssociationTable::new(16);
+            for (a, b, is_couple) in ops {
+                if is_couple {
+                    if a != b && !t.is_coupled(a) && !t.is_coupled(b) {
+                        t.couple(a, b);
+                    }
+                } else {
+                    t.decouple(a);
+                }
+                prop_assert!(t.is_consistent());
+                for s in 0..16 {
+                    if let Some(p) = t.partner(s) {
+                        prop_assert_eq!(t.partner(p), Some(s));
+                        prop_assert_ne!(p, s);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The destination-set selector: a small hardware heap of candidate
+//! giver/destination sets.
+//!
+//! SBC calls this the *Destination Set Selector*; STEM reuses the idea as
+//! "a hardware heap (similar to the Destination Set Selector in [4]) that
+//! keeps track of a small number of uncoupled giver sets that are less
+//! saturated than others" (§4.5).
+
+/// A fixed-capacity selector of the least-saturated candidate sets.
+///
+/// Mirrors the hardware structure: a handful of (set, saturation-level)
+/// entries scanned associatively. Posting a set with a lower level than the
+/// current worst entry replaces that entry ("if there are no such invalid
+/// entries and if the set is less saturated than one of the sets already in
+/// the heap, replacement will take place", §4.5).
+///
+/// # Examples
+///
+/// ```
+/// use stem_spatial::DestinationSetSelector;
+///
+/// let mut dss = DestinationSetSelector::new(2);
+/// dss.post(3, 5);
+/// dss.post(7, 1);
+/// dss.post(9, 3); // replaces (3, 5): heap is full and 3 < 5
+/// assert_eq!(dss.pop_least(), Some(7));
+/// assert_eq!(dss.pop_least(), Some(9));
+/// assert_eq!(dss.pop_least(), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DestinationSetSelector {
+    entries: Vec<(usize, u32)>,
+    capacity: usize,
+}
+
+impl DestinationSetSelector {
+    /// Creates a selector holding at most `capacity` candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "selector capacity must be positive");
+        DestinationSetSelector { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Number of candidates currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no candidates are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of candidates.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `set` is currently a candidate.
+    pub fn contains(&self, set: usize) -> bool {
+        self.entries.iter().any(|&(s, _)| s == set)
+    }
+
+    /// Offers `set` with saturation `level` as a candidate.
+    ///
+    /// Updates the level in place if the set is already tracked; fills an
+    /// empty slot if one exists; otherwise replaces the *most* saturated
+    /// entry if `level` improves on it. Returns `true` if the set is
+    /// tracked afterwards.
+    pub fn post(&mut self, set: usize, level: u32) -> bool {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == set) {
+            e.1 = level;
+            return true;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((set, level));
+            return true;
+        }
+        let (worst_idx, &(_, worst_level)) = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &(_, l))| l)
+            .expect("selector is non-empty when full");
+        if level < worst_level {
+            self.entries[worst_idx] = (set, level);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the least-saturated candidate.
+    pub fn pop_least(&mut self) -> Option<usize> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(_, l))| l)?
+            .0;
+        Some(self.entries.swap_remove(idx).0)
+    }
+
+    /// Removes `set` from the candidates (e.g. when its role changes).
+    /// Returns `true` if it was present.
+    pub fn remove(&mut self, set: usize) -> bool {
+        match self.entries.iter().position(|&(s, _)| s == set) {
+            Some(i) => {
+                self.entries.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn post_and_pop_in_level_order() {
+        let mut dss = DestinationSetSelector::new(4);
+        dss.post(1, 9);
+        dss.post(2, 3);
+        dss.post(3, 7);
+        assert_eq!(dss.pop_least(), Some(2));
+        assert_eq!(dss.pop_least(), Some(3));
+        assert_eq!(dss.pop_least(), Some(1));
+        assert!(dss.is_empty());
+    }
+
+    #[test]
+    fn full_selector_replaces_worst_only_when_better() {
+        let mut dss = DestinationSetSelector::new(2);
+        assert!(dss.post(1, 5));
+        assert!(dss.post(2, 6));
+        assert!(!dss.post(3, 8)); // not better than the worst (6)
+        assert!(!dss.contains(3));
+        assert!(dss.post(4, 2)); // replaces (2, 6)
+        assert!(!dss.contains(2));
+        assert_eq!(dss.len(), 2);
+    }
+
+    #[test]
+    fn repost_updates_level() {
+        let mut dss = DestinationSetSelector::new(2);
+        dss.post(1, 5);
+        dss.post(2, 1);
+        dss.post(1, 0); // update, not duplicate
+        assert_eq!(dss.len(), 2);
+        assert_eq!(dss.pop_least(), Some(1));
+    }
+
+    #[test]
+    fn remove_candidate() {
+        let mut dss = DestinationSetSelector::new(2);
+        dss.post(5, 1);
+        assert!(dss.remove(5));
+        assert!(!dss.remove(5));
+        assert!(dss.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = DestinationSetSelector::new(0);
+    }
+
+    proptest! {
+        /// The selector never exceeds capacity and never stores duplicates.
+        #[test]
+        fn capacity_and_uniqueness(posts in proptest::collection::vec((0usize..32, 0u32..100), 0..100)) {
+            let mut dss = DestinationSetSelector::new(4);
+            for (set, level) in posts {
+                dss.post(set, level);
+                prop_assert!(dss.len() <= 4);
+                let mut sets: Vec<usize> = dss.entries.iter().map(|&(s, _)| s).collect();
+                sets.sort_unstable();
+                sets.dedup();
+                prop_assert_eq!(sets.len(), dss.len());
+            }
+        }
+
+        /// pop_least drains in non-decreasing level order.
+        #[test]
+        fn pop_order_sorted(posts in proptest::collection::vec((0usize..32, 0u32..100), 1..16)) {
+            let mut dss = DestinationSetSelector::new(16);
+            for (set, level) in posts {
+                dss.post(set, level);
+            }
+            let mut levels = Vec::new();
+            loop {
+                let least = dss.entries.iter().map(|&(_, l)| l).min();
+                match (dss.pop_least(), least) {
+                    (Some(_), Some(l)) => levels.push(l),
+                    _ => break,
+                }
+            }
+            prop_assert!(levels.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The dynamic Set Balancing Cache (Rolán et al., MICRO'09).
+//!
+//! SBC measures each set's *saturation level* — "the difference between the
+//! miss and hit counts at the set level" (§2.2) — and pairs a highly
+//! saturated *source* set with a lowly saturated *destination* set chosen by
+//! the Destination Set Selector. While associated, the source places its
+//! victim blocks in the destination with MRU insertion, and lookups that
+//! miss in the source probe the destination.
+//!
+//! Two behaviours the STEM paper criticises are reproduced faithfully here
+//! because they are exactly what STEM's §4.6 receive constraint improves on:
+//!
+//! * "receiving … is not dependent on the giver set's saturating level as
+//!   long as the two sets are coupled", so a source can pollute its
+//!   destination;
+//! * disassociation happens only when the destination has evicted every
+//!   cooperatively cached block (§4.7).
+
+use stem_replacement::RecencyStack;
+use stem_sim_core::{
+    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr,
+};
+
+use crate::{AssociationTable, DestinationSetSelector};
+
+/// Tuning parameters for [`SbcCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbcConfig {
+    /// Capacity of the Destination Set Selector.
+    pub dss_capacity: usize,
+    /// The saturation counter clamps at `sat_max_factor × ways`.
+    pub sat_max_factor: u32,
+    /// Random seed (SBC itself is deterministic; kept for config parity).
+    pub seed: u64,
+}
+
+impl Default for SbcConfig {
+    fn default() -> Self {
+        SbcConfig { dss_capacity: 16, sat_max_factor: 2, seed: 0x5BC0_5BC0 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    line: LineAddr,
+    dirty: bool,
+    /// `true` when this block's home is the coupled partner set.
+    foreign: bool,
+}
+
+/// The dynamic Set Balancing Cache.
+///
+/// # Examples
+///
+/// ```
+/// use stem_spatial::{SbcCache, SbcConfig};
+/// use stem_sim_core::{CacheGeometry, CacheModel};
+///
+/// # fn main() -> Result<(), stem_sim_core::GeometryError> {
+/// let geom = CacheGeometry::new(128, 8, 64)?;
+/// let sbc = SbcCache::with_config(geom, SbcConfig::default());
+/// assert_eq!(sbc.name(), "SBC");
+/// # Ok(())
+/// # }
+/// ```
+pub struct SbcCache {
+    geom: CacheGeometry,
+    cfg: SbcConfig,
+    lines: Vec<Vec<Option<Line>>>,
+    ranks: Vec<RecencyStack>,
+    /// Saturation level per set, clamped to `[0, sat_max]`.
+    sat: Vec<u32>,
+    sat_max: u32,
+    assoc: AssociationTable,
+    /// `true` when the set is the *source* (spilling side) of its pair.
+    is_source: Vec<bool>,
+    /// Foreign (cooperatively cached) blocks held per destination set.
+    foreign_count: Vec<u32>,
+    dss: DestinationSetSelector,
+    stats: CacheStats,
+}
+
+impl SbcCache {
+    /// Creates an SBC cache with default parameters.
+    pub fn new(geom: CacheGeometry) -> Self {
+        SbcCache::with_config(geom, SbcConfig::default())
+    }
+
+    /// Creates an SBC cache with explicit parameters.
+    pub fn with_config(geom: CacheGeometry, cfg: SbcConfig) -> Self {
+        let sat_max = cfg.sat_max_factor * geom.ways() as u32;
+        SbcCache {
+            geom,
+            cfg,
+            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            ranks: vec![RecencyStack::new(geom.ways()); geom.sets()],
+            sat: vec![0; geom.sets()],
+            sat_max,
+            assoc: AssociationTable::new(geom.sets()),
+            is_source: vec![false; geom.sets()],
+            foreign_count: vec![0; geom.sets()],
+            dss: DestinationSetSelector::new(cfg.dss_capacity),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Current saturation level of `set` (analysis hook).
+    pub fn saturation(&self, set: usize) -> u32 {
+        self.sat[set]
+    }
+
+    /// The association table (analysis hook).
+    pub fn associations(&self) -> &AssociationTable {
+        &self.assoc
+    }
+
+    /// Number of foreign blocks currently cached in `set`.
+    pub fn foreign_blocks(&self, set: usize) -> u32 {
+        self.foreign_count[set]
+    }
+
+    /// Whether `set` is the source side of a pair.
+    pub fn is_source(&self, set: usize) -> bool {
+        self.is_source[set]
+    }
+
+    fn sat_inc(&mut self, set: usize) {
+        self.sat[set] = (self.sat[set] + 1).min(self.sat_max);
+        // A destination that saturates on its own traffic can no longer
+        // help its source: dissolve the pair (evicting the remaining
+        // foreign blocks) so both sets can seek better matches. This is
+        // the natural reading of SBC's re-association behaviour; without
+        // it a polluted destination stays locked to its source forever.
+        if self.sat[set] == self.sat_max && self.assoc.is_coupled(set) && !self.is_source[set] {
+            self.force_decouple(set);
+        }
+    }
+
+    /// Evicts every foreign block of `dest` and dissolves its pair.
+    fn force_decouple(&mut self, dest: usize) {
+        for way in 0..self.geom.ways() {
+            if self.lines[dest][way].map_or(false, |l| l.foreign) {
+                self.evict_off_chip(dest, way, false);
+            }
+        }
+        if let Some(p) = self.assoc.partner(dest) {
+            self.is_source[p] = false;
+            self.is_source[dest] = false;
+            self.assoc.decouple(dest);
+            self.stats.record_decoupling();
+        }
+    }
+
+    fn sat_dec(&mut self, set: usize) {
+        self.sat[set] = self.sat[set].saturating_sub(1);
+        // A set that proves unsaturated becomes a destination candidate.
+        if self.sat[set] < self.sat_max / 2 && !self.assoc.is_coupled(set) {
+            self.dss.post(set, self.sat[set]);
+        }
+    }
+
+    fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
+        self.lines[set]
+            .iter()
+            .position(|l| matches!(l, Some(e) if e.line == line))
+    }
+
+    fn find_free_way(&self, set: usize) -> Option<usize> {
+        self.lines[set].iter().position(Option::is_none)
+    }
+
+    /// Evicts the block in `(set, way)` off-chip, maintaining the foreign
+    /// count and triggering disassociation when a destination drains.
+    ///
+    /// `allow_decouple` is `false` while making room for an incoming spill:
+    /// the arriving foreign block immediately refills the drain, so the
+    /// §4.7 disassociation must not fire in between.
+    fn evict_off_chip(&mut self, set: usize, way: usize, allow_decouple: bool) {
+        let old = self.lines[set][way].take().expect("eviction of invalid way");
+        self.stats.record_eviction();
+        if old.dirty {
+            self.stats.record_writeback();
+        }
+        if old.foreign {
+            self.foreign_count[set] -= 1;
+            if allow_decouple && self.foreign_count[set] == 0 {
+                // §4.7: the destination evicted its last cooperative block,
+                // so the pair disassociates.
+                if let Some(p) = self.assoc.partner(set) {
+                    self.is_source[p] = false;
+                    self.is_source[set] = false;
+                    self.assoc.decouple(set);
+                    self.stats.record_decoupling();
+                }
+            }
+        }
+    }
+
+    /// Inserts a foreign victim into destination set `dest` with MRU
+    /// insertion, unconditionally (SBC has no receive constraint).
+    fn receive(&mut self, dest: usize, line: LineAddr, dirty: bool) {
+        let way = match self.find_free_way(dest) {
+            Some(w) => w,
+            None => {
+                let victim = self.ranks[dest].lru_way();
+                self.evict_off_chip(dest, victim, false);
+                victim
+            }
+        };
+        self.lines[dest][way] = Some(Line { line, dirty, foreign: true });
+        self.ranks[dest].touch_mru(way);
+        self.foreign_count[dest] += 1;
+        self.stats.record_receive();
+    }
+
+    /// Handles the victim of a fill into source set `set`: spill to the
+    /// destination while associated as a source, otherwise evict off-chip.
+    fn dispose_victim(&mut self, set: usize, way: usize) {
+        let victim = self.lines[set][way].expect("victim way must be valid");
+        if victim.foreign {
+            // A foreign block evicted from a destination leaves the chip.
+            self.evict_off_chip(set, way, true);
+            return;
+        }
+        match self.assoc.partner(set) {
+            Some(dest) if self.is_source[set] => {
+                self.lines[set][way] = None;
+                self.stats.record_spill();
+                self.receive(dest, victim.line, victim.dirty);
+            }
+            _ => self.evict_off_chip(set, way, true),
+        }
+    }
+
+    /// Attempts to couple saturated source `set` with a destination from
+    /// the selector.
+    fn try_couple(&mut self, set: usize) {
+        if self.assoc.is_coupled(set) || self.sat[set] < self.sat_max {
+            return;
+        }
+        self.dss.remove(set);
+        // Pop candidates until a valid one surfaces (entries may be stale:
+        // since posted, a candidate may have coupled or saturated).
+        while let Some(cand) = self.dss.pop_least() {
+            if cand != set
+                && !self.assoc.is_coupled(cand)
+                && self.sat[cand] < self.sat_max / 2
+            {
+                self.assoc.couple(set, cand);
+                self.is_source[set] = true;
+                self.is_source[cand] = false;
+                self.stats.record_coupling();
+                return;
+            }
+        }
+    }
+}
+
+impl CacheModel for SbcCache {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let line = addr.line(self.geom.line_bytes());
+        let home = self.geom.set_index_of_line(line);
+
+        // Probe the home set (foreign entries there can never match a
+        // home-set address, so this finds native blocks only).
+        if let Some(way) = self.find_way(home, line) {
+            self.stats.record_local_hit();
+            self.ranks[home].touch_mru(way);
+            if kind.is_write() {
+                if let Some(l) = &mut self.lines[home][way] {
+                    l.dirty = true;
+                }
+            }
+            self.sat_dec(home);
+            return AccessResult::HitLocal;
+        }
+
+        // Miss in the home set: a coupled source probes its destination.
+        let partner = self.assoc.partner(home).filter(|_| self.is_source[home]);
+        if let Some(dest) = partner {
+            if let Some(way) = self.find_way(dest, line) {
+                self.stats.record_coop_hit();
+                self.ranks[dest].touch_mru(way);
+                if kind.is_write() {
+                    if let Some(l) = &mut self.lines[dest][way] {
+                        l.dirty = true;
+                    }
+                }
+                self.sat_dec(home);
+                return AccessResult::HitCooperative;
+            }
+        }
+
+        // Full miss.
+        if partner.is_some() {
+            self.stats.record_coop_miss();
+        } else {
+            self.stats.record_local_miss();
+        }
+        self.sat_inc(home);
+        self.try_couple(home);
+
+        let way = match self.find_free_way(home) {
+            Some(w) => w,
+            None => {
+                let victim = self.ranks[home].lru_way();
+                self.dispose_victim(home, victim);
+                victim
+            }
+        };
+        self.lines[home][way] = Some(Line { line, dirty: kind.is_write(), foreign: false });
+        self.ranks[home].touch_mru(way);
+
+        if partner.is_some() {
+            AccessResult::MissCooperative
+        } else {
+            AccessResult::MissLocal
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn name(&self) -> &str {
+        "SBC"
+    }
+}
+
+impl std::fmt::Debug for SbcCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SbcCache")
+            .field("geom", &self.geom)
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats)
+            .field("coupled_pairs", &self.assoc.coupled_pairs())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use stem_sim_core::{Access, Trace};
+
+    /// A trace that thrashes set 0 (cycle of `2 * ways` blocks) while
+    /// leaving set 1 idle after a warm single block — the paper's Example
+    /// #1 shape.
+    fn example1_trace(geom: CacheGeometry, rounds: usize) -> Trace {
+        let ways = geom.ways() as u64;
+        let mut t = Trace::new();
+        for _ in 0..rounds {
+            for tag in 0..(ways + ways / 2) {
+                t.push(Access::read(geom.address_of(tag, 0)));
+                t.push(Access::read(geom.address_of(tag % 2, 1)));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn sbc_couples_thrashed_set_with_idle_set() {
+        let geom = CacheGeometry::new(4, 4, 64).unwrap();
+        let mut sbc = SbcCache::new(geom);
+        sbc.run(&example1_trace(geom, 100));
+        assert!(sbc.stats().couplings() > 0, "SBC never coupled");
+        assert!(sbc.stats().spills() > 0, "SBC never spilled");
+        assert!(
+            sbc.stats().coop_hits() > 0,
+            "SBC never hit in a destination set"
+        );
+    }
+
+    #[test]
+    fn sbc_beats_lru_on_complementary_demands() {
+        use stem_replacement::{Lru, SetAssocCache};
+        let geom = CacheGeometry::new(4, 4, 64).unwrap();
+        let trace = example1_trace(geom, 200);
+        let mut sbc = SbcCache::new(geom);
+        sbc.run(&trace);
+        let mut lru = SetAssocCache::new(geom, Box::new(Lru::new(geom)));
+        lru.run(&trace);
+        assert!(
+            sbc.stats().misses() < lru.stats().misses(),
+            "SBC ({}) should beat LRU ({}) when demands are complementary",
+            sbc.stats().misses(),
+            lru.stats().misses()
+        );
+    }
+
+    #[test]
+    fn saturation_tracks_miss_hit_difference() {
+        let geom = CacheGeometry::new(4, 2, 64).unwrap();
+        let mut sbc = SbcCache::new(geom);
+        // 3 distinct blocks cycling in 2 ways: all misses.
+        for round in 0..4 {
+            for tag in 0..3u64 {
+                let _ = round;
+                sbc.access(geom.address_of(tag, 0), AccessKind::Read);
+            }
+        }
+        assert!(sbc.saturation(0) > 0);
+        assert_eq!(sbc.saturation(1), 0);
+    }
+
+    #[test]
+    fn foreign_blocks_counted_and_drained() {
+        let geom = CacheGeometry::new(4, 2, 64).unwrap();
+        let mut sbc = SbcCache::new(geom);
+        sbc.run(&example1_trace(geom, 300));
+        // Consistency: every foreign count matches the actual lines.
+        for s in 0..geom.sets() {
+            let actual = sbc.lines[s]
+                .iter()
+                .flatten()
+                .filter(|l| l.foreign)
+                .count() as u32;
+            assert_eq!(actual, sbc.foreign_blocks(s), "set {s} foreign count");
+        }
+    }
+
+    #[test]
+    fn no_cooperation_when_all_sets_saturated() {
+        // Example #3 of Fig. 2: every set thrashes, so SBC finds no
+        // destination and behaves like LRU.
+        let geom = CacheGeometry::new(2, 2, 64).unwrap();
+        let mut sbc = SbcCache::new(geom);
+        let mut t = Trace::new();
+        for _ in 0..200 {
+            for tag in 0..4u64 {
+                t.push(Access::read(geom.address_of(tag, 0)));
+                t.push(Access::read(geom.address_of(tag, 1)));
+            }
+        }
+        sbc.run(&t);
+        assert_eq!(sbc.stats().coop_hits(), 0);
+        assert_eq!(sbc.stats().hits(), 0, "both sets must thrash");
+    }
+
+    proptest! {
+        /// Association symmetry and foreign-count consistency hold under
+        /// random access streams.
+        #[test]
+        fn invariants_under_random_traffic(tags in proptest::collection::vec((0u64..24, 0usize..4), 1..600)) {
+            let geom = CacheGeometry::new(4, 2, 64).unwrap();
+            let mut sbc = SbcCache::new(geom);
+            for (tag, set) in tags {
+                sbc.access(geom.address_of(tag, set), AccessKind::Read);
+            }
+            prop_assert!(sbc.assoc.is_consistent());
+            for s in 0..geom.sets() {
+                let actual = sbc.lines[s].iter().flatten().filter(|l| l.foreign).count() as u32;
+                prop_assert_eq!(actual, sbc.foreign_blocks(s));
+                // Foreign blocks only live in coupled destination sets or
+                // sets that were destinations (drained pairs decouple at 0).
+                if actual > 0 {
+                    prop_assert!(sbc.assoc.is_coupled(s));
+                    prop_assert!(!sbc.is_source(s));
+                }
+            }
+        }
+
+        /// SBC accounting: hits + misses == accesses.
+        #[test]
+        fn stats_balance(tags in proptest::collection::vec(0u64..32, 1..300)) {
+            let geom = CacheGeometry::new(2, 2, 64).unwrap();
+            let mut sbc = SbcCache::new(geom);
+            for (i, &tag) in tags.iter().enumerate() {
+                sbc.access(geom.address_of(tag, (tag % 2) as usize), AccessKind::Read);
+                prop_assert_eq!(sbc.stats().accesses(), (i + 1) as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Static Set Balancing Cache: the simpler variant of Rolán et al., where
+//! pairs are fixed at design time by *index complement* instead of being
+//! chosen dynamically by saturation levels.
+//!
+//! Set `s` is permanently married to set `s XOR (sets/2)` (complementing
+//! the top index bit). When one side of a marriage is saturated and the
+//! other is not, the saturated side spills victims into its partner. The
+//! STEM paper evaluates only the dynamic variant; the static one is
+//! included here as the natural ablation between "no spatial management"
+//! and the full DSS machinery.
+
+use stem_replacement::RecencyStack;
+use stem_sim_core::{
+    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    line: LineAddr,
+    dirty: bool,
+    foreign: bool,
+}
+
+/// The static Set Balancing Cache.
+///
+/// # Examples
+///
+/// ```
+/// use stem_spatial::StaticSbcCache;
+/// use stem_sim_core::{CacheGeometry, CacheModel};
+///
+/// # fn main() -> Result<(), stem_sim_core::GeometryError> {
+/// let geom = CacheGeometry::new(64, 4, 64)?;
+/// let cache = StaticSbcCache::new(geom);
+/// assert_eq!(cache.name(), "SBC-static");
+/// # Ok(())
+/// # }
+/// ```
+pub struct StaticSbcCache {
+    geom: CacheGeometry,
+    lines: Vec<Vec<Option<Line>>>,
+    ranks: Vec<RecencyStack>,
+    /// Saturation level per set (misses − hits, clamped).
+    sat: Vec<u32>,
+    sat_max: u32,
+    stats: CacheStats,
+}
+
+impl StaticSbcCache {
+    /// Creates a static SBC with the standard `2 × ways` saturation bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache has fewer than 2 sets (no partner exists).
+    pub fn new(geom: CacheGeometry) -> Self {
+        assert!(geom.sets() >= 2, "static SBC needs at least two sets");
+        StaticSbcCache {
+            geom,
+            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            ranks: vec![RecencyStack::new(geom.ways()); geom.sets()],
+            sat: vec![0; geom.sets()],
+            sat_max: 2 * geom.ways() as u32,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The design-time partner of `set`: complement of the top index bit.
+    pub fn partner_of(&self, set: usize) -> usize {
+        set ^ (self.geom.sets() / 2)
+    }
+
+    /// Current saturation level of `set` (analysis hook).
+    pub fn saturation(&self, set: usize) -> u32 {
+        self.sat[set]
+    }
+
+    fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
+        self.lines[set]
+            .iter()
+            .position(|l| matches!(l, Some(e) if e.line == line))
+    }
+
+    fn find_free_way(&self, set: usize) -> Option<usize> {
+        self.lines[set].iter().position(Option::is_none)
+    }
+
+    /// Whether `set` currently spills: it must be saturated while its
+    /// partner is comfortably unsaturated.
+    fn spills(&self, set: usize) -> bool {
+        let p = self.partner_of(set);
+        self.sat[set] == self.sat_max && self.sat[p] < self.sat_max / 2
+    }
+
+    fn evict_off_chip(&mut self, set: usize, way: usize) {
+        let old = self.lines[set][way].take().expect("eviction of invalid way");
+        self.stats.record_eviction();
+        if old.dirty {
+            self.stats.record_writeback();
+        }
+    }
+}
+
+impl CacheModel for StaticSbcCache {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let line = addr.line(self.geom.line_bytes());
+        let home = self.geom.set_index_of_line(line);
+        let partner = self.partner_of(home);
+
+        if let Some(way) = self.find_way(home, line) {
+            self.stats.record_local_hit();
+            self.ranks[home].touch_mru(way);
+            if kind.is_write() {
+                if let Some(l) = &mut self.lines[home][way] {
+                    l.dirty = true;
+                }
+            }
+            self.sat[home] = self.sat[home].saturating_sub(1);
+            return AccessResult::HitLocal;
+        }
+
+        // A spilling set probes its partner for displaced blocks.
+        let probes_partner = self.spills(home);
+        if probes_partner {
+            if let Some(way) = self.find_way(partner, line) {
+                self.stats.record_coop_hit();
+                self.ranks[partner].touch_mru(way);
+                if kind.is_write() {
+                    if let Some(l) = &mut self.lines[partner][way] {
+                        l.dirty = true;
+                    }
+                }
+                self.sat[home] = self.sat[home].saturating_sub(1);
+                return AccessResult::HitCooperative;
+            }
+        }
+
+        if probes_partner {
+            self.stats.record_coop_miss();
+        } else {
+            self.stats.record_local_miss();
+        }
+        self.sat[home] = (self.sat[home] + 1).min(self.sat_max);
+
+        let way = match self.find_free_way(home) {
+            Some(w) => w,
+            None => {
+                let victim_way = self.ranks[home].lru_way();
+                let victim = self.lines[home][victim_way].expect("victim way valid");
+                if !victim.foreign && self.spills(home) {
+                    // Spill into the partner, MRU-inserted.
+                    self.lines[home][victim_way] = None;
+                    self.stats.record_spill();
+                    let pway = match self.find_free_way(partner) {
+                        Some(w) => w,
+                        None => {
+                            let pv = self.ranks[partner].lru_way();
+                            self.evict_off_chip(partner, pv);
+                            pv
+                        }
+                    };
+                    self.lines[partner][pway] = Some(Line {
+                        line: victim.line,
+                        dirty: victim.dirty,
+                        foreign: true,
+                    });
+                    self.ranks[partner].touch_mru(pway);
+                    self.stats.record_receive();
+                } else {
+                    self.evict_off_chip(home, victim_way);
+                }
+                victim_way
+            }
+        };
+        self.lines[home][way] = Some(Line { line, dirty: kind.is_write(), foreign: false });
+        self.ranks[home].touch_mru(way);
+        if probes_partner {
+            AccessResult::MissCooperative
+        } else {
+            AccessResult::MissLocal
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn name(&self) -> &str {
+        "SBC-static"
+    }
+}
+
+impl std::fmt::Debug for StaticSbcCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticSbcCache")
+            .field("geom", &self.geom)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_sim_core::{Access, Trace};
+
+    #[test]
+    fn partner_is_top_bit_complement() {
+        let geom = CacheGeometry::new(8, 2, 64).unwrap();
+        let c = StaticSbcCache::new(geom);
+        assert_eq!(c.partner_of(0), 4);
+        assert_eq!(c.partner_of(4), 0);
+        assert_eq!(c.partner_of(3), 7);
+    }
+
+    #[test]
+    fn spilling_helps_complementary_pair() {
+        use stem_replacement::{Lru, SetAssocCache};
+        let geom = CacheGeometry::new(4, 4, 64).unwrap();
+        // Set 0 cycles 6 blocks; its partner (set 2) idles on one block.
+        let mut trace = Trace::new();
+        for round in 0..400u64 {
+            trace.push(Access::read(geom.address_of(round % 6, 0)));
+            trace.push(Access::read(geom.address_of(0, 2)));
+        }
+        let mut sbc = StaticSbcCache::new(geom);
+        sbc.run(&trace);
+        let mut lru = SetAssocCache::new(geom, Box::new(Lru::new(geom)));
+        lru.run(&trace);
+        assert!(sbc.stats().spills() > 0);
+        assert!(
+            sbc.stats().misses() < lru.stats().misses(),
+            "static pairing should help: {} vs {}",
+            sbc.stats().misses(),
+            lru.stats().misses()
+        );
+    }
+
+    #[test]
+    fn no_spilling_when_partner_also_saturated() {
+        let geom = CacheGeometry::new(4, 2, 64).unwrap();
+        let mut sbc = StaticSbcCache::new(geom);
+        // Both partners (0 and 2) thrash.
+        for round in 0..300u64 {
+            sbc.access(geom.address_of(round % 4, 0), AccessKind::Read);
+            sbc.access(geom.address_of(round % 4, 2), AccessKind::Read);
+        }
+        assert_eq!(sbc.stats().spills(), 0);
+        assert_eq!(sbc.stats().coop_hits(), 0);
+    }
+
+    #[test]
+    fn rehit_after_access() {
+        let geom = CacheGeometry::new(4, 2, 64).unwrap();
+        let mut sbc = StaticSbcCache::new(geom);
+        for t in 0..50u64 {
+            let a = geom.address_of(t / 4, (t % 4) as usize);
+            sbc.access(a, AccessKind::Read);
+            assert!(sbc.access(a, AccessKind::Read).is_hit());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sets")]
+    fn single_set_panics() {
+        let geom = CacheGeometry::new(1, 2, 64).unwrap();
+        let _ = StaticSbcCache::new(geom);
+    }
+}

@@ -1,0 +1,222 @@
+//! A conventional cache backed by a small fully-associative victim cache
+//! (Jouppi, ISCA'90) — the classic *global* approach to conflict misses,
+//! included as a spatial-management baseline older than V-Way and SBC.
+//!
+//! Unlike inter-set cooperation, the victim buffer is shared by all sets,
+//! so it helps whichever sets are conflicting right now but its capacity
+//! (a few dozen lines) cannot absorb sustained non-uniformity the way
+//! set pairing can — an instructive contrast in the benchmark harness.
+
+use stem_replacement::RecencyStack;
+use stem_sim_core::{
+    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    line: LineAddr,
+    dirty: bool,
+}
+
+/// An LRU set-associative cache with a fully-associative victim buffer.
+///
+/// A hit in the victim buffer swaps the block back into its home set
+/// (displacing that set's LRU block into the buffer) and is priced as a
+/// cooperative hit, since it takes a second lookup.
+///
+/// # Examples
+///
+/// ```
+/// use stem_spatial::VictimCache;
+/// use stem_sim_core::{CacheGeometry, CacheModel};
+///
+/// # fn main() -> Result<(), stem_sim_core::GeometryError> {
+/// let geom = CacheGeometry::new(64, 4, 64)?;
+/// let cache = VictimCache::new(geom, 16);
+/// assert_eq!(cache.name(), "LRU+VC");
+/// # Ok(())
+/// # }
+/// ```
+pub struct VictimCache {
+    geom: CacheGeometry,
+    lines: Vec<Vec<Option<Line>>>,
+    ranks: Vec<RecencyStack>,
+    /// Fully-associative victim entries, most recent first.
+    victims: Vec<Line>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl VictimCache {
+    /// Creates a cache with a `capacity`-entry victim buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(geom: CacheGeometry, capacity: usize) -> Self {
+        assert!(capacity > 0, "victim buffer capacity must be positive");
+        VictimCache {
+            geom,
+            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            ranks: vec![RecencyStack::new(geom.ways()); geom.sets()],
+            victims: Vec::with_capacity(capacity),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Current number of buffered victims (analysis hook).
+    pub fn buffered_victims(&self) -> usize {
+        self.victims.len()
+    }
+
+    fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
+        self.lines[set]
+            .iter()
+            .position(|l| matches!(l, Some(e) if e.line == line))
+    }
+
+    /// Pushes a victim into the buffer, evicting the oldest entry.
+    fn buffer_victim(&mut self, v: Line) {
+        if self.victims.len() == self.capacity {
+            let old = self.victims.pop().expect("buffer is full");
+            self.stats.record_eviction();
+            if old.dirty {
+                self.stats.record_writeback();
+            }
+        }
+        self.victims.insert(0, v);
+    }
+
+    /// Installs `incoming` into `set`, buffering the displaced LRU block.
+    fn install(&mut self, set: usize, incoming: Line) {
+        let way = match self.lines[set].iter().position(Option::is_none) {
+            Some(w) => w,
+            None => {
+                let victim_way = self.ranks[set].lru_way();
+                let victim = self.lines[set][victim_way].take().expect("victim valid");
+                self.stats.record_spill();
+                self.buffer_victim(victim);
+                victim_way
+            }
+        };
+        self.lines[set][way] = Some(incoming);
+        self.ranks[set].touch_mru(way);
+    }
+}
+
+impl CacheModel for VictimCache {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let line = addr.line(self.geom.line_bytes());
+        let set = self.geom.set_index_of_line(line);
+
+        if let Some(way) = self.find_way(set, line) {
+            self.stats.record_local_hit();
+            self.ranks[set].touch_mru(way);
+            if kind.is_write() {
+                if let Some(l) = &mut self.lines[set][way] {
+                    l.dirty = true;
+                }
+            }
+            return AccessResult::HitLocal;
+        }
+
+        // Probe the victim buffer (a second, parallel-in-hardware lookup;
+        // we price it as cooperative).
+        if let Some(pos) = self.victims.iter().position(|v| v.line == line) {
+            let mut hit = self.victims.remove(pos);
+            self.stats.record_coop_hit();
+            self.stats.record_receive();
+            if kind.is_write() {
+                hit.dirty = true;
+            }
+            // Swap back into the home set.
+            self.install(set, hit);
+            return AccessResult::HitCooperative;
+        }
+
+        self.stats.record_coop_miss();
+        self.install(set, Line { line, dirty: kind.is_write() });
+        AccessResult::MissCooperative
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn name(&self) -> &str {
+        "LRU+VC"
+    }
+}
+
+impl std::fmt::Debug for VictimCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VictimCache")
+            .field("geom", &self.geom)
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(2, 2, 64).unwrap()
+    }
+
+    #[test]
+    fn victim_buffer_rescues_conflict_misses() {
+        let g = geom();
+        let mut c = VictimCache::new(g, 4);
+        // 3 blocks cycling through a 2-way set: the buffered victim
+        // rescues each "miss" after warmup.
+        for t in 0..3u64 {
+            c.access(g.address_of(t, 0), AccessKind::Read);
+        }
+        c.reset_stats();
+        for round in 0..30u64 {
+            c.access(g.address_of(round % 3, 0), AccessKind::Read);
+        }
+        assert_eq!(c.stats().misses(), 0, "all conflict misses rescued");
+        assert!(c.stats().coop_hits() > 0);
+    }
+
+    #[test]
+    fn buffer_capacity_is_bounded() {
+        let g = geom();
+        let mut c = VictimCache::new(g, 2);
+        for t in 0..50u64 {
+            c.access(g.address_of(t, 0), AccessKind::Write);
+            assert!(c.buffered_victims() <= 2);
+        }
+        assert!(c.stats().writebacks() > 0, "old dirty victims leave the chip");
+    }
+
+    #[test]
+    fn rehit_after_access() {
+        let g = geom();
+        let mut c = VictimCache::new(g, 2);
+        for t in 0..40u64 {
+            let a = g.address_of(t / 2, (t % 2) as usize);
+            c.access(a, AccessKind::Read);
+            assert!(c.access(a, AccessKind::Read).is_hit());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = VictimCache::new(geom(), 0);
+    }
+}

@@ -1,0 +1,662 @@
+//! The STEM LLC cache controller (§4).
+
+use stem_replacement::RecencyStack;
+use stem_sim_core::{
+    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr,
+    SplitMix64,
+};
+use stem_spatial::{AssociationTable, DestinationSetSelector};
+
+use crate::{PolicyKind, SetMonitor, StemConfig, TagHasher};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    line: LineAddr,
+    dirty: bool,
+    /// The CC bit of Fig. 4: `true` when the block is cooperatively cached
+    /// (its home is the coupled taker set).
+    cc: bool,
+}
+
+/// The STEM last-level cache.
+///
+/// Architecture (Fig. 4): a decoupled tag/data store whose tag entries
+/// carry a CC bit, a per-set Set-level Capacity Demand Monitor
+/// ([`SetMonitor`]: shadow set + SC_S + SC_T), an [`AssociationTable`]
+/// pairing takers with givers, and a giver heap
+/// ([`DestinationSetSelector`]). See the crate docs for the management
+/// policy summary and `DESIGN.md` §3.3 for the full operational semantics.
+///
+/// # Examples
+///
+/// ```
+/// use stem_llc::{StemCache, StemConfig};
+/// use stem_sim_core::{CacheGeometry, CacheModel};
+///
+/// # fn main() -> Result<(), stem_sim_core::GeometryError> {
+/// let geom = CacheGeometry::micro2010_l2();
+/// let stem = StemCache::with_config(geom, StemConfig::micro2010());
+/// assert_eq!(stem.name(), "STEM");
+/// # Ok(())
+/// # }
+/// ```
+pub struct StemCache {
+    geom: CacheGeometry,
+    cfg: StemConfig,
+    lines: Vec<Vec<Option<Line>>>,
+    ranks: Vec<RecencyStack>,
+    /// Current replacement policy of each LLC set; the shadow set always
+    /// runs the opposite.
+    set_policy: Vec<PolicyKind>,
+    monitors: Vec<SetMonitor>,
+    assoc: AssociationTable,
+    /// `true` when the set is the taker (spilling) side of its pair.
+    is_taker: Vec<bool>,
+    /// Cooperatively cached (CC = 1) blocks held per giver set.
+    cc_count: Vec<u32>,
+    heap: DestinationSetSelector,
+    hasher: TagHasher,
+    rng: SplitMix64,
+    stats: CacheStats,
+}
+
+impl StemCache {
+    /// Creates a STEM cache with the paper's Table 3 parameters.
+    pub fn new(geom: CacheGeometry) -> Self {
+        StemCache::with_config(geom, StemConfig::micro2010())
+    }
+
+    /// Creates a STEM cache with explicit parameters.
+    pub fn with_config(geom: CacheGeometry, cfg: StemConfig) -> Self {
+        StemCache {
+            geom,
+            cfg,
+            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            ranks: vec![RecencyStack::new(geom.ways()); geom.sets()],
+            set_policy: vec![PolicyKind::Lru; geom.sets()],
+            monitors: (0..geom.sets())
+                .map(|_| {
+                    SetMonitor::new(
+                        geom.ways(),
+                        cfg.counter_bits,
+                        cfg.spatial_ratio_log2,
+                        cfg.shadow_tag_bits,
+                    )
+                })
+                .collect(),
+            assoc: AssociationTable::new(geom.sets()),
+            is_taker: vec![false; geom.sets()],
+            cc_count: vec![0; geom.sets()],
+            heap: DestinationSetSelector::new(cfg.heap_capacity),
+            hasher: TagHasher::new(cfg.shadow_tag_bits, cfg.seed ^ 0x4343),
+            rng: SplitMix64::new(cfg.seed),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StemConfig {
+        &self.cfg
+    }
+
+    /// The current replacement policy of `set` (analysis hook).
+    pub fn policy_of(&self, set: usize) -> PolicyKind {
+        self.set_policy[set]
+    }
+
+    /// The monitor of `set` (analysis hook).
+    pub fn monitor(&self, set: usize) -> &SetMonitor {
+        &self.monitors[set]
+    }
+
+    /// The association table (analysis hook).
+    pub fn associations(&self) -> &AssociationTable {
+        &self.assoc
+    }
+
+    /// Number of CC (cooperatively cached) blocks held in `set`.
+    pub fn cc_blocks(&self, set: usize) -> u32 {
+        self.cc_count[set]
+    }
+
+    /// Whether `set` is the taker side of a pair.
+    pub fn is_taker(&self, set: usize) -> bool {
+        self.is_taker[set]
+    }
+
+    fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
+        self.lines[set]
+            .iter()
+            .position(|l| matches!(l, Some(e) if e.line == line))
+    }
+
+    fn find_free_way(&self, set: usize) -> Option<usize> {
+        self.lines[set].iter().position(Option::is_none)
+    }
+
+    fn sig_of(&self, line: LineAddr) -> u16 {
+        self.hasher.hash(self.geom.tag_of_line(line))
+    }
+
+    /// Re-ranks `way` as a fresh insertion under `set`'s current policy.
+    fn insert_rank(&mut self, set: usize, way: usize) {
+        match self.set_policy[set] {
+            PolicyKind::Lru => self.ranks[set].touch_mru(way),
+            PolicyKind::Bip => {
+                if self.rng.one_in_pow2(self.cfg.bip_throttle_log2) {
+                    self.ranks[set].touch_mru(way);
+                } else {
+                    self.ranks[set].demote_lru(way);
+                }
+            }
+        }
+    }
+
+    /// Synchronises a set's presence in the giver heap with its monitor
+    /// state: uncoupled givers post their (index, saturation level);
+    /// anything else is withdrawn (§4.5 / the §4.6 feedback loop).
+    fn update_heap_status(&mut self, set: usize) {
+        if self.cfg.spatial_coupling
+            && !self.assoc.is_coupled(set)
+            && self.monitors[set].is_giver()
+        {
+            self.heap.post(set, self.monitors[set].saturation_level());
+        } else {
+            self.heap.remove(set);
+        }
+    }
+
+    /// Registers an on-chip hit for `home`'s monitor and refreshes its
+    /// heap candidacy.
+    fn monitor_hit(&mut self, home: usize) {
+        self.monitors[home].on_llc_hit(&mut self.rng);
+        self.update_heap_status(home);
+    }
+
+    /// Probes `home`'s shadow set on a full miss; a shadow hit bumps both
+    /// counters and may trigger the per-set policy swap, while a shadow
+    /// miss applies the slow false-positive bleed to SC_S.
+    fn probe_shadow(&mut self, home: usize, sig: u16) {
+        if self.monitors[home].shadow_mut().probe_invalidate(sig) {
+            let ev = self.monitors[home].on_shadow_hit();
+            if ev.swap_policy {
+                if self.cfg.temporal_adaptation {
+                    self.set_policy[home] = self.set_policy[home].opposite();
+                    self.stats.record_policy_swap();
+                }
+                self.monitors[home].acknowledge_swap();
+            }
+        } else {
+            let mut rng = std::mem::replace(&mut self.rng, SplitMix64::new(0));
+            self.monitors[home].on_shadow_miss(&mut rng);
+            self.rng = rng;
+        }
+        self.update_heap_status(home);
+    }
+
+    /// Couples an uncoupled taker with the least-saturated giver from the
+    /// heap (§4.5). Stale heap entries (sets that coupled or lost giver
+    /// status since posting) are discarded.
+    fn try_couple(&mut self, taker: usize) {
+        if !self.cfg.spatial_coupling || self.assoc.is_coupled(taker) {
+            return;
+        }
+        self.heap.remove(taker);
+        while let Some(cand) = self.heap.pop_least() {
+            if cand != taker && !self.assoc.is_coupled(cand) && self.monitors[cand].is_giver() {
+                self.assoc.couple(taker, cand);
+                self.is_taker[taker] = true;
+                self.is_taker[cand] = false;
+                self.stats.record_coupling();
+                return;
+            }
+        }
+    }
+
+    /// Evicts `(set, way)` off-chip; maintains CC accounting and the §4.7
+    /// drain-triggered decoupling. `allow_decouple` is `false` while
+    /// making room for an incoming spill (the arriving CC block refills
+    /// the drain immediately).
+    fn evict_off_chip(&mut self, set: usize, way: usize, allow_decouple: bool) {
+        let old = self.lines[set][way].take().expect("eviction of invalid way");
+        self.stats.record_eviction();
+        if old.dirty {
+            self.stats.record_writeback();
+        }
+        if old.cc {
+            self.cc_count[set] -= 1;
+            if allow_decouple && self.cc_count[set] == 0 {
+                if let Some(p) = self.assoc.partner(set) {
+                    self.is_taker[p] = false;
+                    self.is_taker[set] = false;
+                    self.assoc.decouple(set);
+                    self.stats.record_decoupling();
+                }
+            }
+        } else {
+            // A native victim's hashed tag enters the shadow set, under the
+            // shadow's (opposite) policy (§4.3).
+            let sig = self.sig_of(old.line);
+            let shadow_policy = self.set_policy[set].opposite();
+            let throttle = self.cfg.bip_throttle_log2;
+            // Split borrows: pull the rng out momentarily.
+            let mut rng = std::mem::replace(&mut self.rng, SplitMix64::new(0));
+            self.monitors[set]
+                .shadow_mut()
+                .insert(sig, shadow_policy, throttle, &mut rng);
+            self.rng = rng;
+        }
+    }
+
+    /// Receives taker victim `line` into giver set `giver` as a CC block,
+    /// inserted per the giver's current temporal policy (§4.6). Returns
+    /// `false` (rejecting the spill) when accepting it would overwhelm the
+    /// giver: free ways and older CC blocks are always fair game, but a
+    /// *native* giver block may be displaced only while the giver's native
+    /// working set demonstrably leaves slack (at least 3 ways not holding
+    /// native data). This operationalises §4.6's "still unsaturated even
+    /// with receiving" at the data level, complementing the SC_S check.
+    fn receive(&mut self, giver: usize, line: LineAddr, dirty: bool) -> bool {
+        let way = match self.find_free_way(giver) {
+            Some(w) => w,
+            None => {
+                let victim = self.ranks[giver].lru_way();
+                let victim_is_native =
+                    !self.lines[giver][victim].map_or(false, |l| l.cc);
+                if victim_is_native {
+                    let native = self.lines[giver]
+                        .iter()
+                        .flatten()
+                        .filter(|l| !l.cc)
+                        .count();
+                    if native + 3 > self.geom.ways() {
+                        return false;
+                    }
+                }
+                self.evict_off_chip(giver, victim, false);
+                victim
+            }
+        };
+        self.lines[giver][way] = Some(Line { line, dirty, cc: true });
+        self.insert_rank(giver, way);
+        self.cc_count[giver] += 1;
+        self.stats.record_receive();
+        true
+    }
+
+    /// Whether `giver` may receive a spill right now: the §4.6 receive
+    /// constraint — the giver must be "still unsaturated even with
+    /// receiving".
+    fn can_receive(&self, giver: usize) -> bool {
+        !self.cfg.receive_constraint || self.monitors[giver].can_receive()
+    }
+
+    /// Disposes of the victim in `(home, way)`: CC victims leave the chip
+    /// (possibly decoupling), native victims are hashed into the shadow
+    /// and spilled to the coupled giver when permitted.
+    fn dispose_victim(&mut self, home: usize, way: usize) {
+        let victim = self.lines[home][way].expect("victim way must be valid");
+        if victim.cc {
+            self.evict_off_chip(home, way, true);
+            return;
+        }
+
+        // An uncoupled taker requests coupling at eviction time (§4.5).
+        if self.monitors[home].is_taker() {
+            self.try_couple(home);
+        }
+
+        // Spill only while still the taker with elevated demand, and only
+        // into a giver that can receive (§4.6).
+        if let Some(giver) = self.assoc.partner(home) {
+            if self.is_taker[home]
+                && !self.monitors[home].is_giver()
+                && self.can_receive(giver)
+                && self.receive(giver, victim.line, victim.dirty)
+            {
+                // Native victim's signature still enters the shadow set —
+                // it has left its *local* capacity.
+                let sig = self.sig_of(victim.line);
+                let shadow_policy = self.set_policy[home].opposite();
+                let throttle = self.cfg.bip_throttle_log2;
+                let mut rng = std::mem::replace(&mut self.rng, SplitMix64::new(0));
+                self.monitors[home]
+                    .shadow_mut()
+                    .insert(sig, shadow_policy, throttle, &mut rng);
+                self.rng = rng;
+
+                self.lines[home][way] = None;
+                self.stats.record_spill();
+                return;
+            }
+        }
+
+        self.evict_off_chip(home, way, true);
+    }
+}
+
+impl CacheModel for StemCache {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let line = addr.line(self.geom.line_bytes());
+        let home = self.geom.set_index_of_line(line);
+
+        // 1. Probe the home set (native blocks only: CC blocks stored here
+        //    belong to the partner's address space and cannot tag-match).
+        if let Some(way) = self.find_way(home, line) {
+            self.stats.record_local_hit();
+            self.ranks[home].touch_mru(way);
+            if kind.is_write() {
+                if let Some(l) = &mut self.lines[home][way] {
+                    l.dirty = true;
+                }
+            }
+            self.monitor_hit(home);
+            return AccessResult::HitLocal;
+        }
+
+        // 2. A coupled taker probes its giver for cooperatively cached
+        //    blocks (second tag-store access, §5.1 pricing).
+        let probe_partner = self.assoc.partner(home).filter(|_| self.is_taker[home]);
+        if let Some(giver) = probe_partner {
+            if let Some(way) = self.find_way(giver, line) {
+                self.stats.record_coop_hit();
+                self.ranks[giver].touch_mru(way);
+                if kind.is_write() {
+                    if let Some(l) = &mut self.lines[giver][way] {
+                        l.dirty = true;
+                    }
+                }
+                // The hit belongs to the home set's working set.
+                self.monitor_hit(home);
+                return AccessResult::HitCooperative;
+            }
+        }
+
+        // 3. Full miss: consult the shadow set (SCDM).
+        let sig = self.sig_of(line);
+        self.probe_shadow(home, sig);
+        if probe_partner.is_some() {
+            self.stats.record_coop_miss();
+        } else {
+            self.stats.record_local_miss();
+        }
+
+        // 4. Allocate in the home set.
+        let way = match self.find_free_way(home) {
+            Some(w) => w,
+            None => {
+                let victim = self.ranks[home].lru_way();
+                self.dispose_victim(home, victim);
+                victim
+            }
+        };
+        self.lines[home][way] = Some(Line { line, dirty: kind.is_write(), cc: false });
+        self.insert_rank(home, way);
+
+        if probe_partner.is_some() {
+            AccessResult::MissCooperative
+        } else {
+            AccessResult::MissLocal
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn name(&self) -> &str {
+        "STEM"
+    }
+}
+
+impl std::fmt::Debug for StemCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StemCache")
+            .field("geom", &self.geom)
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats)
+            .field("coupled_pairs", &self.assoc.coupled_pairs())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use stem_replacement::{Lru, SetAssocCache};
+    use stem_sim_core::{Access, Trace};
+
+    /// Thrash set 0 with a cycle of `1.5 × ways` blocks while set 1 holds a
+    /// well-reused pair of blocks (the paper's Example #1 shape).
+    fn complementary_trace(geom: CacheGeometry, rounds: usize) -> Trace {
+        let ways = geom.ways() as u64;
+        let mut t = Trace::new();
+        for _ in 0..rounds {
+            for tag in 0..(ways + ways / 2) {
+                t.push(Access::read(geom.address_of(tag, 0)));
+                t.push(Access::read(geom.address_of(tag % 2, 1)));
+            }
+        }
+        t
+    }
+
+    /// A pure thrashing cycle over one set (BIP-friendly, LRU-hostile).
+    fn thrash_trace(geom: CacheGeometry, set: usize, extra: u64, rounds: usize) -> Trace {
+        let n = geom.ways() as u64 + extra;
+        let mut t = Trace::new();
+        for _ in 0..rounds {
+            for tag in 0..n {
+                t.push(Access::read(geom.address_of(tag, set)));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn stem_couples_and_cooperates() {
+        let geom = CacheGeometry::new(8, 4, 64).unwrap();
+        let mut stem = StemCache::new(geom);
+        stem.run(&complementary_trace(geom, 200));
+        assert!(stem.stats().couplings() > 0, "STEM never coupled");
+        assert!(stem.stats().spills() > 0, "STEM never spilled");
+        assert!(stem.stats().coop_hits() > 0, "STEM never coop-hit");
+    }
+
+    #[test]
+    fn stem_beats_lru_on_complementary_demands() {
+        let geom = CacheGeometry::new(8, 4, 64).unwrap();
+        let trace = complementary_trace(geom, 300);
+        let mut stem = StemCache::new(geom);
+        stem.run(&trace);
+        let mut lru = SetAssocCache::new(geom, Box::new(Lru::new(geom)));
+        lru.run(&trace);
+        assert!(
+            stem.stats().misses() < lru.stats().misses(),
+            "STEM ({}) should beat LRU ({})",
+            stem.stats().misses(),
+            lru.stats().misses()
+        );
+    }
+
+    #[test]
+    fn stem_beats_lru_on_pure_thrashing_via_policy_swap() {
+        // No giver available (every set thrashes) — the temporal half must
+        // save the day by swapping sets to BIP.
+        let geom = CacheGeometry::new(4, 4, 64).unwrap();
+        let mut trace = Trace::new();
+        for _ in 0..400 {
+            for set in 0..4 {
+                for tag in 0..6u64 {
+                    trace.push(Access::read(geom.address_of(tag, set)));
+                }
+            }
+        }
+        let mut stem = StemCache::new(geom);
+        stem.run(&trace);
+        let mut lru = SetAssocCache::new(geom, Box::new(Lru::new(geom)));
+        lru.run(&trace);
+        assert_eq!(lru.stats().hits(), 0, "LRU must fully thrash");
+        assert!(stem.stats().policy_swaps() > 0, "no policy swap happened");
+        assert!(
+            stem.stats().hits() > trace.len() as u64 / 10,
+            "STEM only got {} hits of {}",
+            stem.stats().hits(),
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn policy_swap_flips_set_policy() {
+        let geom = CacheGeometry::new(2, 4, 64).unwrap();
+        let mut stem = StemCache::new(geom);
+        assert_eq!(stem.policy_of(0), PolicyKind::Lru);
+        stem.run(&thrash_trace(geom, 0, 2, 500));
+        // A thrashing set's shadow (running BIP) out-hits it: SC_T
+        // saturates and the set swaps to BIP.
+        assert!(stem.stats().policy_swaps() > 0);
+    }
+
+    #[test]
+    fn receive_constraint_limits_pollution() {
+        // Compare spills with and without the constraint under heavy
+        // pressure on the giver: the constrained config must spill less.
+        let geom = CacheGeometry::new(4, 4, 64).unwrap();
+        let mut t = Trace::new();
+        for round in 0..400 {
+            for tag in 0..6u64 {
+                t.push(Access::read(geom.address_of(tag, 0)));
+            }
+            // The "giver" set also has moderate traffic that suffers under
+            // pollution.
+            for tag in 0..3u64 {
+                let _ = round;
+                t.push(Access::read(geom.address_of(tag, 1)));
+            }
+        }
+        let mut constrained = StemCache::with_config(geom, StemConfig::micro2010());
+        constrained.run(&t);
+        let mut unconstrained = StemCache::with_config(
+            geom,
+            StemConfig::micro2010().with_receive_constraint(false),
+        );
+        unconstrained.run(&t);
+        assert!(
+            constrained.stats().receives() <= unconstrained.stats().receives(),
+            "constraint should not increase receives: {} vs {}",
+            constrained.stats().receives(),
+            unconstrained.stats().receives()
+        );
+    }
+
+    #[test]
+    fn ablated_stem_without_spatial_never_couples() {
+        let geom = CacheGeometry::new(8, 4, 64).unwrap();
+        let mut stem =
+            StemCache::with_config(geom, StemConfig::micro2010().with_spatial_coupling(false));
+        stem.run(&complementary_trace(geom, 200));
+        assert_eq!(stem.stats().couplings(), 0);
+        assert_eq!(stem.stats().coop_hits(), 0);
+        assert_eq!(stem.stats().spills(), 0);
+    }
+
+    #[test]
+    fn ablated_stem_without_temporal_never_swaps() {
+        let geom = CacheGeometry::new(2, 4, 64).unwrap();
+        let mut stem = StemCache::with_config(
+            geom,
+            StemConfig::micro2010().with_temporal_adaptation(false),
+        );
+        stem.run(&thrash_trace(geom, 0, 2, 500));
+        assert_eq!(stem.stats().policy_swaps(), 0);
+        assert_eq!(stem.policy_of(0), PolicyKind::Lru);
+    }
+
+    #[test]
+    fn decoupling_follows_cc_drain() {
+        let geom = CacheGeometry::new(8, 4, 64).unwrap();
+        let mut stem = StemCache::new(geom);
+        stem.run(&complementary_trace(geom, 300));
+        // Consistency rather than a specific count: all CC accounting must
+        // match reality.
+        for s in 0..geom.sets() {
+            let actual = stem.lines[s].iter().flatten().filter(|l| l.cc).count() as u32;
+            assert_eq!(actual, stem.cc_blocks(s), "set {s} CC count");
+            if actual > 0 {
+                assert!(stem.associations().is_coupled(s));
+                assert!(!stem.is_taker(s), "CC blocks must live in the giver");
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_sets_are_all_lru_and_uncoupled() {
+        let geom = CacheGeometry::new(16, 4, 64).unwrap();
+        let stem = StemCache::new(geom);
+        for s in 0..16 {
+            assert_eq!(stem.policy_of(s), PolicyKind::Lru);
+            assert!(!stem.associations().is_coupled(s));
+            assert_eq!(stem.cc_blocks(s), 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Structural invariants hold under arbitrary traffic:
+        /// association symmetry, CC accounting, taker/giver role
+        /// exclusivity, occupancy bounds, and stats balance.
+        #[test]
+        fn invariants_under_random_traffic(
+            accesses in proptest::collection::vec((0u64..32, 0usize..8, proptest::bool::ANY), 1..800)
+        ) {
+            let geom = CacheGeometry::new(8, 2, 64).unwrap();
+            let mut stem = StemCache::new(geom);
+            for (i, &(tag, set, is_write)) in accesses.iter().enumerate() {
+                let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+                stem.access(geom.address_of(tag, set), kind);
+                prop_assert_eq!(stem.stats().accesses(), (i + 1) as u64);
+            }
+            prop_assert!(stem.associations().is_consistent());
+            for s in 0..geom.sets() {
+                let actual_cc = stem.lines[s].iter().flatten().filter(|l| l.cc).count() as u32;
+                prop_assert_eq!(actual_cc, stem.cc_blocks(s));
+                prop_assert!(stem.lines[s].iter().flatten().count() <= geom.ways());
+                if actual_cc > 0 {
+                    prop_assert!(stem.associations().is_coupled(s));
+                    prop_assert!(!stem.is_taker(s));
+                }
+                if let Some(p) = stem.associations().partner(s) {
+                    // Exactly one side of a pair is the taker.
+                    prop_assert!(stem.is_taker(s) != stem.is_taker(p));
+                }
+                if stem.is_taker(s) {
+                    prop_assert!(stem.associations().is_coupled(s));
+                }
+            }
+            // Spills and receives must balance.
+            prop_assert_eq!(stem.stats().spills(), stem.stats().receives());
+        }
+
+        /// Rehit property: immediately re-accessing an address always hits
+        /// (locally or cooperatively).
+        #[test]
+        fn rehit_after_access(tags in proptest::collection::vec(0u64..64, 1..300)) {
+            let geom = CacheGeometry::new(4, 2, 64).unwrap();
+            let mut stem = StemCache::new(geom);
+            for &t in &tags {
+                let a = geom.address_of(t / 4, (t % 4) as usize);
+                stem.access(a, AccessKind::Read);
+                prop_assert!(stem.access(a, AccessKind::Read).is_hit());
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! STEM configuration parameters (Table 3 defaults).
+
+/// Tuning knobs of the STEM LLC.
+///
+/// Defaults follow Table 3 of the paper: 4-bit saturating counters
+/// (`k = 4`), a 1-in-2³ probabilistic spatial decrement (`n = 3`), 10-bit
+/// shadow tags (`m = 10`), and an SBC-sized giver heap.
+///
+/// # Examples
+///
+/// ```
+/// use stem_llc::StemConfig;
+///
+/// let cfg = StemConfig::default().with_shadow_tag_bits(8);
+/// assert_eq!(cfg.shadow_tag_bits, 8);
+/// assert_eq!(cfg.counter_bits, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StemConfig {
+    /// Width `k` of the SC_S / SC_T saturating counters.
+    pub counter_bits: u32,
+    /// `n`: the spatial counter is decremented once per ~2ⁿ LLC-set hits
+    /// (probabilistically, §4.4).
+    pub spatial_ratio_log2: u32,
+    /// Width `m` of the hashed shadow tags.
+    pub shadow_tag_bits: u32,
+    /// Capacity of the giver heap (the hardware heap of §4.5).
+    pub heap_capacity: usize,
+    /// BIP bimodal throttle (1-in-2^throttle MRU insertions).
+    pub bip_throttle_log2: u32,
+    /// Seed for the controller's random number generator and the H3
+    /// matrix.
+    pub seed: u64,
+    /// Whether givers enforce the §4.6 receive constraint (on by default;
+    /// the ablation benches turn it off to reproduce SBC-style pollution).
+    pub receive_constraint: bool,
+    /// Whether per-set policy swapping (the temporal half) is enabled
+    /// (ablation hook).
+    pub temporal_adaptation: bool,
+    /// Whether set coupling (the spatial half) is enabled (ablation hook).
+    pub spatial_coupling: bool,
+}
+
+impl StemConfig {
+    /// The paper's configuration (Table 3).
+    pub fn micro2010() -> Self {
+        StemConfig {
+            counter_bits: 4,
+            spatial_ratio_log2: 3,
+            shadow_tag_bits: 10,
+            heap_capacity: 16,
+            bip_throttle_log2: 5,
+            seed: 0x57E4_57E4,
+            receive_constraint: true,
+            temporal_adaptation: true,
+            spatial_coupling: true,
+        }
+    }
+
+    /// Sets the counter width `k`.
+    #[must_use]
+    pub fn with_counter_bits(mut self, k: u32) -> Self {
+        self.counter_bits = k;
+        self
+    }
+
+    /// Sets the spatial decrement ratio `n`.
+    #[must_use]
+    pub fn with_spatial_ratio_log2(mut self, n: u32) -> Self {
+        self.spatial_ratio_log2 = n;
+        self
+    }
+
+    /// Sets the shadow tag width `m`.
+    #[must_use]
+    pub fn with_shadow_tag_bits(mut self, m: u32) -> Self {
+        self.shadow_tag_bits = m;
+        self
+    }
+
+    /// Sets the giver-heap capacity.
+    #[must_use]
+    pub fn with_heap_capacity(mut self, capacity: usize) -> Self {
+        self.heap_capacity = capacity;
+        self
+    }
+
+    /// Sets the RNG/H3 seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the §4.6 receive constraint (ablation).
+    #[must_use]
+    pub fn with_receive_constraint(mut self, on: bool) -> Self {
+        self.receive_constraint = on;
+        self
+    }
+
+    /// Enables or disables per-set policy swapping (ablation).
+    #[must_use]
+    pub fn with_temporal_adaptation(mut self, on: bool) -> Self {
+        self.temporal_adaptation = on;
+        self
+    }
+
+    /// Enables or disables set coupling (ablation).
+    #[must_use]
+    pub fn with_spatial_coupling(mut self, on: bool) -> Self {
+        self.spatial_coupling = on;
+        self
+    }
+}
+
+impl Default for StemConfig {
+    fn default() -> Self {
+        StemConfig::micro2010()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table3() {
+        let c = StemConfig::default();
+        assert_eq!(c.counter_bits, 4);
+        assert_eq!(c.spatial_ratio_log2, 3);
+        assert_eq!(c.shadow_tag_bits, 10);
+        assert!(c.receive_constraint);
+        assert!(c.temporal_adaptation);
+        assert!(c.spatial_coupling);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = StemConfig::default()
+            .with_counter_bits(5)
+            .with_spatial_ratio_log2(2)
+            .with_shadow_tag_bits(12)
+            .with_heap_capacity(8)
+            .with_seed(1)
+            .with_receive_constraint(false)
+            .with_temporal_adaptation(false)
+            .with_spatial_coupling(false);
+        assert_eq!(c.counter_bits, 5);
+        assert_eq!(c.spatial_ratio_log2, 2);
+        assert_eq!(c.shadow_tag_bits, 12);
+        assert_eq!(c.heap_capacity, 8);
+        assert_eq!(c.seed, 1);
+        assert!(!c.receive_constraint);
+        assert!(!c.temporal_adaptation);
+        assert!(!c.spatial_coupling);
+    }
+}

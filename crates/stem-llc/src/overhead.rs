@@ -1,0 +1,205 @@
+//! Hardware storage modelling (Table 3 / §5.4).
+//!
+//! The paper reports STEM's storage overhead as 3.1% over a plain LRU
+//! cache, with the set-level capacity demand monitors and the association
+//! table accounting for "the vast majority" of it. This module reproduces
+//! that arithmetic for every scheme in the workspace, so the Table 3
+//! experiment binary can regenerate the claim and the comparison.
+
+use stem_sim_core::CacheGeometry;
+
+use crate::StemConfig;
+
+/// Per-line metadata bits common to all schemes: valid + dirty.
+const V_D_BITS: u64 = 2;
+
+/// A storage bill of materials for one cache organisation, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageBreakdown {
+    /// Data store (lines × line size).
+    pub data_bits: u64,
+    /// Tag store including per-line status/rank bits.
+    pub tag_bits: u64,
+    /// Monitoring structures (shadow sets, counters, PSEL, …).
+    pub monitor_bits: u64,
+    /// Association table.
+    pub assoc_table_bits: u64,
+    /// Selector heap / DSS.
+    pub heap_bits: u64,
+}
+
+impl StorageBreakdown {
+    /// Total storage in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.data_bits + self.tag_bits + self.monitor_bits + self.assoc_table_bits + self.heap_bits
+    }
+
+    /// Storage added relative to `baseline`, as a fraction of the
+    /// baseline's total (the paper's "3.1%" metric).
+    pub fn overhead_vs(&self, baseline: &StorageBreakdown) -> f64 {
+        let base = baseline.total_bits();
+        if base == 0 {
+            return 0.0;
+        }
+        (self.total_bits() as f64 - base as f64) / base as f64
+    }
+}
+
+/// Recency-rank bits per line for an `ways`-associative set.
+fn rank_bits(ways: usize) -> u64 {
+    (usize::BITS - (ways - 1).leading_zeros()).max(1) as u64
+}
+
+/// Baseline LRU cache storage (Table 3's reference point).
+pub fn lru_baseline(geom: CacheGeometry) -> StorageBreakdown {
+    let lines = geom.total_lines() as u64;
+    let per_line_tag = geom.tag_bits() as u64 + V_D_BITS + rank_bits(geom.ways());
+    StorageBreakdown {
+        data_bits: lines * geom.line_bytes() * 8,
+        tag_bits: lines * per_line_tag,
+        ..StorageBreakdown::default()
+    }
+}
+
+/// STEM storage: the LRU baseline plus CC bits, shadow sets, the two
+/// saturating counters per set, the association table, and the giver heap
+/// (Table 3).
+pub fn stem(geom: CacheGeometry, cfg: &StemConfig) -> StorageBreakdown {
+    let mut s = lru_baseline(geom);
+    let sets = geom.sets() as u64;
+    let lines = geom.total_lines() as u64;
+    let index_bits = geom.index_bits() as u64;
+
+    // CC bit per tag entry (Fig. 4).
+    s.tag_bits += lines;
+    // Shadow sets: per entry an m-bit hashed tag, a valid bit and a
+    // replacement rank (the shadow "maintains its own independent
+    // ranking", §4.3).
+    let shadow_entry = cfg.shadow_tag_bits as u64 + 1 + rank_bits(geom.ways());
+    s.monitor_bits += sets * geom.ways() as u64 * shadow_entry;
+    // SC_S + SC_T per set.
+    s.monitor_bits += sets * 2 * cfg.counter_bits as u64;
+    // Association table: one set-index-wide entry per set (Table 3: 2048
+    // entries × 11 bits).
+    s.assoc_table_bits += sets * index_bits;
+    // Giver heap: (set index, saturation level) per entry.
+    s.heap_bits += cfg.heap_capacity as u64 * (index_bits + cfg.counter_bits as u64);
+    s
+}
+
+/// DIP storage: baseline plus a single 10-bit PSEL (leader-set selection is
+/// combinational on the index bits).
+pub fn dip(geom: CacheGeometry) -> StorageBreakdown {
+    let mut s = lru_baseline(geom);
+    s.monitor_bits += 10;
+    s
+}
+
+/// PeLIFO storage: baseline plus a fill-stack rank per line and the
+/// candidate miss counters.
+pub fn pelifo(geom: CacheGeometry) -> StorageBreakdown {
+    let mut s = lru_baseline(geom);
+    s.tag_bits += geom.total_lines() as u64 * rank_bits(geom.ways());
+    s.monitor_bits += 4 * 16; // four 16-bit candidate miss counters
+    s
+}
+
+/// V-Way storage: double tag entries with forward pointers, plus reverse
+/// pointers and reuse counters on every data line.
+pub fn vway(geom: CacheGeometry, tag_data_ratio: usize, reuse_bits: u32) -> StorageBreakdown {
+    let base = lru_baseline(geom);
+    let lines = geom.total_lines() as u64;
+    let tag_entries = lines * tag_data_ratio as u64;
+    // Forward pointer addresses any data line.
+    let fptr = (usize::BITS - (geom.total_lines() - 1).leading_zeros()) as u64;
+    let per_tag = geom.tag_bits() as u64 + V_D_BITS + rank_bits(geom.ways() * tag_data_ratio) + fptr;
+    // Reverse pointer addresses any tag entry; plus the reuse counter.
+    let rptr = (usize::BITS - (tag_entries as usize - 1).leading_zeros()) as u64;
+    StorageBreakdown {
+        data_bits: base.data_bits,
+        tag_bits: tag_entries * per_tag,
+        monitor_bits: lines * (rptr + reuse_bits as u64),
+        ..StorageBreakdown::default()
+    }
+}
+
+/// SBC storage: baseline plus per-set saturation counters, a
+/// source/foreign bit per line, the association table and the DSS.
+pub fn sbc(geom: CacheGeometry, dss_capacity: usize, sat_bits: u32) -> StorageBreakdown {
+    let mut s = lru_baseline(geom);
+    let sets = geom.sets() as u64;
+    let index_bits = geom.index_bits() as u64;
+    s.tag_bits += geom.total_lines() as u64; // foreign bit
+    s.monitor_bits += sets * sat_bits as u64;
+    s.assoc_table_bits += sets * index_bits;
+    s.heap_bits += dss_capacity as u64 * (index_bits + sat_bits as u64);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_geom() -> CacheGeometry {
+        CacheGeometry::micro2010_l2()
+    }
+
+    #[test]
+    fn table3_field_widths() {
+        let g = paper_geom();
+        assert_eq!(g.tag_bits(), 27);
+        assert_eq!(g.index_bits(), 11);
+        assert_eq!(rank_bits(g.ways()), 4);
+    }
+
+    #[test]
+    fn stem_overhead_close_to_paper_3_1_percent() {
+        let g = paper_geom();
+        let base = lru_baseline(g);
+        let stem = stem(g, &StemConfig::micro2010());
+        let overhead = stem.overhead_vs(&base);
+        assert!(
+            (overhead - 0.031).abs() < 0.005,
+            "STEM overhead {overhead:.4} should be ≈ 3.1% (paper §5.4)"
+        );
+    }
+
+    #[test]
+    fn baseline_capacity_arithmetic() {
+        let g = paper_geom();
+        let base = lru_baseline(g);
+        assert_eq!(base.data_bits, 2 * 1024 * 1024 * 8);
+        assert_eq!(base.tag_bits, 32768 * 33); // 27 + V + D + 4-bit rank
+        assert_eq!(base.monitor_bits, 0);
+    }
+
+    #[test]
+    fn scheme_overhead_ordering() {
+        // DIP is nearly free; SBC is light; STEM pays for shadows; V-Way
+        // pays for doubled tags.
+        let g = paper_geom();
+        let base = lru_baseline(g);
+        let dip_oh = dip(g).overhead_vs(&base);
+        let sbc_oh = sbc(g, 16, 5).overhead_vs(&base);
+        let stem_oh = stem(g, &StemConfig::micro2010()).overhead_vs(&base);
+        let vway_oh = vway(g, 2, 2).overhead_vs(&base);
+        assert!(dip_oh < 0.001);
+        assert!(dip_oh < sbc_oh);
+        assert!(sbc_oh < stem_oh);
+        assert!(stem_oh < vway_oh, "V-Way's doubled tag store should cost more: {vway_oh}");
+    }
+
+    #[test]
+    fn overhead_vs_zero_baseline_is_zero() {
+        let empty = StorageBreakdown::default();
+        assert_eq!(empty.overhead_vs(&empty), 0.0);
+    }
+
+    #[test]
+    fn shadow_width_scales_monitor_cost() {
+        let g = paper_geom();
+        let narrow = stem(g, &StemConfig::micro2010().with_shadow_tag_bits(6));
+        let wide = stem(g, &StemConfig::micro2010().with_shadow_tag_bits(14));
+        assert!(narrow.monitor_bits < wide.monitor_bits);
+    }
+}

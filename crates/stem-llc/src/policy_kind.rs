@@ -1,0 +1,75 @@
+//! The two per-set replacement policies STEM duels between.
+
+use std::fmt;
+
+/// A set-level replacement policy: STEM adapts every LLC set between LRU
+/// and BIP, and each shadow set always runs the opposite of its LLC set
+/// (§4.3).
+///
+/// Both policies share the same victim rule (evict the LRU-ranked block)
+/// and hit rule (promote to MRU); they differ only in where a missed block
+/// is inserted — MRU for LRU, mostly-LRU for BIP.
+///
+/// # Examples
+///
+/// ```
+/// use stem_llc::PolicyKind;
+///
+/// assert_eq!(PolicyKind::Lru.opposite(), PolicyKind::Bip);
+/// assert_eq!(PolicyKind::Bip.opposite(), PolicyKind::Lru);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyKind {
+    /// Favor access recency: insert at MRU.
+    #[default]
+    Lru,
+    /// Bimodal insertion: insert at LRU except for a 1-in-2^throttle
+    /// chance of MRU.
+    Bip,
+}
+
+impl PolicyKind {
+    /// The opposing policy ("the shadow set adopts a replacement policy
+    /// opposite to that of the corresponding LLC set", §4.3).
+    #[inline]
+    #[must_use]
+    pub fn opposite(self) -> PolicyKind {
+        match self {
+            PolicyKind::Lru => PolicyKind::Bip,
+            PolicyKind::Bip => PolicyKind::Lru,
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyKind::Lru => f.write_str("LRU"),
+            PolicyKind::Bip => f.write_str("BIP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involutive() {
+        for p in [PolicyKind::Lru, PolicyKind::Bip] {
+            assert_eq!(p.opposite().opposite(), p);
+            assert_ne!(p.opposite(), p);
+        }
+    }
+
+    #[test]
+    fn default_is_lru() {
+        assert_eq!(PolicyKind::default(), PolicyKind::Lru);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PolicyKind::Lru.to_string(), "LRU");
+        assert_eq!(PolicyKind::Bip.to_string(), "BIP");
+    }
+}

@@ -1,0 +1,225 @@
+//! Shadow sets: the virtual extra capacity behind STEM's demand monitor.
+
+use stem_replacement::RecencyStack;
+use stem_sim_core::SplitMix64;
+
+use crate::PolicyKind;
+
+/// A shadow set holding m-bit hashed tags of an LLC set's victim blocks
+/// (§4.3).
+///
+/// The shadow set has the same associativity as its LLC set and "maintains
+/// its own independent ranking for all of its valid entries". Its three
+/// operations map to [`insert`](ShadowSet::insert) (victim hashed in),
+/// internal replacement by its own policy, and
+/// [`probe_invalidate`](ShadowSet::probe_invalidate) (looked up on an LLC
+/// miss; a hit invalidates the entry because the block re-enters the LLC
+/// set, keeping shadow and LLC contents exclusive).
+///
+/// # Examples
+///
+/// ```
+/// use stem_llc::{PolicyKind, ShadowSet};
+/// use stem_sim_core::SplitMix64;
+///
+/// let mut rng = SplitMix64::new(1);
+/// let mut shadow = ShadowSet::new(4);
+/// shadow.insert(0x2a, PolicyKind::Lru, 5, &mut rng);
+/// assert!(shadow.probe_invalidate(0x2a));
+/// assert!(!shadow.probe_invalidate(0x2a)); // exclusivity: gone after hit
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowSet {
+    entries: Vec<Option<u16>>,
+    ranks: RecencyStack,
+}
+
+impl ShadowSet {
+    /// Creates an empty shadow set with `ways` entries.
+    pub fn new(ways: usize) -> Self {
+        ShadowSet { entries: vec![None; ways], ranks: RecencyStack::new(ways) }
+    }
+
+    /// Number of entries.
+    pub fn ways(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of valid entries.
+    pub fn valid_entries(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// Whether `sig` is currently present (non-destructive; tests and
+    /// analysis only — the hardware path uses
+    /// [`probe_invalidate`](ShadowSet::probe_invalidate)).
+    pub fn contains(&self, sig: u16) -> bool {
+        self.entries.iter().any(|e| *e == Some(sig))
+    }
+
+    /// Inserts a victim signature under `policy` (the *shadow's* policy,
+    /// i.e. the opposite of the LLC set's). Replaces the entry in its LRU
+    /// position when full.
+    ///
+    /// Duplicate signatures are not inserted twice: a re-evicted block
+    /// refreshes its existing entry's position instead.
+    pub fn insert(
+        &mut self,
+        sig: u16,
+        policy: PolicyKind,
+        bip_throttle_log2: u32,
+        rng: &mut SplitMix64,
+    ) {
+        let way = if let Some(w) = self.entries.iter().position(|e| *e == Some(sig)) {
+            w
+        } else if let Some(w) = self.entries.iter().position(Option::is_none) {
+            self.entries[w] = Some(sig);
+            w
+        } else {
+            let w = self.ranks.lru_way();
+            self.entries[w] = Some(sig);
+            w
+        };
+        match policy {
+            PolicyKind::Lru => self.ranks.touch_mru(way),
+            PolicyKind::Bip => {
+                if rng.one_in_pow2(bip_throttle_log2) {
+                    self.ranks.touch_mru(way);
+                } else {
+                    self.ranks.demote_lru(way);
+                }
+            }
+        }
+    }
+
+    /// Probes for `sig`; on a hit the entry is invalidated (the block is
+    /// being re-fetched into the LLC set, and "the shadow set entries
+    /// \[must\] be strictly exclusive with the local blocks", §4.3).
+    /// Returns whether the signature was present.
+    pub fn probe_invalidate(&mut self, sig: u16) -> bool {
+        match self.entries.iter().position(|e| *e == Some(sig)) {
+            Some(w) => {
+                self.entries[w] = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Invalidates every entry (used when a set's monitor is reset).
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(99)
+    }
+
+    #[test]
+    fn insert_then_probe_hits_once() {
+        let mut s = ShadowSet::new(4);
+        let mut r = rng();
+        s.insert(7, PolicyKind::Lru, 5, &mut r);
+        assert_eq!(s.valid_entries(), 1);
+        assert!(s.probe_invalidate(7));
+        assert_eq!(s.valid_entries(), 0);
+        assert!(!s.probe_invalidate(7));
+    }
+
+    #[test]
+    fn lru_policy_keeps_recent_victims() {
+        let mut s = ShadowSet::new(2);
+        let mut r = rng();
+        for sig in 0..5u16 {
+            s.insert(sig, PolicyKind::Lru, 5, &mut r);
+        }
+        // With MRU insertion the two most recent signatures survive.
+        assert!(s.contains(3));
+        assert!(s.contains(4));
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn bip_policy_keeps_old_victims() {
+        let mut s = ShadowSet::new(2);
+        let mut r = rng();
+        // Fill with two signatures, then stream many more under BIP: the
+        // early entries should mostly survive (thrash resistance).
+        s.insert(100, PolicyKind::Bip, 5, &mut r);
+        s.insert(101, PolicyKind::Bip, 5, &mut r);
+        let mut survived = 0;
+        for trial in 0..50u16 {
+            let mut s2 = s.clone();
+            let mut r2 = SplitMix64::new(trial as u64);
+            for sig in 0..8u16 {
+                s2.insert(sig, PolicyKind::Bip, 5, &mut r2);
+            }
+            if s2.contains(100) || s2.contains(101) {
+                survived += 1;
+            }
+        }
+        assert!(survived > 35, "BIP shadow should protect old entries: {survived}/50");
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_duplicate() {
+        let mut s = ShadowSet::new(4);
+        let mut r = rng();
+        s.insert(9, PolicyKind::Lru, 5, &mut r);
+        s.insert(9, PolicyKind::Lru, 5, &mut r);
+        assert_eq!(s.valid_entries(), 1);
+        assert!(s.probe_invalidate(9));
+        assert!(!s.probe_invalidate(9));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = ShadowSet::new(4);
+        let mut r = rng();
+        for sig in 0..4u16 {
+            s.insert(sig, PolicyKind::Lru, 5, &mut r);
+        }
+        s.clear();
+        assert_eq!(s.valid_entries(), 0);
+    }
+
+    proptest! {
+        /// Valid-entry count never exceeds associativity, and a probe hit
+        /// always removes exactly one entry.
+        #[test]
+        fn occupancy_invariant(ops in proptest::collection::vec((0u16..32, proptest::bool::ANY), 0..200)) {
+            let mut s = ShadowSet::new(4);
+            let mut r = rng();
+            for (sig, is_insert) in ops {
+                if is_insert {
+                    s.insert(sig, PolicyKind::Lru, 5, &mut r);
+                } else {
+                    let before = s.valid_entries();
+                    let hit = s.probe_invalidate(sig);
+                    prop_assert_eq!(s.valid_entries(), before - usize::from(hit));
+                }
+                prop_assert!(s.valid_entries() <= 4);
+            }
+        }
+
+        /// No duplicate signatures ever coexist.
+        #[test]
+        fn no_duplicate_signatures(sigs in proptest::collection::vec(0u16..8, 0..100)) {
+            let mut s = ShadowSet::new(4);
+            let mut r = rng();
+            for sig in sigs {
+                s.insert(sig, PolicyKind::Bip, 5, &mut r);
+                let count = s.entries.iter().filter(|e| **e == Some(sig)).count();
+                prop_assert_eq!(count, 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The three workload classes of the paper's Fig. 6.
+
+use std::fmt;
+
+/// The paper's classification of applications by their set-level capacity
+/// demand features (Fig. 6, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Set-level **non-uniform** capacity demands: improvable by spatial
+    /// schemes (V-Way, SBC) in some capacity range. Examples: ammp, apsi,
+    /// astar, omnetpp, xalancbmk.
+    I,
+    /// **Poor temporal locality**: improvable by advanced temporal schemes
+    /// (DIP, PeLIFO) in some capacity range. Examples: art, cactusADM,
+    /// galgel, mcf, sphinx3.
+    II,
+    /// Uniform demands **and** good temporal locality: plain LRU is
+    /// sufficient. Examples: gobmk, gromacs, soplex, twolf, vpr.
+    III,
+}
+
+impl WorkloadClass {
+    /// All classes, in paper order.
+    pub const ALL: [WorkloadClass; 3] = [WorkloadClass::I, WorkloadClass::II, WorkloadClass::III];
+}
+
+impl fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadClass::I => f.write_str("Class I"),
+            WorkloadClass::II => f.write_str("Class II"),
+            WorkloadClass::III => f.write_str("Class III"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_distinct_classes() {
+        assert_eq!(WorkloadClass::ALL.len(), 3);
+        assert_ne!(WorkloadClass::I, WorkloadClass::II);
+        assert_eq!(WorkloadClass::I.to_string(), "Class I");
+    }
+}

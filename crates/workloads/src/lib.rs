@@ -1,0 +1,50 @@
+//! Workload generation for the STEM reproduction.
+//!
+//! The paper evaluates on 15 SPEC CPU 2000/2006 benchmarks executed under
+//! M5. Neither the binaries nor their traces are available here, so this
+//! crate builds *statistical analogs*: trace generators parameterised by
+//! exactly the properties the paper shows matter —
+//!
+//! * the per-set capacity-demand distribution (Fig. 1's non-uniformity);
+//! * the per-set temporal mode (LRU-friendly reuse, cyclic thrashing,
+//!   streaming, mixed scans);
+//! * the access intensity (accesses per kilo-instruction), calibrated so
+//!   LRU MPKI approximates Table 2.
+//!
+//! See `DESIGN.md` §1 for the substitution rationale.
+//!
+//! Contents:
+//!
+//! * [`synthetic`] — the hand-built two-set workloads of Fig. 2
+//!   (Examples #1–#3), with exact expected miss rates;
+//! * [`SetPattern`] / [`PatternState`] — per-set reference generators;
+//! * [`BenchmarkProfile`] / [`spec2010_suite`] — the 15 benchmark analogs
+//!   with their Table 2 classes;
+//! * [`WorkloadClass`] — Class I / II / III of Fig. 6.
+//!
+//! # Examples
+//!
+//! ```
+//! use stem_workloads::{spec2010_suite, WorkloadClass};
+//! use stem_sim_core::CacheGeometry;
+//!
+//! let suite = spec2010_suite();
+//! assert_eq!(suite.len(), 15);
+//! let ammp = suite.iter().find(|b| b.name() == "ammp").unwrap();
+//! assert_eq!(ammp.class(), WorkloadClass::I);
+//! let trace = ammp.trace(CacheGeometry::new(64, 4, 64).unwrap(), 10_000);
+//! assert_eq!(trace.len(), 10_000);
+//! ```
+
+mod classes;
+mod mix;
+mod pattern;
+mod profile;
+pub mod synthetic;
+mod zipf;
+
+pub use classes::WorkloadClass;
+pub use mix::WorkloadMix;
+pub use pattern::{PatternState, SetPattern};
+pub use profile::{spec2010_suite, BenchmarkProfile, DemandBucket, REFERENCE_SETS};
+pub use zipf::Zipf;

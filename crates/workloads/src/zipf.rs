@@ -1,0 +1,108 @@
+//! A small Zipf(θ) sampler for skewed reuse patterns.
+
+use stem_sim_core::SplitMix64;
+
+/// A Zipf-distributed sampler over `0..n` (rank 0 most popular).
+///
+/// Uses an inverted-CDF table; construction is O(n), sampling is
+/// O(log n).
+///
+/// # Examples
+///
+/// ```
+/// use stem_workloads::Zipf;
+/// use stem_sim_core::SplitMix64;
+///
+/// let z = Zipf::new(100, 0.9);
+/// let mut rng = SplitMix64::new(1);
+/// let x = z.sample(&mut rng);
+/// assert!(x < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` (0 = uniform,
+    /// larger = more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the population is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = SplitMix64::new(3);
+        let low = (0..10_000).filter(|_| z.sample(&mut rng) < 10).count();
+        assert!(low > 5_000, "Zipf(1.2) should mostly hit the top ranks: {low}");
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SplitMix64::new(4);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 600 && c < 1400, "uniform bucket out of range: {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn empty_population_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

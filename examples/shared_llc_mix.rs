@@ -1,0 +1,42 @@
+//! Beyond the paper: run a multiprogrammed mix through a shared LLC, with
+//! and without a next-line prefetcher, comparing LRU against STEM.
+//!
+//! ```sh
+//! cargo run --release --example shared_llc_mix
+//! ```
+
+use stem::analysis::{build_cache, Scheme};
+use stem::hierarchy::{System, SystemConfig};
+use stem::sim_core::CacheGeometry;
+use stem::workloads::{BenchmarkProfile, WorkloadMix};
+
+fn main() {
+    let geom = CacheGeometry::micro2010_l2();
+    let mix = WorkloadMix::new(vec![
+        (BenchmarkProfile::by_name("omnetpp").expect("suite"), 1.0),
+        (BenchmarkProfile::by_name("gromacs").expect("suite"), 1.0),
+    ]);
+    let trace = mix.trace(geom, 600_000, 42);
+    let warm = trace.iter().take(120_000).copied().collect();
+    let measured = trace.iter().skip(120_000).copied().collect();
+
+    println!("shared-LLC mix: omnetpp + gromacs, 2MB 16-way L2\n");
+    for scheme in [Scheme::Lru, Scheme::Stem] {
+        for degree in [0usize, 2] {
+            let cfg = SystemConfig::micro2010().with_prefetcher(degree);
+            let mut system = System::new(cfg, build_cache(scheme, geom));
+            let m = system.warm_then_run(&warm, &measured);
+            println!(
+                "{:<5} prefetch degree {degree}: MPKI {:.3}  AMAT {:.2}  CPI {:.3}",
+                scheme.label(),
+                m.mpki,
+                m.amat,
+                m.cpi
+            );
+        }
+    }
+    println!(
+        "\n(The paper studies a private LLC; this example shows the same\n\
+         machinery driving a shared-LLC, prefetch-enabled study.)"
+    );
+}

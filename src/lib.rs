@@ -1,0 +1,12 @@
+//! Facade crate for the STEM LLC reproduction workspace.
+//!
+//! Re-exports every crate of the workspace under a single dependency so the
+//! examples and integration tests can use one import root.
+
+pub use stem_analysis as analysis;
+pub use stem_hierarchy as hierarchy;
+pub use stem_llc as llc;
+pub use stem_replacement as replacement;
+pub use stem_sim_core as sim_core;
+pub use stem_spatial as spatial;
+pub use stem_workloads as workloads;

@@ -1,0 +1,100 @@
+//! Property tests run against *every* scheme in the workspace through the
+//! facade: accounting conservation, determinism, hit-after-access, and
+//! capacity sanity under arbitrary traffic.
+
+use proptest::prelude::*;
+use stem::analysis::{build_cache, Scheme};
+use stem::sim_core::{AccessKind, CacheGeometry, CacheModel};
+
+fn small_geom() -> CacheGeometry {
+    CacheGeometry::new(8, 2, 64).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every access is accounted exactly once as hit or miss, for every
+    /// scheme.
+    #[test]
+    fn accounting_conserved(
+        accesses in proptest::collection::vec((0u64..48, proptest::bool::ANY), 1..250)
+    ) {
+        let geom = small_geom();
+        for scheme in Scheme::ALL {
+            let mut cache = build_cache(scheme, geom);
+            for &(tag, w) in &accesses {
+                let kind = if w { AccessKind::Write } else { AccessKind::Read };
+                cache.access(geom.address_of(tag / 8, (tag % 8) as usize), kind);
+            }
+            prop_assert_eq!(
+                cache.stats().accesses(),
+                accesses.len() as u64,
+                "{} lost accesses", scheme
+            );
+            prop_assert_eq!(
+                cache.stats().hits() + cache.stats().misses(),
+                accesses.len() as u64
+            );
+        }
+    }
+
+    /// Replaying the same trace twice gives bit-identical statistics for
+    /// every scheme (global determinism).
+    #[test]
+    fn deterministic_replay(
+        accesses in proptest::collection::vec(0u64..64, 1..200)
+    ) {
+        let geom = small_geom();
+        for scheme in Scheme::ALL {
+            let run = || {
+                let mut cache = build_cache(scheme, geom);
+                for &tag in &accesses {
+                    cache.access(
+                        geom.address_of(tag / 8, (tag % 8) as usize),
+                        AccessKind::Read,
+                    );
+                }
+                *cache.stats()
+            };
+            prop_assert_eq!(run(), run(), "{} is nondeterministic", scheme);
+        }
+    }
+
+    /// Immediately re-accessing the address just touched always hits, for
+    /// every scheme (no scheme may drop the block it just inserted).
+    #[test]
+    fn immediate_rehit(
+        accesses in proptest::collection::vec(0u64..64, 1..150)
+    ) {
+        let geom = small_geom();
+        for scheme in Scheme::ALL {
+            let mut cache = build_cache(scheme, geom);
+            for &tag in &accesses {
+                let a = geom.address_of(tag / 8, (tag % 8) as usize);
+                cache.access(a, AccessKind::Read);
+                let r = cache.access(a, AccessKind::Read);
+                prop_assert!(r.is_hit(), "{} dropped a just-inserted block", scheme);
+            }
+        }
+    }
+
+    /// A working set that fits one set never suffers conflict misses
+    /// beyond the cold ones under any *conventional* scheme, and no
+    /// scheme ever reports more misses than accesses.
+    #[test]
+    fn fitting_working_set(tags in proptest::collection::vec(0u64..2, 1..120)) {
+        let geom = small_geom(); // 2 ways, 2 distinct tags fit
+        for scheme in Scheme::ALL {
+            let mut cache = build_cache(scheme, geom);
+            for &tag in &tags {
+                cache.access(geom.address_of(tag, 0), AccessKind::Read);
+            }
+            let distinct = tags.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+            prop_assert!(
+                cache.stats().misses() >= distinct,
+                "{} reported fewer misses than cold misses", scheme
+            );
+            prop_assert!(cache.stats().misses() <= tags.len() as u64);
+        }
+    }
+}

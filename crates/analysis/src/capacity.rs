@@ -39,7 +39,9 @@ impl DemandHistogram {
         let mut out = vec![self.count(0) as f64 / total];
         let mut d = 1;
         while d <= self.max_ways() {
-            let band: usize = (d..(d + 2).min(self.max_ways() + 1)).map(|x| self.count(x)).sum();
+            let band: usize = (d..(d + 2).min(self.max_ways() + 1))
+                .map(|x| self.count(x))
+                .sum();
             out.push(band as f64 / total);
             d += 2;
         }
@@ -93,7 +95,11 @@ impl CapacityDemandProfiler {
     pub fn new(geom: CacheGeometry, max_ways: usize, period: usize) -> Self {
         assert!(max_ways > 0, "demand bound must be positive");
         assert!(period > 0, "sampling period must be positive");
-        CapacityDemandProfiler { geom, max_ways, period }
+        CapacityDemandProfiler {
+            geom,
+            max_ways,
+            period,
+        }
     }
 
     /// The paper's Fig. 1 settings: 2048 sets, demand bound 32, 50 000
@@ -183,7 +189,11 @@ mod tests {
             let periods = profiler.profile(&cyclic_trace(g, 0, k, 4));
             assert_eq!(periods.len(), 1);
             let h = &periods[0];
-            assert_eq!(h.count(k as usize), 1, "cycle of {k} should demand {k} ways");
+            assert_eq!(
+                h.count(k as usize),
+                1,
+                "cycle of {k} should demand {k} ways"
+            );
         }
     }
 
@@ -191,7 +201,9 @@ mod tests {
     fn streaming_set_demands_zero() {
         let g = geom();
         let profiler = CapacityDemandProfiler::new(g, 32, 1_000_000);
-        let t: Trace = (0..100u64).map(|i| Access::read(g.address_of(i, 1))).collect();
+        let t: Trace = (0..100u64)
+            .map(|i| Access::read(g.address_of(i, 1)))
+            .collect();
         let h = &profiler.profile(&t)[0];
         // Set 1 streams (no reuse): demand 0. All other sets idle: also 0.
         assert_eq!(h.count(0), 4);

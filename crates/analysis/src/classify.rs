@@ -78,7 +78,12 @@ pub fn classify_workload(geom: CacheGeometry, trace: &Trace) -> ClassificationRe
     } else {
         WorkloadClass::III
     };
-    ClassificationReport { class, need, slack, bip_ratio }
+    ClassificationReport {
+        class,
+        need,
+        slack,
+        bip_ratio,
+    }
 }
 
 /// Average per-set ways demanded beyond the associativity (`need`) and

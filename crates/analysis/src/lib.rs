@@ -35,7 +35,10 @@ pub use capacity::{CapacityDemandProfiler, DemandHistogram};
 pub use classify::{classify_workload, ClassificationReport};
 pub use mrc::MissRateCurve;
 pub use report::{geomean, Table};
-pub use scheme::{assoc_sweep, build_cache, run_scheme, run_scheme_warmed, run_system, Scheme};
+pub use scheme::{
+    assoc_sweep, build_audited_cache, build_cache, run_scheme, run_scheme_warmed, run_system,
+    Scheme,
+};
 pub use stack_distance::StackDistance;
 
 pub use stem_hierarchy::SystemMetrics;

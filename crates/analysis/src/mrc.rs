@@ -55,7 +55,11 @@ impl MissRateCurve {
                 _ => cold += 1,
             }
         }
-        MissRateCurve { hits_at, cold, accesses: trace.len() as u64 }
+        MissRateCurve {
+            hits_at,
+            cold,
+            accesses: trace.len() as u64,
+        }
     }
 
     /// The largest associativity the curve covers.
@@ -87,7 +91,9 @@ impl MissRateCurve {
 
     /// The whole curve as `(ways, miss_rate)` points.
     pub fn points(&self) -> Vec<(usize, f64)> {
-        (1..=self.max_ways()).map(|w| (w, self.miss_rate(w))).collect()
+        (1..=self.max_ways())
+            .map(|w| (w, self.miss_rate(w)))
+            .collect()
     }
 
     /// The smallest associativity whose miss rate is within `epsilon` of

@@ -6,7 +6,7 @@ use std::str::FromStr;
 use stem_hierarchy::{System, SystemConfig, SystemMetrics};
 use stem_llc::{StemCache, StemConfig};
 use stem_replacement::{Bip, Dip, Drrip, Lru, Nru, PeLifo, Plru, SetAssocCache, Srrip};
-use stem_sim_core::{CacheGeometry, CacheModel, Trace};
+use stem_sim_core::{AuditedCacheModel, CacheGeometry, CacheModel, Trace};
 use stem_spatial::{SbcCache, StaticSbcCache, VWayCache, VictimCache};
 
 /// Every LLC scheme the workspace can evaluate.
@@ -46,8 +46,14 @@ pub enum Scheme {
 impl Scheme {
     /// The five schemes of the paper's comparison figures plus STEM, in
     /// figure order.
-    pub const PAPER: [Scheme; 6] =
-        [Scheme::Lru, Scheme::Dip, Scheme::PeLifo, Scheme::VWay, Scheme::Sbc, Scheme::Stem];
+    pub const PAPER: [Scheme; 6] = [
+        Scheme::Lru,
+        Scheme::Dip,
+        Scheme::PeLifo,
+        Scheme::VWay,
+        Scheme::Sbc,
+        Scheme::Stem,
+    ];
 
     /// Display name matching the paper's figure legends.
     pub fn label(&self) -> &'static str {
@@ -118,6 +124,30 @@ impl FromStr for Scheme {
 
 /// Constructs an LLC of the given scheme and geometry.
 pub fn build_cache(scheme: Scheme, geom: CacheGeometry) -> Box<dyn CacheModel> {
+    match scheme {
+        Scheme::Lru => Box::new(SetAssocCache::new(geom, Box::new(Lru::new(geom)))),
+        Scheme::Dip => Box::new(SetAssocCache::new(geom, Box::new(Dip::new(geom)))),
+        Scheme::PeLifo => Box::new(SetAssocCache::new(geom, Box::new(PeLifo::new(geom)))),
+        Scheme::VWay => Box::new(VWayCache::new(geom)),
+        Scheme::Sbc => Box::new(SbcCache::new(geom)),
+        Scheme::Stem => Box::new(StemCache::with_config(geom, StemConfig::micro2010())),
+        Scheme::Bip => Box::new(SetAssocCache::new(geom, Box::new(Bip::new(geom)))),
+        Scheme::Srrip => Box::new(SetAssocCache::new(geom, Box::new(Srrip::new(geom)))),
+        Scheme::Drrip => Box::new(SetAssocCache::new(geom, Box::new(Drrip::new(geom)))),
+        Scheme::Plru => Box::new(SetAssocCache::new(geom, Box::new(Plru::new(geom)))),
+        Scheme::Nru => Box::new(SetAssocCache::new(geom, Box::new(Nru::new(geom)))),
+        Scheme::SbcStatic => Box::new(StaticSbcCache::new(geom)),
+        Scheme::VictimCache => Box::new(VictimCache::new(geom, 16)),
+    }
+}
+
+/// Constructs an LLC of the given scheme with the checked-mode surface:
+/// the returned cache exposes
+/// [`InvariantAuditor`](stem_sim_core::InvariantAuditor) so callers can run
+/// it under [`run_audited`](stem_sim_core::run_audited), auditing its
+/// internal structures at a configurable stride. Every scheme in
+/// [`Scheme::ALL`] is covered.
+pub fn build_audited_cache(scheme: Scheme, geom: CacheGeometry) -> Box<dyn AuditedCacheModel> {
     match scheme {
         Scheme::Lru => Box::new(SetAssocCache::new(geom, Box::new(Lru::new(geom)))),
         Scheme::Dip => Box::new(SetAssocCache::new(geom, Box::new(Dip::new(geom)))),
@@ -219,11 +249,28 @@ mod tests {
     #[test]
     fn all_schemes_build_and_run() {
         let geom = small();
-        let trace: Trace = (0..500u64).map(|i| Access::read(Address::new(i % 128 * 64))).collect();
+        let trace: Trace = (0..500u64)
+            .map(|i| Access::read(Address::new(i % 128 * 64)))
+            .collect();
         for scheme in Scheme::ALL {
             let mut c = build_cache(scheme, geom);
             c.run(&trace);
             assert_eq!(c.stats().accesses(), 500, "{scheme} lost accesses");
+        }
+    }
+
+    #[test]
+    fn all_schemes_pass_audits_under_traffic() {
+        use stem_sim_core::run_audited;
+        let geom = small();
+        let trace: Trace = (0..2_000u64)
+            .map(|i| Access::read(Address::new(i % 300 * 64)))
+            .collect();
+        for scheme in Scheme::ALL {
+            let mut c = build_audited_cache(scheme, geom);
+            run_audited(c.as_mut(), &trace, 256)
+                .unwrap_or_else(|e| panic!("{scheme} failed its audit: {e}"));
+            assert_eq!(c.stats().accesses(), 2_000, "{scheme} lost accesses");
         }
     }
 
@@ -240,7 +287,9 @@ mod tests {
     fn run_scheme_returns_mpki() {
         let geom = small();
         // Streaming trace: every access misses → MPKI == 1000 (gap 1).
-        let trace: Trace = (0..1000u64).map(|i| Access::read(Address::new(i * 64))).collect();
+        let trace: Trace = (0..1000u64)
+            .map(|i| Access::read(Address::new(i * 64)))
+            .collect();
         let mpki = run_scheme(Scheme::Lru, geom, &trace);
         assert!((mpki - 1000.0).abs() < 1e-9);
     }
@@ -248,7 +297,9 @@ mod tests {
     #[test]
     fn assoc_sweep_covers_points() {
         let geom = small();
-        let trace = BenchmarkProfile::by_name("gromacs").unwrap().trace(geom, 5_000);
+        let trace = BenchmarkProfile::by_name("gromacs")
+            .unwrap()
+            .trace(geom, 5_000);
         let sweep = assoc_sweep(Scheme::Lru, geom, &[1, 2, 4, 8], &trace);
         assert_eq!(sweep.len(), 4);
         for (w, mpki) in sweep {
@@ -259,7 +310,9 @@ mod tests {
     #[test]
     fn run_system_with_warmup() {
         let geom = small();
-        let trace = BenchmarkProfile::by_name("gromacs").unwrap().trace(geom, 10_000);
+        let trace = BenchmarkProfile::by_name("gromacs")
+            .unwrap()
+            .trace(geom, 10_000);
         let m = run_system(Scheme::Stem, geom, SystemConfig::micro2010(), &trace, 0.2);
         assert!(m.accesses > 0);
         assert!(m.cpi > 0.0);

@@ -39,7 +39,11 @@ impl StackDistance {
     /// Panics if `depth` is zero.
     pub fn new(geom: CacheGeometry, depth: usize) -> Self {
         assert!(depth > 0, "stack depth must be positive");
-        StackDistance { geom, depth, stacks: vec![Vec::new(); geom.sets()] }
+        StackDistance {
+            geom,
+            depth,
+            stacks: vec![Vec::new(); geom.sets()],
+        }
     }
 
     /// The bound on measurable distances.

@@ -1,50 +1,40 @@
-//! Criterion benchmarks: simulation throughput of every LLC scheme.
+//! Simulation-throughput bench: every LLC scheme replays a fixed
+//! omnetpp-analog trace slice at the paper's L2 geometry, so the numbers
+//! compare the *cost of the management machinery* (shadow sets, heaps,
+//! pointer chasing), not the workload.
 //!
-//! Each benchmark replays a fixed omnetpp-analog trace slice through one
-//! scheme at the paper's L2 geometry, so the numbers compare the *cost of
-//! the management machinery* (shadow sets, heaps, pointer chasing), not
-//! the workload.
+//! A plain `harness = false` binary timed with `std::time` — the
+//! workspace builds offline with no benchmarking dependency. Run with
+//! `cargo bench -p stem-bench --bench scheme_throughput`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use stem_analysis::{build_cache, Scheme};
+use stem_bench::timing::{best_of, throughput_line};
 use stem_sim_core::CacheGeometry;
 use stem_workloads::BenchmarkProfile;
 
-fn scheme_throughput(c: &mut Criterion) {
+fn main() {
     let geom = CacheGeometry::micro2010_l2();
     let trace = BenchmarkProfile::by_name("omnetpp")
         .expect("suite benchmark")
         .trace(geom, 100_000);
 
-    let mut group = c.benchmark_group("scheme_access");
-    group.throughput(Throughput::Elements(trace.len() as u64));
+    println!(
+        "# scheme_access ({} accesses/iteration, best of 5)",
+        trace.len()
+    );
     for scheme in Scheme::PAPER {
-        group.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &s| {
-            b.iter_batched(
-                || build_cache(s, geom),
-                |mut cache| {
-                    for a in &trace {
-                        cache.access(a.addr, a.kind);
-                    }
-                    cache.stats().misses()
-                },
-                criterion::BatchSize::LargeInput,
-            )
+        let d = best_of(5, || {
+            let mut cache = build_cache(scheme, geom);
+            for a in &trace {
+                cache.access(a.addr, a.kind);
+            }
+            cache.stats().misses()
         });
+        println!("{}", throughput_line(scheme.label(), trace.len() as u64, d));
     }
-    group.finish();
-}
 
-fn trace_generation(c: &mut Criterion) {
-    let geom = CacheGeometry::micro2010_l2();
     let bench = BenchmarkProfile::by_name("mcf").expect("suite benchmark");
-    let mut group = c.benchmark_group("workload");
-    group.throughput(Throughput::Elements(50_000));
-    group.bench_function("generate_mcf_50k", |b| {
-        b.iter(|| bench.trace(geom, 50_000).len())
-    });
-    group.finish();
+    let d = best_of(5, || bench.trace(geom, 50_000).len());
+    println!("\n# workload");
+    println!("{}", throughput_line("generate_mcf_50k", 50_000, d));
 }
-
-criterion_group!(benches, scheme_throughput, trace_generation);
-criterion_main!(benches);

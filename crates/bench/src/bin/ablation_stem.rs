@@ -36,14 +36,21 @@ fn main() {
     let probes = ["omnetpp", "cactusADM", "twolf"]; // Class I / II / III
     let traces: Vec<Trace> = probes
         .iter()
-        .map(|n| BenchmarkProfile::by_name(n).expect("suite benchmark").trace(geom, accesses))
+        .map(|n| {
+            BenchmarkProfile::by_name(n)
+                .expect("suite benchmark")
+                .trace(geom, accesses)
+        })
         .collect();
 
     let base = StemConfig::micro2010();
     let variants: Vec<(&str, StemConfig)> = vec![
         ("full STEM (Table 3)", base),
         ("no receive constraint", base.with_receive_constraint(false)),
-        ("no temporal adaptation", base.with_temporal_adaptation(false)),
+        (
+            "no temporal adaptation",
+            base.with_temporal_adaptation(false),
+        ),
         ("no spatial coupling", base.with_spatial_coupling(false)),
         ("m = 6 (narrow shadow tags)", base.with_shadow_tag_bits(6)),
         ("m = 14 (wide shadow tags)", base.with_shadow_tag_bits(14)),

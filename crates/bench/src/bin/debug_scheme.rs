@@ -16,9 +16,14 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2_000_000);
-    let ways: usize = std::env::var("WAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
+    let ways: usize = std::env::var("WAYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
     let geom = CacheGeometry::new(2048, ways, 64).expect("valid geometry");
-    let trace = BenchmarkProfile::by_name(&bench).expect("known benchmark").trace(geom, accesses);
+    let trace = BenchmarkProfile::by_name(&bench)
+        .expect("known benchmark")
+        .trace(geom, accesses);
     let mut cache: Box<dyn CacheModel> = match std::env::var("ABLATE").as_deref() {
         Ok("temporal") => Box::new(StemCache::with_config(
             geom,

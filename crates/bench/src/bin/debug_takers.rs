@@ -19,12 +19,22 @@ fn main() {
     for s in 0..geom.sets() {
         let m = stem.monitor(s);
         hist[m.saturation_level() as usize] += 1;
-        if m.is_taker() { takers += 1; }
-        if m.is_giver() { givers += 1; }
-        if stem.associations().is_coupled(s) { coupled += 1; }
+        if m.is_taker() {
+            takers += 1;
+        }
+        if m.is_giver() {
+            givers += 1;
+        }
+        if stem.associations().is_coupled(s) {
+            coupled += 1;
+        }
     }
     println!("{bench}: takers={takers} givers={givers} coupled={coupled}");
     println!("SC_S histogram: {hist:?}");
     println!("stats: {}", stem.stats());
-    println!("spills={} coop_hits={}", stem.stats().spills(), stem.stats().coop_hits());
+    println!(
+        "spills={} coop_hits={}",
+        stem.stats().spills(),
+        stem.stats().coop_hits()
+    );
 }

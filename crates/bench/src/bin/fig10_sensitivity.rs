@@ -15,7 +15,11 @@ fn main() {
 
     for bench in sensitivity_benchmarks() {
         let trace = bench.trace(base, accesses);
-        eprintln!("Fig. 10 ({}) sweeping {} points x 6 schemes...", bench.name(), ways.len());
+        eprintln!(
+            "Fig. 10 ({}) sweeping {} points x 6 schemes...",
+            bench.name(),
+            ways.len()
+        );
         let mut headers = vec!["assoc".to_owned()];
         headers.extend(Scheme::PAPER.iter().map(|s| s.label().to_owned()));
         let mut t = Table::new(headers);

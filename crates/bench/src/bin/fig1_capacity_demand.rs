@@ -30,7 +30,10 @@ fn main() {
 
         let agg = CapacityDemandProfiler::aggregate(&hists);
         println!("\nFigure 1 ({name}) — set-level capacity demand distribution");
-        println!("(fraction of sets per demand band, averaged over {} periods)\n", hists.len());
+        println!(
+            "(fraction of sets per demand band, averaged over {} periods)\n",
+            hists.len()
+        );
         let mut t = Table::new(vec!["band (ways)".into(), "fraction".into(), "bar".into()]);
         let banded = agg.banded();
         let labels: Vec<String> = std::iter::once("0".to_owned())

@@ -12,12 +12,22 @@ use stem_sim_core::CacheGeometry;
 fn main() {
     let base = CacheGeometry::micro2010_l2();
     let accesses = accesses_per_benchmark();
-    let schemes = [Scheme::Lru, Scheme::Dip, Scheme::PeLifo, Scheme::VWay, Scheme::Sbc];
+    let schemes = [
+        Scheme::Lru,
+        Scheme::Dip,
+        Scheme::PeLifo,
+        Scheme::VWay,
+        Scheme::Sbc,
+    ];
     let ways = sweep_ways();
 
     for bench in sensitivity_benchmarks() {
         let trace = bench.trace(base, accesses);
-        eprintln!("Fig. 3 ({}) sweeping {} points...", bench.name(), ways.len());
+        eprintln!(
+            "Fig. 3 ({}) sweeping {} points...",
+            bench.name(),
+            ways.len()
+        );
         let mut headers = vec!["assoc".to_owned()];
         headers.extend(schemes.iter().map(|s| s.label().to_owned()));
         let mut t = Table::new(headers);
@@ -29,7 +39,10 @@ fn main() {
             let values: Vec<f64> = series.iter().map(|v| v[i].1).collect();
             t.row_f64(&w.to_string(), &values);
         }
-        println!("\nFigure 3 ({}) — MPKI vs associativity (2048 sets)\n", bench.name());
+        println!(
+            "\nFigure 3 ({}) — MPKI vs associativity (2048 sets)\n",
+            bench.name()
+        );
         println!("{t}");
     }
 }

@@ -14,7 +14,11 @@ fn main() {
     let geom = CacheGeometry::micro2010_l2();
     let cfg = SystemConfig::micro2010();
     let accesses = accesses_per_benchmark();
-    let schemes: Vec<Scheme> = Scheme::ALL.iter().copied().filter(|&s| s != Scheme::Lru).collect();
+    let schemes: Vec<Scheme> = Scheme::ALL
+        .iter()
+        .copied()
+        .filter(|&s| s != Scheme::Lru)
+        .collect();
 
     let mut headers = vec!["benchmark".to_owned()];
     headers.extend(schemes.iter().map(|s| s.label().to_owned()));

@@ -8,12 +8,21 @@
 //! `STEM_SWEEP_ACCESSES` the associativity sweeps, `STEM_PERIODS` the
 //! Fig. 1 sampling periods, and `STEM_CSV_DIR` (optional) a directory to
 //! also write each table as a CSV file for plotting.
+//!
+//! Every experiment runs isolated on its own thread with a wall-clock
+//! budget (`STEM_EXPERIMENT_BUDGET_SECS`): a panicking or hanging
+//! experiment is reported and skipped, the remaining tables still print,
+//! and the process exits nonzero. `STEM_INJECT_PANIC=<experiment>`
+//! deliberately crashes one experiment to exercise that path.
+
+use std::process::ExitCode;
 
 use stem_analysis::{assoc_sweep, geomean, CapacityDemandProfiler, Scheme, Table};
 use stem_bench::harness::{
     accesses_per_benchmark, normalized_table, run_benchmark_matrix, sensitivity_benchmarks,
     sweep_ways,
 };
+use stem_bench::resilience::ExperimentRunner;
 use stem_llc::{overhead, StemConfig};
 use stem_sim_core::CacheGeometry;
 use stem_workloads::BenchmarkProfile;
@@ -22,15 +31,15 @@ use stem_workloads::BenchmarkProfile;
 fn maybe_csv(name: &str, table: &Table) {
     if let Ok(dir) = std::env::var("STEM_CSV_DIR") {
         let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
-        if let Err(e) = std::fs::create_dir_all(&dir)
-            .and_then(|_| std::fs::write(&path, table.to_csv()))
+        if let Err(e) =
+            std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, table.to_csv()))
         {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
     let geom = CacheGeometry::micro2010_l2();
     let accesses = accesses_per_benchmark();
     let sweep_accesses: usize = std::env::var("STEM_SWEEP_ACCESSES")
@@ -42,86 +51,125 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(20);
 
+    let mut runner = ExperimentRunner::new();
+
     println!("# STEM reproduction — full experiment run");
     println!(
-        "\nconfig: {} accesses/benchmark, {} accesses/sweep-point, {} Fig.1 periods\n",
-        accesses, sweep_accesses, periods
+        "\nconfig: {} accesses/benchmark, {} accesses/sweep-point, {} Fig.1 periods, {}s/experiment budget\n",
+        accesses,
+        sweep_accesses,
+        periods,
+        runner.budget().as_secs()
     );
 
     // ---- Fig. 1 -----------------------------------------------------
     for name in ["omnetpp", "ammp"] {
-        let bench = BenchmarkProfile::by_name(name).expect("suite benchmark");
-        let trace = bench.trace(geom, periods * 50_000);
-        let hists = CapacityDemandProfiler::micro2010(geom).profile(&trace);
-        let agg = CapacityDemandProfiler::aggregate(&hists);
-        println!(
-            "## Fig. 1 ({name}): demand <= 4 ways: {:.2}, <= 16 ways: {:.2}, zero-demand: {:.2}",
-            agg.fraction_at_most(4),
-            agg.fraction_at_most(16),
-            agg.fraction_at_most(0),
-        );
+        let outcome = runner.run_value(&format!("fig1_{name}"), move || {
+            let bench = BenchmarkProfile::by_name(name).expect("suite benchmark");
+            let trace = bench.trace(geom, periods * 50_000);
+            let hists = CapacityDemandProfiler::micro2010(geom).profile(&trace);
+            let agg = CapacityDemandProfiler::aggregate(&hists);
+            (
+                agg.fraction_at_most(4),
+                agg.fraction_at_most(16),
+                agg.fraction_at_most(0),
+            )
+        });
+        if let Some((le4, le16, zero)) = outcome {
+            println!(
+                "## Fig. 1 ({name}): demand <= 4 ways: {le4:.2}, <= 16 ways: {le16:.2}, \
+                 zero-demand: {zero:.2}",
+            );
+        }
     }
 
     // ---- Fig. 7/8/9 + Table 2 --------------------------------------
     eprintln!("running the 15-benchmark x 6-scheme matrix...");
-    let rows = run_benchmark_matrix(geom, accesses);
+    let rows = runner.run_value("benchmark_matrix", move || {
+        run_benchmark_matrix(geom, accesses)
+    });
 
-    let mut t2 = Table::new(vec!["benchmark".into(), "LRU MPKI".into()]);
-    for row in &rows {
-        t2.row(vec![row.name.into(), format!("{:.3}", row.metrics[0].mpki)]);
-    }
-    println!("\n## Table 2 — LRU MPKI\n\n{t2}");
-    maybe_csv("table2_mpki", &t2);
-    let fig7 = normalized_table(&rows, 0);
-    let fig8 = normalized_table(&rows, 1);
-    let fig9 = normalized_table(&rows, 2);
-    println!("## Fig. 7 — normalized MPKI\n\n{fig7}");
-    println!("## Fig. 8 — normalized AMAT\n\n{fig8}");
-    println!("## Fig. 9 — normalized CPI\n\n{fig9}");
-    maybe_csv("fig7_mpki", &fig7);
-    maybe_csv("fig8_amat", &fig8);
-    maybe_csv("fig9_cpi", &fig9);
+    if let Some(rows) = &rows {
+        let mut t2 = Table::new(vec!["benchmark".into(), "LRU MPKI".into()]);
+        for row in rows {
+            t2.row(vec![row.name.into(), format!("{:.3}", row.metrics[0].mpki)]);
+        }
+        println!("\n## Table 2 — LRU MPKI\n\n{t2}");
+        maybe_csv("table2_mpki", &t2);
+        let fig7 = normalized_table(rows, 0);
+        let fig8 = normalized_table(rows, 1);
+        let fig9 = normalized_table(rows, 2);
+        println!("## Fig. 7 — normalized MPKI\n\n{fig7}");
+        println!("## Fig. 8 — normalized AMAT\n\n{fig8}");
+        println!("## Fig. 9 — normalized CPI\n\n{fig9}");
+        maybe_csv("fig7_mpki", &fig7);
+        maybe_csv("fig8_amat", &fig8);
+        maybe_csv("fig9_cpi", &fig9);
 
-    // Headline numbers (paper abstract: 21.4% / 13.5% / 6.3% over LRU).
-    let mut stem_gains = [Vec::new(), Vec::new(), Vec::new()];
-    for row in &rows {
-        let (m, a, c) = row.normalized(5); // STEM index in Scheme::PAPER
-        stem_gains[0].push(m);
-        stem_gains[1].push(a);
-        stem_gains[2].push(c);
+        // Headline numbers (paper abstract: 21.4% / 13.5% / 6.3% over LRU).
+        let mut stem_gains = [Vec::new(), Vec::new(), Vec::new()];
+        for row in rows {
+            let (m, a, c) = row.normalized(5); // STEM index in Scheme::PAPER
+            stem_gains[0].push(m);
+            stem_gains[1].push(a);
+            stem_gains[2].push(c);
+        }
+        println!(
+            "## Headline — STEM improvement over LRU: MPKI {:.1}% (paper 21.4%), AMAT {:.1}% (paper 13.5%), CPI {:.1}% (paper 6.3%)\n",
+            (1.0 - geomean(&stem_gains[0])) * 100.0,
+            (1.0 - geomean(&stem_gains[1])) * 100.0,
+            (1.0 - geomean(&stem_gains[2])) * 100.0,
+        );
+    } else {
+        eprintln!("skipping Table 2 / Fig. 7-9 / headline: the benchmark matrix failed");
     }
-    println!(
-        "## Headline — STEM improvement over LRU: MPKI {:.1}% (paper 21.4%), AMAT {:.1}% (paper 13.5%), CPI {:.1}% (paper 6.3%)\n",
-        (1.0 - geomean(&stem_gains[0])) * 100.0,
-        (1.0 - geomean(&stem_gains[1])) * 100.0,
-        (1.0 - geomean(&stem_gains[2])) * 100.0,
-    );
 
     // ---- Fig. 3 / Fig. 10 -------------------------------------------
     let ways = sweep_ways();
     for bench in sensitivity_benchmarks() {
-        let trace = bench.trace(geom, sweep_accesses);
-        eprintln!("sweeping {} (Fig. 3 / Fig. 10)...", bench.name());
-        let mut headers = vec!["assoc".to_owned()];
-        headers.extend(Scheme::PAPER.iter().map(|s| s.label().to_owned()));
-        let mut t = Table::new(headers);
-        let series: Vec<Vec<(usize, f64)>> = Scheme::PAPER
-            .iter()
-            .map(|&s| assoc_sweep(s, geom, &ways, &trace))
-            .collect();
-        for (i, &w) in ways.iter().enumerate() {
-            let values: Vec<f64> = series.iter().map(|v| v[i].1).collect();
-            t.row_f64(&w.to_string(), &values);
+        let name = bench.name();
+        eprintln!("sweeping {name} (Fig. 3 / Fig. 10)...");
+        let ways_for_run = ways.clone();
+        let outcome = runner.run_value(&format!("sweep_{name}"), move || {
+            let trace = bench.trace(geom, sweep_accesses);
+            let series: Vec<Vec<(usize, f64)>> = Scheme::PAPER
+                .iter()
+                .map(|&s| assoc_sweep(s, geom, &ways_for_run, &trace))
+                .collect();
+            series
+        });
+        if let Some(series) = outcome {
+            let mut headers = vec!["assoc".to_owned()];
+            headers.extend(Scheme::PAPER.iter().map(|s| s.label().to_owned()));
+            let mut t = Table::new(headers);
+            for (i, &w) in ways.iter().enumerate() {
+                let values: Vec<f64> = series.iter().map(|v| v[i].1).collect();
+                t.row_f64(&w.to_string(), &values);
+            }
+            println!("## Fig. 3/10 ({name}) — MPKI vs associativity\n\n{t}");
+            maybe_csv(&format!("fig10_{name}"), &t);
         }
-        println!("## Fig. 3/10 ({}) — MPKI vs associativity\n\n{t}", bench.name());
-        maybe_csv(&format!("fig10_{}", bench.name()), &t);
     }
 
     // ---- Table 3 -----------------------------------------------------
-    let base = overhead::lru_baseline(geom);
-    let stem = overhead::stem(geom, &StemConfig::micro2010());
-    println!(
-        "## Table 3 — STEM storage overhead vs LRU: {:+.2}% (paper: +3.1%)",
+    if let Some(overhead_pct) = runner.run_value("table3_overhead", move || {
+        let base = overhead::lru_baseline(geom);
+        let stem = overhead::stem(geom, &StemConfig::micro2010());
         stem.overhead_vs(&base) * 100.0
-    );
+    }) {
+        println!("## Table 3 — STEM storage overhead vs LRU: {overhead_pct:+.2}% (paper: +3.1%)");
+    }
+
+    // ---- Outcome ----------------------------------------------------
+    match runner.failure_report() {
+        None => {
+            eprintln!("\nall {} experiments completed", runner.outcomes().len());
+            ExitCode::SUCCESS
+        }
+        Some(report) => {
+            eprintln!("\n{report}");
+            eprintln!("partial results above are valid; rerun the failed experiments individually");
+            ExitCode::from(runner.exit_code())
+        }
+    }
 }

@@ -49,35 +49,41 @@ impl Args {
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("{name} needs a value"))
-            };
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
             match flag.as_str() {
                 "--scheme" => args.scheme = value("--scheme")?.parse()?,
                 "--bench" => args.bench = Some(value("--bench")?),
                 "--trace" => args.trace_path = Some(value("--trace")?),
                 "--save" => args.save_path = Some(value("--save")?),
                 "--sets" => {
-                    args.sets = value("--sets")?.parse().map_err(|e| format!("--sets: {e}"))?
+                    args.sets = value("--sets")?
+                        .parse()
+                        .map_err(|e| format!("--sets: {e}"))?
                 }
                 "--ways" => {
-                    args.ways = value("--ways")?.parse().map_err(|e| format!("--ways: {e}"))?
+                    args.ways = value("--ways")?
+                        .parse()
+                        .map_err(|e| format!("--ways: {e}"))?
                 }
                 "--accesses" => {
-                    args.accesses =
-                        value("--accesses")?.parse().map_err(|e| format!("--accesses: {e}"))?
+                    args.accesses = value("--accesses")?
+                        .parse()
+                        .map_err(|e| format!("--accesses: {e}"))?
                 }
                 "--warmup" => {
-                    args.warmup =
-                        value("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?
+                    args.warmup = value("--warmup")?
+                        .parse()
+                        .map_err(|e| format!("--warmup: {e}"))?
                 }
                 "--bare" => args.bare = true,
                 "--list" => args.list = true,
                 "--help" | "-h" => {
-                    return Err("usage: stem_sim --scheme <name> (--bench <name> | --trace <file>) \
+                    return Err(
+                        "usage: stem_sim --scheme <name> (--bench <name> | --trace <file>) \
                                 [--sets N] [--ways N] [--accesses N] [--warmup F] [--save file] \
                                 [--bare] [--list]"
-                        .to_owned())
+                            .to_owned(),
+                    )
                 }
                 other => return Err(format!("unknown flag {other}; try --help")),
             }
@@ -117,9 +123,12 @@ fn main() -> ExitCode {
 
     // Obtain the trace: from a file, or from a benchmark analog.
     let trace: Trace = if let Some(path) = &args.trace_path {
-        match std::fs::File::open(path).map(trace_io::read_trace) {
-            Ok(Ok(t)) => t,
-            Ok(Err(e)) | Err(e) => {
+        let parsed = std::fs::File::open(path)
+            .map_err(stem_sim_core::TraceError::from)
+            .and_then(trace_io::read_trace);
+        match parsed {
+            Ok(t) => t,
+            Err(e) => {
                 eprintln!("cannot read trace {path}: {e}");
                 return ExitCode::FAILURE;
             }
@@ -175,7 +184,13 @@ fn main() -> ExitCode {
         println!("bare LLC: {s}");
         println!("MPKI {:.3}", s.mpki(instructions.max(1)));
     } else {
-        let m = run_system(args.scheme, geom, SystemConfig::micro2010(), &trace, args.warmup);
+        let m = run_system(
+            args.scheme,
+            geom,
+            SystemConfig::micro2010(),
+            &trace,
+            args.warmup,
+        );
         println!("{m}");
         println!(
             "cooperation: {} couplings / {} spills / {} coop hits; {} policy swaps",

@@ -21,13 +21,28 @@ fn main() {
         format!("{} entries x {} bits", geom.sets(), geom.index_bits()),
     ]);
     fields.row(vec!["set associativity".into(), geom.ways().to_string()]);
-    fields.row(vec!["cache line size".into(), format!("{} bytes", geom.line_bytes())]);
-    fields.row(vec!["tag field length".into(), format!("{} bits", geom.tag_bits())]);
-    fields.row(vec!["m (shadow tag)".into(), format!("{} bits", cfg.shadow_tag_bits)]);
+    fields.row(vec![
+        "cache line size".into(),
+        format!("{} bytes", geom.line_bytes()),
+    ]);
+    fields.row(vec![
+        "tag field length".into(),
+        format!("{} bits", geom.tag_bits()),
+    ]);
+    fields.row(vec![
+        "m (shadow tag)".into(),
+        format!("{} bits", cfg.shadow_tag_bits),
+    ]);
     fields.row(vec!["CC, V, D bits".into(), "1 bit each".into()]);
     fields.row(vec!["replacement rank field".into(), "4 bits".into()]);
-    fields.row(vec!["k (saturating counter)".into(), format!("{} bits", cfg.counter_bits)]);
-    fields.row(vec!["n (spatial ratio log2)".into(), cfg.spatial_ratio_log2.to_string()]);
+    fields.row(vec![
+        "k (saturating counter)".into(),
+        format!("{} bits", cfg.counter_bits),
+    ]);
+    fields.row(vec![
+        "n (spatial ratio log2)".into(),
+        cfg.spatial_ratio_log2.to_string(),
+    ]);
     println!("{fields}");
 
     let base = overhead::lru_baseline(geom);

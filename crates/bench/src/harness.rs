@@ -58,7 +58,10 @@ pub fn run_benchmark_matrix(geom: CacheGeometry, accesses: usize) -> Vec<Benchma
             t0.elapsed().as_secs_f64(),
             metrics[0].mpki
         );
-        rows.push(BenchmarkRow { name: bench.name(), metrics });
+        rows.push(BenchmarkRow {
+            name: bench.name(),
+            metrics,
+        });
     }
     rows
 }

@@ -1,7 +1,13 @@
-//! Shared helpers for the experiment binaries and Criterion benches.
+//! Shared helpers for the experiment binaries and throughput benches.
 //!
 //! The binaries in `src/bin/` regenerate every table and figure of the
-//! paper (see `DESIGN.md` §4 for the index); the Criterion benches in
-//! `benches/` measure simulator throughput and run the ablations.
+//! paper (see `DESIGN.md` §4 for the index); the plain `std::time` benches
+//! in `benches/` measure simulator throughput. [`resilience`] isolates
+//! long experiment runs from panics and hangs, and [`faults`] injects
+//! corrupted traces, adversarial traffic, and invalid configurations to
+//! prove the simulator degrades with typed errors instead of crashes.
 
+pub mod faults;
 pub mod harness;
+pub mod resilience;
+pub mod timing;

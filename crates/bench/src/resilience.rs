@@ -1,0 +1,275 @@
+//! Panic- and hang-isolated experiment execution for the long-running
+//! drivers (`run_all` in particular).
+//!
+//! Every experiment runs on its own thread under `catch_unwind` with a
+//! wall-clock budget. A panicking or overrunning experiment is recorded as
+//! a failure and the driver moves on, so one broken figure cannot take
+//! down a multi-hour reproduction run. The driver prints a failure report
+//! at the end and exits nonzero if anything failed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Environment variable naming an experiment that should deliberately
+/// panic, for exercising the isolation machinery end-to-end
+/// (`STEM_INJECT_PANIC=<experiment name>`).
+pub const INJECT_PANIC_ENV: &str = "STEM_INJECT_PANIC";
+
+/// Environment variable overriding the per-experiment wall-clock budget in
+/// seconds (`STEM_EXPERIMENT_BUDGET_SECS`).
+pub const BUDGET_ENV: &str = "STEM_EXPERIMENT_BUDGET_SECS";
+
+const DEFAULT_BUDGET: Duration = Duration::from_secs(4 * 60 * 60);
+
+/// Why an experiment did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentFailure {
+    /// The experiment panicked; the payload message is preserved.
+    Panicked(String),
+    /// The experiment exceeded its wall-clock budget and was abandoned
+    /// (its thread is detached and ignored).
+    TimedOut(Duration),
+}
+
+impl std::fmt::Display for ExperimentFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
+            ExperimentFailure::TimedOut(budget) => {
+                write!(f, "exceeded its {:.0}s budget", budget.as_secs_f64())
+            }
+        }
+    }
+}
+
+/// The record of one completed or failed experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Experiment name as passed to [`ExperimentRunner::run_value`].
+    pub name: String,
+    /// `None` on success, the failure otherwise.
+    pub failure: Option<ExperimentFailure>,
+    /// Wall-clock time until the result (or the abandonment).
+    pub elapsed: Duration,
+}
+
+/// Runs experiments in isolation and accumulates their outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use stem_bench::resilience::ExperimentRunner;
+///
+/// let mut runner = ExperimentRunner::new();
+/// let two = runner.run_value("arithmetic", || 1 + 1);
+/// assert_eq!(two, Some(2));
+/// let boom: Option<()> = runner.run_value("explosive", || panic!("boom"));
+/// assert_eq!(boom, None);
+/// assert!(!runner.all_passed());
+/// assert!(runner.failure_report().unwrap().contains("explosive"));
+/// ```
+#[derive(Debug)]
+pub struct ExperimentRunner {
+    budget: Duration,
+    outcomes: Vec<ExperimentOutcome>,
+}
+
+impl ExperimentRunner {
+    /// Creates a runner with the default (or `STEM_EXPERIMENT_BUDGET_SECS`
+    /// overridden) per-experiment budget.
+    pub fn new() -> Self {
+        let budget = std::env::var(BUDGET_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_secs)
+            .unwrap_or(DEFAULT_BUDGET);
+        ExperimentRunner::with_budget(budget)
+    }
+
+    /// Creates a runner with an explicit per-experiment budget.
+    pub fn with_budget(budget: Duration) -> Self {
+        ExperimentRunner {
+            budget,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The per-experiment wall-clock budget.
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    /// Runs `f` on its own thread under `catch_unwind` with the wall-clock
+    /// budget. Returns the value on success; on panic or timeout, records
+    /// the failure and returns `None`.
+    ///
+    /// When `STEM_INJECT_PANIC` names this experiment, a panic is injected
+    /// before `f` runs (the negative test of the isolation machinery).
+    pub fn run_value<T, F>(&mut self, name: &str, f: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let inject = std::env::var(INJECT_PANIC_ENV).is_ok_and(|v| v == name);
+        let (tx, rx) = mpsc::channel();
+        let t0 = Instant::now();
+        // The thread is detached on timeout rather than joined: there is
+        // no portable way to cancel it, and an abandoned worker is
+        // preferable to a wedged driver.
+        std::thread::Builder::new()
+            .name(format!("experiment-{name}"))
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if inject {
+                        panic!("injected panic ({INJECT_PANIC_ENV})");
+                    }
+                    f()
+                }));
+                // The receiver may have given up already; ignore send errors.
+                // `as_ref` matters: `&payload` would coerce the Box itself
+                // into `dyn Any` and every downcast would miss.
+                let _ = tx.send(result.map_err(|payload| panic_message(payload.as_ref())));
+            })
+            .expect("spawning an experiment thread");
+
+        let (value, failure) = match rx.recv_timeout(self.budget) {
+            Ok(Ok(v)) => (Some(v), None),
+            Ok(Err(msg)) => (None, Some(ExperimentFailure::Panicked(msg))),
+            Err(_) => (None, Some(ExperimentFailure::TimedOut(self.budget))),
+        };
+        self.outcomes.push(ExperimentOutcome {
+            name: name.to_owned(),
+            failure,
+            elapsed: t0.elapsed(),
+        });
+        value
+    }
+
+    /// Like [`run_value`](Self::run_value) for unit experiments; returns
+    /// whether it succeeded.
+    pub fn run<F>(&mut self, name: &str, f: F) -> bool
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.run_value(name, f).is_some()
+    }
+
+    /// All outcomes so far, in execution order.
+    pub fn outcomes(&self) -> &[ExperimentOutcome] {
+        &self.outcomes
+    }
+
+    /// Whether every experiment so far succeeded.
+    pub fn all_passed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.failure.is_none())
+    }
+
+    /// A human-readable failure report, or `None` when everything passed.
+    pub fn failure_report(&self) -> Option<String> {
+        let failed: Vec<&ExperimentOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.failure.is_some())
+            .collect();
+        if failed.is_empty() {
+            return None;
+        }
+        let mut report = format!(
+            "{} of {} experiments failed:\n",
+            failed.len(),
+            self.outcomes.len()
+        );
+        for o in failed {
+            let failure = o.failure.as_ref().expect("filtered on failure");
+            report.push_str(&format!(
+                "  - {} ({:.1}s): {}\n",
+                o.name,
+                o.elapsed.as_secs_f64(),
+                failure
+            ));
+        }
+        Some(report)
+    }
+
+    /// The driver exit code: 0 when all experiments passed, 1 otherwise.
+    pub fn exit_code(&self) -> u8 {
+        u8::from(!self.all_passed())
+    }
+}
+
+impl Default for ExperimentRunner {
+    fn default() -> Self {
+        ExperimentRunner::new()
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successful_experiment_returns_value() {
+        let mut r = ExperimentRunner::with_budget(Duration::from_secs(30));
+        assert_eq!(r.run_value("ok", || 7u64), Some(7));
+        assert!(r.all_passed());
+        assert!(r.failure_report().is_none());
+        assert_eq!(r.exit_code(), 0);
+    }
+
+    #[test]
+    fn panicking_experiment_is_contained_and_reported() {
+        let mut r = ExperimentRunner::with_budget(Duration::from_secs(30));
+        let v: Option<u64> = r.run_value("boomer", || panic!("the sky fell"));
+        assert_eq!(v, None);
+        assert!(!r.all_passed());
+        let report = r.failure_report().expect("a failure is reported");
+        assert!(report.contains("boomer"));
+        assert!(report.contains("the sky fell"));
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn later_experiments_survive_an_earlier_panic() {
+        let mut r = ExperimentRunner::with_budget(Duration::from_secs(30));
+        let _: Option<()> = r.run_value("first-fails", || panic!("nope"));
+        assert_eq!(r.run_value("second-succeeds", || 3i32), Some(3));
+        assert_eq!(r.outcomes().len(), 2);
+        assert!(r.outcomes()[0].failure.is_some());
+        assert!(r.outcomes()[1].failure.is_none());
+    }
+
+    #[test]
+    fn overrunning_experiment_times_out() {
+        let mut r = ExperimentRunner::with_budget(Duration::from_millis(50));
+        let v = r.run_value("sleeper", || {
+            std::thread::sleep(Duration::from_secs(10));
+            1u8
+        });
+        assert_eq!(v, None);
+        assert!(matches!(
+            r.outcomes()[0].failure,
+            Some(ExperimentFailure::TimedOut(_))
+        ));
+        assert!(r.failure_report().unwrap().contains("budget"));
+    }
+
+    #[test]
+    fn non_string_payload_is_survivable() {
+        let mut r = ExperimentRunner::with_budget(Duration::from_secs(30));
+        let v: Option<()> = r.run_value("odd-payload", || std::panic::panic_any(42i32));
+        assert_eq!(v, None);
+        assert!(r.failure_report().unwrap().contains("non-string"));
+    }
+}

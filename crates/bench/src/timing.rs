@@ -1,0 +1,66 @@
+//! Minimal wall-clock measurement for the plain (non-Criterion) benches.
+//!
+//! The workspace builds offline with no benchmarking dependency, so the
+//! `benches/` binaries time themselves with `std::time`: warm up once,
+//! then report the best of a few repetitions (the least noisy simple
+//! estimator on a shared machine).
+
+use std::time::{Duration, Instant};
+
+/// Times one invocation of `f`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let value = f();
+    (value, t0.elapsed())
+}
+
+/// Runs `f` once for warm-up, then `reps` measured times, returning the
+/// minimum duration. The warm-up result is discarded; every measured
+/// result is passed through `std::hint::black_box` so the work is not
+/// optimised away.
+pub fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    std::hint::black_box(f());
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+/// Formats an element-throughput line: `label: N elems in D (R Melem/s)`.
+pub fn throughput_line(label: &str, elements: u64, d: Duration) -> String {
+    let secs = d.as_secs_f64().max(1e-12);
+    format!(
+        "{label}: {elements} elems in {:.3} ms ({:.2} Melem/s)",
+        d.as_secs_f64() * 1e3,
+        elements as f64 / secs / 1e6
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, d) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn best_of_is_finite() {
+        let d = best_of(3, || (0..1000u64).sum::<u64>());
+        assert!(d > Duration::ZERO || d == Duration::ZERO);
+        assert!(d < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn throughput_line_mentions_label() {
+        let s = throughput_line("x", 1_000_000, Duration::from_millis(100));
+        assert!(s.starts_with("x:"));
+        assert!(s.contains("Melem/s"));
+    }
+}

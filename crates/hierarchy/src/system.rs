@@ -1,7 +1,7 @@
 //! The simulated system: analytical core + L1D + pluggable L2 + memory.
 
 use stem_replacement::{Lru, SetAssocCache};
-use stem_sim_core::{CacheGeometry, CacheModel, Trace, TimingParams};
+use stem_sim_core::{CacheGeometry, CacheModel, TimingParams, Trace};
 
 use crate::{NextLinePrefetcher, SystemMetrics};
 
@@ -146,7 +146,9 @@ impl System {
                 cycles += t.l2_latency(l2_result);
                 if l2_result.is_miss() {
                     cycles += t.memory();
-                    self.cfg.prefetcher.on_l1_miss(a.addr, l2_geom, self.l2.as_mut());
+                    self.cfg
+                        .prefetcher
+                        .on_l1_miss(a.addr, l2_geom, self.l2.as_mut());
                 }
             }
             total_cycles += cycles;
@@ -160,14 +162,16 @@ impl System {
         } else {
             *self.l2.stats()
         };
-        let stall_cycles =
-            total_cycles.saturating_sub(accesses * self.cfg.l1_hit_cycles) as f64;
-        let cpi = self.cfg.base_cpi
-            + stall_cycles * (1.0 - self.cfg.overlap) / instructions as f64;
+        let stall_cycles = total_cycles.saturating_sub(accesses * self.cfg.l1_hit_cycles) as f64;
+        let cpi = self.cfg.base_cpi + stall_cycles * (1.0 - self.cfg.overlap) / instructions as f64;
 
         SystemMetrics {
             mpki: demand.mpki(instructions),
-            amat: if accesses == 0 { 0.0 } else { total_cycles as f64 / accesses as f64 },
+            amat: if accesses == 0 {
+                0.0
+            } else {
+                total_cycles as f64 / accesses as f64
+            },
             cpi,
             l1_miss_rate: self.l1.stats().miss_rate(),
             l2: l2_stats,
@@ -206,14 +210,20 @@ mod tests {
         // One address accessed repeatedly: 1 cold path, then L1 hits.
         let trace: Trace = (0..100).map(|_| Access::read(Address::new(0))).collect();
         let m = sys.run(&trace);
-        assert!(m.amat < 10.0, "AMAT {} should be near the L1 hit time", m.amat);
+        assert!(
+            m.amat < 10.0,
+            "AMAT {} should be near the L1 hit time",
+            m.amat
+        );
         assert_eq!(m.l2.accesses(), 1); // only the cold miss reached L2
     }
 
     #[test]
     fn streaming_pays_memory_latency() {
         let mut sys = system();
-        let trace: Trace = (0..1000u64).map(|i| Access::read(Address::new(i * 64))).collect();
+        let trace: Trace = (0..1000u64)
+            .map(|i| Access::read(Address::new(i * 64)))
+            .collect();
         let m = sys.run(&trace);
         // Every access: L1 miss, L2 miss, memory: AMAT ≈ 2 + 6 + 300.
         assert!((m.amat - 308.0).abs() < 1.0, "AMAT {}", m.amat);
@@ -238,8 +248,9 @@ mod tests {
         let hit_trace: Trace = (0..500).map(|_| Access::read(Address::new(0))).collect();
         let hits = hit_sys.run(&hit_trace);
         let mut miss_sys = system();
-        let miss_trace: Trace =
-            (0..500u64).map(|i| Access::read(Address::new(i * 64))).collect();
+        let miss_trace: Trace = (0..500u64)
+            .map(|i| Access::read(Address::new(i * 64)))
+            .collect();
         let misses = miss_sys.run(&miss_trace);
         assert!(misses.cpi > hits.cpi * 5.0);
     }
@@ -247,7 +258,9 @@ mod tests {
     #[test]
     fn warmup_discards_statistics() {
         let mut sys = system();
-        let warm: Trace = (0..64u64).map(|i| Access::read(Address::new(i * 64))).collect();
+        let warm: Trace = (0..64u64)
+            .map(|i| Access::read(Address::new(i * 64)))
+            .collect();
         let m = sys.warm_then_run(&warm, &warm);
         // All 64 lines were warmed: the measured pass hits in L1 or L2.
         assert_eq!(m.l2.misses(), 0);
@@ -255,7 +268,9 @@ mod tests {
 
     #[test]
     fn overlap_reduces_cpi() {
-        let trace: Trace = (0..500u64).map(|i| Access::read(Address::new(i * 64))).collect();
+        let trace: Trace = (0..500u64)
+            .map(|i| Access::read(Address::new(i * 64)))
+            .collect();
         let mut blocking = System::new(SystemConfig::micro2010().with_overlap(0.0), lru_l2());
         let mut hiding = System::new(SystemConfig::micro2010().with_overlap(0.9), lru_l2());
         assert!(blocking.run(&trace).cpi > hiding.run(&trace).cpi);

@@ -106,8 +106,7 @@ impl CacheModel for OptCache {
         self.stats.record_local_miss();
         if self.resident[set].len() == self.geom.ways() {
             // Evict the resident line used farthest in the future.
-            let victim = self
-                .resident[set]
+            let victim = self.resident[set]
                 .iter()
                 .enumerate()
                 .max_by_key(|(_, &(_, n))| n)
@@ -158,11 +157,12 @@ impl std::fmt::Debug for OptCache {
 mod tests {
     use super::*;
     use crate::{Lru, SetAssocCache};
-    use proptest::prelude::*;
-    use stem_sim_core::Access;
+    use stem_sim_core::{prop, Access};
 
     fn trace_of(geom: CacheGeometry, tags: &[u64]) -> Trace {
-        tags.iter().map(|&t| Access::read(geom.address_of(t, 0))).collect()
+        tags.iter()
+            .map(|&t| Access::read(geom.address_of(t, 0)))
+            .collect()
     }
 
     #[test]
@@ -197,12 +197,13 @@ mod tests {
         assert_eq!(opt.stats().misses(), 2);
     }
 
-    proptest! {
-        /// OPT never misses more than LRU (Belady optimality relative to
-        /// any demand-fetch policy without bypass... our LRU doesn't
-        /// bypass, so OPT-with-bypass ≤ LRU always holds).
-        #[test]
-        fn opt_never_worse_than_lru(tags in proptest::collection::vec(0u64..12, 1..400)) {
+    /// OPT never misses more than LRU (Belady optimality relative to
+    /// any demand-fetch policy without bypass... our LRU doesn't
+    /// bypass, so OPT-with-bypass ≤ LRU always holds).
+    #[test]
+    fn opt_never_worse_than_lru() {
+        prop::check(96, |g| {
+            let tags = g.vec_u64(1, 400, 0, 12);
             let geom = CacheGeometry::new(2, 3, 64).unwrap();
             let trace: Trace = tags
                 .iter()
@@ -211,18 +212,25 @@ mod tests {
             let opt = OptCache::min_misses(geom, &trace);
             let mut lru = SetAssocCache::new(geom, Box::new(Lru::new(geom)));
             lru.run(&trace);
-            prop_assert!(opt <= lru.stats().misses(),
-                "OPT ({}) must not exceed LRU ({})", opt, lru.stats().misses());
-        }
+            assert!(
+                opt <= lru.stats().misses(),
+                "OPT ({}) must not exceed LRU ({})",
+                opt,
+                lru.stats().misses()
+            );
+        });
+    }
 
-        /// Cold misses are unavoidable: OPT misses at least once per
-        /// distinct line.
-        #[test]
-        fn opt_has_all_cold_misses(tags in proptest::collection::vec(0u64..20, 1..200)) {
+    /// Cold misses are unavoidable: OPT misses at least once per
+    /// distinct line.
+    #[test]
+    fn opt_has_all_cold_misses() {
+        prop::check(96, |g| {
+            let tags = g.vec_u64(1, 200, 0, 20);
             let geom = CacheGeometry::new(1, 4, 64).unwrap();
             let trace = trace_of(geom, &tags);
             let distinct: std::collections::HashSet<_> = tags.iter().collect();
-            prop_assert!(OptCache::min_misses(geom, &trace) >= distinct.len() as u64);
-        }
+            assert!(OptCache::min_misses(geom, &trace) >= distinct.len() as u64);
+        });
     }
 }

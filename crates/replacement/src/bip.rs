@@ -73,6 +73,16 @@ impl ReplacementPolicy for Bip {
     fn name(&self) -> &str {
         "BIP"
     }
+
+    fn audit_set(&self, set: usize) -> Result<(), String> {
+        if self.sets[set].is_permutation() {
+            Ok(())
+        } else {
+            Err(format!(
+                "BIP recency stack of set {set} is not a permutation"
+            ))
+        }
+    }
 }
 
 /// LRU-Insertion Policy: BIP with a zero MRU probability.
@@ -87,7 +97,9 @@ pub struct Lip {
 impl Lip {
     /// Creates LIP state for every set of `geom`.
     pub fn new(geom: CacheGeometry) -> Self {
-        Lip { sets: vec![RecencyStack::new(geom.ways()); geom.sets()] }
+        Lip {
+            sets: vec![RecencyStack::new(geom.ways()); geom.sets()],
+        }
     }
 }
 
@@ -106,6 +118,16 @@ impl ReplacementPolicy for Lip {
 
     fn name(&self) -> &str {
         "LIP"
+    }
+
+    fn audit_set(&self, set: usize) -> Result<(), String> {
+        if self.sets[set].is_permutation() {
+            Ok(())
+        } else {
+            Err(format!(
+                "LIP recency stack of set {set} is not a permutation"
+            ))
+        }
     }
 }
 

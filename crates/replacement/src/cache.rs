@@ -1,7 +1,8 @@
 //! A conventional set-associative cache driven by any replacement policy.
 
 use stem_sim_core::{
-    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr,
+    AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
+    InvariantAuditor, LineAddr,
 };
 
 use crate::ReplacementPolicy;
@@ -139,7 +140,9 @@ impl CacheModel for SetAssocCache {
             None => {
                 let victim = self.policy.victim(set);
                 debug_assert!(victim < self.geom.ways());
-                let old = self.lines[set][victim].take().expect("victim way must be valid");
+                let old = self.lines[set][victim]
+                    .take()
+                    .expect("victim way must be valid");
                 self.stats.record_eviction();
                 if old.dirty {
                     self.stats.record_writeback();
@@ -147,7 +150,10 @@ impl CacheModel for SetAssocCache {
                 victim
             }
         };
-        self.lines[set][way] = Some(Line { tag, dirty: kind.is_write() });
+        self.lines[set][way] = Some(Line {
+            tag,
+            dirty: kind.is_write(),
+        });
         self.policy.on_fill(set, way);
         AccessResult::MissLocal
     }
@@ -169,6 +175,39 @@ impl CacheModel for SetAssocCache {
     }
 }
 
+impl InvariantAuditor for SetAssocCache {
+    /// Checks, for every set: no duplicate valid tags, occupancy within the
+    /// associativity, and the policy's own per-set bookkeeping (recency
+    /// stacks stay permutations).
+    fn audit(&self) -> Result<(), AuditError> {
+        for set in 0..self.geom.sets() {
+            let mut seen = std::collections::HashSet::new();
+            for line in self.lines[set].iter().flatten() {
+                if !seen.insert(line.tag) {
+                    return Err(AuditError::new(
+                        self.name.as_str(),
+                        format!("duplicate tag {:#x} in set {set}", line.tag),
+                    ));
+                }
+            }
+            if self.lines[set].len() != self.geom.ways() {
+                return Err(AuditError::new(
+                    self.name.as_str(),
+                    format!(
+                        "set {set} holds {} ways, geometry says {}",
+                        self.lines[set].len(),
+                        self.geom.ways()
+                    ),
+                ));
+            }
+            self.policy
+                .audit_set(set)
+                .map_err(|detail| AuditError::new(self.name.as_str(), detail))?;
+        }
+        Ok(())
+    }
+}
+
 impl std::fmt::Debug for SetAssocCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SetAssocCache")
@@ -183,8 +222,7 @@ impl std::fmt::Debug for SetAssocCache {
 mod tests {
     use super::*;
     use crate::{Bip, Lru};
-    use proptest::prelude::*;
-    use stem_sim_core::{Access, Trace};
+    use stem_sim_core::{prop, Access, Trace};
 
     fn small() -> CacheGeometry {
         CacheGeometry::new(2, 2, 64).unwrap()
@@ -294,7 +332,11 @@ mod tests {
         lru.run(&trace);
         let mut bip = SetAssocCache::new(geom, Box::new(Bip::new(geom)));
         bip.run(&trace);
-        assert_eq!(lru.stats().hits(), 0, "LRU must thrash on a 5-block cycle in 4 ways");
+        assert_eq!(
+            lru.stats().hits(),
+            0,
+            "LRU must thrash on a 5-block cycle in 4 ways"
+        );
         assert!(
             bip.stats().hits() > trace.len() as u64 / 2,
             "BIP should retain most of the cycle: {} hits of {}",
@@ -303,37 +345,49 @@ mod tests {
         );
     }
 
-    proptest! {
-        /// The cache never reports more hits+misses than accesses fed, and
-        /// the number of valid lines never exceeds the geometry.
-        #[test]
-        fn stats_and_occupancy_invariants(addrs in proptest::collection::vec(0u64..4096, 1..300)) {
+    /// The cache never reports more hits+misses than accesses fed, and
+    /// the number of valid lines never exceeds the geometry.
+    #[test]
+    fn stats_and_occupancy_invariants() {
+        prop::check(128, |g| {
+            let addrs = g.vec_u64(1, 300, 0, 4096);
             let geom = CacheGeometry::new(4, 2, 64).unwrap();
             let mut c = lru_cache(geom);
             for (i, &a) in addrs.iter().enumerate() {
-                c.access(Address::new(a * 64), if a % 3 == 0 { AccessKind::Write } else { AccessKind::Read });
-                prop_assert_eq!(c.stats().accesses(), (i + 1) as u64);
+                c.access(
+                    Address::new(a * 64),
+                    if a % 3 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                );
+                assert_eq!(c.stats().accesses(), (i + 1) as u64);
             }
             for s in 0..geom.sets() {
-                prop_assert!(c.valid_lines(s) <= geom.ways());
+                assert!(c.valid_lines(s) <= geom.ways());
             }
+            c.audit().expect("LRU cache invariants hold");
             // Re-accessing anything just accessed is a hit.
             let last = Address::new(addrs[addrs.len() - 1] * 64);
-            prop_assert!(c.contains(last));
-        }
+            assert!(c.contains(last));
+        });
+    }
 
-        /// An infinite-capacity-equivalent cache (more ways than distinct
-        /// lines) never evicts: every line misses exactly once.
-        #[test]
-        fn no_capacity_misses_when_everything_fits(addrs in proptest::collection::vec(0u64..16, 1..200)) {
+    /// An infinite-capacity-equivalent cache (more ways than distinct
+    /// lines) never evicts: every line misses exactly once.
+    #[test]
+    fn no_capacity_misses_when_everything_fits() {
+        prop::check(128, |g| {
+            let addrs = g.vec_u64(1, 200, 0, 16);
             let geom = CacheGeometry::new(1, 16, 64).unwrap();
             let mut c = lru_cache(geom);
             for &a in &addrs {
                 c.access(Address::new(a * 64), AccessKind::Read);
             }
             let distinct: std::collections::HashSet<_> = addrs.iter().collect();
-            prop_assert_eq!(c.stats().misses(), distinct.len() as u64);
-            prop_assert_eq!(c.stats().evictions(), 0);
-        }
+            assert_eq!(c.stats().misses(), distinct.len() as u64);
+            assert_eq!(c.stats().evictions(), 0);
+        });
     }
 }

@@ -177,6 +177,23 @@ impl ReplacementPolicy for Dip {
     fn name(&self) -> &str {
         "DIP"
     }
+
+    fn audit_set(&self, set: usize) -> Result<(), String> {
+        if !self.sets[set].is_permutation() {
+            return Err(format!(
+                "DIP recency stack of set {set} is not a permutation"
+            ));
+        }
+        if self.psel.value() > self.psel.max() {
+            return Err(format!(
+                "DIP PSEL value {} exceeds its {}-bit maximum {}",
+                self.psel.value(),
+                self.psel.bits(),
+                self.psel.max()
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,9 @@ pub struct Fifo {
 impl Fifo {
     /// Creates FIFO state for every set of `geom`.
     pub fn new(geom: CacheGeometry) -> Self {
-        Fifo { sets: vec![RecencyStack::new(geom.ways()); geom.sets()] }
+        Fifo {
+            sets: vec![RecencyStack::new(geom.ways()); geom.sets()],
+        }
     }
 }
 
@@ -37,6 +39,14 @@ impl ReplacementPolicy for Fifo {
 
     fn name(&self) -> &str {
         "FIFO"
+    }
+
+    fn audit_set(&self, set: usize) -> Result<(), String> {
+        if self.sets[set].is_permutation() {
+            Ok(())
+        } else {
+            Err(format!("FIFO fill stack of set {set} is not a permutation"))
+        }
     }
 }
 

@@ -62,8 +62,8 @@ pub use drrip::Drrip;
 pub use fifo::Fifo;
 pub use lru::Lru;
 pub use nru::Nru;
-pub use plru::Plru;
 pub use pelifo::PeLifo;
+pub use plru::Plru;
 pub use policy::ReplacementPolicy;
 pub use random::Random;
 pub use recency::RecencyStack;

@@ -32,7 +32,9 @@ pub struct Lru {
 impl Lru {
     /// Creates LRU state for every set of `geom`.
     pub fn new(geom: CacheGeometry) -> Self {
-        Lru { sets: vec![RecencyStack::new(geom.ways()); geom.sets()] }
+        Lru {
+            sets: vec![RecencyStack::new(geom.ways()); geom.sets()],
+        }
     }
 
     /// Read-only view of one set's recency stack (used by tests and the
@@ -57,6 +59,16 @@ impl ReplacementPolicy for Lru {
 
     fn name(&self) -> &str {
         "LRU"
+    }
+
+    fn audit_set(&self, set: usize) -> Result<(), String> {
+        if self.sets[set].is_permutation() {
+            Ok(())
+        } else {
+            Err(format!(
+                "LRU recency stack of set {set} is not a permutation"
+            ))
+        }
     }
 }
 

@@ -87,7 +87,11 @@ impl PeLifo {
         // Constituencies of 64 sets: the first `candidates.len()` offsets of
         // each constituency lead one candidate each.
         if self.sets < 64 {
-            return if set < self.candidates.len() { Some(set) } else { None };
+            return if set < self.candidates.len() {
+                Some(set)
+            } else {
+                None
+            };
         }
         let offset = set & 63;
         if offset < self.candidates.len() {
@@ -151,7 +155,11 @@ impl ReplacementPolicy for PeLifo {
                 .enumerate()
                 .min_by_key(|&(_, &m)| m)
                 .expect("at least one candidate");
-            self.winner = if best_misses * 10 >= self.misses[lru] * 9 { lru } else { best };
+            self.winner = if best_misses * 10 >= self.misses[lru] * 9 {
+                lru
+            } else {
+                best
+            };
             for m in &mut self.misses {
                 *m /= 2;
             }
@@ -160,6 +168,27 @@ impl ReplacementPolicy for PeLifo {
 
     fn name(&self) -> &str {
         "PeLIFO"
+    }
+
+    fn audit_set(&self, set: usize) -> Result<(), String> {
+        if !self.fill[set].is_permutation() {
+            return Err(format!(
+                "PeLIFO fill stack of set {set} is not a permutation"
+            ));
+        }
+        if !self.recency[set].is_permutation() {
+            return Err(format!(
+                "PeLIFO recency stack of set {set} is not a permutation"
+            ));
+        }
+        if self.winner >= self.candidates.len() {
+            return Err(format!(
+                "PeLIFO winner index {} out of range for {} candidates",
+                self.winner,
+                self.candidates.len()
+            ));
+        }
+        Ok(())
     }
 }
 

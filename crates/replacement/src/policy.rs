@@ -44,4 +44,15 @@ pub trait ReplacementPolicy {
 
     /// A short human-readable policy name (e.g. `"LRU"`).
     fn name(&self) -> &str;
+
+    /// Checked-mode hook: verifies this policy's per-set bookkeeping for
+    /// `set` (e.g. that a recency stack is still a permutation). The
+    /// default accepts everything; stack-based policies override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    fn audit_set(&self, _set: usize) -> Result<(), String> {
+        Ok(())
+    }
 }

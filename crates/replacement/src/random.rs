@@ -22,7 +22,10 @@ impl Random {
 
     /// Creates a random policy with an explicit seed.
     pub fn with_seed(geom: CacheGeometry, seed: u64) -> Self {
-        Random { ways: geom.ways(), rng: SplitMix64::new(seed) }
+        Random {
+            ways: geom.ways(),
+            rng: SplitMix64::new(seed),
+        }
     }
 }
 
@@ -54,7 +57,10 @@ mod tests {
             assert!(v < 4);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "random victims did not cover all ways");
+        assert!(
+            seen.iter().all(|&s| s),
+            "random victims did not cover all ways"
+        );
     }
 
     #[test]

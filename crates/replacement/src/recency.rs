@@ -34,7 +34,9 @@ impl RecencyStack {
     /// Panics if `ways` is 0 or greater than 255.
     pub fn new(ways: usize) -> Self {
         assert!(ways >= 1 && ways <= 255, "ways must be in 1..=255");
-        RecencyStack { rank: (0..ways as u8).collect() }
+        RecencyStack {
+            rank: (0..ways as u8).collect(),
+        }
     }
 
     /// Number of ways tracked.
@@ -139,7 +141,7 @@ impl RecencyStack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use stem_sim_core::prop;
 
     #[test]
     fn new_is_identity_permutation() {
@@ -209,43 +211,43 @@ mod tests {
         assert_eq!(s.mru_way(), 0);
     }
 
-    proptest! {
-        /// Any sequence of operations preserves the permutation invariant.
-        #[test]
-        fn ops_preserve_permutation(
-            ways in 1usize..16,
-            ops in proptest::collection::vec((0u8..3, 0usize..16, 0u8..16), 0..64)
-        ) {
+    /// Any sequence of operations preserves the permutation invariant.
+    #[test]
+    fn ops_preserve_permutation() {
+        prop::check(128, |g| {
+            let ways = g.usize(1, 16);
             let mut s = RecencyStack::new(ways);
-            for (op, way, pos) in ops {
-                let way = way % ways;
-                let pos = pos % ways as u8;
-                match op {
+            for _ in 0..g.usize(0, 64) {
+                let way = g.usize(0, ways);
+                match g.u8(0, 3) {
                     0 => s.touch_mru(way),
                     1 => s.demote_lru(way),
-                    _ => s.place_at(way, pos),
+                    _ => s.place_at(way, g.u8(0, ways as u8)),
                 }
-                prop_assert!(s.is_permutation());
+                assert!(s.is_permutation());
             }
-        }
+        });
+    }
 
-        /// After touch_mru(w), w is MRU and relative order of others is kept.
-        #[test]
-        fn touch_preserves_relative_order(ways in 2usize..12, touches in proptest::collection::vec(0usize..12, 1..32)) {
+    /// After touch_mru(w), w is MRU and relative order of others is kept.
+    #[test]
+    fn touch_preserves_relative_order() {
+        prop::check(128, |g| {
+            let ways = g.usize(2, 12);
             let mut s = RecencyStack::new(ways);
-            for t in touches {
-                let w = t % ways;
+            for _ in 0..g.usize(1, 32) {
+                let w = g.usize(0, ways);
                 let before: Vec<u8> = (0..ways).map(|x| s.rank(x)).collect();
                 s.touch_mru(w);
                 for a in 0..ways {
                     for b in 0..ways {
                         if a != w && b != w && before[a] < before[b] {
-                            prop_assert!(s.rank(a) < s.rank(b));
+                            assert!(s.rank(a) < s.rank(b));
                         }
                     }
                 }
-                prop_assert_eq!(s.rank(w), 0);
+                assert_eq!(s.rank(w), 0);
             }
-        }
+        });
     }
 }

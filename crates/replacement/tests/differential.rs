@@ -3,9 +3,10 @@
 //! traces. Any divergence in per-access hit/miss behaviour is a bug in
 //! the set/rank machinery every other policy builds on.
 
-use proptest::prelude::*;
 use stem_replacement::{Lru, SetAssocCache};
-use stem_sim_core::{AccessKind, Address, CacheGeometry, CacheModel, LineAddr};
+use stem_sim_core::{
+    prop, AccessKind, Address, CacheGeometry, CacheModel, InvariantAuditor, LineAddr,
+};
 
 /// The reference: per-set Vec of lines ordered most-recent-first.
 struct RefLru {
@@ -15,7 +16,10 @@ struct RefLru {
 
 impl RefLru {
     fn new(geom: CacheGeometry) -> Self {
-        RefLru { geom, sets: vec![Vec::new(); geom.sets()] }
+        RefLru {
+            geom,
+            sets: vec![Vec::new(); geom.sets()],
+        }
     }
 
     /// Returns `true` on hit.
@@ -35,17 +39,14 @@ impl RefLru {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Per-access hit/miss parity between the simulator's LRU and the
-    /// reference model, across random geometries and traces.
-    #[test]
-    fn lru_matches_reference_model(
-        sets_pow in 0u32..5,
-        ways in 1usize..9,
-        addrs in proptest::collection::vec(0u64..4096, 1..500)
-    ) {
+/// Per-access hit/miss parity between the simulator's LRU and the
+/// reference model, across random geometries and traces.
+#[test]
+fn lru_matches_reference_model() {
+    prop::check(64, |g| {
+        let sets_pow = g.u32(0, 5);
+        let ways = g.usize(1, 9);
+        let addrs = g.vec_u64(1, 500, 0, 4096);
         let geom = CacheGeometry::new(1 << sets_pow, ways, 64).expect("valid geometry");
         let mut sim = SetAssocCache::new(geom, Box::new(Lru::new(geom)));
         let mut reference = RefLru::new(geom);
@@ -53,11 +54,16 @@ proptest! {
             let addr = Address::new(a * 64);
             let sim_hit = sim.access(addr, AccessKind::Read).is_hit();
             let ref_hit = reference.access(addr);
-            prop_assert_eq!(
-                sim_hit, ref_hit,
+            assert_eq!(
+                sim_hit,
+                ref_hit,
                 "divergence at access {} (addr {:#x}, {} sets x {} ways)",
-                i, a * 64, geom.sets(), ways
+                i,
+                a * 64,
+                geom.sets(),
+                ways
             );
         }
-    }
+        sim.audit().expect("audited LRU state stays consistent");
+    });
 }

@@ -66,13 +66,21 @@ impl Access {
     /// Creates a read access with an instruction gap of 1.
     #[inline]
     pub fn read(addr: Address) -> Self {
-        Access { addr, kind: AccessKind::Read, inst_gap: 1 }
+        Access {
+            addr,
+            kind: AccessKind::Read,
+            inst_gap: 1,
+        }
     }
 
     /// Creates a write access with an instruction gap of 1.
     #[inline]
     pub fn write(addr: Address) -> Self {
-        Access { addr, kind: AccessKind::Write, inst_gap: 1 }
+        Access {
+            addr,
+            kind: AccessKind::Write,
+            inst_gap: 1,
+        }
     }
 
     /// Sets the instruction gap, returning the modified access.

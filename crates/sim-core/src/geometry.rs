@@ -47,13 +47,21 @@ impl CacheGeometry {
         if ways == 0 {
             return Err(GeometryError::ZeroWays);
         }
-        Ok(CacheGeometry { sets, ways, line_bytes })
+        Ok(CacheGeometry {
+            sets,
+            ways,
+            line_bytes,
+        })
     }
 
     /// The paper's standard L2 configuration: 2MB, 16-way, 64-byte lines
     /// (Table 1), i.e. 2048 sets.
     pub fn micro2010_l2() -> Self {
-        CacheGeometry { sets: 2048, ways: 16, line_bytes: 64 }
+        CacheGeometry {
+            sets: 2048,
+            ways: 16,
+            line_bytes: 64,
+        }
     }
 
     /// A geometry with the same capacity but a different associativity,

@@ -11,12 +11,20 @@
 //!
 //! The fixed 16-byte record keeps reading trivially seekable; a 50M-access
 //! trace is 800MB, in line with what architectural trace formats cost.
+//!
+//! Reading is lossless: every field of every record roundtrips bit-exactly
+//! through [`write_trace`]/[`read_trace`], including `inst_gap == 0`
+//! (back-to-back accesses with no intervening instructions).
 
 use std::io::{self, Read, Write};
 
-use crate::{Access, AccessKind, Address, Trace};
+use crate::{Access, AccessKind, Address, Trace, TraceError};
 
 const MAGIC: &[u8; 8] = b"STEMTRC1";
+
+/// Largest record count a reader will accept (2^40 records = 16 TiB of
+/// payload); anything above this is treated as a corrupted header.
+const MAX_RECORD_COUNT: u64 = 1 << 40;
 
 /// Writes `trace` to `w` in the `STEMTRC1` format.
 ///
@@ -42,23 +50,25 @@ pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` if the magic or record framing is wrong, and
-/// propagates any I/O error from the reader.
-pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+/// Returns a typed [`TraceError`] distinguishing format corruption (bad
+/// magic, bad kind byte, impossible count) from transport failures; a
+/// truncated stream surfaces as [`TraceError::Io`] with kind
+/// `UnexpectedEof`.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a STEMTRC1 trace (bad magic)",
-        ));
+        return Err(TraceError::BadMagic(magic));
     }
     let mut count_bytes = [0u8; 8];
     r.read_exact(&mut count_bytes)?;
     let count = u64::from_le_bytes(count_bytes);
-    let mut trace = Trace::with_capacity(usize::try_from(count).map_err(|_| {
-        io::Error::new(io::ErrorKind::InvalidData, "trace too large for this platform")
-    })?);
+    if usize::try_from(count).is_err() || count > MAX_RECORD_COUNT {
+        return Err(TraceError::TooLarge(count));
+    }
+    // Cap the pre-allocation: a corrupted count field must produce a typed
+    // error (or EOF below), never an allocator abort.
+    let mut trace = Trace::with_capacity(count.min(1 << 20) as usize);
     let mut rec = [0u8; 16];
     for _ in 0..count {
         r.read_exact(&mut rec)?;
@@ -67,14 +77,13 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
         let kind = match rec[12] {
             0 => AccessKind::Read,
             1 => AccessKind::Write,
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("invalid access kind byte {other}"),
-                ))
-            }
+            other => return Err(TraceError::BadKind(other)),
         };
-        trace.push(Access { addr: Address::new(addr), kind, inst_gap: gap.max(1) });
+        trace.push(Access {
+            addr: Address::new(addr),
+            kind,
+            inst_gap: gap,
+        });
     }
     Ok(trace)
 }
@@ -101,6 +110,31 @@ mod tests {
     }
 
     #[test]
+    fn zero_inst_gap_roundtrips_exactly() {
+        // Regression: read_trace used to clamp inst_gap 0 -> 1, so a
+        // written trace with back-to-back accesses did not read back equal.
+        // Built literally: the `with_inst_gap` builder clamps to 1 by
+        // design, but the trace format itself represents zero gaps.
+        let mut t = Trace::new();
+        t.push(Access {
+            addr: Address::new(0x80),
+            kind: AccessKind::Read,
+            inst_gap: 0,
+        });
+        t.push(Access {
+            addr: Address::new(0xC0),
+            kind: AccessKind::Write,
+            inst_gap: 0,
+        });
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.as_slice()[0].inst_gap, 0);
+        assert_eq!(back.as_slice()[1].inst_gap, 0);
+    }
+
+    #[test]
     fn empty_trace_roundtrips() {
         let t = Trace::new();
         let mut buf = Vec::new();
@@ -112,7 +146,8 @@ mod tests {
     fn bad_magic_rejected() {
         let buf = b"NOTATRCE\0\0\0\0\0\0\0\0".to_vec();
         let err = read_trace(buf.as_slice()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, TraceError::BadMagic(m) if &m == b"NOTATRCE"));
+        assert!(err.is_corruption());
     }
 
     #[test]
@@ -121,7 +156,9 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, &t).unwrap();
         buf.truncate(buf.len() - 5);
-        assert!(read_trace(buf.as_slice()).is_err());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(&err, TraceError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof));
+        assert!(err.is_corruption());
     }
 
     #[test]
@@ -131,7 +168,36 @@ mod tests {
         write_trace(&mut buf, &t).unwrap();
         let kind_offset = 8 + 8 + 12; // magic + count + first record's kind
         buf[kind_offset] = 9;
-        assert!(read_trace(buf.as_slice()).is_err());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::BadKind(9)));
+    }
+
+    #[test]
+    fn absurd_count_rejected_without_allocating() {
+        // A corrupted header declaring u64::MAX records must surface as a
+        // typed error, not an allocator abort or a hang.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::TooLarge(c) if c == u64::MAX));
+        assert!(err.is_corruption());
+    }
+
+    #[test]
+    fn large_but_plausible_count_fails_with_eof_not_oom() {
+        // 2^21 declared records with no payload: the capped pre-allocation
+        // must not reserve 32 MiB up front, and the read fails cleanly.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&(1u64 << 21).to_le_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(&err, TraceError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof));
+    }
+
+    #[test]
+    fn errors_convert_to_io_error_for_legacy_callers() {
+        let buf = b"NOTATRCE\0\0\0\0\0\0\0\0".to_vec();
+        let err: io::Error = read_trace(buf.as_slice()).unwrap_err().into();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   set-level capacity-demand monitor (and by SBC/DIP);
 //! * [`SplitMix64`] — a tiny deterministic RNG so every simulation is
 //!   reproducible without external crates;
-//! * [`CacheModel`] — the object-safe trait all six schemes implement.
+//! * [`CacheModel`] — the object-safe trait all six schemes implement;
+//! * [`InvariantAuditor`] / [`run_audited`] — checked simulation mode that
+//!   verifies each scheme's internal bookkeeping during a run;
+//! * [`SimError`] / [`TraceError`] — the workspace-wide error taxonomy;
+//! * [`prop`] — an in-repo deterministic property-testing harness so the
+//!   whole workspace builds and tests offline.
 //!
 //! # Examples
 //!
@@ -31,11 +36,13 @@
 
 mod access;
 mod addr;
+mod audit;
 mod counter;
 mod error;
 mod geometry;
 pub mod io;
 mod model;
+pub mod prop;
 mod rng;
 mod stats;
 mod timing;
@@ -43,8 +50,9 @@ mod trace;
 
 pub use access::{Access, AccessKind};
 pub use addr::{Address, LineAddr};
+pub use audit::{run_audited, AuditError, AuditedCacheModel, InvariantAuditor};
 pub use counter::SaturatingCounter;
-pub use error::GeometryError;
+pub use error::{GeometryError, SimError, TraceError};
 pub use geometry::CacheGeometry;
 pub use model::{AccessResult, CacheModel};
 pub use rng::SplitMix64;

@@ -131,7 +131,10 @@ mod tests {
     #[test]
     fn result_display() {
         assert_eq!(AccessResult::HitLocal.to_string(), "local hit");
-        assert_eq!(AccessResult::MissCooperative.to_string(), "miss after cooperative probe");
+        assert_eq!(
+            AccessResult::MissCooperative.to_string(),
+            "miss after cooperative probe"
+        );
     }
 
     /// A trivial always-miss cache to exercise the trait's default methods.
@@ -165,7 +168,9 @@ mod tests {
             stats: CacheStats::default(),
             geom: CacheGeometry::micro2010_l2(),
         });
-        let trace: Trace = (0..10u64).map(|i| Access::read(Address::new(i * 64))).collect();
+        let trace: Trace = (0..10u64)
+            .map(|i| Access::read(Address::new(i * 64)))
+            .collect();
         cache.run(&trace);
         assert_eq!(cache.stats().accesses(), 10);
         cache.reset_stats();

@@ -45,7 +45,12 @@ impl TimingParams {
     /// data; we use the instruction-side 1 plus model the extra data cycle
     /// in the hierarchy crate), L2 tag 6, L2 data 8, memory 300.
     pub fn micro2010() -> Self {
-        TimingParams { l1_hit: 1, l2_tag: 6, l2_data: 8, memory: 300 }
+        TimingParams {
+            l1_hit: 1,
+            l2_tag: 6,
+            l2_data: 8,
+            memory: 300,
+        }
     }
 
     /// Sets the L1 hit latency.
@@ -181,7 +186,11 @@ mod tests {
 
     #[test]
     fn access_latency_total() {
-        let l = AccessLatency { l1: 1, l2: 14, memory: 0 };
+        let l = AccessLatency {
+            l1: 1,
+            l2: 14,
+            memory: 0,
+        };
         assert_eq!(l.total(), 15);
         assert_eq!(AccessLatency::default().total(), 0);
     }

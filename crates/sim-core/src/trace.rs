@@ -30,12 +30,16 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace.
     pub fn new() -> Self {
-        Trace { accesses: Vec::new() }
+        Trace {
+            accesses: Vec::new(),
+        }
     }
 
     /// Creates an empty trace with room for `capacity` accesses.
     pub fn with_capacity(capacity: usize) -> Self {
-        Trace { accesses: Vec::with_capacity(capacity) }
+        Trace {
+            accesses: Vec::with_capacity(capacity),
+        }
     }
 
     /// Appends an access.
@@ -103,7 +107,9 @@ impl Trace {
 
 impl FromIterator<Access> for Trace {
     fn from_iter<I: IntoIterator<Item = Access>>(iter: I) -> Self {
-        Trace { accesses: iter.into_iter().collect() }
+        Trace {
+            accesses: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -166,7 +172,10 @@ mod tests {
     use crate::{AccessKind, Address};
 
     fn trace_of(addrs: &[u64]) -> Trace {
-        addrs.iter().map(|&a| Access::read(Address::new(a))).collect()
+        addrs
+            .iter()
+            .map(|&a| Access::read(Address::new(a)))
+            .collect()
     }
 
     #[test]

@@ -1,73 +1,81 @@
-//! Property tests for the sim-core substrate.
+//! Property tests for the sim-core substrate, driven by the in-repo
+//! deterministic harness (`stem_sim_core::prop`).
 
-use proptest::prelude::*;
-use stem_sim_core::{io, Access, AccessKind, Address, CacheGeometry, SaturatingCounter, Trace};
+use stem_sim_core::{
+    io, prop, Access, AccessKind, Address, CacheGeometry, SaturatingCounter, Trace,
+};
 
-proptest! {
-    /// Trace serialization round-trips arbitrary traces exactly.
-    #[test]
-    fn trace_io_roundtrip(
-        records in proptest::collection::vec((0u64..(1u64 << 44), 1u32..10_000, proptest::bool::ANY), 0..200)
-    ) {
-        let trace: Trace = records
-            .iter()
-            .map(|&(addr, gap, write)| Access {
-                addr: Address::new(addr),
-                kind: if write { AccessKind::Write } else { AccessKind::Read },
-                inst_gap: gap,
+/// Trace serialization round-trips arbitrary traces exactly — including
+/// zero instruction gaps.
+#[test]
+fn trace_io_roundtrip() {
+    prop::check(256, |g| {
+        let trace: Trace = (0..g.usize(0, 200))
+            .map(|_| Access {
+                addr: Address::new(g.u64(0, 1 << 44)),
+                kind: if g.bool() {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+                inst_gap: g.u32(0, 10_000),
             })
             .collect();
         let mut buf = Vec::new();
         io::write_trace(&mut buf, &trace).expect("in-memory write cannot fail");
         let back = io::read_trace(buf.as_slice()).expect("roundtrip read");
-        prop_assert_eq!(back, trace);
-    }
+        assert_eq!(back, trace);
+    });
+}
 
-    /// Tag/index/offset decomposition is a bijection on line addresses.
-    #[test]
-    fn geometry_roundtrip(
-        sets_pow in 1u32..12,
-        ways in 1usize..32,
-        addr in 0u64..(1u64 << 44)
-    ) {
+/// Tag/index/offset decomposition is a bijection on line addresses.
+#[test]
+fn geometry_roundtrip() {
+    prop::check(256, |g| {
+        let sets_pow = g.u32(1, 12);
+        let ways = g.usize(1, 32);
+        let addr = g.u64(0, 1 << 44);
         let geom = CacheGeometry::new(1 << sets_pow, ways, 64).expect("valid geometry");
         let line = Address::new(addr).line(64);
         let tag = geom.tag_of_line(line);
         let set = geom.set_index_of_line(line);
-        prop_assert_eq!(geom.line_of(tag, set), line);
-        prop_assert!(set < geom.sets());
-    }
+        assert_eq!(geom.line_of(tag, set), line);
+        assert!(set < geom.sets());
+    });
+}
 
-    /// Saturating counters never escape their range and saturate
-    /// monotonically.
-    #[test]
-    fn counter_stays_in_range(
-        bits in 1u32..16,
-        ops in proptest::collection::vec(proptest::bool::ANY, 0..500)
-    ) {
+/// Saturating counters never escape their range and saturate monotonically.
+#[test]
+fn counter_stays_in_range() {
+    prop::check(128, |g| {
+        let bits = g.u32(1, 16);
         let mut c = SaturatingCounter::new(bits);
-        for up in ops {
-            if up {
+        for _ in 0..g.usize(0, 500) {
+            if g.bool() {
                 c.increment();
             } else {
                 c.decrement();
             }
-            prop_assert!(c.value() <= c.max());
-            prop_assert_eq!(c.is_saturated(), c.value() == c.max());
-            prop_assert_eq!(c.msb(), c.value() >= c.midpoint());
+            assert!(c.value() <= c.max());
+            assert_eq!(c.is_saturated(), c.value() == c.max());
+            assert_eq!(c.msb(), c.value() >= c.midpoint());
         }
-    }
+    });
+}
 
-    /// Trace statistics are consistent: instructions ≥ accesses (every
-    /// gap is at least 1) and sets_touched is bounded by the geometry.
-    #[test]
-    fn trace_stats_consistent(addrs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+/// Trace statistics are consistent: accesses match the trace length and
+/// sets_touched is bounded by the geometry.
+#[test]
+fn trace_stats_consistent() {
+    prop::check(128, |g| {
         let geom = CacheGeometry::new(64, 4, 64).expect("valid geometry");
-        let trace: Trace = addrs.iter().map(|&a| Access::read(Address::new(a))).collect();
+        let trace: Trace = (0..g.usize(1, 300))
+            .map(|_| Access::read(Address::new(g.u64(0, 1_000_000))))
+            .collect();
         let stats = trace.stats(geom);
-        prop_assert_eq!(stats.accesses, trace.len() as u64);
-        prop_assert!(stats.instructions >= stats.accesses);
-        prop_assert!(stats.sets_touched <= geom.sets());
-        prop_assert!(stats.sets_touched >= 1);
-    }
+        assert_eq!(stats.accesses, trace.len() as u64);
+        assert!(stats.instructions >= stats.accesses);
+        assert!(stats.sets_touched <= geom.sets());
+        assert!(stats.sets_touched >= 1);
+    });
 }

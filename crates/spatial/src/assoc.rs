@@ -32,7 +32,9 @@ pub struct AssociationTable {
 impl AssociationTable {
     /// Creates a table for `sets` sets, all initially uncoupled.
     pub fn new(sets: usize) -> Self {
-        AssociationTable { entries: (0..sets as u32).collect() }
+        AssociationTable {
+            entries: (0..sets as u32).collect(),
+        }
     }
 
     /// Number of sets covered.
@@ -103,7 +105,7 @@ impl AssociationTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use stem_sim_core::prop;
 
     #[test]
     fn fresh_table_uncoupled() {
@@ -161,27 +163,29 @@ mod tests {
         t.couple(1, 1);
     }
 
-    proptest! {
-        /// Random couple/decouple sequences preserve symmetry.
-        #[test]
-        fn random_ops_stay_consistent(ops in proptest::collection::vec((0usize..16, 0usize..16, proptest::bool::ANY), 0..64)) {
+    /// Random couple/decouple sequences preserve symmetry.
+    #[test]
+    fn random_ops_stay_consistent() {
+        prop::check(128, |g| {
             let mut t = AssociationTable::new(16);
-            for (a, b, is_couple) in ops {
-                if is_couple {
+            for _ in 0..g.usize(0, 64) {
+                let a = g.usize(0, 16);
+                let b = g.usize(0, 16);
+                if g.bool() {
                     if a != b && !t.is_coupled(a) && !t.is_coupled(b) {
                         t.couple(a, b);
                     }
                 } else {
                     t.decouple(a);
                 }
-                prop_assert!(t.is_consistent());
+                assert!(t.is_consistent());
                 for s in 0..16 {
                     if let Some(p) = t.partner(s) {
-                        prop_assert_eq!(t.partner(p), Some(s));
-                        prop_assert_ne!(p, s);
+                        assert_eq!(t.partner(p), Some(s));
+                        assert_ne!(p, s);
                     }
                 }
             }
-        }
+        });
     }
 }

@@ -41,7 +41,10 @@ impl DestinationSetSelector {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "selector capacity must be positive");
-        DestinationSetSelector { entries: Vec::with_capacity(capacity), capacity }
+        DestinationSetSelector {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Number of candidates currently tracked.
@@ -120,7 +123,7 @@ impl DestinationSetSelector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use stem_sim_core::prop;
 
     #[test]
     fn post_and_pop_in_level_order() {
@@ -171,27 +174,29 @@ mod tests {
         let _ = DestinationSetSelector::new(0);
     }
 
-    proptest! {
-        /// The selector never exceeds capacity and never stores duplicates.
-        #[test]
-        fn capacity_and_uniqueness(posts in proptest::collection::vec((0usize..32, 0u32..100), 0..100)) {
+    /// The selector never exceeds capacity and never stores duplicates.
+    #[test]
+    fn capacity_and_uniqueness() {
+        prop::check(128, |g| {
             let mut dss = DestinationSetSelector::new(4);
-            for (set, level) in posts {
-                dss.post(set, level);
-                prop_assert!(dss.len() <= 4);
+            for _ in 0..g.usize(0, 100) {
+                dss.post(g.usize(0, 32), g.u32(0, 100));
+                assert!(dss.len() <= 4);
                 let mut sets: Vec<usize> = dss.entries.iter().map(|&(s, _)| s).collect();
                 sets.sort_unstable();
                 sets.dedup();
-                prop_assert_eq!(sets.len(), dss.len());
+                assert_eq!(sets.len(), dss.len());
             }
-        }
+        });
+    }
 
-        /// pop_least drains in non-decreasing level order.
-        #[test]
-        fn pop_order_sorted(posts in proptest::collection::vec((0usize..32, 0u32..100), 1..16)) {
+    /// pop_least drains in non-decreasing level order.
+    #[test]
+    fn pop_order_sorted() {
+        prop::check(128, |g| {
             let mut dss = DestinationSetSelector::new(16);
-            for (set, level) in posts {
-                dss.post(set, level);
+            for _ in 0..g.usize(1, 16) {
+                dss.post(g.usize(0, 32), g.u32(0, 100));
             }
             let mut levels = Vec::new();
             loop {
@@ -201,7 +206,7 @@ mod tests {
                     _ => break,
                 }
             }
-            prop_assert!(levels.windows(2).all(|w| w[0] <= w[1]));
-        }
+            assert!(levels.windows(2).all(|w| w[0] <= w[1]));
+        });
     }
 }

@@ -18,7 +18,8 @@
 
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
-    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr,
+    AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
+    InvariantAuditor, LineAddr, SimError,
 };
 
 use crate::{AssociationTable, DestinationSetSelector};
@@ -36,7 +37,11 @@ pub struct SbcConfig {
 
 impl Default for SbcConfig {
     fn default() -> Self {
-        SbcConfig { dss_capacity: 16, sat_max_factor: 2, seed: 0x5BC0_5BC0 }
+        SbcConfig {
+            dss_capacity: 16,
+            sat_max_factor: 2,
+            seed: 0x5BC0_5BC0,
+        }
     }
 }
 
@@ -87,9 +92,39 @@ impl SbcCache {
     }
 
     /// Creates an SBC cache with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; use
+    /// [`try_with_config`](SbcCache::try_with_config) for a fallible
+    /// variant.
     pub fn with_config(geom: CacheGeometry, cfg: SbcConfig) -> Self {
+        match SbcCache::try_with_config(geom, cfg) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates an SBC cache with explicit parameters, rejecting invalid
+    /// ones with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the Destination Set Selector has no
+    /// capacity or the saturation clamp factor is zero (either would make
+    /// coupling impossible or panic downstream).
+    pub fn try_with_config(geom: CacheGeometry, cfg: SbcConfig) -> Result<Self, SimError> {
+        if cfg.dss_capacity == 0 {
+            return Err(SimError::config("SBC", "DSS capacity must be at least 1"));
+        }
+        if cfg.sat_max_factor == 0 {
+            return Err(SimError::config(
+                "SBC",
+                "saturation clamp factor must be at least 1",
+            ));
+        }
         let sat_max = cfg.sat_max_factor * geom.ways() as u32;
-        SbcCache {
+        Ok(SbcCache {
             geom,
             cfg,
             lines: vec![vec![None; geom.ways()]; geom.sets()],
@@ -101,7 +136,7 @@ impl SbcCache {
             foreign_count: vec![0; geom.sets()],
             dss: DestinationSetSelector::new(cfg.dss_capacity),
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// Current saturation level of `set` (analysis hook).
@@ -176,7 +211,9 @@ impl SbcCache {
     /// the arriving foreign block immediately refills the drain, so the
     /// §4.7 disassociation must not fire in between.
     fn evict_off_chip(&mut self, set: usize, way: usize, allow_decouple: bool) {
-        let old = self.lines[set][way].take().expect("eviction of invalid way");
+        let old = self.lines[set][way]
+            .take()
+            .expect("eviction of invalid way");
         self.stats.record_eviction();
         if old.dirty {
             self.stats.record_writeback();
@@ -207,7 +244,11 @@ impl SbcCache {
                 victim
             }
         };
-        self.lines[dest][way] = Some(Line { line, dirty, foreign: true });
+        self.lines[dest][way] = Some(Line {
+            line,
+            dirty,
+            foreign: true,
+        });
         self.ranks[dest].touch_mru(way);
         self.foreign_count[dest] += 1;
         self.stats.record_receive();
@@ -242,10 +283,7 @@ impl SbcCache {
         // Pop candidates until a valid one surfaces (entries may be stale:
         // since posted, a candidate may have coupled or saturated).
         while let Some(cand) = self.dss.pop_least() {
-            if cand != set
-                && !self.assoc.is_coupled(cand)
-                && self.sat[cand] < self.sat_max / 2
-            {
+            if cand != set && !self.assoc.is_coupled(cand) && self.sat[cand] < self.sat_max / 2 {
                 self.assoc.couple(set, cand);
                 self.is_source[set] = true;
                 self.is_source[cand] = false;
@@ -308,7 +346,11 @@ impl CacheModel for SbcCache {
                 victim
             }
         };
-        self.lines[home][way] = Some(Line { line, dirty: kind.is_write(), foreign: false });
+        self.lines[home][way] = Some(Line {
+            line,
+            dirty: kind.is_write(),
+            foreign: false,
+        });
         self.ranks[home].touch_mru(way);
 
         if partner.is_some() {
@@ -335,6 +377,78 @@ impl CacheModel for SbcCache {
     }
 }
 
+impl InvariantAuditor for SbcCache {
+    /// Checks SBC's cooperative-caching bookkeeping: association-table
+    /// symmetry, per-pair source/destination roles, foreign-block counts,
+    /// saturation-counter bounds, recency-stack permutations, and per-set
+    /// tag uniqueness.
+    fn audit(&self) -> Result<(), AuditError> {
+        if !self.assoc.is_consistent() {
+            return Err(AuditError::new("SBC", "association table is not symmetric"));
+        }
+        for s in 0..self.geom.sets() {
+            if self.sat[s] > self.sat_max {
+                return Err(AuditError::new(
+                    "SBC",
+                    format!(
+                        "saturation {} of set {s} exceeds clamp {}",
+                        self.sat[s], self.sat_max
+                    ),
+                ));
+            }
+            if !self.ranks[s].is_permutation() {
+                return Err(AuditError::new(
+                    "SBC",
+                    format!("recency stack of set {s} is not a permutation"),
+                ));
+            }
+            let mut seen = std::collections::HashSet::new();
+            let mut foreign = 0u32;
+            for l in self.lines[s].iter().flatten() {
+                if !seen.insert(l.line) {
+                    return Err(AuditError::new(
+                        "SBC",
+                        format!("duplicate line {:?} in set {s}", l.line),
+                    ));
+                }
+                if l.foreign {
+                    foreign += 1;
+                }
+            }
+            if foreign != self.foreign_count[s] {
+                return Err(AuditError::new(
+                    "SBC",
+                    format!(
+                        "set {s} holds {foreign} foreign blocks but the counter says {}",
+                        self.foreign_count[s]
+                    ),
+                ));
+            }
+            if foreign > 0 && (!self.assoc.is_coupled(s) || self.is_source[s]) {
+                return Err(AuditError::new(
+                    "SBC",
+                    format!("set {s} holds foreign blocks but is not a coupled destination"),
+                ));
+            }
+            if self.is_source[s] && !self.assoc.is_coupled(s) {
+                return Err(AuditError::new(
+                    "SBC",
+                    format!("set {s} is marked source but is not coupled"),
+                ));
+            }
+            if let Some(p) = self.assoc.partner(s) {
+                if self.is_source[s] == self.is_source[p] {
+                    return Err(AuditError::new(
+                        "SBC",
+                        format!("pair ({s},{p}) must have exactly one source"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 impl std::fmt::Debug for SbcCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SbcCache")
@@ -349,8 +463,7 @@ impl std::fmt::Debug for SbcCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use stem_sim_core::{Access, Trace};
+    use stem_sim_core::{prop, Access, Trace};
 
     /// A trace that thrashes set 0 (cycle of `2 * ways` blocks) while
     /// leaving set 1 idle after a warm single block — the paper's Example
@@ -419,11 +532,7 @@ mod tests {
         sbc.run(&example1_trace(geom, 300));
         // Consistency: every foreign count matches the actual lines.
         for s in 0..geom.sets() {
-            let actual = sbc.lines[s]
-                .iter()
-                .flatten()
-                .filter(|l| l.foreign)
-                .count() as u32;
+            let actual = sbc.lines[s].iter().flatten().filter(|l| l.foreign).count() as u32;
             assert_eq!(actual, sbc.foreign_blocks(s), "set {s} foreign count");
         }
     }
@@ -446,38 +555,58 @@ mod tests {
         assert_eq!(sbc.stats().hits(), 0, "both sets must thrash");
     }
 
-    proptest! {
-        /// Association symmetry and foreign-count consistency hold under
-        /// random access streams.
-        #[test]
-        fn invariants_under_random_traffic(tags in proptest::collection::vec((0u64..24, 0usize..4), 1..600)) {
+    #[test]
+    fn invalid_configs_are_rejected_with_typed_errors() {
+        let geom = CacheGeometry::new(4, 2, 64).unwrap();
+        for cfg in [
+            SbcConfig {
+                dss_capacity: 0,
+                ..SbcConfig::default()
+            },
+            SbcConfig {
+                sat_max_factor: 0,
+                ..SbcConfig::default()
+            },
+        ] {
+            let err = SbcCache::try_with_config(geom, cfg)
+                .err()
+                .expect("must reject");
+            assert!(
+                matches!(err, SimError::Config { scheme: "SBC", .. }),
+                "{err}"
+            );
+        }
+    }
+
+    /// Association symmetry and foreign-count consistency hold under
+    /// random access streams (the full auditor runs at the end of each
+    /// case).
+    #[test]
+    fn invariants_under_random_traffic() {
+        prop::check(96, |g| {
             let geom = CacheGeometry::new(4, 2, 64).unwrap();
             let mut sbc = SbcCache::new(geom);
-            for (tag, set) in tags {
+            for _ in 0..g.usize(1, 600) {
+                let tag = g.u64(0, 24);
+                let set = g.usize(0, 4);
                 sbc.access(geom.address_of(tag, set), AccessKind::Read);
             }
-            prop_assert!(sbc.assoc.is_consistent());
-            for s in 0..geom.sets() {
-                let actual = sbc.lines[s].iter().flatten().filter(|l| l.foreign).count() as u32;
-                prop_assert_eq!(actual, sbc.foreign_blocks(s));
-                // Foreign blocks only live in coupled destination sets or
-                // sets that were destinations (drained pairs decouple at 0).
-                if actual > 0 {
-                    prop_assert!(sbc.assoc.is_coupled(s));
-                    prop_assert!(!sbc.is_source(s));
-                }
-            }
-        }
+            sbc.audit()
+                .expect("SBC invariants hold under random traffic");
+        });
+    }
 
-        /// SBC accounting: hits + misses == accesses.
-        #[test]
-        fn stats_balance(tags in proptest::collection::vec(0u64..32, 1..300)) {
+    /// SBC accounting: hits + misses == accesses.
+    #[test]
+    fn stats_balance() {
+        prop::check(96, |g| {
             let geom = CacheGeometry::new(2, 2, 64).unwrap();
             let mut sbc = SbcCache::new(geom);
-            for (i, &tag) in tags.iter().enumerate() {
+            for i in 0..g.usize(1, 300) {
+                let tag = g.u64(0, 32);
                 sbc.access(geom.address_of(tag, (tag % 2) as usize), AccessKind::Read);
-                prop_assert_eq!(sbc.stats().accesses(), (i + 1) as u64);
+                assert_eq!(sbc.stats().accesses(), (i + 1) as u64);
             }
-        }
+        });
     }
 }

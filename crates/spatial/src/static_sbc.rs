@@ -11,7 +11,8 @@
 
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
-    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr,
+    AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
+    InvariantAuditor, LineAddr, SimError,
 };
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,15 +54,29 @@ impl StaticSbcCache {
     ///
     /// Panics if the cache has fewer than 2 sets (no partner exists).
     pub fn new(geom: CacheGeometry) -> Self {
-        assert!(geom.sets() >= 2, "static SBC needs at least two sets");
-        StaticSbcCache {
+        match Self::try_new(geom) {
+            Ok(c) => c,
+            Err(e) => panic!("static SBC needs at least two sets: {e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects geometries with fewer than 2 sets
+    /// (no design-time partner exists) with a typed error.
+    pub fn try_new(geom: CacheGeometry) -> Result<Self, SimError> {
+        if geom.sets() < 2 {
+            return Err(SimError::config(
+                "SBC-static",
+                format!("needs at least two sets, got {}", geom.sets()),
+            ));
+        }
+        Ok(StaticSbcCache {
             geom,
             lines: vec![vec![None; geom.ways()]; geom.sets()],
             ranks: vec![RecencyStack::new(geom.ways()); geom.sets()],
             sat: vec![0; geom.sets()],
             sat_max: 2 * geom.ways() as u32,
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// The design-time partner of `set`: complement of the top index bit.
@@ -92,7 +107,9 @@ impl StaticSbcCache {
     }
 
     fn evict_off_chip(&mut self, set: usize, way: usize) {
-        let old = self.lines[set][way].take().expect("eviction of invalid way");
+        let old = self.lines[set][way]
+            .take()
+            .expect("eviction of invalid way");
         self.stats.record_eviction();
         if old.dirty {
             self.stats.record_writeback();
@@ -171,7 +188,11 @@ impl CacheModel for StaticSbcCache {
                 victim_way
             }
         };
-        self.lines[home][way] = Some(Line { line, dirty: kind.is_write(), foreign: false });
+        self.lines[home][way] = Some(Line {
+            line,
+            dirty: kind.is_write(),
+            foreign: false,
+        });
         self.ranks[home].touch_mru(way);
         if probes_partner {
             AccessResult::MissCooperative
@@ -194,6 +215,61 @@ impl CacheModel for StaticSbcCache {
 
     fn name(&self) -> &str {
         "SBC-static"
+    }
+}
+
+impl InvariantAuditor for StaticSbcCache {
+    fn audit(&self) -> Result<(), AuditError> {
+        let err = |detail: String| Err(AuditError::new("SBC-static", detail));
+        for set in 0..self.geom.sets() {
+            if self.lines[set].len() != self.geom.ways() {
+                return err(format!(
+                    "set {set} holds {} ways, geometry says {}",
+                    self.lines[set].len(),
+                    self.geom.ways()
+                ));
+            }
+            if !self.ranks[set].is_permutation() {
+                return err(format!("recency stack of set {set} is not a permutation"));
+            }
+            if self.sat[set] > self.sat_max {
+                return err(format!(
+                    "saturation level {} of set {set} exceeds bound {}",
+                    self.sat[set], self.sat_max
+                ));
+            }
+            let mut seen = std::collections::HashSet::new();
+            for l in self.lines[set].iter().flatten() {
+                if !seen.insert(l.line) {
+                    return err(format!("duplicate line {:?} in set {set}", l.line));
+                }
+                let home = self.geom.set_index_of_line(l.line);
+                if l.foreign && home == set {
+                    return err(format!(
+                        "line {:?} in its home set {set} is marked foreign",
+                        l.line
+                    ));
+                }
+                if !l.foreign && home != set {
+                    return err(format!(
+                        "native-marked line {:?} sits in set {set} but maps to set {home}",
+                        l.line
+                    ));
+                }
+                if l.foreign && self.partner_of(home) != set {
+                    return err(format!(
+                        "foreign line {:?} sits in set {set}, not its home's partner {}",
+                        l.line,
+                        self.partner_of(home)
+                    ));
+                }
+            }
+        }
+        // Note: a foreign copy may coexist with a freshly re-installed
+        // native copy (the home set only probes its partner while it is
+        // spilling), so cross-pair uniqueness is deliberately NOT an
+        // invariant of this model.
+        Ok(())
     }
 }
 

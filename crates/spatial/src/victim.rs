@@ -9,7 +9,8 @@
 
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
-    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr,
+    AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
+    InvariantAuditor, LineAddr, SimError,
 };
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,15 +55,29 @@ impl VictimCache {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(geom: CacheGeometry, capacity: usize) -> Self {
-        assert!(capacity > 0, "victim buffer capacity must be positive");
-        VictimCache {
+        match Self::try_new(geom, capacity) {
+            Ok(c) => c,
+            Err(e) => panic!("victim buffer capacity must be positive: {e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects a zero-entry victim buffer with a
+    /// typed error.
+    pub fn try_new(geom: CacheGeometry, capacity: usize) -> Result<Self, SimError> {
+        if capacity == 0 {
+            return Err(SimError::config(
+                "LRU+VC",
+                "victim buffer capacity must be positive",
+            ));
+        }
+        Ok(VictimCache {
             geom,
             lines: vec![vec![None; geom.ways()]; geom.sets()],
             ranks: vec![RecencyStack::new(geom.ways()); geom.sets()],
             victims: Vec::with_capacity(capacity),
             capacity,
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// Current number of buffered victims (analysis hook).
@@ -136,7 +151,13 @@ impl CacheModel for VictimCache {
         }
 
         self.stats.record_coop_miss();
-        self.install(set, Line { line, dirty: kind.is_write() });
+        self.install(
+            set,
+            Line {
+                line,
+                dirty: kind.is_write(),
+            },
+        );
         AccessResult::MissCooperative
     }
 
@@ -154,6 +175,57 @@ impl CacheModel for VictimCache {
 
     fn name(&self) -> &str {
         "LRU+VC"
+    }
+}
+
+impl InvariantAuditor for VictimCache {
+    fn audit(&self) -> Result<(), AuditError> {
+        let err = |detail: String| Err(AuditError::new("LRU+VC", detail));
+        let mut resident = std::collections::HashSet::new();
+        for set in 0..self.geom.sets() {
+            if self.lines[set].len() != self.geom.ways() {
+                return err(format!(
+                    "set {set} holds {} ways, geometry says {}",
+                    self.lines[set].len(),
+                    self.geom.ways()
+                ));
+            }
+            if !self.ranks[set].is_permutation() {
+                return err(format!("recency stack of set {set} is not a permutation"));
+            }
+            for l in self.lines[set].iter().flatten() {
+                let home = self.geom.set_index_of_line(l.line);
+                if home != set {
+                    return err(format!(
+                        "line {:?} sits in set {set} but maps to set {home}",
+                        l.line
+                    ));
+                }
+                if !resident.insert(l.line) {
+                    return err(format!("duplicate line {:?} in set {set}", l.line));
+                }
+            }
+        }
+        if self.victims.len() > self.capacity {
+            return err(format!(
+                "victim buffer holds {} entries, capacity is {}",
+                self.victims.len(),
+                self.capacity
+            ));
+        }
+        let mut buffered = std::collections::HashSet::new();
+        for v in &self.victims {
+            if !buffered.insert(v.line) {
+                return err(format!("duplicate line {:?} in the victim buffer", v.line));
+            }
+            if resident.contains(&v.line) {
+                return err(format!(
+                    "line {:?} is both resident in a set and buffered as a victim",
+                    v.line
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -200,7 +272,10 @@ mod tests {
             c.access(g.address_of(t, 0), AccessKind::Write);
             assert!(c.buffered_victims() <= 2);
         }
-        assert!(c.stats().writebacks() > 0, "old dirty victims leave the chip");
+        assert!(
+            c.stats().writebacks() > 0,
+            "old dirty victims leave the chip"
+        );
     }
 
     #[test]

@@ -14,7 +14,8 @@
 
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
-    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr,
+    AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
+    InvariantAuditor, LineAddr, SimError,
 };
 
 /// Tuning parameters for [`VWayCache`].
@@ -29,7 +30,10 @@ pub struct VWayConfig {
 
 impl Default for VWayConfig {
     fn default() -> Self {
-        VWayConfig { tag_data_ratio: 2, reuse_bits: 2 }
+        VWayConfig {
+            tag_data_ratio: 2,
+            reuse_bits: 2,
+        }
     }
 }
 
@@ -98,16 +102,48 @@ impl VWayCache {
     /// # Panics
     ///
     /// Panics if `tag_data_ratio` is 0, or `reuse_bits` is 0 or greater
-    /// than 7.
+    /// than 7. Use [`try_with_config`](VWayCache::try_with_config) for a
+    /// fallible variant.
     pub fn with_config(geom: CacheGeometry, cfg: VWayConfig) -> Self {
-        assert!(cfg.tag_data_ratio >= 1, "tag-data ratio must be at least 1");
-        assert!(
-            cfg.reuse_bits >= 1 && cfg.reuse_bits <= 7,
-            "reuse counter width must be in 1..=7"
-        );
+        match VWayCache::try_with_config(geom, cfg) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a V-Way cache with explicit parameters, rejecting invalid
+    /// ones with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if `tag_data_ratio` is 0 or
+    /// `reuse_bits` is outside `1..=7` (the reuse counter lives in a `u8`
+    /// alongside a dirty bit in hardware).
+    pub fn try_with_config(geom: CacheGeometry, cfg: VWayConfig) -> Result<Self, SimError> {
+        if cfg.tag_data_ratio < 1 {
+            return Err(SimError::config(
+                "V-Way",
+                "tag-data ratio must be at least 1",
+            ));
+        }
+        if cfg.reuse_bits < 1 || cfg.reuse_bits > 7 {
+            return Err(SimError::config(
+                "V-Way",
+                format!(
+                    "reuse counter width must be in 1..=7, got {}",
+                    cfg.reuse_bits
+                ),
+            ));
+        }
         let tag_ways = cfg.tag_data_ratio * geom.ways();
+        if tag_ways > 255 {
+            return Err(SimError::config(
+                "V-Way",
+                format!("tag ways per set ({tag_ways}) exceed the 255 the rank stack tracks"),
+            ));
+        }
         let total = geom.total_lines();
-        VWayCache {
+        Ok(VWayCache {
             geom,
             cfg,
             tags: vec![vec![None; tag_ways]; geom.sets()],
@@ -117,7 +153,7 @@ impl VWayCache {
             clock: 0,
             max_reuse: ((1u32 << cfg.reuse_bits) - 1) as u8,
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// Number of data lines currently owned by `set` (the set's *variable*
@@ -129,23 +165,93 @@ impl VWayCache {
     /// Verifies forward/backward pointer consistency (test hook): every
     /// valid tag's data line points back at it, and vice versa.
     pub fn pointers_consistent(&self) -> bool {
+        self.audit_pointers().is_ok()
+    }
+
+    /// Deliberately corrupts one reverse pointer, for negative-testing the
+    /// auditor. Returns `false` if no valid data line exists to corrupt.
+    #[doc(hidden)]
+    pub fn corrupt_reverse_pointer(&mut self) -> bool {
+        for d in self.data.iter_mut().flatten() {
+            d.rptr_way ^= 1;
+            return true;
+        }
+        false
+    }
+
+    fn audit_pointers(&self) -> Result<(), AuditError> {
         for (s, set_tags) in self.tags.iter().enumerate() {
             for (w, t) in set_tags.iter().enumerate() {
                 if let Some(t) = t {
-                    match self.data[t.data] {
+                    match self.data.get(t.data).copied().flatten() {
                         Some(d) => {
                             if d.rptr_set as usize != s || d.rptr_way as usize != w {
-                                return false;
+                                return Err(AuditError::new(
+                                    "V-Way",
+                                    format!(
+                                        "tag ({s},{w}) forward pointer {} has reverse \
+                                         pointer ({},{})",
+                                        t.data, d.rptr_set, d.rptr_way
+                                    ),
+                                ));
                             }
                         }
-                        None => return false,
+                        None => {
+                            return Err(AuditError::new(
+                                "V-Way",
+                                format!("tag ({s},{w}) points at invalid data line {}", t.data),
+                            ))
+                        }
                     }
                 }
             }
         }
         let valid_tags: usize = self.tags.iter().map(|s| s.iter().flatten().count()).sum();
         let valid_data = self.data.iter().flatten().count();
-        valid_tags == valid_data
+        if valid_tags != valid_data {
+            return Err(AuditError::new(
+                "V-Way",
+                format!("{valid_tags} valid tags but {valid_data} valid data lines"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn audit_free_list(&self) -> Result<(), AuditError> {
+        let mut on_free_list = vec![false; self.data.len()];
+        for &idx in &self.free_data {
+            if idx >= self.data.len() {
+                return Err(AuditError::new(
+                    "V-Way",
+                    format!("free list holds out-of-range index {idx}"),
+                ));
+            }
+            if on_free_list[idx] {
+                return Err(AuditError::new(
+                    "V-Way",
+                    format!("free list holds index {idx} twice"),
+                ));
+            }
+            on_free_list[idx] = true;
+        }
+        for (idx, d) in self.data.iter().enumerate() {
+            match d {
+                Some(_) if on_free_list[idx] => {
+                    return Err(AuditError::new(
+                        "V-Way",
+                        format!("valid data line {idx} is also on the free list"),
+                    ))
+                }
+                None if !on_free_list[idx] => {
+                    return Err(AuditError::new(
+                        "V-Way",
+                        format!("invalid data line {idx} is missing from the free list"),
+                    ))
+                }
+                _ => {}
+            }
+        }
+        Ok(())
     }
 
     fn find_tag_way(&self, set: usize, line: LineAddr) -> Option<usize> {
@@ -160,44 +266,87 @@ impl VWayCache {
 
     /// Global reuse-counter clock: decrement non-zero counters until a line
     /// with zero reuse is found, evict it, and return its index.
-    fn global_data_victim(&mut self) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the store holds no valid line (callers only
+    /// invoke this when the free list is empty, i.e. every line is valid)
+    /// or if the victim's reverse pointer is corrupt.
+    fn global_data_victim(&mut self) -> Result<usize, SimError> {
         let total = self.data.len();
-        loop {
+        // Two full revolutions always reach a zero counter: the first
+        // decrements every counter at least once per pass.
+        let max_steps = total * (usize::from(self.max_reuse) + 2);
+        for _ in 0..max_steps {
             let idx = self.clock;
             self.clock = (self.clock + 1) % total;
             if let Some(d) = &mut self.data[idx] {
                 if d.reuse == 0 {
                     // Evict: invalidate the owning tag entry.
                     let d = *d;
-                    self.tags[d.rptr_set as usize][d.rptr_way as usize] = None;
+                    let row = self
+                        .tags
+                        .get_mut(d.rptr_set as usize)
+                        .ok_or_else(|| corrupt_rptr(idx, d.rptr_set, d.rptr_way))?;
+                    let slot = row
+                        .get_mut(d.rptr_way as usize)
+                        .ok_or_else(|| corrupt_rptr(idx, d.rptr_set, d.rptr_way))?;
+                    *slot = None;
                     self.data[idx] = None;
                     self.stats.record_eviction();
                     if d.dirty {
                         self.stats.record_writeback();
                     }
-                    return idx;
+                    return Ok(idx);
                 }
                 d.reuse -= 1;
             }
         }
+        Err(SimError::Audit(AuditError::new(
+            "V-Way",
+            "global replacement found no victim: data store is empty or counters corrupt",
+        )))
     }
-}
 
-impl CacheModel for VWayCache {
-    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+    /// Processes one access, surfacing internal-state corruption as a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Audit`] if the tag/data pointer bijection is
+    /// broken mid-access — which cannot happen unless the state was
+    /// corrupted externally (see [`InvariantAuditor`]).
+    pub fn try_access(
+        &mut self,
+        addr: Address,
+        kind: AccessKind,
+    ) -> Result<AccessResult, SimError> {
         let line = addr.line(self.geom.line_bytes());
         let set = self.geom.set_index_of_line(line);
 
         if let Some(way) = self.find_tag_way(set, line) {
             self.stats.record_local_hit();
             self.tag_ranks[set].touch_mru(way);
-            let data_idx = self.tags[set][way].expect("hit tag must be valid").data;
-            let d = self.data[data_idx].as_mut().expect("hit tag must own data");
+            // find_tag_way only returns ways holding Some, so the entry is
+            // valid by construction.
+            let data_idx = self.tags[set][way]
+                .expect("find_tag_way returned a valid way")
+                .data;
+            let d = self
+                .data
+                .get_mut(data_idx)
+                .and_then(Option::as_mut)
+                .ok_or_else(|| {
+                    SimError::Audit(AuditError::new(
+                        "V-Way",
+                        format!("hit tag ({set},{way}) points at invalid data line {data_idx}"),
+                    ))
+                })?;
             d.reuse = (d.reuse + 1).min(self.max_reuse);
             if kind.is_write() {
                 d.dirty = true;
             }
-            return AccessResult::HitLocal;
+            return Ok(AccessResult::HitLocal);
         }
 
         self.stats.record_local_miss();
@@ -207,16 +356,31 @@ impl CacheModel for VWayCache {
                 // A spare tag entry exists: take a data line globally.
                 let idx = match self.free_data.pop() {
                     Some(i) => i,
-                    None => self.global_data_victim(),
+                    None => self.global_data_victim()?,
                 };
                 (w, idx)
             }
             None => {
                 // All tag entries valid: local tag replacement, reusing the
-                // victim's own data line.
+                // victim's own data line. find_free_tag_way returned None,
+                // so every way is Some.
                 let w = self.tag_ranks[set].lru_way();
-                let victim = self.tags[set][w].expect("full set has valid tags");
-                let old = self.data[victim.data].expect("valid tag owns data");
+                let victim =
+                    self.tags[set][w].expect("set with no free tag way has only valid tags");
+                let old = self
+                    .data
+                    .get(victim.data)
+                    .copied()
+                    .flatten()
+                    .ok_or_else(|| {
+                        SimError::Audit(AuditError::new(
+                            "V-Way",
+                            format!(
+                                "victim tag ({set},{w}) points at invalid data line {}",
+                                victim.data
+                            ),
+                        ))
+                    })?;
                 self.stats.record_eviction();
                 if old.dirty {
                     self.stats.record_writeback();
@@ -227,7 +391,10 @@ impl CacheModel for VWayCache {
             }
         };
 
-        self.tags[set][tag_way] = Some(TagEntry { line, data: data_idx });
+        self.tags[set][tag_way] = Some(TagEntry {
+            line,
+            data: data_idx,
+        });
         self.data[data_idx] = Some(DataEntry {
             rptr_set: set as u32,
             rptr_way: tag_way as u16,
@@ -235,7 +402,26 @@ impl CacheModel for VWayCache {
             dirty: kind.is_write(),
         });
         self.tag_ranks[set].touch_mru(tag_way);
-        AccessResult::MissLocal
+        Ok(AccessResult::MissLocal)
+    }
+}
+
+fn corrupt_rptr(idx: usize, set: u32, way: u16) -> SimError {
+    SimError::Audit(AuditError::new(
+        "V-Way",
+        format!("data line {idx} reverse pointer ({set},{way}) is out of range"),
+    ))
+}
+
+impl CacheModel for VWayCache {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        // The only panic site of the scheme: CacheModel::access is
+        // infallible by contract, so internal corruption (detectable ahead
+        // of time via `audit`) escalates here.
+        match self.try_access(addr, kind) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     fn stats(&self) -> &CacheStats {
@@ -255,6 +441,47 @@ impl CacheModel for VWayCache {
     }
 }
 
+impl InvariantAuditor for VWayCache {
+    /// Checks the full V-Way bookkeeping: forward/reverse pointer
+    /// bijection, free-list ↔ data-store agreement, per-set tag uniqueness,
+    /// tag-rank permutations, and reuse-counter bounds.
+    fn audit(&self) -> Result<(), AuditError> {
+        self.audit_pointers()?;
+        self.audit_free_list()?;
+        for (s, set_tags) in self.tags.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for t in set_tags.iter().flatten() {
+                if !seen.insert(t.line) {
+                    return Err(AuditError::new(
+                        "V-Way",
+                        format!("duplicate line {:?} in tag set {s}", t.line),
+                    ));
+                }
+            }
+            if !self.tag_ranks[s].is_permutation() {
+                return Err(AuditError::new(
+                    "V-Way",
+                    format!("tag rank stack of set {s} is not a permutation"),
+                ));
+            }
+        }
+        for (idx, d) in self.data.iter().enumerate() {
+            if let Some(d) = d {
+                if d.reuse > self.max_reuse {
+                    return Err(AuditError::new(
+                        "V-Way",
+                        format!(
+                            "data line {idx} reuse counter {} exceeds max {}",
+                            d.reuse, self.max_reuse
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 impl std::fmt::Debug for VWayCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("VWayCache")
@@ -268,8 +495,7 @@ impl std::fmt::Debug for VWayCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use stem_sim_core::{Access, Trace};
+    use stem_sim_core::{prop, Access, Trace};
 
     #[test]
     fn hot_set_exceeds_nominal_associativity() {
@@ -361,35 +587,91 @@ mod tests {
         );
     }
 
-    proptest! {
-        /// Pointer bijection holds under arbitrary traffic, and the number
-        /// of valid data lines never exceeds the data store.
-        #[test]
-        fn pointer_consistency_under_random_traffic(tags in proptest::collection::vec((0u64..16, 0usize..4), 1..500)) {
+    #[test]
+    fn invalid_configs_are_rejected_with_typed_errors() {
+        let geom = CacheGeometry::new(4, 2, 64).unwrap();
+        for cfg in [
+            VWayConfig {
+                tag_data_ratio: 0,
+                reuse_bits: 2,
+            },
+            VWayConfig {
+                tag_data_ratio: 2,
+                reuse_bits: 0,
+            },
+            VWayConfig {
+                tag_data_ratio: 2,
+                reuse_bits: 8,
+            },
+            VWayConfig {
+                tag_data_ratio: 200,
+                reuse_bits: 2,
+            },
+        ] {
+            let err = VWayCache::try_with_config(geom, cfg)
+                .err()
+                .expect("must reject");
+            assert!(
+                matches!(
+                    err,
+                    SimError::Config {
+                        scheme: "V-Way",
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn auditor_catches_corrupted_reverse_pointer() {
+        let geom = CacheGeometry::new(4, 2, 64).unwrap();
+        let mut v = VWayCache::new(geom);
+        for tag in 0..6u64 {
+            v.access(geom.address_of(tag, (tag % 4) as usize), AccessKind::Read);
+        }
+        v.audit().expect("healthy state passes");
+        assert!(v.corrupt_reverse_pointer());
+        let err = v.audit().expect_err("corruption must be caught");
+        assert_eq!(err.scheme, "V-Way");
+        assert!(!v.pointers_consistent());
+    }
+
+    /// Pointer bijection holds under arbitrary traffic, and the number
+    /// of valid data lines never exceeds the data store.
+    #[test]
+    fn pointer_consistency_under_random_traffic() {
+        prop::check(96, |g| {
             let geom = CacheGeometry::new(4, 2, 64).unwrap();
             let mut v = VWayCache::new(geom);
-            for (tag, set) in tags {
+            for _ in 0..g.usize(1, 500) {
+                let tag = g.u64(0, 16);
+                let set = g.usize(0, 4);
                 v.access(geom.address_of(tag, set), AccessKind::Read);
             }
-            prop_assert!(v.pointers_consistent());
+            v.audit().expect("full audit passes under random traffic");
             let valid: usize = (0..4).map(|s| v.data_lines_of(s)).sum();
-            prop_assert!(valid <= geom.total_lines());
+            assert!(valid <= geom.total_lines());
             // No set may exceed its tag capacity.
             for s in 0..4 {
-                prop_assert!(v.data_lines_of(s) <= 2 * geom.ways());
+                assert!(v.data_lines_of(s) <= 2 * geom.ways());
             }
-        }
+        });
+    }
 
-        /// Immediately re-accessing the last address always hits.
-        #[test]
-        fn rehit_after_fill(tags in proptest::collection::vec(0u64..64, 1..200)) {
+    /// Immediately re-accessing the last address always hits.
+    #[test]
+    fn rehit_after_fill() {
+        prop::check(96, |g| {
             let geom = CacheGeometry::new(4, 2, 64).unwrap();
             let mut v = VWayCache::new(geom);
-            for &tag in &tags {
+            for _ in 0..g.usize(1, 200) {
+                let tag = g.u64(0, 64);
                 let a = geom.address_of(tag / 4, (tag % 4) as usize);
                 v.access(a, AccessKind::Read);
-                prop_assert!(v.access(a, AccessKind::Read).is_hit());
+                assert!(v.access(a, AccessKind::Read).is_hit());
             }
-        }
+        });
     }
 }

@@ -2,8 +2,8 @@
 
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
-    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr,
-    SplitMix64,
+    AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
+    InvariantAuditor, LineAddr, SimError, SplitMix64,
 };
 use stem_spatial::{AssociationTable, DestinationSetSelector};
 
@@ -67,8 +67,23 @@ impl StemCache {
     }
 
     /// Creates a STEM cache with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`try_with_config`](Self::try_with_config) for a typed error.
     pub fn with_config(geom: CacheGeometry, cfg: StemConfig) -> Self {
-        StemCache {
+        match Self::try_with_config(geom, cfg) {
+            Ok(c) => c,
+            Err(e) => panic!("invalid STEM configuration: {e}"),
+        }
+    }
+
+    /// Fallible constructor: validates every [`StemConfig`] knob against
+    /// the ranges the hardware structures can represent.
+    pub fn try_with_config(geom: CacheGeometry, cfg: StemConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
+        Ok(StemCache {
             geom,
             cfg,
             lines: vec![vec![None; geom.ways()]; geom.sets()],
@@ -91,7 +106,7 @@ impl StemCache {
             hasher: TagHasher::new(cfg.shadow_tag_bits, cfg.seed ^ 0x4343),
             rng: SplitMix64::new(cfg.seed),
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// The configuration in use.
@@ -156,9 +171,7 @@ impl StemCache {
     /// state: uncoupled givers post their (index, saturation level);
     /// anything else is withdrawn (§4.5 / the §4.6 feedback loop).
     fn update_heap_status(&mut self, set: usize) {
-        if self.cfg.spatial_coupling
-            && !self.assoc.is_coupled(set)
-            && self.monitors[set].is_giver()
+        if self.cfg.spatial_coupling && !self.assoc.is_coupled(set) && self.monitors[set].is_giver()
         {
             self.heap.post(set, self.monitors[set].saturation_level());
         } else {
@@ -217,14 +230,26 @@ impl StemCache {
     /// drain-triggered decoupling. `allow_decouple` is `false` while
     /// making room for an incoming spill (the arriving CC block refills
     /// the drain immediately).
-    fn evict_off_chip(&mut self, set: usize, way: usize, allow_decouple: bool) {
-        let old = self.lines[set][way].take().expect("eviction of invalid way");
+    fn evict_off_chip(
+        &mut self,
+        set: usize,
+        way: usize,
+        allow_decouple: bool,
+    ) -> Result<(), SimError> {
+        let old = self.lines[set][way].take().ok_or_else(|| {
+            AuditError::new(
+                "STEM",
+                format!("eviction of invalid way {way} in set {set}"),
+            )
+        })?;
         self.stats.record_eviction();
         if old.dirty {
             self.stats.record_writeback();
         }
         if old.cc {
-            self.cc_count[set] -= 1;
+            self.cc_count[set] = self.cc_count[set].checked_sub(1).ok_or_else(|| {
+                AuditError::new("STEM", format!("CC accounting of set {set} underflowed"))
+            })?;
             if allow_decouple && self.cc_count[set] == 0 {
                 if let Some(p) = self.assoc.partner(set) {
                     self.is_taker[p] = false;
@@ -246,6 +271,7 @@ impl StemCache {
                 .insert(sig, shadow_policy, throttle, &mut rng);
             self.rng = rng;
         }
+        Ok(())
     }
 
     /// Receives taker victim `line` into giver set `giver` as a CC block,
@@ -256,32 +282,31 @@ impl StemCache {
     /// working set demonstrably leaves slack (at least 3 ways not holding
     /// native data). This operationalises §4.6's "still unsaturated even
     /// with receiving" at the data level, complementing the SC_S check.
-    fn receive(&mut self, giver: usize, line: LineAddr, dirty: bool) -> bool {
+    fn receive(&mut self, giver: usize, line: LineAddr, dirty: bool) -> Result<bool, SimError> {
         let way = match self.find_free_way(giver) {
             Some(w) => w,
             None => {
                 let victim = self.ranks[giver].lru_way();
-                let victim_is_native =
-                    !self.lines[giver][victim].map_or(false, |l| l.cc);
+                let victim_is_native = !self.lines[giver][victim].map_or(false, |l| l.cc);
                 if victim_is_native {
-                    let native = self.lines[giver]
-                        .iter()
-                        .flatten()
-                        .filter(|l| !l.cc)
-                        .count();
+                    let native = self.lines[giver].iter().flatten().filter(|l| !l.cc).count();
                     if native + 3 > self.geom.ways() {
-                        return false;
+                        return Ok(false);
                     }
                 }
-                self.evict_off_chip(giver, victim, false);
+                self.evict_off_chip(giver, victim, false)?;
                 victim
             }
         };
-        self.lines[giver][way] = Some(Line { line, dirty, cc: true });
+        self.lines[giver][way] = Some(Line {
+            line,
+            dirty,
+            cc: true,
+        });
         self.insert_rank(giver, way);
         self.cc_count[giver] += 1;
         self.stats.record_receive();
-        true
+        Ok(true)
     }
 
     /// Whether `giver` may receive a spill right now: the §4.6 receive
@@ -294,11 +319,12 @@ impl StemCache {
     /// Disposes of the victim in `(home, way)`: CC victims leave the chip
     /// (possibly decoupling), native victims are hashed into the shadow
     /// and spilled to the coupled giver when permitted.
-    fn dispose_victim(&mut self, home: usize, way: usize) {
-        let victim = self.lines[home][way].expect("victim way must be valid");
+    fn dispose_victim(&mut self, home: usize, way: usize) -> Result<(), SimError> {
+        let victim = self.lines[home][way].ok_or_else(|| {
+            AuditError::new("STEM", format!("victim way {way} of set {home} is invalid"))
+        })?;
         if victim.cc {
-            self.evict_off_chip(home, way, true);
-            return;
+            return self.evict_off_chip(home, way, true);
         }
 
         // An uncoupled taker requests coupling at eviction time (§4.5).
@@ -312,7 +338,7 @@ impl StemCache {
             if self.is_taker[home]
                 && !self.monitors[home].is_giver()
                 && self.can_receive(giver)
-                && self.receive(giver, victim.line, victim.dirty)
+                && self.receive(giver, victim.line, victim.dirty)?
             {
                 // Native victim's signature still enters the shadow set —
                 // it has left its *local* capacity.
@@ -327,16 +353,22 @@ impl StemCache {
 
                 self.lines[home][way] = None;
                 self.stats.record_spill();
-                return;
+                return Ok(());
             }
         }
 
-        self.evict_off_chip(home, way, true);
+        self.evict_off_chip(home, way, true)
     }
-}
 
-impl CacheModel for StemCache {
-    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+    /// The fallible access path: identical to
+    /// [`CacheModel::access`] but surfaces internal-state corruption
+    /// (invalid victim ways, CC accounting underflow) as typed
+    /// [`SimError::Audit`] errors instead of panicking.
+    pub fn try_access(
+        &mut self,
+        addr: Address,
+        kind: AccessKind,
+    ) -> Result<AccessResult, SimError> {
         let line = addr.line(self.geom.line_bytes());
         let home = self.geom.set_index_of_line(line);
 
@@ -351,7 +383,7 @@ impl CacheModel for StemCache {
                 }
             }
             self.monitor_hit(home);
-            return AccessResult::HitLocal;
+            return Ok(AccessResult::HitLocal);
         }
 
         // 2. A coupled taker probes its giver for cooperatively cached
@@ -368,7 +400,7 @@ impl CacheModel for StemCache {
                 }
                 // The hit belongs to the home set's working set.
                 self.monitor_hit(home);
-                return AccessResult::HitCooperative;
+                return Ok(AccessResult::HitCooperative);
             }
         }
 
@@ -386,17 +418,33 @@ impl CacheModel for StemCache {
             Some(w) => w,
             None => {
                 let victim = self.ranks[home].lru_way();
-                self.dispose_victim(home, victim);
+                self.dispose_victim(home, victim)?;
                 victim
             }
         };
-        self.lines[home][way] = Some(Line { line, dirty: kind.is_write(), cc: false });
+        self.lines[home][way] = Some(Line {
+            line,
+            dirty: kind.is_write(),
+            cc: false,
+        });
         self.insert_rank(home, way);
 
-        if probe_partner.is_some() {
+        Ok(if probe_partner.is_some() {
             AccessResult::MissCooperative
         } else {
             AccessResult::MissLocal
+        })
+    }
+}
+
+impl CacheModel for StemCache {
+    /// Delegates to [`StemCache::try_access`]. This is the scheme's single
+    /// panic site: an `Err` here means the controller's own state is
+    /// corrupt, which the infallible trait surface cannot express.
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        match self.try_access(addr, kind) {
+            Ok(r) => r,
+            Err(e) => panic!("STEM internal state corrupted: {e}"),
         }
     }
 
@@ -417,6 +465,80 @@ impl CacheModel for StemCache {
     }
 }
 
+impl InvariantAuditor for StemCache {
+    fn audit(&self) -> Result<(), AuditError> {
+        let err = |detail: String| Err(AuditError::new("STEM", detail));
+        if !self.assoc.is_consistent() {
+            return err("association table lost its symmetry".into());
+        }
+        for set in 0..self.geom.sets() {
+            if self.lines[set].len() != self.geom.ways() {
+                return err(format!(
+                    "set {set} holds {} ways, geometry says {}",
+                    self.lines[set].len(),
+                    self.geom.ways()
+                ));
+            }
+            if !self.ranks[set].is_permutation() {
+                return err(format!("recency stack of set {set} is not a permutation"));
+            }
+            let mut seen = std::collections::HashSet::new();
+            let mut actual_cc = 0u32;
+            for l in self.lines[set].iter().flatten() {
+                if !seen.insert(l.line) {
+                    return err(format!("duplicate line {:?} in set {set}", l.line));
+                }
+                let home = self.geom.set_index_of_line(l.line);
+                if l.cc {
+                    actual_cc += 1;
+                    if self.assoc.partner(set) != Some(home) {
+                        return err(format!(
+                            "CC block {:?} in set {set} maps to set {home}, which is not \
+                             the coupled partner",
+                            l.line
+                        ));
+                    }
+                } else if home != set {
+                    return err(format!(
+                        "native block {:?} sits in set {set} but maps to set {home}",
+                        l.line
+                    ));
+                }
+            }
+            if actual_cc != self.cc_count[set] {
+                return err(format!(
+                    "set {set} CC accounting says {} blocks, found {actual_cc}",
+                    self.cc_count[set]
+                ));
+            }
+            if actual_cc > 0 {
+                if !self.assoc.is_coupled(set) {
+                    return err(format!("set {set} holds CC blocks but is uncoupled"));
+                }
+                if self.is_taker[set] {
+                    return err(format!(
+                        "taker set {set} holds CC blocks (must be the giver)"
+                    ));
+                }
+            }
+            if self.is_taker[set] && !self.assoc.is_coupled(set) {
+                return err(format!("set {set} is marked taker but has no partner"));
+            }
+            if let Some(p) = self.assoc.partner(set) {
+                if self.is_taker[set] == self.is_taker[p] {
+                    return err(format!(
+                        "pair ({set}, {p}) must have exactly one taker side"
+                    ));
+                }
+            }
+            self.monitors[set]
+                .audit()
+                .map_err(|detail| AuditError::new("STEM", format!("set {set}: {detail}")))?;
+        }
+        Ok(())
+    }
+}
+
 impl std::fmt::Debug for StemCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StemCache")
@@ -431,9 +553,8 @@ impl std::fmt::Debug for StemCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use stem_replacement::{Lru, SetAssocCache};
-    use stem_sim_core::{Access, Trace};
+    use stem_sim_core::{prop, Access, Trace};
 
     /// Thrash set 0 with a cycle of `1.5 × ways` blocks while set 1 holds a
     /// well-reused pair of blocks (the paper's Example #1 shape).
@@ -544,10 +665,8 @@ mod tests {
         }
         let mut constrained = StemCache::with_config(geom, StemConfig::micro2010());
         constrained.run(&t);
-        let mut unconstrained = StemCache::with_config(
-            geom,
-            StemConfig::micro2010().with_receive_constraint(false),
-        );
+        let mut unconstrained =
+            StemCache::with_config(geom, StemConfig::micro2010().with_receive_constraint(false));
         unconstrained.run(&t);
         assert!(
             constrained.stats().receives() <= unconstrained.stats().receives(),
@@ -608,55 +727,64 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn invalid_configs_are_rejected_with_typed_errors() {
+        let geom = CacheGeometry::new(8, 4, 64).unwrap();
+        for bad in [
+            StemConfig::micro2010().with_counter_bits(0),
+            StemConfig::micro2010().with_shadow_tag_bits(17),
+            StemConfig::micro2010().with_heap_capacity(0),
+            StemConfig::micro2010().with_spatial_ratio_log2(63),
+        ] {
+            let err = StemCache::try_with_config(geom, bad)
+                .map(|_| ())
+                .expect_err("invalid config must be rejected");
+            assert!(
+                matches!(err, SimError::Config { scheme: "STEM", .. }),
+                "{err}"
+            );
+        }
+    }
 
-        /// Structural invariants hold under arbitrary traffic:
-        /// association symmetry, CC accounting, taker/giver role
-        /// exclusivity, occupancy bounds, and stats balance.
-        #[test]
-        fn invariants_under_random_traffic(
-            accesses in proptest::collection::vec((0u64..32, 0usize..8, proptest::bool::ANY), 1..800)
-        ) {
+    /// Structural invariants hold under arbitrary traffic:
+    /// association symmetry, CC accounting, taker/giver role
+    /// exclusivity, occupancy bounds, and stats balance.
+    #[test]
+    fn invariants_under_random_traffic() {
+        prop::check(64, |g| {
             let geom = CacheGeometry::new(8, 2, 64).unwrap();
             let mut stem = StemCache::new(geom);
-            for (i, &(tag, set, is_write)) in accesses.iter().enumerate() {
-                let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let n = g.usize(1, 800);
+            for i in 0..n {
+                let tag = g.u64(0, 32);
+                let set = g.usize(0, 8);
+                let kind = if g.bool() {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 stem.access(geom.address_of(tag, set), kind);
-                prop_assert_eq!(stem.stats().accesses(), (i + 1) as u64);
+                assert_eq!(stem.stats().accesses(), (i + 1) as u64);
             }
-            prop_assert!(stem.associations().is_consistent());
-            for s in 0..geom.sets() {
-                let actual_cc = stem.lines[s].iter().flatten().filter(|l| l.cc).count() as u32;
-                prop_assert_eq!(actual_cc, stem.cc_blocks(s));
-                prop_assert!(stem.lines[s].iter().flatten().count() <= geom.ways());
-                if actual_cc > 0 {
-                    prop_assert!(stem.associations().is_coupled(s));
-                    prop_assert!(!stem.is_taker(s));
-                }
-                if let Some(p) = stem.associations().partner(s) {
-                    // Exactly one side of a pair is the taker.
-                    prop_assert!(stem.is_taker(s) != stem.is_taker(p));
-                }
-                if stem.is_taker(s) {
-                    prop_assert!(stem.associations().is_coupled(s));
-                }
-            }
+            stem.audit().expect("full invariant audit passes");
             // Spills and receives must balance.
-            prop_assert_eq!(stem.stats().spills(), stem.stats().receives());
-        }
+            assert_eq!(stem.stats().spills(), stem.stats().receives());
+        });
+    }
 
-        /// Rehit property: immediately re-accessing an address always hits
-        /// (locally or cooperatively).
-        #[test]
-        fn rehit_after_access(tags in proptest::collection::vec(0u64..64, 1..300)) {
+    /// Rehit property: immediately re-accessing an address always hits
+    /// (locally or cooperatively).
+    #[test]
+    fn rehit_after_access() {
+        prop::check(64, |g| {
             let geom = CacheGeometry::new(4, 2, 64).unwrap();
             let mut stem = StemCache::new(geom);
-            for &t in &tags {
+            for _ in 0..g.usize(1, 300) {
+                let t = g.u64(0, 64);
                 let a = geom.address_of(t / 4, (t % 4) as usize);
                 stem.access(a, AccessKind::Read);
-                prop_assert!(stem.access(a, AccessKind::Read).is_hit());
+                assert!(stem.access(a, AccessKind::Read).is_hit());
             }
-        }
+        });
     }
 }

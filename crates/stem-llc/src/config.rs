@@ -1,5 +1,7 @@
 //! STEM configuration parameters (Table 3 defaults).
 
+use stem_sim_core::SimError;
+
 /// Tuning knobs of the STEM LLC.
 ///
 /// Defaults follow Table 3 of the paper: 4-bit saturating counters
@@ -112,6 +114,43 @@ impl StemConfig {
         self.spatial_coupling = on;
         self
     }
+
+    /// Checks every parameter against the ranges the hardware structures
+    /// can represent, returning a typed error describing the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let err = |detail: String| Err(SimError::config("STEM", detail));
+        if !(1..=31).contains(&self.counter_bits) {
+            return err(format!(
+                "counter_bits must be in 1..=31, got {}",
+                self.counter_bits
+            ));
+        }
+        if !(1..=16).contains(&self.shadow_tag_bits) {
+            return err(format!(
+                "shadow_tag_bits must be in 1..=16, got {}",
+                self.shadow_tag_bits
+            ));
+        }
+        if self.heap_capacity == 0 {
+            return err("heap_capacity must be positive".into());
+        }
+        // one_in_pow2 shifts by n (and by spatial_ratio_log2 + 1 for the
+        // shadow-miss bleed), so both exponents must stay below 64.
+        if self.spatial_ratio_log2 > 62 {
+            return err(format!(
+                "spatial_ratio_log2 must be at most 62, got {}",
+                self.spatial_ratio_log2
+            ));
+        }
+        if self.bip_throttle_log2 > 63 {
+            return err(format!(
+                "bip_throttle_log2 must be at most 63, got {}",
+                self.bip_throttle_log2
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for StemConfig {
@@ -133,6 +172,25 @@ mod tests {
         assert!(c.receive_constraint);
         assert!(c.temporal_adaptation);
         assert!(c.spatial_coupling);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_bad_knobs() {
+        assert!(StemConfig::default().validate().is_ok());
+        for bad in [
+            StemConfig::default().with_counter_bits(0),
+            StemConfig::default().with_counter_bits(32),
+            StemConfig::default().with_shadow_tag_bits(0),
+            StemConfig::default().with_shadow_tag_bits(17),
+            StemConfig::default().with_heap_capacity(0),
+            StemConfig::default().with_spatial_ratio_log2(63),
+        ] {
+            let err = bad.validate().expect_err("invalid config must be rejected");
+            assert!(
+                matches!(err, SimError::Config { scheme: "STEM", .. }),
+                "{err}"
+            );
+        }
     }
 
     #[test]

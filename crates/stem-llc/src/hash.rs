@@ -118,7 +118,10 @@ mod tests {
         let a = TagHasher::new(10, 1);
         let b = TagHasher::new(10, 2);
         let same = (0..256u64).filter(|&t| a.hash(t) == b.hash(t)).count();
-        assert!(same < 64, "hash functions too similar: {same}/256 collisions");
+        assert!(
+            same < 64,
+            "hash functions too similar: {same}/256 collisions"
+        );
     }
 
     #[test]

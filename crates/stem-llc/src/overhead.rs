@@ -112,7 +112,8 @@ pub fn vway(geom: CacheGeometry, tag_data_ratio: usize, reuse_bits: u32) -> Stor
     let tag_entries = lines * tag_data_ratio as u64;
     // Forward pointer addresses any data line.
     let fptr = (usize::BITS - (geom.total_lines() - 1).leading_zeros()) as u64;
-    let per_tag = geom.tag_bits() as u64 + V_D_BITS + rank_bits(geom.ways() * tag_data_ratio) + fptr;
+    let per_tag =
+        geom.tag_bits() as u64 + V_D_BITS + rank_bits(geom.ways() * tag_data_ratio) + fptr;
     // Reverse pointer addresses any tag entry; plus the reuse counter.
     let rptr = (usize::BITS - (tag_entries as usize - 1).leading_zeros()) as u64;
     StorageBreakdown {
@@ -186,7 +187,10 @@ mod tests {
         assert!(dip_oh < 0.001);
         assert!(dip_oh < sbc_oh);
         assert!(sbc_oh < stem_oh);
-        assert!(stem_oh < vway_oh, "V-Way's doubled tag store should cost more: {vway_oh}");
+        assert!(
+            stem_oh < vway_oh,
+            "V-Way's doubled tag store should cost more: {vway_oh}"
+        );
     }
 
     #[test]

@@ -46,7 +46,12 @@ pub struct SetMonitor {
 impl SetMonitor {
     /// Creates a monitor for a set with `ways` ways, `k`-bit counters,
     /// ratio `n`, and (unused here, kept for symmetry) shadow tag width.
-    pub fn new(ways: usize, counter_bits: u32, spatial_ratio_log2: u32, _shadow_tag_bits: u32) -> Self {
+    pub fn new(
+        ways: usize,
+        counter_bits: u32,
+        spatial_ratio_log2: u32,
+        _shadow_tag_bits: u32,
+    ) -> Self {
         SetMonitor {
             shadow: ShadowSet::new(ways),
             sc_s: SaturatingCounter::new(counter_bits),
@@ -136,6 +141,26 @@ impl SetMonitor {
     /// Current SC_T value (test/analysis hook).
     pub fn temporal_level(&self) -> u32 {
         self.sc_t.value()
+    }
+
+    /// Checks the monitor's invariants: both counters inside their k-bit
+    /// range and the shadow set structurally sound (checked mode).
+    pub fn audit(&self) -> Result<(), String> {
+        if self.sc_s.value() > self.sc_s.max() {
+            return Err(format!(
+                "SC_S value {} exceeds its {}-bit bound",
+                self.sc_s.value(),
+                self.sc_s.bits()
+            ));
+        }
+        if self.sc_t.value() > self.sc_t.max() {
+            return Err(format!(
+                "SC_T value {} exceeds its {}-bit bound",
+                self.sc_t.value(),
+                self.sc_t.bits()
+            ));
+        }
+        self.shadow.audit()
     }
 }
 

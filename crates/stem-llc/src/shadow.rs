@@ -37,7 +37,10 @@ pub struct ShadowSet {
 impl ShadowSet {
     /// Creates an empty shadow set with `ways` entries.
     pub fn new(ways: usize) -> Self {
-        ShadowSet { entries: vec![None; ways], ranks: RecencyStack::new(ways) }
+        ShadowSet {
+            entries: vec![None; ways],
+            ranks: RecencyStack::new(ways),
+        }
     }
 
     /// Number of entries.
@@ -112,12 +115,27 @@ impl ShadowSet {
             *e = None;
         }
     }
+
+    /// Checks the shadow set's structural invariants: the internal ranking
+    /// is a permutation and no signature appears twice (checked mode).
+    pub fn audit(&self) -> Result<(), String> {
+        if !self.ranks.is_permutation() {
+            return Err("shadow ranking is not a permutation".into());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for sig in self.entries.iter().flatten() {
+            if !seen.insert(*sig) {
+                return Err(format!("duplicate signature {sig:#x} in shadow set"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use stem_sim_core::prop;
 
     fn rng() -> SplitMix64 {
         SplitMix64::new(99)
@@ -166,7 +184,10 @@ mod tests {
                 survived += 1;
             }
         }
-        assert!(survived > 35, "BIP shadow should protect old entries: {survived}/50");
+        assert!(
+            survived > 35,
+            "BIP shadow should protect old entries: {survived}/50"
+        );
     }
 
     #[test]
@@ -191,35 +212,41 @@ mod tests {
         assert_eq!(s.valid_entries(), 0);
     }
 
-    proptest! {
-        /// Valid-entry count never exceeds associativity, and a probe hit
-        /// always removes exactly one entry.
-        #[test]
-        fn occupancy_invariant(ops in proptest::collection::vec((0u16..32, proptest::bool::ANY), 0..200)) {
+    /// Valid-entry count never exceeds associativity, and a probe hit
+    /// always removes exactly one entry.
+    #[test]
+    fn occupancy_invariant() {
+        prop::check(128, |g| {
             let mut s = ShadowSet::new(4);
             let mut r = rng();
-            for (sig, is_insert) in ops {
-                if is_insert {
+            for _ in 0..g.usize(0, 200) {
+                let sig = g.u16(0, 32);
+                if g.bool() {
                     s.insert(sig, PolicyKind::Lru, 5, &mut r);
                 } else {
                     let before = s.valid_entries();
                     let hit = s.probe_invalidate(sig);
-                    prop_assert_eq!(s.valid_entries(), before - usize::from(hit));
+                    assert_eq!(s.valid_entries(), before - usize::from(hit));
                 }
-                prop_assert!(s.valid_entries() <= 4);
+                assert!(s.valid_entries() <= 4);
+                s.audit().expect("shadow invariants hold");
             }
-        }
+        });
+    }
 
-        /// No duplicate signatures ever coexist.
-        #[test]
-        fn no_duplicate_signatures(sigs in proptest::collection::vec(0u16..8, 0..100)) {
+    /// No duplicate signatures ever coexist.
+    #[test]
+    fn no_duplicate_signatures() {
+        prop::check(128, |g| {
             let mut s = ShadowSet::new(4);
             let mut r = rng();
-            for sig in sigs {
+            for _ in 0..g.usize(0, 100) {
+                let sig = g.u16(0, 8);
                 s.insert(sig, PolicyKind::Bip, 5, &mut r);
                 let count = s.entries.iter().filter(|e| **e == Some(sig)).count();
-                prop_assert_eq!(count, 1);
+                assert_eq!(count, 1);
+                s.audit().expect("shadow invariants hold");
             }
-        }
+        });
     }
 }

@@ -23,7 +23,11 @@ fn thrashing_set_converges_to_bip_hit_rate() {
     let blocks = 12u64;
     let mut stem = StemCache::new(geom);
     stem.run(&cyclic(geom, 0, blocks, 200));
-    assert_eq!(stem.policy_of(0), PolicyKind::Bip, "set 0 should have swapped");
+    assert_eq!(
+        stem.policy_of(0),
+        PolicyKind::Bip,
+        "set 0 should have swapped"
+    );
     stem.reset_stats();
     stem.run(&cyclic(geom, 0, blocks, 200));
     let hit_rate = 1.0 - stem.stats().miss_rate();
@@ -79,7 +83,10 @@ fn dirty_spills_write_back() {
         t.push(Access::read(geom.address_of(0, 1)));
     }
     stem.run(&t);
-    assert!(stem.stats().writebacks() > 0, "dirty evictions must write back");
+    assert!(
+        stem.stats().writebacks() > 0,
+        "dirty evictions must write back"
+    );
     // Writebacks can never exceed evictions.
     assert!(stem.stats().writebacks() <= stem.stats().evictions());
 }
@@ -130,7 +137,10 @@ fn kind_does_not_change_placement() {
             } else {
                 AccessKind::Read
             };
-            results.push(c.access(geom.address_of(t, (t % 4) as usize), kind).is_hit());
+            results.push(
+                c.access(geom.address_of(t, (t % 4) as usize), kind)
+                    .is_hit(),
+            );
         }
         results
     };

@@ -144,7 +144,10 @@ mod tests {
         let t = mix().trace(geom, 9_000, 3);
         let first = t.iter().filter(|a| a.addr.raw() >> 41 == 0).count();
         let ratio = first as f64 / t.len() as f64;
-        assert!((ratio - 2.0 / 3.0).abs() < 0.05, "2:1 weighting off: {ratio}");
+        assert!(
+            (ratio - 2.0 / 3.0).abs() < 0.05,
+            "2:1 weighting off: {ratio}"
+        );
     }
 
     #[test]

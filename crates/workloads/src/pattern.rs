@@ -124,7 +124,10 @@ impl SetPattern {
                     t
                 }
             }
-            SetPattern::NoisyCyclic { blocks, jump_permille } => {
+            SetPattern::NoisyCyclic {
+                blocks,
+                jump_permille,
+            } => {
                 if rng.chance(*jump_permille, 1000) {
                     state.position = rng.next_below(*blocks);
                 }
@@ -132,7 +135,11 @@ impl SetPattern {
                 state.position += 1;
                 t
             }
-            SetPattern::Recency { blocks, window, reuse_permille } => {
+            SetPattern::Recency {
+                blocks,
+                window,
+                reuse_permille,
+            } => {
                 let reuse = !state.window.is_empty() && rng.chance(*reuse_permille, 1000);
                 let tag = if reuse {
                     let i = rng.next_below(state.window.len() as u64) as usize;
@@ -166,7 +173,9 @@ mod tests {
     fn collect(pattern: &SetPattern, n: usize, seed: u64) -> Vec<u64> {
         let mut st = pattern.state();
         let mut rng = SplitMix64::new(seed);
-        (0..n).map(|_| pattern.next_tag(&mut st, &mut rng)).collect()
+        (0..n)
+            .map(|_| pattern.next_tag(&mut st, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -186,7 +195,10 @@ mod tests {
 
     #[test]
     fn friendly_stays_in_footprint_and_skews() {
-        let p = SetPattern::Friendly { blocks: 16, theta: 1.0 };
+        let p = SetPattern::Friendly {
+            blocks: 16,
+            theta: 1.0,
+        };
         let tags = collect(&p, 5000, 7);
         assert!(tags.iter().all(|&t| t < 16));
         let hot = tags.iter().filter(|&&t| t < 4).count();
@@ -205,21 +217,25 @@ mod tests {
 
     #[test]
     fn noisy_cyclic_mostly_sequential() {
-        let p = SetPattern::NoisyCyclic { blocks: 10, jump_permille: 50 };
+        let p = SetPattern::NoisyCyclic {
+            blocks: 10,
+            jump_permille: 50,
+        };
         let tags = collect(&p, 2000, 13);
         assert!(tags.iter().all(|&t| t < 10));
         // Most steps advance by exactly 1 (mod cycle length).
-        let sequential = tags
-            .windows(2)
-            .filter(|w| w[1] == (w[0] + 1) % 10)
-            .count();
+        let sequential = tags.windows(2).filter(|w| w[1] == (w[0] + 1) % 10).count();
         assert!(sequential > 1700, "too few sequential steps: {sequential}");
         assert!(sequential < 1999, "jitter never fired");
     }
 
     #[test]
     fn recency_reuses_recent_lines() {
-        let p = SetPattern::Recency { blocks: 64, window: 8, reuse_permille: 800 };
+        let p = SetPattern::Recency {
+            blocks: 64,
+            window: 8,
+            reuse_permille: 800,
+        };
         let tags = collect(&p, 4000, 11);
         assert!(tags.iter().all(|&t| t < 64));
         // ~80% of accesses should have a short reuse distance: count
@@ -240,7 +256,11 @@ mod tests {
 
     #[test]
     fn recency_window_stays_bounded() {
-        let p = SetPattern::Recency { blocks: 32, window: 4, reuse_permille: 500 };
+        let p = SetPattern::Recency {
+            blocks: 32,
+            window: 4,
+            reuse_permille: 500,
+        };
         let mut st = p.state();
         let mut rng = SplitMix64::new(3);
         for _ in 0..1000 {
@@ -251,7 +271,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let p = SetPattern::Friendly { blocks: 8, theta: 0.8 };
+        let p = SetPattern::Friendly {
+            blocks: 8,
+            theta: 0.8,
+        };
         assert_eq!(collect(&p, 50, 42), collect(&p, 50, 42));
     }
 }

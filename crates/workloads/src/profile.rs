@@ -31,7 +31,11 @@ pub struct DemandBucket {
 impl DemandBucket {
     /// Creates a bucket.
     pub fn new(weight: f64, pattern: SetPattern, activity: f64) -> Self {
-        DemandBucket { weight, pattern, activity }
+        DemandBucket {
+            weight,
+            pattern,
+            activity,
+        }
     }
 }
 
@@ -78,7 +82,14 @@ impl BenchmarkProfile {
         assert!(!buckets.is_empty(), "a profile needs at least one bucket");
         assert!(apki > 0.0, "APKI must be positive");
         assert!(phases >= 1, "at least one phase required");
-        BenchmarkProfile { name, class, buckets, apki, phases, seed }
+        BenchmarkProfile {
+            name,
+            class,
+            buckets,
+            apki,
+            phases,
+            seed,
+        }
     }
 
     /// The benchmark's name (e.g. `"omnetpp"`).
@@ -162,7 +173,10 @@ impl BenchmarkProfile {
                 );
                 (h.next_u64() >> 11) as f64 / (1u64 << 53) as f64
             };
-            let bucket = boundaries.iter().position(|&b| u < b).unwrap_or(self.buckets.len() - 1);
+            let bucket = boundaries
+                .iter()
+                .position(|&b| u < b)
+                .unwrap_or(self.buckets.len() - 1);
             assignment.push(bucket);
         }
 
@@ -176,8 +190,10 @@ impl BenchmarkProfile {
 
         // Per-set pattern state; tags are offset per phase so phases touch
         // fresh lines.
-        let mut states: Vec<PatternState> =
-            assignment.iter().map(|&b| self.buckets[b].pattern.state()).collect();
+        let mut states: Vec<PatternState> = assignment
+            .iter()
+            .map(|&b| self.buckets[b].pattern.state())
+            .collect();
         let tag_base = (phase as u64) << 24;
 
         // Instruction gap: probabilistic rounding of 1000/apki.
@@ -219,8 +235,22 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "ammp",
             C::I,
             vec![
-                b(0.50, Friendly { blocks: 4, theta: 0.7 }, 0.6),
-                b(0.24, Friendly { blocks: 12, theta: 0.8 }, 1.0),
+                b(
+                    0.50,
+                    Friendly {
+                        blocks: 4,
+                        theta: 0.7,
+                    },
+                    0.6,
+                ),
+                b(
+                    0.24,
+                    Friendly {
+                        blocks: 12,
+                        theta: 0.8,
+                    },
+                    1.0,
+                ),
                 b(0.12, Cyclic { blocks: 12 }, 1.0),
                 b(0.07, Mixed { hot: 8, scan: 10 }, 1.1),
                 b(0.07, Stream, 0.8),
@@ -235,10 +265,24 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "apsi",
             C::I,
             vec![
-                b(0.40, Friendly { blocks: 6, theta: 0.8 }, 0.7),
+                b(
+                    0.40,
+                    Friendly {
+                        blocks: 6,
+                        theta: 0.8,
+                    },
+                    0.7,
+                ),
                 b(0.20, Mixed { hot: 9, scan: 11 }, 1.1),
                 b(0.07, Cyclic { blocks: 36 }, 1.1),
-                b(0.18, Friendly { blocks: 14, theta: 0.7 }, 1.0),
+                b(
+                    0.18,
+                    Friendly {
+                        blocks: 14,
+                        theta: 0.7,
+                    },
+                    1.0,
+                ),
                 b(0.15, Stream, 0.8),
             ],
             14.0,
@@ -253,9 +297,31 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "astar",
             C::I,
             vec![
-                b(0.65, Recency { blocks: 60, window: 14, reuse_permille: 840 }, 1.0),
-                b(0.20, Friendly { blocks: 5, theta: 0.7 }, 0.5),
-                b(0.15, NoisyCyclic { blocks: 28, jump_permille: 25 }, 1.0),
+                b(
+                    0.65,
+                    Recency {
+                        blocks: 60,
+                        window: 14,
+                        reuse_permille: 840,
+                    },
+                    1.0,
+                ),
+                b(
+                    0.20,
+                    Friendly {
+                        blocks: 5,
+                        theta: 0.7,
+                    },
+                    0.5,
+                ),
+                b(
+                    0.15,
+                    NoisyCyclic {
+                        blocks: 28,
+                        jump_permille: 25,
+                    },
+                    1.0,
+                ),
             ],
             7.5,
             3,
@@ -268,10 +334,31 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "omnetpp",
             C::I,
             vec![
-                b(0.25, Friendly { blocks: 10, theta: 0.6 }, 0.8),
-                b(0.25, Friendly { blocks: 15, theta: 0.5 }, 1.0),
+                b(
+                    0.25,
+                    Friendly {
+                        blocks: 10,
+                        theta: 0.6,
+                    },
+                    0.8,
+                ),
+                b(
+                    0.25,
+                    Friendly {
+                        blocks: 15,
+                        theta: 0.5,
+                    },
+                    1.0,
+                ),
                 b(0.26, Mixed { hot: 10, scan: 12 }, 1.2),
-                b(0.14, NoisyCyclic { blocks: 34, jump_permille: 25 }, 1.2),
+                b(
+                    0.14,
+                    NoisyCyclic {
+                        blocks: 34,
+                        jump_permille: 25,
+                    },
+                    1.2,
+                ),
                 b(0.10, Stream, 1.0),
             ],
             21.0,
@@ -283,10 +370,24 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "xalancbmk",
             C::I,
             vec![
-                b(0.28, Friendly { blocks: 8, theta: 0.6 }, 0.7),
+                b(
+                    0.28,
+                    Friendly {
+                        blocks: 8,
+                        theta: 0.6,
+                    },
+                    0.7,
+                ),
                 b(0.22, Mixed { hot: 10, scan: 11 }, 1.2),
                 b(0.08, Cyclic { blocks: 34 }, 1.2),
-                b(0.22, Friendly { blocks: 14, theta: 0.5 }, 1.0),
+                b(
+                    0.22,
+                    Friendly {
+                        blocks: 14,
+                        theta: 0.5,
+                    },
+                    1.0,
+                ),
                 b(0.20, Stream, 1.2),
             ],
             25.0,
@@ -320,8 +421,23 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "cactusADM",
             C::II,
             vec![
-                b(0.72, NoisyCyclic { blocks: 34, jump_permille: 40 }, 1.0),
-                b(0.13, Recency { blocks: 36, window: 14, reuse_permille: 930 }, 0.6),
+                b(
+                    0.72,
+                    NoisyCyclic {
+                        blocks: 34,
+                        jump_permille: 40,
+                    },
+                    1.0,
+                ),
+                b(
+                    0.13,
+                    Recency {
+                        blocks: 36,
+                        window: 14,
+                        reuse_permille: 930,
+                    },
+                    0.6,
+                ),
                 b(0.15, Stream, 1.0),
             ],
             4.3,
@@ -333,8 +449,23 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "galgel",
             C::II,
             vec![
-                b(0.60, NoisyCyclic { blocks: 30, jump_permille: 40 }, 1.0),
-                b(0.40, Recency { blocks: 40, window: 14, reuse_permille: 930 }, 0.8),
+                b(
+                    0.60,
+                    NoisyCyclic {
+                        blocks: 30,
+                        jump_permille: 40,
+                    },
+                    1.0,
+                ),
+                b(
+                    0.40,
+                    Recency {
+                        blocks: 40,
+                        window: 14,
+                        reuse_permille: 930,
+                    },
+                    0.8,
+                ),
             ],
             2.2,
             1,
@@ -346,7 +477,14 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "mcf",
             C::II,
             vec![
-                b(0.55, NoisyCyclic { blocks: 40, jump_permille: 40 }, 1.4),
+                b(
+                    0.55,
+                    NoisyCyclic {
+                        blocks: 40,
+                        jump_permille: 40,
+                    },
+                    1.4,
+                ),
                 b(0.25, Mixed { hot: 6, scan: 36 }, 1.2),
                 b(0.20, Stream, 1.0),
             ],
@@ -359,8 +497,23 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "sphinx3",
             C::II,
             vec![
-                b(0.55, NoisyCyclic { blocks: 33, jump_permille: 40 }, 1.2),
-                b(0.25, Recency { blocks: 40, window: 14, reuse_permille: 920 }, 0.8),
+                b(
+                    0.55,
+                    NoisyCyclic {
+                        blocks: 33,
+                        jump_permille: 40,
+                    },
+                    1.2,
+                ),
+                b(
+                    0.25,
+                    Recency {
+                        blocks: 40,
+                        window: 14,
+                        reuse_permille: 920,
+                    },
+                    0.8,
+                ),
                 b(0.20, Stream, 1.0),
             ],
             15.0,
@@ -374,7 +527,15 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "gobmk",
             C::III,
             vec![
-                b(0.90, Recency { blocks: 40, window: 12, reuse_permille: 940 }, 1.0),
+                b(
+                    0.90,
+                    Recency {
+                        blocks: 40,
+                        window: 12,
+                        reuse_permille: 940,
+                    },
+                    1.0,
+                ),
                 b(0.05, Stream, 1.6),
             ],
             21.0,
@@ -386,7 +547,14 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "gromacs",
             C::III,
             vec![
-                b(0.92, Friendly { blocks: 6, theta: 0.9 }, 1.0),
+                b(
+                    0.92,
+                    Friendly {
+                        blocks: 6,
+                        theta: 0.9,
+                    },
+                    1.0,
+                ),
                 b(0.04, Stream, 1.4),
             ],
             20.0,
@@ -400,7 +568,14 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             C::III,
             vec![
                 b(0.45, Stream, 2.1),
-                b(0.55, Friendly { blocks: 8, theta: 0.8 }, 0.9),
+                b(
+                    0.55,
+                    Friendly {
+                        blocks: 8,
+                        theta: 0.8,
+                    },
+                    0.9,
+                ),
             ],
             33.0,
             1,
@@ -411,7 +586,15 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "twolf",
             C::III,
             vec![
-                b(0.88, Recency { blocks: 44, window: 13, reuse_permille: 935 }, 1.0),
+                b(
+                    0.88,
+                    Recency {
+                        blocks: 44,
+                        window: 13,
+                        reuse_permille: 935,
+                    },
+                    1.0,
+                ),
                 b(0.06, Stream, 2.0),
             ],
             24.0,
@@ -423,7 +606,15 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
             "vpr",
             C::III,
             vec![
-                b(0.90, Recency { blocks: 40, window: 12, reuse_permille: 940 }, 1.0),
+                b(
+                    0.90,
+                    Recency {
+                        blocks: 40,
+                        window: 12,
+                        reuse_permille: 940,
+                    },
+                    1.0,
+                ),
                 b(0.05, Stream, 1.8),
             ],
             22.0,
@@ -432,7 +623,6 @@ pub fn spec2010_suite() -> Vec<BenchmarkProfile> {
         ),
     ]
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -444,9 +634,21 @@ mod tests {
         assert_eq!(suite.len(), 15);
         let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
         for expected in [
-            "ammp", "apsi", "astar", "omnetpp", "xalancbmk", // Class I
-            "art", "cactusADM", "galgel", "mcf", "sphinx3", // Class II
-            "gobmk", "gromacs", "soplex", "twolf", "vpr", // Class III
+            "ammp",
+            "apsi",
+            "astar",
+            "omnetpp",
+            "xalancbmk", // Class I
+            "art",
+            "cactusADM",
+            "galgel",
+            "mcf",
+            "sphinx3", // Class II
+            "gobmk",
+            "gromacs",
+            "soplex",
+            "twolf",
+            "vpr", // Class III
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -514,11 +716,7 @@ mod tests {
             let b = p.trace(geom, 20_000);
             assert_eq!(a, b, "{} trace not deterministic", p.name());
             let touched = a.stats(geom).sets_touched;
-            assert!(
-                touched > 1000,
-                "{} touches only {touched} sets",
-                p.name()
-            );
+            assert!(touched > 1000, "{} touches only {touched} sets", p.name());
         }
     }
 

@@ -76,9 +76,21 @@ pub struct Fig2Expectation {
 /// The paper's stated miss rates for each example.
 pub fn fig2_expectation(example: u8) -> Fig2Expectation {
     match example {
-        1 => Fig2Expectation { lru: 0.5, dip: 0.25, sbc: 0.0 },
-        2 => Fig2Expectation { lru: 0.5, dip: 0.25, sbc: 1.0 / 3.0 },
-        3 => Fig2Expectation { lru: 1.0, dip: 0.25 + 0.2, sbc: 1.0 },
+        1 => Fig2Expectation {
+            lru: 0.5,
+            dip: 0.25,
+            sbc: 0.0,
+        },
+        2 => Fig2Expectation {
+            lru: 0.5,
+            dip: 0.25,
+            sbc: 1.0 / 3.0,
+        },
+        3 => Fig2Expectation {
+            lru: 1.0,
+            dip: 0.25 + 0.2,
+            sbc: 1.0,
+        },
         _ => panic!("Fig. 2 defines examples 1, 2 and 3"),
     }
 }
@@ -157,7 +169,10 @@ mod tests {
         let _: Option<Box<dyn CacheModel>> = None;
         for (ex, expect) in [(1u8, 0.5f64), (2, 0.5), (3, 1.0)] {
             let geom = fig2_geometry().unwrap();
-            let mut lru = TinyLru { geom, sets: vec![vec![None; 4]; 2] };
+            let mut lru = TinyLru {
+                geom,
+                sets: vec![vec![None; 4]; 2],
+            };
             // Warm up.
             for a in fig2_example(ex, 50).iter() {
                 lru.access(a.addr);

@@ -32,7 +32,10 @@ impl Zipf {
     /// Panics if `n` is zero or `theta` is negative or non-finite.
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "population must be non-empty");
-        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and non-negative");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
@@ -59,7 +62,10 @@ impl Zipf {
     /// Draws a rank in `0..n`.
     pub fn sample(&self, rng: &mut SplitMix64) -> usize {
         let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -84,7 +90,10 @@ mod tests {
         let z = Zipf::new(100, 1.2);
         let mut rng = SplitMix64::new(3);
         let low = (0..10_000).filter(|_| z.sample(&mut rng) < 10).count();
-        assert!(low > 5_000, "Zipf(1.2) should mostly hit the top ranks: {low}");
+        assert!(
+            low > 5_000,
+            "Zipf(1.2) should mostly hit the top ranks: {low}"
+        );
     }
 
     #[test]

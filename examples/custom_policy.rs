@@ -20,7 +20,9 @@ struct MruEvict {
 
 impl MruEvict {
     fn new(geom: CacheGeometry) -> Self {
-        MruEvict { sets: vec![RecencyStack::new(geom.ways()); geom.sets()] }
+        MruEvict {
+            sets: vec![RecencyStack::new(geom.ways()); geom.sets()],
+        }
     }
 }
 
@@ -64,7 +66,16 @@ fn main() {
     let mut lru = SetAssocCache::new(geom, Box::new(Lru::new(geom)));
     let mut custom = SetAssocCache::new(geom, Box::new(MruEvict::new(geom)));
 
-    println!("cyclic (ways + 1) thrash pattern, {} accesses:", thrash.len());
-    println!("  LRU        miss rate {:.3} (thrashes completely)", miss_rate(&mut lru, &thrash));
-    println!("  MRU-evict  miss rate {:.3} (retains most of the cycle)", miss_rate(&mut custom, &thrash));
+    println!(
+        "cyclic (ways + 1) thrash pattern, {} accesses:",
+        thrash.len()
+    );
+    println!(
+        "  LRU        miss rate {:.3} (thrashes completely)",
+        miss_rate(&mut lru, &thrash)
+    );
+    println!(
+        "  MRU-evict  miss rate {:.3} (retains most of the cycle)",
+        miss_rate(&mut custom, &thrash)
+    );
 }

@@ -32,7 +32,14 @@ fn main() {
     println!("scheme   : STEM");
     println!("metrics  : {metrics}");
     println!();
-    println!("cooperation: {} couplings, {} spills, {} cooperative hits",
-        metrics.l2.couplings(), metrics.l2.spills(), metrics.l2.coop_hits());
-    println!("adaptation : {} per-set policy swaps", metrics.l2.policy_swaps());
+    println!(
+        "cooperation: {} couplings, {} spills, {} cooperative hits",
+        metrics.l2.couplings(),
+        metrics.l2.spills(),
+        metrics.l2.coop_hits()
+    );
+    println!(
+        "adaptation : {} per-set policy swaps",
+        metrics.l2.policy_swaps()
+    );
 }

@@ -16,10 +16,7 @@ use stem::workloads::BenchmarkProfile;
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "ammp".to_owned());
-    let accesses: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(500_000);
+    let accesses: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500_000);
 
     let Some(bench) = BenchmarkProfile::by_name(&name) else {
         eprintln!("unknown benchmark {name:?}; pick one of the Table 2 names");

@@ -41,7 +41,11 @@ fn main() {
         let sbc = steady_state_miss_rate(&mut SbcCache::new(geom), example);
         let stem = steady_state_miss_rate(&mut StemCache::new(geom), example);
         println!("  LRU  measured {lru:.3}  (paper {:.3})", expect.lru);
-        println!("  DIP* measured {:.3}  (paper {:.3})", lru.min(bip), expect.dip);
+        println!(
+            "  DIP* measured {:.3}  (paper {:.3})",
+            lru.min(bip),
+            expect.dip
+        );
         println!("  SBC  measured {sbc:.3}  (paper {:.3})", expect.sbc);
         println!("  STEM measured {stem:.3}  (paper's extensional target for #2: <= 0.167)");
         println!("  (* oracle DIP = better of pure LRU / pure BIP, as the paper assumes)\n");

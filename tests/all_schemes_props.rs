@@ -1,49 +1,56 @@
 //! Property tests run against *every* scheme in the workspace through the
 //! facade: accounting conservation, determinism, hit-after-access, and
-//! capacity sanity under arbitrary traffic.
+//! capacity sanity under arbitrary traffic. Randomness comes from the
+//! in-repo [`stem::sim_core::prop`] helper (seed printed on failure,
+//! `STEM_PROP_SEED` replays a case), so the suite is hermetic.
 
-use proptest::prelude::*;
 use stem::analysis::{build_cache, Scheme};
-use stem::sim_core::{AccessKind, CacheGeometry, CacheModel};
+use stem::sim_core::{prop, AccessKind, CacheGeometry, CacheModel};
 
 fn small_geom() -> CacheGeometry {
     CacheGeometry::new(8, 2, 64).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every access is accounted exactly once as hit or miss, for every
-    /// scheme.
-    #[test]
-    fn accounting_conserved(
-        accesses in proptest::collection::vec((0u64..48, proptest::bool::ANY), 1..250)
-    ) {
+/// Every access is accounted exactly once as hit or miss, for every
+/// scheme, and the derived rates stay in range.
+#[test]
+fn accounting_conserved() {
+    prop::check(24, |g| {
+        let accesses = g.vec_with(1, 250, |g| (g.u64(0, 48), g.bool()));
         let geom = small_geom();
         for scheme in Scheme::ALL {
             let mut cache = build_cache(scheme, geom);
             for &(tag, w) in &accesses {
-                let kind = if w { AccessKind::Write } else { AccessKind::Read };
+                let kind = if w {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 cache.access(geom.address_of(tag / 8, (tag % 8) as usize), kind);
             }
-            prop_assert_eq!(
-                cache.stats().accesses(),
+            let s = *cache.stats();
+            assert_eq!(
+                s.accesses(),
                 accesses.len() as u64,
-                "{} lost accesses", scheme
+                "{scheme} lost accesses"
             );
-            prop_assert_eq!(
-                cache.stats().hits() + cache.stats().misses(),
-                accesses.len() as u64
+            assert_eq!(s.hits() + s.misses(), accesses.len() as u64, "{scheme}");
+            let hit_rate = s.hits() as f64 / s.accesses() as f64;
+            assert!(
+                (0.0..=1.0).contains(&hit_rate),
+                "{scheme} hit rate {hit_rate}"
             );
+            assert!(s.mpki(1_000) >= 0.0, "{scheme} negative MPKI");
         }
-    }
+    });
+}
 
-    /// Replaying the same trace twice gives bit-identical statistics for
-    /// every scheme (global determinism).
-    #[test]
-    fn deterministic_replay(
-        accesses in proptest::collection::vec(0u64..64, 1..200)
-    ) {
+/// Replaying the same trace twice gives bit-identical statistics for
+/// every scheme (global determinism).
+#[test]
+fn deterministic_replay() {
+    prop::check(24, |g| {
+        let accesses = g.vec_u64(1, 200, 0, 64);
         let geom = small_geom();
         for scheme in Scheme::ALL {
             let run = || {
@@ -56,16 +63,17 @@ proptest! {
                 }
                 *cache.stats()
             };
-            prop_assert_eq!(run(), run(), "{} is nondeterministic", scheme);
+            assert_eq!(run(), run(), "{scheme} is nondeterministic");
         }
-    }
+    });
+}
 
-    /// Immediately re-accessing the address just touched always hits, for
-    /// every scheme (no scheme may drop the block it just inserted).
-    #[test]
-    fn immediate_rehit(
-        accesses in proptest::collection::vec(0u64..64, 1..150)
-    ) {
+/// Immediately re-accessing the address just touched always hits, for
+/// every scheme (no scheme may drop the block it just inserted).
+#[test]
+fn immediate_rehit() {
+    prop::check(24, |g| {
+        let accesses = g.vec_u64(1, 150, 0, 64);
         let geom = small_geom();
         for scheme in Scheme::ALL {
             let mut cache = build_cache(scheme, geom);
@@ -73,16 +81,18 @@ proptest! {
                 let a = geom.address_of(tag / 8, (tag % 8) as usize);
                 cache.access(a, AccessKind::Read);
                 let r = cache.access(a, AccessKind::Read);
-                prop_assert!(r.is_hit(), "{} dropped a just-inserted block", scheme);
+                assert!(r.is_hit(), "{scheme} dropped a just-inserted block");
             }
         }
-    }
+    });
+}
 
-    /// A working set that fits one set never suffers conflict misses
-    /// beyond the cold ones under any *conventional* scheme, and no
-    /// scheme ever reports more misses than accesses.
-    #[test]
-    fn fitting_working_set(tags in proptest::collection::vec(0u64..2, 1..120)) {
+/// A working set that fits one set never suffers more misses than
+/// accesses, and at least the cold misses always happen.
+#[test]
+fn fitting_working_set() {
+    prop::check(24, |g| {
+        let tags = g.vec_u64(1, 120, 0, 2);
         let geom = small_geom(); // 2 ways, 2 distinct tags fit
         for scheme in Scheme::ALL {
             let mut cache = build_cache(scheme, geom);
@@ -90,11 +100,11 @@ proptest! {
                 cache.access(geom.address_of(tag, 0), AccessKind::Read);
             }
             let distinct = tags.iter().collect::<std::collections::HashSet<_>>().len() as u64;
-            prop_assert!(
+            assert!(
                 cache.stats().misses() >= distinct,
-                "{} reported fewer misses than cold misses", scheme
+                "{scheme} reported fewer misses than cold misses"
             );
-            prop_assert!(cache.stats().misses() <= tags.len() as u64);
+            assert!(cache.stats().misses() <= tags.len() as u64, "{scheme}");
         }
-    }
+    });
 }

@@ -25,7 +25,10 @@ fn class2_temporal_schemes_win() {
         let dip = mpki(Scheme::Dip, bench, geom);
         let sbc = mpki(Scheme::Sbc, bench, geom);
         assert!(dip < lru * 0.95, "{bench}: DIP {dip} should beat LRU {lru}");
-        assert!(sbc > lru * 0.9, "{bench}: SBC {sbc} should be near LRU {lru}");
+        assert!(
+            sbc > lru * 0.9,
+            "{bench}: SBC {sbc} should be near LRU {lru}"
+        );
         assert!(dip < sbc, "{bench}: temporal must beat spatial");
     }
 }
@@ -94,7 +97,9 @@ fn art_is_unimprovable_at_2mb() {
 fn ammp_spatial_gain_grows_at_low_associativity() {
     let geom16 = CacheGeometry::micro2010_l2();
     let geom8 = CacheGeometry::new(2048, 8, 64).unwrap();
-    let trace = BenchmarkProfile::by_name("ammp").unwrap().trace(geom16, ACCESSES);
+    let trace = BenchmarkProfile::by_name("ammp")
+        .unwrap()
+        .trace(geom16, ACCESSES);
     let gain = |geom| {
         let lru = run_scheme_warmed(Scheme::Lru, geom, &trace, 0.2);
         let stem = run_scheme_warmed(Scheme::Stem, geom, &trace, 0.2);
@@ -106,5 +111,8 @@ fn ammp_spatial_gain_grows_at_low_associativity() {
         gain8 > gain16,
         "spatial benefit should be larger at 8 ways: {gain8:.3} vs {gain16:.3}"
     );
-    assert!(gain8 > 1.3, "the [4,10] range is ammp's spatial comfort zone: {gain8:.3}");
+    assert!(
+        gain8 > 1.3,
+        "the [4,10] range is ammp's spatial comfort zone: {gain8:.3}"
+    );
 }

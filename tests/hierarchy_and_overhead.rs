@@ -2,11 +2,13 @@
 //! model (Table 3) and the capacity-demand profiler (§3.1) through the
 //! facade crate.
 
-use stem::analysis::{CapacityDemandProfiler, geomean};
+use stem::analysis::{geomean, CapacityDemandProfiler};
 use stem::hierarchy::{System, SystemConfig};
 use stem::llc::{overhead, StemCache, StemConfig};
 use stem::replacement::{Lru, SetAssocCache};
-use stem::sim_core::{Access, AccessResult, Address, CacheGeometry, CacheModel, TimingParams, Trace};
+use stem::sim_core::{
+    Access, AccessResult, Address, CacheGeometry, CacheModel, TimingParams, Trace,
+};
 use stem::workloads::BenchmarkProfile;
 
 /// §5.1's latency table drives AMAT exactly.
@@ -28,14 +30,21 @@ fn amat_orders_hit_classes() {
     let cfg = SystemConfig::micro2010();
 
     // All-miss: streaming workload.
-    let stream: Trace = (0..5000u64).map(|i| Access::read(Address::new(i * 64))).collect();
-    let mut sys = System::new(cfg, Box::new(SetAssocCache::new(geom, Box::new(Lru::new(geom)))));
+    let stream: Trace = (0..5000u64)
+        .map(|i| Access::read(Address::new(i * 64)))
+        .collect();
+    let mut sys = System::new(
+        cfg,
+        Box::new(SetAssocCache::new(geom, Box::new(Lru::new(geom)))),
+    );
     let miss_amat = sys.run(&stream).amat;
 
     // All-L2-hit: two blocks per set, revisited (but L1-evicted via many
     // sets? keep it simple: alternate 64 lines > L1 set capacity of 2).
     let geom_big = CacheGeometry::new(2048, 16, 64).unwrap();
-    let lines: Vec<Address> = (0..2048u64).map(|i| geom_big.address_of(7, i as usize % 2048)).collect();
+    let lines: Vec<Address> = (0..2048u64)
+        .map(|i| geom_big.address_of(7, i as usize % 2048))
+        .collect();
     let mut hit_trace = Trace::new();
     for _ in 0..5 {
         for &a in &lines {
@@ -49,8 +58,14 @@ fn amat_orders_hit_classes() {
     let warm: Trace = lines.iter().map(|&a| Access::read(a)).collect();
     let hit_amat = sys2.warm_then_run(&warm, &hit_trace).amat;
 
-    assert!(hit_amat < 25.0, "L2-hit AMAT should be near 16 cycles: {hit_amat}");
-    assert!(miss_amat > 250.0, "all-miss AMAT should be near 308: {miss_amat}");
+    assert!(
+        hit_amat < 25.0,
+        "L2-hit AMAT should be near 16 cycles: {hit_amat}"
+    );
+    assert!(
+        miss_amat > 250.0,
+        "all-miss AMAT should be near 308: {miss_amat}"
+    );
 }
 
 /// Table 3: STEM's storage overhead lands on the paper's 3.1%.
@@ -60,7 +75,10 @@ fn stem_overhead_is_3_percent() {
     let base = overhead::lru_baseline(geom);
     let s = overhead::stem(geom, &StemConfig::micro2010());
     let oh = s.overhead_vs(&base);
-    assert!((oh - 0.031).abs() < 0.005, "overhead {oh:.4} should be ~3.1%");
+    assert!(
+        (oh - 0.031).abs() < 0.005,
+        "overhead {oh:.4} should be ~3.1%"
+    );
 }
 
 /// The Fig. 1 claim for the ammp analog: about half the sets need at most
@@ -68,7 +86,9 @@ fn stem_overhead_is_3_percent() {
 #[test]
 fn ammp_demand_distribution_matches_fig1b() {
     let geom = CacheGeometry::micro2010_l2();
-    let trace = BenchmarkProfile::by_name("ammp").unwrap().trace(geom, 200_000);
+    let trace = BenchmarkProfile::by_name("ammp")
+        .unwrap()
+        .trace(geom, 200_000);
     let periods = CapacityDemandProfiler::micro2010(geom).profile(&trace);
     let agg = CapacityDemandProfiler::aggregate(&periods);
     let le4 = agg.fraction_at_most(4);
@@ -85,7 +105,9 @@ fn omnetpp_demands_spread_wider_than_ammp() {
     let geom = CacheGeometry::micro2010_l2();
     let profiler = CapacityDemandProfiler::micro2010(geom);
     let frac_le4 = |name: &str| {
-        let trace = BenchmarkProfile::by_name(name).unwrap().trace(geom, 200_000);
+        let trace = BenchmarkProfile::by_name(name)
+            .unwrap()
+            .trace(geom, 200_000);
         let agg = CapacityDemandProfiler::aggregate(&profiler.profile(&trace));
         agg.fraction_at_most(4)
     };
@@ -98,7 +120,9 @@ fn warmup_is_excluded_from_metrics() {
     let geom = CacheGeometry::new(64, 4, 64).unwrap();
     let cfg = SystemConfig::micro2010();
     let mut sys = System::new(cfg, Box::new(StemCache::new(geom)));
-    let trace: Trace = (0..1000u64).map(|i| Access::read(Address::new(i % 256 * 64))).collect();
+    let trace: Trace = (0..1000u64)
+        .map(|i| Access::read(Address::new(i % 256 * 64)))
+        .collect();
     let m = sys.warm_then_run(&trace, &trace);
     assert_eq!(m.accesses, 1000);
     // After warming all 256 lines, the measured pass should mostly hit.

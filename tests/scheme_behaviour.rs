@@ -79,9 +79,9 @@ fn opt_is_a_lower_bound_for_all_schemes() {
     for round in 0..200u64 {
         for set in 0..32usize {
             let tag = match set % 3 {
-                0 => round % 6,             // cyclic 6 > 4 ways
-                1 => round % 3,             // fits
-                _ => round,                 // stream
+                0 => round % 6, // cyclic 6 > 4 ways
+                1 => round % 3, // fits
+                _ => round,     // stream
             };
             trace.push(Access::read(geom.address_of(tag, set)));
         }
@@ -109,7 +109,11 @@ fn vway_variable_associativity_end_to_end() {
         trace.push(Access::read(geom.address_of(round % 4, 0)));
     }
     vway.run(&trace);
-    assert!(vway.data_lines_of(0) >= 4, "hot set holds {} lines", vway.data_lines_of(0));
+    assert!(
+        vway.data_lines_of(0) >= 4,
+        "hot set holds {} lines",
+        vway.data_lines_of(0)
+    );
     assert!(vway.pointers_consistent());
     // The last full cycle must have been all hits.
     vway.reset_stats();

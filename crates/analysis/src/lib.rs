@@ -36,8 +36,8 @@ pub use classify::{classify_workload, ClassificationReport};
 pub use mrc::MissRateCurve;
 pub use report::{geomean, Table};
 pub use scheme::{
-    assoc_sweep, build_audited_cache, build_cache, run_scheme, run_scheme_warmed, run_system,
-    Scheme,
+    assoc_point, assoc_sweep, build_audited_cache, build_cache, run_scheme, run_scheme_warmed,
+    run_system, Scheme,
 };
 pub use stack_distance::StackDistance;
 

@@ -213,6 +213,21 @@ pub fn run_system(
     system.warm_then_run(&warm, &measured)
 }
 
+/// One point of the Fig. 3 / Fig. 10 associativity sweep: the MPKI of
+/// `scheme` at `ways` ways with `base`'s set count and line size, after
+/// the standard 20% warm-up. The trace is taken by shared reference so
+/// callers can fan points out across threads over one generated trace
+/// (e.g. via `Arc<Trace>`).
+///
+/// # Panics
+///
+/// Panics if `ways` is zero (no valid cache geometry).
+pub fn assoc_point(scheme: Scheme, base: CacheGeometry, ways: usize, trace: &Trace) -> f64 {
+    let geom =
+        CacheGeometry::new(base.sets(), ways, base.line_bytes()).expect("sweep geometry is valid");
+    run_scheme_warmed(scheme, geom, trace, 0.2)
+}
+
 /// Sweeps associativity with a fixed set count (the Fig. 3 / Fig. 10
 /// protocol: the paper keeps the 2048-set organisation of Fig. 1 and
 /// varies the ways per set) and returns `(ways, mpki)` per point.
@@ -228,11 +243,7 @@ pub fn assoc_sweep(
 ) -> Vec<(usize, f64)> {
     ways_points
         .iter()
-        .map(|&w| {
-            let geom = CacheGeometry::new(base.sets(), w, base.line_bytes())
-                .expect("sweep geometry must be valid");
-            (w, run_scheme_warmed(scheme, geom, trace, 0.2))
-        })
+        .map(|&w| (w, assoc_point(scheme, base, w, trace)))
         .collect()
 }
 

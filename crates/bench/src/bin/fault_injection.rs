@@ -20,6 +20,10 @@ fn main() -> ExitCode {
         .unwrap_or(20_000);
 
     println!("# fault injection");
+    eprintln!(
+        "adversarial replays fan out on {} worker thread(s) (STEM_THREADS to override)",
+        stem_bench::pool::configured_threads()
+    );
     let mut failed = false;
 
     let corrupt = faults::corrupted_trace_suite();

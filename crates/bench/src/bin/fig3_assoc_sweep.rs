@@ -3,10 +3,15 @@
 //! organisation of Fig. 1 (the motivation study — STEM excluded; see
 //! `fig10_sensitivity` for the version with STEM).
 //!
+//! Each benchmark's trace is generated once; the (scheme, ways) points
+//! then fan out over `STEM_THREADS` workers, with results assembled in
+//! input order so the tables are byte-identical at any thread count.
+//!
 //! Run with `cargo run --release -p stem-bench --bin fig3_assoc_sweep`.
 
-use stem_analysis::{assoc_sweep, Scheme, Table};
+use stem_analysis::{assoc_point, Scheme, Table};
 use stem_bench::harness::{accesses_per_benchmark, sensitivity_benchmarks, sweep_ways};
+use stem_bench::pool;
 use stem_sim_core::CacheGeometry;
 
 fn main() {
@@ -24,19 +29,28 @@ fn main() {
     for bench in sensitivity_benchmarks() {
         let trace = bench.trace(base, accesses);
         eprintln!(
-            "Fig. 3 ({}) sweeping {} points...",
+            "Fig. 3 ({}) sweeping {} points on {} thread(s)...",
             bench.name(),
-            ways.len()
+            schemes.len() * ways.len(),
+            pool::configured_threads()
         );
+        let jobs: Vec<_> = schemes
+            .iter()
+            .flat_map(|&s| {
+                let trace = &trace;
+                let ways = &ways;
+                ways.iter()
+                    .map(move |&w| move || assoc_point(s, base, w, trace))
+            })
+            .collect();
+        let mpki = pool::map_ordered(jobs);
         let mut headers = vec!["assoc".to_owned()];
         headers.extend(schemes.iter().map(|s| s.label().to_owned()));
         let mut t = Table::new(headers);
-        let series: Vec<Vec<(usize, f64)>> = schemes
-            .iter()
-            .map(|&s| assoc_sweep(s, base, &ways, &trace))
-            .collect();
-        for (i, &w) in ways.iter().enumerate() {
-            let values: Vec<f64> = series.iter().map(|v| v[i].1).collect();
+        for (wi, &w) in ways.iter().enumerate() {
+            let values: Vec<f64> = (0..schemes.len())
+                .map(|si| mpki[si * ways.len() + wi])
+                .collect();
             t.row_f64(&w.to_string(), &values);
         }
         println!(

@@ -7,25 +7,32 @@
 //! `STEM_ACCESSES` scales the per-benchmark trace length,
 //! `STEM_SWEEP_ACCESSES` the associativity sweeps, `STEM_PERIODS` the
 //! Fig. 1 sampling periods, and `STEM_CSV_DIR` (optional) a directory to
-//! also write each table as a CSV file for plotting.
+//! also write each table as a CSV file for plotting (plus a
+//! `BENCH_run_all.json` wall-clock summary).
 //!
-//! Every experiment runs isolated on its own thread with a wall-clock
-//! budget (`STEM_EXPERIMENT_BUDGET_SECS`): a panicking or hanging
-//! experiment is reported and skipped, the remaining tables still print,
-//! and the process exits nonzero. `STEM_INJECT_PANIC=<experiment>`
-//! deliberately crashes one experiment to exercise that path.
+//! The suite fans out over `STEM_THREADS` workers (default: all cores).
+//! Every experiment cell — each (benchmark, scheme) pair of the matrix,
+//! each sweep point — runs isolated under `catch_unwind` with a
+//! wall-clock budget (`STEM_EXPERIMENT_BUDGET_SECS`): a panicking or
+//! hanging cell is reported and skipped, the remaining tables still
+//! print, and the process exits nonzero. Results are collected in input
+//! order, so stdout and every CSV are **byte-identical at any thread
+//! count**; progress and timing go to stderr.
+//! `STEM_INJECT_PANIC=<experiment>` deliberately crashes one cell to
+//! exercise that path.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use stem_analysis::{assoc_sweep, geomean, CapacityDemandProfiler, Scheme, Table};
+use stem_analysis::{assoc_point, geomean, CapacityDemandProfiler, Scheme, Table};
 use stem_bench::harness::{
-    accesses_per_benchmark, normalized_table, run_benchmark_matrix, sensitivity_benchmarks,
-    sweep_ways,
+    accesses_per_benchmark, normalized_table, run_benchmark_matrix_isolated,
+    sensitivity_benchmarks, sweep_ways,
 };
-use stem_bench::resilience::ExperimentRunner;
+use stem_bench::pool;
+use stem_bench::resilience::{ExperimentOutcome, ExperimentRunner};
 use stem_llc::{overhead, StemConfig};
-use stem_sim_core::CacheGeometry;
-use stem_workloads::BenchmarkProfile;
+use stem_sim_core::{CacheGeometry, Trace};
 
 /// Writes `table` to `$STEM_CSV_DIR/<name>.csv` when the variable is set.
 fn maybe_csv(name: &str, table: &Table) {
@@ -34,6 +41,57 @@ fn maybe_csv(name: &str, table: &Table) {
         if let Err(e) =
             std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, table.to_csv()))
         {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Emits the per-experiment wall-clock summary: always to stderr (stdout
+/// stays byte-stable across thread counts), and as
+/// `$STEM_CSV_DIR/BENCH_run_all.json` when the CSV directory is set —
+/// the seed of the performance trajectory across PRs.
+fn emit_timing_summary(threads: usize, outcomes: &[ExperimentOutcome]) {
+    let total: f64 = outcomes.iter().map(|o| o.elapsed.as_secs_f64()).sum();
+    eprintln!(
+        "\nper-experiment wall clock ({} cells on {} threads, {:.1}s of work):",
+        outcomes.len(),
+        threads,
+        total
+    );
+    for o in outcomes {
+        let status = match &o.failure {
+            None => "ok",
+            Some(_) => "FAILED",
+        };
+        eprintln!(
+            "  {:>8.2}s  {:<6} {}",
+            o.elapsed.as_secs_f64(),
+            status,
+            o.name
+        );
+    }
+
+    if let Ok(dir) = std::env::var("STEM_CSV_DIR") {
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"threads\": {threads},\n"));
+        json.push_str(&format!("  \"total_cell_seconds\": {total:.3},\n"));
+        json.push_str("  \"experiments\": [\n");
+        for (i, o) in outcomes.iter().enumerate() {
+            let status = match &o.failure {
+                None => "ok".to_owned(),
+                Some(f) => f.to_string().replace('\\', "\\\\").replace('"', "\\\""),
+            };
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"elapsed_secs\": {:.3}, \"status\": \"{}\"}}{}\n",
+                o.name.replace('\\', "\\\\").replace('"', "\\\""),
+                o.elapsed.as_secs_f64(),
+                status,
+                if i + 1 == outcomes.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let path = std::path::Path::new(&dir).join("BENCH_run_all.json");
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, json)) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
@@ -50,6 +108,7 @@ fn main() -> ExitCode {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(20);
+    let threads = pool::configured_threads();
 
     let mut runner = ExperimentRunner::new();
 
@@ -61,20 +120,28 @@ fn main() -> ExitCode {
         periods,
         runner.budget().as_secs()
     );
+    eprintln!("fanning out on {threads} worker thread(s) (STEM_THREADS to override)");
 
     // ---- Fig. 1 -----------------------------------------------------
-    for name in ["omnetpp", "ammp"] {
-        let outcome = runner.run_value(&format!("fig1_{name}"), move || {
-            let bench = BenchmarkProfile::by_name(name).expect("suite benchmark");
-            let trace = bench.trace(geom, periods * 50_000);
-            let hists = CapacityDemandProfiler::micro2010(geom).profile(&trace);
-            let agg = CapacityDemandProfiler::aggregate(&hists);
-            (
-                agg.fraction_at_most(4),
-                agg.fraction_at_most(16),
-                agg.fraction_at_most(0),
-            )
-        });
+    let fig1_names = ["omnetpp", "ammp"];
+    let fig1_jobs: Vec<(String, _)> = fig1_names
+        .iter()
+        .map(|&name| {
+            (format!("fig1_{name}"), move || {
+                let bench =
+                    stem_workloads::BenchmarkProfile::by_name(name).expect("suite benchmark");
+                let trace = bench.trace(geom, periods * 50_000);
+                let hists = CapacityDemandProfiler::micro2010(geom).profile(&trace);
+                let agg = CapacityDemandProfiler::aggregate(&hists);
+                (
+                    agg.fraction_at_most(4),
+                    agg.fraction_at_most(16),
+                    agg.fraction_at_most(0),
+                )
+            })
+        })
+        .collect();
+    for (name, outcome) in fig1_names.iter().zip(runner.run_batch(threads, fig1_jobs)) {
         if let Some((le4, le16, zero)) = outcome {
             println!(
                 "## Fig. 1 ({name}): demand <= 4 ways: {le4:.2}, <= 16 ways: {le16:.2}, \
@@ -85,20 +152,18 @@ fn main() -> ExitCode {
 
     // ---- Fig. 7/8/9 + Table 2 --------------------------------------
     eprintln!("running the 15-benchmark x 6-scheme matrix...");
-    let rows = runner.run_value("benchmark_matrix", move || {
-        run_benchmark_matrix(geom, accesses)
-    });
+    let rows = run_benchmark_matrix_isolated(&mut runner, geom, accesses, threads);
 
-    if let Some(rows) = &rows {
+    if !rows.is_empty() {
         let mut t2 = Table::new(vec!["benchmark".into(), "LRU MPKI".into()]);
-        for row in rows {
+        for row in &rows {
             t2.row(vec![row.name.into(), format!("{:.3}", row.metrics[0].mpki)]);
         }
         println!("\n## Table 2 — LRU MPKI\n\n{t2}");
         maybe_csv("table2_mpki", &t2);
-        let fig7 = normalized_table(rows, 0);
-        let fig8 = normalized_table(rows, 1);
-        let fig9 = normalized_table(rows, 2);
+        let fig7 = normalized_table(&rows, 0);
+        let fig8 = normalized_table(&rows, 1);
+        let fig9 = normalized_table(&rows, 2);
         println!("## Fig. 7 — normalized MPKI\n\n{fig7}");
         println!("## Fig. 8 — normalized AMAT\n\n{fig8}");
         println!("## Fig. 9 — normalized CPI\n\n{fig9}");
@@ -108,7 +173,7 @@ fn main() -> ExitCode {
 
         // Headline numbers (paper abstract: 21.4% / 13.5% / 6.3% over LRU).
         let mut stem_gains = [Vec::new(), Vec::new(), Vec::new()];
-        for row in rows {
+        for row in &rows {
             let (m, a, c) = row.normalized(5); // STEM index in Scheme::PAPER
             stem_gains[0].push(m);
             stem_gains[1].push(a);
@@ -126,29 +191,69 @@ fn main() -> ExitCode {
 
     // ---- Fig. 3 / Fig. 10 -------------------------------------------
     let ways = sweep_ways();
-    for bench in sensitivity_benchmarks() {
-        let name = bench.name();
-        eprintln!("sweeping {name} (Fig. 3 / Fig. 10)...");
-        let ways_for_run = ways.clone();
-        let outcome = runner.run_value(&format!("sweep_{name}"), move || {
-            let trace = bench.trace(geom, sweep_accesses);
-            let series: Vec<Vec<(usize, f64)>> = Scheme::PAPER
-                .iter()
-                .map(|&s| assoc_sweep(s, geom, &ways_for_run, &trace))
-                .collect();
-            series
-        });
-        if let Some(series) = outcome {
-            let mut headers = vec!["assoc".to_owned()];
-            headers.extend(Scheme::PAPER.iter().map(|s| s.label().to_owned()));
-            let mut t = Table::new(headers);
-            for (i, &w) in ways.iter().enumerate() {
-                let values: Vec<f64> = series.iter().map(|v| v[i].1).collect();
-                t.row_f64(&w.to_string(), &values);
+    let sens = sensitivity_benchmarks();
+
+    // The two sensitivity traces, generated once each.
+    let sweep_trace_jobs: Vec<(String, _)> = sens
+        .iter()
+        .map(|bench| {
+            let bench = bench.clone();
+            (format!("sweep_trace_{}", bench.name()), move || {
+                Arc::new(bench.trace(geom, sweep_accesses))
+            })
+        })
+        .collect();
+    let sweep_traces: Vec<Option<Arc<Trace>>> = runner.run_batch(threads, sweep_trace_jobs);
+
+    // Every (benchmark, scheme, ways) point is one cell.
+    let mut point_jobs: Vec<(String, Box<dyn FnOnce() -> f64 + Send>)> = Vec::new();
+    let mut point_keys: Vec<(usize, usize, usize)> = Vec::new();
+    for (bi, trace) in sweep_traces.iter().enumerate() {
+        let Some(trace) = trace else { continue };
+        eprintln!("sweeping {} (Fig. 3 / Fig. 10)...", sens[bi].name());
+        for (si, &scheme) in Scheme::PAPER.iter().enumerate() {
+            for (wi, &w) in ways.iter().enumerate() {
+                let trace = Arc::clone(trace);
+                point_jobs.push((
+                    format!("sweep_{}/{}/{}w", sens[bi].name(), scheme.label(), w),
+                    Box::new(move || assoc_point(scheme, geom, w, &trace)),
+                ));
+                point_keys.push((bi, si, wi));
             }
-            println!("## Fig. 3/10 ({name}) — MPKI vs associativity\n\n{t}");
-            maybe_csv(&format!("fig10_{name}"), &t);
         }
+    }
+    let point_results = runner.run_batch(threads, point_jobs);
+    let mut series: Vec<Vec<Vec<Option<f64>>>> =
+        vec![vec![vec![None; ways.len()]; Scheme::PAPER.len()]; sens.len()];
+    for ((bi, si, wi), v) in point_keys.into_iter().zip(point_results) {
+        series[bi][si][wi] = v;
+    }
+    for (bi, bench_series) in series.into_iter().enumerate() {
+        let name = sens[bi].name();
+        if sweep_traces[bi].is_none() {
+            eprintln!("skipping Fig. 3/10 ({name}): trace generation failed");
+            continue;
+        }
+        let complete: Option<Vec<Vec<f64>>> = bench_series
+            .into_iter()
+            .map(|per_scheme| per_scheme.into_iter().collect())
+            .collect();
+        let Some(bench_series) = complete else {
+            eprintln!("skipping Fig. 3/10 ({name}): a sweep point failed; see final report");
+            continue;
+        };
+        let mut headers = vec!["assoc".to_owned()];
+        headers.extend(Scheme::PAPER.iter().map(|s| s.label().to_owned()));
+        let mut t = Table::new(headers);
+        for (wi, &w) in ways.iter().enumerate() {
+            let values: Vec<f64> = bench_series
+                .iter()
+                .map(|per_scheme| per_scheme[wi])
+                .collect();
+            t.row_f64(&w.to_string(), &values);
+        }
+        println!("## Fig. 3/10 ({name}) — MPKI vs associativity\n\n{t}");
+        maybe_csv(&format!("fig10_{name}"), &t);
     }
 
     // ---- Table 3 -----------------------------------------------------
@@ -161,6 +266,7 @@ fn main() -> ExitCode {
     }
 
     // ---- Outcome ----------------------------------------------------
+    emit_timing_summary(threads, runner.outcomes());
     match runner.failure_report() {
         None => {
             eprintln!("\nall {} experiments completed", runner.outcomes().len());

@@ -187,19 +187,36 @@ pub fn adversarial_trace_suite(accesses_per_trace: usize) -> FaultReport {
         })
         .collect();
 
-    for (label, trace) in [
+    // Every (trace, scheme) case is independent: fan the audited replays
+    // out over the pool. `run_ordered` returns results in input order, so
+    // the report reads identically at any thread count.
+    let cases: Vec<(String, &Trace, Scheme)> = [
         ("aliasing storm", &aliasing_storm),
         ("zero inst_gap", &zero_gap),
         ("max addresses", &max_addresses),
-    ] {
-        for scheme in Scheme::ALL {
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
+    ]
+    .into_iter()
+    .flat_map(|(label, trace)| {
+        Scheme::ALL
+            .into_iter()
+            .map(move |scheme| (format!("{scheme} vs {label}"), trace, scheme))
+    })
+    .collect();
+    let jobs: Vec<_> = cases
+        .iter()
+        .map(|&(_, trace, scheme)| {
+            move || {
                 let mut cache = build_audited_cache(scheme, geom);
-                run_audited(cache.as_mut(), trace, 1024).map(|()| cache.stats().accesses())
-            }));
-            let graceful = matches!(outcome, Ok(Ok(a)) if a == trace.len() as u64);
-            report.check(&format!("{scheme} vs {label}"), graceful);
-        }
+                let audited =
+                    run_audited(cache.as_mut(), trace, 1024).map(|()| cache.stats().accesses());
+                matches!(audited, Ok(a) if a == trace.len() as u64)
+            }
+        })
+        .collect();
+    let outcomes = crate::pool::run_ordered(crate::pool::configured_threads(), jobs);
+    for ((what, _, _), outcome) in cases.iter().zip(outcomes) {
+        // A panicking case is not graceful; the pool already contained it.
+        report.check(what, matches!(outcome, Ok(true)));
     }
 
     report

@@ -1,11 +1,14 @@
 //! Experiment-harness plumbing shared by the figure/table binaries.
 
-use std::time::Instant;
+use std::sync::Arc;
 
 use stem_analysis::{geomean, run_system, Scheme, SystemMetrics, Table};
 use stem_hierarchy::SystemConfig;
-use stem_sim_core::CacheGeometry;
+use stem_sim_core::{CacheGeometry, Trace};
 use stem_workloads::{spec2010_suite, BenchmarkProfile};
+
+use crate::pool;
+use crate::resilience::ExperimentRunner;
 
 /// Trace length (accesses) per benchmark, overridable with the
 /// `STEM_ACCESSES` environment variable. The default keeps the full
@@ -41,27 +44,90 @@ impl BenchmarkRow {
 }
 
 /// Runs the whole 15-benchmark × 6-scheme matrix at the paper's L2
-/// configuration, printing progress to stderr.
+/// configuration, fanned out over [`pool::configured_threads`] workers,
+/// printing progress to stderr.
+///
+/// Rows come back in suite order with per-scheme metrics in
+/// [`Scheme::PAPER`] order — byte-identical to a serial run at any thread
+/// count. A panic in any (benchmark, scheme) cell propagates as a panic
+/// naming the cell; drivers that must survive broken cells use
+/// [`run_benchmark_matrix_isolated`] instead.
 pub fn run_benchmark_matrix(geom: CacheGeometry, accesses: usize) -> Vec<BenchmarkRow> {
+    let mut runner = ExperimentRunner::new();
+    let rows =
+        run_benchmark_matrix_isolated(&mut runner, geom, accesses, pool::configured_threads());
+    if let Some(report) = runner.failure_report() {
+        panic!("benchmark matrix cells failed:\n{report}");
+    }
+    rows
+}
+
+/// The isolated form of [`run_benchmark_matrix`]: every trace generation
+/// and every (benchmark, scheme) cell runs as its own named experiment on
+/// `runner`'s budgeted worker pool (`trace/<bench>` and
+/// `matrix/<bench>/<scheme>`). A failing cell is recorded on the runner
+/// under that name and drops only its own benchmark's row — the other
+/// rows still come back, in suite order.
+pub fn run_benchmark_matrix_isolated(
+    runner: &mut ExperimentRunner,
+    geom: CacheGeometry,
+    accesses: usize,
+    threads: usize,
+) -> Vec<BenchmarkRow> {
     let cfg = SystemConfig::micro2010();
+    let suite = spec2010_suite();
+
+    // Stage 1: generate each benchmark's trace once; cells share it.
+    let trace_jobs: Vec<(String, _)> = suite
+        .iter()
+        .map(|bench| {
+            let bench = bench.clone();
+            (format!("trace/{}", bench.name()), move || {
+                Arc::new(bench.trace(geom, accesses))
+            })
+        })
+        .collect();
+    let traces: Vec<Option<Arc<Trace>>> = runner.run_batch(threads, trace_jobs);
+
+    // Stage 2: one cell per (benchmark, scheme) pair, all in one batch so
+    // the pool stays full across benchmark boundaries.
+    let mut cell_jobs: Vec<(String, Box<dyn FnOnce() -> SystemMetrics + Send>)> = Vec::new();
+    let mut cell_keys: Vec<(usize, usize)> = Vec::new();
+    for (bi, trace) in traces.iter().enumerate() {
+        let Some(trace) = trace else { continue };
+        for (si, &scheme) in Scheme::PAPER.iter().enumerate() {
+            let trace = Arc::clone(trace);
+            cell_jobs.push((
+                format!("matrix/{}/{}", suite[bi].name(), scheme.label()),
+                Box::new(move || run_system(scheme, geom, cfg, &trace, WARMUP_FRACTION)),
+            ));
+            cell_keys.push((bi, si));
+        }
+    }
+    let cell_results = runner.run_batch(threads, cell_jobs);
+
+    // Assemble rows in suite order; a benchmark needs all of its scheme
+    // cells (normalization is relative to its own LRU column).
+    let mut per_bench: Vec<Vec<Option<SystemMetrics>>> =
+        vec![vec![None; Scheme::PAPER.len()]; suite.len()];
+    for ((bi, si), result) in cell_keys.into_iter().zip(cell_results) {
+        per_bench[bi][si] = result;
+    }
     let mut rows = Vec::new();
-    for bench in spec2010_suite() {
-        let t0 = Instant::now();
-        let trace = bench.trace(geom, accesses);
-        let metrics: Vec<SystemMetrics> = Scheme::PAPER
-            .iter()
-            .map(|&s| run_system(s, geom, cfg, &trace, WARMUP_FRACTION))
-            .collect();
-        eprintln!(
-            "  {:<10} done in {:>6.1}s (LRU MPKI {:.2})",
-            bench.name(),
-            t0.elapsed().as_secs_f64(),
-            metrics[0].mpki
-        );
-        rows.push(BenchmarkRow {
-            name: bench.name(),
-            metrics,
-        });
+    for (bi, cells) in per_bench.into_iter().enumerate() {
+        let name = suite[bi].name();
+        if traces[bi].is_none() {
+            eprintln!("  {name:<10} SKIPPED (trace generation failed)");
+            continue;
+        }
+        let complete: Option<Vec<SystemMetrics>> = cells.into_iter().collect();
+        match complete {
+            Some(metrics) => {
+                eprintln!("  {:<10} done (LRU MPKI {:.2})", name, metrics[0].mpki);
+                rows.push(BenchmarkRow { name, metrics });
+            }
+            None => eprintln!("  {name:<10} SKIPPED (a scheme cell failed; see final report)"),
+        }
     }
     rows
 }

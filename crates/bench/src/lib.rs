@@ -2,12 +2,15 @@
 //!
 //! The binaries in `src/bin/` regenerate every table and figure of the
 //! paper (see `DESIGN.md` §4 for the index); the plain `std::time` benches
-//! in `benches/` measure simulator throughput. [`resilience`] isolates
-//! long experiment runs from panics and hangs, and [`faults`] injects
-//! corrupted traces, adversarial traffic, and invalid configurations to
-//! prove the simulator degrades with typed errors instead of crashes.
+//! in `benches/` measure simulator throughput. [`pool`] is the
+//! deterministic parallel executor every driver fans out on (`STEM_THREADS`
+//! workers, results in input order); [`resilience`] isolates long
+//! experiment runs from panics and hangs; and [`faults`] injects corrupted
+//! traces, adversarial traffic, and invalid configurations to prove the
+//! simulator degrades with typed errors instead of crashes.
 
 pub mod faults;
 pub mod harness;
+pub mod pool;
 pub mod resilience;
 pub mod timing;

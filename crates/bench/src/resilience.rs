@@ -1,15 +1,27 @@
 //! Panic- and hang-isolated experiment execution for the long-running
 //! drivers (`run_all` in particular).
 //!
-//! Every experiment runs on its own thread under `catch_unwind` with a
-//! wall-clock budget. A panicking or overrunning experiment is recorded as
-//! a failure and the driver moves on, so one broken figure cannot take
-//! down a multi-hour reproduction run. The driver prints a failure report
-//! at the end and exits nonzero if anything failed.
+//! Experiments run on detached worker threads under `catch_unwind` with a
+//! per-experiment wall-clock budget. A panicking or overrunning experiment
+//! is recorded as a failure and the driver moves on, so one broken figure
+//! cannot take down a multi-hour reproduction run. The driver prints a
+//! failure report at the end and exits nonzero if anything failed.
+//!
+//! [`ExperimentRunner::run_batch`] is the parallel form: a whole batch of
+//! named experiment cells (e.g. every (benchmark, scheme) pair of the
+//! Fig. 7–9 matrix) shares a work queue drained by `threads` workers.
+//! Results and recorded outcomes come back **in input order** — the
+//! determinism contract of [`pool`](crate::pool) — and each cell keeps its
+//! own isolation: a panicking cell fails only itself, attributed to its
+//! own name, and a cell that overruns the budget is abandoned (its wedged
+//! worker is replaced so the rest of the queue still drains).
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::pool::panic_message;
 
 /// Environment variable naming an experiment that should deliberately
 /// panic, for exercising the isolation machinery end-to-end
@@ -21,6 +33,9 @@ pub const INJECT_PANIC_ENV: &str = "STEM_INJECT_PANIC";
 pub const BUDGET_ENV: &str = "STEM_EXPERIMENT_BUDGET_SECS";
 
 const DEFAULT_BUDGET: Duration = Duration::from_secs(4 * 60 * 60);
+
+/// How often the collector checks running experiments against the budget.
+const BUDGET_POLL: Duration = Duration::from_millis(25);
 
 /// Why an experiment did not produce a result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,12 +61,21 @@ impl std::fmt::Display for ExperimentFailure {
 /// The record of one completed or failed experiment.
 #[derive(Debug, Clone)]
 pub struct ExperimentOutcome {
-    /// Experiment name as passed to [`ExperimentRunner::run_value`].
+    /// Experiment name as passed to [`ExperimentRunner::run_value`] /
+    /// [`ExperimentRunner::run_batch`].
     pub name: String,
     /// `None` on success, the failure otherwise.
     pub failure: Option<ExperimentFailure>,
     /// Wall-clock time until the result (or the abandonment).
     pub elapsed: Duration,
+}
+
+/// One named job queued for a batch: its input index, whether the
+/// `STEM_INJECT_PANIC` negative test targets it, and the work itself.
+struct QueuedJob<F> {
+    index: usize,
+    inject: bool,
+    f: F,
 }
 
 /// Runs experiments in isolation and accumulates their outcomes.
@@ -100,9 +124,9 @@ impl ExperimentRunner {
         self.budget
     }
 
-    /// Runs `f` on its own thread under `catch_unwind` with the wall-clock
-    /// budget. Returns the value on success; on panic or timeout, records
-    /// the failure and returns `None`.
+    /// Runs `f` in isolation with the wall-clock budget. Returns the value
+    /// on success; on panic or timeout, records the failure and returns
+    /// `None`.
     ///
     /// When `STEM_INJECT_PANIC` names this experiment, a panic is injected
     /// before `f` runs (the negative test of the isolation machinery).
@@ -111,39 +135,9 @@ impl ExperimentRunner {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        let inject = std::env::var(INJECT_PANIC_ENV).is_ok_and(|v| v == name);
-        let (tx, rx) = mpsc::channel();
-        let t0 = Instant::now();
-        // The thread is detached on timeout rather than joined: there is
-        // no portable way to cancel it, and an abandoned worker is
-        // preferable to a wedged driver.
-        std::thread::Builder::new()
-            .name(format!("experiment-{name}"))
-            .spawn(move || {
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    if inject {
-                        panic!("injected panic ({INJECT_PANIC_ENV})");
-                    }
-                    f()
-                }));
-                // The receiver may have given up already; ignore send errors.
-                // `as_ref` matters: `&payload` would coerce the Box itself
-                // into `dyn Any` and every downcast would miss.
-                let _ = tx.send(result.map_err(|payload| panic_message(payload.as_ref())));
-            })
-            .expect("spawning an experiment thread");
-
-        let (value, failure) = match rx.recv_timeout(self.budget) {
-            Ok(Ok(v)) => (Some(v), None),
-            Ok(Err(msg)) => (None, Some(ExperimentFailure::Panicked(msg))),
-            Err(_) => (None, Some(ExperimentFailure::TimedOut(self.budget))),
-        };
-        self.outcomes.push(ExperimentOutcome {
-            name: name.to_owned(),
-            failure,
-            elapsed: t0.elapsed(),
-        });
-        value
+        self.run_batch(1, vec![(name.to_owned(), f)])
+            .pop()
+            .flatten()
     }
 
     /// Like [`run_value`](Self::run_value) for unit experiments; returns
@@ -155,7 +149,124 @@ impl ExperimentRunner {
         self.run_value(name, f).is_some()
     }
 
-    /// All outcomes so far, in execution order.
+    /// Runs a batch of named experiment cells on up to `threads` detached
+    /// workers sharing one work queue, and returns one `Option<T>` per
+    /// cell **in input order** (so any output rendered from the results is
+    /// independent of the thread count — the determinism contract).
+    ///
+    /// Isolation is per cell, exactly as in [`run_value`](Self::run_value):
+    ///
+    /// * a panicking cell yields `None` for itself only, recorded as
+    ///   [`ExperimentFailure::Panicked`] under its own name;
+    /// * a cell exceeding the per-experiment budget (measured from the
+    ///   moment a worker picks it up, not from enqueue) is abandoned as
+    ///   [`ExperimentFailure::TimedOut`] and its wedged worker is replaced
+    ///   so the remaining queue still drains at full width;
+    /// * `STEM_INJECT_PANIC=<cell name>` crashes exactly that cell.
+    ///
+    /// Outcomes are recorded in input order once the whole batch settles.
+    pub fn run_batch<T, F>(&mut self, threads: usize, jobs: Vec<(String, F)>) -> Vec<Option<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let inject_target = std::env::var(INJECT_PANIC_ENV).ok();
+        let mut names = Vec::with_capacity(n);
+        let mut queue = VecDeque::with_capacity(n);
+        for (index, (name, f)) in jobs.into_iter().enumerate() {
+            let inject = inject_target.as_deref() == Some(name.as_str());
+            names.push(name);
+            queue.push_back(QueuedJob { index, inject, f });
+        }
+        let queue = Arc::new(Mutex::new(queue));
+        // `started[i]` is stamped when a worker picks cell `i` up; the
+        // collector measures budgets against it.
+        let started: Arc<Vec<Mutex<Option<Instant>>>> =
+            Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let (tx, rx) = mpsc::channel::<(usize, Result<T, String>, Duration)>();
+
+        let workers = threads.clamp(1, n);
+        for _ in 0..workers {
+            spawn_worker(Arc::clone(&queue), Arc::clone(&started), tx.clone());
+        }
+        // `tx` stays alive in the collector: replacement workers for
+        // timed-out cells need a sender to clone. Completion is tracked by
+        // counting (every popped cell either sends or times out), so the
+        // channel never needs to disconnect.
+
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut failures: Vec<Option<ExperimentFailure>> = vec![None; n];
+        let mut elapsed: Vec<Duration> = vec![Duration::ZERO; n];
+        let mut settled = vec![false; n];
+        let mut remaining = n;
+        while remaining > 0 {
+            match rx.recv_timeout(BUDGET_POLL) {
+                Ok((i, outcome, dt)) => {
+                    if settled[i] {
+                        continue; // late result of an already-abandoned cell
+                    }
+                    settled[i] = true;
+                    remaining -= 1;
+                    elapsed[i] = dt;
+                    match outcome {
+                        // The budget is a hard deadline even for a cell
+                        // that finishes before the poll notices: with e.g.
+                        // STEM_EXPERIMENT_BUDGET_SECS=0 every cell must
+                        // time out deterministically, not race the 25ms
+                        // collector poll.
+                        Ok(_) if dt >= self.budget => {
+                            failures[i] = Some(ExperimentFailure::TimedOut(self.budget));
+                        }
+                        Ok(v) => results[i] = Some(v),
+                        Err(msg) => failures[i] = Some(ExperimentFailure::Panicked(msg)),
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    for i in 0..n {
+                        if settled[i] {
+                            continue;
+                        }
+                        let since = started[i]
+                            .lock()
+                            .expect("start stamp lock")
+                            .map(|t0| t0.elapsed());
+                        if let Some(dt) = since {
+                            if dt >= self.budget {
+                                settled[i] = true;
+                                remaining -= 1;
+                                elapsed[i] = dt;
+                                failures[i] = Some(ExperimentFailure::TimedOut(self.budget));
+                                // The wedged worker is abandoned; restore
+                                // the pool's width so queued cells still
+                                // run. A replacement finding an empty
+                                // queue exits immediately.
+                                spawn_worker(Arc::clone(&queue), Arc::clone(&started), tx.clone());
+                            }
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("the collector holds a live sender")
+                }
+            }
+        }
+
+        for (i, name) in names.into_iter().enumerate() {
+            self.outcomes.push(ExperimentOutcome {
+                name,
+                failure: failures[i].take(),
+                elapsed: elapsed[i],
+            });
+        }
+        results
+    }
+
+    /// All outcomes so far, in execution order (input order within each
+    /// batch).
     pub fn outcomes(&self) -> &[ExperimentOutcome] {
         &self.outcomes
     }
@@ -204,15 +315,41 @@ impl Default for ExperimentRunner {
     }
 }
 
-/// Extracts the human-readable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    }
+/// Spawns one detached batch worker: pop a cell, stamp its start, run it
+/// under `catch_unwind`, send the result, repeat until the queue is empty.
+/// Send errors are ignored — the collector may have given up on the batch
+/// (or on this worker) already.
+fn spawn_worker<T, F>(
+    queue: Arc<Mutex<VecDeque<QueuedJob<F>>>>,
+    started: Arc<Vec<Mutex<Option<Instant>>>>,
+    tx: mpsc::Sender<(usize, Result<T, String>, Duration)>,
+) where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name("stem-experiment-worker".to_owned())
+        .spawn(move || loop {
+            let job = match queue.lock().expect("work queue lock").pop_front() {
+                Some(job) => job,
+                None => break,
+            };
+            let t0 = Instant::now();
+            *started[job.index].lock().expect("start stamp lock") = Some(t0);
+            let inject = job.inject;
+            let f = job.f;
+            let outcome = catch_unwind(AssertUnwindSafe(move || {
+                if inject {
+                    panic!("injected panic ({INJECT_PANIC_ENV})");
+                }
+                f()
+            }))
+            // `as_ref` matters: `&payload` would coerce the Box itself
+            // into `dyn Any` and every downcast would miss.
+            .map_err(|payload| panic_message(payload.as_ref()));
+            let _ = tx.send((job.index, outcome, t0.elapsed()));
+        })
+        .expect("spawning an experiment worker thread");
 }
 
 #[cfg(test)]
@@ -271,5 +408,121 @@ mod tests {
         let v: Option<()> = r.run_value("odd-payload", || std::panic::panic_any(42i32));
         assert_eq!(v, None);
         assert!(r.failure_report().unwrap().contains("non-string"));
+    }
+
+    #[test]
+    fn batch_results_come_back_in_input_order() {
+        let mut r = ExperimentRunner::with_budget(Duration::from_secs(30));
+        let jobs: Vec<(String, _)> = (0..12u64)
+            .map(|i| {
+                (format!("cell-{i}"), move || {
+                    std::thread::sleep(Duration::from_millis((12 - i) % 4));
+                    i * 3
+                })
+            })
+            .collect();
+        let out = r.run_batch(4, jobs);
+        let expect: Vec<Option<u64>> = (0..12u64).map(|i| Some(i * 3)).collect();
+        assert_eq!(out, expect);
+        assert!(r.all_passed());
+        // Outcomes recorded in input order too.
+        let names: Vec<&str> = r.outcomes().iter().map(|o| o.name.as_str()).collect();
+        let expect_names: Vec<String> = (0..12).map(|i| format!("cell-{i}")).collect();
+        assert_eq!(
+            names,
+            expect_names.iter().map(String::as_str).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn batch_panic_fails_only_its_own_cell_with_the_right_name() {
+        let mut r = ExperimentRunner::with_budget(Duration::from_secs(30));
+        let jobs: Vec<(String, Box<dyn FnOnce() -> u32 + Send>)> = (0..6u32)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> u32 + Send> = Box::new(move || {
+                    if i == 2 {
+                        panic!("cell two is cursed");
+                    }
+                    i
+                });
+                (format!("batch/{i}"), f)
+            })
+            .collect();
+        let out = r.run_batch(3, jobs);
+        for (i, v) in out.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(*v, None);
+            } else {
+                assert_eq!(*v, Some(i as u32));
+            }
+        }
+        let failed: Vec<&ExperimentOutcome> = r
+            .outcomes()
+            .iter()
+            .filter(|o| o.failure.is_some())
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].name, "batch/2");
+        assert!(r.failure_report().unwrap().contains("cursed"));
+    }
+
+    #[test]
+    fn batch_timeout_abandons_one_cell_and_drains_the_rest() {
+        // One worker, four cells; the first cell wedges. The budget must
+        // abandon it, replace the worker, and still complete cells 1–3.
+        let mut r = ExperimentRunner::with_budget(Duration::from_millis(80));
+        let jobs: Vec<(String, Box<dyn FnOnce() -> u32 + Send>)> = (0..4u32)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> u32 + Send> = Box::new(move || {
+                    if i == 0 {
+                        std::thread::sleep(Duration::from_secs(30));
+                    }
+                    i + 10
+                });
+                (format!("t/{i}"), f)
+            })
+            .collect();
+        let out = r.run_batch(1, jobs);
+        assert_eq!(out, vec![None, Some(11), Some(12), Some(13)]);
+        assert!(matches!(
+            r.outcomes()[0].failure,
+            Some(ExperimentFailure::TimedOut(_))
+        ));
+        for o in &r.outcomes()[1..] {
+            assert!(o.failure.is_none(), "{} should have completed", o.name);
+        }
+    }
+
+    #[test]
+    fn zero_budget_times_out_every_cell_deterministically() {
+        // The budget is a hard deadline: even a cell that completes before
+        // the collector's poll notices must count as over budget. With a
+        // zero budget nothing may race through as "ok".
+        let mut r = ExperimentRunner::with_budget(Duration::ZERO);
+        let jobs: Vec<(String, Box<dyn FnOnce() -> u32 + Send>)> = (0..4u32)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> u32 + Send> = Box::new(move || i);
+                (format!("z/{i}"), f)
+            })
+            .collect();
+        let out = r.run_batch(2, jobs);
+        assert_eq!(out, vec![None, None, None, None]);
+        assert!(!r.all_passed());
+        for o in r.outcomes() {
+            assert!(
+                matches!(o.failure, Some(ExperimentFailure::TimedOut(_))),
+                "{} must be over budget",
+                o.name
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut r = ExperimentRunner::with_budget(Duration::from_secs(1));
+        let jobs: Vec<(String, fn() -> u8)> = Vec::new();
+        let out = r.run_batch(4, jobs);
+        assert!(out.is_empty());
+        assert!(r.outcomes().is_empty());
     }
 }

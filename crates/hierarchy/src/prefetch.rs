@@ -38,17 +38,16 @@ impl NextLinePrefetcher {
     /// Issues the prefetches for a demand miss on `addr` into `l2`,
     /// returning how many lines were newly brought on-chip. Prefetch
     /// fills use the scheme's normal insertion path (a simplification:
-    /// no low-priority insertion), and their hits/misses are excluded
-    /// from the demand statistics by snapshotting around the calls.
+    /// no low-priority insertion) via
+    /// [`CacheModel::access_non_demand`], so the raw L2 counters stay
+    /// demand-only: consumers reading `l2.stats()` directly (the
+    /// associativity sweeps, MPKI tables) never see prefetch traffic.
     pub fn on_l1_miss(&self, addr: Address, geom: CacheGeometry, l2: &mut dyn CacheModel) -> usize {
         let mut brought = 0;
         let line_bytes = geom.line_bytes();
         for i in 1..=self.degree {
             let next = Address::new(addr.raw().wrapping_add(line_bytes * i as u64));
-            let before = *l2.stats();
-            let result = l2.access(next, AccessKind::Read);
-            let _ = before;
-            if result.is_miss() {
+            if l2.access_non_demand(next, AccessKind::Read).is_miss() {
                 brought += 1;
             }
         }
@@ -80,6 +79,19 @@ mod tests {
         for i in 1..=3u64 {
             assert!(l2.access(Address::new(i * 64), AccessKind::Read).is_hit());
         }
+    }
+
+    #[test]
+    fn prefetch_traffic_is_excluded_from_raw_counters() {
+        let geom = CacheGeometry::new(16, 4, 64).unwrap();
+        let mut l2 = SetAssocCache::new(geom, Box::new(Lru::new(geom)));
+        let pf = NextLinePrefetcher::new(4);
+        assert_eq!(pf.on_l1_miss(Address::new(0), geom, &mut l2), 4);
+        // The fills happened (the lines are resident) but no counter moved:
+        // the raw L2 statistics stay a pure demand view.
+        assert_eq!(*l2.stats(), stem_sim_core::CacheStats::default());
+        assert!(l2.access(Address::new(64), AccessKind::Read).is_hit());
+        assert_eq!(l2.stats().accesses(), 1);
     }
 
     #[test]

@@ -107,11 +107,19 @@ impl System {
 
     /// Runs `warmup` accesses (statistics discarded), mirroring the
     /// paper's cache-warming phase, then measures `trace`.
+    ///
+    /// The warm-up phase drives exactly the same hierarchy as the measured
+    /// phase — including the configured prefetcher — so measurement starts
+    /// from the cache state *this* system would have produced, not the
+    /// state of a prefetcher-less twin.
     pub fn warm_then_run(&mut self, warmup: &Trace, trace: &Trace) -> SystemMetrics {
+        let l2_geom = self.l2.geometry();
         for a in warmup {
             let r = self.l1.access(a.addr, a.kind);
-            if r.is_miss() {
-                self.l2.access(a.addr, a.kind);
+            if r.is_miss() && self.l2.access(a.addr, a.kind).is_miss() {
+                self.cfg
+                    .prefetcher
+                    .on_l1_miss(a.addr, l2_geom, self.l2.as_mut());
             }
         }
         self.l1.reset_stats();
@@ -121,15 +129,14 @@ impl System {
 
     /// Runs a trace and returns the end-to-end metrics.
     ///
-    /// Demand statistics (MPKI, AMAT) are tracked separately from the raw
-    /// L2 counters so that prefetch traffic, when enabled, does not count
-    /// as demand accesses.
+    /// Prefetch fills go through the L2's non-demand access path, so the
+    /// raw L2 counters are already demand-only and are reported as-is.
     pub fn run(&mut self, trace: &Trace) -> SystemMetrics {
         let t = self.cfg.timing;
         let mut total_cycles: u64 = 0; // memory access cycles
         let mut accesses: u64 = 0;
-        let mut demand = stem_sim_core::CacheStats::default();
         let l2_geom = self.l2.geometry();
+        let stats_base = *self.l2.stats();
 
         for a in trace {
             accesses += 1;
@@ -137,12 +144,6 @@ impl System {
             let mut cycles = self.cfg.l1_hit_cycles;
             if l1_result.is_miss() {
                 let l2_result = self.l2.access(a.addr, a.kind);
-                match l2_result {
-                    stem_sim_core::AccessResult::HitLocal => demand.record_local_hit(),
-                    stem_sim_core::AccessResult::HitCooperative => demand.record_coop_hit(),
-                    stem_sim_core::AccessResult::MissLocal => demand.record_local_miss(),
-                    stem_sim_core::AccessResult::MissCooperative => demand.record_coop_miss(),
-                }
                 cycles += t.l2_latency(l2_result);
                 if l2_result.is_miss() {
                     cycles += t.memory();
@@ -155,18 +156,15 @@ impl System {
         }
 
         let instructions = trace.instructions().max(1);
-        // With a prefetcher the raw L2 counters include prefetch traffic;
-        // report the demand-only view in that case.
-        let l2_stats = if self.cfg.prefetcher.degree() > 0 {
-            demand
-        } else {
-            *self.l2.stats()
-        };
+        let l2_stats = *self.l2.stats();
+        // Misses accumulated by *this* run (the caller may not have reset
+        // the counters between phases).
+        let run_misses = l2_stats.misses() - stats_base.misses();
         let stall_cycles = total_cycles.saturating_sub(accesses * self.cfg.l1_hit_cycles) as f64;
         let cpi = self.cfg.base_cpi + stall_cycles * (1.0 - self.cfg.overlap) / instructions as f64;
 
         SystemMetrics {
-            mpki: demand.mpki(instructions),
+            mpki: run_misses as f64 * 1000.0 / instructions as f64,
             amat: if accesses == 0 {
                 0.0
             } else {
@@ -264,6 +262,60 @@ mod tests {
         let m = sys.warm_then_run(&warm, &warm);
         // All 64 lines were warmed: the measured pass hits in L1 or L2.
         assert_eq!(m.l2.misses(), 0);
+    }
+
+    #[test]
+    fn warmup_drives_the_prefetcher_like_the_measured_phase() {
+        // Warm with line 0 only: with a degree-1 prefetcher, warm-up must
+        // also bring line 1 into the L2, exactly as the measured phase
+        // would. Measuring line 1 then hits the L2 (it misses the L1).
+        let cfg = SystemConfig::micro2010().with_prefetcher(1);
+        let mut sys = System::new(cfg, lru_l2());
+        let warm: Trace = [Access::read(Address::new(0))].into_iter().collect();
+        let measured: Trace = [Access::read(Address::new(64))].into_iter().collect();
+        let m = sys.warm_then_run(&warm, &measured);
+        assert_eq!(m.l2.misses(), 0, "warm-up must have prefetched line 1");
+        assert_eq!(m.l2.hits(), 1);
+    }
+
+    #[test]
+    fn warm_phase_and_run_phase_produce_the_same_state() {
+        // Warming with X then measuring Y must equal running X measured
+        // (stats discarded) then measuring Y: the warm path and the run
+        // path drive the identical hierarchy, prefetcher included.
+        let cfg = SystemConfig::micro2010().with_prefetcher(2);
+        let x: Trace = (0..600u64)
+            .map(|i| Access::read(Address::new((i % 97) * 192)))
+            .collect();
+        let y: Trace = (0..400u64)
+            .map(|i| Access::read(Address::new((i % 61) * 256)))
+            .collect();
+
+        let mut warmed = System::new(cfg, lru_l2());
+        let via_warm = warmed.warm_then_run(&x, &y);
+
+        let mut ran = System::new(cfg, lru_l2());
+        ran.run(&x);
+        let empty = Trace::new();
+        let via_run = ran.warm_then_run(&empty, &y); // resets stats, measures y
+        assert_eq!(via_warm.l2, via_run.l2);
+        assert_eq!(via_warm.mpki, via_run.mpki);
+        assert_eq!(via_warm.amat, via_run.amat);
+        assert_eq!(via_warm.cpi, via_run.cpi);
+    }
+
+    #[test]
+    fn raw_l2_counters_stay_demand_only_with_prefetcher() {
+        let cfg = SystemConfig::micro2010().with_prefetcher(4);
+        let mut sys = System::new(cfg, lru_l2());
+        let trace: Trace = (0..200u64)
+            .map(|i| Access::read(Address::new(i * 64)))
+            .collect();
+        let m = sys.run(&trace);
+        // Every trace access misses L1; the L2 sees exactly those 200
+        // demand accesses even though 4 prefetches fired per L2 miss.
+        assert_eq!(m.l2.accesses(), 200);
+        assert_eq!(*sys.l2().stats(), m.l2);
     }
 
     #[test]

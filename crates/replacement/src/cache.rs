@@ -162,8 +162,8 @@ impl CacheModel for SetAssocCache {
         &self.stats
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+    fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
     }
 
     fn geometry(&self) -> CacheGeometry {

@@ -166,8 +166,8 @@ mod tests {
         fn stats(&self) -> &CacheStats {
             &self.stats
         }
-        fn reset_stats(&mut self) {
-            self.stats = CacheStats::default();
+        fn stats_mut(&mut self) -> &mut CacheStats {
+            &mut self.stats
         }
         fn geometry(&self) -> CacheGeometry {
             self.geom

@@ -88,10 +88,30 @@ pub trait CacheModel {
     /// [`reset_stats`](CacheModel::reset_stats)).
     fn stats(&self) -> &CacheStats;
 
+    /// Mutable access to the statistics, so non-demand traffic (prefetch
+    /// fills, diagnostics) can snapshot and restore the counters around an
+    /// access instead of polluting the demand view. See
+    /// [`access_non_demand`](CacheModel::access_non_demand).
+    fn stats_mut(&mut self) -> &mut CacheStats;
+
     /// Clears the statistics without disturbing cache contents — used to
     /// exclude warm-up from measurement, mirroring the paper's
     /// cache-warming phase (§5.1).
-    fn reset_stats(&mut self);
+    fn reset_stats(&mut self) {
+        *self.stats_mut() = CacheStats::default();
+    }
+
+    /// Processes one access *without* perturbing the statistics: the cache
+    /// contents update normally (fills, evictions, replacement state) but
+    /// every counter is restored to its pre-access value. This is the
+    /// insertion path for prefetches and other non-demand traffic, which
+    /// the paper's MPKI/AMAT metrics must exclude.
+    fn access_non_demand(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let before = *self.stats();
+        let result = self.access(addr, kind);
+        *self.stats_mut() = before;
+        result
+    }
 
     /// The data-store geometry of this cache.
     fn geometry(&self) -> CacheGeometry;
@@ -151,8 +171,8 @@ mod tests {
         fn stats(&self) -> &CacheStats {
             &self.stats
         }
-        fn reset_stats(&mut self) {
-            self.stats = CacheStats::default();
+        fn stats_mut(&mut self) -> &mut CacheStats {
+            &mut self.stats
         }
         fn geometry(&self) -> CacheGeometry {
             self.geom
@@ -177,5 +197,18 @@ mod tests {
         assert_eq!(cache.stats().accesses(), 0);
         let r = cache.access_record(Access::write(Address::new(0)));
         assert!(r.is_miss());
+    }
+
+    #[test]
+    fn non_demand_access_leaves_stats_untouched() {
+        let mut cache = NullCache {
+            stats: CacheStats::default(),
+            geom: CacheGeometry::micro2010_l2(),
+        };
+        cache.access(Address::new(0), AccessKind::Read);
+        let before = *cache.stats();
+        let r = cache.access_non_demand(Address::new(64), AccessKind::Read);
+        assert!(r.is_miss());
+        assert_eq!(*cache.stats(), before, "non-demand traffic must not count");
     }
 }

@@ -364,8 +364,8 @@ impl CacheModel for SbcCache {
         &self.stats
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+    fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
     }
 
     fn geometry(&self) -> CacheGeometry {

@@ -452,8 +452,8 @@ impl CacheModel for StemCache {
         &self.stats
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+    fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
     }
 
     fn geometry(&self) -> CacheGeometry {

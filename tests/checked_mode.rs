@@ -2,11 +2,18 @@
 //! invariant audit over a long, realistic trace, and the auditors
 //! actually detect corruption when it is planted (the negative test —
 //! an auditor that never fires proves nothing).
+//!
+//! The long replays are independent per scheme, so they fan out over the
+//! deterministic pool (`STEM_THREADS` workers). The audit stride defaults
+//! to every 16384 accesses plus once at the end; `STEM_AUDIT_STRIDE`
+//! overrides it (1 = paper-grade per-access auditing, also available as
+//! the `--ignored` test below).
 
 use stem::analysis::{build_audited_cache, Scheme};
 use stem::sim_core::{run_audited, AccessKind, CacheGeometry, CacheModel, InvariantAuditor};
 use stem::spatial::VWayCache;
 use stem::workloads::BenchmarkProfile;
+use stem_bench::pool;
 
 /// How many accesses the long audited runs replay. The ISSUE acceptance
 /// bar is >= 1M per scheme; `STEM_CHECKED_ACCESSES` can scale it down for
@@ -18,8 +25,42 @@ fn checked_accesses() -> usize {
         .unwrap_or(1_000_000)
 }
 
-/// Every paper scheme replays a >= 1M-access synthetic trace with the
-/// invariant auditor running every 4096 accesses and once at the end.
+/// Audit stride for the long replays: every `n` accesses plus once at the
+/// end. Overridable with `STEM_AUDIT_STRIDE` (1 = audit every access).
+fn audit_stride() -> u64 {
+    std::env::var("STEM_AUDIT_STRIDE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(16_384)
+}
+
+/// Replays `trace` through every paper scheme in parallel (one pool job
+/// per scheme), auditing at `stride`, and panics with the scheme name on
+/// the first violation. The pool contains a panicking job to its own
+/// slot, so one broken scheme reports without masking the others.
+fn audit_paper_schemes(geom: CacheGeometry, trace: &stem::sim_core::Trace, stride: u64) {
+    let jobs: Vec<_> = Scheme::PAPER
+        .iter()
+        .map(|&scheme| {
+            move || {
+                let mut cache = build_audited_cache(scheme, geom);
+                run_audited(cache.as_mut(), trace, stride)
+                    .unwrap_or_else(|e| panic!("{scheme} failed its audit: {e}"));
+                assert_eq!(cache.stats().accesses(), trace.len() as u64);
+            }
+        })
+        .collect();
+    let failures: Vec<String> = pool::run_ordered(pool::configured_threads(), jobs)
+        .into_iter()
+        .filter_map(|r| r.err())
+        .map(|payload| pool::panic_message(payload.as_ref()))
+        .collect();
+    assert!(failures.is_empty(), "audit failures: {failures:?}");
+}
+
+/// Every paper scheme replays a >= 1M-access synthetic trace under the
+/// invariant auditor, all six schemes in parallel on the pool.
 #[test]
 fn paper_schemes_pass_full_audit_over_long_traces() {
     let geom = CacheGeometry::micro2010_l2();
@@ -30,30 +71,34 @@ fn paper_schemes_pass_full_audit_over_long_traces() {
         .expect("suite benchmark")
         .trace(geom, accesses);
     assert!(trace.len() >= accesses);
-
-    for scheme in Scheme::PAPER {
-        let mut cache = build_audited_cache(scheme, geom);
-        run_audited(cache.as_mut(), &trace, 4096)
-            .unwrap_or_else(|e| panic!("{scheme} failed its audit: {e}"));
-        assert_eq!(cache.stats().accesses(), trace.len() as u64);
-    }
+    audit_paper_schemes(geom, &trace, audit_stride());
 }
 
 /// A second, pathological workload: a tiny geometry so sets overflow and
 /// every eviction/spill/decouple path runs constantly, audited at a
-/// paranoid stride.
+/// paranoid per-access stride.
 #[test]
 fn paper_schemes_pass_paranoid_audit_under_pressure() {
     let geom = CacheGeometry::new(16, 4, 64).unwrap();
     let trace = BenchmarkProfile::by_name("mcf")
         .expect("suite benchmark")
         .trace(geom, 40_000);
+    audit_paper_schemes(geom, &trace, 1);
+}
 
-    for scheme in Scheme::PAPER {
-        let mut cache = build_audited_cache(scheme, geom);
-        run_audited(cache.as_mut(), &trace, 1)
-            .unwrap_or_else(|e| panic!("{scheme} failed under pressure: {e}"));
-    }
+/// The paper-grade mode on the big geometry: audit after *every* access
+/// of the long trace. Hours of CPU at the default trace length, so it is
+/// `--ignored`; `STEM_CHECKED_ACCESSES` scales it, or set
+/// `STEM_AUDIT_STRIDE=1` to fold per-access auditing into the default
+/// test instead.
+#[test]
+#[ignore = "per-access audit of the full-length trace; run explicitly with --ignored"]
+fn paper_schemes_pass_per_access_audit_over_long_traces() {
+    let geom = CacheGeometry::micro2010_l2();
+    let trace = BenchmarkProfile::by_name("omnetpp")
+        .expect("suite benchmark")
+        .trace(geom, checked_accesses());
+    audit_paper_schemes(geom, &trace, 1);
 }
 
 /// The negative test: planting a corrupted V-Way reverse pointer must be

@@ -18,6 +18,23 @@ echo "==> cargo test -q (workspace)"
 # (default: all cores) with byte-identical results at any count.
 STEM_CHECKED_ACCESSES="${STEM_CHECKED_ACCESSES:-200000}" cargo test -q --workspace
 
+echo "==> throughput bench (smoke) + BENCH_throughput.json"
+# Smoke-sized iterations keep CI fast; drop the override for real numbers.
+# The JSON lands under STEM_CSV_DIR next to the correctness artifacts so
+# every PR records its accesses/second (see EXPERIMENTS.md).
+CSV_DIR="${STEM_CSV_DIR:-target/ci-artifacts}"
+mkdir -p "$CSV_DIR"
+# cargo runs bench binaries with the *package* dir as cwd, so a relative
+# STEM_CSV_DIR would land under crates/bench/ — resolve it first.
+CSV_DIR="$(cd "$CSV_DIR" && pwd)"
+STEM_BENCH_ACCESSES="${STEM_BENCH_ACCESSES:-20000}" STEM_CSV_DIR="$CSV_DIR" \
+    cargo bench -q -p stem-bench --bench scheme_throughput
+if [ ! -s "$CSV_DIR/BENCH_throughput.json" ]; then
+    echo "ERROR: $CSV_DIR/BENCH_throughput.json was not written" >&2
+    exit 1
+fi
+echo "    archived $CSV_DIR/BENCH_throughput.json"
+
 echo "==> fault-injection smoke"
 STEM_FAULT_ACCESSES=2000 cargo run --release -q -p stem-bench --bin fault_injection
 

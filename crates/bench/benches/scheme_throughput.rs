@@ -6,24 +6,70 @@
 //! A plain `harness = false` binary timed with `std::time` — the
 //! workspace builds offline with no benchmarking dependency. Run with
 //! `cargo bench -p stem-bench --bench scheme_throughput`.
+//!
+//! `STEM_BENCH_ACCESSES` scales the trace length (default 100 000; CI's
+//! smoke mode uses a fraction of that), and when `STEM_CSV_DIR` is set the
+//! per-scheme Melem/s land in `$STEM_CSV_DIR/BENCH_throughput.json` next to
+//! the correctness artifacts, so every PR records its accesses/second.
 
-use stem_analysis::{build_cache, Scheme};
+use std::time::Duration;
+
+use stem_analysis::{build_cache, geomean, Scheme};
 use stem_bench::timing::{best_of, throughput_line};
 use stem_sim_core::CacheGeometry;
 use stem_workloads::BenchmarkProfile;
 
+/// How many accesses each timed iteration replays.
+fn bench_accesses() -> usize {
+    std::env::var("STEM_BENCH_ACCESSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(100_000)
+}
+
+/// Writes the machine-readable summary to
+/// `$STEM_CSV_DIR/BENCH_throughput.json` when the variable is set.
+fn maybe_json(accesses: u64, reps: usize, results: &[(&str, Duration)], geomean_melems: f64) {
+    let Ok(dir) = std::env::var("STEM_CSV_DIR") else {
+        return;
+    };
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"accesses_per_iteration\": {accesses},\n"));
+    json.push_str(&format!("  \"best_of\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"geomean_melem_per_s\": {geomean_melems:.4},\n"
+    ));
+    json.push_str("  \"schemes\": [\n");
+    for (i, (label, d)) in results.iter().enumerate() {
+        let melems = accesses as f64 / d.as_secs_f64().max(1e-12) / 1e6;
+        json.push_str(&format!(
+            "    {{\"scheme\": \"{label}\", \"best_secs\": {:.6}, \"melem_per_s\": {melems:.4}}}{}\n",
+            d.as_secs_f64(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(&dir).join("BENCH_throughput.json");
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, json)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
 fn main() {
+    const REPS: usize = 5;
     let geom = CacheGeometry::micro2010_l2();
     let trace = BenchmarkProfile::by_name("omnetpp")
         .expect("suite benchmark")
-        .trace(geom, 100_000);
+        .trace(geom, bench_accesses());
 
     println!(
-        "# scheme_access ({} accesses/iteration, best of 5)",
+        "# scheme_access ({} accesses/iteration, best of {REPS})",
         trace.len()
     );
+    let mut results: Vec<(&str, Duration)> = Vec::new();
     for scheme in Scheme::PAPER {
-        let d = best_of(5, || {
+        let d = best_of(REPS, || {
             let mut cache = build_cache(scheme, geom);
             for a in &trace {
                 cache.access(a.addr, a.kind);
@@ -31,10 +77,18 @@ fn main() {
             cache.stats().misses()
         });
         println!("{}", throughput_line(scheme.label(), trace.len() as u64, d));
+        results.push((scheme.label(), d));
     }
+    let melems: Vec<f64> = results
+        .iter()
+        .map(|(_, d)| trace.len() as f64 / d.as_secs_f64().max(1e-12) / 1e6)
+        .collect();
+    let gm = geomean(&melems);
+    println!("geomean: {gm:.2} Melem/s");
+    maybe_json(trace.len() as u64, REPS, &results, gm);
 
     let bench = BenchmarkProfile::by_name("mcf").expect("suite benchmark");
-    let d = best_of(5, || bench.trace(geom, 50_000).len());
+    let d = best_of(REPS, || bench.trace(geom, 50_000).len());
     println!("\n# workload");
     println!("{}", throughput_line("generate_mcf_50k", 50_000, d));
 }

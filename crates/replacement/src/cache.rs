@@ -2,17 +2,10 @@
 
 use stem_sim_core::{
     AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
-    InvariantAuditor, LineAddr,
+    InvariantAuditor, LineAddr, SetFrames,
 };
 
 use crate::ReplacementPolicy;
-
-/// One tag-store entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    dirty: bool,
-}
 
 /// A conventional set-associative LLC (§2.1's three-tier organization) whose
 /// temporal behaviour is delegated to a [`ReplacementPolicy`].
@@ -38,8 +31,8 @@ struct Line {
 /// ```
 pub struct SetAssocCache {
     geom: CacheGeometry,
-    /// `lines[set][way]`.
-    lines: Vec<Vec<Option<Line>>>,
+    /// Flat tag store; the tag word is [`CacheGeometry::tag_of_line`].
+    frames: SetFrames,
     policy: Box<dyn ReplacementPolicy>,
     stats: CacheStats,
     name: String,
@@ -52,7 +45,7 @@ impl SetAssocCache {
         let name = policy.name().to_owned();
         SetAssocCache {
             geom,
-            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            frames: SetFrames::new(geom.sets(), geom.ways()),
             policy,
             stats: CacheStats::default(),
             name,
@@ -73,7 +66,7 @@ impl SetAssocCache {
     ///
     /// Panics if `set` is out of range.
     pub fn valid_lines(&self, set: usize) -> usize {
-        self.lines[set].iter().flatten().count()
+        self.frames.valid_count(set)
     }
 
     /// Immutable access to the policy, for policy-specific inspection.
@@ -81,14 +74,9 @@ impl SetAssocCache {
         self.policy.as_ref()
     }
 
+    #[inline]
     fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
-        self.lines[set]
-            .iter()
-            .position(|l| matches!(l, Some(line) if line.tag == tag))
-    }
-
-    fn find_free_way(&self, set: usize) -> Option<usize> {
-        self.lines[set].iter().position(Option::is_none)
+        self.frames.find(set, tag)
     }
 
     /// Invalidates a line (test/extension hook). Returns `true` if the line
@@ -98,10 +86,10 @@ impl SetAssocCache {
         let set = self.geom.set_index_of_line(line);
         let tag = self.geom.tag_of_line(line);
         if let Some(way) = self.find_way(set, tag) {
-            if self.lines[set][way].map_or(false, |l| l.dirty) {
+            let frame = self.frames.take(set, way).expect("found way must be valid");
+            if frame.dirty {
                 self.stats.record_writeback();
             }
-            self.lines[set][way] = None;
             self.policy.on_invalidate(set, way);
             true
         } else {
@@ -121,13 +109,11 @@ impl SetAssocCache {
 impl CacheModel for SetAssocCache {
     fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
         let (set, tag) = self.line_of(addr);
-        if let Some(way) = self.find_way(set, tag) {
+        if let Some(way) = self.frames.find(set, tag) {
             self.stats.record_local_hit();
             self.policy.on_hit(set, way);
             if kind.is_write() {
-                if let Some(line) = &mut self.lines[set][way] {
-                    line.dirty = true;
-                }
+                self.frames.mark_dirty(set, way);
             }
             return AccessResult::HitLocal;
         }
@@ -135,13 +121,14 @@ impl CacheModel for SetAssocCache {
         self.stats.record_local_miss();
         self.policy.on_miss(set);
 
-        let way = match self.find_free_way(set) {
+        let way = match self.frames.first_free(set) {
             Some(w) => w,
             None => {
                 let victim = self.policy.victim(set);
                 debug_assert!(victim < self.geom.ways());
-                let old = self.lines[set][victim]
-                    .take()
+                let old = self
+                    .frames
+                    .take(set, victim)
                     .expect("victim way must be valid");
                 self.stats.record_eviction();
                 if old.dirty {
@@ -150,10 +137,7 @@ impl CacheModel for SetAssocCache {
                 victim
             }
         };
-        self.lines[set][way] = Some(Line {
-            tag,
-            dirty: kind.is_write(),
-        });
+        self.frames.fill(set, way, tag, kind.is_write(), false);
         self.policy.on_fill(set, way);
         AccessResult::MissLocal
     }
@@ -182,20 +166,21 @@ impl InvariantAuditor for SetAssocCache {
     fn audit(&self) -> Result<(), AuditError> {
         for set in 0..self.geom.sets() {
             let mut seen = std::collections::HashSet::new();
-            for line in self.lines[set].iter().flatten() {
-                if !seen.insert(line.tag) {
+            for way in self.frames.valid_ways(set) {
+                let tag = self.frames.tag(set, way).expect("valid way has a tag");
+                if !seen.insert(tag) {
                     return Err(AuditError::new(
                         self.name.as_str(),
-                        format!("duplicate tag {:#x} in set {set}", line.tag),
+                        format!("duplicate tag {tag:#x} in set {set}"),
                     ));
                 }
             }
-            if self.lines[set].len() != self.geom.ways() {
+            if self.frames.valid_count(set) > self.geom.ways() {
                 return Err(AuditError::new(
                     self.name.as_str(),
                     format!(
-                        "set {set} holds {} ways, geometry says {}",
-                        self.lines[set].len(),
+                        "set {set} holds {} valid lines, geometry says {}",
+                        self.frames.valid_count(set),
                         self.geom.ways()
                     ),
                 ));

@@ -1,10 +1,34 @@
 //! Per-set recency ranking, the building block of every stack-based policy.
 
+/// Nibble-broadcast constants for the packed representation.
+const NIBBLE_LSBS: u64 = 0x1111_1111_1111_1111;
+const NIBBLE_MSBS: u64 = NIBBLE_LSBS << 3;
+/// The identity permutation packed as nibbles: nibble `p` holds `p`.
+const IDENTITY: u64 = 0xFEDC_BA98_7654_3210;
+
+/// A mask covering the low `n` nibbles (`n ≤ 16`).
+#[inline]
+fn nibble_mask(n: usize) -> u64 {
+    debug_assert!(n <= 16);
+    if n >= 16 {
+        u64::MAX
+    } else {
+        (1u64 << (4 * n)) - 1
+    }
+}
+
 /// An explicit recency (or fill) ordering of the ways of one set.
 ///
 /// `rank(way) == 0` means most-recently-used (MRU); `rank == ways - 1` means
 /// least-recently-used (LRU). The stack is a permutation of `0..ways` at all
 /// times — an invariant the property tests in this crate exercise.
+///
+/// For `ways ≤ 16` — the paper's 16-way L2 and every shadow/monitor stack —
+/// the permutation is packed into a single `u64` of 4-bit nibbles (nibble
+/// `p` holds the way at rank `p`), so `touch_mru`, `demote_lru`, and
+/// `lru_way` are a few shifts and masks with no memory traffic. Wider
+/// stacks (e.g. V-Way tag stores with `ratio × ways > 16`) fall back to the
+/// explicit rank vector.
 ///
 /// The same structure doubles as PeLIFO's *fill stack* when `touch_mru` is
 /// called only on fills.
@@ -21,8 +45,17 @@
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecencyStack {
+    repr: Repr,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    /// Nibble `p` of `order` = the way at rank `p`; nibbles at and above
+    /// `ways` are parked at `0xF` (never a valid way for `ways < 16`, and
+    /// nonexistent for `ways == 16`).
+    Packed { order: u64, ways: u8 },
     /// `rank[way]` = recency position of `way` (0 = MRU).
-    rank: Vec<u8>,
+    Wide { rank: Vec<u8> },
 }
 
 impl RecencyStack {
@@ -34,45 +67,93 @@ impl RecencyStack {
     /// Panics if `ways` is 0 or greater than 255.
     pub fn new(ways: usize) -> Self {
         assert!(ways >= 1 && ways <= 255, "ways must be in 1..=255");
-        RecencyStack {
-            rank: (0..ways as u8).collect(),
-        }
+        let repr = if ways <= 16 {
+            Repr::Packed {
+                order: IDENTITY | !nibble_mask(ways),
+                ways: ways as u8,
+            }
+        } else {
+            Repr::Wide {
+                rank: (0..ways as u8).collect(),
+            }
+        };
+        RecencyStack { repr }
     }
 
     /// Number of ways tracked.
     #[inline]
     pub fn ways(&self) -> usize {
-        self.rank.len()
+        match &self.repr {
+            Repr::Packed { ways, .. } => *ways as usize,
+            Repr::Wide { rank } => rank.len(),
+        }
     }
 
     /// Recency rank of `way` (0 = MRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way >= ways`.
     #[inline]
     pub fn rank(&self, way: usize) -> u8 {
-        self.rank[way]
+        match &self.repr {
+            Repr::Packed { order, ways } => {
+                assert!(way < *ways as usize, "way out of range");
+                packed_rank(*order, way)
+            }
+            Repr::Wide { rank } => rank[way],
+        }
     }
 
     /// Moves `way` to the MRU position, aging everything that was more
     /// recent than it.
+    #[inline]
     pub fn touch_mru(&mut self, way: usize) {
-        let old = self.rank[way];
-        for r in &mut self.rank {
-            if *r < old {
-                *r += 1;
+        match &mut self.repr {
+            Repr::Packed { order, ways } => {
+                assert!(way < *ways as usize, "way out of range");
+                let r = packed_rank(*order, way) as usize;
+                let below = *order & nibble_mask(r);
+                *order = (*order & !nibble_mask(r + 1)) | (below << 4) | way as u64;
+            }
+            Repr::Wide { rank } => {
+                let old = rank[way];
+                for r in rank.iter_mut() {
+                    if *r < old {
+                        *r += 1;
+                    }
+                }
+                rank[way] = 0;
             }
         }
-        self.rank[way] = 0;
     }
 
     /// Moves `way` to the LRU position, promoting everything that was less
     /// recent than it.
+    #[inline]
     pub fn demote_lru(&mut self, way: usize) {
-        let old = self.rank[way];
-        for r in &mut self.rank {
-            if *r > old {
-                *r -= 1;
+        match &mut self.repr {
+            Repr::Packed { order, ways } => {
+                assert!(way < *ways as usize, "way out of range");
+                let last = *ways as usize - 1;
+                let r = packed_rank(*order, way) as usize;
+                let below = *order & nibble_mask(r);
+                // Ranks r+1..=last slide down one position into r..=last-1.
+                let mid = (*order >> 4) & (nibble_mask(last) & !nibble_mask(r));
+                *order =
+                    (*order & !nibble_mask(last + 1)) | below | mid | ((way as u64) << (4 * last));
+            }
+            Repr::Wide { rank } => {
+                let old = rank[way];
+                let last = (rank.len() - 1) as u8;
+                for r in rank.iter_mut() {
+                    if *r > old {
+                        *r -= 1;
+                    }
+                }
+                rank[way] = last;
             }
         }
-        self.rank[way] = (self.ways() - 1) as u8;
     }
 
     /// Places `way` at an arbitrary recency position `pos` (0 = MRU).
@@ -82,34 +163,71 @@ impl RecencyStack {
     /// Panics if `pos >= ways`.
     pub fn place_at(&mut self, way: usize, pos: u8) {
         assert!((pos as usize) < self.ways(), "position out of range");
-        let old = self.rank[way];
-        if pos == old {
-            return;
-        }
-        if pos < old {
-            for r in &mut self.rank {
-                if *r >= pos && *r < old {
-                    *r += 1;
+        match &mut self.repr {
+            Repr::Packed { order, ways } => {
+                assert!(way < *ways as usize, "way out of range");
+                let pos = pos as usize;
+                let r = packed_rank(*order, way) as usize;
+                if pos == r {
+                    return;
+                }
+                if pos < r {
+                    // Ranks pos..r-1 slide up into pos+1..=r.
+                    let keep = *order & nibble_mask(pos);
+                    let shifted = (*order << 4) & (nibble_mask(r + 1) & !nibble_mask(pos + 1));
+                    *order = (*order & !nibble_mask(r + 1))
+                        | shifted
+                        | keep
+                        | ((way as u64) << (4 * pos));
+                } else {
+                    // Ranks r+1..=pos slide down into r..=pos-1.
+                    let keep = *order & nibble_mask(r);
+                    let shifted = (*order >> 4) & (nibble_mask(pos) & !nibble_mask(r));
+                    *order = (*order & !nibble_mask(pos + 1))
+                        | shifted
+                        | keep
+                        | ((way as u64) << (4 * pos));
                 }
             }
-        } else {
-            for r in &mut self.rank {
-                if *r > old && *r <= pos {
-                    *r -= 1;
+            Repr::Wide { rank } => {
+                let old = rank[way];
+                if pos == old {
+                    return;
                 }
+                if pos < old {
+                    for r in rank.iter_mut() {
+                        if *r >= pos && *r < old {
+                            *r += 1;
+                        }
+                    }
+                } else {
+                    for r in rank.iter_mut() {
+                        if *r > old && *r <= pos {
+                            *r -= 1;
+                        }
+                    }
+                }
+                rank[way] = pos;
             }
         }
-        self.rank[way] = pos;
     }
 
     /// The way currently at the LRU position.
+    #[inline]
     pub fn lru_way(&self) -> usize {
-        self.way_at((self.ways() - 1) as u8)
+        match &self.repr {
+            Repr::Packed { order, ways } => ((order >> (4 * (*ways as usize - 1))) & 0xF) as usize,
+            Repr::Wide { .. } => self.way_at((self.ways() - 1) as u8),
+        }
     }
 
     /// The way currently at the MRU position.
+    #[inline]
     pub fn mru_way(&self) -> usize {
-        self.way_at(0)
+        match &self.repr {
+            Repr::Packed { order, .. } => (order & 0xF) as usize,
+            Repr::Wide { .. } => self.way_at(0),
+        }
     }
 
     /// The way at recency position `pos`.
@@ -117,25 +235,55 @@ impl RecencyStack {
     /// # Panics
     ///
     /// Panics if `pos >= ways`.
+    #[inline]
     pub fn way_at(&self, pos: u8) -> usize {
-        self.rank
-            .iter()
-            .position(|&r| r == pos)
-            .expect("recency stack invariant violated: rank not a permutation")
+        match &self.repr {
+            Repr::Packed { order, ways } => {
+                assert!(pos < *ways, "position out of range");
+                ((order >> (4 * pos as usize)) & 0xF) as usize
+            }
+            Repr::Wide { rank } => rank
+                .iter()
+                .position(|&r| r == pos)
+                .expect("recency stack invariant violated: rank not a permutation"),
+        }
     }
 
     /// Whether the ranks form a valid permutation of `0..ways` (test hook).
     pub fn is_permutation(&self) -> bool {
-        let mut seen = vec![false; self.ways()];
-        for &r in &self.rank {
-            let idx = r as usize;
-            if idx >= self.ways() || seen[idx] {
+        let ways = self.ways();
+        let mut seen = vec![false; ways];
+        for pos in 0..ways {
+            let way = match &self.repr {
+                Repr::Packed { order, .. } => ((order >> (4 * pos)) & 0xF) as usize,
+                Repr::Wide { .. } => match (0..ways).find(|&w| self.rank(w) as usize == pos) {
+                    Some(w) => w,
+                    None => return false,
+                },
+            };
+            if way >= ways || seen[way] {
                 return false;
             }
-            seen[idx] = true;
+            seen[way] = true;
         }
         true
     }
+}
+
+/// The rank of `way` in a packed order word: the position of the unique
+/// nibble equal to `way`, found with a SWAR zero-nibble scan.
+///
+/// The haszero trick can flag false positives *above* the lowest zero
+/// nibble (borrow propagation), but never below it — and the permutation
+/// invariant guarantees exactly one true match, so the lowest flagged
+/// nibble is it. Filler nibbles hold `0xF`, which only a 16-way stack could
+/// match — and a 16-way stack has no filler.
+#[inline]
+fn packed_rank(order: u64, way: usize) -> u8 {
+    let diff = order ^ (way as u64 * NIBBLE_LSBS);
+    let zeros = diff.wrapping_sub(NIBBLE_LSBS) & !diff & NIBBLE_MSBS;
+    debug_assert_ne!(zeros, 0, "way missing from packed recency order");
+    (zeros.trailing_zeros() / 4) as u8
 }
 
 #[cfg(test)]
@@ -211,18 +359,33 @@ mod tests {
         assert_eq!(s.mru_way(), 0);
     }
 
-    /// Any sequence of operations preserves the permutation invariant.
+    #[test]
+    fn full_16_way_stack_uses_every_nibble() {
+        let mut s = RecencyStack::new(16);
+        assert_eq!(s.lru_way(), 15);
+        s.touch_mru(15);
+        assert_eq!(s.mru_way(), 15);
+        assert_eq!(s.lru_way(), 14);
+        s.demote_lru(15);
+        assert_eq!(s.lru_way(), 15);
+        s.place_at(7, 15);
+        assert_eq!(s.way_at(15), 7);
+        assert!(s.is_permutation());
+    }
+
+    /// Any sequence of operations preserves the permutation invariant —
+    /// on both the packed (≤ 16 ways) and wide (> 16 ways) paths.
     #[test]
     fn ops_preserve_permutation() {
         prop::check(128, |g| {
-            let ways = g.usize(1, 16);
+            let ways = g.usize(1, 33);
             let mut s = RecencyStack::new(ways);
             for _ in 0..g.usize(0, 64) {
                 let way = g.usize(0, ways);
                 match g.u8(0, 3) {
                     0 => s.touch_mru(way),
                     1 => s.demote_lru(way),
-                    _ => s.place_at(way, g.u8(0, ways as u8)),
+                    _ => s.place_at(way, g.u8(0, ways.min(255) as u8)),
                 }
                 assert!(s.is_permutation());
             }
@@ -247,6 +410,74 @@ mod tests {
                     }
                 }
                 assert_eq!(s.rank(w), 0);
+            }
+        });
+    }
+
+    /// The packed path agrees with an explicit rank-vector model on every
+    /// operation and observer, at every packed width.
+    #[test]
+    fn packed_matches_rank_vector_model() {
+        prop::check(192, |g| {
+            let ways = g.usize(1, 17); // 1..=16: all packed widths
+            let mut s = RecencyStack::new(ways);
+            let mut model: Vec<u8> = (0..ways as u8).collect();
+            for _ in 0..g.usize(0, 96) {
+                let way = g.usize(0, ways);
+                match g.u8(0, 3) {
+                    0 => {
+                        s.touch_mru(way);
+                        let old = model[way];
+                        for r in model.iter_mut() {
+                            if *r < old {
+                                *r += 1;
+                            }
+                        }
+                        model[way] = 0;
+                    }
+                    1 => {
+                        s.demote_lru(way);
+                        let old = model[way];
+                        for r in model.iter_mut() {
+                            if *r > old {
+                                *r -= 1;
+                            }
+                        }
+                        model[way] = (ways - 1) as u8;
+                    }
+                    _ => {
+                        let pos = g.u8(0, ways as u8);
+                        s.place_at(way, pos);
+                        let old = model[way];
+                        if pos < old {
+                            for r in model.iter_mut() {
+                                if *r >= pos && *r < old {
+                                    *r += 1;
+                                }
+                            }
+                            model[way] = pos;
+                        } else if pos > old {
+                            for r in model.iter_mut() {
+                                if *r > old && *r <= pos {
+                                    *r -= 1;
+                                }
+                            }
+                            model[way] = pos;
+                        }
+                    }
+                }
+                for w in 0..ways {
+                    assert_eq!(s.rank(w), model[w], "rank of way {w} diverged");
+                }
+                for pos in 0..ways as u8 {
+                    let want = model.iter().position(|&r| r == pos).unwrap();
+                    assert_eq!(s.way_at(pos), want, "way_at({pos}) diverged");
+                }
+                assert_eq!(s.mru_way(), model.iter().position(|&r| r == 0).unwrap());
+                assert_eq!(
+                    s.lru_way(),
+                    model.iter().position(|&r| r == (ways - 1) as u8).unwrap()
+                );
             }
         });
     }

@@ -1,0 +1,396 @@
+//! Flat structure-of-arrays tag storage shared by every scheme's set frames.
+//!
+//! Every cache in the workspace used to keep its sets as
+//! `Vec<Vec<Option<Line>>>`: one heap allocation per set, a pointer
+//! indirection per probe, and an `Option`-unwrapping scan per lookup. A
+//! [`SetFrames`] replaces that nest with three contiguous arrays sized
+//! `sets × ways` in a single allocation each:
+//!
+//! * one `u64` **tag word** per frame (a tag, a line address — whatever the
+//!   scheme matches on), with invalid frames parked at a sentinel so the
+//!   probe loop is a branch-free compare over a contiguous stride;
+//! * bit-packed **valid**, **dirty**, and **flag** words (the flag bit is
+//!   the scheme-specific third state: SBC's *foreign* bit, STEM's *CC*
+//!   bit), `ways.div_ceil(64)` words per set.
+//!
+//! The hot operations — [`find`](SetFrames::find) and
+//! [`first_free`](SetFrames::first_free) — touch only the set's own stride
+//! of the tag array or one or two flag words, so a 2048-set × 16-way cache
+//! probes within a 256KB tag array instead of chasing 2048 separate
+//! allocations.
+
+/// Sentinel tag word marking an invalid frame.
+///
+/// The simulator's addresses live in a 44-bit physical space, so no real
+/// tag or line address ever equals `u64::MAX`; [`SetFrames::fill`] rejects
+/// it in debug builds.
+const EMPTY_TAG: u64 = u64::MAX;
+
+/// The contents of one valid frame, as returned by [`SetFrames::take`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// The tag word the frame was filled with.
+    pub tag: u64,
+    /// The dirty bit.
+    pub dirty: bool,
+    /// The scheme-specific flag bit (foreign / CC).
+    pub flag: bool,
+}
+
+/// A flat, structure-of-arrays tag store for `sets × ways` frames.
+///
+/// # Examples
+///
+/// ```
+/// use stem_sim_core::SetFrames;
+///
+/// let mut f = SetFrames::new(4, 2);
+/// assert_eq!(f.first_free(1), Some(0));
+/// f.fill(1, 0, 0xabc, true, false);
+/// assert_eq!(f.find(1, 0xabc), Some(0));
+/// assert_eq!(f.first_free(1), Some(1));
+/// let frame = f.take(1, 0).unwrap();
+/// assert!(frame.dirty);
+/// assert_eq!(f.find(1, 0xabc), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetFrames {
+    sets: usize,
+    ways: usize,
+    /// Flag words per set: `ways.div_ceil(64)`.
+    words: usize,
+    /// `tags[set * ways + way]`; invalid frames hold [`EMPTY_TAG`].
+    tags: Vec<u64>,
+    valid: Vec<u64>,
+    dirty: Vec<u64>,
+    flags: Vec<u64>,
+}
+
+impl SetFrames {
+    /// Creates an all-invalid store for `sets × ways` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(
+            sets > 0 && ways > 0,
+            "SetFrames needs sets ≥ 1 and ways ≥ 1"
+        );
+        let words = ways.div_ceil(64);
+        SetFrames {
+            sets,
+            ways,
+            words,
+            tags: vec![EMPTY_TAG; sets * ways],
+            valid: vec![0; sets * words],
+            dirty: vec![0; sets * words],
+            flags: vec![0; sets * words],
+        }
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Ways per set.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    #[inline]
+    fn word_bit(&self, set: usize, way: usize) -> (usize, u64) {
+        (set * self.words + way / 64, 1u64 << (way % 64))
+    }
+
+    /// The way of `set` holding `tag`, scanning ways in ascending order.
+    ///
+    /// `tag` must not be the reserved sentinel (`u64::MAX`) — no 44-bit
+    /// physical address produces it.
+    #[inline]
+    pub fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        debug_assert_ne!(tag, EMPTY_TAG, "the all-ones tag word is reserved");
+        let base = set * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == tag)
+    }
+
+    /// The lowest invalid way of `set`, if any.
+    #[inline]
+    pub fn first_free(&self, set: usize) -> Option<usize> {
+        let base = set * self.words;
+        for w in 0..self.words {
+            let occupied = self.valid[base + w];
+            // Bits past `ways` in the last word are never set in `valid`,
+            // so mask them out of the complement.
+            let ways_here = (self.ways - w * 64).min(64);
+            let mask = if ways_here == 64 {
+                u64::MAX
+            } else {
+                (1u64 << ways_here) - 1
+            };
+            let free = !occupied & mask;
+            if free != 0 {
+                return Some(w * 64 + free.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Whether `(set, way)` holds a valid frame.
+    #[inline]
+    pub fn is_valid(&self, set: usize, way: usize) -> bool {
+        let (w, b) = self.word_bit(set, way);
+        self.valid[w] & b != 0
+    }
+
+    /// The tag word of `(set, way)`, or `None` when invalid.
+    #[inline]
+    pub fn tag(&self, set: usize, way: usize) -> Option<u64> {
+        if self.is_valid(set, way) {
+            Some(self.tags[set * self.ways + way])
+        } else {
+            None
+        }
+    }
+
+    /// Whether `(set, way)` is valid and dirty.
+    #[inline]
+    pub fn is_dirty(&self, set: usize, way: usize) -> bool {
+        let (w, b) = self.word_bit(set, way);
+        self.dirty[w] & b != 0
+    }
+
+    /// Whether `(set, way)` is valid with the flag bit set.
+    #[inline]
+    pub fn is_flagged(&self, set: usize, way: usize) -> bool {
+        let (w, b) = self.word_bit(set, way);
+        self.flags[w] & b != 0
+    }
+
+    /// Sets the dirty bit of a valid frame.
+    #[inline]
+    pub fn mark_dirty(&mut self, set: usize, way: usize) {
+        debug_assert!(self.is_valid(set, way), "marking an invalid frame dirty");
+        let (w, b) = self.word_bit(set, way);
+        self.dirty[w] |= b;
+    }
+
+    /// Fills `(set, way)` with `tag` and the given state bits, overwriting
+    /// whatever was there.
+    #[inline]
+    pub fn fill(&mut self, set: usize, way: usize, tag: u64, dirty: bool, flag: bool) {
+        debug_assert_ne!(tag, EMPTY_TAG, "the all-ones tag word is reserved");
+        self.tags[set * self.ways + way] = tag;
+        let (w, b) = self.word_bit(set, way);
+        self.valid[w] |= b;
+        if dirty {
+            self.dirty[w] |= b;
+        } else {
+            self.dirty[w] &= !b;
+        }
+        if flag {
+            self.flags[w] |= b;
+        } else {
+            self.flags[w] &= !b;
+        }
+    }
+
+    /// Invalidates `(set, way)`, returning its contents, or `None` if the
+    /// frame was already invalid.
+    #[inline]
+    pub fn take(&mut self, set: usize, way: usize) -> Option<Frame> {
+        if !self.is_valid(set, way) {
+            return None;
+        }
+        let frame = Frame {
+            tag: self.tags[set * self.ways + way],
+            dirty: self.is_dirty(set, way),
+            flag: self.is_flagged(set, way),
+        };
+        self.tags[set * self.ways + way] = EMPTY_TAG;
+        let (w, b) = self.word_bit(set, way);
+        self.valid[w] &= !b;
+        self.dirty[w] &= !b;
+        self.flags[w] &= !b;
+        Some(frame)
+    }
+
+    /// Number of valid frames in `set` (a popcount, no scan).
+    #[inline]
+    pub fn valid_count(&self, set: usize) -> usize {
+        let base = set * self.words;
+        self.valid[base..base + self.words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of valid frames in `set` with the flag bit set.
+    #[inline]
+    pub fn flagged_count(&self, set: usize) -> usize {
+        let base = set * self.words;
+        self.flags[base..base + self.words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the valid ways of `set` in ascending order.
+    pub fn valid_ways(&self, set: usize) -> impl Iterator<Item = usize> + '_ {
+        let base = set * self.words;
+        let words = self.words;
+        (0..words).flat_map(move |w| {
+            let mut bits = self.valid[base + w];
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let way = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + way)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop;
+
+    #[test]
+    fn fresh_store_is_empty() {
+        let f = SetFrames::new(4, 3);
+        for set in 0..4 {
+            assert_eq!(f.valid_count(set), 0);
+            assert_eq!(f.first_free(set), Some(0));
+            assert_eq!(f.find(set, 7), None);
+            assert_eq!(f.valid_ways(set).count(), 0);
+        }
+    }
+
+    #[test]
+    fn fill_find_take_roundtrip() {
+        let mut f = SetFrames::new(2, 4);
+        f.fill(0, 2, 0x99, false, true);
+        assert_eq!(f.find(0, 0x99), Some(2));
+        assert_eq!(f.find(1, 0x99), None);
+        assert!(f.is_flagged(0, 2));
+        assert!(!f.is_dirty(0, 2));
+        f.mark_dirty(0, 2);
+        let frame = f.take(0, 2).unwrap();
+        assert_eq!(
+            frame,
+            Frame {
+                tag: 0x99,
+                dirty: true,
+                flag: true
+            }
+        );
+        assert_eq!(f.take(0, 2), None);
+        assert_eq!(f.find(0, 0x99), None);
+    }
+
+    #[test]
+    fn first_free_scans_in_way_order() {
+        let mut f = SetFrames::new(1, 4);
+        f.fill(0, 0, 1, false, false);
+        f.fill(0, 1, 2, false, false);
+        assert_eq!(f.first_free(0), Some(2));
+        f.fill(0, 2, 3, false, false);
+        f.fill(0, 3, 4, false, false);
+        assert_eq!(f.first_free(0), None);
+        f.take(0, 1);
+        assert_eq!(f.first_free(0), Some(1));
+    }
+
+    #[test]
+    fn refill_overwrites_state_bits() {
+        let mut f = SetFrames::new(1, 2);
+        f.fill(0, 0, 5, true, true);
+        f.fill(0, 0, 6, false, false);
+        assert!(!f.is_dirty(0, 0));
+        assert!(!f.is_flagged(0, 0));
+        assert_eq!(f.tag(0, 0), Some(6));
+        assert_eq!(f.find(0, 5), None);
+    }
+
+    #[test]
+    fn wide_sets_span_multiple_flag_words() {
+        // 130 ways: three 64-bit flag words per set.
+        let mut f = SetFrames::new(2, 130);
+        f.fill(1, 0, 10, false, false);
+        f.fill(1, 64, 11, true, false);
+        f.fill(1, 129, 12, false, true);
+        assert_eq!(f.find(1, 11), Some(64));
+        assert_eq!(f.find(1, 12), Some(129));
+        assert_eq!(f.valid_count(1), 3);
+        assert_eq!(f.flagged_count(1), 1);
+        assert_eq!(f.valid_ways(1).collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert_eq!(f.first_free(1), Some(1));
+        assert!(f.is_dirty(1, 64));
+        // Set 0 is untouched.
+        assert_eq!(f.valid_count(0), 0);
+    }
+
+    /// SetFrames agrees with a `Vec<Vec<Option<(u64, bool, bool)>>>` model
+    /// under arbitrary fill/take/mark sequences.
+    #[test]
+    fn matches_nested_vec_model() {
+        prop::check(128, |g| {
+            let sets = g.usize(1, 4);
+            let ways = g.usize(1, 9);
+            let mut f = SetFrames::new(sets, ways);
+            let mut model: Vec<Vec<Option<(u64, bool, bool)>>> = vec![vec![None; ways]; sets];
+            for _ in 0..g.usize(0, 200) {
+                let set = g.usize(0, sets);
+                let way = g.usize(0, ways);
+                match g.u8(0, 4) {
+                    0 => {
+                        let tag = g.u64(0, 50);
+                        let (d, fl) = (g.bool(), g.bool());
+                        f.fill(set, way, tag, d, fl);
+                        model[set][way] = Some((tag, d, fl));
+                    }
+                    1 => {
+                        let got = f.take(set, way);
+                        let want = model[set][way].take().map(|(tag, dirty, flag)| Frame {
+                            tag,
+                            dirty,
+                            flag,
+                        });
+                        assert_eq!(got, want);
+                    }
+                    2 => {
+                        if model[set][way].is_some() {
+                            f.mark_dirty(set, way);
+                            model[set][way].as_mut().unwrap().1 = true;
+                        }
+                    }
+                    _ => {
+                        let tag = g.u64(0, 50);
+                        let want = model[set]
+                            .iter()
+                            .position(|e| matches!(e, Some((t, _, _)) if *t == tag));
+                        assert_eq!(f.find(set, tag), want);
+                    }
+                }
+                // Cross-check derived views on the touched set.
+                let want_free = model[set].iter().position(Option::is_none);
+                assert_eq!(f.first_free(set), want_free);
+                let want_valid = model[set].iter().flatten().count();
+                assert_eq!(f.valid_count(set), want_valid);
+                let want_flagged = model[set].iter().flatten().filter(|e| e.2).count();
+                assert_eq!(f.flagged_count(set), want_flagged);
+                let want_ways: Vec<usize> =
+                    (0..ways).filter(|&w| model[set][w].is_some()).collect();
+                assert_eq!(f.valid_ways(set).collect::<Vec<_>>(), want_ways);
+            }
+        });
+    }
+}

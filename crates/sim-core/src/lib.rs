@@ -8,6 +8,9 @@
 //! * [`CacheGeometry`] — sets × ways × line-size arithmetic (tag/index/offset
 //!   extraction);
 //! * [`Access`], [`AccessKind`], [`Trace`] — trace-driven simulation inputs;
+//! * [`SetFrames`] — flat structure-of-arrays tag storage (contiguous tag
+//!   words plus bit-packed valid/dirty/flag words) backing every scheme's
+//!   set frames;
 //! * [`CacheStats`] — hit/miss/spill accounting and MPKI;
 //! * [`TimingParams`] — the latency algebra of the paper's §5.1 / Table 1;
 //! * [`SaturatingCounter`] — the k-bit saturating counters used by STEM's
@@ -39,6 +42,7 @@ mod addr;
 mod audit;
 mod counter;
 mod error;
+mod frames;
 mod geometry;
 pub mod io;
 mod model;
@@ -53,6 +57,7 @@ pub use addr::{Address, LineAddr};
 pub use audit::{run_audited, AuditError, AuditedCacheModel, InvariantAuditor};
 pub use counter::SaturatingCounter;
 pub use error::{GeometryError, SimError, TraceError};
+pub use frames::{Frame, SetFrames};
 pub use geometry::CacheGeometry;
 pub use model::{AccessResult, CacheModel};
 pub use rng::SplitMix64;

@@ -25,6 +25,11 @@ use crate::{Access, CacheGeometry};
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     accesses: Vec<Access>,
+    /// Running sum of instruction gaps, maintained on every construction
+    /// path so [`instructions`](Trace::instructions) is O(1). Always equal
+    /// to the sum over `accesses` (so the derived equality stays a pure
+    /// function of the access sequence).
+    instructions: u64,
 }
 
 impl Trace {
@@ -32,6 +37,7 @@ impl Trace {
     pub fn new() -> Self {
         Trace {
             accesses: Vec::new(),
+            instructions: 0,
         }
     }
 
@@ -39,12 +45,14 @@ impl Trace {
     pub fn with_capacity(capacity: usize) -> Self {
         Trace {
             accesses: Vec::with_capacity(capacity),
+            instructions: 0,
         }
     }
 
     /// Appends an access.
     #[inline]
     pub fn push(&mut self, access: Access) {
+        self.instructions += u64::from(access.inst_gap);
         self.accesses.push(access);
     }
 
@@ -61,8 +69,11 @@ impl Trace {
     }
 
     /// Total instructions represented (the sum of instruction gaps).
+    ///
+    /// O(1): the sum is maintained incrementally as the trace is built.
+    #[inline]
     pub fn instructions(&self) -> u64 {
-        self.accesses.iter().map(|a| u64::from(a.inst_gap)).sum()
+        self.instructions
     }
 
     /// Iterates over the accesses.
@@ -82,11 +93,13 @@ impl Trace {
 
     /// Concatenates another trace onto this one.
     pub fn append(&mut self, mut other: Trace) {
+        self.instructions += other.instructions;
         self.accesses.append(&mut other.accesses);
+        other.instructions = 0;
     }
 
     /// Computes summary statistics relative to a cache geometry (which
-    /// determines the set-index mapping).
+    /// determines the set-index mapping). Single pass over the trace.
     pub fn stats(&self, geom: CacheGeometry) -> TraceStats {
         let mut touched = vec![false; geom.sets()];
         let mut writes = 0u64;
@@ -98,7 +111,7 @@ impl Trace {
         }
         TraceStats {
             accesses: self.len() as u64,
-            instructions: self.instructions(),
+            instructions: self.instructions,
             writes,
             sets_touched: touched.iter().filter(|&&t| t).count(),
         }
@@ -107,15 +120,21 @@ impl Trace {
 
 impl FromIterator<Access> for Trace {
     fn from_iter<I: IntoIterator<Item = Access>>(iter: I) -> Self {
+        let accesses: Vec<Access> = iter.into_iter().collect();
+        let instructions = accesses.iter().map(|a| u64::from(a.inst_gap)).sum();
         Trace {
-            accesses: iter.into_iter().collect(),
+            accesses,
+            instructions,
         }
     }
 }
 
 impl Extend<Access> for Trace {
     fn extend<I: IntoIterator<Item = Access>>(&mut self, iter: I) {
-        self.accesses.extend(iter);
+        let instructions = &mut self.instructions;
+        self.accesses.extend(iter.into_iter().inspect(|a| {
+            *instructions += u64::from(a.inst_gap);
+        }));
     }
 }
 
@@ -139,7 +158,11 @@ impl<'a> IntoIterator for &'a Trace {
 
 impl From<Vec<Access>> for Trace {
     fn from(accesses: Vec<Access>) -> Self {
-        Trace { accesses }
+        let instructions = accesses.iter().map(|a| u64::from(a.inst_gap)).sum();
+        Trace {
+            accesses,
+            instructions,
+        }
     }
 }
 
@@ -212,6 +235,38 @@ mod tests {
         a.append(trace_of(&[64]));
         a.extend(trace_of(&[128]));
         assert_eq!(a.len(), 3);
+    }
+
+    /// The memoized instruction count agrees with a full re-scan after any
+    /// mix of construction paths (push/append/extend/collect/From<Vec>).
+    #[test]
+    fn memoized_instructions_match_rescan() {
+        let gap = |t: &Trace| -> u64 { t.iter().map(|a| u64::from(a.inst_gap)).sum() };
+        let mut t = Trace::new();
+        t.push(Access::read(Address::new(0)).with_inst_gap(7));
+        assert_eq!(t.instructions(), gap(&t));
+
+        let other: Trace = (0..5u64)
+            .map(|i| Access::read(Address::new(i * 64)).with_inst_gap(i as u32))
+            .collect();
+        assert_eq!(other.instructions(), gap(&other));
+
+        t.append(other);
+        assert_eq!(t.instructions(), gap(&t));
+
+        t.extend((0..3u64).map(|i| Access::write(Address::new(i)).with_inst_gap(2)));
+        assert_eq!(t.instructions(), gap(&t));
+
+        let from_vec = Trace::from(vec![
+            Access::read(Address::new(0)).with_inst_gap(9),
+            Access::write(Address::new(64)).with_inst_gap(1),
+        ]);
+        assert_eq!(from_vec.instructions(), gap(&from_vec));
+        assert_eq!(from_vec.instructions(), 10);
+
+        // Equality remains a pure function of the access sequence.
+        let rebuilt: Trace = t.iter().copied().collect();
+        assert_eq!(rebuilt, t);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
     AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
-    InvariantAuditor, LineAddr, SimError,
+    InvariantAuditor, LineAddr, SetFrames, SimError,
 };
 
 use crate::{AssociationTable, DestinationSetSelector};
@@ -45,14 +45,6 @@ impl Default for SbcConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    line: LineAddr,
-    dirty: bool,
-    /// `true` when this block's home is the coupled partner set.
-    foreign: bool,
-}
-
 /// The dynamic Set Balancing Cache.
 ///
 /// # Examples
@@ -71,7 +63,9 @@ struct Line {
 pub struct SbcCache {
     geom: CacheGeometry,
     cfg: SbcConfig,
-    lines: Vec<Vec<Option<Line>>>,
+    /// Flat tag store; the tag word is the full line address
+    /// ([`LineAddr::raw`]) and the flag bit marks *foreign* blocks.
+    frames: SetFrames,
     ranks: Vec<RecencyStack>,
     /// Saturation level per set, clamped to `[0, sat_max]`.
     sat: Vec<u32>,
@@ -127,7 +121,7 @@ impl SbcCache {
         Ok(SbcCache {
             geom,
             cfg,
-            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            frames: SetFrames::new(geom.sets(), geom.ways()),
             ranks: vec![RecencyStack::new(geom.ways()); geom.sets()],
             sat: vec![0; geom.sets()],
             sat_max,
@@ -173,8 +167,9 @@ impl SbcCache {
 
     /// Evicts every foreign block of `dest` and dissolves its pair.
     fn force_decouple(&mut self, dest: usize) {
-        for way in 0..self.geom.ways() {
-            if self.lines[dest][way].map_or(false, |l| l.foreign) {
+        let ways = self.geom.ways();
+        for way in 0..ways {
+            if self.frames.is_flagged(dest, way) {
                 self.evict_off_chip(dest, way, false);
             }
         }
@@ -194,14 +189,9 @@ impl SbcCache {
         }
     }
 
+    #[inline]
     fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
-        self.lines[set]
-            .iter()
-            .position(|l| matches!(l, Some(e) if e.line == line))
-    }
-
-    fn find_free_way(&self, set: usize) -> Option<usize> {
-        self.lines[set].iter().position(Option::is_none)
+        self.frames.find(set, line.raw())
     }
 
     /// Evicts the block in `(set, way)` off-chip, maintaining the foreign
@@ -211,14 +201,12 @@ impl SbcCache {
     /// the arriving foreign block immediately refills the drain, so the
     /// §4.7 disassociation must not fire in between.
     fn evict_off_chip(&mut self, set: usize, way: usize, allow_decouple: bool) {
-        let old = self.lines[set][way]
-            .take()
-            .expect("eviction of invalid way");
+        let old = self.frames.take(set, way).expect("eviction of invalid way");
         self.stats.record_eviction();
         if old.dirty {
             self.stats.record_writeback();
         }
-        if old.foreign {
+        if old.flag {
             self.foreign_count[set] -= 1;
             if allow_decouple && self.foreign_count[set] == 0 {
                 // §4.7: the destination evicted its last cooperative block,
@@ -236,7 +224,7 @@ impl SbcCache {
     /// Inserts a foreign victim into destination set `dest` with MRU
     /// insertion, unconditionally (SBC has no receive constraint).
     fn receive(&mut self, dest: usize, line: LineAddr, dirty: bool) {
-        let way = match self.find_free_way(dest) {
+        let way = match self.frames.first_free(dest) {
             Some(w) => w,
             None => {
                 let victim = self.ranks[dest].lru_way();
@@ -244,11 +232,7 @@ impl SbcCache {
                 victim
             }
         };
-        self.lines[dest][way] = Some(Line {
-            line,
-            dirty,
-            foreign: true,
-        });
+        self.frames.fill(dest, way, line.raw(), dirty, true);
         self.ranks[dest].touch_mru(way);
         self.foreign_count[dest] += 1;
         self.stats.record_receive();
@@ -257,17 +241,19 @@ impl SbcCache {
     /// Handles the victim of a fill into source set `set`: spill to the
     /// destination while associated as a source, otherwise evict off-chip.
     fn dispose_victim(&mut self, set: usize, way: usize) {
-        let victim = self.lines[set][way].expect("victim way must be valid");
-        if victim.foreign {
+        if self.frames.is_flagged(set, way) {
             // A foreign block evicted from a destination leaves the chip.
             self.evict_off_chip(set, way, true);
             return;
         }
         match self.assoc.partner(set) {
             Some(dest) if self.is_source[set] => {
-                self.lines[set][way] = None;
+                let victim = self
+                    .frames
+                    .take(set, way)
+                    .expect("victim way must be valid");
                 self.stats.record_spill();
-                self.receive(dest, victim.line, victim.dirty);
+                self.receive(dest, LineAddr::new(victim.tag), victim.dirty);
             }
             _ => self.evict_off_chip(set, way, true),
         }
@@ -305,9 +291,7 @@ impl CacheModel for SbcCache {
             self.stats.record_local_hit();
             self.ranks[home].touch_mru(way);
             if kind.is_write() {
-                if let Some(l) = &mut self.lines[home][way] {
-                    l.dirty = true;
-                }
+                self.frames.mark_dirty(home, way);
             }
             self.sat_dec(home);
             return AccessResult::HitLocal;
@@ -320,9 +304,7 @@ impl CacheModel for SbcCache {
                 self.stats.record_coop_hit();
                 self.ranks[dest].touch_mru(way);
                 if kind.is_write() {
-                    if let Some(l) = &mut self.lines[dest][way] {
-                        l.dirty = true;
-                    }
+                    self.frames.mark_dirty(dest, way);
                 }
                 self.sat_dec(home);
                 return AccessResult::HitCooperative;
@@ -338,7 +320,7 @@ impl CacheModel for SbcCache {
         self.sat_inc(home);
         self.try_couple(home);
 
-        let way = match self.find_free_way(home) {
+        let way = match self.frames.first_free(home) {
             Some(w) => w,
             None => {
                 let victim = self.ranks[home].lru_way();
@@ -346,11 +328,8 @@ impl CacheModel for SbcCache {
                 victim
             }
         };
-        self.lines[home][way] = Some(Line {
-            line,
-            dirty: kind.is_write(),
-            foreign: false,
-        });
+        self.frames
+            .fill(home, way, line.raw(), kind.is_write(), false);
         self.ranks[home].touch_mru(way);
 
         if partner.is_some() {
@@ -403,18 +382,16 @@ impl InvariantAuditor for SbcCache {
                 ));
             }
             let mut seen = std::collections::HashSet::new();
-            let mut foreign = 0u32;
-            for l in self.lines[s].iter().flatten() {
-                if !seen.insert(l.line) {
+            for way in self.frames.valid_ways(s) {
+                let tag = self.frames.tag(s, way).expect("valid way has a tag");
+                if !seen.insert(tag) {
                     return Err(AuditError::new(
                         "SBC",
-                        format!("duplicate line {:?} in set {s}", l.line),
+                        format!("duplicate line {tag:#x} in set {s}"),
                     ));
                 }
-                if l.foreign {
-                    foreign += 1;
-                }
             }
+            let foreign = self.frames.flagged_count(s) as u32;
             if foreign != self.foreign_count[s] {
                 return Err(AuditError::new(
                     "SBC",
@@ -532,7 +509,7 @@ mod tests {
         sbc.run(&example1_trace(geom, 300));
         // Consistency: every foreign count matches the actual lines.
         for s in 0..geom.sets() {
-            let actual = sbc.lines[s].iter().flatten().filter(|l| l.foreign).count() as u32;
+            let actual = sbc.frames.flagged_count(s) as u32;
             assert_eq!(actual, sbc.foreign_blocks(s), "set {s} foreign count");
         }
     }

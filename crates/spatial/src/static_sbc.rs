@@ -12,15 +12,8 @@
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
     AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
-    InvariantAuditor, LineAddr, SimError,
+    InvariantAuditor, LineAddr, SetFrames, SimError,
 };
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    line: LineAddr,
-    dirty: bool,
-    foreign: bool,
-}
 
 /// The static Set Balancing Cache.
 ///
@@ -39,7 +32,9 @@ struct Line {
 /// ```
 pub struct StaticSbcCache {
     geom: CacheGeometry,
-    lines: Vec<Vec<Option<Line>>>,
+    /// Flat tag store; the tag word is the full line address and the flag
+    /// bit marks *foreign* blocks.
+    frames: SetFrames,
     ranks: Vec<RecencyStack>,
     /// Saturation level per set (misses − hits, clamped).
     sat: Vec<u32>,
@@ -71,7 +66,7 @@ impl StaticSbcCache {
         }
         Ok(StaticSbcCache {
             geom,
-            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            frames: SetFrames::new(geom.sets(), geom.ways()),
             ranks: vec![RecencyStack::new(geom.ways()); geom.sets()],
             sat: vec![0; geom.sets()],
             sat_max: 2 * geom.ways() as u32,
@@ -89,14 +84,9 @@ impl StaticSbcCache {
         self.sat[set]
     }
 
+    #[inline]
     fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
-        self.lines[set]
-            .iter()
-            .position(|l| matches!(l, Some(e) if e.line == line))
-    }
-
-    fn find_free_way(&self, set: usize) -> Option<usize> {
-        self.lines[set].iter().position(Option::is_none)
+        self.frames.find(set, line.raw())
     }
 
     /// Whether `set` currently spills: it must be saturated while its
@@ -107,9 +97,7 @@ impl StaticSbcCache {
     }
 
     fn evict_off_chip(&mut self, set: usize, way: usize) {
-        let old = self.lines[set][way]
-            .take()
-            .expect("eviction of invalid way");
+        let old = self.frames.take(set, way).expect("eviction of invalid way");
         self.stats.record_eviction();
         if old.dirty {
             self.stats.record_writeback();
@@ -127,9 +115,7 @@ impl CacheModel for StaticSbcCache {
             self.stats.record_local_hit();
             self.ranks[home].touch_mru(way);
             if kind.is_write() {
-                if let Some(l) = &mut self.lines[home][way] {
-                    l.dirty = true;
-                }
+                self.frames.mark_dirty(home, way);
             }
             self.sat[home] = self.sat[home].saturating_sub(1);
             return AccessResult::HitLocal;
@@ -142,9 +128,7 @@ impl CacheModel for StaticSbcCache {
                 self.stats.record_coop_hit();
                 self.ranks[partner].touch_mru(way);
                 if kind.is_write() {
-                    if let Some(l) = &mut self.lines[partner][way] {
-                        l.dirty = true;
-                    }
+                    self.frames.mark_dirty(partner, way);
                 }
                 self.sat[home] = self.sat[home].saturating_sub(1);
                 return AccessResult::HitCooperative;
@@ -158,16 +142,19 @@ impl CacheModel for StaticSbcCache {
         }
         self.sat[home] = (self.sat[home] + 1).min(self.sat_max);
 
-        let way = match self.find_free_way(home) {
+        let way = match self.frames.first_free(home) {
             Some(w) => w,
             None => {
                 let victim_way = self.ranks[home].lru_way();
-                let victim = self.lines[home][victim_way].expect("victim way valid");
-                if !victim.foreign && self.spills(home) {
+                let victim_foreign = self.frames.is_flagged(home, victim_way);
+                if !victim_foreign && self.spills(home) {
                     // Spill into the partner, MRU-inserted.
-                    self.lines[home][victim_way] = None;
+                    let victim = self
+                        .frames
+                        .take(home, victim_way)
+                        .expect("victim way valid");
                     self.stats.record_spill();
-                    let pway = match self.find_free_way(partner) {
+                    let pway = match self.frames.first_free(partner) {
                         Some(w) => w,
                         None => {
                             let pv = self.ranks[partner].lru_way();
@@ -175,11 +162,8 @@ impl CacheModel for StaticSbcCache {
                             pv
                         }
                     };
-                    self.lines[partner][pway] = Some(Line {
-                        line: victim.line,
-                        dirty: victim.dirty,
-                        foreign: true,
-                    });
+                    self.frames
+                        .fill(partner, pway, victim.tag, victim.dirty, true);
                     self.ranks[partner].touch_mru(pway);
                     self.stats.record_receive();
                 } else {
@@ -188,11 +172,8 @@ impl CacheModel for StaticSbcCache {
                 victim_way
             }
         };
-        self.lines[home][way] = Some(Line {
-            line,
-            dirty: kind.is_write(),
-            foreign: false,
-        });
+        self.frames
+            .fill(home, way, line.raw(), kind.is_write(), false);
         self.ranks[home].touch_mru(way);
         if probes_partner {
             AccessResult::MissCooperative
@@ -222,10 +203,10 @@ impl InvariantAuditor for StaticSbcCache {
     fn audit(&self) -> Result<(), AuditError> {
         let err = |detail: String| Err(AuditError::new("SBC-static", detail));
         for set in 0..self.geom.sets() {
-            if self.lines[set].len() != self.geom.ways() {
+            if self.frames.valid_count(set) > self.geom.ways() {
                 return err(format!(
-                    "set {set} holds {} ways, geometry says {}",
-                    self.lines[set].len(),
+                    "set {set} holds {} valid lines, geometry says {}",
+                    self.frames.valid_count(set),
                     self.geom.ways()
                 ));
             }
@@ -239,27 +220,27 @@ impl InvariantAuditor for StaticSbcCache {
                 ));
             }
             let mut seen = std::collections::HashSet::new();
-            for l in self.lines[set].iter().flatten() {
-                if !seen.insert(l.line) {
-                    return err(format!("duplicate line {:?} in set {set}", l.line));
+            for way in self.frames.valid_ways(set) {
+                let tag = self.frames.tag(set, way).expect("valid way has a tag");
+                if !seen.insert(tag) {
+                    return err(format!("duplicate line {tag:#x} in set {set}"));
                 }
-                let home = self.geom.set_index_of_line(l.line);
-                if l.foreign && home == set {
+                let line = LineAddr::new(tag);
+                let foreign = self.frames.is_flagged(set, way);
+                let home = self.geom.set_index_of_line(line);
+                if foreign && home == set {
                     return err(format!(
-                        "line {:?} in its home set {set} is marked foreign",
-                        l.line
+                        "line {line:?} in its home set {set} is marked foreign"
                     ));
                 }
-                if !l.foreign && home != set {
+                if !foreign && home != set {
                     return err(format!(
-                        "native-marked line {:?} sits in set {set} but maps to set {home}",
-                        l.line
+                        "native-marked line {line:?} sits in set {set} but maps to set {home}"
                     ));
                 }
-                if l.foreign && self.partner_of(home) != set {
+                if foreign && self.partner_of(home) != set {
                     return err(format!(
-                        "foreign line {:?} sits in set {set}, not its home's partner {}",
-                        l.line,
+                        "foreign line {line:?} sits in set {set}, not its home's partner {}",
                         self.partner_of(home)
                     ));
                 }

@@ -10,9 +10,10 @@
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
     AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
-    InvariantAuditor, LineAddr, SimError,
+    InvariantAuditor, LineAddr, SetFrames, SimError,
 };
 
+/// One fully-associative victim-buffer entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Line {
     line: LineAddr,
@@ -40,7 +41,9 @@ struct Line {
 /// ```
 pub struct VictimCache {
     geom: CacheGeometry,
-    lines: Vec<Vec<Option<Line>>>,
+    /// Flat tag store for the main array; the tag word is the full line
+    /// address (the flag bit is unused).
+    frames: SetFrames,
     ranks: Vec<RecencyStack>,
     /// Fully-associative victim entries, most recent first.
     victims: Vec<Line>,
@@ -72,7 +75,7 @@ impl VictimCache {
         }
         Ok(VictimCache {
             geom,
-            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            frames: SetFrames::new(geom.sets(), geom.ways()),
             ranks: vec![RecencyStack::new(geom.ways()); geom.sets()],
             victims: Vec::with_capacity(capacity),
             capacity,
@@ -85,10 +88,9 @@ impl VictimCache {
         self.victims.len()
     }
 
+    #[inline]
     fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
-        self.lines[set]
-            .iter()
-            .position(|l| matches!(l, Some(e) if e.line == line))
+        self.frames.find(set, line.raw())
     }
 
     /// Pushes a victim into the buffer, evicting the oldest entry.
@@ -105,17 +107,21 @@ impl VictimCache {
 
     /// Installs `incoming` into `set`, buffering the displaced LRU block.
     fn install(&mut self, set: usize, incoming: Line) {
-        let way = match self.lines[set].iter().position(Option::is_none) {
+        let way = match self.frames.first_free(set) {
             Some(w) => w,
             None => {
                 let victim_way = self.ranks[set].lru_way();
-                let victim = self.lines[set][victim_way].take().expect("victim valid");
+                let victim = self.frames.take(set, victim_way).expect("victim valid");
                 self.stats.record_spill();
-                self.buffer_victim(victim);
+                self.buffer_victim(Line {
+                    line: LineAddr::new(victim.tag),
+                    dirty: victim.dirty,
+                });
                 victim_way
             }
         };
-        self.lines[set][way] = Some(incoming);
+        self.frames
+            .fill(set, way, incoming.line.raw(), incoming.dirty, false);
         self.ranks[set].touch_mru(way);
     }
 }
@@ -129,9 +135,7 @@ impl CacheModel for VictimCache {
             self.stats.record_local_hit();
             self.ranks[set].touch_mru(way);
             if kind.is_write() {
-                if let Some(l) = &mut self.lines[set][way] {
-                    l.dirty = true;
-                }
+                self.frames.mark_dirty(set, way);
             }
             return AccessResult::HitLocal;
         }
@@ -183,26 +187,26 @@ impl InvariantAuditor for VictimCache {
         let err = |detail: String| Err(AuditError::new("LRU+VC", detail));
         let mut resident = std::collections::HashSet::new();
         for set in 0..self.geom.sets() {
-            if self.lines[set].len() != self.geom.ways() {
+            if self.frames.valid_count(set) > self.geom.ways() {
                 return err(format!(
-                    "set {set} holds {} ways, geometry says {}",
-                    self.lines[set].len(),
+                    "set {set} holds {} valid lines, geometry says {}",
+                    self.frames.valid_count(set),
                     self.geom.ways()
                 ));
             }
             if !self.ranks[set].is_permutation() {
                 return err(format!("recency stack of set {set} is not a permutation"));
             }
-            for l in self.lines[set].iter().flatten() {
-                let home = self.geom.set_index_of_line(l.line);
+            for way in self.frames.valid_ways(set) {
+                let line = LineAddr::new(self.frames.tag(set, way).expect("valid way has a tag"));
+                let home = self.geom.set_index_of_line(line);
                 if home != set {
                     return err(format!(
-                        "line {:?} sits in set {set} but maps to set {home}",
-                        l.line
+                        "line {line:?} sits in set {set} but maps to set {home}"
                     ));
                 }
-                if !resident.insert(l.line) {
-                    return err(format!("duplicate line {:?} in set {set}", l.line));
+                if !resident.insert(line) {
+                    return err(format!("duplicate line {line:?} in set {set}"));
                 }
             }
         }

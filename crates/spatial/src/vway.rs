@@ -15,7 +15,7 @@
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
     AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
-    InvariantAuditor, LineAddr, SimError,
+    InvariantAuditor, LineAddr, SetFrames, SimError,
 };
 
 /// Tuning parameters for [`VWayCache`].
@@ -35,13 +35,6 @@ impl Default for VWayConfig {
             reuse_bits: 2,
         }
     }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct TagEntry {
-    line: LineAddr,
-    /// Forward pointer into the global data store.
-    data: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,8 +69,14 @@ struct DataEntry {
 pub struct VWayCache {
     geom: CacheGeometry,
     cfg: VWayConfig,
-    /// `tags[set][tag_way]`; `tag_ways = ratio × ways`.
-    tags: Vec<Vec<Option<TagEntry>>>,
+    /// Tag entries per set: `ratio × ways`.
+    tag_ways: usize,
+    /// Flat tag store of `sets × tag_ways` entries; the tag word is the
+    /// full line address (dirty lives in the data store, flag is unused).
+    tags: SetFrames,
+    /// Forward pointers into the global data store, parallel to `tags`
+    /// (`fwd[set * tag_ways + tag_way]`, meaningful while the tag is valid).
+    fwd: Vec<u32>,
     /// Per-set LRU over the tag ways.
     tag_ranks: Vec<RecencyStack>,
     /// Global data store of `sets × ways` lines.
@@ -146,7 +145,9 @@ impl VWayCache {
         Ok(VWayCache {
             geom,
             cfg,
-            tags: vec![vec![None; tag_ways]; geom.sets()],
+            tag_ways,
+            tags: SetFrames::new(geom.sets(), tag_ways),
+            fwd: vec![0; geom.sets() * tag_ways],
             tag_ranks: vec![RecencyStack::new(tag_ways); geom.sets()],
             data: vec![None; total],
             free_data: (0..total).rev().collect(),
@@ -159,7 +160,7 @@ impl VWayCache {
     /// Number of data lines currently owned by `set` (the set's *variable*
     /// associativity — analysis hook).
     pub fn data_lines_of(&self, set: usize) -> usize {
-        self.tags[set].iter().flatten().count()
+        self.tags.valid_count(set)
     }
 
     /// Verifies forward/backward pointer consistency (test hook): every
@@ -180,33 +181,34 @@ impl VWayCache {
     }
 
     fn audit_pointers(&self) -> Result<(), AuditError> {
-        for (s, set_tags) in self.tags.iter().enumerate() {
-            for (w, t) in set_tags.iter().enumerate() {
-                if let Some(t) = t {
-                    match self.data.get(t.data).copied().flatten() {
-                        Some(d) => {
-                            if d.rptr_set as usize != s || d.rptr_way as usize != w {
-                                return Err(AuditError::new(
-                                    "V-Way",
-                                    format!(
-                                        "tag ({s},{w}) forward pointer {} has reverse \
-                                         pointer ({},{})",
-                                        t.data, d.rptr_set, d.rptr_way
-                                    ),
-                                ));
-                            }
-                        }
-                        None => {
+        for s in 0..self.geom.sets() {
+            for w in self.tags.valid_ways(s) {
+                let fwd = self.fwd[s * self.tag_ways + w] as usize;
+                match self.data.get(fwd).copied().flatten() {
+                    Some(d) => {
+                        if d.rptr_set as usize != s || d.rptr_way as usize != w {
                             return Err(AuditError::new(
                                 "V-Way",
-                                format!("tag ({s},{w}) points at invalid data line {}", t.data),
-                            ))
+                                format!(
+                                    "tag ({s},{w}) forward pointer {fwd} has reverse \
+                                     pointer ({},{})",
+                                    d.rptr_set, d.rptr_way
+                                ),
+                            ));
                         }
+                    }
+                    None => {
+                        return Err(AuditError::new(
+                            "V-Way",
+                            format!("tag ({s},{w}) points at invalid data line {fwd}"),
+                        ))
                     }
                 }
             }
         }
-        let valid_tags: usize = self.tags.iter().map(|s| s.iter().flatten().count()).sum();
+        let valid_tags: usize = (0..self.geom.sets())
+            .map(|s| self.tags.valid_count(s))
+            .sum();
         let valid_data = self.data.iter().flatten().count();
         if valid_tags != valid_data {
             return Err(AuditError::new(
@@ -254,14 +256,9 @@ impl VWayCache {
         Ok(())
     }
 
+    #[inline]
     fn find_tag_way(&self, set: usize, line: LineAddr) -> Option<usize> {
-        self.tags[set]
-            .iter()
-            .position(|t| matches!(t, Some(e) if e.line == line))
-    }
-
-    fn find_free_tag_way(&self, set: usize) -> Option<usize> {
-        self.tags[set].iter().position(Option::is_none)
+        self.tags.find(set, line.raw())
     }
 
     /// Global reuse-counter clock: decrement non-zero counters until a line
@@ -284,14 +281,12 @@ impl VWayCache {
                 if d.reuse == 0 {
                     // Evict: invalidate the owning tag entry.
                     let d = *d;
-                    let row = self
-                        .tags
-                        .get_mut(d.rptr_set as usize)
-                        .ok_or_else(|| corrupt_rptr(idx, d.rptr_set, d.rptr_way))?;
-                    let slot = row
-                        .get_mut(d.rptr_way as usize)
-                        .ok_or_else(|| corrupt_rptr(idx, d.rptr_set, d.rptr_way))?;
-                    *slot = None;
+                    if d.rptr_set as usize >= self.tags.sets()
+                        || d.rptr_way as usize >= self.tag_ways
+                    {
+                        return Err(corrupt_rptr(idx, d.rptr_set, d.rptr_way));
+                    }
+                    self.tags.take(d.rptr_set as usize, d.rptr_way as usize);
                     self.data[idx] = None;
                     self.stats.record_eviction();
                     if d.dirty {
@@ -327,11 +322,9 @@ impl VWayCache {
         if let Some(way) = self.find_tag_way(set, line) {
             self.stats.record_local_hit();
             self.tag_ranks[set].touch_mru(way);
-            // find_tag_way only returns ways holding Some, so the entry is
-            // valid by construction.
-            let data_idx = self.tags[set][way]
-                .expect("find_tag_way returned a valid way")
-                .data;
+            // find_tag_way only returns valid ways, so the forward pointer
+            // is meaningful by construction.
+            let data_idx = self.fwd[set * self.tag_ways + way] as usize;
             let d = self
                 .data
                 .get_mut(data_idx)
@@ -351,7 +344,7 @@ impl VWayCache {
 
         self.stats.record_local_miss();
 
-        let (tag_way, data_idx) = match self.find_free_tag_way(set) {
+        let (tag_way, data_idx) = match self.tags.first_free(set) {
             Some(w) => {
                 // A spare tag entry exists: take a data line globally.
                 let idx = match self.free_data.pop() {
@@ -362,22 +355,20 @@ impl VWayCache {
             }
             None => {
                 // All tag entries valid: local tag replacement, reusing the
-                // victim's own data line. find_free_tag_way returned None,
-                // so every way is Some.
+                // victim's own data line. first_free returned None, so
+                // every way is valid.
                 let w = self.tag_ranks[set].lru_way();
-                let victim =
-                    self.tags[set][w].expect("set with no free tag way has only valid tags");
+                let victim_data = self.fwd[set * self.tag_ways + w] as usize;
                 let old = self
                     .data
-                    .get(victim.data)
+                    .get(victim_data)
                     .copied()
                     .flatten()
                     .ok_or_else(|| {
                         SimError::Audit(AuditError::new(
                             "V-Way",
                             format!(
-                                "victim tag ({set},{w}) points at invalid data line {}",
-                                victim.data
+                                "victim tag ({set},{w}) points at invalid data line {victim_data}"
                             ),
                         ))
                     })?;
@@ -385,16 +376,14 @@ impl VWayCache {
                 if old.dirty {
                     self.stats.record_writeback();
                 }
-                self.tags[set][w] = None;
-                self.data[victim.data] = None;
-                (w, victim.data)
+                self.tags.take(set, w);
+                self.data[victim_data] = None;
+                (w, victim_data)
             }
         };
 
-        self.tags[set][tag_way] = Some(TagEntry {
-            line,
-            data: data_idx,
-        });
+        self.tags.fill(set, tag_way, line.raw(), false, false);
+        self.fwd[set * self.tag_ways + tag_way] = data_idx as u32;
         self.data[data_idx] = Some(DataEntry {
             rptr_set: set as u32,
             rptr_way: tag_way as u16,
@@ -448,13 +437,14 @@ impl InvariantAuditor for VWayCache {
     fn audit(&self) -> Result<(), AuditError> {
         self.audit_pointers()?;
         self.audit_free_list()?;
-        for (s, set_tags) in self.tags.iter().enumerate() {
+        for s in 0..self.geom.sets() {
             let mut seen = std::collections::HashSet::new();
-            for t in set_tags.iter().flatten() {
-                if !seen.insert(t.line) {
+            for w in self.tags.valid_ways(s) {
+                let tag = self.tags.tag(s, w).expect("valid way has a tag");
+                if !seen.insert(tag) {
                     return Err(AuditError::new(
                         "V-Way",
-                        format!("duplicate line {:?} in tag set {s}", t.line),
+                        format!("duplicate line {tag:#x} in tag set {s}"),
                     ));
                 }
             }

@@ -3,20 +3,11 @@
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
     AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
-    InvariantAuditor, LineAddr, SimError, SplitMix64,
+    InvariantAuditor, LineAddr, SetFrames, SimError, SplitMix64,
 };
 use stem_spatial::{AssociationTable, DestinationSetSelector};
 
 use crate::{PolicyKind, SetMonitor, StemConfig, TagHasher};
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    line: LineAddr,
-    dirty: bool,
-    /// The CC bit of Fig. 4: `true` when the block is cooperatively cached
-    /// (its home is the coupled taker set).
-    cc: bool,
-}
 
 /// The STEM last-level cache.
 ///
@@ -43,7 +34,10 @@ struct Line {
 pub struct StemCache {
     geom: CacheGeometry,
     cfg: StemConfig,
-    lines: Vec<Vec<Option<Line>>>,
+    /// Flat tag store; the tag word is the full line address and the flag
+    /// bit is the CC bit of Fig. 4 (`true` when the block is cooperatively
+    /// cached, i.e. its home is the coupled taker set).
+    frames: SetFrames,
     ranks: Vec<RecencyStack>,
     /// Current replacement policy of each LLC set; the shadow set always
     /// runs the opposite.
@@ -86,7 +80,7 @@ impl StemCache {
         Ok(StemCache {
             geom,
             cfg,
-            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            frames: SetFrames::new(geom.sets(), geom.ways()),
             ranks: vec![RecencyStack::new(geom.ways()); geom.sets()],
             set_policy: vec![PolicyKind::Lru; geom.sets()],
             monitors: (0..geom.sets())
@@ -139,14 +133,9 @@ impl StemCache {
         self.is_taker[set]
     }
 
+    #[inline]
     fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
-        self.lines[set]
-            .iter()
-            .position(|l| matches!(l, Some(e) if e.line == line))
-    }
-
-    fn find_free_way(&self, set: usize) -> Option<usize> {
-        self.lines[set].iter().position(Option::is_none)
+        self.frames.find(set, line.raw())
     }
 
     fn sig_of(&self, line: LineAddr) -> u16 {
@@ -236,7 +225,7 @@ impl StemCache {
         way: usize,
         allow_decouple: bool,
     ) -> Result<(), SimError> {
-        let old = self.lines[set][way].take().ok_or_else(|| {
+        let old = self.frames.take(set, way).ok_or_else(|| {
             AuditError::new(
                 "STEM",
                 format!("eviction of invalid way {way} in set {set}"),
@@ -246,7 +235,7 @@ impl StemCache {
         if old.dirty {
             self.stats.record_writeback();
         }
-        if old.cc {
+        if old.flag {
             self.cc_count[set] = self.cc_count[set].checked_sub(1).ok_or_else(|| {
                 AuditError::new("STEM", format!("CC accounting of set {set} underflowed"))
             })?;
@@ -261,7 +250,7 @@ impl StemCache {
         } else {
             // A native victim's hashed tag enters the shadow set, under the
             // shadow's (opposite) policy (§4.3).
-            let sig = self.sig_of(old.line);
+            let sig = self.sig_of(LineAddr::new(old.tag));
             let shadow_policy = self.set_policy[set].opposite();
             let throttle = self.cfg.bip_throttle_log2;
             // Split borrows: pull the rng out momentarily.
@@ -283,13 +272,13 @@ impl StemCache {
     /// native data). This operationalises §4.6's "still unsaturated even
     /// with receiving" at the data level, complementing the SC_S check.
     fn receive(&mut self, giver: usize, line: LineAddr, dirty: bool) -> Result<bool, SimError> {
-        let way = match self.find_free_way(giver) {
+        let way = match self.frames.first_free(giver) {
             Some(w) => w,
             None => {
                 let victim = self.ranks[giver].lru_way();
-                let victim_is_native = !self.lines[giver][victim].map_or(false, |l| l.cc);
+                let victim_is_native = !self.frames.is_flagged(giver, victim);
                 if victim_is_native {
-                    let native = self.lines[giver].iter().flatten().filter(|l| !l.cc).count();
+                    let native = self.frames.valid_count(giver) - self.frames.flagged_count(giver);
                     if native + 3 > self.geom.ways() {
                         return Ok(false);
                     }
@@ -298,11 +287,7 @@ impl StemCache {
                 victim
             }
         };
-        self.lines[giver][way] = Some(Line {
-            line,
-            dirty,
-            cc: true,
-        });
+        self.frames.fill(giver, way, line.raw(), dirty, true);
         self.insert_rank(giver, way);
         self.cc_count[giver] += 1;
         self.stats.record_receive();
@@ -320,12 +305,17 @@ impl StemCache {
     /// (possibly decoupling), native victims are hashed into the shadow
     /// and spilled to the coupled giver when permitted.
     fn dispose_victim(&mut self, home: usize, way: usize) -> Result<(), SimError> {
-        let victim = self.lines[home][way].ok_or_else(|| {
-            AuditError::new("STEM", format!("victim way {way} of set {home} is invalid"))
-        })?;
-        if victim.cc {
+        if !self.frames.is_valid(home, way) {
+            return Err(SimError::Audit(AuditError::new(
+                "STEM",
+                format!("victim way {way} of set {home} is invalid"),
+            )));
+        }
+        if self.frames.is_flagged(home, way) {
             return self.evict_off_chip(home, way, true);
         }
+        let victim_line = LineAddr::new(self.frames.tag(home, way).expect("valid way has a tag"));
+        let victim_dirty = self.frames.is_dirty(home, way);
 
         // An uncoupled taker requests coupling at eviction time (§4.5).
         if self.monitors[home].is_taker() {
@@ -338,11 +328,11 @@ impl StemCache {
             if self.is_taker[home]
                 && !self.monitors[home].is_giver()
                 && self.can_receive(giver)
-                && self.receive(giver, victim.line, victim.dirty)?
+                && self.receive(giver, victim_line, victim_dirty)?
             {
                 // Native victim's signature still enters the shadow set —
                 // it has left its *local* capacity.
-                let sig = self.sig_of(victim.line);
+                let sig = self.sig_of(victim_line);
                 let shadow_policy = self.set_policy[home].opposite();
                 let throttle = self.cfg.bip_throttle_log2;
                 let mut rng = std::mem::replace(&mut self.rng, SplitMix64::new(0));
@@ -351,7 +341,7 @@ impl StemCache {
                     .insert(sig, shadow_policy, throttle, &mut rng);
                 self.rng = rng;
 
-                self.lines[home][way] = None;
+                self.frames.take(home, way);
                 self.stats.record_spill();
                 return Ok(());
             }
@@ -378,9 +368,7 @@ impl StemCache {
             self.stats.record_local_hit();
             self.ranks[home].touch_mru(way);
             if kind.is_write() {
-                if let Some(l) = &mut self.lines[home][way] {
-                    l.dirty = true;
-                }
+                self.frames.mark_dirty(home, way);
             }
             self.monitor_hit(home);
             return Ok(AccessResult::HitLocal);
@@ -394,9 +382,7 @@ impl StemCache {
                 self.stats.record_coop_hit();
                 self.ranks[giver].touch_mru(way);
                 if kind.is_write() {
-                    if let Some(l) = &mut self.lines[giver][way] {
-                        l.dirty = true;
-                    }
+                    self.frames.mark_dirty(giver, way);
                 }
                 // The hit belongs to the home set's working set.
                 self.monitor_hit(home);
@@ -414,7 +400,7 @@ impl StemCache {
         }
 
         // 4. Allocate in the home set.
-        let way = match self.find_free_way(home) {
+        let way = match self.frames.first_free(home) {
             Some(w) => w,
             None => {
                 let victim = self.ranks[home].lru_way();
@@ -422,11 +408,8 @@ impl StemCache {
                 victim
             }
         };
-        self.lines[home][way] = Some(Line {
-            line,
-            dirty: kind.is_write(),
-            cc: false,
-        });
+        self.frames
+            .fill(home, way, line.raw(), kind.is_write(), false);
         self.insert_rank(home, way);
 
         Ok(if probe_partner.is_some() {
@@ -472,10 +455,10 @@ impl InvariantAuditor for StemCache {
             return err("association table lost its symmetry".into());
         }
         for set in 0..self.geom.sets() {
-            if self.lines[set].len() != self.geom.ways() {
+            if self.frames.valid_count(set) > self.geom.ways() {
                 return err(format!(
-                    "set {set} holds {} ways, geometry says {}",
-                    self.lines[set].len(),
+                    "set {set} holds {} valid lines, geometry says {}",
+                    self.frames.valid_count(set),
                     self.geom.ways()
                 ));
             }
@@ -484,24 +467,23 @@ impl InvariantAuditor for StemCache {
             }
             let mut seen = std::collections::HashSet::new();
             let mut actual_cc = 0u32;
-            for l in self.lines[set].iter().flatten() {
-                if !seen.insert(l.line) {
-                    return err(format!("duplicate line {:?} in set {set}", l.line));
+            for way in self.frames.valid_ways(set) {
+                let line = LineAddr::new(self.frames.tag(set, way).expect("valid way has a tag"));
+                if !seen.insert(line) {
+                    return err(format!("duplicate line {line:?} in set {set}"));
                 }
-                let home = self.geom.set_index_of_line(l.line);
-                if l.cc {
+                let home = self.geom.set_index_of_line(line);
+                if self.frames.is_flagged(set, way) {
                     actual_cc += 1;
                     if self.assoc.partner(set) != Some(home) {
                         return err(format!(
-                            "CC block {:?} in set {set} maps to set {home}, which is not \
-                             the coupled partner",
-                            l.line
+                            "CC block {line:?} in set {set} maps to set {home}, which is not \
+                             the coupled partner"
                         ));
                     }
                 } else if home != set {
                     return err(format!(
-                        "native block {:?} sits in set {set} but maps to set {home}",
-                        l.line
+                        "native block {line:?} sits in set {set} but maps to set {home}"
                     ));
                 }
             }
@@ -707,7 +689,7 @@ mod tests {
         // Consistency rather than a specific count: all CC accounting must
         // match reality.
         for s in 0..geom.sets() {
-            let actual = stem.lines[s].iter().flatten().filter(|l| l.cc).count() as u32;
+            let actual = stem.frames.flagged_count(s) as u32;
             assert_eq!(actual, stem.cc_blocks(s), "set {s} CC count");
             if actual > 0 {
                 assert!(stem.associations().is_coupled(s));

@@ -30,7 +30,11 @@ use crate::PolicyKind;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShadowSet {
-    entries: Vec<Option<u16>>,
+    /// Flat signature array; invalid entries are canonically zeroed so the
+    /// derived equality compares logical contents only.
+    sigs: Vec<u16>,
+    /// Bit-packed validity, `ways.div_ceil(64)` words.
+    valid: Vec<u64>,
     ranks: RecencyStack,
 }
 
@@ -38,26 +42,62 @@ impl ShadowSet {
     /// Creates an empty shadow set with `ways` entries.
     pub fn new(ways: usize) -> Self {
         ShadowSet {
-            entries: vec![None; ways],
+            sigs: vec![0; ways],
+            valid: vec![0; ways.div_ceil(64)],
             ranks: RecencyStack::new(ways),
         }
     }
 
     /// Number of entries.
     pub fn ways(&self) -> usize {
-        self.entries.len()
+        self.sigs.len()
     }
 
     /// Number of valid entries.
     pub fn valid_entries(&self) -> usize {
-        self.entries.iter().flatten().count()
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The way holding `sig`, visiting only valid entries.
+    #[inline]
+    fn find(&self, sig: u16) -> Option<usize> {
+        for (word, &bits) in self.valid.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let way = word * 64 + bits.trailing_zeros() as usize;
+                if self.sigs[way] == sig {
+                    return Some(way);
+                }
+                bits &= bits - 1;
+            }
+        }
+        None
+    }
+
+    /// The lowest invalid way, if any.
+    #[inline]
+    fn first_free(&self) -> Option<usize> {
+        let ways = self.sigs.len();
+        for (word, &bits) in self.valid.iter().enumerate() {
+            let ways_here = (ways - word * 64).min(64);
+            let mask = if ways_here == 64 {
+                u64::MAX
+            } else {
+                (1u64 << ways_here) - 1
+            };
+            let free = !bits & mask;
+            if free != 0 {
+                return Some(word * 64 + free.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 
     /// Whether `sig` is currently present (non-destructive; tests and
     /// analysis only — the hardware path uses
     /// [`probe_invalidate`](ShadowSet::probe_invalidate)).
     pub fn contains(&self, sig: u16) -> bool {
-        self.entries.iter().any(|e| *e == Some(sig))
+        self.find(sig).is_some()
     }
 
     /// Inserts a victim signature under `policy` (the *shadow's* policy,
@@ -73,14 +113,12 @@ impl ShadowSet {
         bip_throttle_log2: u32,
         rng: &mut SplitMix64,
     ) {
-        let way = if let Some(w) = self.entries.iter().position(|e| *e == Some(sig)) {
-            w
-        } else if let Some(w) = self.entries.iter().position(Option::is_none) {
-            self.entries[w] = Some(sig);
+        let way = if let Some(w) = self.find(sig) {
             w
         } else {
-            let w = self.ranks.lru_way();
-            self.entries[w] = Some(sig);
+            let w = self.first_free().unwrap_or_else(|| self.ranks.lru_way());
+            self.sigs[w] = sig;
+            self.valid[w / 64] |= 1u64 << (w % 64);
             w
         };
         match policy {
@@ -100,9 +138,10 @@ impl ShadowSet {
     /// \[must\] be strictly exclusive with the local blocks", §4.3).
     /// Returns whether the signature was present.
     pub fn probe_invalidate(&mut self, sig: u16) -> bool {
-        match self.entries.iter().position(|e| *e == Some(sig)) {
+        match self.find(sig) {
             Some(w) => {
-                self.entries[w] = None;
+                self.sigs[w] = 0;
+                self.valid[w / 64] &= !(1u64 << (w % 64));
                 true
             }
             None => false,
@@ -111,9 +150,8 @@ impl ShadowSet {
 
     /// Invalidates every entry (used when a set's monitor is reset).
     pub fn clear(&mut self) {
-        for e in &mut self.entries {
-            *e = None;
-        }
+        self.sigs.fill(0);
+        self.valid.fill(0);
     }
 
     /// Checks the shadow set's structural invariants: the internal ranking
@@ -123,8 +161,16 @@ impl ShadowSet {
             return Err("shadow ranking is not a permutation".into());
         }
         let mut seen = std::collections::HashSet::new();
-        for sig in self.entries.iter().flatten() {
-            if !seen.insert(*sig) {
+        for (way, &sig) in self.sigs.iter().enumerate() {
+            if self.valid[way / 64] & (1u64 << (way % 64)) == 0 {
+                if sig != 0 {
+                    return Err(format!(
+                        "invalid shadow way {way} holds stale signature {sig:#x}"
+                    ));
+                }
+                continue;
+            }
+            if !seen.insert(sig) {
                 return Err(format!("duplicate signature {sig:#x} in shadow set"));
             }
         }
@@ -243,7 +289,9 @@ mod tests {
             for _ in 0..g.usize(0, 100) {
                 let sig = g.u16(0, 8);
                 s.insert(sig, PolicyKind::Bip, 5, &mut r);
-                let count = s.entries.iter().filter(|e| **e == Some(sig)).count();
+                let count = (0..s.ways())
+                    .filter(|&w| s.valid[w / 64] & (1u64 << (w % 64)) != 0 && s.sigs[w] == sig)
+                    .count();
                 assert_eq!(count, 1);
                 s.audit().expect("shadow invariants hold");
             }

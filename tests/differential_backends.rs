@@ -1,0 +1,1549 @@
+//! Randomized old-vs-new backend equivalence suite.
+//!
+//! The flat-SoA refactor replaced every scheme's `Vec<Vec<Option<Line>>>`
+//! tag nests with the shared [`stem::sim_core::SetFrames`] backend and gave
+//! `RecencyStack` a packed-u64 fast path. Both changes are *layout only*:
+//! simulated behaviour must be bit-identical. This suite keeps the previous
+//! generation alive as test-only reference models (verbatim ports of the
+//! pre-refactor sources, nested `Vec`s, `Option` boxing, `Vec<u8>` ranks and
+//! all) and replays identical SplitMix64-seeded traces through both
+//! generations, asserting
+//!
+//! * the per-access [`AccessResult`] stream is identical, and
+//! * the final [`CacheStats`] are identical,
+//!
+//! for all six paper schemes (LRU, DIP, PeLIFO, V-Way, SBC, STEM) plus the
+//! two auxiliary spatial baselines (static SBC, LRU+VC). The primitives the
+//! schemes share — the recency stack and the shadow set — additionally get
+//! direct random-op differentials, since a compensating pair of bugs at the
+//! scheme level could otherwise hide a primitive-level divergence.
+//!
+//! Each paper-scheme run replays `STEM_DIFF_ACCESSES` accesses (default
+//! 1 000 000) at the paper's 16-way associativity — the packed-recency
+//! boundary case — plus a high-pressure pass on a tiny geometry where every
+//! eviction/spill/couple/decouple path fires constantly.
+
+use stem::llc::{PolicyKind, SetMonitor, ShadowSet, StemCache, StemConfig, TagHasher};
+use stem::replacement::{Dip, Lru, PeLifo, RecencyStack, ReplacementPolicy, SetAssocCache};
+use stem::sim_core::{
+    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr, SplitMix64,
+};
+use stem::spatial::{
+    AssociationTable, DestinationSetSelector, SbcCache, SbcConfig, StaticSbcCache, VWayCache,
+    VWayConfig, VictimCache,
+};
+
+/// Accesses per paper-scheme differential. The acceptance bar is >= 1M per
+/// scheme; `STEM_DIFF_ACCESSES` scales it down for quick local runs.
+fn diff_accesses() -> usize {
+    std::env::var("STEM_DIFF_ACCESSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+// ---------------------------------------------------------------------------
+// Reference primitive: the pre-refactor `RecencyStack` (rank vector).
+// ---------------------------------------------------------------------------
+
+/// The old `Vec<u8>` recency stack: `rank[way]` = position, ops are O(ways)
+/// loops. Used both directly (differential against the packed stack) and as
+/// the ranking inside every reference scheme model below.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RefRecency {
+    rank: Vec<u8>,
+}
+
+impl RefRecency {
+    fn new(ways: usize) -> Self {
+        assert!(ways >= 1 && ways <= 255, "ways must be in 1..=255");
+        RefRecency {
+            rank: (0..ways as u8).collect(),
+        }
+    }
+
+    fn ways(&self) -> usize {
+        self.rank.len()
+    }
+
+    fn rank(&self, way: usize) -> u8 {
+        self.rank[way]
+    }
+
+    fn touch_mru(&mut self, way: usize) {
+        let old = self.rank[way];
+        for r in &mut self.rank {
+            if *r < old {
+                *r += 1;
+            }
+        }
+        self.rank[way] = 0;
+    }
+
+    fn demote_lru(&mut self, way: usize) {
+        let old = self.rank[way];
+        for r in &mut self.rank {
+            if *r > old {
+                *r -= 1;
+            }
+        }
+        self.rank[way] = (self.ways() - 1) as u8;
+    }
+
+    fn place_at(&mut self, way: usize, pos: u8) {
+        assert!((pos as usize) < self.ways(), "position out of range");
+        let old = self.rank[way];
+        if pos == old {
+            return;
+        }
+        if pos < old {
+            for r in &mut self.rank {
+                if *r >= pos && *r < old {
+                    *r += 1;
+                }
+            }
+        } else {
+            for r in &mut self.rank {
+                if *r > old && *r <= pos {
+                    *r -= 1;
+                }
+            }
+        }
+        self.rank[way] = pos;
+    }
+
+    fn lru_way(&self) -> usize {
+        self.way_at((self.ways() - 1) as u8)
+    }
+
+    fn mru_way(&self) -> usize {
+        self.way_at(0)
+    }
+
+    fn way_at(&self, pos: u8) -> usize {
+        self.rank
+            .iter()
+            .position(|&r| r == pos)
+            .expect("recency stack invariant violated: rank not a permutation")
+    }
+}
+
+/// Direct differential: the packed/wide `RecencyStack` against the old rank
+/// vector under a long random op stream at every width that run_all can see
+/// (1..=16 packed, 17..=24 exercising the wide fallback).
+#[test]
+fn recency_stack_matches_reference() {
+    let mut rng = SplitMix64::new(0xD1FF_0001);
+    for ways in 1..=24usize {
+        let mut new = RecencyStack::new(ways);
+        let mut old = RefRecency::new(ways);
+        for step in 0..40_000 {
+            let way = rng.next_below(ways as u64) as usize;
+            match rng.next_below(3) {
+                0 => {
+                    new.touch_mru(way);
+                    old.touch_mru(way);
+                }
+                1 => {
+                    new.demote_lru(way);
+                    old.demote_lru(way);
+                }
+                _ => {
+                    let pos = rng.next_below(ways as u64) as u8;
+                    new.place_at(way, pos);
+                    old.place_at(way, pos);
+                }
+            }
+            // Compare the complete observable surface every step.
+            assert_eq!(new.lru_way(), old.lru_way(), "ways={ways} step={step}");
+            assert_eq!(new.mru_way(), old.mru_way(), "ways={ways} step={step}");
+            for w in 0..ways {
+                assert_eq!(new.rank(w), old.rank(w), "ways={ways} step={step} way={w}");
+            }
+            let pos = rng.next_below(ways as u64) as u8;
+            assert_eq!(new.way_at(pos), old.way_at(pos), "ways={ways} step={step}");
+            assert!(new.is_permutation());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference primitive: the pre-refactor `ShadowSet` (Vec<Option<u16>>).
+// ---------------------------------------------------------------------------
+
+struct RefShadow {
+    entries: Vec<Option<u16>>,
+    ranks: RefRecency,
+}
+
+impl RefShadow {
+    fn new(ways: usize) -> Self {
+        RefShadow {
+            entries: vec![None; ways],
+            ranks: RefRecency::new(ways),
+        }
+    }
+
+    fn valid_entries(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    fn contains(&self, sig: u16) -> bool {
+        self.entries.iter().any(|e| *e == Some(sig))
+    }
+
+    fn insert(
+        &mut self,
+        sig: u16,
+        policy: PolicyKind,
+        bip_throttle_log2: u32,
+        rng: &mut SplitMix64,
+    ) {
+        let way = if let Some(w) = self.entries.iter().position(|e| *e == Some(sig)) {
+            w
+        } else if let Some(w) = self.entries.iter().position(Option::is_none) {
+            self.entries[w] = Some(sig);
+            w
+        } else {
+            let w = self.ranks.lru_way();
+            self.entries[w] = Some(sig);
+            w
+        };
+        match policy {
+            PolicyKind::Lru => self.ranks.touch_mru(way),
+            PolicyKind::Bip => {
+                if rng.one_in_pow2(bip_throttle_log2) {
+                    self.ranks.touch_mru(way);
+                } else {
+                    self.ranks.demote_lru(way);
+                }
+            }
+        }
+    }
+
+    fn probe_invalidate(&mut self, sig: u16) -> bool {
+        match self.entries.iter().position(|e| *e == Some(sig)) {
+            Some(w) => {
+                self.entries[w] = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn clear(&mut self) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+    }
+}
+
+/// Direct differential: the flat `ShadowSet` against the old option-boxed
+/// one. Both consume their own (identically seeded) RNG so the BIP insertion
+/// coin flips line up; returns and observable contents must match exactly.
+#[test]
+fn shadow_set_matches_reference() {
+    let mut op_rng = SplitMix64::new(0xD1FF_0002);
+    for ways in [1usize, 2, 3, 4, 8, 16] {
+        let mut new = ShadowSet::new(ways);
+        let mut old = RefShadow::new(ways);
+        let mut new_rng = SplitMix64::new(0x5EED ^ ways as u64);
+        let mut old_rng = SplitMix64::new(0x5EED ^ ways as u64);
+        for step in 0..60_000 {
+            let sig = op_rng.next_below(3 * ways as u64 + 2) as u16;
+            match op_rng.next_below(8) {
+                0..=4 => {
+                    let policy = if op_rng.chance(1, 2) {
+                        PolicyKind::Lru
+                    } else {
+                        PolicyKind::Bip
+                    };
+                    new.insert(sig, policy, 5, &mut new_rng);
+                    old.insert(sig, policy, 5, &mut old_rng);
+                }
+                5 | 6 => {
+                    assert_eq!(
+                        new.probe_invalidate(sig),
+                        old.probe_invalidate(sig),
+                        "ways={ways} step={step}"
+                    );
+                }
+                _ => {
+                    new.clear();
+                    old.clear();
+                }
+            }
+            assert_eq!(
+                new.valid_entries(),
+                old.valid_entries(),
+                "ways={ways} step={step}"
+            );
+            assert_eq!(
+                new.contains(sig),
+                old.contains(sig),
+                "ways={ways} step={step}"
+            );
+            new.audit().expect("flat shadow invariants hold");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared scheme-model plumbing.
+// ---------------------------------------------------------------------------
+
+/// The observable surface the differentials compare: one result per access
+/// plus the accumulated statistics.
+trait RefModel {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult;
+    fn stats(&self) -> &CacheStats;
+}
+
+/// One synthetic access: three set populations (thrashers whose working set
+/// exceeds the associativity, comfortable reusers, and near-idle sets) so
+/// complementary demand drives SBC/STEM coupling, spilling, draining and
+/// decoupling; ~25% writes exercise every dirty/writeback path; working sets
+/// drift every 200k accesses so demand roles flip and pairs dissolve.
+fn synth_access(rng: &mut SplitMix64, geom: CacheGeometry, i: usize) -> (Address, AccessKind) {
+    let sets = geom.sets() as u64;
+    let ways = geom.ways() as u64;
+    let quarter = (sets / 4).max(1);
+    let phase = (i / 200_000) as u64;
+    let (set, span) = match rng.next_below(100) {
+        0..=54 => (rng.next_below(quarter), ways + ways / 2 + 1),
+        55..=79 => (
+            (quarter + rng.next_below(quarter)) % sets,
+            (ways / 2).max(1),
+        ),
+        _ => (
+            (2 * quarter + rng.next_below(sets - (2 * quarter).min(sets - 1))) % sets,
+            2,
+        ),
+    };
+    let tag = phase * span + rng.next_below(span);
+    let kind = if rng.chance(1, 4) {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    };
+    (geom.address_of(tag, set as usize), kind)
+}
+
+/// Replays `accesses` synthetic accesses through both generations and
+/// asserts stream and stats equality.
+fn assert_equivalent<R: RefModel>(
+    name: &str,
+    mut reference: R,
+    cache: &mut dyn CacheModel,
+    geom: CacheGeometry,
+    seed: u64,
+    accesses: usize,
+) {
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..accesses {
+        let (addr, kind) = synth_access(&mut rng, geom, i);
+        let new = cache.access(addr, kind);
+        let old = reference.access(addr, kind);
+        assert_eq!(
+            old, new,
+            "{name}: access #{i} ({addr:?}, {kind:?}) diverged (old layout vs SetFrames)"
+        );
+    }
+    assert_eq!(
+        reference.stats(),
+        cache.stats(),
+        "{name}: final CacheStats diverged after {accesses} accesses"
+    );
+}
+
+/// The paper's 16-way associativity (the packed-recency boundary) at a set
+/// count small enough that 1M accesses stress every set.
+fn paper_geom() -> CacheGeometry {
+    CacheGeometry::new(256, 16, 64).unwrap()
+}
+
+/// A tiny geometry where every set overflows constantly: maximum pressure on
+/// eviction, spill, couple and decouple paths.
+fn pressure_geom() -> CacheGeometry {
+    CacheGeometry::new(16, 4, 64).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Reference scheme: SetAssocCache (LRU / DIP / PeLIFO).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RefSaLine {
+    tag: u64,
+    dirty: bool,
+}
+
+/// The old `SetAssocCache`: nested option-boxed lines, shared (current)
+/// policy objects. Policies are deterministic, so the reference and the new
+/// cache each own an identically constructed instance.
+struct RefSetAssoc {
+    geom: CacheGeometry,
+    lines: Vec<Vec<Option<RefSaLine>>>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+}
+
+impl RefSetAssoc {
+    fn new(geom: CacheGeometry, policy: Box<dyn ReplacementPolicy>) -> Self {
+        RefSetAssoc {
+            geom,
+            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            policy,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        self.lines[set]
+            .iter()
+            .position(|l| matches!(l, Some(line) if line.tag == tag))
+    }
+
+    fn find_free_way(&self, set: usize) -> Option<usize> {
+        self.lines[set].iter().position(Option::is_none)
+    }
+}
+
+impl RefModel for RefSetAssoc {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let line: LineAddr = addr.line(self.geom.line_bytes());
+        let set = self.geom.set_index_of_line(line);
+        let tag = self.geom.tag_of_line(line);
+        if let Some(way) = self.find_way(set, tag) {
+            self.stats.record_local_hit();
+            self.policy.on_hit(set, way);
+            if kind.is_write() {
+                if let Some(line) = &mut self.lines[set][way] {
+                    line.dirty = true;
+                }
+            }
+            return AccessResult::HitLocal;
+        }
+
+        self.stats.record_local_miss();
+        self.policy.on_miss(set);
+
+        let way = match self.find_free_way(set) {
+            Some(w) => w,
+            None => {
+                let victim = self.policy.victim(set);
+                let old = self.lines[set][victim]
+                    .take()
+                    .expect("victim way must be valid");
+                self.stats.record_eviction();
+                if old.dirty {
+                    self.stats.record_writeback();
+                }
+                victim
+            }
+        };
+        self.lines[set][way] = Some(RefSaLine {
+            tag,
+            dirty: kind.is_write(),
+        });
+        self.policy.on_fill(set, way);
+        AccessResult::MissLocal
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+fn run_setassoc_diff(
+    name: &str,
+    make_policy: impl Fn(CacheGeometry) -> Box<dyn ReplacementPolicy>,
+    seed: u64,
+) {
+    let geom = paper_geom();
+    let mut new = SetAssocCache::new(geom, make_policy(geom));
+    assert_equivalent(
+        name,
+        RefSetAssoc::new(geom, make_policy(geom)),
+        &mut new,
+        geom,
+        seed,
+        diff_accesses(),
+    );
+    let geom = pressure_geom();
+    let mut new = SetAssocCache::new(geom, make_policy(geom));
+    assert_equivalent(
+        name,
+        RefSetAssoc::new(geom, make_policy(geom)),
+        &mut new,
+        geom,
+        seed ^ 0xFF,
+        diff_accesses() / 10,
+    );
+}
+
+#[test]
+fn lru_matches_reference() {
+    run_setassoc_diff("LRU", |g| Box::new(Lru::new(g)), 0xD1FF_1001);
+}
+
+#[test]
+fn dip_matches_reference() {
+    run_setassoc_diff("DIP", |g| Box::new(Dip::new(g)), 0xD1FF_1002);
+}
+
+#[test]
+fn pelifo_matches_reference() {
+    run_setassoc_diff("PeLIFO", |g| Box::new(PeLifo::new(g)), 0xD1FF_1003);
+}
+
+// ---------------------------------------------------------------------------
+// Reference scheme: dynamic SBC.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RefSbcLine {
+    line: LineAddr,
+    dirty: bool,
+    foreign: bool,
+}
+
+struct RefSbc {
+    geom: CacheGeometry,
+    lines: Vec<Vec<Option<RefSbcLine>>>,
+    ranks: Vec<RefRecency>,
+    sat: Vec<u32>,
+    sat_max: u32,
+    assoc: AssociationTable,
+    is_source: Vec<bool>,
+    foreign_count: Vec<u32>,
+    dss: DestinationSetSelector,
+    stats: CacheStats,
+}
+
+impl RefSbc {
+    fn new(geom: CacheGeometry) -> Self {
+        let cfg = SbcConfig::default();
+        let sat_max = cfg.sat_max_factor * geom.ways() as u32;
+        RefSbc {
+            geom,
+            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            ranks: vec![RefRecency::new(geom.ways()); geom.sets()],
+            sat: vec![0; geom.sets()],
+            sat_max,
+            assoc: AssociationTable::new(geom.sets()),
+            is_source: vec![false; geom.sets()],
+            foreign_count: vec![0; geom.sets()],
+            dss: DestinationSetSelector::new(cfg.dss_capacity),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn sat_inc(&mut self, set: usize) {
+        self.sat[set] = (self.sat[set] + 1).min(self.sat_max);
+        if self.sat[set] == self.sat_max && self.assoc.is_coupled(set) && !self.is_source[set] {
+            self.force_decouple(set);
+        }
+    }
+
+    fn force_decouple(&mut self, dest: usize) {
+        for way in 0..self.geom.ways() {
+            if self.lines[dest][way].map_or(false, |l| l.foreign) {
+                self.evict_off_chip(dest, way, false);
+            }
+        }
+        if let Some(p) = self.assoc.partner(dest) {
+            self.is_source[p] = false;
+            self.is_source[dest] = false;
+            self.assoc.decouple(dest);
+            self.stats.record_decoupling();
+        }
+    }
+
+    fn sat_dec(&mut self, set: usize) {
+        self.sat[set] = self.sat[set].saturating_sub(1);
+        if self.sat[set] < self.sat_max / 2 && !self.assoc.is_coupled(set) {
+            self.dss.post(set, self.sat[set]);
+        }
+    }
+
+    fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
+        self.lines[set]
+            .iter()
+            .position(|l| matches!(l, Some(e) if e.line == line))
+    }
+
+    fn find_free_way(&self, set: usize) -> Option<usize> {
+        self.lines[set].iter().position(Option::is_none)
+    }
+
+    fn evict_off_chip(&mut self, set: usize, way: usize, allow_decouple: bool) {
+        let old = self.lines[set][way]
+            .take()
+            .expect("eviction of invalid way");
+        self.stats.record_eviction();
+        if old.dirty {
+            self.stats.record_writeback();
+        }
+        if old.foreign {
+            self.foreign_count[set] -= 1;
+            if allow_decouple && self.foreign_count[set] == 0 {
+                if let Some(p) = self.assoc.partner(set) {
+                    self.is_source[p] = false;
+                    self.is_source[set] = false;
+                    self.assoc.decouple(set);
+                    self.stats.record_decoupling();
+                }
+            }
+        }
+    }
+
+    fn receive(&mut self, dest: usize, line: LineAddr, dirty: bool) {
+        let way = match self.find_free_way(dest) {
+            Some(w) => w,
+            None => {
+                let victim = self.ranks[dest].lru_way();
+                self.evict_off_chip(dest, victim, false);
+                victim
+            }
+        };
+        self.lines[dest][way] = Some(RefSbcLine {
+            line,
+            dirty,
+            foreign: true,
+        });
+        self.ranks[dest].touch_mru(way);
+        self.foreign_count[dest] += 1;
+        self.stats.record_receive();
+    }
+
+    fn dispose_victim(&mut self, set: usize, way: usize) {
+        let victim = self.lines[set][way].expect("victim way must be valid");
+        if victim.foreign {
+            self.evict_off_chip(set, way, true);
+            return;
+        }
+        match self.assoc.partner(set) {
+            Some(dest) if self.is_source[set] => {
+                self.lines[set][way] = None;
+                self.stats.record_spill();
+                self.receive(dest, victim.line, victim.dirty);
+            }
+            _ => self.evict_off_chip(set, way, true),
+        }
+    }
+
+    fn try_couple(&mut self, set: usize) {
+        if self.assoc.is_coupled(set) || self.sat[set] < self.sat_max {
+            return;
+        }
+        self.dss.remove(set);
+        while let Some(cand) = self.dss.pop_least() {
+            if cand != set && !self.assoc.is_coupled(cand) && self.sat[cand] < self.sat_max / 2 {
+                self.assoc.couple(set, cand);
+                self.is_source[set] = true;
+                self.is_source[cand] = false;
+                self.stats.record_coupling();
+                return;
+            }
+        }
+    }
+}
+
+impl RefModel for RefSbc {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let line = addr.line(self.geom.line_bytes());
+        let home = self.geom.set_index_of_line(line);
+
+        if let Some(way) = self.find_way(home, line) {
+            self.stats.record_local_hit();
+            self.ranks[home].touch_mru(way);
+            if kind.is_write() {
+                if let Some(l) = &mut self.lines[home][way] {
+                    l.dirty = true;
+                }
+            }
+            self.sat_dec(home);
+            return AccessResult::HitLocal;
+        }
+
+        let partner = self.assoc.partner(home).filter(|_| self.is_source[home]);
+        if let Some(dest) = partner {
+            if let Some(way) = self.find_way(dest, line) {
+                self.stats.record_coop_hit();
+                self.ranks[dest].touch_mru(way);
+                if kind.is_write() {
+                    if let Some(l) = &mut self.lines[dest][way] {
+                        l.dirty = true;
+                    }
+                }
+                self.sat_dec(home);
+                return AccessResult::HitCooperative;
+            }
+        }
+
+        if partner.is_some() {
+            self.stats.record_coop_miss();
+        } else {
+            self.stats.record_local_miss();
+        }
+        self.sat_inc(home);
+        self.try_couple(home);
+
+        let way = match self.find_free_way(home) {
+            Some(w) => w,
+            None => {
+                let victim = self.ranks[home].lru_way();
+                self.dispose_victim(home, victim);
+                victim
+            }
+        };
+        self.lines[home][way] = Some(RefSbcLine {
+            line,
+            dirty: kind.is_write(),
+            foreign: false,
+        });
+        self.ranks[home].touch_mru(way);
+
+        if partner.is_some() {
+            AccessResult::MissCooperative
+        } else {
+            AccessResult::MissLocal
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[test]
+fn sbc_matches_reference() {
+    let geom = paper_geom();
+    let mut new = SbcCache::new(geom);
+    assert_equivalent(
+        "SBC",
+        RefSbc::new(geom),
+        &mut new,
+        geom,
+        0xD1FF_2001,
+        diff_accesses(),
+    );
+    let geom = pressure_geom();
+    let mut new = SbcCache::new(geom);
+    assert_equivalent(
+        "SBC",
+        RefSbc::new(geom),
+        &mut new,
+        geom,
+        0xD1FF_2002,
+        diff_accesses() / 10,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Reference scheme: static SBC.
+// ---------------------------------------------------------------------------
+
+struct RefStaticSbc {
+    geom: CacheGeometry,
+    lines: Vec<Vec<Option<RefSbcLine>>>,
+    ranks: Vec<RefRecency>,
+    sat: Vec<u32>,
+    sat_max: u32,
+    stats: CacheStats,
+}
+
+impl RefStaticSbc {
+    fn new(geom: CacheGeometry) -> Self {
+        RefStaticSbc {
+            geom,
+            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            ranks: vec![RefRecency::new(geom.ways()); geom.sets()],
+            sat: vec![0; geom.sets()],
+            sat_max: 2 * geom.ways() as u32,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn partner_of(&self, set: usize) -> usize {
+        set ^ (self.geom.sets() / 2)
+    }
+
+    fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
+        self.lines[set]
+            .iter()
+            .position(|l| matches!(l, Some(e) if e.line == line))
+    }
+
+    fn find_free_way(&self, set: usize) -> Option<usize> {
+        self.lines[set].iter().position(Option::is_none)
+    }
+
+    fn spills(&self, set: usize) -> bool {
+        let p = self.partner_of(set);
+        self.sat[set] == self.sat_max && self.sat[p] < self.sat_max / 2
+    }
+
+    fn evict_off_chip(&mut self, set: usize, way: usize) {
+        let old = self.lines[set][way]
+            .take()
+            .expect("eviction of invalid way");
+        self.stats.record_eviction();
+        if old.dirty {
+            self.stats.record_writeback();
+        }
+    }
+}
+
+impl RefModel for RefStaticSbc {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let line = addr.line(self.geom.line_bytes());
+        let home = self.geom.set_index_of_line(line);
+        let partner = self.partner_of(home);
+
+        if let Some(way) = self.find_way(home, line) {
+            self.stats.record_local_hit();
+            self.ranks[home].touch_mru(way);
+            if kind.is_write() {
+                if let Some(l) = &mut self.lines[home][way] {
+                    l.dirty = true;
+                }
+            }
+            self.sat[home] = self.sat[home].saturating_sub(1);
+            return AccessResult::HitLocal;
+        }
+
+        let probes_partner = self.spills(home);
+        if probes_partner {
+            if let Some(way) = self.find_way(partner, line) {
+                self.stats.record_coop_hit();
+                self.ranks[partner].touch_mru(way);
+                if kind.is_write() {
+                    if let Some(l) = &mut self.lines[partner][way] {
+                        l.dirty = true;
+                    }
+                }
+                self.sat[home] = self.sat[home].saturating_sub(1);
+                return AccessResult::HitCooperative;
+            }
+        }
+
+        if probes_partner {
+            self.stats.record_coop_miss();
+        } else {
+            self.stats.record_local_miss();
+        }
+        self.sat[home] = (self.sat[home] + 1).min(self.sat_max);
+
+        let way = match self.find_free_way(home) {
+            Some(w) => w,
+            None => {
+                let victim_way = self.ranks[home].lru_way();
+                let victim = self.lines[home][victim_way].expect("victim way valid");
+                if !victim.foreign && self.spills(home) {
+                    self.lines[home][victim_way] = None;
+                    self.stats.record_spill();
+                    let pway = match self.find_free_way(partner) {
+                        Some(w) => w,
+                        None => {
+                            let pv = self.ranks[partner].lru_way();
+                            self.evict_off_chip(partner, pv);
+                            pv
+                        }
+                    };
+                    self.lines[partner][pway] = Some(RefSbcLine {
+                        line: victim.line,
+                        dirty: victim.dirty,
+                        foreign: true,
+                    });
+                    self.ranks[partner].touch_mru(pway);
+                    self.stats.record_receive();
+                } else {
+                    self.evict_off_chip(home, victim_way);
+                }
+                victim_way
+            }
+        };
+        self.lines[home][way] = Some(RefSbcLine {
+            line,
+            dirty: kind.is_write(),
+            foreign: false,
+        });
+        self.ranks[home].touch_mru(way);
+        if probes_partner {
+            AccessResult::MissCooperative
+        } else {
+            AccessResult::MissLocal
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[test]
+fn static_sbc_matches_reference() {
+    let geom = paper_geom();
+    let mut new = StaticSbcCache::new(geom);
+    assert_equivalent(
+        "SBC-static",
+        RefStaticSbc::new(geom),
+        &mut new,
+        geom,
+        0xD1FF_3001,
+        diff_accesses() / 2,
+    );
+    let geom = pressure_geom();
+    let mut new = StaticSbcCache::new(geom);
+    assert_equivalent(
+        "SBC-static",
+        RefStaticSbc::new(geom),
+        &mut new,
+        geom,
+        0xD1FF_3002,
+        diff_accesses() / 10,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Reference scheme: LRU + victim cache.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RefVcLine {
+    line: LineAddr,
+    dirty: bool,
+}
+
+struct RefVictim {
+    geom: CacheGeometry,
+    lines: Vec<Vec<Option<RefVcLine>>>,
+    ranks: Vec<RefRecency>,
+    victims: Vec<RefVcLine>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl RefVictim {
+    fn new(geom: CacheGeometry, capacity: usize) -> Self {
+        RefVictim {
+            geom,
+            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            ranks: vec![RefRecency::new(geom.ways()); geom.sets()],
+            victims: Vec::with_capacity(capacity),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
+        self.lines[set]
+            .iter()
+            .position(|l| matches!(l, Some(e) if e.line == line))
+    }
+
+    fn buffer_victim(&mut self, v: RefVcLine) {
+        if self.victims.len() == self.capacity {
+            let old = self.victims.pop().expect("buffer is full");
+            self.stats.record_eviction();
+            if old.dirty {
+                self.stats.record_writeback();
+            }
+        }
+        self.victims.insert(0, v);
+    }
+
+    fn install(&mut self, set: usize, incoming: RefVcLine) {
+        let way = match self.lines[set].iter().position(Option::is_none) {
+            Some(w) => w,
+            None => {
+                let victim_way = self.ranks[set].lru_way();
+                let victim = self.lines[set][victim_way].take().expect("victim valid");
+                self.stats.record_spill();
+                self.buffer_victim(victim);
+                victim_way
+            }
+        };
+        self.lines[set][way] = Some(incoming);
+        self.ranks[set].touch_mru(way);
+    }
+}
+
+impl RefModel for RefVictim {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let line = addr.line(self.geom.line_bytes());
+        let set = self.geom.set_index_of_line(line);
+
+        if let Some(way) = self.find_way(set, line) {
+            self.stats.record_local_hit();
+            self.ranks[set].touch_mru(way);
+            if kind.is_write() {
+                if let Some(l) = &mut self.lines[set][way] {
+                    l.dirty = true;
+                }
+            }
+            return AccessResult::HitLocal;
+        }
+
+        if let Some(pos) = self.victims.iter().position(|v| v.line == line) {
+            let mut hit = self.victims.remove(pos);
+            self.stats.record_coop_hit();
+            self.stats.record_receive();
+            if kind.is_write() {
+                hit.dirty = true;
+            }
+            self.install(set, hit);
+            return AccessResult::HitCooperative;
+        }
+
+        self.stats.record_coop_miss();
+        self.install(
+            set,
+            RefVcLine {
+                line,
+                dirty: kind.is_write(),
+            },
+        );
+        AccessResult::MissCooperative
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[test]
+fn victim_cache_matches_reference() {
+    let geom = paper_geom();
+    let mut new = VictimCache::new(geom, 16);
+    assert_equivalent(
+        "LRU+VC",
+        RefVictim::new(geom, 16),
+        &mut new,
+        geom,
+        0xD1FF_4001,
+        diff_accesses() / 2,
+    );
+    let geom = pressure_geom();
+    let mut new = VictimCache::new(geom, 4);
+    assert_equivalent(
+        "LRU+VC",
+        RefVictim::new(geom, 4),
+        &mut new,
+        geom,
+        0xD1FF_4002,
+        diff_accesses() / 10,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Reference scheme: V-Way.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RefTagEntry {
+    line: LineAddr,
+    data: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RefDataEntry {
+    rptr_set: u32,
+    rptr_way: u16,
+    reuse: u8,
+    dirty: bool,
+}
+
+struct RefVWay {
+    geom: CacheGeometry,
+    tags: Vec<Vec<Option<RefTagEntry>>>,
+    tag_ranks: Vec<RefRecency>,
+    data: Vec<Option<RefDataEntry>>,
+    free_data: Vec<usize>,
+    clock: usize,
+    max_reuse: u8,
+    stats: CacheStats,
+}
+
+impl RefVWay {
+    fn new(geom: CacheGeometry) -> Self {
+        let cfg = VWayConfig::default();
+        let tag_ways = cfg.tag_data_ratio * geom.ways();
+        let total = geom.total_lines();
+        RefVWay {
+            geom,
+            tags: vec![vec![None; tag_ways]; geom.sets()],
+            tag_ranks: vec![RefRecency::new(tag_ways); geom.sets()],
+            data: vec![None; total],
+            free_data: (0..total).rev().collect(),
+            clock: 0,
+            max_reuse: ((1u32 << cfg.reuse_bits) - 1) as u8,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn find_tag_way(&self, set: usize, line: LineAddr) -> Option<usize> {
+        self.tags[set]
+            .iter()
+            .position(|t| matches!(t, Some(e) if e.line == line))
+    }
+
+    fn find_free_tag_way(&self, set: usize) -> Option<usize> {
+        self.tags[set].iter().position(Option::is_none)
+    }
+
+    fn global_data_victim(&mut self) -> usize {
+        let total = self.data.len();
+        let max_steps = total * (usize::from(self.max_reuse) + 2);
+        for _ in 0..max_steps {
+            let idx = self.clock;
+            self.clock = (self.clock + 1) % total;
+            if let Some(d) = &mut self.data[idx] {
+                if d.reuse == 0 {
+                    let d = *d;
+                    self.tags[d.rptr_set as usize][d.rptr_way as usize] = None;
+                    self.data[idx] = None;
+                    self.stats.record_eviction();
+                    if d.dirty {
+                        self.stats.record_writeback();
+                    }
+                    return idx;
+                }
+                d.reuse -= 1;
+            }
+        }
+        panic!("reference V-Way found no global victim");
+    }
+}
+
+impl RefModel for RefVWay {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let line = addr.line(self.geom.line_bytes());
+        let set = self.geom.set_index_of_line(line);
+
+        if let Some(way) = self.find_tag_way(set, line) {
+            self.stats.record_local_hit();
+            self.tag_ranks[set].touch_mru(way);
+            let data_idx = self.tags[set][way]
+                .expect("find_tag_way returned a valid way")
+                .data;
+            let d = self.data[data_idx].as_mut().expect("hit tag has data");
+            d.reuse = (d.reuse + 1).min(self.max_reuse);
+            if kind.is_write() {
+                d.dirty = true;
+            }
+            return AccessResult::HitLocal;
+        }
+
+        self.stats.record_local_miss();
+
+        let (tag_way, data_idx) = match self.find_free_tag_way(set) {
+            Some(w) => {
+                let idx = match self.free_data.pop() {
+                    Some(i) => i,
+                    None => self.global_data_victim(),
+                };
+                (w, idx)
+            }
+            None => {
+                let w = self.tag_ranks[set].lru_way();
+                let victim = self.tags[set][w].expect("full set has only valid tags");
+                let old = self.data[victim.data].expect("victim tag has data");
+                self.stats.record_eviction();
+                if old.dirty {
+                    self.stats.record_writeback();
+                }
+                self.tags[set][w] = None;
+                self.data[victim.data] = None;
+                (w, victim.data)
+            }
+        };
+
+        self.tags[set][tag_way] = Some(RefTagEntry {
+            line,
+            data: data_idx,
+        });
+        self.data[data_idx] = Some(RefDataEntry {
+            rptr_set: set as u32,
+            rptr_way: tag_way as u16,
+            reuse: 0,
+            dirty: kind.is_write(),
+        });
+        self.tag_ranks[set].touch_mru(tag_way);
+        AccessResult::MissLocal
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[test]
+fn vway_matches_reference() {
+    let geom = paper_geom();
+    let mut new = VWayCache::new(geom);
+    assert_equivalent(
+        "V-Way",
+        RefVWay::new(geom),
+        &mut new,
+        geom,
+        0xD1FF_5001,
+        diff_accesses(),
+    );
+    let geom = pressure_geom();
+    let mut new = VWayCache::new(geom);
+    assert_equivalent(
+        "V-Way",
+        RefVWay::new(geom),
+        &mut new,
+        geom,
+        0xD1FF_5002,
+        diff_accesses() / 10,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Reference scheme: STEM.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RefStemLine {
+    line: LineAddr,
+    dirty: bool,
+    cc: bool,
+}
+
+/// The old `StemCache` data path. The monitors, association table, heap,
+/// hasher and config are the real (unchanged) public components; only the
+/// tag store and recency ranking — the parts the refactor touched — are the
+/// old nested layouts. The RNG is pulled in and out with `mem::replace`
+/// exactly like the original, so the SplitMix64 stream consumption order is
+/// identical call for call.
+struct RefStem {
+    geom: CacheGeometry,
+    cfg: StemConfig,
+    lines: Vec<Vec<Option<RefStemLine>>>,
+    ranks: Vec<RefRecency>,
+    set_policy: Vec<PolicyKind>,
+    monitors: Vec<SetMonitor>,
+    assoc: AssociationTable,
+    is_taker: Vec<bool>,
+    cc_count: Vec<u32>,
+    heap: DestinationSetSelector,
+    hasher: TagHasher,
+    rng: SplitMix64,
+    stats: CacheStats,
+}
+
+impl RefStem {
+    fn new(geom: CacheGeometry, cfg: StemConfig) -> Self {
+        cfg.validate().expect("valid config");
+        RefStem {
+            geom,
+            lines: vec![vec![None; geom.ways()]; geom.sets()],
+            ranks: vec![RefRecency::new(geom.ways()); geom.sets()],
+            set_policy: vec![PolicyKind::Lru; geom.sets()],
+            monitors: (0..geom.sets())
+                .map(|_| {
+                    SetMonitor::new(
+                        geom.ways(),
+                        cfg.counter_bits,
+                        cfg.spatial_ratio_log2,
+                        cfg.shadow_tag_bits,
+                    )
+                })
+                .collect(),
+            assoc: AssociationTable::new(geom.sets()),
+            is_taker: vec![false; geom.sets()],
+            cc_count: vec![0; geom.sets()],
+            heap: DestinationSetSelector::new(cfg.heap_capacity),
+            hasher: TagHasher::new(cfg.shadow_tag_bits, cfg.seed ^ 0x4343),
+            rng: SplitMix64::new(cfg.seed),
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
+        self.lines[set]
+            .iter()
+            .position(|l| matches!(l, Some(e) if e.line == line))
+    }
+
+    fn find_free_way(&self, set: usize) -> Option<usize> {
+        self.lines[set].iter().position(Option::is_none)
+    }
+
+    fn sig_of(&self, line: LineAddr) -> u16 {
+        self.hasher.hash(self.geom.tag_of_line(line))
+    }
+
+    fn insert_rank(&mut self, set: usize, way: usize) {
+        match self.set_policy[set] {
+            PolicyKind::Lru => self.ranks[set].touch_mru(way),
+            PolicyKind::Bip => {
+                if self.rng.one_in_pow2(self.cfg.bip_throttle_log2) {
+                    self.ranks[set].touch_mru(way);
+                } else {
+                    self.ranks[set].demote_lru(way);
+                }
+            }
+        }
+    }
+
+    fn update_heap_status(&mut self, set: usize) {
+        if self.cfg.spatial_coupling && !self.assoc.is_coupled(set) && self.monitors[set].is_giver()
+        {
+            self.heap.post(set, self.monitors[set].saturation_level());
+        } else {
+            self.heap.remove(set);
+        }
+    }
+
+    fn monitor_hit(&mut self, home: usize) {
+        self.monitors[home].on_llc_hit(&mut self.rng);
+        self.update_heap_status(home);
+    }
+
+    fn probe_shadow(&mut self, home: usize, sig: u16) {
+        if self.monitors[home].shadow_mut().probe_invalidate(sig) {
+            let ev = self.monitors[home].on_shadow_hit();
+            if ev.swap_policy {
+                if self.cfg.temporal_adaptation {
+                    self.set_policy[home] = self.set_policy[home].opposite();
+                    self.stats.record_policy_swap();
+                }
+                self.monitors[home].acknowledge_swap();
+            }
+        } else {
+            let mut rng = std::mem::replace(&mut self.rng, SplitMix64::new(0));
+            self.monitors[home].on_shadow_miss(&mut rng);
+            self.rng = rng;
+        }
+        self.update_heap_status(home);
+    }
+
+    fn try_couple(&mut self, taker: usize) {
+        if !self.cfg.spatial_coupling || self.assoc.is_coupled(taker) {
+            return;
+        }
+        self.heap.remove(taker);
+        while let Some(cand) = self.heap.pop_least() {
+            if cand != taker && !self.assoc.is_coupled(cand) && self.monitors[cand].is_giver() {
+                self.assoc.couple(taker, cand);
+                self.is_taker[taker] = true;
+                self.is_taker[cand] = false;
+                self.stats.record_coupling();
+                return;
+            }
+        }
+    }
+
+    fn evict_off_chip(&mut self, set: usize, way: usize, allow_decouple: bool) {
+        let old = self.lines[set][way].take().expect("eviction of valid way");
+        self.stats.record_eviction();
+        if old.dirty {
+            self.stats.record_writeback();
+        }
+        if old.cc {
+            self.cc_count[set] -= 1;
+            if allow_decouple && self.cc_count[set] == 0 {
+                if let Some(p) = self.assoc.partner(set) {
+                    self.is_taker[p] = false;
+                    self.is_taker[set] = false;
+                    self.assoc.decouple(set);
+                    self.stats.record_decoupling();
+                }
+            }
+        } else {
+            let sig = self.sig_of(old.line);
+            let shadow_policy = self.set_policy[set].opposite();
+            let throttle = self.cfg.bip_throttle_log2;
+            let mut rng = std::mem::replace(&mut self.rng, SplitMix64::new(0));
+            self.monitors[set]
+                .shadow_mut()
+                .insert(sig, shadow_policy, throttle, &mut rng);
+            self.rng = rng;
+        }
+    }
+
+    fn receive(&mut self, giver: usize, line: LineAddr, dirty: bool) -> bool {
+        let way = match self.find_free_way(giver) {
+            Some(w) => w,
+            None => {
+                let victim = self.ranks[giver].lru_way();
+                let victim_is_native = !self.lines[giver][victim].map_or(false, |l| l.cc);
+                if victim_is_native {
+                    let native = self.lines[giver].iter().flatten().filter(|l| !l.cc).count();
+                    if native + 3 > self.geom.ways() {
+                        return false;
+                    }
+                }
+                self.evict_off_chip(giver, victim, false);
+                victim
+            }
+        };
+        self.lines[giver][way] = Some(RefStemLine {
+            line,
+            dirty,
+            cc: true,
+        });
+        self.insert_rank(giver, way);
+        self.cc_count[giver] += 1;
+        self.stats.record_receive();
+        true
+    }
+
+    fn can_receive(&self, giver: usize) -> bool {
+        !self.cfg.receive_constraint || self.monitors[giver].can_receive()
+    }
+
+    fn dispose_victim(&mut self, home: usize, way: usize) {
+        let victim = self.lines[home][way].expect("victim way valid");
+        if victim.cc {
+            self.evict_off_chip(home, way, true);
+            return;
+        }
+
+        if self.monitors[home].is_taker() {
+            self.try_couple(home);
+        }
+
+        if let Some(giver) = self.assoc.partner(home) {
+            if self.is_taker[home]
+                && !self.monitors[home].is_giver()
+                && self.can_receive(giver)
+                && self.receive(giver, victim.line, victim.dirty)
+            {
+                let sig = self.sig_of(victim.line);
+                let shadow_policy = self.set_policy[home].opposite();
+                let throttle = self.cfg.bip_throttle_log2;
+                let mut rng = std::mem::replace(&mut self.rng, SplitMix64::new(0));
+                self.monitors[home]
+                    .shadow_mut()
+                    .insert(sig, shadow_policy, throttle, &mut rng);
+                self.rng = rng;
+
+                self.lines[home][way] = None;
+                self.stats.record_spill();
+                return;
+            }
+        }
+
+        self.evict_off_chip(home, way, true);
+    }
+}
+
+impl RefModel for RefStem {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let line = addr.line(self.geom.line_bytes());
+        let home = self.geom.set_index_of_line(line);
+
+        if let Some(way) = self.find_way(home, line) {
+            self.stats.record_local_hit();
+            self.ranks[home].touch_mru(way);
+            if kind.is_write() {
+                if let Some(l) = &mut self.lines[home][way] {
+                    l.dirty = true;
+                }
+            }
+            self.monitor_hit(home);
+            return AccessResult::HitLocal;
+        }
+
+        let probe_partner = self.assoc.partner(home).filter(|_| self.is_taker[home]);
+        if let Some(giver) = probe_partner {
+            if let Some(way) = self.find_way(giver, line) {
+                self.stats.record_coop_hit();
+                self.ranks[giver].touch_mru(way);
+                if kind.is_write() {
+                    if let Some(l) = &mut self.lines[giver][way] {
+                        l.dirty = true;
+                    }
+                }
+                self.monitor_hit(home);
+                return AccessResult::HitCooperative;
+            }
+        }
+
+        let sig = self.sig_of(line);
+        self.probe_shadow(home, sig);
+        if probe_partner.is_some() {
+            self.stats.record_coop_miss();
+        } else {
+            self.stats.record_local_miss();
+        }
+
+        let way = match self.find_free_way(home) {
+            Some(w) => w,
+            None => {
+                let victim = self.ranks[home].lru_way();
+                self.dispose_victim(home, victim);
+                victim
+            }
+        };
+        self.lines[home][way] = Some(RefStemLine {
+            line,
+            dirty: kind.is_write(),
+            cc: false,
+        });
+        self.insert_rank(home, way);
+
+        if probe_partner.is_some() {
+            AccessResult::MissCooperative
+        } else {
+            AccessResult::MissLocal
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[test]
+fn stem_matches_reference() {
+    let geom = paper_geom();
+    let mut new = StemCache::with_config(geom, StemConfig::micro2010());
+    assert_equivalent(
+        "STEM",
+        RefStem::new(geom, StemConfig::micro2010()),
+        &mut new,
+        geom,
+        0xD1FF_6001,
+        diff_accesses(),
+    );
+    let geom = pressure_geom();
+    let mut new = StemCache::with_config(geom, StemConfig::micro2010());
+    assert_equivalent(
+        "STEM",
+        RefStem::new(geom, StemConfig::micro2010()),
+        &mut new,
+        geom,
+        0xD1FF_6002,
+        diff_accesses() / 10,
+    );
+    // The ablations ride the same data path with different branches taken;
+    // a shorter pass each keeps the whole config surface covered.
+    for (i, cfg) in [
+        StemConfig::micro2010().with_receive_constraint(false),
+        StemConfig::micro2010().with_temporal_adaptation(false),
+        StemConfig::micro2010().with_spatial_coupling(false),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let geom = pressure_geom();
+        let mut new = StemCache::with_config(geom, cfg);
+        assert_equivalent(
+            "STEM-ablated",
+            RefStem::new(geom, cfg),
+            &mut new,
+            geom,
+            0xD1FF_6100 + i as u64,
+            diff_accesses() / 20,
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Set-level capacity-demand characterisation (the §3.1 methodology behind
 //! Fig. 1).
 
-use stem_sim_core::{CacheGeometry, Trace};
+use stem_sim_core::{CacheGeometry, DecodedTrace, LineAddr, Trace};
 
 use crate::StackDistance;
 
@@ -111,6 +111,36 @@ impl CapacityDemandProfiler {
     /// Profiles a trace, returning one [`DemandHistogram`] per complete
     /// (or trailing partial) sampling period.
     pub fn profile(&self, trace: &Trace) -> Vec<DemandHistogram> {
+        let line_bytes = self.geom.line_bytes();
+        self.profile_stream(trace.iter().map(|a| {
+            let line = a.addr.line(line_bytes);
+            (line, self.geom.set_index_of_line(line))
+        }))
+    }
+
+    /// Decoded-stream twin of [`profile`](Self::profile): profiles a
+    /// pre-decoded trace without re-deriving line addresses and set
+    /// indices, returning identical histograms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace was decoded against a different set count or
+    /// line size than this profiler's geometry.
+    pub fn profile_decoded(&self, trace: &DecodedTrace) -> Vec<DemandHistogram> {
+        assert!(
+            trace.compatible_with(self.geom),
+            "trace decoded for {:?} is incompatible with profiler geometry {:?}",
+            trace.geometry(),
+            self.geom
+        );
+        self.profile_stream(trace.iter().map(|a| (a.line, a.set as usize)))
+    }
+
+    /// The shared profiling loop over a `(line, set)` stream.
+    fn profile_stream(
+        &self,
+        stream: impl Iterator<Item = (LineAddr, usize)>,
+    ) -> Vec<DemandHistogram> {
         let mut sd = StackDistance::new(self.geom, self.max_ways);
         let mut periods = Vec::new();
         // Max distance ≤ max_ways seen per set this period (0 = no reuse).
@@ -128,9 +158,8 @@ impl CapacityDemandProfiler {
             }
         };
 
-        for a in trace {
-            if let Some(d) = sd.access(a.addr) {
-                let set = self.geom.set_index(a.addr);
+        for (line, set) in stream {
+            if let Some(d) = sd.access_line(line, set) {
                 if d <= self.max_ways && d > max_dist[set] {
                     max_dist[set] = d;
                 }
@@ -163,7 +192,7 @@ impl CapacityDemandProfiler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stem_sim_core::{Access, Address};
+    use stem_sim_core::Access;
 
     fn geom() -> CacheGeometry {
         CacheGeometry::new(4, 4, 64).unwrap()
@@ -251,6 +280,28 @@ mod tests {
             prev = f;
         }
         assert!((prev - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_decoded_matches_profile() {
+        let g = geom();
+        let profiler = CapacityDemandProfiler::new(g, 32, 7);
+        let mut t = cyclic_trace(g, 0, 5, 6);
+        for a in cyclic_trace(g, 3, 2, 9) {
+            t.push(a);
+        }
+        let decoded = DecodedTrace::decode(&t, g);
+        assert_eq!(profiler.profile(&t), profiler.profile_decoded(&decoded));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn profile_decoded_rejects_foreign_geometry() {
+        let g = geom();
+        let other = CacheGeometry::new(8, 4, 64).unwrap();
+        let t = cyclic_trace(g, 0, 3, 2);
+        let decoded = DecodedTrace::decode(&t, other);
+        let _ = CapacityDemandProfiler::new(g, 32, 10).profile_decoded(&decoded);
     }
 
     #[test]

@@ -36,8 +36,9 @@ pub use classify::{classify_workload, ClassificationReport};
 pub use mrc::MissRateCurve;
 pub use report::{geomean, Table};
 pub use scheme::{
-    assoc_point, assoc_sweep, build_audited_cache, build_cache, run_scheme, run_scheme_warmed,
-    run_system, Scheme,
+    assoc_point, assoc_point_decoded, assoc_sweep, assoc_sweep_decoded, build_audited_cache,
+    build_cache, run_scheme, run_scheme_warmed, run_scheme_warmed_decoded, run_system,
+    run_system_decoded, Scheme,
 };
 pub use stack_distance::StackDistance;
 

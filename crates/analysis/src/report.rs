@@ -142,7 +142,7 @@ mod tests {
     #[test]
     fn geomean_tolerates_zero() {
         let g = geomean(&[0.0, 1.0]);
-        assert!(g >= 0.0 && g < 1.0);
+        assert!((0.0..1.0).contains(&g));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::str::FromStr;
 use stem_hierarchy::{System, SystemConfig, SystemMetrics};
 use stem_llc::{StemCache, StemConfig};
 use stem_replacement::{Bip, Dip, Drrip, Lru, Nru, PeLifo, Plru, SetAssocCache, Srrip};
-use stem_sim_core::{AuditedCacheModel, CacheGeometry, CacheModel, Trace};
+use stem_sim_core::{AuditedCacheModel, CacheGeometry, CacheModel, DecodedTrace, Trace};
 use stem_spatial::{SbcCache, StaticSbcCache, VWayCache, VictimCache};
 
 /// Every LLC scheme the workspace can evaluate.
@@ -195,6 +195,26 @@ pub fn run_scheme_warmed(
     cache.stats().mpki(instructions.max(1))
 }
 
+/// Decoded-stream twin of [`run_scheme_warmed`]: replays a pre-decoded
+/// trace against a bare LLC with the same warm-up protocol and returns the
+/// same MPKI, without re-deriving set indices and tags per access. Callers
+/// decode once per `(trace, set count, line size)` and fan the
+/// [`DecodedTrace`] out across schemes and associativity points.
+pub fn run_scheme_warmed_decoded(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    trace: &DecodedTrace,
+    warmup_fraction: f64,
+) -> f64 {
+    let mut cache = build_cache(scheme, geom);
+    let warm_len = ((trace.len() as f64) * warmup_fraction.clamp(0.0, 0.9)) as usize;
+    cache.replay_decoded(trace, 0..warm_len);
+    cache.reset_stats();
+    cache.replay_decoded(trace, warm_len..trace.len());
+    let instructions = trace.instructions_in(warm_len..trace.len());
+    cache.stats().mpki(instructions.max(1))
+}
+
 /// Runs a trace through the full system (core + L1 + LLC) with a warm-up
 /// prefix and returns end-to-end metrics. `warmup_fraction` of the trace
 /// (from the front) is replayed unmeasured first, mirroring the paper's
@@ -213,6 +233,21 @@ pub fn run_system(
     system.warm_then_run(&warm, &measured)
 }
 
+/// Decoded-stream twin of [`run_system`]: runs a pre-decoded trace through
+/// the full system with the same warm-up split and returns identical
+/// metrics, without materialising warm/measured trace copies.
+pub fn run_system_decoded(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    cfg: SystemConfig,
+    trace: &DecodedTrace,
+    warmup_fraction: f64,
+) -> SystemMetrics {
+    let mut system = System::new(cfg, build_cache(scheme, geom));
+    let warm_len = ((trace.len() as f64) * warmup_fraction.clamp(0.0, 0.9)) as usize;
+    system.warm_then_run_decoded(trace, warm_len)
+}
+
 /// One point of the Fig. 3 / Fig. 10 associativity sweep: the MPKI of
 /// `scheme` at `ways` ways with `base`'s set count and line size, after
 /// the standard 20% warm-up. The trace is taken by shared reference so
@@ -226,6 +261,25 @@ pub fn assoc_point(scheme: Scheme, base: CacheGeometry, ways: usize, trace: &Tra
     let geom =
         CacheGeometry::new(base.sets(), ways, base.line_bytes()).expect("sweep geometry is valid");
     run_scheme_warmed(scheme, geom, trace, 0.2)
+}
+
+/// Decoded-stream twin of [`assoc_point`]: evaluates one associativity
+/// point from a shared [`DecodedTrace`]. The sweeps keep the set count and
+/// line size fixed while varying ways, so one decode (against `base`)
+/// stays compatible with every point geometry.
+///
+/// # Panics
+///
+/// Panics if `ways` is zero (no valid cache geometry).
+pub fn assoc_point_decoded(
+    scheme: Scheme,
+    base: CacheGeometry,
+    ways: usize,
+    trace: &DecodedTrace,
+) -> f64 {
+    let geom =
+        CacheGeometry::new(base.sets(), ways, base.line_bytes()).expect("sweep geometry is valid");
+    run_scheme_warmed_decoded(scheme, geom, trace, 0.2)
 }
 
 /// Sweeps associativity with a fixed set count (the Fig. 3 / Fig. 10
@@ -244,6 +298,24 @@ pub fn assoc_sweep(
     ways_points
         .iter()
         .map(|&w| (w, assoc_point(scheme, base, w, trace)))
+        .collect()
+}
+
+/// Decoded-stream twin of [`assoc_sweep`]: every point replays the shared
+/// pre-decoded trace.
+///
+/// # Panics
+///
+/// Panics if any entry of `ways_points` is zero.
+pub fn assoc_sweep_decoded(
+    scheme: Scheme,
+    base: CacheGeometry,
+    ways_points: &[usize],
+    trace: &DecodedTrace,
+) -> Vec<(usize, f64)> {
+    ways_points
+        .iter()
+        .map(|&w| (w, assoc_point_decoded(scheme, base, w, trace)))
         .collect()
 }
 
@@ -315,6 +387,49 @@ mod tests {
         assert_eq!(sweep.len(), 4);
         for (w, mpki) in sweep {
             assert!(mpki >= 0.0, "ways {w}");
+        }
+    }
+
+    #[test]
+    fn decoded_runners_match_access_path_exactly() {
+        let geom = small();
+        let trace = BenchmarkProfile::by_name("omnetpp")
+            .unwrap()
+            .trace(geom, 20_000);
+        let decoded = DecodedTrace::decode(&trace, geom);
+        for scheme in Scheme::PAPER {
+            let reference = run_scheme_warmed(scheme, geom, &trace, 0.2);
+            let fast = run_scheme_warmed_decoded(scheme, geom, &decoded, 0.2);
+            assert_eq!(
+                reference.to_bits(),
+                fast.to_bits(),
+                "{scheme} bare-LLC MPKI diverged"
+            );
+            // One decode serves every point of an associativity sweep.
+            for ways in [2usize, 8] {
+                let reference = assoc_point(scheme, geom, ways, &trace);
+                let fast = assoc_point_decoded(scheme, geom, ways, &decoded);
+                assert_eq!(
+                    reference.to_bits(),
+                    fast.to_bits(),
+                    "{scheme} sweep point at {ways} ways diverged"
+                );
+            }
+            let cfg = SystemConfig::micro2010();
+            let reference = run_system(scheme, geom, cfg, &trace, 0.2);
+            let fast = run_system_decoded(scheme, geom, cfg, &decoded, 0.2);
+            assert_eq!(reference.accesses, fast.accesses, "{scheme} accesses");
+            assert_eq!(reference.l2, fast.l2, "{scheme} L2 stats diverged");
+            assert_eq!(
+                reference.cpi.to_bits(),
+                fast.cpi.to_bits(),
+                "{scheme} CPI diverged"
+            );
+            assert_eq!(
+                reference.mpki.to_bits(),
+                fast.mpki.to_bits(),
+                "{scheme} system MPKI diverged"
+            );
         }
     }
 

@@ -55,13 +55,25 @@ impl StackDistance {
     /// `None` for a cold/beyond-depth access.
     pub fn access(&mut self, addr: Address) -> Option<usize> {
         let line = addr.line(self.geom.line_bytes());
-        let set = self.geom.set_index_of_line(line);
+        self.access_line(line, self.geom.set_index_of_line(line))
+    }
+
+    /// Decoded-stream entry point: records an access whose line address and
+    /// set index are already extracted (e.g. from a
+    /// [`DecodedTrace`](stem_sim_core::DecodedTrace)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range for the geometry.
+    #[inline]
+    pub fn access_line(&mut self, line: LineAddr, set: usize) -> Option<usize> {
         let stack = &mut self.stacks[set];
         let found = stack.iter().position(|&l| l == line);
         match found {
             Some(pos) => {
-                stack.remove(pos);
-                stack.insert(0, line);
+                // Move-to-front as one prefix rotation instead of the
+                // remove + insert(0) pair, which each memmove the prefix.
+                stack[..=pos].rotate_right(1);
                 Some(pos + 1)
             }
             None => {
@@ -127,6 +139,46 @@ mod tests {
         sd.access(addr(g, 2, 0));
         sd.access(addr(g, 3, 0)); // pushes tag 1 off the 2-deep stack
         assert_eq!(sd.access(addr(g, 1, 0)), None);
+    }
+
+    #[test]
+    fn rotation_matches_remove_insert_reference() {
+        let g = geom();
+        let mut sd = StackDistance::new(g, 4);
+        // Naive move-to-front model (the pre-rotation implementation) of
+        // one set's stack; every distance must be unchanged.
+        let mut model: Vec<u64> = Vec::new();
+        let seq = [1u64, 2, 3, 1, 4, 2, 2, 5, 6, 3, 1, 4, 4, 6, 2, 1, 5, 5, 3];
+        for &tag in &seq {
+            let expected = match model.iter().position(|&t| t == tag) {
+                Some(pos) => {
+                    model.remove(pos);
+                    model.insert(0, tag);
+                    Some(pos + 1)
+                }
+                None => {
+                    model.insert(0, tag);
+                    model.truncate(4);
+                    None
+                }
+            };
+            assert_eq!(sd.access(addr(g, tag, 0)), expected, "tag {tag}");
+        }
+    }
+
+    #[test]
+    fn access_line_matches_access() {
+        let g = geom();
+        let mut byte_path = StackDistance::new(g, 4);
+        let mut line_path = StackDistance::new(g, 4);
+        for t in [1u64, 2, 1, 3, 9, 2, 9, 1, 4, 3] {
+            let a = addr(g, t, (t % 2) as usize);
+            let line = a.line(g.line_bytes());
+            assert_eq!(
+                byte_path.access(a),
+                line_path.access_line(line, g.set_index_of_line(line))
+            );
+        }
     }
 
     #[test]

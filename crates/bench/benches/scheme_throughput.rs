@@ -15,8 +15,8 @@
 use std::time::Duration;
 
 use stem_analysis::{build_cache, geomean, Scheme};
-use stem_bench::timing::{best_of, throughput_line};
-use stem_sim_core::CacheGeometry;
+use stem_bench::timing::{best_of, best_of_paired, throughput_line};
+use stem_sim_core::{CacheGeometry, DecodedTrace};
 use stem_workloads::BenchmarkProfile;
 
 /// How many accesses each timed iteration replays.
@@ -28,9 +28,30 @@ fn bench_accesses() -> usize {
         .unwrap_or(100_000)
 }
 
+/// Appends one per-scheme JSON series (`"schemes"` or `"decoded"`).
+fn push_series(json: &mut String, key: &str, accesses: u64, results: &[(&str, Duration)]) {
+    json.push_str(&format!("  \"{key}\": [\n"));
+    for (i, (label, d)) in results.iter().enumerate() {
+        let melems = accesses as f64 / d.as_secs_f64().max(1e-12) / 1e6;
+        json.push_str(&format!(
+            "    {{\"scheme\": \"{label}\", \"best_secs\": {:.6}, \"melem_per_s\": {melems:.4}}}{}\n",
+            d.as_secs_f64(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]");
+}
+
 /// Writes the machine-readable summary to
 /// `$STEM_CSV_DIR/BENCH_throughput.json` when the variable is set.
-fn maybe_json(accesses: u64, reps: usize, results: &[(&str, Duration)], geomean_melems: f64) {
+fn maybe_json(
+    accesses: u64,
+    reps: usize,
+    results: &[(&str, Duration)],
+    geomean_melems: f64,
+    decoded: &[(&str, Duration)],
+    decoded_geomean_melems: f64,
+) {
     let Ok(dir) = std::env::var("STEM_CSV_DIR") else {
         return;
     };
@@ -40,16 +61,17 @@ fn maybe_json(accesses: u64, reps: usize, results: &[(&str, Duration)], geomean_
     json.push_str(&format!(
         "  \"geomean_melem_per_s\": {geomean_melems:.4},\n"
     ));
-    json.push_str("  \"schemes\": [\n");
-    for (i, (label, d)) in results.iter().enumerate() {
-        let melems = accesses as f64 / d.as_secs_f64().max(1e-12) / 1e6;
-        json.push_str(&format!(
-            "    {{\"scheme\": \"{label}\", \"best_secs\": {:.6}, \"melem_per_s\": {melems:.4}}}{}\n",
-            d.as_secs_f64(),
-            if i + 1 < results.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
+    json.push_str(&format!(
+        "  \"decoded_geomean_melem_per_s\": {decoded_geomean_melems:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"decoded_vs_access_speedup\": {:.4},\n",
+        decoded_geomean_melems / geomean_melems.max(1e-12)
+    ));
+    push_series(&mut json, "schemes", accesses, results);
+    json.push_str(",\n");
+    push_series(&mut json, "decoded", accesses, decoded);
+    json.push_str("\n}\n");
     let path = std::path::Path::new(&dir).join("BENCH_throughput.json");
     if let Err(e) = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, json)) {
         eprintln!("warning: could not write {}: {e}", path.display());
@@ -63,21 +85,41 @@ fn main() {
         .expect("suite benchmark")
         .trace(geom, bench_accesses());
 
+    // The byte-`Access` path and the pre-decoded SoA stream are timed
+    // *interleaved* per scheme (see `best_of_paired`): on a shared host the
+    // clock drifts over seconds, and timing one whole series before the
+    // other would hand the faster window to whichever ran first. Decode
+    // cost is excluded from the decoded series: run_all amortizes one
+    // decode per benchmark over all scheme cells.
+    let dtrace = DecodedTrace::decode(&trace, geom);
+    let mut results: Vec<(&str, Duration)> = Vec::new();
+    let mut decoded: Vec<(&str, Duration)> = Vec::new();
+    for scheme in Scheme::PAPER {
+        let (da, dd) = best_of_paired(
+            REPS,
+            || {
+                let mut cache = build_cache(scheme, geom);
+                for a in &trace {
+                    cache.access(a.addr, a.kind);
+                }
+                cache.stats().misses()
+            },
+            || {
+                let mut cache = build_cache(scheme, geom);
+                cache.run_decoded(&dtrace);
+                cache.stats().misses()
+            },
+        );
+        results.push((scheme.label(), da));
+        decoded.push((scheme.label(), dd));
+    }
+
     println!(
         "# scheme_access ({} accesses/iteration, best of {REPS})",
         trace.len()
     );
-    let mut results: Vec<(&str, Duration)> = Vec::new();
-    for scheme in Scheme::PAPER {
-        let d = best_of(REPS, || {
-            let mut cache = build_cache(scheme, geom);
-            for a in &trace {
-                cache.access(a.addr, a.kind);
-            }
-            cache.stats().misses()
-        });
-        println!("{}", throughput_line(scheme.label(), trace.len() as u64, d));
-        results.push((scheme.label(), d));
+    for (label, d) in &results {
+        println!("{}", throughput_line(label, trace.len() as u64, *d));
     }
     let melems: Vec<f64> = results
         .iter()
@@ -85,7 +127,21 @@ fn main() {
         .collect();
     let gm = geomean(&melems);
     println!("geomean: {gm:.2} Melem/s");
-    maybe_json(trace.len() as u64, REPS, &results, gm);
+
+    println!(
+        "\n# scheme_access_decoded ({} accesses/iteration, best of {REPS})",
+        dtrace.len()
+    );
+    for (label, d) in &decoded {
+        println!("{}", throughput_line(label, dtrace.len() as u64, *d));
+    }
+    let decoded_melems: Vec<f64> = decoded
+        .iter()
+        .map(|(_, d)| dtrace.len() as f64 / d.as_secs_f64().max(1e-12) / 1e6)
+        .collect();
+    let dgm = geomean(&decoded_melems);
+    println!("geomean: {dgm:.2} Melem/s ({:.2}x access path)", dgm / gm);
+    maybe_json(trace.len() as u64, REPS, &results, gm, &decoded, dgm);
 
     let bench = BenchmarkProfile::by_name("mcf").expect("suite benchmark");
     let d = best_of(REPS, || bench.trace(geom, 50_000).len());

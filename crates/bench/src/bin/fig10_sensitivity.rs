@@ -4,8 +4,10 @@
 //!
 //! Run with `cargo run --release -p stem-bench --bin fig10_sensitivity`.
 
-use stem_analysis::{assoc_sweep, Scheme, Table};
-use stem_bench::harness::{accesses_per_benchmark, sensitivity_benchmarks, sweep_ways};
+use stem_analysis::{assoc_sweep_decoded, Scheme, Table};
+use stem_bench::harness::{
+    accesses_per_benchmark, prepare_trace, sensitivity_benchmarks, sweep_ways,
+};
 use stem_sim_core::CacheGeometry;
 
 fn main() {
@@ -14,7 +16,7 @@ fn main() {
     let ways = sweep_ways();
 
     for bench in sensitivity_benchmarks() {
-        let trace = bench.trace(base, accesses);
+        let trace = prepare_trace(&bench, base, accesses).trace;
         eprintln!(
             "Fig. 10 ({}) sweeping {} points x 6 schemes...",
             bench.name(),
@@ -25,7 +27,7 @@ fn main() {
         let mut t = Table::new(headers);
         let series: Vec<Vec<(usize, f64)>> = Scheme::PAPER
             .iter()
-            .map(|&s| assoc_sweep(s, base, &ways, &trace))
+            .map(|&s| assoc_sweep_decoded(s, base, &ways, &trace))
             .collect();
         for (i, &w) in ways.iter().enumerate() {
             let values: Vec<f64> = series.iter().map(|v| v[i].1).collect();

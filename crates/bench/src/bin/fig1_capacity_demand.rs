@@ -10,6 +10,7 @@
 //! Run with `cargo run --release -p stem-bench --bin fig1_capacity_demand`.
 
 use stem_analysis::{CapacityDemandProfiler, Table};
+use stem_bench::harness::prepare_trace;
 use stem_sim_core::CacheGeometry;
 use stem_workloads::BenchmarkProfile;
 
@@ -23,9 +24,9 @@ fn main() {
 
     for name in ["omnetpp", "ammp"] {
         let bench = BenchmarkProfile::by_name(name).expect("suite benchmark");
-        let trace = bench.trace(geom, periods * period_len);
+        let trace = prepare_trace(&bench, geom, periods * period_len).trace;
         let profiler = CapacityDemandProfiler::micro2010(geom);
-        let hists = profiler.profile(&trace);
+        let hists = profiler.profile_decoded(&trace);
         eprintln!("{name}: profiled {} periods", hists.len());
 
         let agg = CapacityDemandProfiler::aggregate(&hists);

@@ -3,14 +3,17 @@
 //! organisation of Fig. 1 (the motivation study — STEM excluded; see
 //! `fig10_sensitivity` for the version with STEM).
 //!
-//! Each benchmark's trace is generated once; the (scheme, ways) points
-//! then fan out over `STEM_THREADS` workers, with results assembled in
-//! input order so the tables are byte-identical at any thread count.
+//! Each benchmark's trace is generated and decoded once; the (scheme,
+//! ways) points then fan out over `STEM_THREADS` workers sharing the
+//! decoded stream, with results assembled in input order so the tables are
+//! byte-identical at any thread count.
 //!
 //! Run with `cargo run --release -p stem-bench --bin fig3_assoc_sweep`.
 
-use stem_analysis::{assoc_point, Scheme, Table};
-use stem_bench::harness::{accesses_per_benchmark, sensitivity_benchmarks, sweep_ways};
+use stem_analysis::{assoc_point_decoded, Scheme, Table};
+use stem_bench::harness::{
+    accesses_per_benchmark, prepare_trace, sensitivity_benchmarks, sweep_ways,
+};
 use stem_bench::pool;
 use stem_sim_core::CacheGeometry;
 
@@ -27,7 +30,7 @@ fn main() {
     let ways = sweep_ways();
 
     for bench in sensitivity_benchmarks() {
-        let trace = bench.trace(base, accesses);
+        let trace = prepare_trace(&bench, base, accesses).trace;
         eprintln!(
             "Fig. 3 ({}) sweeping {} points on {} thread(s)...",
             bench.name(),
@@ -40,7 +43,7 @@ fn main() {
                 let trace = &trace;
                 let ways = &ways;
                 ways.iter()
-                    .map(move |&w| move || assoc_point(s, base, w, trace))
+                    .map(move |&w| move || assoc_point_decoded(s, base, w, trace))
             })
             .collect();
         let mpki = pool::map_ordered(jobs);

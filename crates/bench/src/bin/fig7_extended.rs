@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --release -p stem-bench --bin fig7_extended`.
 
-use stem_analysis::{geomean, run_system, Scheme, Table};
-use stem_bench::harness::{accesses_per_benchmark, WARMUP_FRACTION};
+use stem_analysis::{geomean, run_system_decoded, Scheme, Table};
+use stem_bench::harness::{accesses_per_benchmark, prepare_trace, WARMUP_FRACTION};
 use stem_hierarchy::SystemConfig;
 use stem_sim_core::CacheGeometry;
 use stem_workloads::spec2010_suite;
@@ -26,11 +26,11 @@ fn main() {
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
 
     for bench in spec2010_suite() {
-        let trace = bench.trace(geom, accesses);
-        let lru = run_system(Scheme::Lru, geom, cfg, &trace, WARMUP_FRACTION);
+        let trace = prepare_trace(&bench, geom, accesses).trace;
+        let lru = run_system_decoded(Scheme::Lru, geom, cfg, &trace, WARMUP_FRACTION);
         let mut values = Vec::new();
         for (i, &s) in schemes.iter().enumerate() {
-            let m = run_system(s, geom, cfg, &trace, WARMUP_FRACTION);
+            let m = run_system_decoded(s, geom, cfg, &trace, WARMUP_FRACTION);
             let (nm, _, _) = m.normalized_to(&lru);
             values.push(nm);
             per_scheme[i].push(nm);

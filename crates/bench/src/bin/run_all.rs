@@ -24,15 +24,15 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use stem_analysis::{assoc_point, geomean, CapacityDemandProfiler, Scheme, Table};
+use stem_analysis::{assoc_point_decoded, geomean, CapacityDemandProfiler, Scheme, Table};
 use stem_bench::harness::{
-    accesses_per_benchmark, normalized_table, run_benchmark_matrix_isolated,
-    sensitivity_benchmarks, sweep_ways,
+    accesses_per_benchmark, normalized_table, prepare_trace, run_benchmark_matrix_isolated,
+    sensitivity_benchmarks, sweep_ways, PrepTimings,
 };
 use stem_bench::pool;
 use stem_bench::resilience::{ExperimentOutcome, ExperimentRunner};
 use stem_llc::{overhead, StemConfig};
-use stem_sim_core::{CacheGeometry, Trace};
+use stem_sim_core::{CacheGeometry, DecodedTrace};
 
 /// Writes `table` to `$STEM_CSV_DIR/<name>.csv` when the variable is set.
 fn maybe_csv(name: &str, table: &Table) {
@@ -46,11 +46,54 @@ fn maybe_csv(name: &str, table: &Table) {
     }
 }
 
+/// The end-to-end pipeline stage breakdown recorded alongside the
+/// per-experiment timings: wall clock spent synthesizing raw accesses,
+/// decoding them into shared [`DecodedTrace`]s, replaying decoded streams
+/// through the scheme models (matrix cells and sweep points), and running
+/// the remaining analyses (Fig. 1 profiling net of its trace preparation,
+/// plus Table 3).
+struct StageBreakdown {
+    generate_secs: f64,
+    decode_secs: f64,
+    replay_secs: f64,
+    analysis_secs: f64,
+}
+
+impl StageBreakdown {
+    /// Derives the breakdown from the prep accumulator and the recorded
+    /// outcomes. `fig1_prep_secs` is the generate+decode share of the
+    /// `fig1_*` cells (already inside `prep`), subtracted from their cell
+    /// time so it is not double-counted as analysis.
+    fn from_outcomes(
+        prep: PrepTimings,
+        fig1_prep_secs: f64,
+        outcomes: &[ExperimentOutcome],
+    ) -> Self {
+        let sum_where = |f: &dyn Fn(&str) -> bool| -> f64 {
+            outcomes
+                .iter()
+                .filter(|o| f(&o.name))
+                .map(|o| o.elapsed.as_secs_f64())
+                .sum()
+        };
+        let replay_secs = sum_where(&|n: &str| {
+            n.starts_with("matrix/") || (n.starts_with("sweep_") && !n.starts_with("sweep_trace_"))
+        });
+        let analysis_cells = sum_where(&|n: &str| n.starts_with("fig1_") || n == "table3_overhead");
+        StageBreakdown {
+            generate_secs: prep.generate.as_secs_f64(),
+            decode_secs: prep.decode.as_secs_f64(),
+            replay_secs,
+            analysis_secs: (analysis_cells - fig1_prep_secs).max(0.0),
+        }
+    }
+}
+
 /// Emits the per-experiment wall-clock summary: always to stderr (stdout
 /// stays byte-stable across thread counts), and as
 /// `$STEM_CSV_DIR/BENCH_run_all.json` when the CSV directory is set —
 /// the seed of the performance trajectory across PRs.
-fn emit_timing_summary(threads: usize, outcomes: &[ExperimentOutcome]) {
+fn emit_timing_summary(threads: usize, outcomes: &[ExperimentOutcome], stages: &StageBreakdown) {
     let total: f64 = outcomes.iter().map(|o| o.elapsed.as_secs_f64()).sum();
     eprintln!(
         "\nper-experiment wall clock ({} cells on {} threads, {:.1}s of work):",
@@ -70,11 +113,19 @@ fn emit_timing_summary(threads: usize, outcomes: &[ExperimentOutcome]) {
             o.name
         );
     }
+    eprintln!(
+        "stage breakdown: generate {:.2}s, decode {:.2}s, replay {:.2}s, analysis {:.2}s",
+        stages.generate_secs, stages.decode_secs, stages.replay_secs, stages.analysis_secs
+    );
 
     if let Ok(dir) = std::env::var("STEM_CSV_DIR") {
         let mut json = String::from("{\n");
         json.push_str(&format!("  \"threads\": {threads},\n"));
         json.push_str(&format!("  \"total_cell_seconds\": {total:.3},\n"));
+        json.push_str(&format!(
+            "  \"stages\": {{\"generate_secs\": {:.3}, \"decode_secs\": {:.3}, \"replay_secs\": {:.3}, \"analysis_secs\": {:.3}}},\n",
+            stages.generate_secs, stages.decode_secs, stages.replay_secs, stages.analysis_secs
+        ));
         json.push_str("  \"experiments\": [\n");
         for (i, o) in outcomes.iter().enumerate() {
             let status = match &o.failure {
@@ -111,6 +162,10 @@ fn main() -> ExitCode {
     let threads = pool::configured_threads();
 
     let mut runner = ExperimentRunner::new();
+    // Accumulated generate/decode wall clock across every trace-preparing
+    // cell, and the share of it that happened inside `fig1_*` cells.
+    let mut prep = PrepTimings::default();
+    let mut fig1_prep_secs = 0.0f64;
 
     println!("# STEM reproduction — full experiment run");
     println!(
@@ -130,19 +185,25 @@ fn main() -> ExitCode {
             (format!("fig1_{name}"), move || {
                 let bench =
                     stem_workloads::BenchmarkProfile::by_name(name).expect("suite benchmark");
-                let trace = bench.trace(geom, periods * 50_000);
-                let hists = CapacityDemandProfiler::micro2010(geom).profile(&trace);
+                let prepared = prepare_trace(&bench, geom, periods * 50_000);
+                let hists =
+                    CapacityDemandProfiler::micro2010(geom).profile_decoded(&prepared.trace);
                 let agg = CapacityDemandProfiler::aggregate(&hists);
                 (
-                    agg.fraction_at_most(4),
-                    agg.fraction_at_most(16),
-                    agg.fraction_at_most(0),
+                    (
+                        agg.fraction_at_most(4),
+                        agg.fraction_at_most(16),
+                        agg.fraction_at_most(0),
+                    ),
+                    prepared.prep,
                 )
             })
         })
         .collect();
     for (name, outcome) in fig1_names.iter().zip(runner.run_batch(threads, fig1_jobs)) {
-        if let Some((le4, le16, zero)) = outcome {
+        if let Some(((le4, le16, zero), cell_prep)) = outcome {
+            prep.absorb(cell_prep);
+            fig1_prep_secs += (cell_prep.generate + cell_prep.decode).as_secs_f64();
             println!(
                 "## Fig. 1 ({name}): demand <= 4 ways: {le4:.2}, <= 16 ways: {le16:.2}, \
                  zero-demand: {zero:.2}",
@@ -152,7 +213,7 @@ fn main() -> ExitCode {
 
     // ---- Fig. 7/8/9 + Table 2 --------------------------------------
     eprintln!("running the 15-benchmark x 6-scheme matrix...");
-    let rows = run_benchmark_matrix_isolated(&mut runner, geom, accesses, threads);
+    let rows = run_benchmark_matrix_isolated(&mut runner, geom, accesses, threads, &mut prep);
 
     if !rows.is_empty() {
         let mut t2 = Table::new(vec!["benchmark".into(), "LRU MPKI".into()]);
@@ -193,17 +254,28 @@ fn main() -> ExitCode {
     let ways = sweep_ways();
     let sens = sensitivity_benchmarks();
 
-    // The two sensitivity traces, generated once each.
+    // The two sensitivity traces, generated and decoded once each; every
+    // sweep point replays the shared decoded stream (the sweeps keep the
+    // set count fixed, so one decode is compatible with every ways point).
     let sweep_trace_jobs: Vec<(String, _)> = sens
         .iter()
         .map(|bench| {
             let bench = bench.clone();
             (format!("sweep_trace_{}", bench.name()), move || {
-                Arc::new(bench.trace(geom, sweep_accesses))
+                prepare_trace(&bench, geom, sweep_accesses)
             })
         })
         .collect();
-    let sweep_traces: Vec<Option<Arc<Trace>>> = runner.run_batch(threads, sweep_trace_jobs);
+    let sweep_traces: Vec<Option<Arc<DecodedTrace>>> = runner
+        .run_batch(threads, sweep_trace_jobs)
+        .into_iter()
+        .map(|p| {
+            p.map(|p| {
+                prep.absorb(p.prep);
+                p.trace
+            })
+        })
+        .collect();
 
     // Every (benchmark, scheme, ways) point is one cell.
     let mut point_jobs: Vec<(String, Box<dyn FnOnce() -> f64 + Send>)> = Vec::new();
@@ -216,7 +288,7 @@ fn main() -> ExitCode {
                 let trace = Arc::clone(trace);
                 point_jobs.push((
                     format!("sweep_{}/{}/{}w", sens[bi].name(), scheme.label(), w),
-                    Box::new(move || assoc_point(scheme, geom, w, &trace)),
+                    Box::new(move || assoc_point_decoded(scheme, geom, w, &trace)),
                 ));
                 point_keys.push((bi, si, wi));
             }
@@ -266,7 +338,8 @@ fn main() -> ExitCode {
     }
 
     // ---- Outcome ----------------------------------------------------
-    emit_timing_summary(threads, runner.outcomes());
+    let stages = StageBreakdown::from_outcomes(prep, fig1_prep_secs, runner.outcomes());
+    emit_timing_summary(threads, runner.outcomes(), &stages);
     match runner.failure_report() {
         None => {
             eprintln!("\nall {} experiments completed", runner.outcomes().len());

@@ -1,10 +1,11 @@
 //! Experiment-harness plumbing shared by the figure/table binaries.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use stem_analysis::{geomean, run_system, Scheme, SystemMetrics, Table};
+use stem_analysis::{geomean, run_system_decoded, Scheme, SystemMetrics, Table};
 use stem_hierarchy::SystemConfig;
-use stem_sim_core::{CacheGeometry, Trace};
+use stem_sim_core::{CacheGeometry, DecodedTrace};
 use stem_workloads::{spec2010_suite, BenchmarkProfile};
 
 use crate::pool;
@@ -24,6 +25,56 @@ pub fn accesses_per_benchmark() -> usize {
 /// Warm-up fraction of every trace (discarded from measurement), matching
 /// the paper's cache-warming protocol.
 pub const WARMUP_FRACTION: f64 = 0.2;
+
+/// Wall-clock split of one trace-preparation cell: synthesizing the raw
+/// access stream, then decoding it into the shared
+/// [`DecodedTrace`] representation. Drivers accumulate these into the
+/// `BENCH_run_all.json` stage breakdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrepTimings {
+    /// Time spent synthesizing raw accesses.
+    pub generate: Duration,
+    /// Time spent decoding them into the structure-of-arrays stream.
+    pub decode: Duration,
+}
+
+impl PrepTimings {
+    /// Accumulates another cell's split into this one.
+    pub fn absorb(&mut self, other: PrepTimings) {
+        self.generate += other.generate;
+        self.decode += other.decode;
+    }
+}
+
+/// A trace generated and decoded once, ready to fan out across scheme
+/// cells, with the preparation timing split.
+#[derive(Debug, Clone)]
+pub struct PreparedTrace {
+    /// The shared decoded stream.
+    pub trace: Arc<DecodedTrace>,
+    /// How long generation and decoding took.
+    pub prep: PrepTimings,
+}
+
+/// Generates `bench`'s trace at `geom` and decodes it exactly once. The
+/// raw [`Trace`](stem_sim_core::Trace) is dropped before this returns:
+/// downstream consumers only ever see the decoded stream.
+pub fn prepare_trace(
+    bench: &BenchmarkProfile,
+    geom: CacheGeometry,
+    accesses: usize,
+) -> PreparedTrace {
+    let t0 = Instant::now();
+    let raw = bench.trace(geom, accesses);
+    let generate = t0.elapsed();
+    let t1 = Instant::now();
+    let trace = Arc::new(DecodedTrace::decode(&raw, geom));
+    let decode = t1.elapsed();
+    PreparedTrace {
+        trace,
+        prep: PrepTimings { generate, decode },
+    }
+}
 
 /// One benchmark row of the Fig. 7/8/9 matrix: metrics for every paper
 /// scheme, normalized to LRU.
@@ -54,8 +105,14 @@ impl BenchmarkRow {
 /// [`run_benchmark_matrix_isolated`] instead.
 pub fn run_benchmark_matrix(geom: CacheGeometry, accesses: usize) -> Vec<BenchmarkRow> {
     let mut runner = ExperimentRunner::new();
-    let rows =
-        run_benchmark_matrix_isolated(&mut runner, geom, accesses, pool::configured_threads());
+    let mut prep = PrepTimings::default();
+    let rows = run_benchmark_matrix_isolated(
+        &mut runner,
+        geom,
+        accesses,
+        pool::configured_threads(),
+        &mut prep,
+    );
     if let Some(report) = runner.failure_report() {
         panic!("benchmark matrix cells failed:\n{report}");
     }
@@ -68,26 +125,42 @@ pub fn run_benchmark_matrix(geom: CacheGeometry, accesses: usize) -> Vec<Benchma
 /// `matrix/<bench>/<scheme>`). A failing cell is recorded on the runner
 /// under that name and drops only its own benchmark's row — the other
 /// rows still come back, in suite order.
+///
+/// Each `trace/<bench>` cell generates **and decodes** its trace exactly
+/// once; the six scheme cells of the row share the decoded stream through
+/// an `Arc`. The generation/decoding wall-clock split of every trace cell
+/// is accumulated into `prep` for the stage breakdown.
 pub fn run_benchmark_matrix_isolated(
     runner: &mut ExperimentRunner,
     geom: CacheGeometry,
     accesses: usize,
     threads: usize,
+    prep: &mut PrepTimings,
 ) -> Vec<BenchmarkRow> {
     let cfg = SystemConfig::micro2010();
     let suite = spec2010_suite();
 
-    // Stage 1: generate each benchmark's trace once; cells share it.
+    // Stage 1: generate and decode each benchmark's trace once; all six
+    // scheme cells of the row share the decoded stream.
     let trace_jobs: Vec<(String, _)> = suite
         .iter()
         .map(|bench| {
             let bench = bench.clone();
             (format!("trace/{}", bench.name()), move || {
-                Arc::new(bench.trace(geom, accesses))
+                prepare_trace(&bench, geom, accesses)
             })
         })
         .collect();
-    let traces: Vec<Option<Arc<Trace>>> = runner.run_batch(threads, trace_jobs);
+    let traces: Vec<Option<Arc<DecodedTrace>>> = runner
+        .run_batch(threads, trace_jobs)
+        .into_iter()
+        .map(|p| {
+            p.map(|p| {
+                prep.absorb(p.prep);
+                p.trace
+            })
+        })
+        .collect();
 
     // Stage 2: one cell per (benchmark, scheme) pair, all in one batch so
     // the pool stays full across benchmark boundaries.
@@ -99,7 +172,7 @@ pub fn run_benchmark_matrix_isolated(
             let trace = Arc::clone(trace);
             cell_jobs.push((
                 format!("matrix/{}/{}", suite[bi].name(), scheme.label()),
-                Box::new(move || run_system(scheme, geom, cfg, &trace, WARMUP_FRACTION)),
+                Box::new(move || run_system_decoded(scheme, geom, cfg, &trace, WARMUP_FRACTION)),
             ));
             cell_keys.push((bi, si));
         }

@@ -1,7 +1,9 @@
 //! The simulated system: analytical core + L1D + pluggable L2 + memory.
 
+use std::ops::Range;
+
 use stem_replacement::{Lru, SetAssocCache};
-use stem_sim_core::{CacheGeometry, CacheModel, TimingParams, Trace};
+use stem_sim_core::{CacheGeometry, CacheModel, DecodedTrace, TimingParams, Trace};
 
 use crate::{NextLinePrefetcher, SystemMetrics};
 
@@ -177,6 +179,123 @@ impl System {
             accesses,
         }
     }
+
+    /// Decoded-stream twin of [`warm_then_run`](System::warm_then_run):
+    /// warms on the first `warm_len` accesses of `trace` (statistics
+    /// discarded), then measures the remainder. Produces metrics identical
+    /// to splitting the source trace at `warm_len` and calling
+    /// `warm_then_run` — without materializing either sub-trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warm_len` exceeds the trace length or the trace's line
+    /// size differs from the L1's (the decoded line addresses would be at
+    /// the wrong granularity).
+    pub fn warm_then_run_decoded(
+        &mut self,
+        trace: &DecodedTrace,
+        warm_len: usize,
+    ) -> SystemMetrics {
+        assert!(warm_len <= trace.len());
+        assert_eq!(
+            trace.geometry().line_bytes(),
+            self.cfg.l1_geometry.line_bytes(),
+            "decoded line granularity must match the hierarchy's"
+        );
+        let l2_geom = self.l2.geometry();
+        let l2_decoded = trace.compatible_with(l2_geom);
+        let line_bytes = trace.geometry().line_bytes();
+        for a in trace.iter_range(0..warm_len) {
+            if self.l1.access_line(a.line, a.write).is_miss() {
+                let l2_r = if l2_decoded {
+                    self.l2.access_decoded(a)
+                } else {
+                    self.l2.access(a.address(line_bytes), a.kind())
+                };
+                if l2_r.is_miss() {
+                    self.cfg.prefetcher.on_l1_miss(
+                        a.address(line_bytes),
+                        l2_geom,
+                        self.l2.as_mut(),
+                    );
+                }
+            }
+        }
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.run_decoded_range(trace, warm_len..trace.len())
+    }
+
+    /// Decoded-stream twin of [`run`](System::run) over a sub-range of the
+    /// trace. The per-access event stream reaching the L1, L2, and
+    /// prefetcher is identical to the byte-address path (every consumer is
+    /// line-granular), so all metrics match exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or the trace's line size differs
+    /// from the L1's.
+    pub fn run_decoded_range(
+        &mut self,
+        trace: &DecodedTrace,
+        range: Range<usize>,
+    ) -> SystemMetrics {
+        assert_eq!(
+            trace.geometry().line_bytes(),
+            self.cfg.l1_geometry.line_bytes(),
+            "decoded line granularity must match the hierarchy's"
+        );
+        let t = self.cfg.timing;
+        let mut total_cycles: u64 = 0; // memory access cycles
+        let mut accesses: u64 = 0;
+        let l2_geom = self.l2.geometry();
+        let l2_decoded = trace.compatible_with(l2_geom);
+        let line_bytes = trace.geometry().line_bytes();
+        let stats_base = *self.l2.stats();
+        let instructions = trace.instructions_in(range.clone()).max(1);
+
+        for a in trace.iter_range(range) {
+            accesses += 1;
+            let l1_result = self.l1.access_line(a.line, a.write);
+            let mut cycles = self.cfg.l1_hit_cycles;
+            if l1_result.is_miss() {
+                let l2_result = if l2_decoded {
+                    self.l2.access_decoded(a)
+                } else {
+                    self.l2.access(a.address(line_bytes), a.kind())
+                };
+                cycles += t.l2_latency(l2_result);
+                if l2_result.is_miss() {
+                    cycles += t.memory();
+                    self.cfg.prefetcher.on_l1_miss(
+                        a.address(line_bytes),
+                        l2_geom,
+                        self.l2.as_mut(),
+                    );
+                }
+            }
+            total_cycles += cycles;
+        }
+
+        let l2_stats = *self.l2.stats();
+        let run_misses = l2_stats.misses() - stats_base.misses();
+        let stall_cycles = total_cycles.saturating_sub(accesses * self.cfg.l1_hit_cycles) as f64;
+        let cpi = self.cfg.base_cpi + stall_cycles * (1.0 - self.cfg.overlap) / instructions as f64;
+
+        SystemMetrics {
+            mpki: run_misses as f64 * 1000.0 / instructions as f64,
+            amat: if accesses == 0 {
+                0.0
+            } else {
+                total_cycles as f64 / accesses as f64
+            },
+            cpi,
+            l1_miss_rate: self.l1.stats().miss_rate(),
+            l2: l2_stats,
+            instructions,
+            accesses,
+        }
+    }
 }
 
 impl std::fmt::Debug for System {
@@ -316,6 +435,62 @@ mod tests {
         // demand accesses even though 4 prefetches fired per L2 miss.
         assert_eq!(m.l2.accesses(), 200);
         assert_eq!(*sys.l2().stats(), m.l2);
+    }
+
+    #[test]
+    fn decoded_run_matches_access_path_exactly() {
+        // Same trace, same config (prefetcher on), split at 1/5 for warmup:
+        // decoded and byte-address paths must agree on every metric bit.
+        let cfg = SystemConfig::micro2010().with_prefetcher(2);
+        let trace: Trace = (0..2000u64)
+            .map(|i| {
+                let a = Address::new((i % 371) * 192 + i % 64); // unaligned
+                if i % 7 == 0 {
+                    Access::write(a).with_inst_gap((i % 9 + 1) as u32)
+                } else {
+                    Access::read(a).with_inst_gap((i % 9 + 1) as u32)
+                }
+            })
+            .collect();
+        let warm_len = trace.len() / 5;
+        let warm: Trace = trace.iter().take(warm_len).copied().collect();
+        let measured: Trace = trace.iter().skip(warm_len).copied().collect();
+
+        let l2_geom = CacheGeometry::new(64, 4, 64).unwrap();
+        let decoded = DecodedTrace::decode(&trace, l2_geom);
+
+        let l2 = || -> Box<dyn CacheModel> {
+            Box::new(SetAssocCache::new(l2_geom, Box::new(Lru::new(l2_geom))))
+        };
+        let mut reference = System::new(cfg, l2());
+        let expect = reference.warm_then_run(&warm, &measured);
+        let mut fast = System::new(cfg, l2());
+        let got = fast.warm_then_run_decoded(&decoded, warm_len);
+
+        assert_eq!(got.l2, expect.l2);
+        assert_eq!(got.mpki, expect.mpki);
+        assert_eq!(got.amat, expect.amat);
+        assert_eq!(got.cpi, expect.cpi);
+        assert_eq!(got.l1_miss_rate, expect.l1_miss_rate);
+        assert_eq!(got.instructions, expect.instructions);
+        assert_eq!(got.accesses, expect.accesses);
+
+        // An L2 with an incompatible set count takes the fallback arm and
+        // must still agree.
+        let other_geom = CacheGeometry::new(32, 8, 64).unwrap();
+        let other = || -> Box<dyn CacheModel> {
+            Box::new(SetAssocCache::new(
+                other_geom,
+                Box::new(Lru::new(other_geom)),
+            ))
+        };
+        let mut reference = System::new(cfg, other());
+        let expect = reference.warm_then_run(&warm, &measured);
+        let mut fast = System::new(cfg, other());
+        assert!(!decoded.compatible_with(other_geom));
+        let got = fast.warm_then_run_decoded(&decoded, warm_len);
+        assert_eq!(got.l2, expect.l2);
+        assert_eq!(got.cpi, expect.cpi);
     }
 
     #[test]

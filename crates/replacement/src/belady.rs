@@ -80,7 +80,7 @@ impl OptCache {
         let step = self.step;
         match self.future.get_mut(&line) {
             Some(q) => {
-                while q.front().map_or(false, |&p| p <= step) {
+                while q.front().is_some_and(|&p| p <= step) {
                     q.pop_front();
                 }
                 q.front().copied().unwrap_or(u64::MAX)

@@ -1,8 +1,10 @@
 //! A conventional set-associative cache driven by any replacement policy.
 
+use std::ops::Range;
+
 use stem_sim_core::{
-    AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
-    InvariantAuditor, LineAddr, SetFrames,
+    replay_decoded_via_access, AccessKind, AccessResult, Address, AuditError, CacheGeometry,
+    CacheModel, CacheStats, DecodedAccess, DecodedTrace, InvariantAuditor, LineAddr, SetFrames,
 };
 
 use crate::ReplacementPolicy;
@@ -104,42 +106,153 @@ impl SetAssocCache {
             self.geom.tag_of_line(line),
         )
     }
+
+    /// The single lookup/replacement path behind every access entry point
+    /// (`access`, `access_decoded`, `access_line`): set index and tag word
+    /// are already extracted.
+    #[inline]
+    fn access_at(&mut self, set: usize, tag: u64, write: bool) -> AccessResult {
+        access_kernel(
+            &self.geom,
+            &mut self.frames,
+            &mut self.stats,
+            &mut *self.policy,
+            set,
+            tag,
+            write,
+        )
+    }
+
+    /// Processes one line-granular access, deriving set and tag from this
+    /// cache's own geometry. The decoded-replay entry point for caches
+    /// whose geometry differs from the decode geometry but shares its line
+    /// size (e.g. the L1 in a [`DecodedTrace`]-driven hierarchy run).
+    #[inline]
+    pub fn access_line(&mut self, line: LineAddr, write: bool) -> AccessResult {
+        self.access_at(
+            self.geom.set_index_of_line(line),
+            self.geom.tag_of_line(line),
+            write,
+        )
+    }
+}
+
+/// The lookup/replacement kernel shared by every access entry point,
+/// generic over the policy so the decoded replay loop can monomorphize it
+/// (`P = Lru`, `Dip`, `PeLifo`) while the per-call byte path keeps dynamic
+/// dispatch (`P = dyn ReplacementPolicy`). Takes the cache fields
+/// individually to keep the borrows split from the boxed policy.
+#[inline]
+fn access_kernel<P: ReplacementPolicy + ?Sized>(
+    geom: &CacheGeometry,
+    frames: &mut SetFrames,
+    stats: &mut CacheStats,
+    policy: &mut P,
+    set: usize,
+    tag: u64,
+    write: bool,
+) -> AccessResult {
+    if let Some(way) = frames.find(set, tag) {
+        stats.record_local_hit();
+        policy.on_hit(set, way);
+        if write {
+            frames.mark_dirty(set, way);
+        }
+        return AccessResult::HitLocal;
+    }
+
+    stats.record_local_miss();
+    policy.on_miss(set);
+
+    let way = match frames.first_free(set) {
+        Some(w) => w,
+        None => {
+            let victim = policy.victim(set);
+            debug_assert!(victim < geom.ways());
+            let old = frames.take(set, victim).expect("victim way must be valid");
+            stats.record_eviction();
+            if old.dirty {
+                stats.record_writeback();
+            }
+            victim
+        }
+    };
+    frames.fill(set, way, tag, write, false);
+    policy.on_fill(set, way);
+    AccessResult::MissLocal
+}
+
+/// Replays a decoded range through [`access_kernel`], monomorphized per
+/// policy type (see [`SetAssocCache::replay_decoded`]).
+#[inline]
+fn replay_kernel<P: ReplacementPolicy + ?Sized>(
+    geom: &CacheGeometry,
+    frames: &mut SetFrames,
+    stats: &mut CacheStats,
+    policy: &mut P,
+    trace: &DecodedTrace,
+    range: Range<usize>,
+) {
+    let sets = trace.set_indices();
+    let lines = trace.line_addrs();
+    for i in range {
+        let line = LineAddr::new(lines[i]);
+        debug_assert_eq!(sets[i] as usize, geom.set_index_of_line(line));
+        access_kernel(
+            geom,
+            frames,
+            stats,
+            policy,
+            sets[i] as usize,
+            geom.tag_of_line(line),
+            trace.is_write(i),
+        );
+    }
 }
 
 impl CacheModel for SetAssocCache {
     fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
         let (set, tag) = self.line_of(addr);
-        if let Some(way) = self.frames.find(set, tag) {
-            self.stats.record_local_hit();
-            self.policy.on_hit(set, way);
-            if kind.is_write() {
-                self.frames.mark_dirty(set, way);
-            }
-            return AccessResult::HitLocal;
+        self.access_at(set, tag, kind.is_write())
+    }
+
+    /// Consumes the pre-decoded set index directly; only the narrow tag
+    /// word remains to derive (one shift off the line address).
+    fn access_decoded(&mut self, a: DecodedAccess) -> AccessResult {
+        debug_assert_eq!(a.set as usize, self.geom.set_index_of_line(a.line));
+        self.access_at(a.set as usize, self.geom.tag_of_line(a.line), a.write)
+    }
+
+    /// Monomorphic replay loop: streams the raw SoA columns straight into
+    /// the lookup/replacement kernel with static dispatch, instead of one
+    /// virtual `access_decoded` call per access through the trait default.
+    /// Policies that expose [`ReplacementPolicy::as_any_mut`] are downcast
+    /// so the whole per-access protocol (hit promotion, victim choice,
+    /// fill ranking) compiles as one inlined loop; any other policy runs
+    /// the same kernel through the boxed vtable, identically.
+    fn replay_decoded(&mut self, trace: &DecodedTrace, range: Range<usize>) {
+        if !trace.compatible_with(self.geom) {
+            return replay_decoded_via_access(self, trace, range);
         }
-
-        self.stats.record_local_miss();
-        self.policy.on_miss(set);
-
-        let way = match self.frames.first_free(set) {
-            Some(w) => w,
-            None => {
-                let victim = self.policy.victim(set);
-                debug_assert!(victim < self.geom.ways());
-                let old = self
-                    .frames
-                    .take(set, victim)
-                    .expect("victim way must be valid");
-                self.stats.record_eviction();
-                if old.dirty {
-                    self.stats.record_writeback();
-                }
-                victim
+        let SetAssocCache {
+            geom,
+            frames,
+            policy,
+            stats,
+            ..
+        } = self;
+        if let Some(any) = policy.as_any_mut() {
+            if let Some(p) = any.downcast_mut::<crate::Lru>() {
+                return replay_kernel(geom, frames, stats, p, trace, range);
             }
-        };
-        self.frames.fill(set, way, tag, kind.is_write(), false);
-        self.policy.on_fill(set, way);
-        AccessResult::MissLocal
+            if let Some(p) = any.downcast_mut::<crate::Dip>() {
+                return replay_kernel(geom, frames, stats, p, trace, range);
+            }
+            if let Some(p) = any.downcast_mut::<crate::PeLifo>() {
+                return replay_kernel(geom, frames, stats, p, trace, range);
+            }
+        }
+        replay_kernel(geom, frames, stats, &mut **policy, trace, range)
     }
 
     fn stats(&self) -> &CacheStats {

@@ -178,6 +178,10 @@ impl ReplacementPolicy for Dip {
         "DIP"
     }
 
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
     fn audit_set(&self, set: usize) -> Result<(), String> {
         if !self.sets[set].is_permutation() {
             return Err(format!(

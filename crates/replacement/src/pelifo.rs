@@ -143,7 +143,7 @@ impl ReplacementPolicy for PeLifo {
             self.misses[i] += 1;
         }
         self.total_misses += 1;
-        if self.total_misses % ELECTION_PERIOD == 0 {
+        if self.total_misses.is_multiple_of(ELECTION_PERIOD) {
             // Elect the candidate with the fewest leader misses, then
             // decay. The LRU fallback (the last candidate) wins ties and
             // near-ties: an escape position must show a clear advantage
@@ -168,6 +168,10 @@ impl ReplacementPolicy for PeLifo {
 
     fn name(&self) -> &str {
         "PeLIFO"
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 
     fn audit_set(&self, set: usize) -> Result<(), String> {

@@ -45,6 +45,17 @@ pub trait ReplacementPolicy {
     /// A short human-readable policy name (e.g. `"LRU"`).
     fn name(&self) -> &str;
 
+    /// Downcast hook for the decoded replay loop: policies that want their
+    /// per-access protocol monomorphized (virtual dispatch hoisted out of
+    /// the hot loop, [`RecencyStack`](crate::RecencyStack) operations
+    /// inlined) return `Some(self)` so
+    /// [`SetAssocCache::replay_decoded`](crate::SetAssocCache) can
+    /// specialize on the concrete type. The default `None` keeps the
+    /// object-safe dynamic path; behaviour is identical either way.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+
     /// Checked-mode hook: verifies this policy's per-set bookkeeping for
     /// `set` (e.g. that a recency stack is still a permutation). The
     /// default accepts everything; stack-based policies override it.

@@ -66,7 +66,7 @@ impl RecencyStack {
     ///
     /// Panics if `ways` is 0 or greater than 255.
     pub fn new(ways: usize) -> Self {
-        assert!(ways >= 1 && ways <= 255, "ways must be in 1..=255");
+        assert!((1..=255).contains(&ways), "ways must be in 1..=255");
         let repr = if ways <= 16 {
             Repr::Packed {
                 order: IDENTITY | !nibble_mask(ways),
@@ -466,8 +466,8 @@ mod tests {
                         }
                     }
                 }
-                for w in 0..ways {
-                    assert_eq!(s.rank(w), model[w], "rank of way {w} diverged");
+                for (w, &rank) in model.iter().enumerate() {
+                    assert_eq!(s.rank(w), rank, "rank of way {w} diverged");
                 }
                 for pos in 0..ways as u8 {
                     let want = model.iter().position(|&r| r == pos).unwrap();

@@ -32,7 +32,7 @@ impl Srrip {
     ///
     /// Panics if `bits` is 0 or greater than 7.
     pub fn with_bits(geom: CacheGeometry, bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 7, "RRPV width must be in 1..=7");
+        assert!((1..=7).contains(&bits), "RRPV width must be in 1..=7");
         let max_rrpv = ((1u32 << bits) - 1) as u8;
         Srrip {
             rrpv: vec![vec![max_rrpv; geom.ways()]; geom.sets()],

@@ -117,11 +117,11 @@ pub fn run_audited(
     for a in trace {
         cache.access(a.addr, a.kind);
         index += 1;
-        if stride != 0 && index % stride == 0 {
+        if stride != 0 && index.is_multiple_of(stride) {
             cache.audit().map_err(|e| e.at_access(index - 1))?;
         }
     }
-    if index == 0 || stride == 0 || index % stride != 0 {
+    if index == 0 || stride == 0 || !index.is_multiple_of(stride) {
         cache.audit().map_err(|e| {
             if index == 0 {
                 e

@@ -38,7 +38,7 @@ impl SaturatingCounter {
     ///
     /// Panics if `bits` is 0 or greater than 31.
     pub fn new(bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 31, "counter width must be in 1..=31");
+        assert!((1..=31).contains(&bits), "counter width must be in 1..=31");
         SaturatingCounter { value: 0, bits }
     }
 

@@ -8,6 +8,9 @@
 //! * [`CacheGeometry`] — sets × ways × line-size arithmetic (tag/index/offset
 //!   extraction);
 //! * [`Access`], [`AccessKind`], [`Trace`] — trace-driven simulation inputs;
+//! * [`DecodedTrace`] — a structure-of-arrays `(Trace, CacheGeometry)`
+//!   decode (set indices, line addresses, packed write flags) performed once
+//!   and replayed by every scheme;
 //! * [`SetFrames`] — flat structure-of-arrays tag storage (contiguous tag
 //!   words plus bit-packed valid/dirty/flag words) backing every scheme's
 //!   set frames;
@@ -41,6 +44,7 @@ mod access;
 mod addr;
 mod audit;
 mod counter;
+mod decoded;
 mod error;
 mod frames;
 mod geometry;
@@ -56,10 +60,11 @@ pub use access::{Access, AccessKind};
 pub use addr::{Address, LineAddr};
 pub use audit::{run_audited, AuditError, AuditedCacheModel, InvariantAuditor};
 pub use counter::SaturatingCounter;
+pub use decoded::{DecodedAccess, DecodedIter, DecodedTrace};
 pub use error::{GeometryError, SimError, TraceError};
 pub use frames::{Frame, SetFrames};
 pub use geometry::CacheGeometry;
-pub use model::{AccessResult, CacheModel};
+pub use model::{replay_decoded_via_access, AccessResult, CacheModel};
 pub use rng::SplitMix64;
 pub use stats::CacheStats;
 pub use timing::{AccessLatency, TimingParams};

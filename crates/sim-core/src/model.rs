@@ -2,8 +2,11 @@
 //! paper prices differently.
 
 use std::fmt;
+use std::ops::Range;
 
-use crate::{Access, AccessKind, Address, CacheGeometry, CacheStats, Trace};
+use crate::{
+    Access, AccessKind, Address, CacheGeometry, CacheStats, DecodedAccess, DecodedTrace, Trace,
+};
 
 /// The outcome of one cache access, at the granularity the paper's timing
 /// model distinguishes (§5.1).
@@ -130,6 +133,72 @@ pub trait CacheModel {
     fn access_record(&mut self, access: Access) -> AccessResult {
         self.access(access.addr, access.kind)
     }
+
+    /// Processes one pre-decoded access.
+    ///
+    /// # Contract
+    ///
+    /// Callers must only invoke this when the access was decoded at this
+    /// cache's set count and line size
+    /// ([`DecodedTrace::compatible_with`]); under that contract the
+    /// pre-extracted `set`/`line` fields are exactly what
+    /// [`access`](CacheModel::access) would re-derive, and overriding
+    /// implementations may consume them directly. The provided default is
+    /// the documented *fallback through the existing `Access` path*: it
+    /// reconstructs the line-aligned byte address and calls
+    /// [`access`](CacheModel::access), so schemes whose probe geometry
+    /// differs from the decode geometry (e.g. V-Way's tag-store lookup)
+    /// need no override and still behave identically.
+    fn access_decoded(&mut self, a: DecodedAccess) -> AccessResult {
+        self.access(a.address(self.geometry().line_bytes()), a.kind())
+    }
+
+    /// Replays the decoded accesses in `range`, in order.
+    ///
+    /// When the decode geometry is compatible with this cache
+    /// ([`DecodedTrace::compatible_with`]) each access goes through
+    /// [`access_decoded`](CacheModel::access_decoded); otherwise every
+    /// access falls back to the byte-address [`access`](CacheModel::access)
+    /// path, reconstructed at the *trace's* line granularity so the stream
+    /// of line addresses the cache observes is unchanged. Both arms produce
+    /// per-access outcomes identical to replaying the original `Trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds for `trace`.
+    fn replay_decoded(&mut self, trace: &DecodedTrace, range: Range<usize>) {
+        if trace.compatible_with(self.geometry()) {
+            for a in trace.iter_range(range) {
+                self.access_decoded(a);
+            }
+        } else {
+            replay_decoded_via_access(self, trace, range);
+        }
+    }
+
+    /// Replays an entire decoded trace
+    /// (see [`replay_decoded`](CacheModel::replay_decoded)).
+    fn run_decoded(&mut self, trace: &DecodedTrace) {
+        self.replay_decoded(trace, 0..trace.len());
+    }
+}
+
+/// The documented incompatible-geometry fallback for
+/// [`CacheModel::replay_decoded`]: re-materializes each access as a
+/// line-aligned byte address at the *trace's* line granularity and feeds it
+/// to [`CacheModel::access`], so the stream of line addresses the cache
+/// observes is exactly what the original `Trace` would have produced.
+/// Scheme-specific `replay_decoded` overrides delegate their incompatible
+/// arm here so the fallback semantics stay in one place.
+pub fn replay_decoded_via_access<C: CacheModel + ?Sized>(
+    cache: &mut C,
+    trace: &DecodedTrace,
+    range: Range<usize>,
+) {
+    let line_bytes = trace.geometry().line_bytes();
+    for a in trace.iter_range(range) {
+        cache.access(a.address(line_bytes), a.kind());
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +265,38 @@ mod tests {
         cache.reset_stats();
         assert_eq!(cache.stats().accesses(), 0);
         let r = cache.access_record(Access::write(Address::new(0)));
+        assert!(r.is_miss());
+    }
+
+    #[test]
+    fn decoded_defaults_replay_through_access_path() {
+        let geom = CacheGeometry::micro2010_l2();
+        let trace: Trace = (0..100u64)
+            .map(|i| Access::read(Address::new(i * 64 + i % 64))) // unaligned
+            .collect();
+        let decoded = crate::DecodedTrace::decode(&trace, geom);
+
+        let mut cache: Box<dyn CacheModel> = Box::new(NullCache {
+            stats: CacheStats::default(),
+            geom,
+        });
+        cache.run_decoded(&decoded);
+        assert_eq!(cache.stats().accesses(), 100);
+
+        cache.reset_stats();
+        cache.replay_decoded(&decoded, 10..30);
+        assert_eq!(cache.stats().accesses(), 20);
+
+        // Incompatible geometry exercises the fallback arm.
+        let mut small = NullCache {
+            stats: CacheStats::default(),
+            geom: CacheGeometry::new(64, 4, 64).unwrap(),
+        };
+        assert!(!decoded.compatible_with(small.geom));
+        small.run_decoded(&decoded);
+        assert_eq!(small.stats.accesses(), 100);
+
+        let r = cache.access_decoded(decoded.get(0));
         assert!(r.is_miss());
     }
 

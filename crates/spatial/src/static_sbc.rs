@@ -11,8 +11,9 @@
 
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
-    AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
-    InvariantAuditor, LineAddr, SetFrames, SimError,
+    replay_decoded_via_access, AccessKind, AccessResult, Address, AuditError, CacheGeometry,
+    CacheModel, CacheStats, DecodedAccess, DecodedTrace, InvariantAuditor, LineAddr, SetFrames,
+    SimError,
 };
 
 /// The static Set Balancing Cache.
@@ -103,18 +104,17 @@ impl StaticSbcCache {
             self.stats.record_writeback();
         }
     }
-}
 
-impl CacheModel for StaticSbcCache {
-    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
-        let line = addr.line(self.geom.line_bytes());
-        let home = self.geom.set_index_of_line(line);
+    /// The single lookup/spill path behind both access entry points: the
+    /// line address and its home set are already extracted.
+    #[inline]
+    fn access_at(&mut self, line: LineAddr, home: usize, write: bool) -> AccessResult {
         let partner = self.partner_of(home);
 
         if let Some(way) = self.find_way(home, line) {
             self.stats.record_local_hit();
             self.ranks[home].touch_mru(way);
-            if kind.is_write() {
+            if write {
                 self.frames.mark_dirty(home, way);
             }
             self.sat[home] = self.sat[home].saturating_sub(1);
@@ -127,7 +127,7 @@ impl CacheModel for StaticSbcCache {
             if let Some(way) = self.find_way(partner, line) {
                 self.stats.record_coop_hit();
                 self.ranks[partner].touch_mru(way);
-                if kind.is_write() {
+                if write {
                     self.frames.mark_dirty(partner, way);
                 }
                 self.sat[home] = self.sat[home].saturating_sub(1);
@@ -172,13 +172,41 @@ impl CacheModel for StaticSbcCache {
                 victim_way
             }
         };
-        self.frames
-            .fill(home, way, line.raw(), kind.is_write(), false);
+        self.frames.fill(home, way, line.raw(), write, false);
         self.ranks[home].touch_mru(way);
         if probes_partner {
             AccessResult::MissCooperative
         } else {
             AccessResult::MissLocal
+        }
+    }
+}
+
+impl CacheModel for StaticSbcCache {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let line = addr.line(self.geom.line_bytes());
+        let home = self.geom.set_index_of_line(line);
+        self.access_at(line, home, kind.is_write())
+    }
+
+    fn access_decoded(&mut self, a: DecodedAccess) -> AccessResult {
+        debug_assert_eq!(a.set as usize, self.geom.set_index_of_line(a.line));
+        self.access_at(a.line, a.set as usize, a.write)
+    }
+
+    /// Monomorphic replay loop: streams the raw SoA columns straight into
+    /// [`access_at`](Self::access_at) with static dispatch, instead of one
+    /// virtual `access_decoded` call per access through the trait default.
+    fn replay_decoded(&mut self, trace: &DecodedTrace, range: std::ops::Range<usize>) {
+        if !trace.compatible_with(self.geom) {
+            return replay_decoded_via_access(self, trace, range);
+        }
+        let sets = trace.set_indices();
+        let lines = trace.line_addrs();
+        for i in range {
+            let line = LineAddr::new(lines[i]);
+            debug_assert_eq!(sets[i] as usize, self.geom.set_index_of_line(line));
+            self.access_at(line, sets[i] as usize, trace.is_write(i));
         }
     }
 

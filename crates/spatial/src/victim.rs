@@ -9,8 +9,9 @@
 
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
-    AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
-    InvariantAuditor, LineAddr, SetFrames, SimError,
+    replay_decoded_via_access, AccessKind, AccessResult, Address, AuditError, CacheGeometry,
+    CacheModel, CacheStats, DecodedAccess, DecodedTrace, InvariantAuditor, LineAddr, SetFrames,
+    SimError,
 };
 
 /// One fully-associative victim-buffer entry.
@@ -124,17 +125,15 @@ impl VictimCache {
             .fill(set, way, incoming.line.raw(), incoming.dirty, false);
         self.ranks[set].touch_mru(way);
     }
-}
 
-impl CacheModel for VictimCache {
-    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
-        let line = addr.line(self.geom.line_bytes());
-        let set = self.geom.set_index_of_line(line);
-
+    /// The single lookup/buffer path behind both access entry points: the
+    /// line address and its home set are already extracted.
+    #[inline]
+    fn access_at(&mut self, line: LineAddr, set: usize, write: bool) -> AccessResult {
         if let Some(way) = self.find_way(set, line) {
             self.stats.record_local_hit();
             self.ranks[set].touch_mru(way);
-            if kind.is_write() {
+            if write {
                 self.frames.mark_dirty(set, way);
             }
             return AccessResult::HitLocal;
@@ -146,7 +145,7 @@ impl CacheModel for VictimCache {
             let mut hit = self.victims.remove(pos);
             self.stats.record_coop_hit();
             self.stats.record_receive();
-            if kind.is_write() {
+            if write {
                 hit.dirty = true;
             }
             // Swap back into the home set.
@@ -155,14 +154,37 @@ impl CacheModel for VictimCache {
         }
 
         self.stats.record_coop_miss();
-        self.install(
-            set,
-            Line {
-                line,
-                dirty: kind.is_write(),
-            },
-        );
+        self.install(set, Line { line, dirty: write });
         AccessResult::MissCooperative
+    }
+}
+
+impl CacheModel for VictimCache {
+    fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        let line = addr.line(self.geom.line_bytes());
+        let set = self.geom.set_index_of_line(line);
+        self.access_at(line, set, kind.is_write())
+    }
+
+    fn access_decoded(&mut self, a: DecodedAccess) -> AccessResult {
+        debug_assert_eq!(a.set as usize, self.geom.set_index_of_line(a.line));
+        self.access_at(a.line, a.set as usize, a.write)
+    }
+
+    /// Monomorphic replay loop: streams the raw SoA columns straight into
+    /// [`access_at`](Self::access_at) with static dispatch, instead of one
+    /// virtual `access_decoded` call per access through the trait default.
+    fn replay_decoded(&mut self, trace: &DecodedTrace, range: std::ops::Range<usize>) {
+        if !trace.compatible_with(self.geom) {
+            return replay_decoded_via_access(self, trace, range);
+        }
+        let sets = trace.set_indices();
+        let lines = trace.line_addrs();
+        for i in range {
+            let line = LineAddr::new(lines[i]);
+            debug_assert_eq!(sets[i] as usize, self.geom.set_index_of_line(line));
+            self.access_at(line, sets[i] as usize, trace.is_write(i));
+        }
     }
 
     fn stats(&self) -> &CacheStats {

@@ -14,8 +14,9 @@
 
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
-    AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
-    InvariantAuditor, LineAddr, SetFrames, SimError,
+    replay_decoded_via_access, AccessKind, AccessResult, Address, AuditError, CacheGeometry,
+    CacheModel, CacheStats, DecodedAccess, DecodedTrace, InvariantAuditor, LineAddr, SetFrames,
+    SimError,
 };
 
 /// Tuning parameters for [`VWayCache`].
@@ -173,7 +174,7 @@ impl VWayCache {
     /// auditor. Returns `false` if no valid data line exists to corrupt.
     #[doc(hidden)]
     pub fn corrupt_reverse_pointer(&mut self) -> bool {
-        for d in self.data.iter_mut().flatten() {
+        if let Some(d) = self.data.iter_mut().flatten().next() {
             d.rptr_way ^= 1;
             return true;
         }
@@ -318,7 +319,26 @@ impl VWayCache {
     ) -> Result<AccessResult, SimError> {
         let line = addr.line(self.geom.line_bytes());
         let set = self.geom.set_index_of_line(line);
+        self.try_access_at(line, set, kind.is_write())
+    }
 
+    /// The lookup/replacement path behind [`try_access`](Self::try_access)
+    /// and the decoded replay loop: line address and *data-geometry* set
+    /// index are already extracted. V-Way's tag store is wider than the
+    /// data store (`tag_data_ratio x ways` entries per set) but indexes its
+    /// sets identically, so the pre-decoded set index addresses the tag
+    /// probe directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Audit`] if the tag/data pointer bijection is
+    /// broken mid-access (see [`try_access`](Self::try_access)).
+    fn try_access_at(
+        &mut self,
+        line: LineAddr,
+        set: usize,
+        write: bool,
+    ) -> Result<AccessResult, SimError> {
         if let Some(way) = self.find_tag_way(set, line) {
             self.stats.record_local_hit();
             self.tag_ranks[set].touch_mru(way);
@@ -336,7 +356,7 @@ impl VWayCache {
                     ))
                 })?;
             d.reuse = (d.reuse + 1).min(self.max_reuse);
-            if kind.is_write() {
+            if write {
                 d.dirty = true;
             }
             return Ok(AccessResult::HitLocal);
@@ -388,7 +408,7 @@ impl VWayCache {
             rptr_set: set as u32,
             rptr_way: tag_way as u16,
             reuse: 0,
-            dirty: kind.is_write(),
+            dirty: write,
         });
         self.tag_ranks[set].touch_mru(tag_way);
         Ok(AccessResult::MissLocal)
@@ -410,6 +430,41 @@ impl CacheModel for VWayCache {
         match self.try_access(addr, kind) {
             Ok(r) => r,
             Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// V-Way's tag store is shaped differently from the data geometry a
+    /// `DecodedTrace` is decoded against (`tag_data_ratio` x more entries
+    /// per set, decoupled from the global data store), but it *indexes*
+    /// sets identically — same set count, same line size — so the
+    /// pre-decoded `set`/`line` pair drives the tag probe directly. When
+    /// the decode geometry is incompatible, the documented fallback through
+    /// the byte-address [`access`](CacheModel::access) path applies (the
+    /// trait-default behaviour, exercised by the differential tests).
+    fn access_decoded(&mut self, a: DecodedAccess) -> AccessResult {
+        debug_assert_eq!(a.set as usize, self.geom.set_index_of_line(a.line));
+        match self.try_access_at(a.line, a.set as usize, a.write) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Monomorphic replay loop: streams the raw SoA columns straight into
+    /// [`try_access_at`](Self::try_access_at) with static dispatch, instead
+    /// of one virtual `access_decoded` call per access through the trait
+    /// default.
+    fn replay_decoded(&mut self, trace: &DecodedTrace, range: std::ops::Range<usize>) {
+        if !trace.compatible_with(self.geom) {
+            return replay_decoded_via_access(self, trace, range);
+        }
+        let sets = trace.set_indices();
+        let lines = trace.line_addrs();
+        for i in range {
+            let line = LineAddr::new(lines[i]);
+            debug_assert_eq!(sets[i] as usize, self.geom.set_index_of_line(line));
+            if let Err(e) = self.try_access_at(line, sets[i] as usize, trace.is_write(i)) {
+                panic!("{e}");
+            }
         }
     }
 
@@ -598,9 +653,7 @@ mod tests {
                 reuse_bits: 2,
             },
         ] {
-            let err = VWayCache::try_with_config(geom, cfg)
-                .err()
-                .expect("must reject");
+            let err = VWayCache::try_with_config(geom, cfg).expect_err("must reject");
             assert!(
                 matches!(
                     err,

@@ -2,8 +2,9 @@
 
 use stem_replacement::RecencyStack;
 use stem_sim_core::{
-    AccessKind, AccessResult, Address, AuditError, CacheGeometry, CacheModel, CacheStats,
-    InvariantAuditor, LineAddr, SetFrames, SimError, SplitMix64,
+    replay_decoded_via_access, AccessKind, AccessResult, Address, AuditError, CacheGeometry,
+    CacheModel, CacheStats, DecodedAccess, DecodedTrace, InvariantAuditor, LineAddr, SetFrames,
+    SimError, SplitMix64,
 };
 use stem_spatial::{AssociationTable, DestinationSetSelector};
 
@@ -361,13 +362,26 @@ impl StemCache {
     ) -> Result<AccessResult, SimError> {
         let line = addr.line(self.geom.line_bytes());
         let home = self.geom.set_index_of_line(line);
+        self.try_access_at(line, home, kind.is_write())
+    }
 
+    /// The single controller path behind both access entry points: the
+    /// line address and its home set are already extracted. The shadow-set
+    /// signature is still derived internally (it is a function of the line
+    /// address alone).
+    #[inline]
+    fn try_access_at(
+        &mut self,
+        line: LineAddr,
+        home: usize,
+        write: bool,
+    ) -> Result<AccessResult, SimError> {
         // 1. Probe the home set (native blocks only: CC blocks stored here
         //    belong to the partner's address space and cannot tag-match).
         if let Some(way) = self.find_way(home, line) {
             self.stats.record_local_hit();
             self.ranks[home].touch_mru(way);
-            if kind.is_write() {
+            if write {
                 self.frames.mark_dirty(home, way);
             }
             self.monitor_hit(home);
@@ -381,7 +395,7 @@ impl StemCache {
             if let Some(way) = self.find_way(giver, line) {
                 self.stats.record_coop_hit();
                 self.ranks[giver].touch_mru(way);
-                if kind.is_write() {
+                if write {
                     self.frames.mark_dirty(giver, way);
                 }
                 // The hit belongs to the home set's working set.
@@ -408,8 +422,7 @@ impl StemCache {
                 victim
             }
         };
-        self.frames
-            .fill(home, way, line.raw(), kind.is_write(), false);
+        self.frames.fill(home, way, line.raw(), write, false);
         self.insert_rank(home, way);
 
         Ok(if probe_partner.is_some() {
@@ -428,6 +441,33 @@ impl CacheModel for StemCache {
         match self.try_access(addr, kind) {
             Ok(r) => r,
             Err(e) => panic!("STEM internal state corrupted: {e}"),
+        }
+    }
+
+    fn access_decoded(&mut self, a: DecodedAccess) -> AccessResult {
+        debug_assert_eq!(a.set as usize, self.geom.set_index_of_line(a.line));
+        match self.try_access_at(a.line, a.set as usize, a.write) {
+            Ok(r) => r,
+            Err(e) => panic!("STEM internal state corrupted: {e}"),
+        }
+    }
+
+    /// Monomorphic replay loop: streams the raw SoA columns straight into
+    /// [`try_access_at`](Self::try_access_at) with static dispatch, instead
+    /// of one virtual `access_decoded` call per access through the trait
+    /// default.
+    fn replay_decoded(&mut self, trace: &DecodedTrace, range: std::ops::Range<usize>) {
+        if !trace.compatible_with(self.geom) {
+            return replay_decoded_via_access(self, trace, range);
+        }
+        let sets = trace.set_indices();
+        let lines = trace.line_addrs();
+        for i in range {
+            let line = LineAddr::new(lines[i]);
+            debug_assert_eq!(sets[i] as usize, self.geom.set_index_of_line(line));
+            if let Err(e) = self.try_access_at(line, sets[i] as usize, trace.is_write(i)) {
+                panic!("STEM internal state corrupted: {e}");
+            }
         }
     }
 

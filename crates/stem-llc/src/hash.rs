@@ -36,7 +36,7 @@ impl TagHasher {
     /// Panics if `m` is 0 or greater than 16 (shadow tags are short by
     /// design; Table 3 uses m = 10).
     pub fn new(m: u32, seed: u64) -> Self {
-        assert!(m >= 1 && m <= 16, "shadow tag width must be in 1..=16");
+        assert!((1..=16).contains(&m), "shadow tag width must be in 1..=16");
         let mut rng = SplitMix64::new(seed);
         // Reject zero rows: a zero row would pin that output bit to 0.
         let rows = (0..m)

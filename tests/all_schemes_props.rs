@@ -5,7 +5,7 @@
 //! `STEM_PROP_SEED` replays a case), so the suite is hermetic.
 
 use stem::analysis::{build_cache, Scheme};
-use stem::sim_core::{prop, AccessKind, CacheGeometry, CacheModel};
+use stem::sim_core::{prop, AccessKind, CacheGeometry};
 
 fn small_geom() -> CacheGeometry {
     CacheGeometry::new(8, 2, 64).unwrap()

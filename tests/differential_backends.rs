@@ -26,7 +26,8 @@
 use stem::llc::{PolicyKind, SetMonitor, ShadowSet, StemCache, StemConfig, TagHasher};
 use stem::replacement::{Dip, Lru, PeLifo, RecencyStack, ReplacementPolicy, SetAssocCache};
 use stem::sim_core::{
-    AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, LineAddr, SplitMix64,
+    Access, AccessKind, AccessResult, Address, CacheGeometry, CacheModel, CacheStats, DecodedTrace,
+    LineAddr, SplitMix64, Trace,
 };
 use stem::spatial::{
     AssociationTable, DestinationSetSelector, SbcCache, SbcConfig, StaticSbcCache, VWayCache,
@@ -56,7 +57,7 @@ struct RefRecency {
 
 impl RefRecency {
     fn new(ways: usize) -> Self {
-        assert!(ways >= 1 && ways <= 255, "ways must be in 1..=255");
+        assert!((1..=255).contains(&ways), "ways must be in 1..=255");
         RefRecency {
             rank: (0..ways as u8).collect(),
         }
@@ -189,7 +190,7 @@ impl RefShadow {
     }
 
     fn contains(&self, sig: u16) -> bool {
-        self.entries.iter().any(|e| *e == Some(sig))
+        self.entries.contains(&Some(sig))
     }
 
     fn insert(
@@ -548,7 +549,7 @@ impl RefSbc {
 
     fn force_decouple(&mut self, dest: usize) {
         for way in 0..self.geom.ways() {
-            if self.lines[dest][way].map_or(false, |l| l.foreign) {
+            if self.lines[dest][way].is_some_and(|l| l.foreign) {
                 self.evict_off_chip(dest, way, false);
             }
         }
@@ -1374,7 +1375,7 @@ impl RefStem {
             Some(w) => w,
             None => {
                 let victim = self.ranks[giver].lru_way();
-                let victim_is_native = !self.lines[giver][victim].map_or(false, |l| l.cc);
+                let victim_is_native = !self.lines[giver][victim].is_some_and(|l| l.cc);
                 if victim_is_native {
                     let native = self.lines[giver].iter().flatten().filter(|l| !l.cc).count();
                     if native + 3 > self.geom.ways() {
@@ -1546,4 +1547,178 @@ fn stem_matches_reference() {
             diff_accesses() / 20,
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Decoded-stream differentials: the `DecodedTrace` fast path vs the
+// `Access` byte-address path, for all six paper schemes (plus the two
+// auxiliary spatial baselines). The decode-once refactor is a pure
+// representation change, so the per-access `AccessResult` stream and the
+// final `CacheStats` must be identical.
+// ---------------------------------------------------------------------------
+
+/// Materializes the synthetic stream once, decodes it, and replays both
+/// representations through two identically constructed caches.
+fn assert_decoded_equivalent<C: CacheModel>(
+    name: &str,
+    build: impl Fn() -> C,
+    geom: CacheGeometry,
+    seed: u64,
+    accesses: usize,
+) {
+    let mut rng = SplitMix64::new(seed);
+    let trace: Trace = (0..accesses)
+        .map(|i| {
+            let (addr, kind) = synth_access(&mut rng, geom, i);
+            match kind {
+                AccessKind::Write => Access::write(addr),
+                AccessKind::Read => Access::read(addr),
+            }
+        })
+        .collect();
+    let decoded = DecodedTrace::decode(&trace, geom);
+    let mut byte_path = build();
+    let mut fast_path = build();
+    for (i, (a, d)) in trace.iter().zip(decoded.iter()).enumerate() {
+        let old = byte_path.access(a.addr, a.kind);
+        let new = fast_path.access_decoded(d);
+        assert_eq!(
+            old, new,
+            "{name}: access #{i} ({:?}, {:?}) diverged (Access path vs decoded path)",
+            a.addr, a.kind
+        );
+    }
+    assert_eq!(
+        byte_path.stats(),
+        fast_path.stats(),
+        "{name}: final CacheStats diverged after {accesses} decoded accesses"
+    );
+}
+
+#[test]
+fn lru_decoded_matches_access_path() {
+    let geom = paper_geom();
+    assert_decoded_equivalent(
+        "LRU/decoded",
+        || SetAssocCache::new(geom, Box::new(Lru::new(geom))),
+        geom,
+        0xDEC0_1001,
+        diff_accesses(),
+    );
+}
+
+#[test]
+fn dip_decoded_matches_access_path() {
+    let geom = paper_geom();
+    assert_decoded_equivalent(
+        "DIP/decoded",
+        || SetAssocCache::new(geom, Box::new(Dip::new(geom))),
+        geom,
+        0xDEC0_2001,
+        diff_accesses(),
+    );
+}
+
+#[test]
+fn pelifo_decoded_matches_access_path() {
+    let geom = paper_geom();
+    assert_decoded_equivalent(
+        "PeLIFO/decoded",
+        || SetAssocCache::new(geom, Box::new(PeLifo::new(geom))),
+        geom,
+        0xDEC0_3001,
+        diff_accesses(),
+    );
+}
+
+#[test]
+fn vway_decoded_matches_access_path() {
+    // V-Way has no decoded fast path (its tag store probes a different
+    // shape); this pins the documented trait-default fallback.
+    let geom = paper_geom();
+    assert_decoded_equivalent(
+        "VWAY/decoded",
+        || VWayCache::new(geom),
+        geom,
+        0xDEC0_4001,
+        diff_accesses(),
+    );
+}
+
+#[test]
+fn sbc_decoded_matches_access_path() {
+    let geom = paper_geom();
+    assert_decoded_equivalent(
+        "SBC/decoded",
+        || SbcCache::new(geom),
+        geom,
+        0xDEC0_5001,
+        diff_accesses(),
+    );
+}
+
+#[test]
+fn stem_decoded_matches_access_path() {
+    let geom = paper_geom();
+    assert_decoded_equivalent(
+        "STEM/decoded",
+        || StemCache::with_config(geom, StemConfig::micro2010()),
+        geom,
+        0xDEC0_6001,
+        diff_accesses(),
+    );
+}
+
+#[test]
+fn auxiliary_spatial_decoded_match_access_path() {
+    let geom = pressure_geom();
+    assert_decoded_equivalent(
+        "SBC-static/decoded",
+        || StaticSbcCache::new(geom),
+        geom,
+        0xDEC0_7001,
+        diff_accesses() / 10,
+    );
+    assert_decoded_equivalent(
+        "LRU+VC/decoded",
+        || VictimCache::new(geom, 16),
+        geom,
+        0xDEC0_7002,
+        diff_accesses() / 10,
+    );
+}
+
+#[test]
+fn replay_decoded_falls_back_on_incompatible_geometry() {
+    // A trace decoded for one geometry replayed into a cache of another
+    // must take the documented line-aligned fallback and match a direct
+    // `Access`-path replay exactly.
+    let decode_geom = paper_geom();
+    let cache_geom = pressure_geom();
+    let mut rng = SplitMix64::new(0xDEC0_8001);
+    let trace: Trace = (0..diff_accesses() / 10)
+        .map(|i| {
+            let (addr, kind) = synth_access(&mut rng, decode_geom, i);
+            match kind {
+                AccessKind::Write => Access::write(addr),
+                AccessKind::Read => Access::read(addr),
+            }
+        })
+        .collect();
+    let decoded = DecodedTrace::decode(&trace, decode_geom);
+    assert!(!decoded.compatible_with(cache_geom));
+    let mut byte_path = SetAssocCache::new(cache_geom, Box::new(Lru::new(cache_geom)));
+    let mut fast_path = SetAssocCache::new(cache_geom, Box::new(Lru::new(cache_geom)));
+    // The byte path sees line-aligned addresses: intra-line offsets are not
+    // representable in a decoded stream, and every model is offset-invariant.
+    for a in &trace {
+        let line = a.addr.line(decode_geom.line_bytes());
+        byte_path.access(line.to_address(decode_geom.line_bytes()), a.kind);
+    }
+    fast_path.run_decoded(&decoded);
+    assert_eq!(
+        byte_path.stats(),
+        fast_path.stats(),
+        "incompatible-geometry fallback diverged from the Access path"
+    );
 }

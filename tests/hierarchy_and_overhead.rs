@@ -6,9 +6,7 @@ use stem::analysis::{geomean, CapacityDemandProfiler};
 use stem::hierarchy::{System, SystemConfig};
 use stem::llc::{overhead, StemCache, StemConfig};
 use stem::replacement::{Lru, SetAssocCache};
-use stem::sim_core::{
-    Access, AccessResult, Address, CacheGeometry, CacheModel, TimingParams, Trace,
-};
+use stem::sim_core::{Access, AccessResult, Address, CacheGeometry, TimingParams, Trace};
 use stem::workloads::BenchmarkProfile;
 
 /// §5.1's latency table drives AMAT exactly.

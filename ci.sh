@@ -63,4 +63,57 @@ if [ "$status" -eq 0 ]; then
 fi
 echo "    run_all contained the injected cell panic and exited $status (expected nonzero)"
 
+echo "==> serve smoke (loopback ephemeral port, cache hit, graceful drain)"
+ADDR_FILE="$CSV_DIR/serve-addr.txt"
+SERVE_LOG="$CSV_DIR/serve-smoke.log"
+rm -f "$ADDR_FILE"
+STEM_SERVE_ADDR=127.0.0.1:0 STEM_SERVE_ADDR_FILE="$ADDR_FILE" \
+    cargo run --release -q -p stem-serve --bin serve >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$ADDR_FILE" ] && break
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "ERROR: serve exited before binding; log follows" >&2
+        cat "$SERVE_LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ ! -s "$ADDR_FILE" ]; then
+    echo "ERROR: serve never published its address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+ADDR="$(cat "$ADDR_FILE")"
+client() { cargo run --release -q -p stem-serve --bin serve_client -- "$ADDR" "$@"; }
+client GET /healthz | grep -q '"ok"'
+REQ='{"benchmark": "mcf", "scheme": "lru", "sets": 64, "ways": 4, "accesses": 5000}'
+FIRST="$(client POST /run "$REQ")"
+SECOND="$(client POST /run "$REQ")"
+if [ "$FIRST" != "$SECOND" ]; then
+    echo "ERROR: repeated request bodies differ" >&2
+    exit 1
+fi
+METRICS="$(client GET /metrics)"
+echo "$METRICS" | grep -q '^stem_serve_sim_executions_total 1$' || {
+    echo "ERROR: expected exactly one simulation execution; /metrics follows" >&2
+    echo "$METRICS" >&2
+    exit 1
+}
+echo "$METRICS" | grep -q '^stem_serve_cache_hits_total 1$' || {
+    echo "ERROR: second request was not a cache hit; /metrics follows" >&2
+    echo "$METRICS" >&2
+    exit 1
+}
+client POST /shutdown | grep -q draining
+set +e
+wait "$SERVE_PID"
+SERVE_STATUS=$?
+set -e
+if [ "$SERVE_STATUS" -ne 0 ]; then
+    echo "ERROR: serve drain exited $SERVE_STATUS (wanted 0)" >&2
+    exit 1
+fi
+echo "    serve answered /healthz, served the repeat from cache, and drained with exit 0"
+
 echo "==> CI PASSED"

@@ -15,36 +15,32 @@
 use std::time::Duration;
 
 use stem_analysis::{build_cache, geomean, Scheme};
+use stem_bench::config::Config;
 use stem_bench::timing::{best_of, best_of_paired, throughput_line};
-use stem_sim_core::{CacheGeometry, DecodedTrace};
+use stem_sim_core::{CacheGeometry, DecodedTrace, Json};
 use stem_workloads::BenchmarkProfile;
 
-/// How many accesses each timed iteration replays.
-fn bench_accesses() -> usize {
-    std::env::var("STEM_BENCH_ACCESSES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(100_000)
-}
-
-/// Appends one per-scheme JSON series (`"schemes"` or `"decoded"`).
-fn push_series(json: &mut String, key: &str, accesses: u64, results: &[(&str, Duration)]) {
-    json.push_str(&format!("  \"{key}\": [\n"));
-    for (i, (label, d)) in results.iter().enumerate() {
-        let melems = accesses as f64 / d.as_secs_f64().max(1e-12) / 1e6;
-        json.push_str(&format!(
-            "    {{\"scheme\": \"{label}\", \"best_secs\": {:.6}, \"melem_per_s\": {melems:.4}}}{}\n",
-            d.as_secs_f64(),
-            if i + 1 < results.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]");
+/// One per-scheme JSON series (`"schemes"` or `"decoded"`).
+fn series(accesses: u64, results: &[(&str, Duration)]) -> Json {
+    Json::Arr(
+        results
+            .iter()
+            .map(|(label, d)| {
+                let melems = accesses as f64 / d.as_secs_f64().max(1e-12) / 1e6;
+                Json::Obj(vec![
+                    ("scheme".into(), Json::str(*label)),
+                    ("best_secs".into(), Json::float_rounded(d.as_secs_f64(), 6)),
+                    ("melem_per_s".into(), Json::float_rounded(melems, 4)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Writes the machine-readable summary to
 /// `$STEM_CSV_DIR/BENCH_throughput.json` when the variable is set.
 fn maybe_json(
+    csv_dir: Option<&std::path::Path>,
     accesses: u64,
     reps: usize,
     results: &[(&str, Duration)],
@@ -52,38 +48,40 @@ fn maybe_json(
     decoded: &[(&str, Duration)],
     decoded_geomean_melems: f64,
 ) {
-    let Ok(dir) = std::env::var("STEM_CSV_DIR") else {
+    let Some(dir) = csv_dir else {
         return;
     };
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"accesses_per_iteration\": {accesses},\n"));
-    json.push_str(&format!("  \"best_of\": {reps},\n"));
-    json.push_str(&format!(
-        "  \"geomean_melem_per_s\": {geomean_melems:.4},\n"
-    ));
-    json.push_str(&format!(
-        "  \"decoded_geomean_melem_per_s\": {decoded_geomean_melems:.4},\n"
-    ));
-    json.push_str(&format!(
-        "  \"decoded_vs_access_speedup\": {:.4},\n",
-        decoded_geomean_melems / geomean_melems.max(1e-12)
-    ));
-    push_series(&mut json, "schemes", accesses, results);
-    json.push_str(",\n");
-    push_series(&mut json, "decoded", accesses, decoded);
-    json.push_str("\n}\n");
-    let path = std::path::Path::new(&dir).join("BENCH_throughput.json");
-    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, json)) {
+    let doc = Json::Obj(vec![
+        ("accesses_per_iteration".into(), Json::Int(accesses as i64)),
+        ("best_of".into(), Json::Int(reps as i64)),
+        (
+            "geomean_melem_per_s".into(),
+            Json::float_rounded(geomean_melems, 4),
+        ),
+        (
+            "decoded_geomean_melem_per_s".into(),
+            Json::float_rounded(decoded_geomean_melems, 4),
+        ),
+        (
+            "decoded_vs_access_speedup".into(),
+            Json::float_rounded(decoded_geomean_melems / geomean_melems.max(1e-12), 4),
+        ),
+        ("schemes".into(), series(accesses, results)),
+        ("decoded".into(), series(accesses, decoded)),
+    ]);
+    let path = dir.join("BENCH_throughput.json");
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, doc.pretty())) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
 }
 
 fn main() {
     const REPS: usize = 5;
+    let cfg = Config::from_env_or_panic();
     let geom = CacheGeometry::micro2010_l2();
     let trace = BenchmarkProfile::by_name("omnetpp")
         .expect("suite benchmark")
-        .trace(geom, bench_accesses());
+        .trace(geom, cfg.bench_accesses.unwrap_or(100_000));
 
     // The byte-`Access` path and the pre-decoded SoA stream are timed
     // *interleaved* per scheme (see `best_of_paired`): on a shared host the
@@ -141,7 +139,15 @@ fn main() {
         .collect();
     let dgm = geomean(&decoded_melems);
     println!("geomean: {dgm:.2} Melem/s ({:.2}x access path)", dgm / gm);
-    maybe_json(trace.len() as u64, REPS, &results, gm, &decoded, dgm);
+    maybe_json(
+        cfg.csv_dir.as_deref(),
+        trace.len() as u64,
+        REPS,
+        &results,
+        gm,
+        &decoded,
+        dgm,
+    );
 
     let bench = BenchmarkProfile::by_name("mcf").expect("suite benchmark");
     let d = best_of(REPS, || bench.trace(geom, 50_000).len());

@@ -29,9 +29,8 @@ fn mpki(cfg: StemConfig, geom: CacheGeometry, trace: &Trace) -> f64 {
 
 fn main() {
     let geom = CacheGeometry::micro2010_l2();
-    let accesses: usize = std::env::var("STEM_ACCESSES")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    let accesses = stem_bench::config::Config::from_env_or_panic()
+        .accesses
         .unwrap_or(1_000_000);
     let probes = ["omnetpp", "cactusADM", "twolf"]; // Class I / II / III
     let traces: Vec<Trace> = probes

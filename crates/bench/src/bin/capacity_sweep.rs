@@ -14,9 +14,8 @@ use stem_sim_core::CacheGeometry;
 use stem_workloads::BenchmarkProfile;
 
 fn main() {
-    let accesses: usize = std::env::var("STEM_ACCESSES")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    let accesses = stem_bench::config::Config::from_env_or_panic()
+        .accesses
         .unwrap_or(1_000_000);
     let benches = ["art", "omnetpp"];
     // 16 ways fixed; sets 256..8192 → 256KB..8MB.

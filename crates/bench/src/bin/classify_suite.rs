@@ -9,9 +9,8 @@ use stem_workloads::spec2010_suite;
 
 fn main() {
     let geom = CacheGeometry::micro2010_l2();
-    let accesses: usize = std::env::var("STEM_ACCESSES")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    let accesses = stem_bench::config::Config::from_env_or_panic()
+        .accesses
         .unwrap_or(400_000);
     let mut t = Table::new(vec![
         "benchmark".into(),

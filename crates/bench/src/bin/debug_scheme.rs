@@ -12,10 +12,7 @@ fn main() {
         .unwrap_or_else(|_| "stem".into())
         .parse()
         .expect("valid scheme");
-    let accesses: usize = std::env::var("STEM_ACCESSES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2_000_000);
+    let accesses = stem_bench::config::Config::from_env_or_panic().accesses();
     let ways: usize = std::env::var("WAYS")
         .ok()
         .and_then(|v| v.parse().ok())

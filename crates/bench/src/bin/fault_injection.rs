@@ -14,10 +14,14 @@ use std::process::ExitCode;
 use stem_bench::faults;
 
 fn main() -> ExitCode {
-    let accesses: usize = std::env::var("STEM_FAULT_ACCESSES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20_000);
+    let cfg = match stem_bench::config::Config::from_env() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("configuration error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let accesses = cfg.fault_accesses.unwrap_or(20_000);
 
     println!("# fault injection");
     eprintln!(

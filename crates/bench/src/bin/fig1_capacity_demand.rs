@@ -15,9 +15,8 @@ use stem_sim_core::CacheGeometry;
 use stem_workloads::BenchmarkProfile;
 
 fn main() {
-    let periods: usize = std::env::var("STEM_PERIODS")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    let periods = stem_bench::config::Config::from_env_or_panic()
+        .periods
         .unwrap_or(40);
     let period_len = 50_000;
     let geom = CacheGeometry::micro2010_l2();

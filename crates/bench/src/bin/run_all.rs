@@ -21,25 +21,27 @@
 //! `STEM_INJECT_PANIC=<experiment>` deliberately crashes one cell to
 //! exercise that path.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use stem_analysis::{assoc_point_decoded, geomean, CapacityDemandProfiler, Scheme, Table};
+use stem_bench::config::Config;
 use stem_bench::harness::{
-    accesses_per_benchmark, normalized_table, prepare_trace, run_benchmark_matrix_isolated,
-    sensitivity_benchmarks, sweep_ways, PrepTimings,
+    normalized_table, prepare_trace, run_benchmark_matrix_isolated, sensitivity_benchmarks,
+    sweep_ways, PrepTimings,
 };
-use stem_bench::pool;
 use stem_bench::resilience::{ExperimentOutcome, ExperimentRunner};
 use stem_llc::{overhead, StemConfig};
-use stem_sim_core::{CacheGeometry, DecodedTrace};
+use stem_sim_core::{CacheGeometry, DecodedTrace, Json};
 
-/// Writes `table` to `$STEM_CSV_DIR/<name>.csv` when the variable is set.
-fn maybe_csv(name: &str, table: &Table) {
-    if let Ok(dir) = std::env::var("STEM_CSV_DIR") {
-        let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+/// Writes `table` to `<dir>/<name>.csv` when an artifact directory is
+/// configured.
+fn maybe_csv(csv_dir: Option<&Path>, name: &str, table: &Table) {
+    if let Some(dir) = csv_dir {
+        let path = dir.join(format!("{name}.csv"));
         if let Err(e) =
-            std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, table.to_csv()))
+            std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, table.to_csv()))
         {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
@@ -91,9 +93,16 @@ impl StageBreakdown {
 
 /// Emits the per-experiment wall-clock summary: always to stderr (stdout
 /// stays byte-stable across thread counts), and as
-/// `$STEM_CSV_DIR/BENCH_run_all.json` when the CSV directory is set —
-/// the seed of the performance trajectory across PRs.
-fn emit_timing_summary(threads: usize, outcomes: &[ExperimentOutcome], stages: &StageBreakdown) {
+/// `<csv_dir>/BENCH_run_all.json` when the artifact directory is set —
+/// the seed of the performance trajectory across PRs. The document is
+/// built as a [`Json`] value and serialized by the shared writer in
+/// `stem-sim-core`, the same code path the serve responses use.
+fn emit_timing_summary(
+    csv_dir: Option<&Path>,
+    threads: usize,
+    outcomes: &[ExperimentOutcome],
+    stages: &StageBreakdown,
+) {
     let total: f64 = outcomes.iter().map(|o| o.elapsed.as_secs_f64()).sum();
     eprintln!(
         "\nper-experiment wall clock ({} cells on {} threads, {:.1}s of work):",
@@ -118,48 +127,59 @@ fn emit_timing_summary(threads: usize, outcomes: &[ExperimentOutcome], stages: &
         stages.generate_secs, stages.decode_secs, stages.replay_secs, stages.analysis_secs
     );
 
-    if let Ok(dir) = std::env::var("STEM_CSV_DIR") {
-        let mut json = String::from("{\n");
-        json.push_str(&format!("  \"threads\": {threads},\n"));
-        json.push_str(&format!("  \"total_cell_seconds\": {total:.3},\n"));
-        json.push_str(&format!(
-            "  \"stages\": {{\"generate_secs\": {:.3}, \"decode_secs\": {:.3}, \"replay_secs\": {:.3}, \"analysis_secs\": {:.3}}},\n",
-            stages.generate_secs, stages.decode_secs, stages.replay_secs, stages.analysis_secs
-        ));
-        json.push_str("  \"experiments\": [\n");
-        for (i, o) in outcomes.iter().enumerate() {
-            let status = match &o.failure {
-                None => "ok".to_owned(),
-                Some(f) => f.to_string().replace('\\', "\\\\").replace('"', "\\\""),
-            };
-            json.push_str(&format!(
-                "    {{\"name\": \"{}\", \"elapsed_secs\": {:.3}, \"status\": \"{}\"}}{}\n",
-                o.name.replace('\\', "\\\\").replace('"', "\\\""),
-                o.elapsed.as_secs_f64(),
-                status,
-                if i + 1 == outcomes.len() { "" } else { "," }
-            ));
-        }
-        json.push_str("  ]\n}\n");
-        let path = std::path::Path::new(&dir).join("BENCH_run_all.json");
-        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, json)) {
+    if let Some(dir) = csv_dir {
+        let secs3 = |s: f64| Json::float_rounded(s, 3);
+        let experiments: Vec<Json> = outcomes
+            .iter()
+            .map(|o| {
+                let status = match &o.failure {
+                    None => "ok".to_owned(),
+                    Some(f) => f.to_string(),
+                };
+                Json::Obj(vec![
+                    ("name".into(), Json::str(o.name.clone())),
+                    ("elapsed_secs".into(), secs3(o.elapsed.as_secs_f64())),
+                    ("status".into(), Json::str(status)),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("threads".into(), Json::Int(threads as i64)),
+            ("total_cell_seconds".into(), secs3(total)),
+            (
+                "stages".into(),
+                Json::Obj(vec![
+                    ("generate_secs".into(), secs3(stages.generate_secs)),
+                    ("decode_secs".into(), secs3(stages.decode_secs)),
+                    ("replay_secs".into(), secs3(stages.replay_secs)),
+                    ("analysis_secs".into(), secs3(stages.analysis_secs)),
+                ]),
+            ),
+            ("experiments".into(), Json::Arr(experiments)),
+        ]);
+        let path = dir.join("BENCH_run_all.json");
+        if let Err(e) =
+            std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, doc.pretty()))
+        {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
 }
 
 fn main() -> ExitCode {
+    let cfg = match Config::from_env() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("configuration error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let geom = CacheGeometry::micro2010_l2();
-    let accesses = accesses_per_benchmark();
-    let sweep_accesses: usize = std::env::var("STEM_SWEEP_ACCESSES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(accesses / 4);
-    let periods: usize = std::env::var("STEM_PERIODS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20);
-    let threads = pool::configured_threads();
+    let accesses = cfg.accesses();
+    let sweep_accesses = cfg.sweep_accesses();
+    let periods = cfg.periods.unwrap_or(20);
+    let threads = cfg.threads();
+    let csv_dir = cfg.csv_dir.as_deref();
 
     let mut runner = ExperimentRunner::new();
     // Accumulated generate/decode wall clock across every trace-preparing
@@ -221,16 +241,16 @@ fn main() -> ExitCode {
             t2.row(vec![row.name.into(), format!("{:.3}", row.metrics[0].mpki)]);
         }
         println!("\n## Table 2 — LRU MPKI\n\n{t2}");
-        maybe_csv("table2_mpki", &t2);
+        maybe_csv(csv_dir, "table2_mpki", &t2);
         let fig7 = normalized_table(&rows, 0);
         let fig8 = normalized_table(&rows, 1);
         let fig9 = normalized_table(&rows, 2);
         println!("## Fig. 7 — normalized MPKI\n\n{fig7}");
         println!("## Fig. 8 — normalized AMAT\n\n{fig8}");
         println!("## Fig. 9 — normalized CPI\n\n{fig9}");
-        maybe_csv("fig7_mpki", &fig7);
-        maybe_csv("fig8_amat", &fig8);
-        maybe_csv("fig9_cpi", &fig9);
+        maybe_csv(csv_dir, "fig7_mpki", &fig7);
+        maybe_csv(csv_dir, "fig8_amat", &fig8);
+        maybe_csv(csv_dir, "fig9_cpi", &fig9);
 
         // Headline numbers (paper abstract: 21.4% / 13.5% / 6.3% over LRU).
         let mut stem_gains = [Vec::new(), Vec::new(), Vec::new()];
@@ -325,7 +345,7 @@ fn main() -> ExitCode {
             t.row_f64(&w.to_string(), &values);
         }
         println!("## Fig. 3/10 ({name}) — MPKI vs associativity\n\n{t}");
-        maybe_csv(&format!("fig10_{name}"), &t);
+        maybe_csv(csv_dir, &format!("fig10_{name}"), &t);
     }
 
     // ---- Table 3 -----------------------------------------------------
@@ -339,7 +359,7 @@ fn main() -> ExitCode {
 
     // ---- Outcome ----------------------------------------------------
     let stages = StageBreakdown::from_outcomes(prep, fig1_prep_secs, runner.outcomes());
-    emit_timing_summary(threads, runner.outcomes(), &stages);
+    emit_timing_summary(csv_dir, threads, runner.outcomes(), &stages);
     match runner.failure_report() {
         None => {
             eprintln!("\nall {} experiments completed", runner.outcomes().len());

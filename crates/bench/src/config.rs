@@ -1,0 +1,314 @@
+//! One validated parse point for every `STEM_*` environment knob.
+//!
+//! Before this module, each driver re-implemented
+//! `std::env::var("STEM_…").ok().and_then(|v| v.parse().ok())` inline —
+//! which silently swallowed typos: `STEM_THREADS=eight` fell back to all
+//! cores without a word, and `STEM_ACCESSES=2,000,000` quietly ran the
+//! default trace length. [`Config::from_env`] reads every knob once,
+//! validates it, and returns a [`ConfigError`] naming the variable, the
+//! offending value, and what was expected.
+//!
+//! Knobs are stored as `Option`s ("set and valid" vs "unset") because
+//! defaults legitimately differ per driver (`STEM_ACCESSES` defaults to
+//! 2M in the matrix harness but 400k in `classify_suite`); canonical
+//! defaults shared across drivers get accessor methods here.
+//!
+//! A set-but-empty variable counts as unset, so `STEM_CSV_DIR= cargo run …`
+//! behaves like not exporting it at all.
+//!
+//! # Examples
+//!
+//! ```
+//! use stem_bench::config::Config;
+//!
+//! let cfg = Config::from_env().expect("no malformed STEM_* variables");
+//! assert!(cfg.threads() >= 1);
+//! ```
+
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "STEM_THREADS";
+/// Directory receiving CSV/JSON artifacts, when set.
+pub const CSV_DIR_ENV: &str = "STEM_CSV_DIR";
+/// Trace length per benchmark for the matrix drivers.
+pub const ACCESSES_ENV: &str = "STEM_ACCESSES";
+/// Trace length per associativity-sweep point.
+pub const SWEEP_ACCESSES_ENV: &str = "STEM_SWEEP_ACCESSES";
+/// Fig. 1 sampling-period count.
+pub const PERIODS_ENV: &str = "STEM_PERIODS";
+/// Checked-mode audit stride (1 = audit every access).
+pub const AUDIT_STRIDE_ENV: &str = "STEM_AUDIT_STRIDE";
+/// Accesses per audited checked-mode replay.
+pub const CHECKED_ACCESSES_ENV: &str = "STEM_CHECKED_ACCESSES";
+/// Accesses per differential-backend comparison.
+pub const DIFF_ACCESSES_ENV: &str = "STEM_DIFF_ACCESSES";
+/// Accesses per timed throughput-bench iteration.
+pub const BENCH_ACCESSES_ENV: &str = "STEM_BENCH_ACCESSES";
+/// Accesses per adversarial fault-injection replay.
+pub const FAULT_ACCESSES_ENV: &str = "STEM_FAULT_ACCESSES";
+/// Per-experiment wall-clock budget in seconds (0 = everything times out;
+/// the resilience negative tests use that).
+pub const BUDGET_ENV: &str = "STEM_EXPERIMENT_BUDGET_SECS";
+/// Name of an experiment cell that should deliberately panic.
+pub const INJECT_PANIC_ENV: &str = "STEM_INJECT_PANIC";
+
+/// A `STEM_*` variable was set to something unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The environment variable.
+    pub var: &'static str,
+    /// Its observed value.
+    pub value: String,
+    /// What a valid value looks like.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}={:?} is malformed: expected {} (unset the variable for the default)",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Every `STEM_*` knob, parsed and validated once.
+///
+/// Fields are `None` when the variable is unset (or set to the empty
+/// string). Malformed values never reach a field — [`Config::from_env`]
+/// rejects them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// `STEM_THREADS`: worker count for every parallel fan-out.
+    pub threads: Option<usize>,
+    /// `STEM_CSV_DIR`: artifact directory for CSVs and `BENCH_*.json`.
+    pub csv_dir: Option<PathBuf>,
+    /// `STEM_ACCESSES`: trace length per benchmark.
+    pub accesses: Option<usize>,
+    /// `STEM_SWEEP_ACCESSES`: trace length per sweep point.
+    pub sweep_accesses: Option<usize>,
+    /// `STEM_PERIODS`: Fig. 1 sampling periods.
+    pub periods: Option<usize>,
+    /// `STEM_AUDIT_STRIDE`: checked-mode audit stride.
+    pub audit_stride: Option<u64>,
+    /// `STEM_CHECKED_ACCESSES`: accesses per audited replay.
+    pub checked_accesses: Option<usize>,
+    /// `STEM_DIFF_ACCESSES`: accesses per differential comparison.
+    pub diff_accesses: Option<usize>,
+    /// `STEM_BENCH_ACCESSES`: accesses per timed bench iteration.
+    pub bench_accesses: Option<usize>,
+    /// `STEM_FAULT_ACCESSES`: accesses per fault-injection replay.
+    pub fault_accesses: Option<usize>,
+    /// `STEM_EXPERIMENT_BUDGET_SECS`: per-experiment wall-clock budget.
+    pub experiment_budget_secs: Option<u64>,
+    /// `STEM_INJECT_PANIC`: experiment cell to crash deliberately.
+    pub inject_panic: Option<String>,
+}
+
+impl Config {
+    /// Reads and validates every `STEM_*` knob from the process
+    /// environment. The first malformed variable aborts the parse with a
+    /// [`ConfigError`] naming it.
+    pub fn from_env() -> Result<Config, ConfigError> {
+        Config::from_lookup(|var| std::env::var(var).ok())
+    }
+
+    /// The parse core, over any variable source. Tests feed it maps; the
+    /// process environment is just the production lookup.
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> Result<Config, ConfigError> {
+        let src = Source { get: &get };
+        Ok(Config {
+            threads: src.positive(THREADS_ENV)?,
+            csv_dir: src.raw(CSV_DIR_ENV).map(PathBuf::from),
+            accesses: src.positive(ACCESSES_ENV)?,
+            sweep_accesses: src.positive(SWEEP_ACCESSES_ENV)?,
+            periods: src.positive(PERIODS_ENV)?,
+            audit_stride: src.positive(AUDIT_STRIDE_ENV)?,
+            checked_accesses: src.positive(CHECKED_ACCESSES_ENV)?,
+            diff_accesses: src.positive(DIFF_ACCESSES_ENV)?,
+            bench_accesses: src.positive(BENCH_ACCESSES_ENV)?,
+            fault_accesses: src.positive(FAULT_ACCESSES_ENV)?,
+            experiment_budget_secs: src.parsed(BUDGET_ENV, "a non-negative integer (seconds)")?,
+            inject_panic: src.raw(INJECT_PANIC_ENV),
+        })
+    }
+
+    /// Like [`from_env`](Config::from_env), panicking with the
+    /// [`ConfigError`] message on a malformed variable. For library code
+    /// paths with no `Result` channel of their own; binaries should call
+    /// `from_env` and exit with a clean message instead.
+    pub fn from_env_or_panic() -> Config {
+        Config::from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Worker count: `STEM_THREADS`, defaulting to
+    /// [`std::thread::available_parallelism`] (1 if even that is
+    /// unavailable).
+    pub fn threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Per-benchmark trace length, defaulting to the matrix drivers' 2M.
+    pub fn accesses(&self) -> usize {
+        self.accesses.unwrap_or(2_000_000)
+    }
+
+    /// Sweep-point trace length, defaulting to a quarter of
+    /// [`accesses`](Config::accesses).
+    pub fn sweep_accesses(&self) -> usize {
+        self.sweep_accesses.unwrap_or(self.accesses() / 4)
+    }
+
+    /// Checked-mode audit stride, defaulting to 16384.
+    pub fn audit_stride(&self) -> u64 {
+        self.audit_stride.unwrap_or(16_384)
+    }
+
+    /// Per-experiment wall-clock budget, defaulting to four hours.
+    pub fn experiment_budget(&self) -> Duration {
+        Duration::from_secs(self.experiment_budget_secs.unwrap_or(4 * 60 * 60))
+    }
+}
+
+/// A variable source plus the shared unset/parse/validate plumbing.
+struct Source<'a> {
+    get: &'a dyn Fn(&str) -> Option<String>,
+}
+
+impl Source<'_> {
+    /// The raw value of `var`, with "unset" and "set to the empty string"
+    /// both mapped to `None`.
+    fn raw(&self, var: &str) -> Option<String> {
+        (self.get)(var).filter(|v| !v.is_empty())
+    }
+
+    /// Parses `var` with `FromStr`, erroring (not defaulting) on
+    /// malformed values.
+    fn parsed<T: std::str::FromStr>(
+        &self,
+        var: &'static str,
+        expected: &'static str,
+    ) -> Result<Option<T>, ConfigError> {
+        match self.raw(var) {
+            None => Ok(None),
+            Some(v) => v.parse::<T>().map(Some).map_err(|_| ConfigError {
+                var,
+                value: v,
+                expected,
+            }),
+        }
+    }
+
+    /// Parses an integer knob that must be strictly positive (zero
+    /// workers or a zero-length trace is always a configuration mistake).
+    fn positive<T>(&self, var: &'static str) -> Result<Option<T>, ConfigError>
+    where
+        T: std::str::FromStr + PartialOrd + From<u8>,
+    {
+        let expected = "a positive integer";
+        match self.parsed::<T>(var, expected)? {
+            Some(v) if v > T::from(0u8) => Ok(Some(v)),
+            Some(_) => Err(ConfigError {
+                var,
+                value: self.raw(var).unwrap_or_default(),
+                expected,
+            }),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn cfg_of(pairs: &[(&str, &str)]) -> Result<Config, ConfigError> {
+        let map: HashMap<String, String> = pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        Config::from_lookup(|var| map.get(var).cloned())
+    }
+
+    #[test]
+    fn unset_environment_yields_defaults() {
+        let cfg = cfg_of(&[]).expect("empty environment parses");
+        assert_eq!(cfg, Config::default());
+        assert!(cfg.threads() >= 1);
+        assert_eq!(cfg.accesses(), 2_000_000);
+        assert_eq!(cfg.sweep_accesses(), 500_000);
+        assert_eq!(cfg.audit_stride(), 16_384);
+        assert_eq!(cfg.experiment_budget(), Duration::from_secs(4 * 60 * 60));
+    }
+
+    #[test]
+    fn valid_values_land_in_fields() {
+        let cfg = cfg_of(&[
+            (THREADS_ENV, "3"),
+            (ACCESSES_ENV, "1000"),
+            (BUDGET_ENV, "0"),
+            (CSV_DIR_ENV, "/tmp/artifacts"),
+            (INJECT_PANIC_ENV, "matrix/omnetpp/STEM"),
+        ])
+        .expect("valid values parse");
+        assert_eq!(cfg.threads(), 3);
+        assert_eq!(cfg.accesses(), 1000);
+        assert_eq!(cfg.sweep_accesses(), 250);
+        assert_eq!(cfg.experiment_budget(), Duration::ZERO);
+        assert_eq!(
+            cfg.csv_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/artifacts"))
+        );
+        assert_eq!(cfg.inject_panic.as_deref(), Some("matrix/omnetpp/STEM"));
+    }
+
+    #[test]
+    fn empty_string_counts_as_unset() {
+        let cfg = cfg_of(&[(CSV_DIR_ENV, ""), (THREADS_ENV, "")]).unwrap();
+        assert_eq!(cfg.csv_dir, None);
+        assert_eq!(cfg.threads, None);
+    }
+
+    #[test]
+    fn malformed_values_error_with_the_variable_name() {
+        let err = cfg_of(&[(THREADS_ENV, "eight")]).expect_err("malformed thread count");
+        assert_eq!(err.var, THREADS_ENV);
+        let msg = err.to_string();
+        assert!(msg.contains("STEM_THREADS"));
+        assert!(msg.contains("eight"));
+        assert!(msg.contains("positive integer"));
+    }
+
+    #[test]
+    fn zero_is_rejected_where_positive_is_required() {
+        assert!(cfg_of(&[(THREADS_ENV, "0")]).is_err());
+        assert!(cfg_of(&[(ACCESSES_ENV, "0")]).is_err());
+        assert!(cfg_of(&[(AUDIT_STRIDE_ENV, "0")]).is_err());
+    }
+
+    #[test]
+    fn budget_allows_zero_but_not_negatives_or_fractions() {
+        assert_eq!(
+            cfg_of(&[(BUDGET_ENV, "0")]).unwrap().experiment_budget_secs,
+            Some(0)
+        );
+        assert!(cfg_of(&[(BUDGET_ENV, "-4")]).is_err());
+        assert!(cfg_of(&[(BUDGET_ENV, "1.5")]).is_err());
+    }
+
+    #[test]
+    fn from_env_reads_the_process_environment() {
+        // Read-only against the live environment: just proves the lookup
+        // plumbing composes (no mutation, so no cross-test races).
+        let cfg = Config::from_env().expect("test environment has no malformed STEM_* vars");
+        assert!(cfg.threads() >= 1);
+    }
+}

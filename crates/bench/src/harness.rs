@@ -15,11 +15,13 @@ use crate::resilience::ExperimentRunner;
 /// `STEM_ACCESSES` environment variable. The default keeps the full
 /// benchmark matrix a few minutes of wall clock; the paper's 3B-instruction
 /// windows correspond to larger values with identical steady-state shapes.
+///
+/// # Panics
+///
+/// Panics with the [`ConfigError`](crate::config::ConfigError) message
+/// when `STEM_ACCESSES` is set but malformed.
 pub fn accesses_per_benchmark() -> usize {
-    std::env::var("STEM_ACCESSES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2_000_000)
+    crate::config::Config::from_env_or_panic().accesses()
 }
 
 /// Warm-up fraction of every trace (discarded from measurement), matching

@@ -9,6 +9,7 @@
 //! traces, adversarial traffic, and invalid configurations to prove the
 //! simulator degrades with typed errors instead of crashes.
 
+pub mod config;
 pub mod faults;
 pub mod harness;
 pub mod pool;

@@ -26,18 +26,19 @@ use std::sync::Mutex;
 use std::thread;
 
 /// Environment variable overriding the worker count (`STEM_THREADS`).
-/// Unset or unparsable values fall back to `available_parallelism`.
-pub const THREADS_ENV: &str = "STEM_THREADS";
+pub use crate::config::THREADS_ENV;
 
 /// The worker count to use: `STEM_THREADS` when set to a positive
 /// integer, otherwise [`std::thread::available_parallelism`] (1 if even
 /// that is unavailable).
+///
+/// # Panics
+///
+/// Panics with the [`ConfigError`](crate::config::ConfigError) message
+/// when `STEM_THREADS` is set to something other than a positive integer
+/// (the old behaviour silently fell back to all cores).
 pub fn configured_threads() -> usize {
-    std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+    crate::config::Config::from_env_or_panic().threads()
 }
 
 /// Extracts the human-readable message from a panic payload.

@@ -26,13 +26,11 @@ use crate::pool::panic_message;
 /// Environment variable naming an experiment that should deliberately
 /// panic, for exercising the isolation machinery end-to-end
 /// (`STEM_INJECT_PANIC=<experiment name>`).
-pub const INJECT_PANIC_ENV: &str = "STEM_INJECT_PANIC";
+pub use crate::config::INJECT_PANIC_ENV;
 
 /// Environment variable overriding the per-experiment wall-clock budget in
 /// seconds (`STEM_EXPERIMENT_BUDGET_SECS`).
-pub const BUDGET_ENV: &str = "STEM_EXPERIMENT_BUDGET_SECS";
-
-const DEFAULT_BUDGET: Duration = Duration::from_secs(4 * 60 * 60);
+pub use crate::config::BUDGET_ENV;
 
 /// How often the collector checks running experiments against the budget.
 const BUDGET_POLL: Duration = Duration::from_millis(25);
@@ -102,13 +100,15 @@ pub struct ExperimentRunner {
 impl ExperimentRunner {
     /// Creates a runner with the default (or `STEM_EXPERIMENT_BUDGET_SECS`
     /// overridden) per-experiment budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`](crate::config::ConfigError) message
+    /// when the budget variable is set but malformed.
     pub fn new() -> Self {
-        let budget = std::env::var(BUDGET_ENV)
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .map(Duration::from_secs)
-            .unwrap_or(DEFAULT_BUDGET);
-        ExperimentRunner::with_budget(budget)
+        ExperimentRunner::with_budget(
+            crate::config::Config::from_env_or_panic().experiment_budget(),
+        )
     }
 
     /// Creates a runner with an explicit per-experiment budget.
@@ -174,7 +174,7 @@ impl ExperimentRunner {
         if n == 0 {
             return Vec::new();
         }
-        let inject_target = std::env::var(INJECT_PANIC_ENV).ok();
+        let inject_target = crate::config::Config::from_env_or_panic().inject_panic;
         let mut names = Vec::with_capacity(n);
         let mut queue = VecDeque::with_capacity(n);
         for (index, (name, f)) in jobs.into_iter().enumerate() {

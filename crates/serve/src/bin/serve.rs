@@ -1,0 +1,84 @@
+//! `serve` — the stem-serve daemon.
+//!
+//! Binds `STEM_SERVE_ADDR` (default `127.0.0.1:0`, i.e. an ephemeral
+//! port), prints the bound address on stdout as `listening on <addr>`,
+//! and serves until a client POSTs `/shutdown`. When
+//! `STEM_SERVE_ADDR_FILE` is set the bound address is also written
+//! there, so scripts (ci.sh's smoke stage) can discover the ephemeral
+//! port without parsing stdout.
+//!
+//! Knobs:
+//!
+//! * `STEM_SERVE_ADDR` — bind address (default `127.0.0.1:0`);
+//! * `STEM_SERVE_ADDR_FILE` — file to write the bound address into;
+//! * `STEM_SERVE_QUEUE` — bounded queue slots (default 8);
+//! * `STEM_SERVE_CACHE` — result-cache entries (default 64, max 255);
+//! * `STEM_THREADS` — executor worker threads (shared workspace knob);
+//! * `STEM_SERVE_BUDGET_SECS` — per-experiment budget (default 600).
+//!
+//! Run with `cargo run --release -p stem-serve --bin serve`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use stem_serve::service::{self, ServeConfig};
+use stem_serve::transport::TcpTransport;
+
+fn env_usize(var: &str, default: usize) -> Result<usize, String> {
+    match std::env::var(var) {
+        Err(_) => Ok(default),
+        Ok(raw) => raw
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("{var}={raw:?} is malformed: expected a positive integer")),
+    }
+}
+
+fn main() -> ExitCode {
+    let addr = std::env::var("STEM_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:0".to_owned());
+    let (queue_capacity, cache_capacity, budget_secs) = match (
+        env_usize("STEM_SERVE_QUEUE", 8),
+        env_usize("STEM_SERVE_CACHE", 64),
+        env_usize("STEM_SERVE_BUDGET_SECS", 600),
+    ) {
+        (Ok(q), Ok(c), Ok(b)) if c <= 255 => (q, c, b),
+        (Ok(_), Ok(c), Ok(_)) => {
+            eprintln!("configuration error: STEM_SERVE_CACHE={c} exceeds the 255-entry bound");
+            return ExitCode::from(2);
+        }
+        (q, c, b) => {
+            for e in [q.err(), c.err(), b.err()].into_iter().flatten() {
+                eprintln!("configuration error: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let transport = match TcpTransport::bind(&addr) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = transport.local_addr();
+    println!("listening on {bound}");
+    if let Ok(path) = std::env::var("STEM_SERVE_ADDR_FILE") {
+        if let Err(e) = std::fs::write(&path, format!("{bound}\n")) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let config = ServeConfig {
+        queue_capacity,
+        cache_capacity,
+        budget: Duration::from_secs(budget_secs as u64),
+        ..ServeConfig::default()
+    };
+    let handle = service::start(Box::new(transport), config);
+    handle.join();
+    println!("drained; goodbye");
+    ExitCode::SUCCESS
+}

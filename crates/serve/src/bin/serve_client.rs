@@ -1,0 +1,67 @@
+//! `serve_client` — a tiny raw-TCP client for the stem-serve daemon.
+//!
+//! The offline CI environment does not guarantee `curl`, so the smoke
+//! stage (and anyone poking a local server) uses this instead:
+//!
+//! ```text
+//! serve_client <addr> GET  /healthz
+//! serve_client <addr> GET  /metrics
+//! serve_client <addr> POST /run '{"benchmark": "mcf", "scheme": "stem"}'
+//! serve_client <addr> POST /shutdown
+//! ```
+//!
+//! Prints the response body on stdout; exits 0 on 2xx, 1 otherwise (with
+//! the status on stderr).
+
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use stem_serve::http;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, method, path, body) = match args.as_slice() {
+        [addr, method, path] => (addr, method.as_str(), path.as_str(), Vec::new()),
+        [addr, method, path, body] => (
+            addr,
+            method.as_str(),
+            path.as_str(),
+            body.clone().into_bytes(),
+        ),
+        _ => {
+            eprintln!("usage: serve_client <addr> <METHOD> <path> [json-body]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(660)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+
+    if let Err(e) = http::write_request(&mut stream, method, path, &body) {
+        eprintln!("request failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    match http::read_response(&mut stream) {
+        Ok(resp) => {
+            print!("{}", resp.body_text());
+            if (200..300).contains(&resp.status) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("HTTP {}", resp.status);
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("response unreadable: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

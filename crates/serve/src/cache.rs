@@ -1,0 +1,202 @@
+//! The content-addressed result cache.
+//!
+//! Responses are cached by the FNV-1a 64 hash of the request's canonical
+//! serialization ([`crate::request::RunRequest::cache_key`]), with the
+//! canonical string stored alongside and compared on lookup so a hash
+//! collision degrades to a miss, never to a wrong answer.
+//!
+//! Eviction is bounded LRU — and rather than writing a fourth LRU
+//! implementation, the cache dogfoods the simulator's own
+//! [`RecencyStack`]: the cache is one "set" whose ways are cache slots,
+//! hits are `touch_mru`, and the victim on overflow is `lru_way()`. The
+//! stack's permutation invariant (audited extensively in
+//! `stem-replacement`) is exactly the invariant a bounded LRU cache
+//! needs.
+
+use std::sync::Arc;
+
+use stem_replacement::RecencyStack;
+
+/// One cached response.
+#[derive(Debug)]
+struct Entry {
+    key: u64,
+    canonical: String,
+    body: Arc<Vec<u8>>,
+}
+
+/// A bounded LRU map from canonical request to response body.
+#[derive(Debug)]
+pub struct ResultCache {
+    slots: Vec<Option<Entry>>,
+    recency: RecencyStack,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// Default number of cached responses.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Creates a cache holding up to `capacity` responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is in `1..=255` ([`RecencyStack`]'s range
+    /// — a response cache deeper than 255 entries wants a different
+    /// structure anyway).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            slots: (0..capacity).map(|_| None).collect(),
+            recency: RecencyStack::new(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks `canonical` up (pre-hashed as `key`); a hit refreshes the
+    /// entry to MRU.
+    pub fn get(&mut self, key: u64, canonical: &str) -> Option<Arc<Vec<u8>>> {
+        let slot = self.slots.iter().position(|s| {
+            s.as_ref()
+                .is_some_and(|e| e.key == key && e.canonical == canonical)
+        });
+        match slot {
+            Some(way) => {
+                self.recency.touch_mru(way);
+                self.hits += 1;
+                Some(Arc::clone(
+                    &self.slots[way].as_ref().expect("matched slot").body,
+                ))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a response, evicting the LRU entry when
+    /// full. Returns the evicted canonical string, if any.
+    pub fn insert(&mut self, key: u64, canonical: String, body: Arc<Vec<u8>>) -> Option<String> {
+        // Refresh in place if the experiment raced its way in twice.
+        if let Some(way) = self.slots.iter().position(|s| {
+            s.as_ref()
+                .is_some_and(|e| e.key == key && e.canonical == canonical)
+        }) {
+            self.slots[way] = Some(Entry {
+                key,
+                canonical,
+                body,
+            });
+            self.recency.touch_mru(way);
+            return None;
+        }
+        let (way, evicted) = match self.slots.iter().position(|s| s.is_none()) {
+            Some(empty) => (empty, None),
+            // All slots occupied: the recency stack names the victim.
+            None => {
+                let victim = self.recency.lru_way();
+                let old = self.slots[victim]
+                    .take()
+                    .expect("full cache has no empty slots");
+                (victim, Some(old.canonical))
+            }
+        };
+        self.slots[way] = Some(Entry {
+            key,
+            canonical,
+            body,
+        });
+        self.recency.touch_mru(way);
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::fnv1a64;
+
+    fn put(cache: &mut ResultCache, name: &str) -> Option<String> {
+        cache.insert(
+            fnv1a64(name.as_bytes()),
+            name.to_owned(),
+            Arc::new(name.as_bytes().to_vec()),
+        )
+    }
+
+    fn get(cache: &mut ResultCache, name: &str) -> Option<Arc<Vec<u8>>> {
+        cache.get(fnv1a64(name.as_bytes()), name)
+    }
+
+    #[test]
+    fn hit_returns_the_stored_body() {
+        let mut c = ResultCache::new(4);
+        assert!(get(&mut c, "a").is_none());
+        put(&mut c, "a");
+        assert_eq!(get(&mut c, "a").expect("hit").as_slice(), b"a");
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut c = ResultCache::new(3);
+        put(&mut c, "a");
+        put(&mut c, "b");
+        put(&mut c, "c");
+        // Touch "a" so "b" becomes LRU.
+        assert!(get(&mut c, "a").is_some());
+        assert_eq!(put(&mut c, "d").as_deref(), Some("b"));
+        assert!(get(&mut c, "b").is_none(), "b was evicted");
+        assert!(get(&mut c, "a").is_some());
+        assert!(get(&mut c, "c").is_some());
+        assert!(get(&mut c, "d").is_some());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn hash_collision_degrades_to_a_miss() {
+        let mut c = ResultCache::new(2);
+        let key = 42;
+        c.insert(key, "left".into(), Arc::new(b"L".to_vec()));
+        assert!(
+            c.get(key, "right").is_none(),
+            "same hash, different request"
+        );
+        assert_eq!(c.get(key, "left").expect("real hit").as_slice(), b"L");
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = ResultCache::new(2);
+        put(&mut c, "a");
+        put(&mut c, "a");
+        assert_eq!(c.len(), 1);
+    }
+}

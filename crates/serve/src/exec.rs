@@ -1,0 +1,156 @@
+//! The experiment executor: turns a validated [`RunRequest`] into a
+//! deterministic JSON result.
+//!
+//! The service core is executor-agnostic — it takes any
+//! `Fn(&RunRequest) -> Result<Json, SimError>` — so tests can substitute
+//! a blocking or instant executor to exercise backpressure and caching
+//! without running simulations. [`simulation_executor`] is the real one:
+//! decode-once trace preparation ([`prepare_trace`]), the full system
+//! model ([`run_system_decoded`] at the paper's Table 1 configuration),
+//! and optionally the §3.1 capacity-demand profile.
+//!
+//! Determinism contract: for a given request the returned JSON — and
+//! therefore the serialized response body — is byte-identical across
+//! runs, thread counts, and processes. Nothing here reads clocks,
+//! randomness beyond the trace generators' fixed seeds, or ambient
+//! environment.
+
+use std::sync::Arc;
+
+use stem_analysis::{run_system_decoded, CapacityDemandProfiler};
+use stem_bench::harness::prepare_trace;
+use stem_hierarchy::{SystemConfig, SystemMetrics};
+use stem_sim_core::{Json, SimError};
+use stem_workloads::BenchmarkProfile;
+
+use crate::request::RunRequest;
+
+/// The pluggable experiment function.
+pub type Executor = Arc<dyn Fn(&RunRequest) -> Result<Json, SimError> + Send + Sync>;
+
+/// Builds the production executor.
+pub fn simulation_executor() -> Executor {
+    Arc::new(run_simulation)
+}
+
+/// Runs one experiment end to end.
+///
+/// # Errors
+///
+/// [`SimError::Config`] if the benchmark vanished between validation and
+/// execution (cannot happen for requests produced by
+/// [`RunRequest::parse`]).
+pub fn run_simulation(req: &RunRequest) -> Result<Json, SimError> {
+    let bench = BenchmarkProfile::by_name(&req.benchmark).ok_or_else(|| {
+        SimError::config("serve", format!("unknown benchmark {:?}", req.benchmark))
+    })?;
+    let geom = req.geometry();
+    let prepared = prepare_trace(&bench, geom, req.accesses);
+    let metrics = run_system_decoded(
+        req.scheme,
+        geom,
+        SystemConfig::micro2010(),
+        &prepared.trace,
+        req.warmup_fraction,
+    );
+
+    let mut fields = vec![("metrics".to_owned(), metrics_json(&metrics))];
+    if req.profile {
+        let profiler = CapacityDemandProfiler::micro2010(geom);
+        let agg = CapacityDemandProfiler::aggregate(&profiler.profile_decoded(&prepared.trace));
+        fields.push((
+            "capacity_profile".to_owned(),
+            Json::Obj(vec![
+                (
+                    "banded_fractions".to_owned(),
+                    Json::Arr(
+                        agg.banded()
+                            .iter()
+                            .map(|&f| Json::float_rounded(f, 6))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "fraction_at_most_4_ways".to_owned(),
+                    Json::float_rounded(agg.fraction_at_most(4), 6),
+                ),
+                (
+                    "fraction_at_most_16_ways".to_owned(),
+                    Json::float_rounded(agg.fraction_at_most(16), 6),
+                ),
+            ]),
+        ));
+    }
+    Ok(Json::Obj(fields))
+}
+
+/// Serializes the system metrics with fixed 6-decimal rounding, so the
+/// response body is stable even if float formatting details ever change.
+fn metrics_json(m: &SystemMetrics) -> Json {
+    Json::Obj(vec![
+        ("mpki".to_owned(), Json::float_rounded(m.mpki, 6)),
+        ("amat".to_owned(), Json::float_rounded(m.amat, 6)),
+        ("cpi".to_owned(), Json::float_rounded(m.cpi, 6)),
+        (
+            "l1_miss_rate".to_owned(),
+            Json::float_rounded(m.l1_miss_rate, 6),
+        ),
+        ("instructions".to_owned(), Json::Int(m.instructions as i64)),
+        ("accesses".to_owned(), Json::Int(m.accesses as i64)),
+        (
+            "l2".to_owned(),
+            Json::Obj(vec![
+                ("accesses".to_owned(), Json::Int(m.l2.accesses() as i64)),
+                ("hits".to_owned(), Json::Int(m.l2.hits() as i64)),
+                ("misses".to_owned(), Json::Int(m.l2.misses() as i64)),
+                ("evictions".to_owned(), Json::Int(m.l2.evictions() as i64)),
+                ("writebacks".to_owned(), Json::Int(m.l2.writebacks() as i64)),
+                ("spills".to_owned(), Json::Int(m.l2.spills() as i64)),
+                ("receives".to_owned(), Json::Int(m.l2.receives() as i64)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_request(profile: bool) -> RunRequest {
+        RunRequest::parse(
+            format!(
+                r#"{{"benchmark": "mcf", "scheme": "lru", "sets": 64, "ways": 4,
+                     "accesses": 5000, "profile": {profile}}}"#
+            )
+            .as_bytes(),
+        )
+        .expect("valid request")
+    }
+
+    #[test]
+    fn simulation_result_is_reproducible() {
+        let req = tiny_request(false);
+        let a = run_simulation(&req).expect("run a");
+        let b = run_simulation(&req).expect("run b");
+        assert_eq!(a.to_string(), b.to_string());
+        let mpki = a
+            .get("metrics")
+            .and_then(|m| m.get("mpki"))
+            .and_then(Json::as_f64)
+            .expect("mpki present");
+        assert!(mpki.is_finite() && mpki >= 0.0, "mpki = {mpki}");
+    }
+
+    #[test]
+    fn profile_is_included_only_on_request() {
+        let without = run_simulation(&tiny_request(false)).expect("run");
+        assert!(without.get("capacity_profile").is_none());
+        let with = run_simulation(&tiny_request(true)).expect("run");
+        let bands = with
+            .get("capacity_profile")
+            .and_then(|p| p.get("banded_fractions"))
+            .and_then(Json::as_arr)
+            .expect("profile bands");
+        assert!(!bands.is_empty());
+    }
+}

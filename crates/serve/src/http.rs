@@ -1,0 +1,287 @@
+//! A deliberately minimal HTTP/1.1 implementation.
+//!
+//! The service speaks one request per connection (`Connection: close` on
+//! every response), which keeps the state machine trivial: read one
+//! request head, read `Content-Length` body bytes, write one response,
+//! close. That is all the `serve` workload needs — experiment requests
+//! are seconds-long, so connection reuse buys nothing — and it removes
+//! keep-alive timeout and pipelining corner cases entirely.
+//!
+//! Limits are enforced while *reading*, so a hostile peer cannot balloon
+//! memory: the head is capped at 16 KiB and the body at 1 MiB.
+
+use std::io::{self, Read, Write};
+
+/// Maximum bytes of request line + headers.
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum request body bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed inbound request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Uppercased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, query string stripped (none of our routes take one).
+    pub path: String,
+    /// Raw body bytes (`Content-Length` worth).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed; rendered into a 400 by the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError(pub String);
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed HTTP request: {}", self.0)
+    }
+}
+
+fn bad(detail: impl Into<String>) -> HttpError {
+    HttpError(detail.into())
+}
+
+/// Reads one HTTP/1.1 request (head + `Content-Length` body) from `conn`.
+///
+/// # Errors
+///
+/// `Err(Ok(HttpError))` is never produced — the nested result is
+/// flattened: I/O failures come back as `io::Error`, protocol violations
+/// as `HttpError` wrapped in `InvalidData`.
+pub fn read_request(conn: &mut dyn Read) -> Result<HttpRequest, HttpError> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Single-byte reads keep the parser from consuming body bytes past the
+    // blank line; the underlying streams are in-memory or kernel-buffered,
+    // so this costs microseconds on requests that run simulations for
+    // seconds.
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(bad(format!("request head exceeds {MAX_HEAD} bytes")));
+        }
+        match conn.read(&mut byte) {
+            Ok(0) => {
+                return Err(bad(if head.is_empty() {
+                    "connection closed before any request".to_owned()
+                } else {
+                    "connection closed mid-head".to_owned()
+                }))
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(bad(format!("reading request head: {e}"))),
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| bad("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| bad("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| bad("request line has no target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| bad("request line has no HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported protocol version {version:?}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    if !path.starts_with('/') {
+        return Err(bad(format!("request target {target:?} is not a path")));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(format!("header line without a colon: {line:?}")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| bad(format!("unparseable Content-Length {:?}", value.trim())))?;
+            if content_length > MAX_BODY {
+                return Err(bad(format!(
+                    "body of {content_length} bytes exceeds {MAX_BODY}"
+                )));
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        conn.read_exact(&mut body)
+            .map_err(|e| bad(format!("reading {content_length}-byte body: {e}")))?;
+    }
+    Ok(HttpRequest { method, path, body })
+}
+
+/// The status lines the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response and flushes. Every response carries
+/// `Connection: close`; the caller drops the connection afterwards.
+pub fn write_response(
+    conn: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    conn.write_all(head.as_bytes())?;
+    conn.write_all(body)?;
+    conn.flush()
+}
+
+/// Writes one client request with a body and flushes.
+pub fn write_request(
+    conn: &mut dyn Write,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: stem-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len(),
+    );
+    conn.write_all(head.as_bytes())?;
+    conn.write_all(body)?;
+    conn.flush()
+}
+
+/// A parsed response, for the client side (tests, `serve_client`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Numeric status code.
+    pub status: u16,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The body as UTF-8 (lossy — diagnostics only).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads one response from `conn` (status line, headers, `Content-Length`
+/// body). The server always sends `Content-Length`, so chunked decoding is
+/// not implemented.
+pub fn read_response(conn: &mut dyn Read) -> Result<HttpResponse, HttpError> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(bad(format!("response head exceeds {MAX_HEAD} bytes")));
+        }
+        match conn.read(&mut byte) {
+            Ok(0) => return Err(bad("connection closed mid-response")),
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(bad(format!("reading response head: {e}"))),
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| bad("response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("unparseable status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("unparseable response Content-Length"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        conn.read_exact(&mut body)
+            .map_err(|e| bad(format!("reading response body: {e}")))?;
+    }
+    Ok(HttpResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        let req = read_request(&mut &raw[..]).expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn strips_query_strings_and_uppercases_methods() {
+        let raw = b"get /metrics?x=1 HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..]).expect("parse");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_and_bad_lengths() {
+        let raw = format!(
+            "POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = read_request(&mut raw.as_bytes()).expect_err("too big");
+        assert!(err.0.contains("exceeds"), "{err}");
+
+        let raw = b"POST /run HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+        let err = read_request(&mut &raw[..]).expect_err("bad length");
+        assert!(err.0.contains("Content-Length"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_request_lines() {
+        for raw in [&b"\r\n\r\n"[..], b"GET\r\n\r\n", b"GET /x SPDY/9\r\n\r\n"] {
+            read_request(&mut &raw[..]).expect_err("garbage rejected");
+        }
+    }
+
+    #[test]
+    fn response_round_trips_through_the_client_parser() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 429, "application/json", b"{\"error\":\"full\"}").expect("write");
+        let resp = read_response(&mut &wire[..]).expect("parse");
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.body, b"{\"error\":\"full\"}");
+    }
+}

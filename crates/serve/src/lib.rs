@@ -1,0 +1,70 @@
+//! `stem-serve` — the simulation-as-a-service layer.
+//!
+//! A long-running, std-only experiment service over the STEM
+//! reproduction: clients POST a JSON experiment description ("run
+//! benchmark X under scheme Y at geometry G") and receive the paper's
+//! metric triple (MPKI / AMAT / CPI), raw L2 statistics, and optionally
+//! the §3.1 per-set capacity-demand profile. See `DESIGN.md` §11 for the
+//! architecture.
+//!
+//! The stack is four independently testable layers:
+//!
+//! * [`transport`] — where connections come from: a real
+//!   `TcpListener` ([`transport::TcpTransport`]) or an in-memory duplex
+//!   channel ([`transport::duplex_transport`]) so everything above it
+//!   tests hermetically in-process;
+//! * [`http`] — a minimal one-request-per-connection HTTP/1.1 codec;
+//! * [`request`] + [`cache`] — strict validation onto the
+//!   [`SimError`](stem_sim_core::SimError) taxonomy, canonicalization,
+//!   FNV-1a content addressing, and a bounded LRU result cache built on
+//!   the simulator's own
+//!   [`RecencyStack`](stem_replacement::RecencyStack);
+//! * [`service`] + [`exec`] + [`metrics`] — routing, the bounded job
+//!   queue with 429 backpressure, panic/budget isolation via
+//!   [`ExperimentRunner`](stem_bench::resilience::ExperimentRunner),
+//!   Prometheus text metrics, and graceful drain.
+//!
+//! # Determinism
+//!
+//! Identical requests produce **byte-identical** response bodies — across
+//! field order, omitted-vs-explicit defaults, thread counts, cache hits
+//! and misses, and server restarts. The response is a pure function of
+//! the canonical request.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stem_serve::{http, service, transport};
+//!
+//! let (listener, connector) = transport::duplex_transport();
+//! let config = service::ServeConfig {
+//!     threads: 1,
+//!     ..service::ServeConfig::default()
+//! };
+//! let handle = service::start(Box::new(listener), config);
+//!
+//! let mut conn = connector.connect().unwrap();
+//! let body = br#"{"benchmark": "mcf", "scheme": "lru", "sets": 64, "ways": 4, "accesses": 2000}"#;
+//! http::write_request(&mut conn, "POST", "/run", body).unwrap();
+//! let resp = http::read_response(&mut conn).unwrap();
+//! assert_eq!(resp.status, 200);
+//! assert!(resp.body_text().contains("\"mpki\""));
+//!
+//! handle.shutdown();
+//! handle.join();
+//! ```
+
+pub mod cache;
+pub mod exec;
+pub mod http;
+pub mod metrics;
+pub mod request;
+pub mod service;
+pub mod transport;
+
+pub use cache::ResultCache;
+pub use exec::{run_simulation, simulation_executor, Executor};
+pub use metrics::Metrics;
+pub use request::{fnv1a64, RunRequest};
+pub use service::{start, start_with_executor, ServeConfig, ServiceHandle};
+pub use transport::{duplex_transport, DuplexConnector, DuplexTransport, TcpTransport, Transport};

@@ -1,0 +1,235 @@
+//! The ops surface: counters, gauges, and a latency histogram rendered in
+//! Prometheus text exposition format at `/metrics`.
+//!
+//! Everything is plain `std::sync::atomic` (plus one `Mutex<BTreeMap>`
+//! for the labeled request counter), so recording from handler and
+//! executor threads never blocks on anything slower than a CAS. Rendering
+//! sorts labels (`BTreeMap` iteration order), so the `/metrics` page is
+//! deterministic for a given counter state — handy for the CI smoke test
+//! that greps it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Upper bounds (seconds) of the request-latency histogram buckets; an
+/// implicit `+Inf` bucket follows.
+pub const LATENCY_BUCKETS: [f64; 7] = [0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0];
+
+/// Shared service metrics. One instance per service, behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Completed requests keyed by `(route, status)`.
+    requests: Mutex<BTreeMap<(String, u16), u64>>,
+    /// Cumulative latency bucket counts (`LATENCY_BUCKETS` + `+Inf`).
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    /// Sum of observed latencies in microseconds (integer, so the render
+    /// is deterministic and lock-free).
+    latency_sum_micros: AtomicU64,
+    latency_count: AtomicU64,
+    /// Jobs currently waiting in the bounded queue.
+    queue_depth: AtomicU64,
+    /// Simulations actually executed (cache misses that ran).
+    sim_executions: AtomicU64,
+    /// `/run` responses served from the result cache.
+    cache_hits: AtomicU64,
+    /// `/run` requests that missed the cache.
+    cache_misses: AtomicU64,
+    /// Requests rejected with 429 because the queue was full.
+    rejected: AtomicU64,
+    /// Experiment cells that panicked or overran their budget.
+    worker_failures: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one completed request.
+    pub fn record_request(&self, route: &str, status: u16, latency: Duration) {
+        *self
+            .requests
+            .lock()
+            .expect("metrics lock")
+            .entry((route.to_owned(), status))
+            .or_insert(0) += 1;
+        let secs = latency.as_secs_f64();
+        let bucket = LATENCY_BUCKETS
+            .iter()
+            .position(|&le| secs <= le)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_micros
+            .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job entered the bounded queue.
+    pub fn job_enqueued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The executor picked a job up.
+    pub fn job_started(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A simulation actually ran (as opposed to a cache hit).
+    pub fn sim_executed(&self) {
+        self.sim_executions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime simulations executed.
+    pub fn sim_executions(&self) -> u64 {
+        self.sim_executions.load(Ordering::Relaxed)
+    }
+
+    /// A `/run` response came straight from the result cache.
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime cache hits.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// A `/run` request missed the cache.
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request bounced off the full queue with 429.
+    pub fn rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime 429 rejections.
+    pub fn rejections(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// An experiment cell panicked or timed out under the runner.
+    pub fn worker_failed(&self) {
+        self.worker_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text exposition page.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+
+        out.push_str("# HELP stem_serve_requests_total Completed requests by route and status.\n");
+        out.push_str("# TYPE stem_serve_requests_total counter\n");
+        for ((route, status), count) in self.requests.lock().expect("metrics lock").iter() {
+            out.push_str(&format!(
+                "stem_serve_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}\n"
+            ));
+        }
+
+        out.push_str(
+            "# HELP stem_serve_request_seconds Request latency from accept to response.\n",
+        );
+        out.push_str("# TYPE stem_serve_request_seconds histogram\n");
+        let mut cumulative = 0u64;
+        for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "stem_serve_request_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "stem_serve_request_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        let sum_secs = self.latency_sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        out.push_str(&format!("stem_serve_request_seconds_sum {sum_secs}\n"));
+        out.push_str(&format!(
+            "stem_serve_request_seconds_count {}\n",
+            self.latency_count.load(Ordering::Relaxed)
+        ));
+
+        let gauges_and_counters: [(&str, &str, &str, u64); 6] = [
+            (
+                "stem_serve_queue_depth",
+                "gauge",
+                "Jobs waiting in the bounded queue.",
+                self.queue_depth.load(Ordering::Relaxed),
+            ),
+            (
+                "stem_serve_sim_executions_total",
+                "counter",
+                "Simulations actually executed (cache misses that ran).",
+                self.sim_executions(),
+            ),
+            (
+                "stem_serve_cache_hits_total",
+                "counter",
+                "Run responses served from the result cache.",
+                self.cache_hits(),
+            ),
+            (
+                "stem_serve_cache_misses_total",
+                "counter",
+                "Run requests that missed the result cache.",
+                self.cache_misses.load(Ordering::Relaxed),
+            ),
+            (
+                "stem_serve_rejected_total",
+                "counter",
+                "Requests rejected with 429 (queue full).",
+                self.rejections(),
+            ),
+            (
+                "stem_serve_worker_failures_total",
+                "counter",
+                "Experiment cells that panicked or overran their budget.",
+                self.worker_failures.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, kind, help, value) in gauges_and_counters {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_reflects_recorded_activity() {
+        let m = Metrics::new();
+        m.record_request("run", 200, Duration::from_millis(3));
+        m.record_request("run", 429, Duration::from_micros(50));
+        m.record_request("healthz", 200, Duration::from_micros(10));
+        m.sim_executed();
+        m.cache_hit();
+        m.rejected();
+        let page = m.render();
+        assert!(page.contains("stem_serve_requests_total{route=\"run\",status=\"200\"} 1"));
+        assert!(page.contains("stem_serve_requests_total{route=\"run\",status=\"429\"} 1"));
+        assert!(page.contains("stem_serve_sim_executions_total 1"));
+        assert!(page.contains("stem_serve_cache_hits_total 1"));
+        assert!(page.contains("stem_serve_rejected_total 1"));
+        assert!(page.contains("stem_serve_request_seconds_count 3"));
+        // 50µs and 10µs land in the first bucket; 3ms in the second.
+        assert!(page.contains("stem_serve_request_seconds_bucket{le=\"0.001\"} 2"));
+        assert!(page.contains("stem_serve_request_seconds_bucket{le=\"0.005\"} 3"));
+        assert!(page.contains("stem_serve_request_seconds_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn queue_depth_tracks_enqueue_and_start() {
+        let m = Metrics::new();
+        m.job_enqueued();
+        m.job_enqueued();
+        m.job_started();
+        assert!(m.render().contains("stem_serve_queue_depth 1"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Experiment request decoding, validation, and canonicalization.
+//!
+//! A `/run` body is strict JSON (see [`stem_sim_core::Json`]): two
+//! required fields (`benchmark`, `scheme`), optional geometry and length
+//! overrides, and nothing else — unknown fields are rejected so a typo'd
+//! knob fails loudly instead of silently running the default experiment.
+//!
+//! Every accepted request has exactly one **canonical form**: the full
+//! field set in a fixed order with defaults filled in. The canonical
+//! serialization is what gets hashed (FNV-1a 64) for the result cache and
+//! echoed back in the response, so two requests that *mean* the same
+//! experiment — regardless of field order or omitted defaults — share one
+//! cache entry and one byte-identical response body.
+
+use stem_analysis::Scheme;
+use stem_sim_core::{CacheGeometry, Json, SimError};
+use stem_workloads::{spec2010_suite, BenchmarkProfile};
+
+/// Hard ceiling on `accesses`: a service request is an interactive
+/// experiment, not a batch reproduction run.
+pub const MAX_ACCESSES: usize = 20_000_000;
+
+/// Default trace length when the request does not override it.
+pub const DEFAULT_ACCESSES: usize = 200_000;
+
+/// Default warm-up fraction (the paper's 20% split).
+pub const DEFAULT_WARMUP: f64 = 0.2;
+
+/// A validated experiment request in canonical form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// Benchmark analog name (Table 2 suite).
+    pub benchmark: String,
+    /// Replacement/management scheme to evaluate.
+    pub scheme: Scheme,
+    /// LLC sets (default 2048 — the paper's L2).
+    pub sets: usize,
+    /// LLC ways (default 16).
+    pub ways: usize,
+    /// Line size in bytes (default 64).
+    pub line_bytes: u64,
+    /// Trace length in accesses.
+    pub accesses: usize,
+    /// Fraction of the trace used to warm the hierarchy before measuring.
+    pub warmup_fraction: f64,
+    /// Whether to include the §3.1 per-set capacity-demand profile.
+    pub profile: bool,
+}
+
+fn invalid(detail: impl Into<String>) -> SimError {
+    SimError::config("serve", detail)
+}
+
+fn field_u64(obj: &Json, key: &str) -> Result<Option<u64>, SimError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| invalid(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+impl RunRequest {
+    /// Field names the decoder accepts, in canonical order.
+    pub const FIELDS: [&'static str; 8] = [
+        "benchmark",
+        "scheme",
+        "sets",
+        "ways",
+        "line_bytes",
+        "accesses",
+        "warmup_fraction",
+        "profile",
+    ];
+
+    /// Decodes and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Json`] when the body is not valid JSON;
+    /// [`SimError::Config`] when it is JSON but not a valid request
+    /// (wrong shape, unknown field, unknown benchmark or scheme, invalid
+    /// geometry or bounds).
+    pub fn parse(body: &[u8]) -> Result<RunRequest, SimError> {
+        let text = std::str::from_utf8(body).map_err(|_| invalid("request body is not UTF-8"))?;
+        let json = Json::parse(text)?;
+        RunRequest::from_json(&json)
+    }
+
+    /// Decodes an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] on any validation failure (see
+    /// [`parse`](Self::parse)).
+    pub fn from_json(json: &Json) -> Result<RunRequest, SimError> {
+        let obj = json
+            .as_obj()
+            .ok_or_else(|| invalid("request body must be a JSON object"))?;
+        for (key, _) in obj {
+            if !Self::FIELDS.contains(&key.as_str()) {
+                return Err(invalid(format!(
+                    "unknown field {key:?} (accepted fields: {})",
+                    Self::FIELDS.join(", ")
+                )));
+            }
+        }
+
+        let benchmark = json
+            .get("benchmark")
+            .ok_or_else(|| invalid("missing required field \"benchmark\""))?
+            .as_str()
+            .ok_or_else(|| invalid("field \"benchmark\" must be a string"))?
+            .to_owned();
+        if BenchmarkProfile::by_name(&benchmark).is_none() {
+            let known: Vec<&str> = spec2010_suite().iter().map(|b| b.name()).collect();
+            return Err(invalid(format!(
+                "unknown benchmark {benchmark:?} (suite: {})",
+                known.join(", ")
+            )));
+        }
+
+        let scheme_name = json
+            .get("scheme")
+            .ok_or_else(|| invalid("missing required field \"scheme\""))?
+            .as_str()
+            .ok_or_else(|| invalid("field \"scheme\" must be a string"))?;
+        let scheme: Scheme = scheme_name.parse().map_err(|_| {
+            let known: Vec<&str> = Scheme::PAPER.iter().map(|s| s.label()).collect();
+            invalid(format!(
+                "unknown scheme {scheme_name:?} (schemes: {})",
+                known.join(", ")
+            ))
+        })?;
+
+        let sets = field_u64(json, "sets")?.unwrap_or(2048) as usize;
+        let ways = field_u64(json, "ways")?.unwrap_or(16) as usize;
+        let line_bytes = field_u64(json, "line_bytes")?.unwrap_or(64);
+        // Geometry validation is delegated to the simulator's own rules
+        // (power-of-two sets/lines, nonzero ways) so the service cannot
+        // accept a geometry the backend would reject.
+        CacheGeometry::new(sets, ways, line_bytes)?;
+
+        let accesses = field_u64(json, "accesses")?.unwrap_or(DEFAULT_ACCESSES as u64) as usize;
+        if accesses == 0 || accesses > MAX_ACCESSES {
+            return Err(invalid(format!(
+                "field \"accesses\" must be in 1..={MAX_ACCESSES}, got {accesses}"
+            )));
+        }
+
+        let warmup_fraction = match json.get("warmup_fraction") {
+            None => DEFAULT_WARMUP,
+            Some(v) => v
+                .as_f64()
+                .filter(|w| (0.0..=0.9).contains(w))
+                .ok_or_else(|| {
+                    invalid("field \"warmup_fraction\" must be a number in 0.0..=0.9")
+                })?,
+        };
+
+        let profile = match json.get("profile") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| invalid("field \"profile\" must be a boolean"))?,
+        };
+
+        Ok(RunRequest {
+            benchmark,
+            scheme,
+            sets,
+            ways,
+            line_bytes,
+            accesses,
+            warmup_fraction,
+            profile,
+        })
+    }
+
+    /// The validated geometry.
+    ///
+    /// # Panics
+    ///
+    /// Never for a request produced by [`parse`](Self::parse), which
+    /// validated the geometry already.
+    pub fn geometry(&self) -> CacheGeometry {
+        CacheGeometry::new(self.sets, self.ways, self.line_bytes)
+            .expect("request geometry was validated at parse time")
+    }
+
+    /// The canonical JSON form: every field, fixed order, defaults
+    /// explicit. Hashing and response echoes both use this.
+    pub fn canonical(&self) -> Json {
+        Json::Obj(vec![
+            ("benchmark".into(), Json::str(self.benchmark.clone())),
+            ("scheme".into(), Json::str(self.scheme.label())),
+            ("sets".into(), Json::Int(self.sets as i64)),
+            ("ways".into(), Json::Int(self.ways as i64)),
+            ("line_bytes".into(), Json::Int(self.line_bytes as i64)),
+            ("accesses".into(), Json::Int(self.accesses as i64)),
+            (
+                "warmup_fraction".into(),
+                Json::float_rounded(self.warmup_fraction, 6),
+            ),
+            ("profile".into(), Json::Bool(self.profile)),
+        ])
+    }
+
+    /// The cache key: FNV-1a 64 over the canonical serialization.
+    pub fn cache_key(&self) -> u64 {
+        fnv1a64(self.canonical().to_string().as_bytes())
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and stable across platforms —
+/// exactly what a content-addressed cache key needs. (Not collision
+/// resistant against adversaries; the cache stores the canonical string
+/// alongside the hash and compares it on lookup.)
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> &'static str {
+        r#"{"benchmark": "omnetpp", "scheme": "stem"}"#
+    }
+
+    #[test]
+    fn minimal_request_gets_paper_defaults() {
+        let req = RunRequest::parse(minimal().as_bytes()).expect("valid");
+        assert_eq!(req.benchmark, "omnetpp");
+        assert_eq!(req.scheme, Scheme::Stem);
+        assert_eq!((req.sets, req.ways, req.line_bytes), (2048, 16, 64));
+        assert_eq!(req.accesses, DEFAULT_ACCESSES);
+        assert!((req.warmup_fraction - DEFAULT_WARMUP).abs() < 1e-12);
+        assert!(!req.profile);
+    }
+
+    #[test]
+    fn canonicalization_is_field_order_independent() {
+        let a = RunRequest::parse(br#"{"scheme": "lru", "benchmark": "mcf", "accesses": 1000}"#)
+            .expect("valid");
+        let b = RunRequest::parse(br#"{"accesses": 1000, "benchmark": "mcf", "scheme": "lru"}"#)
+            .expect("valid");
+        assert_eq!(a.canonical().to_string(), b.canonical().to_string());
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn omitted_defaults_and_explicit_defaults_share_a_key() {
+        let implicit = RunRequest::parse(minimal().as_bytes()).expect("valid");
+        let explicit = RunRequest::parse(
+            br#"{"benchmark": "omnetpp", "scheme": "stem", "sets": 2048, "ways": 16,
+                 "line_bytes": 64, "accesses": 200000, "warmup_fraction": 0.2,
+                 "profile": false}"#,
+        )
+        .expect("valid");
+        assert_eq!(implicit.cache_key(), explicit.cache_key());
+    }
+
+    #[test]
+    fn rejections_name_the_problem() {
+        let cases: &[(&str, &str)] = &[
+            (r#"{"benchmark": "omnetpp"}"#, "scheme"),
+            (r#"{"scheme": "lru"}"#, "benchmark"),
+            (
+                r#"{"benchmark": "nope", "scheme": "lru"}"#,
+                "unknown benchmark",
+            ),
+            (r#"{"benchmark": "mcf", "scheme": "mru"}"#, "unknown scheme"),
+            (
+                r#"{"benchmark": "mcf", "scheme": "lru", "turbo": true}"#,
+                "unknown field",
+            ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "lru", "sets": 1000}"#,
+                "power of two",
+            ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "lru", "accesses": 0}"#,
+                "accesses",
+            ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "lru", "warmup_fraction": 1.5}"#,
+                "warmup_fraction",
+            ),
+            (r#"[1, 2]"#, "object"),
+        ];
+        for (body, needle) in cases {
+            let err = RunRequest::parse(body.as_bytes()).expect_err(body);
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{body} → {msg} (wanted {needle:?})");
+        }
+    }
+
+    #[test]
+    fn invalid_json_maps_to_the_json_error_family() {
+        let err = RunRequest::parse(b"{oops").expect_err("bad json");
+        assert!(matches!(err, SimError::Json(_)), "{err}");
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,425 @@
+//! The service core: routing, the bounded job queue, backpressure, the
+//! result cache, and graceful shutdown.
+//!
+//! # Threading model
+//!
+//! ```text
+//! accept thread ── polls Transport::accept, spawns one handler/connection
+//!   handler ────── parses HTTP, routes; /run checks the cache, then
+//!                  try_sends a job into the bounded queue (full → 429)
+//!                  and blocks on its private reply channel
+//! executor thread  drains the queue, runs cells through
+//!                  ExperimentRunner::run_batch (panic + budget isolated),
+//!                  fills the cache, answers the reply channels
+//! ```
+//!
+//! The queue is a `std::sync::mpsc::sync_channel` of fixed capacity: a
+//! `/run` that cannot `try_send` is rejected with **429** immediately —
+//! the service never holds more than `queue_capacity` experiments of
+//! deferred work, so memory stays bounded no matter how fast clients
+//! submit.
+//!
+//! # Determinism
+//!
+//! A `/run` response body is a pure function of the canonical request:
+//! the canonical echo plus the executor's deterministic result, rendered
+//! by the deterministic JSON writer. Cache hits replay stored bytes.
+//! Identical requests therefore return byte-identical bodies at any
+//! `STEM_THREADS`, any queue depth, and regardless of cache state.
+//!
+//! # Shutdown
+//!
+//! `POST /shutdown` (or [`ServiceHandle::shutdown`]) flips the stop flag.
+//! The accept thread stops accepting, joins every handler (in-flight
+//! requests finish normally), drops the queue sender, and the executor
+//! exits once the queue drains — a graceful drain, not an abort.
+
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use stem_bench::resilience::{ExperimentFailure, ExperimentRunner};
+use stem_sim_core::Json;
+
+use crate::cache::ResultCache;
+use crate::exec::Executor;
+use crate::http::{read_request, write_response, HttpRequest};
+use crate::metrics::Metrics;
+use crate::request::RunRequest;
+use crate::transport::{Connection, Transport};
+
+/// Tunables for one service instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bounded queue slots; a `/run` arriving when all are occupied gets
+    /// 429.
+    pub queue_capacity: usize,
+    /// Result-cache entries (LRU beyond this).
+    pub cache_capacity: usize,
+    /// Worker threads the executor hands to
+    /// [`ExperimentRunner::run_batch`].
+    pub threads: usize,
+    /// Per-experiment wall-clock budget.
+    pub budget: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 8,
+            cache_capacity: ResultCache::DEFAULT_CAPACITY,
+            threads: stem_bench::pool::configured_threads(),
+            budget: Duration::from_secs(600),
+        }
+    }
+}
+
+/// One queued experiment.
+struct Job {
+    request: RunRequest,
+    key: u64,
+    canonical: String,
+    reply: mpsc::Sender<Result<Arc<Vec<u8>>, String>>,
+}
+
+/// State shared by handlers and the executor.
+struct Shared {
+    stop: AtomicBool,
+    metrics: Arc<Metrics>,
+    cache: Mutex<ResultCache>,
+    /// `Some` while the service accepts work; taken at drain time so the
+    /// executor's `recv` loop terminates.
+    queue: Mutex<Option<SyncSender<Job>>>,
+    budget: Duration,
+}
+
+/// A running service. Dropping the handle does *not* stop it; call
+/// [`shutdown`](Self::shutdown) + [`join`](Self::join) (or hit
+/// `POST /shutdown`).
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    executor_thread: Option<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The live metrics (shared with the running service).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Requests a graceful drain (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a shutdown has been requested (by handle or HTTP).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the accept loop, all handlers, and the executor to
+    /// finish. Call [`shutdown`](Self::shutdown) first (or rely on
+    /// `POST /shutdown`), otherwise this blocks until a client stops the
+    /// service.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.executor_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts the service on `transport` with the production simulation
+/// executor.
+pub fn start(transport: Box<dyn Transport>, config: ServeConfig) -> ServiceHandle {
+    start_with_executor(transport, config, crate::exec::simulation_executor())
+}
+
+/// Starts the service with an arbitrary executor (tests inject blocking
+/// or instant ones to probe backpressure and caching).
+pub fn start_with_executor(
+    transport: Box<dyn Transport>,
+    config: ServeConfig,
+    executor: Executor,
+) -> ServiceHandle {
+    assert!(config.queue_capacity > 0, "queue needs at least one slot");
+    let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        metrics: Arc::new(Metrics::new()),
+        cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+        queue: Mutex::new(Some(tx)),
+        budget: config.budget,
+    });
+
+    let executor_thread = {
+        let shared = Arc::clone(&shared);
+        let threads = config.threads.max(1);
+        let budget = config.budget;
+        thread::Builder::new()
+            .name("stem-serve-exec".into())
+            .spawn(move || executor_loop(&shared, &rx, threads, budget, &executor))
+            .expect("spawn executor thread")
+    };
+
+    let accept_thread = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("stem-serve-accept".into())
+            .spawn(move || accept_loop(transport, &shared))
+            .expect("spawn accept thread")
+    };
+
+    ServiceHandle {
+        shared,
+        accept_thread: Some(accept_thread),
+        executor_thread: Some(executor_thread),
+    }
+}
+
+/// Polls the transport until the stop flag rises, then drains: joins all
+/// handlers and drops the queue sender so the executor can exit.
+fn accept_loop(transport: Box<dyn Transport>, shared: &Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match transport.accept() {
+            Ok(Some(conn)) => {
+                let shared = Arc::clone(shared);
+                let handle = thread::Builder::new()
+                    .name("stem-serve-conn".into())
+                    .spawn(move || {
+                        // A handler panic must not take the service down;
+                        // the connection just closes without a response.
+                        let _ = catch_unwind(AssertUnwindSafe(|| handle_connection(conn, &shared)));
+                    })
+                    .expect("spawn connection handler");
+                handlers.push(handle);
+                handlers.retain(|h| !h.is_finished());
+            }
+            Ok(None) => {}
+            Err(_) => break, // transport died; drain what is in flight
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    // With every handler done, no sender clones remain outside `queue`;
+    // taking it disconnects the channel once queued jobs are consumed.
+    shared.queue.lock().expect("queue lock").take();
+}
+
+/// Drains the bounded queue. Consecutive available jobs are batched into
+/// one [`ExperimentRunner::run_batch`] call (panic- and budget-isolated
+/// per cell, results in input order).
+fn executor_loop(
+    shared: &Arc<Shared>,
+    rx: &mpsc::Receiver<Job>,
+    threads: usize,
+    budget: Duration,
+    executor: &Executor,
+) {
+    let mut runner = ExperimentRunner::with_budget(budget);
+    while let Ok(first) = rx.recv() {
+        shared.metrics.job_started();
+        let mut batch = vec![first];
+        while let Ok(job) = rx.try_recv() {
+            shared.metrics.job_started();
+            batch.push(job);
+        }
+
+        let cells: Vec<(String, _)> = batch
+            .iter()
+            .map(|job| {
+                let request = job.request.clone();
+                let executor = Arc::clone(executor);
+                (job.canonical.clone(), move || executor(&request))
+            })
+            .collect();
+        let before = runner.outcomes().len();
+        let results = runner.run_batch(threads, cells);
+        let outcomes = &runner.outcomes()[before..];
+
+        for ((job, result), outcome) in batch.iter().zip(results).zip(outcomes) {
+            let reply = match result {
+                Some(Ok(json)) => {
+                    shared.metrics.sim_executed();
+                    let body = Arc::new(render_run_body(job, &json));
+                    shared.cache.lock().expect("cache lock").insert(
+                        job.key,
+                        job.canonical.clone(),
+                        Arc::clone(&body),
+                    );
+                    Ok(body)
+                }
+                Some(Err(e)) => {
+                    shared.metrics.worker_failed();
+                    Err(format!("experiment failed: {e}"))
+                }
+                None => {
+                    shared.metrics.worker_failed();
+                    let failure = outcome.failure.as_ref().map_or_else(
+                        || "unknown failure".to_owned(),
+                        ExperimentFailure::to_string,
+                    );
+                    Err(format!("experiment {failure}"))
+                }
+            };
+            // The handler may have timed out and gone; ignore send errors.
+            let _ = job.reply.send(reply);
+        }
+    }
+}
+
+/// The complete `/run` response body for a finished experiment: canonical
+/// request echo, content hash, and the executor's result.
+fn render_run_body(job: &Job, result: &Json) -> Vec<u8> {
+    Json::Obj(vec![
+        ("request".to_owned(), job.request.canonical()),
+        ("key".to_owned(), Json::str(format!("{:016x}", job.key))),
+        ("result".to_owned(), result.clone()),
+    ])
+    .pretty()
+    .into_bytes()
+}
+
+fn error_body(detail: &str) -> Vec<u8> {
+    Json::Obj(vec![("error".to_owned(), Json::str(detail))])
+        .pretty()
+        .into_bytes()
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection(mut conn: Box<dyn Connection>, shared: &Arc<Shared>) {
+    let t0 = Instant::now();
+    let request = match read_request(&mut conn) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = write_response(
+                &mut conn,
+                400,
+                "application/json",
+                &error_body(&e.to_string()),
+            );
+            shared.metrics.record_request("bad", 400, t0.elapsed());
+            return;
+        }
+    };
+    let (route, status, content_type, body) = route(&request, shared);
+    let _ = write_response(&mut conn, status, content_type, &body);
+    let _ = conn.flush();
+    shared.metrics.record_request(route, status, t0.elapsed());
+}
+
+/// Dispatches a parsed request to its route.
+fn route(req: &HttpRequest, shared: &Arc<Shared>) -> (&'static str, u16, &'static str, Vec<u8>) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (
+            "healthz",
+            200,
+            "application/json",
+            Json::Obj(vec![("status".to_owned(), Json::str("ok"))])
+                .pretty()
+                .into_bytes(),
+        ),
+        ("GET", "/metrics") => (
+            "metrics",
+            200,
+            "text/plain; version=0.0.4",
+            shared.metrics.render().into_bytes(),
+        ),
+        ("POST", "/run") => {
+            let (status, body) = handle_run(&req.body, shared);
+            ("run", status, "application/json", body)
+        }
+        ("POST", "/shutdown") => {
+            shared.stop.store(true, Ordering::SeqCst);
+            (
+                "shutdown",
+                200,
+                "application/json",
+                Json::Obj(vec![("status".to_owned(), Json::str("draining"))])
+                    .pretty()
+                    .into_bytes(),
+            )
+        }
+        (_, "/healthz" | "/metrics" | "/run" | "/shutdown") => (
+            "method_not_allowed",
+            405,
+            "application/json",
+            error_body(&format!("method {} not allowed here", req.method)),
+        ),
+        _ => (
+            "not_found",
+            404,
+            "application/json",
+            error_body(&format!("no route {:?}", req.path)),
+        ),
+    }
+}
+
+/// The `/run` route: validate → cache → enqueue (or 429) → await result.
+fn handle_run(body: &[u8], shared: &Arc<Shared>) -> (u16, Vec<u8>) {
+    let request = match RunRequest::parse(body) {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let canonical = request.canonical().to_string();
+    let key = request.cache_key();
+
+    if let Some(hit) = shared
+        .cache
+        .lock()
+        .expect("cache lock")
+        .get(key, &canonical)
+    {
+        shared.metrics.cache_hit();
+        return (200, hit.as_ref().clone());
+    }
+    shared.metrics.cache_miss();
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        request,
+        key,
+        canonical,
+        reply: reply_tx,
+    };
+    // Clone the sender out of the lock so a slow experiment cannot block
+    // other handlers on the mutex.
+    let sender = shared.queue.lock().expect("queue lock").clone();
+    let Some(sender) = sender else {
+        return (503, error_body("service is shutting down"));
+    };
+    match sender.try_send(job) {
+        Ok(()) => shared.metrics.job_enqueued(),
+        Err(TrySendError::Full(_)) => {
+            shared.metrics.rejected();
+            return (
+                429,
+                error_body("experiment queue is full; retry after a running experiment finishes"),
+            );
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return (503, error_body("service is shutting down"));
+        }
+    }
+
+    // The executor answers within its budget (timeouts included); the
+    // slack covers queue wait for everything already ahead of this job.
+    let wait = shared
+        .budget
+        .saturating_mul(2)
+        .saturating_add(Duration::from_secs(30));
+    match reply_rx.recv_timeout(wait) {
+        Ok(Ok(body)) => (200, body.as_ref().clone()),
+        Ok(Err(detail)) => (500, error_body(&detail)),
+        Err(_) => (503, error_body("experiment reply timed out")),
+    }
+}

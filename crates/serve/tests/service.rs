@@ -1,0 +1,260 @@
+//! End-to-end service acceptance tests, all over the in-memory duplex
+//! transport: determinism across thread counts, result-cache behaviour
+//! proven through `/metrics`, 429 backpressure on a 1-slot queue, strict
+//! request rejection, and graceful drain.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use stem_serve::exec::Executor;
+use stem_serve::http::{self, HttpResponse};
+use stem_serve::service::{self, ServeConfig};
+use stem_serve::transport::{duplex_transport, DuplexConnector};
+use stem_sim_core::Json;
+
+/// One full HTTP exchange against a running service.
+fn exchange(connector: &DuplexConnector, method: &str, path: &str, body: &[u8]) -> HttpResponse {
+    let mut conn = connector.connect().expect("connect to service");
+    http::write_request(&mut conn, method, path, body).expect("send request");
+    http::read_response(&mut conn).expect("read response")
+}
+
+fn small_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 4,
+        cache_capacity: 8,
+        threads: 1,
+        budget: Duration::from_secs(120),
+    }
+}
+
+/// A short real experiment (tiny geometry + trace keeps it milliseconds).
+const SMALL_RUN: &[u8] =
+    br#"{"benchmark": "mcf", "scheme": "lru", "sets": 64, "ways": 4, "accesses": 5000}"#;
+
+/// Extracts the value of a single-valued metric line from `/metrics`.
+fn metric(page: &str, name: &str) -> u64 {
+    page.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{page}"))
+        .trim()
+        .parse()
+        .expect("metric value parses")
+}
+
+#[test]
+fn identical_requests_get_byte_identical_bodies_at_any_thread_count() {
+    let mut bodies = Vec::new();
+    for threads in [1usize, 4] {
+        let (listener, connector) = duplex_transport();
+        let config = ServeConfig {
+            threads,
+            ..small_config()
+        };
+        let handle = service::start(Box::new(listener), config);
+        // Same experiment spelled two ways: different field order and
+        // explicit defaults must canonicalize to the same request.
+        let reordered = br#"{"accesses": 5000, "ways": 4, "scheme": "lru", "sets": 64,
+                             "benchmark": "mcf", "profile": false, "line_bytes": 64,
+                             "warmup_fraction": 0.2}"#;
+        let a = exchange(&connector, "POST", "/run", SMALL_RUN);
+        let b = exchange(&connector, "POST", "/run", reordered);
+        assert_eq!(a.status, 200, "{}", a.body_text());
+        assert_eq!(b.status, 200, "{}", b.body_text());
+        assert_eq!(a.body, b.body, "field order must not change the bytes");
+        bodies.push(a.body);
+        handle.shutdown();
+        handle.join();
+    }
+    assert_eq!(
+        bodies[0], bodies[1],
+        "thread count must not change the bytes"
+    );
+}
+
+#[test]
+fn repeated_request_is_served_from_the_cache_without_rerunning() {
+    let (listener, connector) = duplex_transport();
+    let handle = service::start(Box::new(listener), small_config());
+
+    let first = exchange(&connector, "POST", "/run", SMALL_RUN);
+    assert_eq!(first.status, 200, "{}", first.body_text());
+    let second = exchange(&connector, "POST", "/run", SMALL_RUN);
+    assert_eq!(second.status, 200);
+    assert_eq!(first.body, second.body, "cache must replay stored bytes");
+
+    let page = exchange(&connector, "GET", "/metrics", b"").body_text();
+    assert_eq!(
+        metric(&page, "stem_serve_sim_executions_total"),
+        1,
+        "the second request must not re-run the simulation:\n{page}"
+    );
+    assert_eq!(metric(&page, "stem_serve_cache_hits_total"), 1);
+    assert_eq!(metric(&page, "stem_serve_cache_misses_total"), 1);
+
+    // The handle's metrics view is the same object the routes render.
+    assert_eq!(handle.metrics().sim_executions(), 1);
+    assert_eq!(handle.metrics().cache_hits(), 1);
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// An injectable executor that signals when a cell starts and then blocks
+/// until released, making queue-saturation timing deterministic.
+fn blocking_executor() -> (Executor, mpsc::Receiver<()>, mpsc::Sender<()>) {
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let release_rx = Arc::new(Mutex::new(release_rx));
+    let executor: Executor = Arc::new(move |req| {
+        started_tx.send(()).expect("test listens for starts");
+        release_rx
+            .lock()
+            .expect("release lock")
+            .recv()
+            .expect("test releases every started cell");
+        Ok(Json::Obj(vec![(
+            "echo".to_owned(),
+            Json::str(req.benchmark.clone()),
+        )]))
+    });
+    (executor, started_rx, release_tx)
+}
+
+#[test]
+fn saturating_a_one_slot_queue_returns_429() {
+    let (listener, connector) = duplex_transport();
+    let config = ServeConfig {
+        queue_capacity: 1,
+        threads: 1,
+        ..small_config()
+    };
+    let (executor, started_rx, release_tx) = blocking_executor();
+    let handle = service::start_with_executor(Box::new(listener), config, executor);
+
+    let run_body = |bench: &str| {
+        format!(r#"{{"benchmark": "{bench}", "scheme": "lru", "accesses": 1000}}"#).into_bytes()
+    };
+
+    // Job A: picked up by the executor, which blocks inside the cell.
+    let conn_a = connector.clone();
+    let body_a = run_body("mcf");
+    let t_a = std::thread::spawn(move || exchange(&conn_a, "POST", "/run", &body_a));
+    started_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("job A reaches the executor");
+
+    // Job B: occupies the single queue slot.
+    let conn_b = connector.clone();
+    let body_b = run_body("art");
+    let t_b = std::thread::spawn(move || exchange(&conn_b, "POST", "/run", &body_b));
+    // B is accepted the moment its handler enqueues it; wait for that
+    // rather than sleeping.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle
+        .metrics()
+        .render()
+        .contains("stem_serve_queue_depth 0")
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job B never reached the queue"
+        );
+        std::thread::yield_now();
+    }
+
+    // Job C: queue full → immediate 429, no waiting.
+    let c = exchange(&connector, "POST", "/run", &run_body("twolf"));
+    assert_eq!(c.status, 429, "{}", c.body_text());
+    assert!(c.body_text().contains("queue is full"), "{}", c.body_text());
+    assert_eq!(handle.metrics().rejections(), 1);
+
+    // Release A and B; both must complete normally despite the flood.
+    release_tx.send(()).expect("release A");
+    release_tx.send(()).expect("release B");
+    let a = t_a.join().expect("A thread");
+    let b = t_b.join().expect("B thread");
+    assert_eq!(a.status, 200, "{}", a.body_text());
+    assert_eq!(b.status, 200, "{}", b.body_text());
+    assert!(a.body_text().contains("mcf"));
+    assert!(b.body_text().contains("art"));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn invalid_requests_are_rejected_with_400_and_a_reason() {
+    let (listener, connector) = duplex_transport();
+    let handle = service::start(Box::new(listener), small_config());
+
+    let cases: &[(&[u8], &str)] = &[
+        (b"{oops", "invalid JSON"),
+        (b"[]", "object"),
+        (br#"{"benchmark": "mcf"}"#, "scheme"),
+        (
+            br#"{"benchmark": "mcf", "scheme": "lru", "turbo": 9}"#,
+            "unknown field",
+        ),
+        (
+            br#"{"benchmark": "nope", "scheme": "lru"}"#,
+            "unknown benchmark",
+        ),
+        (
+            br#"{"benchmark": "mcf", "scheme": "lru", "sets": 999}"#,
+            "power of two",
+        ),
+    ];
+    for (body, needle) in cases {
+        let resp = exchange(&connector, "POST", "/run", body);
+        assert_eq!(resp.status, 400, "{}", resp.body_text());
+        assert!(
+            resp.body_text().contains(needle),
+            "{} → {}",
+            String::from_utf8_lossy(body),
+            resp.body_text()
+        );
+    }
+
+    assert_eq!(exchange(&connector, "GET", "/run", b"").status, 405);
+    assert_eq!(exchange(&connector, "POST", "/healthz", b"").status, 405);
+    assert_eq!(exchange(&connector, "GET", "/nowhere", b"").status, 404);
+
+    // None of the rejects should have executed anything.
+    assert_eq!(handle.metrics().sim_executions(), 0);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn healthz_reports_ok() {
+    let (listener, connector) = duplex_transport();
+    let handle = service::start(Box::new(listener), small_config());
+    let resp = exchange(&connector, "GET", "/healthz", b"");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_text().contains("\"ok\""));
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_over_http_drains_gracefully() {
+    let (listener, connector) = duplex_transport();
+    let handle = service::start(Box::new(listener), small_config());
+
+    // Some in-flight work first, so the drain has something to finish.
+    let warm = exchange(&connector, "POST", "/run", SMALL_RUN);
+    assert_eq!(warm.status, 200, "{}", warm.body_text());
+
+    let resp = exchange(&connector, "POST", "/shutdown", b"");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_text().contains("draining"));
+    assert!(handle.is_stopping());
+    handle.join();
+
+    // The listener is gone: new connections are refused.
+    connector
+        .connect()
+        .expect_err("connect after drain must fail");
+}

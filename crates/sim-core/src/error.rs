@@ -1,13 +1,15 @@
 //! The workspace-wide error taxonomy.
 //!
-//! Every fallible operation in the simulator surfaces through one of four
+//! Every fallible operation in the simulator surfaces through one of five
 //! families, unified under [`SimError`]:
 //!
 //! * [`GeometryError`] — an impossible cache shape was requested;
 //! * [`SimError::Config`] — a scheme-specific parameter is out of range;
 //! * [`TraceError`] — a trace file is corrupt, truncated, or oversized;
 //! * [`AuditError`](crate::AuditError) — checked mode caught a structural
-//!   invariant violation.
+//!   invariant violation;
+//! * [`JsonError`](crate::json::JsonError) — a JSON document (an
+//!   experiment request, a recorded artifact) failed strict parsing.
 //!
 //! Schemes never panic on malformed external input (traces, configs);
 //! panics are reserved for internal invariant violations that checked mode
@@ -17,6 +19,7 @@ use std::error::Error;
 use std::fmt;
 use std::io;
 
+use crate::json::JsonError;
 use crate::AuditError;
 
 /// An invalid cache geometry was requested.
@@ -134,6 +137,8 @@ pub enum SimError {
     Trace(TraceError),
     /// Checked mode caught a structural invariant violation.
     Audit(AuditError),
+    /// A JSON document (experiment request, artifact) failed to parse.
+    Json(JsonError),
 }
 
 impl SimError {
@@ -155,6 +160,7 @@ impl fmt::Display for SimError {
             }
             SimError::Trace(e) => write!(f, "trace error: {e}"),
             SimError::Audit(e) => write!(f, "audit error: {e}"),
+            SimError::Json(e) => write!(f, "json error: {e}"),
         }
     }
 }
@@ -165,6 +171,7 @@ impl Error for SimError {
             SimError::Geometry(e) => Some(e),
             SimError::Trace(e) => Some(e),
             SimError::Audit(e) => Some(e),
+            SimError::Json(e) => Some(e),
             SimError::Config { .. } => None,
         }
     }
@@ -185,6 +192,12 @@ impl From<TraceError> for SimError {
 impl From<AuditError> for SimError {
     fn from(e: AuditError) -> Self {
         SimError::Audit(e)
+    }
+}
+
+impl From<JsonError> for SimError {
+    fn from(e: JsonError) -> Self {
+        SimError::Json(e)
     }
 }
 
@@ -244,6 +257,9 @@ mod tests {
         assert!(matches!(from_geom, SimError::Geometry(_)));
         let from_trace: SimError = TraceError::BadKind(2).into();
         assert!(matches!(from_trace, SimError::Trace(_)));
+        let from_json: SimError = crate::json::Json::parse("{oops").unwrap_err().into();
+        assert!(matches!(from_json, SimError::Json(_)));
+        assert!(from_json.to_string().contains("invalid JSON"));
         let from_audit: SimError = crate::AuditError::new("lru", "stack broken").into();
         assert!(matches!(from_audit, SimError::Audit(_)));
         let cfg = SimError::config("vway", "tag_data_ratio must be >= 1");

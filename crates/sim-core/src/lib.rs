@@ -24,6 +24,8 @@
 //! * [`InvariantAuditor`] / [`run_audited`] — checked simulation mode that
 //!   verifies each scheme's internal bookkeeping during a run;
 //! * [`SimError`] / [`TraceError`] — the workspace-wide error taxonomy;
+//! * [`json`] — the hand-rolled JSON value/writer/parser shared by the
+//!   bench artifacts and the `stem-serve` request/response bodies;
 //! * [`prop`] — an in-repo deterministic property-testing harness so the
 //!   whole workspace builds and tests offline.
 //!
@@ -49,6 +51,7 @@ mod error;
 mod frames;
 mod geometry;
 pub mod io;
+pub mod json;
 mod model;
 pub mod prop;
 mod rng;
@@ -64,6 +67,7 @@ pub use decoded::{DecodedAccess, DecodedIter, DecodedTrace};
 pub use error::{GeometryError, SimError, TraceError};
 pub use frames::{Frame, SetFrames};
 pub use geometry::CacheGeometry;
+pub use json::{Json, JsonError};
 pub use model::{replay_decoded_via_access, AccessResult, CacheModel};
 pub use rng::SplitMix64;
 pub use stats::CacheStats;

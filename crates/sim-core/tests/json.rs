@@ -1,0 +1,206 @@
+//! JSON codec acceptance tests: pinned decode vectors (escapes, nesting,
+//! number boundaries, malformed-input rejection) and an encode→decode
+//! round-trip property over randomly generated documents.
+
+use stem_sim_core::{prop, Json, SimError};
+
+// ---------------------------------------------------------------------------
+// Pinned decode vectors
+// ---------------------------------------------------------------------------
+
+#[test]
+fn decodes_escapes_exactly() {
+    let cases: &[(&str, &str)] = &[
+        (r#""plain""#, "plain"),
+        (r#""a\"b""#, "a\"b"),
+        (r#""tab\tnewline\ncr\r""#, "tab\tnewline\ncr\r"),
+        (r#""back\\slash\/fwd""#, "back\\slash/fwd"),
+        (r#""\u0041\u00e9\u4e16""#, "Aé世"),
+        // Surrogate pair: U+1F600.
+        (r#""\ud83d\ude00""#, "😀"),
+        (r#""\b\f""#, "\u{8}\u{c}"),
+        (r#""""#, ""),
+    ];
+    for (input, want) in cases {
+        let got = Json::parse(input).unwrap_or_else(|e| panic!("{input}: {e}"));
+        assert_eq!(got, Json::str(*want), "{input}");
+    }
+}
+
+#[test]
+fn decodes_nested_structures() {
+    let doc = r#"
+        {
+          "experiments": [
+            {"scheme": "stem", "mpki": 3.25, "geometry": {"sets": 2048, "ways": 16}},
+            {"scheme": "lru", "mpki": 4.5, "geometry": {"sets": 2048, "ways": 16}}
+          ],
+          "meta": {"count": 2, "complete": true, "note": null}
+        }
+    "#;
+    let v = Json::parse(doc).expect("valid document");
+    let experiments = v.get("experiments").and_then(Json::as_arr).expect("array");
+    assert_eq!(experiments.len(), 2);
+    assert_eq!(
+        experiments[0].get("scheme").and_then(Json::as_str),
+        Some("stem")
+    );
+    assert_eq!(
+        experiments[0]
+            .get("geometry")
+            .and_then(|g| g.get("ways"))
+            .and_then(Json::as_u64),
+        Some(16)
+    );
+    assert_eq!(
+        v.get("meta")
+            .and_then(|m| m.get("complete"))
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(v.get("meta").and_then(|m| m.get("note")), Some(&Json::Null));
+}
+
+#[test]
+fn decodes_number_boundaries() {
+    let cases: &[(&str, Json)] = &[
+        ("0", Json::Int(0)),
+        ("-0", Json::Int(0)),
+        ("9223372036854775807", Json::Int(i64::MAX)),
+        ("-9223372036854775808", Json::Int(i64::MIN)),
+        // One past i64::MAX: lexically integral but demoted to Float.
+        ("9223372036854775808", Json::Float(9.223372036854776e18)),
+        ("0.5", Json::Float(0.5)),
+        ("2.0", Json::Float(2.0)),
+        ("-1.25e2", Json::Float(-125.0)),
+        ("1E-3", Json::Float(0.001)),
+        ("5e0", Json::Float(5.0)),
+    ];
+    for (input, want) in cases {
+        let got = Json::parse(input).unwrap_or_else(|e| panic!("{input}: {e}"));
+        assert_eq!(&got, want, "{input}");
+    }
+}
+
+#[test]
+fn rejects_malformed_documents() {
+    let cases: &[(&str, &str)] = &[
+        ("", "unexpected end"),
+        ("{", "expected a string key"),
+        ("[1, 2", "expected ',' or ']'"),
+        ("[1, 2]]", "trailing"),
+        ("{\"a\": 1,}", "expected"),
+        ("[1 2]", "expected"),
+        ("{\"a\" 1}", "expected"),
+        ("{\"a\": 1, \"a\": 2}", "duplicate"),
+        ("01", "leading zero"),
+        ("1.", "digit"),
+        (".5", "unexpected"),
+        ("+1", "unexpected"),
+        ("1e", "digit"),
+        ("truthy", "expected 'true'"),
+        ("nul", "expected 'null'"),
+        ("\"dangling\\", "dangling escape"),
+        ("\"bad escape \\q\"", "escape"),
+        ("\"unterminated", "unterminated string"),
+        ("\"lone surrogate \\ud800\"", "surrogate"),
+        ("\"\u{0001}\"", "control"),
+        ("1e999", "overflow"),
+    ];
+    for (input, needle) in cases {
+        let err = Json::parse(input).expect_err(&format!("{input:?} must be rejected"));
+        let msg = err.to_string();
+        assert!(
+            msg.to_lowercase().contains(needle),
+            "{input:?} → {msg:?} (wanted {needle:?})"
+        );
+        assert!(msg.contains("byte"), "error carries a position: {msg}");
+    }
+}
+
+#[test]
+fn rejects_pathological_nesting() {
+    let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+    let err = Json::parse(&deep).expect_err("over the depth limit");
+    assert!(err.to_string().contains("nest"), "{err}");
+    // At or under the limit is fine.
+    let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+    Json::parse(&ok).expect("64 levels are allowed");
+}
+
+#[test]
+fn json_errors_convert_into_sim_errors() {
+    let err = Json::parse("{nope").expect_err("bad");
+    let sim: SimError = err.into();
+    assert!(matches!(sim, SimError::Json(_)));
+    assert!(sim.to_string().contains("json error"));
+}
+
+// ---------------------------------------------------------------------------
+// Encode → decode round-trip property
+// ---------------------------------------------------------------------------
+
+/// A random document: scalars at every level, containers until the depth
+/// budget runs out, unique object keys (the parser rejects duplicates).
+fn gen_json(g: &mut prop::Gen, depth: usize) -> Json {
+    let scalar_only = depth == 0;
+    match g.u8(0, if scalar_only { 5 } else { 7 }) {
+        0 => Json::Null,
+        1 => Json::Bool(g.bool()),
+        2 => {
+            // Cover the i64 extremes as well as small values.
+            let raw = g.rng().next_u64();
+            Json::Int(match g.u8(0, 4) {
+                0 => raw as i64,
+                1 => i64::MAX,
+                2 => i64::MIN,
+                _ => (raw % 2000) as i64 - 1000,
+            })
+        }
+        3 => {
+            let f = f64::from_bits(g.rng().next_u64());
+            // Non-finite floats serialize as null by design; the property
+            // needs value-preserving inputs.
+            Json::Float(if f.is_finite() { f } else { 0.125 })
+        }
+        4 => {
+            // from_u32 rejects surrogate code points itself; fall back to
+            // a character the escaper must handle.
+            let s: String = (0..g.usize(0, 12))
+                .map(|_| char::from_u32(g.u32(0, 0x11_0000)).unwrap_or('\\'))
+                .collect();
+            Json::str(s)
+        }
+        5 => Json::Arr((0..g.usize(0, 5)).map(|_| gen_json(g, depth - 1)).collect()),
+        _ => Json::Obj(
+            (0..g.usize(0, 5))
+                .map(|i| (format!("k{i}_{}", g.u32(0, 100)), gen_json(g, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+#[test]
+fn encode_decode_round_trips_random_documents() {
+    prop::check(256, |g| {
+        let doc = gen_json(g, 3);
+        let compact = doc.to_string();
+        let re = Json::parse(&compact)
+            .unwrap_or_else(|e| panic!("compact form must re-parse: {e}\n{compact}"));
+        assert_eq!(re, doc, "compact round-trip\n{compact}");
+
+        let pretty = doc.pretty();
+        let re = Json::parse(&pretty)
+            .unwrap_or_else(|e| panic!("pretty form must re-parse: {e}\n{pretty}"));
+        assert_eq!(re, doc, "pretty round-trip\n{pretty}");
+    });
+}
+
+#[test]
+fn rendering_is_deterministic() {
+    prop::check(64, |g| {
+        let doc = gen_json(g, 3);
+        assert_eq!(doc.to_string(), doc.to_string());
+        assert_eq!(doc.pretty(), doc.pretty());
+    });
+}

@@ -1,0 +1,38 @@
+//! End-to-end `stem-serve` walkthrough, entirely in-process: start the
+//! service on the in-memory duplex transport, run one experiment, hit it
+//! again to show the result cache, and drain gracefully.
+//!
+//! Run with `cargo run --release --example serve_quickstart`.
+
+use stem_serve::http;
+use stem_serve::service::{self, ServeConfig};
+use stem_serve::transport::duplex_transport;
+
+fn main() {
+    let (listener, connector) = duplex_transport();
+    let handle = service::start(Box::new(listener), ServeConfig::default());
+
+    let body = br#"{"benchmark": "omnetpp", "scheme": "stem", "accesses": 50000, "profile": true}"#;
+    for attempt in 1..=2 {
+        let mut conn = connector.connect().expect("connect");
+        http::write_request(&mut conn, "POST", "/run", body).expect("send");
+        let resp = http::read_response(&mut conn).expect("response");
+        println!("--- attempt {attempt}: HTTP {} ---", resp.status);
+        println!("{}", resp.body_text());
+    }
+
+    let mut conn = connector.connect().expect("connect");
+    http::write_request(&mut conn, "GET", "/metrics", b"").expect("send");
+    let metrics = http::read_response(&mut conn)
+        .expect("response")
+        .body_text();
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("stem_serve_cache_") || l.starts_with("stem_serve_sim_executions")
+    }) {
+        println!("{line}");
+    }
+
+    handle.shutdown();
+    handle.join();
+    println!("drained cleanly");
+}

@@ -19,20 +19,15 @@ use stem_bench::pool;
 /// bar is >= 1M per scheme; `STEM_CHECKED_ACCESSES` can scale it down for
 /// quick local runs.
 fn checked_accesses() -> usize {
-    std::env::var("STEM_CHECKED_ACCESSES")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    stem_bench::config::Config::from_env_or_panic()
+        .checked_accesses
         .unwrap_or(1_000_000)
 }
 
 /// Audit stride for the long replays: every `n` accesses plus once at the
 /// end. Overridable with `STEM_AUDIT_STRIDE` (1 = audit every access).
 fn audit_stride() -> u64 {
-    std::env::var("STEM_AUDIT_STRIDE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(16_384)
+    stem_bench::config::Config::from_env_or_panic().audit_stride()
 }
 
 /// Replays `trace` through every paper scheme in parallel (one pool job

@@ -37,9 +37,8 @@ use stem::spatial::{
 /// Accesses per paper-scheme differential. The acceptance bar is >= 1M per
 /// scheme; `STEM_DIFF_ACCESSES` scales it down for quick local runs.
 fn diff_accesses() -> usize {
-    std::env::var("STEM_DIFF_ACCESSES")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    stem_bench::config::Config::from_env_or_panic()
+        .diff_accesses
         .unwrap_or(1_000_000)
 }
 

@@ -105,6 +105,17 @@ echo "$METRICS" | grep -q '^stem_serve_cache_hits_total 1$' || {
     echo "$METRICS" >&2
     exit 1
 }
+echo "==> serve bench + BENCH_serve.json"
+# A short healthy serial run against the live server: requests/sec plus
+# p50/p99, archived next to the other BENCH_*.json artifacts. Cache hits
+# dominate after the first request, so this times the serving stack, not
+# the simulator.
+STEM_CSV_DIR="$CSV_DIR" client BENCH /run "$REQ" 20
+if [ ! -s "$CSV_DIR/BENCH_serve.json" ]; then
+    echo "ERROR: $CSV_DIR/BENCH_serve.json was not written" >&2
+    exit 1
+fi
+echo "    archived $CSV_DIR/BENCH_serve.json"
 client POST /shutdown | grep -q draining
 set +e
 wait "$SERVE_PID"
@@ -115,5 +126,12 @@ if [ "$SERVE_STATUS" -ne 0 ]; then
     exit 1
 fi
 echo "    serve answered /healthz, served the repeat from cache, and drained with exit 0"
+
+echo "==> chaos smoke (fixed seed, in-memory transport, no-panic/no-hang gate)"
+# Fully in-process: a seeded storm of fault-injected connections (split
+# I/O, garbage, truncation, resets, slow-loris) interleaved with healthy
+# requests; the binary exits nonzero unless stem_serve_panics_total is 0
+# and /healthz still answers through the server's own front door.
+cargo run --release -q -p stem-serve --bin chaos_smoke
 
 echo "==> CI PASSED"

@@ -54,6 +54,26 @@ pub const FAULT_ACCESSES_ENV: &str = "STEM_FAULT_ACCESSES";
 pub const BUDGET_ENV: &str = "STEM_EXPERIMENT_BUDGET_SECS";
 /// Name of an experiment cell that should deliberately panic.
 pub const INJECT_PANIC_ENV: &str = "STEM_INJECT_PANIC";
+/// Listen address for the `serve` binary.
+pub const SERVE_ADDR_ENV: &str = "STEM_SERVE_ADDR";
+/// File the `serve` binary writes its bound address to (for scripts that
+/// bind port 0).
+pub const SERVE_ADDR_FILE_ENV: &str = "STEM_SERVE_ADDR_FILE";
+/// Bounded job-queue capacity for the `serve` binary.
+pub const SERVE_QUEUE_ENV: &str = "STEM_SERVE_QUEUE";
+/// Result-cache capacity for the `serve` binary.
+pub const SERVE_CACHE_ENV: &str = "STEM_SERVE_CACHE";
+/// Per-experiment budget in seconds for the `serve` binary.
+pub const SERVE_BUDGET_ENV: &str = "STEM_SERVE_BUDGET_SECS";
+/// Retries `serve_client` makes after 429/503/connect failure.
+pub const SERVE_RETRIES_ENV: &str = "STEM_SERVE_RETRIES";
+/// Base backoff delay in milliseconds for `serve_client` retries.
+pub const SERVE_BACKOFF_ENV: &str = "STEM_SERVE_BACKOFF_MS";
+/// Chaos-injection seed for the `serve` binary (set = wrap the transport
+/// in the fault injector; 0 is a valid seed).
+pub const SERVE_CHAOS_SEED_ENV: &str = "STEM_SERVE_CHAOS_SEED";
+/// Per-connection I/O deadline in milliseconds for the `serve` binary.
+pub const SERVE_IO_DEADLINE_ENV: &str = "STEM_SERVE_IO_DEADLINE_MS";
 
 /// A `STEM_*` variable was set to something unusable.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +129,24 @@ pub struct Config {
     pub experiment_budget_secs: Option<u64>,
     /// `STEM_INJECT_PANIC`: experiment cell to crash deliberately.
     pub inject_panic: Option<String>,
+    /// `STEM_SERVE_ADDR`: listen address for the `serve` binary.
+    pub serve_addr: Option<String>,
+    /// `STEM_SERVE_ADDR_FILE`: where `serve` writes its bound address.
+    pub serve_addr_file: Option<PathBuf>,
+    /// `STEM_SERVE_QUEUE`: bounded job-queue capacity.
+    pub serve_queue: Option<usize>,
+    /// `STEM_SERVE_CACHE`: result-cache capacity.
+    pub serve_cache: Option<usize>,
+    /// `STEM_SERVE_BUDGET_SECS`: per-experiment budget for `serve`.
+    pub serve_budget_secs: Option<u64>,
+    /// `STEM_SERVE_RETRIES`: client retries after 429/503/connect failure.
+    pub serve_retries: Option<u32>,
+    /// `STEM_SERVE_BACKOFF_MS`: client base backoff delay.
+    pub serve_backoff_ms: Option<u64>,
+    /// `STEM_SERVE_CHAOS_SEED`: fault-injection seed (set = chaos on).
+    pub serve_chaos_seed: Option<u64>,
+    /// `STEM_SERVE_IO_DEADLINE_MS`: per-connection I/O deadline.
+    pub serve_io_deadline_ms: Option<u64>,
 }
 
 impl Config {
@@ -136,6 +174,15 @@ impl Config {
             fault_accesses: src.positive(FAULT_ACCESSES_ENV)?,
             experiment_budget_secs: src.parsed(BUDGET_ENV, "a non-negative integer (seconds)")?,
             inject_panic: src.raw(INJECT_PANIC_ENV),
+            serve_addr: src.raw(SERVE_ADDR_ENV),
+            serve_addr_file: src.raw(SERVE_ADDR_FILE_ENV).map(PathBuf::from),
+            serve_queue: src.positive(SERVE_QUEUE_ENV)?,
+            serve_cache: src.positive(SERVE_CACHE_ENV)?,
+            serve_budget_secs: src.positive(SERVE_BUDGET_ENV)?,
+            serve_retries: src.parsed(SERVE_RETRIES_ENV, "a non-negative integer")?,
+            serve_backoff_ms: src.positive(SERVE_BACKOFF_ENV)?,
+            serve_chaos_seed: src.parsed(SERVE_CHAOS_SEED_ENV, "a u64 seed (0 allowed)")?,
+            serve_io_deadline_ms: src.positive(SERVE_IO_DEADLINE_ENV)?,
         })
     }
 
@@ -174,6 +221,46 @@ impl Config {
     /// Per-experiment wall-clock budget, defaulting to four hours.
     pub fn experiment_budget(&self) -> Duration {
         Duration::from_secs(self.experiment_budget_secs.unwrap_or(4 * 60 * 60))
+    }
+
+    /// `serve` listen address, defaulting to an ephemeral localhost port.
+    pub fn serve_addr(&self) -> String {
+        self.serve_addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:0".to_owned())
+    }
+
+    /// `serve` job-queue capacity, defaulting to 8 slots.
+    pub fn serve_queue(&self) -> usize {
+        self.serve_queue.unwrap_or(8)
+    }
+
+    /// `serve` result-cache capacity, defaulting to 64 entries (the
+    /// cache's recency stack bounds valid values at 255; the binary
+    /// enforces that).
+    pub fn serve_cache(&self) -> usize {
+        self.serve_cache.unwrap_or(64)
+    }
+
+    /// `serve` per-experiment budget, defaulting to ten minutes.
+    pub fn serve_budget(&self) -> Duration {
+        Duration::from_secs(self.serve_budget_secs.unwrap_or(600))
+    }
+
+    /// `serve_client` retry count after 429/503/connect failure,
+    /// defaulting to 4.
+    pub fn serve_retries(&self) -> u32 {
+        self.serve_retries.unwrap_or(4)
+    }
+
+    /// `serve_client` base backoff delay, defaulting to 50ms.
+    pub fn serve_backoff_ms(&self) -> u64 {
+        self.serve_backoff_ms.unwrap_or(50)
+    }
+
+    /// `serve` per-connection I/O deadline, defaulting to ten seconds.
+    pub fn serve_io_deadline(&self) -> Duration {
+        Duration::from_millis(self.serve_io_deadline_ms.unwrap_or(10_000))
     }
 }
 
@@ -302,6 +389,44 @@ mod tests {
         );
         assert!(cfg_of(&[(BUDGET_ENV, "-4")]).is_err());
         assert!(cfg_of(&[(BUDGET_ENV, "1.5")]).is_err());
+    }
+
+    #[test]
+    fn serve_knobs_parse_and_default_sensibly() {
+        let cfg = cfg_of(&[]).unwrap();
+        assert_eq!(cfg.serve_addr(), "127.0.0.1:0");
+        assert_eq!(cfg.serve_queue(), 8);
+        assert_eq!(cfg.serve_cache(), 64);
+        assert_eq!(cfg.serve_budget(), Duration::from_secs(600));
+        assert_eq!(cfg.serve_retries(), 4);
+        assert_eq!(cfg.serve_backoff_ms(), 50);
+        assert_eq!(cfg.serve_io_deadline(), Duration::from_secs(10));
+        assert_eq!(cfg.serve_chaos_seed, None, "chaos is off unless seeded");
+
+        let cfg = cfg_of(&[
+            (SERVE_ADDR_ENV, "0.0.0.0:8377"),
+            (SERVE_QUEUE_ENV, "2"),
+            (SERVE_RETRIES_ENV, "0"),
+            (SERVE_BACKOFF_ENV, "10"),
+            (SERVE_CHAOS_SEED_ENV, "0"),
+            (SERVE_IO_DEADLINE_ENV, "250"),
+        ])
+        .unwrap();
+        assert_eq!(cfg.serve_addr(), "0.0.0.0:8377");
+        assert_eq!(cfg.serve_queue(), 2);
+        assert_eq!(cfg.serve_retries(), 0, "zero retries is a valid choice");
+        assert_eq!(cfg.serve_backoff_ms(), 10);
+        assert_eq!(cfg.serve_chaos_seed, Some(0), "seed 0 still enables chaos");
+        assert_eq!(cfg.serve_io_deadline(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn serve_knobs_reject_nonsense() {
+        assert!(cfg_of(&[(SERVE_QUEUE_ENV, "0")]).is_err());
+        assert!(cfg_of(&[(SERVE_BACKOFF_ENV, "0")]).is_err());
+        assert!(cfg_of(&[(SERVE_IO_DEADLINE_ENV, "-1")]).is_err());
+        assert!(cfg_of(&[(SERVE_RETRIES_ENV, "-1")]).is_err());
+        assert!(cfg_of(&[(SERVE_CHAOS_SEED_ENV, "not-a-seed")]).is_err());
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Client-side retry pacing: capped exponential backoff with
+//! deterministic jitter.
+//!
+//! `serve_client` retries a request after 429 (queue full), 503 (shed or
+//! draining), or a failed connect. Naive fixed-delay retries from many
+//! clients re-collide on every attempt; exponential backoff with jitter
+//! spreads them out. The jitter here is *deterministic* — drawn from the
+//! repo's [`SplitMix64`] seeded by the caller — so a retry schedule is
+//! reproducible from its seed, the same property the chaos layer and the
+//! simulators rely on everywhere else.
+//!
+//! The shape is "equal jitter": attempt `k` sleeps
+//! `half + uniform(0..=half)` where `half = min(cap, base << k) / 2`.
+//! That keeps at least half the exponential spacing (so retries genuinely
+//! back off) while randomizing the other half (so synchronized clients
+//! decorrelate).
+
+use std::time::Duration;
+
+use stem_sim_core::SplitMix64;
+
+/// Default base delay for the first retry.
+pub const DEFAULT_BASE_MS: u64 = 50;
+/// Ceiling any single delay is clamped to.
+pub const CAP_MS: u64 = 5_000;
+/// Default number of retries after the initial attempt.
+pub const DEFAULT_RETRIES: u32 = 4;
+
+/// A reusable description of one retry schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Base delay in milliseconds; attempt `k` targets `base << k`.
+    pub base_ms: u64,
+    /// Retries after the initial attempt (0 disables retrying).
+    pub retries: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_ms: DEFAULT_BASE_MS,
+            retries: DEFAULT_RETRIES,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before retry `attempt` (0-based), jittered by `rng`.
+    ///
+    /// A server-supplied `Retry-After` (seconds) overrides the
+    /// exponential target when it is *longer* — the server knows its
+    /// queue better than the client's guess — but still gets jittered
+    /// and capped so a herd told "retry after 2" does not return as a
+    /// herd.
+    pub fn delay(
+        &self,
+        attempt: u32,
+        retry_after_secs: Option<u64>,
+        rng: &mut SplitMix64,
+    ) -> Duration {
+        let exp = self
+            .base_ms
+            .checked_shl(attempt)
+            .unwrap_or(CAP_MS)
+            .min(CAP_MS);
+        let target = match retry_after_secs {
+            Some(secs) => exp.max(secs.saturating_mul(1000)).min(CAP_MS),
+            None => exp,
+        };
+        let half = target / 2;
+        Duration::from_millis(half + rng.next_below(half + 1))
+    }
+
+    /// The full schedule for a fixed seed — one delay per retry. Useful
+    /// for logging what a client *will* do and for pinning the schedule
+    /// in tests.
+    pub fn schedule(&self, seed: u64) -> Vec<Duration> {
+        let mut rng = SplitMix64::new(seed);
+        (0..self.retries)
+            .map(|k| self.delay(k, None, &mut rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_schedule_is_pinned_for_a_fixed_seed() {
+        let policy = BackoffPolicy {
+            base_ms: 100,
+            retries: 5,
+        };
+        // Deterministic contract: this exact schedule for seed 42, or the
+        // RNG/policy changed and every cached retry trace is stale.
+        let a = policy.schedule(42);
+        let b = policy.schedule(42);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, policy.schedule(43), "different seed, different jitter");
+        for (k, d) in a.iter().enumerate() {
+            let target = (100u64 << k).min(CAP_MS);
+            let ms = d.as_millis() as u64;
+            assert!(
+                ms >= target / 2 && ms <= target,
+                "retry {k}: {ms}ms outside [{}, {target}]",
+                target / 2
+            );
+        }
+        // Delays must actually grow until the cap bites.
+        assert!(a[4] > a[0], "backoff never grew: {a:?}");
+    }
+
+    #[test]
+    fn the_cap_holds_even_for_absurd_attempts() {
+        let policy = BackoffPolicy::default();
+        let mut rng = SplitMix64::new(7);
+        for attempt in [10, 31, 32, 63, 64, 200] {
+            let d = policy.delay(attempt, None, &mut rng);
+            assert!(
+                d <= Duration::from_millis(CAP_MS),
+                "attempt {attempt}: {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_after_stretches_but_never_shrinks_the_delay() {
+        let policy = BackoffPolicy {
+            base_ms: 1000,
+            retries: 1,
+        };
+        // Server asks for 3s while the exponential target is 1s: honored.
+        let mut rng = SplitMix64::new(1);
+        let d = policy.delay(0, Some(3), &mut rng);
+        assert!(d >= Duration::from_millis(1500), "{d:?}");
+        // Server asks for 0s: the exponential floor still applies.
+        let mut rng = SplitMix64::new(1);
+        let d = policy.delay(0, Some(0), &mut rng);
+        assert!(d >= Duration::from_millis(500), "{d:?}");
+        // A huge Retry-After is still capped.
+        let mut rng = SplitMix64::new(1);
+        let d = policy.delay(0, Some(100_000), &mut rng);
+        assert!(d <= Duration::from_millis(CAP_MS), "{d:?}");
+    }
+
+    #[test]
+    fn zero_retries_means_an_empty_schedule() {
+        let policy = BackoffPolicy {
+            base_ms: 50,
+            retries: 0,
+        };
+        assert!(policy.schedule(9).is_empty());
+    }
+}

@@ -16,6 +16,7 @@
 //! environment.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use stem_analysis::{run_system_decoded, CapacityDemandProfiler};
 use stem_bench::harness::prepare_trace;
@@ -27,6 +28,56 @@ use crate::request::RunRequest;
 
 /// The pluggable experiment function.
 pub type Executor = Arc<dyn Fn(&RunRequest) -> Result<Json, SimError> + Send + Sync>;
+
+/// The wall-clock budget attached to one `/run` request as it travels
+/// handler → queue → executor.
+///
+/// Built once in the handler from the request's `deadline_ms` (or the
+/// service default) and carried with the job, so both ends of the queue
+/// agree on the same instant: the handler stops waiting at it, and the
+/// executor watchdog ([`expired_before_execution`]) refuses to *start*
+/// work whose requester has already given up — the overrun becomes a
+/// clean 503 + `Retry-After` instead of a queue wedged behind doomed
+/// work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestDeadline {
+    at: Instant,
+}
+
+impl RequestDeadline {
+    /// Derives the deadline for `req`: its own `deadline_ms` when
+    /// supplied (already validated to `1..=MAX_DEADLINE_MS`), otherwise
+    /// `default_wait`.
+    pub fn for_request(req: &RunRequest, default_wait: Duration) -> RequestDeadline {
+        let budget = req.deadline_ms.map_or(default_wait, Duration::from_millis);
+        RequestDeadline {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// The instant after which the request counts as overrun.
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+
+    /// Whether the budget has run out.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// The executor-side watchdog check: a job is dead on arrival when its
+/// deadline passed while it sat in the queue. Executing it anyway would
+/// burn a batch slot on an answer nobody is waiting for — the service
+/// sheds it instead (counted in `stem_serve_deadline_shed_total`).
+pub fn expired_before_execution(deadline: &RequestDeadline) -> bool {
+    deadline.expired()
+}
 
 /// Builds the production executor.
 pub fn simulation_executor() -> Executor {
@@ -125,6 +176,22 @@ mod tests {
             .as_bytes(),
         )
         .expect("valid request")
+    }
+
+    #[test]
+    fn request_deadline_prefers_the_client_budget() {
+        let mut req = tiny_request(false);
+        req.deadline_ms = Some(1);
+        let d = RequestDeadline::for_request(&req, Duration::from_secs(3600));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(d.expired());
+        assert!(expired_before_execution(&d));
+        assert_eq!(d.remaining(), Duration::ZERO);
+
+        req.deadline_ms = None;
+        let d = RequestDeadline::for_request(&req, Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(3000));
     }
 
     #[test]

@@ -9,13 +9,109 @@
 //!
 //! Limits are enforced while *reading*, so a hostile peer cannot balloon
 //! memory: the head is capped at 16 KiB and the body at 1 MiB.
+//!
+//! # Deadlines
+//!
+//! Every read/write loop takes a [`Deadline`] and checks it between I/O
+//! operations, so a slow-loris peer dripping one byte per read cannot pin
+//! a handler thread: total time on a connection is bounded by the
+//! deadline plus at most one underlying I/O timeout (the per-stream
+//! read/write timeouts the transports set bound each individual call).
+//! Body reads are chunked rather than `read_exact`, so a body truncated
+//! short of its `Content-Length` surfaces as a clean parse error and a
+//! never-arriving body is cut by the deadline. The deadline-free entry
+//! points ([`read_request`], [`read_response`], [`write_request`],
+//! [`write_response`]) delegate with [`Deadline::none`].
 
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Maximum bytes of request line + headers.
-const MAX_HEAD: usize = 16 * 1024;
+pub const MAX_HEAD: usize = 16 * 1024;
 /// Maximum request body bytes.
 pub const MAX_BODY: usize = 1024 * 1024;
+/// Body bytes read per loop iteration (deadline checked between chunks).
+const BODY_CHUNK: usize = 4096;
+
+/// A wall-clock bound on one I/O loop. `Deadline::none()` never expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No bound: loops run until the stream ends or errors.
+    pub fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// Expires `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Deadline {
+            at: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// Expires at `at`.
+    pub fn at(at: Instant) -> Self {
+        Deadline { at: Some(at) }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Time left, `None` when unbounded.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::none()
+    }
+}
+
+/// The detail string marker for deadline expiries, so callers can
+/// distinguish "peer sent garbage" from "peer was too slow" without a
+/// second error channel.
+const DEADLINE_MARKER: &str = "i/o deadline exceeded";
+
+/// Why a request could not be parsed; rendered into a 4xx by the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError(pub String);
+
+impl HttpError {
+    /// Whether this failure was the connection deadline expiring (as
+    /// opposed to a protocol violation).
+    pub fn is_deadline(&self) -> bool {
+        self.0.contains(DEADLINE_MARKER)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed HTTP request: {}", self.0)
+    }
+}
+
+fn bad(detail: impl Into<String>) -> HttpError {
+    HttpError(detail.into())
+}
+
+fn deadline_error(stage: &str) -> HttpError {
+    bad(format!("{DEADLINE_MARKER} while {stage}"))
+}
+
+fn deadline_io_error(stage: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::TimedOut,
+        format!("{DEADLINE_MARKER} while {stage}"),
+    )
+}
 
 /// One parsed inbound request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,28 +124,14 @@ pub struct HttpRequest {
     pub body: Vec<u8>,
 }
 
-/// Why a request could not be parsed; rendered into a 400 by the caller.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HttpError(pub String);
-
-impl std::fmt::Display for HttpError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "malformed HTTP request: {}", self.0)
-    }
-}
-
-fn bad(detail: impl Into<String>) -> HttpError {
-    HttpError(detail.into())
-}
-
-/// Reads one HTTP/1.1 request (head + `Content-Length` body) from `conn`.
-///
-/// # Errors
-///
-/// `Err(Ok(HttpError))` is never produced — the nested result is
-/// flattened: I/O failures come back as `io::Error`, protocol violations
-/// as `HttpError` wrapped in `InvalidData`.
-pub fn read_request(conn: &mut dyn Read) -> Result<HttpRequest, HttpError> {
+/// Reads one head (everything through the blank line) under `deadline`.
+fn read_head(
+    conn: &mut dyn Read,
+    deadline: Deadline,
+    what: &str,
+    empty_msg: &str,
+    mid_msg: &str,
+) -> Result<Vec<u8>, HttpError> {
     let mut head = Vec::with_capacity(512);
     let mut byte = [0u8; 1];
     // Single-byte reads keep the parser from consuming body bytes past the
@@ -58,21 +140,66 @@ pub fn read_request(conn: &mut dyn Read) -> Result<HttpRequest, HttpError> {
     // seconds.
     while !head.ends_with(b"\r\n\r\n") {
         if head.len() >= MAX_HEAD {
-            return Err(bad(format!("request head exceeds {MAX_HEAD} bytes")));
+            return Err(bad(format!("{what} head exceeds {MAX_HEAD} bytes")));
+        }
+        if deadline.expired() {
+            return Err(deadline_error(&format!("reading {what} head")));
         }
         match conn.read(&mut byte) {
             Ok(0) => {
-                return Err(bad(if head.is_empty() {
-                    "connection closed before any request".to_owned()
-                } else {
-                    "connection closed mid-head".to_owned()
-                }))
+                return Err(bad(if head.is_empty() { empty_msg } else { mid_msg }));
             }
             Ok(_) => head.push(byte[0]),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(bad(format!("reading request head: {e}"))),
+            Err(e) => return Err(bad(format!("reading {what} head: {e}"))),
         }
     }
+    Ok(head)
+}
+
+/// Reads exactly `len` body bytes in chunks, checking `deadline` between
+/// chunks; a premature EOF is reported as truncation, not a generic read
+/// failure.
+fn read_body(conn: &mut dyn Read, len: usize, deadline: Deadline) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        if deadline.expired() {
+            return Err(deadline_error("reading body"));
+        }
+        let chunk_end = (filled + BODY_CHUNK).min(len);
+        match conn.read(&mut body[filled..chunk_end]) {
+            Ok(0) => {
+                return Err(bad(format!(
+                    "body truncated: got {filled} of {len} Content-Length bytes"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(bad(format!("reading {len}-byte body: {e}"))),
+        }
+    }
+    Ok(body)
+}
+
+/// Reads one HTTP/1.1 request (head + `Content-Length` body) from `conn`,
+/// bounded by `deadline`.
+///
+/// # Errors
+///
+/// I/O failures and protocol violations both come back as [`HttpError`];
+/// deadline expiries answer `true` to [`HttpError::is_deadline`].
+pub fn read_request_deadline(
+    conn: &mut dyn Read,
+    deadline: Deadline,
+) -> Result<HttpRequest, HttpError> {
+    let head = read_head(
+        conn,
+        deadline,
+        "request",
+        "connection closed before any request",
+        "connection closed mid-head",
+    )?;
     let head = std::str::from_utf8(&head).map_err(|_| bad("request head is not UTF-8"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
@@ -117,12 +244,17 @@ pub fn read_request(conn: &mut dyn Read) -> Result<HttpRequest, HttpError> {
         }
     }
 
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        conn.read_exact(&mut body)
-            .map_err(|e| bad(format!("reading {content_length}-byte body: {e}")))?;
-    }
+    let body = read_body(conn, content_length, deadline)?;
     Ok(HttpRequest { method, path, body })
+}
+
+/// [`read_request_deadline`] without a bound (tests, trusted pipes).
+///
+/// # Errors
+///
+/// See [`read_request_deadline`].
+pub fn read_request(conn: &mut dyn Read) -> Result<HttpRequest, HttpError> {
+    read_request_deadline(conn, Deadline::none())
 }
 
 /// The status lines the service emits.
@@ -132,6 +264,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -139,25 +272,82 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one complete response and flushes. Every response carries
-/// `Connection: close`; the caller drops the connection afterwards.
+/// Writes `data` in chunks, checking `deadline` between writes.
+fn write_all_deadline(
+    conn: &mut dyn Write,
+    mut data: &[u8],
+    deadline: Deadline,
+    stage: &str,
+) -> io::Result<()> {
+    while !data.is_empty() {
+        if deadline.expired() {
+            return Err(deadline_io_error(stage));
+        }
+        let chunk = data.len().min(BODY_CHUNK);
+        match conn.write(&data[..chunk]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    format!("stream accepted zero bytes while {stage}"),
+                ))
+            }
+            Ok(n) => data = &data[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one complete response (with optional extra headers) under
+/// `deadline` and flushes. Every response carries `Connection: close`;
+/// the caller drops the connection afterwards.
+///
+/// # Errors
+///
+/// Underlying I/O errors; deadline expiry surfaces as
+/// [`io::ErrorKind::TimedOut`].
+pub fn write_response_deadline(
+    conn: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    deadline: Deadline,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    write_all_deadline(conn, head.as_bytes(), deadline, "writing response head")?;
+    write_all_deadline(conn, body, deadline, "writing response body")?;
+    conn.flush()
+}
+
+/// [`write_response_deadline`] with no extra headers and no bound.
+///
+/// # Errors
+///
+/// See [`write_response_deadline`].
 pub fn write_response(
     conn: &mut dyn Write,
     status: u16,
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        reason(status),
-        body.len(),
-    );
-    conn.write_all(head.as_bytes())?;
-    conn.write_all(body)?;
-    conn.flush()
+    write_response_deadline(conn, status, content_type, &[], body, Deadline::none())
 }
 
 /// Writes one client request with a body and flushes.
+///
+/// # Errors
+///
+/// Underlying I/O errors.
 pub fn write_request(
     conn: &mut dyn Write,
     method: &str,
@@ -168,8 +358,13 @@ pub fn write_request(
         "{method} {path} HTTP/1.1\r\nhost: stem-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         body.len(),
     );
-    conn.write_all(head.as_bytes())?;
-    conn.write_all(body)?;
+    write_all_deadline(
+        conn,
+        head.as_bytes(),
+        Deadline::none(),
+        "writing request head",
+    )?;
+    write_all_deadline(conn, body, Deadline::none(), "writing request body")?;
     conn.flush()
 }
 
@@ -178,6 +373,8 @@ pub fn write_request(
 pub struct HttpResponse {
     /// Numeric status code.
     pub status: u16,
+    /// Response headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes.
     pub body: Vec<u8>,
 }
@@ -187,25 +384,40 @@ impl HttpResponse {
     pub fn body_text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
+
+    /// The first header named `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `Retry-After` header as whole seconds, when present and
+    /// numeric.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        self.header("retry-after")?.trim().parse().ok()
+    }
 }
 
 /// Reads one response from `conn` (status line, headers, `Content-Length`
-/// body). The server always sends `Content-Length`, so chunked decoding is
-/// not implemented.
-pub fn read_response(conn: &mut dyn Read) -> Result<HttpResponse, HttpError> {
-    let mut head = Vec::with_capacity(256);
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        if head.len() >= MAX_HEAD {
-            return Err(bad(format!("response head exceeds {MAX_HEAD} bytes")));
-        }
-        match conn.read(&mut byte) {
-            Ok(0) => return Err(bad("connection closed mid-response")),
-            Ok(_) => head.push(byte[0]),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(bad(format!("reading response head: {e}"))),
-        }
-    }
+/// body) under `deadline`. The server always sends `Content-Length`, so
+/// chunked decoding is not implemented.
+///
+/// # Errors
+///
+/// See [`read_request_deadline`].
+pub fn read_response_deadline(
+    conn: &mut dyn Read,
+    deadline: Deadline,
+) -> Result<HttpResponse, HttpError> {
+    let head = read_head(
+        conn,
+        deadline,
+        "response",
+        "connection closed mid-response",
+        "connection closed mid-response",
+    )?;
     let head = std::str::from_utf8(&head).map_err(|_| bad("response head is not UTF-8"))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or_default();
@@ -215,22 +427,34 @@ pub fn read_response(conn: &mut dyn Read) -> Result<HttpResponse, HttpError> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad(format!("unparseable status line {status_line:?}")))?;
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
+            let name = name.to_ascii_lowercase();
+            let value = value.trim().to_owned();
+            if name == "content-length" {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| bad("unparseable response Content-Length"))?;
             }
+            headers.push((name, value));
         }
     }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        conn.read_exact(&mut body)
-            .map_err(|e| bad(format!("reading response body: {e}")))?;
-    }
-    Ok(HttpResponse { status, body })
+    let body = read_body(conn, content_length, deadline)?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// [`read_response_deadline`] without a bound.
+///
+/// # Errors
+///
+/// See [`read_request_deadline`].
+pub fn read_response(conn: &mut dyn Read) -> Result<HttpResponse, HttpError> {
+    read_response_deadline(conn, Deadline::none())
 }
 
 #[cfg(test)]
@@ -277,11 +501,60 @@ mod tests {
     }
 
     #[test]
+    fn truncated_body_is_named_as_truncation() {
+        let raw = b"POST /run HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        let err = read_request(&mut &raw[..]).expect_err("truncated");
+        assert!(err.0.contains("truncated"), "{err}");
+        assert!(!err.is_deadline());
+    }
+
+    #[test]
+    fn an_expired_deadline_stops_the_read_and_is_distinguishable() {
+        /// A reader that never runs dry and never hurries: worst-case
+        /// slow-loris, dripping one byte per millisecond.
+        struct SlowLoris;
+        impl Read for SlowLoris {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                std::thread::sleep(Duration::from_millis(1));
+                buf[0] = b'x';
+                Ok(1)
+            }
+        }
+        let deadline = Deadline::after(Duration::from_millis(20));
+        let err = read_request_deadline(&mut SlowLoris, deadline).expect_err("cut off");
+        assert!(err.is_deadline(), "{err}");
+    }
+
+    #[test]
+    fn deadline_none_never_expires() {
+        assert!(!Deadline::none().expired());
+        assert!(Deadline::none().remaining().is_none());
+        assert!(Deadline::after(Duration::ZERO).expired());
+    }
+
+    #[test]
     fn response_round_trips_through_the_client_parser() {
         let mut wire = Vec::new();
         write_response(&mut wire, 429, "application/json", b"{\"error\":\"full\"}").expect("write");
         let resp = read_response(&mut &wire[..]).expect("parse");
         assert_eq!(resp.status, 429);
         assert_eq!(resp.body, b"{\"error\":\"full\"}");
+        assert_eq!(resp.header("connection"), Some("close"));
+    }
+
+    #[test]
+    fn extra_headers_round_trip() {
+        let mut wire = Vec::new();
+        write_response_deadline(
+            &mut wire,
+            429,
+            "application/json",
+            &[("retry-after", "7".to_owned())],
+            b"{}",
+            Deadline::none(),
+        )
+        .expect("write");
+        let resp = read_response(&mut &wire[..]).expect("parse");
+        assert_eq!(resp.retry_after_secs(), Some(7));
     }
 }

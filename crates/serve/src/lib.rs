@@ -24,6 +24,24 @@
 //!   [`ExperimentRunner`](stem_bench::resilience::ExperimentRunner),
 //!   Prometheus text metrics, and graceful drain.
 //!
+//! Two adversarial layers wrap and probe the stack: [`chaos`] — a
+//! deterministic fault-injecting [`Transport`] decorator (partial reads,
+//! garbage prefixes, truncation, resets, slow-loris, delay jitter, all
+//! replayable from a seed) used by the chaos campaign in
+//! `tests/chaos.rs` and the `chaos_smoke` CI binary — and [`backoff`] —
+//! the client-side capped-exponential retry schedule with deterministic
+//! jitter that `serve_client` applies on 429/503/connect failure.
+//!
+//! # The no-panic / no-hang guarantee
+//!
+//! Under arbitrary bytes and arbitrary timing on the wire, the service
+//! never panics (`stem_serve_panics_total` stays 0 — every handler runs
+//! under `catch_unwind`), and never blocks past its deadlines: each
+//! connection's reads and writes are bounded by
+//! [`ServeConfig`](service::ServeConfig)`::io_deadline` and each `/run`
+//! by its request deadline (client `deadline_ms` or the service
+//! default), enforced at both ends of the job queue.
+//!
 //! # Determinism
 //!
 //! Identical requests produce **byte-identical** response bodies — across
@@ -54,7 +72,9 @@
 //! handle.join();
 //! ```
 
+pub mod backoff;
 pub mod cache;
+pub mod chaos;
 pub mod exec;
 pub mod http;
 pub mod metrics;
@@ -62,8 +82,11 @@ pub mod request;
 pub mod service;
 pub mod transport;
 
+pub use backoff::BackoffPolicy;
 pub use cache::ResultCache;
-pub use exec::{run_simulation, simulation_executor, Executor};
+pub use chaos::{ChaosConn, ChaosTransport, ConnPlan, FaultProfile};
+pub use exec::{run_simulation, simulation_executor, Executor, RequestDeadline};
+pub use http::Deadline;
 pub use metrics::Metrics;
 pub use request::{fnv1a64, RunRequest};
 pub use service::{start, start_with_executor, ServeConfig, ServiceHandle};

@@ -40,6 +40,15 @@ pub struct Metrics {
     rejected: AtomicU64,
     /// Experiment cells that panicked or overran their budget.
     worker_failures: AtomicU64,
+    /// Connection handlers that panicked (caught; connection dropped).
+    panics: AtomicU64,
+    /// Connections cut because a read/write overran the I/O deadline.
+    io_deadline_hits: AtomicU64,
+    /// `/run` requests shed with 503 because their deadline budget
+    /// expired (in the handler wait or the executor watchdog).
+    deadline_shed: AtomicU64,
+    /// Chaotic connections accepted, keyed by injected fault profile.
+    chaos_faults: Mutex<BTreeMap<&'static str, u64>>,
 }
 
 impl Metrics {
@@ -75,6 +84,12 @@ impl Metrics {
     /// The executor picked a job up.
     pub fn job_started(&self) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Jobs currently waiting in the bounded queue (the `Retry-After`
+    /// headers on 429/503 are derived from this gauge).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
     }
 
     /// A simulation actually ran (as opposed to a cache hit).
@@ -117,6 +132,58 @@ impl Metrics {
         self.worker_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A connection handler panicked (the panic was caught and the
+    /// connection dropped; the service lives on).
+    pub fn panicked(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime caught handler panics. The chaos campaign's headline
+    /// invariant is that this stays zero.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// A connection was cut by the per-connection I/O deadline.
+    pub fn io_deadline_hit(&self) {
+        self.io_deadline_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime I/O-deadline cuts.
+    pub fn io_deadline_hits(&self) -> u64 {
+        self.io_deadline_hits.load(Ordering::Relaxed)
+    }
+
+    /// A `/run` was answered 503 because its deadline budget ran out.
+    pub fn deadline_shed(&self) {
+        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime deadline sheds.
+    pub fn deadline_sheds(&self) -> u64 {
+        self.deadline_shed.load(Ordering::Relaxed)
+    }
+
+    /// A chaotic connection was accepted with the given fault profile
+    /// label (see [`crate::chaos::FaultProfile::label`]).
+    pub fn chaos_connection(&self, profile: &'static str) {
+        *self
+            .chaos_faults
+            .lock()
+            .expect("metrics lock")
+            .entry(profile)
+            .or_insert(0) += 1;
+    }
+
+    /// Lifetime chaotic connections across all fault profiles.
+    pub fn chaos_connections(&self) -> u64 {
+        self.chaos_faults
+            .lock()
+            .expect("metrics lock")
+            .values()
+            .sum()
+    }
+
     /// Renders the Prometheus text exposition page.
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(2048);
@@ -151,7 +218,7 @@ impl Metrics {
             self.latency_count.load(Ordering::Relaxed)
         ));
 
-        let gauges_and_counters: [(&str, &str, &str, u64); 6] = [
+        let gauges_and_counters: [(&str, &str, &str, u64); 10] = [
             (
                 "stem_serve_queue_depth",
                 "gauge",
@@ -188,11 +255,48 @@ impl Metrics {
                 "Experiment cells that panicked or overran their budget.",
                 self.worker_failures.load(Ordering::Relaxed),
             ),
+            (
+                "stem_serve_panics_total",
+                "counter",
+                "Connection handlers that panicked (caught; must stay 0).",
+                self.panics(),
+            ),
+            (
+                "stem_serve_io_deadline_total",
+                "counter",
+                "Connections cut by the per-connection I/O deadline.",
+                self.io_deadline_hits(),
+            ),
+            (
+                "stem_serve_deadline_shed_total",
+                "counter",
+                "Run requests shed with 503 after their deadline budget expired.",
+                self.deadline_sheds(),
+            ),
+            (
+                "stem_serve_chaos_connections_total",
+                "counter",
+                "Connections accepted with an injected chaos fault profile.",
+                self.chaos_connections(),
+            ),
         ];
         for (name, kind, help, value) in gauges_and_counters {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
             ));
+        }
+
+        let faults = self.chaos_faults.lock().expect("metrics lock");
+        if !faults.is_empty() {
+            out.push_str(
+                "# HELP stem_serve_chaos_faults_total Injected chaos connections by fault profile.\n",
+            );
+            out.push_str("# TYPE stem_serve_chaos_faults_total counter\n");
+            for (kind, count) in faults.iter() {
+                out.push_str(&format!(
+                    "stem_serve_chaos_faults_total{{kind=\"{kind}\"}} {count}\n"
+                ));
+            }
         }
         out
     }
@@ -222,6 +326,35 @@ mod tests {
         assert!(page.contains("stem_serve_request_seconds_bucket{le=\"0.001\"} 2"));
         assert!(page.contains("stem_serve_request_seconds_bucket{le=\"0.005\"} 3"));
         assert!(page.contains("stem_serve_request_seconds_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn chaos_and_hardening_counters_render() {
+        let m = Metrics::new();
+        m.panicked();
+        m.io_deadline_hit();
+        m.deadline_shed();
+        m.deadline_shed();
+        m.chaos_connection("slow_loris");
+        m.chaos_connection("slow_loris");
+        m.chaos_connection("garbage_prefix");
+        let page = m.render();
+        assert!(page.contains("stem_serve_panics_total 1"));
+        assert!(page.contains("stem_serve_io_deadline_total 1"));
+        assert!(page.contains("stem_serve_deadline_shed_total 2"));
+        assert!(page.contains("stem_serve_chaos_connections_total 3"));
+        assert!(page.contains("stem_serve_chaos_faults_total{kind=\"slow_loris\"} 2"));
+        assert!(page.contains("stem_serve_chaos_faults_total{kind=\"garbage_prefix\"} 1"));
+        assert_eq!(m.chaos_connections(), 3);
+    }
+
+    #[test]
+    fn zero_state_still_renders_the_panic_counter() {
+        // The chaos smoke stage greps for an explicit zero — the line
+        // must exist even when nothing has panicked.
+        let page = Metrics::new().render();
+        assert!(page.contains("stem_serve_panics_total 0"));
+        assert!(!page.contains("chaos_faults_total{"), "no empty family");
     }
 
     #[test]

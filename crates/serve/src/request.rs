@@ -26,6 +26,10 @@ pub const DEFAULT_ACCESSES: usize = 200_000;
 /// Default warm-up fraction (the paper's 20% split).
 pub const DEFAULT_WARMUP: f64 = 0.2;
 
+/// Ceiling on the client-suppliable `deadline_ms` budget (one hour — the
+/// service's own executor budget is the real long stop).
+pub const MAX_DEADLINE_MS: u64 = 3_600_000;
+
 /// A validated experiment request in canonical form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRequest {
@@ -45,6 +49,15 @@ pub struct RunRequest {
     pub warmup_fraction: f64,
     /// Whether to include the §3.1 per-set capacity-demand profile.
     pub profile: bool,
+    /// Client-supplied wall-clock budget for this request, if any.
+    ///
+    /// **Operational metadata, not experiment identity**: the deadline is
+    /// validated here but deliberately excluded from [`canonical`](Self::canonical)
+    /// and [`cache_key`](Self::cache_key), so two requests for the same
+    /// experiment with different patience share one cache entry and one
+    /// byte-identical response body — caching stays a pure function of
+    /// *what* is asked, never *how long* the client will wait.
+    pub deadline_ms: Option<u64>,
 }
 
 fn invalid(detail: impl Into<String>) -> SimError {
@@ -62,8 +75,11 @@ fn field_u64(obj: &Json, key: &str) -> Result<Option<u64>, SimError> {
 }
 
 impl RunRequest {
-    /// Field names the decoder accepts, in canonical order.
-    pub const FIELDS: [&'static str; 8] = [
+    /// Field names the decoder accepts: the eight canonical experiment
+    /// fields plus the operational `deadline_ms` (accepted and validated,
+    /// but excluded from the canonical form — see
+    /// [`deadline_ms`](Self::deadline_ms)).
+    pub const FIELDS: [&'static str; 9] = [
         "benchmark",
         "scheme",
         "sets",
@@ -72,6 +88,7 @@ impl RunRequest {
         "accesses",
         "warmup_fraction",
         "profile",
+        "deadline_ms",
     ];
 
     /// Decodes and validates a request body.
@@ -166,6 +183,15 @@ impl RunRequest {
                 .ok_or_else(|| invalid("field \"profile\" must be a boolean"))?,
         };
 
+        let deadline_ms = field_u64(json, "deadline_ms")?;
+        if let Some(d) = deadline_ms {
+            if d == 0 || d > MAX_DEADLINE_MS {
+                return Err(invalid(format!(
+                    "field \"deadline_ms\" must be in 1..={MAX_DEADLINE_MS}, got {d}"
+                )));
+            }
+        }
+
         Ok(RunRequest {
             benchmark,
             scheme,
@@ -175,6 +201,7 @@ impl RunRequest {
             accesses,
             warmup_fraction,
             profile,
+            deadline_ms,
         })
     }
 
@@ -189,8 +216,10 @@ impl RunRequest {
             .expect("request geometry was validated at parse time")
     }
 
-    /// The canonical JSON form: every field, fixed order, defaults
-    /// explicit. Hashing and response echoes both use this.
+    /// The canonical JSON form: the eight experiment fields, fixed
+    /// order, defaults explicit. Hashing and response echoes both use
+    /// this. `deadline_ms` is intentionally absent — see
+    /// [`deadline_ms`](Self::deadline_ms).
     pub fn canonical(&self) -> Json {
         Json::Obj(vec![
             ("benchmark".into(), Json::str(self.benchmark.clone())),
@@ -293,6 +322,18 @@ mod tests {
                 r#"{"benchmark": "mcf", "scheme": "lru", "warmup_fraction": 1.5}"#,
                 "warmup_fraction",
             ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "lru", "deadline_ms": 0}"#,
+                "deadline_ms",
+            ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "lru", "deadline_ms": -5}"#,
+                "deadline_ms",
+            ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "lru", "deadline_ms": 999999999999}"#,
+                "deadline_ms",
+            ),
             (r#"[1, 2]"#, "object"),
         ];
         for (body, needle) in cases {
@@ -300,6 +341,27 @@ mod tests {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{body} → {msg} (wanted {needle:?})");
         }
+    }
+
+    #[test]
+    fn deadline_is_validated_but_never_part_of_the_identity() {
+        let patient = RunRequest::parse(minimal().as_bytes()).expect("valid");
+        let hurried =
+            RunRequest::parse(br#"{"benchmark": "omnetpp", "scheme": "stem", "deadline_ms": 250}"#)
+                .expect("valid");
+        assert_eq!(hurried.deadline_ms, Some(250));
+        assert_eq!(patient.deadline_ms, None);
+        assert_eq!(
+            patient.canonical().to_string(),
+            hurried.canonical().to_string(),
+            "deadline must not leak into the canonical echo"
+        );
+        assert_eq!(
+            patient.cache_key(),
+            hurried.cache_key(),
+            "deadline must not split cache entries"
+        );
+        assert!(!patient.canonical().to_string().contains("deadline"));
     }
 
     #[test]

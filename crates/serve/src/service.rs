@@ -1,16 +1,19 @@
 //! The service core: routing, the bounded job queue, backpressure, the
-//! result cache, and graceful shutdown.
+//! result cache, deadlines, and graceful shutdown.
 //!
 //! # Threading model
 //!
 //! ```text
 //! accept thread ── polls Transport::accept, spawns one handler/connection
-//!   handler ────── parses HTTP, routes; /run checks the cache, then
-//!                  try_sends a job into the bounded queue (full → 429)
-//!                  and blocks on its private reply channel
-//! executor thread  drains the queue, runs cells through
+//!   handler ────── parses HTTP under the per-connection I/O deadline,
+//!                  routes; /run checks the cache, then try_sends a job
+//!                  (with its request deadline) into the bounded queue
+//!                  (full → 429 + Retry-After) and waits on its private
+//!                  reply channel until the deadline
+//! executor thread  drains the queue; a watchdog sheds jobs whose
+//!                  deadline passed in the queue, the rest run through
 //!                  ExperimentRunner::run_batch (panic + budget isolated),
-//!                  fills the cache, answers the reply channels
+//!                  fill the cache, and answer the reply channels
 //! ```
 //!
 //! The queue is a `std::sync::mpsc::sync_channel` of fixed capacity: a
@@ -19,13 +22,30 @@
 //! deferred work, so memory stays bounded no matter how fast clients
 //! submit.
 //!
+//! # Deadlines (the no-hang guarantee)
+//!
+//! Two budgets bound every connection. The **I/O deadline**
+//! ([`ServeConfig::io_deadline`]) caps each read/write loop on the wire,
+//! so a slow-loris peer or stalled stream cannot pin a handler: an
+//! expired read answers 408 and closes (counted in
+//! `stem_serve_io_deadline_total`). The **request deadline**
+//! ([`RequestDeadline`], from the client's `deadline_ms` or the service
+//! default) travels with the job; the handler stops waiting at it
+//! (503 + `Retry-After`, counted in `stem_serve_deadline_shed_total`)
+//! and the executor watchdog refuses to start work whose requester
+//! already gave up. Every 429/503 carries a deterministic `Retry-After`
+//! derived from the current queue depth.
+//!
 //! # Determinism
 //!
 //! A `/run` response body is a pure function of the canonical request:
 //! the canonical echo plus the executor's deterministic result, rendered
 //! by the deterministic JSON writer. Cache hits replay stored bytes.
 //! Identical requests therefore return byte-identical bodies at any
-//! `STEM_THREADS`, any queue depth, and regardless of cache state.
+//! `STEM_THREADS`, any queue depth, regardless of cache state — and, as
+//! the chaos campaign proves, regardless of how hostile the *other*
+//! connections are. `deadline_ms` is excluded from the canonical form,
+//! so patience never splits a cache entry.
 //!
 //! # Shutdown
 //!
@@ -40,14 +60,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use stem_bench::resilience::{ExperimentFailure, ExperimentRunner};
 use stem_sim_core::Json;
 
 use crate::cache::ResultCache;
-use crate::exec::Executor;
-use crate::http::{read_request, write_response, HttpRequest};
+use crate::exec::{expired_before_execution, Executor, RequestDeadline};
+use crate::http::{read_request_deadline, write_response_deadline, Deadline, HttpRequest};
 use crate::metrics::Metrics;
 use crate::request::RunRequest;
 use crate::transport::{Connection, Transport};
@@ -65,6 +85,13 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Per-experiment wall-clock budget.
     pub budget: Duration,
+    /// Per-connection read/write deadline: the longest one HTTP
+    /// read-request or write-response loop may take on the wire.
+    pub io_deadline: Duration,
+    /// Pre-built metrics to share with decorators (e.g. a
+    /// [`ChaosTransport`](crate::chaos::ChaosTransport) counting its
+    /// injections); `None` creates fresh metrics.
+    pub metrics: Option<Arc<Metrics>>,
 }
 
 impl Default for ServeConfig {
@@ -74,8 +101,20 @@ impl Default for ServeConfig {
             cache_capacity: ResultCache::DEFAULT_CAPACITY,
             threads: stem_bench::pool::configured_threads(),
             budget: Duration::from_secs(600),
+            io_deadline: Duration::from_secs(10),
+            metrics: None,
         }
     }
+}
+
+/// Why a queued job produced no response body.
+enum JobError {
+    /// The experiment ran and failed (panic, budget, or simulation
+    /// error) — the handler answers 500.
+    Failed(String),
+    /// The executor watchdog shed the job because its deadline passed in
+    /// the queue — the handler (if still waiting) answers 503.
+    Shed,
 }
 
 /// One queued experiment.
@@ -83,7 +122,8 @@ struct Job {
     request: RunRequest,
     key: u64,
     canonical: String,
-    reply: mpsc::Sender<Result<Arc<Vec<u8>>, String>>,
+    deadline: RequestDeadline,
+    reply: mpsc::Sender<Result<Arc<Vec<u8>>, JobError>>,
 }
 
 /// State shared by handlers and the executor.
@@ -95,6 +135,7 @@ struct Shared {
     /// executor's `recv` loop terminates.
     queue: Mutex<Option<SyncSender<Job>>>,
     budget: Duration,
+    io_deadline: Duration,
 }
 
 /// A running service. Dropping the handle does *not* stop it; call
@@ -153,10 +194,11 @@ pub fn start_with_executor(
     let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
     let shared = Arc::new(Shared {
         stop: AtomicBool::new(false),
-        metrics: Arc::new(Metrics::new()),
+        metrics: config.metrics.unwrap_or_else(|| Arc::new(Metrics::new())),
         cache: Mutex::new(ResultCache::new(config.cache_capacity)),
         queue: Mutex::new(Some(tx)),
         budget: config.budget,
+        io_deadline: config.io_deadline,
     });
 
     let executor_thread = {
@@ -197,7 +239,13 @@ fn accept_loop(transport: Box<dyn Transport>, shared: &Arc<Shared>) {
                     .spawn(move || {
                         // A handler panic must not take the service down;
                         // the connection just closes without a response.
-                        let _ = catch_unwind(AssertUnwindSafe(|| handle_connection(conn, &shared)));
+                        // The no-panic invariant is that this counter
+                        // stays zero under any input.
+                        if catch_unwind(AssertUnwindSafe(|| handle_connection(conn, &shared)))
+                            .is_err()
+                        {
+                            shared.metrics.panicked();
+                        }
                     })
                     .expect("spawn connection handler");
                 handlers.push(handle);
@@ -215,9 +263,10 @@ fn accept_loop(transport: Box<dyn Transport>, shared: &Arc<Shared>) {
     shared.queue.lock().expect("queue lock").take();
 }
 
-/// Drains the bounded queue. Consecutive available jobs are batched into
-/// one [`ExperimentRunner::run_batch`] call (panic- and budget-isolated
-/// per cell, results in input order).
+/// Drains the bounded queue. A watchdog sheds jobs whose deadline passed
+/// while queued; consecutive live jobs are batched into one
+/// [`ExperimentRunner::run_batch`] call (panic- and budget-isolated per
+/// cell, results in input order).
 fn executor_loop(
     shared: &Arc<Shared>,
     rx: &mpsc::Receiver<Job>,
@@ -233,6 +282,21 @@ fn executor_loop(
             shared.metrics.job_started();
             batch.push(job);
         }
+
+        // Watchdog: a job that outlived its deadline in the queue is dead
+        // on arrival — executing it would wedge live work behind an
+        // answer nobody is waiting for. (The waiting handler counts the
+        // shed when it answers 503, so this does not double-count.)
+        let (live, shed): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|job| !expired_before_execution(&job.deadline));
+        for job in shed {
+            let _ = job.reply.send(Err(JobError::Shed));
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let batch = live;
 
         let cells: Vec<(String, _)> = batch
             .iter()
@@ -260,7 +324,7 @@ fn executor_loop(
                 }
                 Some(Err(e)) => {
                     shared.metrics.worker_failed();
-                    Err(format!("experiment failed: {e}"))
+                    Err(JobError::Failed(format!("experiment failed: {e}")))
                 }
                 None => {
                     shared.metrics.worker_failed();
@@ -268,7 +332,7 @@ fn executor_loop(
                         || "unknown failure".to_owned(),
                         ExperimentFailure::to_string,
                     );
-                    Err(format!("experiment {failure}"))
+                    Err(JobError::Failed(format!("experiment {failure}")))
                 }
             };
             // The handler may have timed out and gone; ignore send errors.
@@ -295,80 +359,139 @@ fn error_body(detail: &str) -> Vec<u8> {
         .into_bytes()
 }
 
-/// Reads one request, routes it, writes one response, closes.
+/// The deterministic `Retry-After` value (whole seconds) for shed work:
+/// one second of patience per queued job, plus one, capped at a minute.
+/// Derived only from the queue-depth gauge, so identical load states
+/// advertise identical values.
+fn retry_after_secs(shared: &Shared) -> u64 {
+    (shared.metrics.queue_depth() + 1).min(60)
+}
+
+/// One fully routed response: status, content type, extra headers, body.
+struct Routed {
+    route: &'static str,
+    status: u16,
+    content_type: &'static str,
+    headers: Vec<(&'static str, String)>,
+    body: Vec<u8>,
+}
+
+impl Routed {
+    fn json(route: &'static str, status: u16, body: Vec<u8>) -> Routed {
+        Routed {
+            route,
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body,
+        }
+    }
+}
+
+/// Reads one request, routes it, writes one response, closes. Reading
+/// and writing each get one I/O deadline; an expired read answers 408
+/// (best-effort) and counts toward `stem_serve_io_deadline_total`.
 fn handle_connection(mut conn: Box<dyn Connection>, shared: &Arc<Shared>) {
-    let t0 = Instant::now();
-    let request = match read_request(&mut conn) {
+    let t0 = std::time::Instant::now();
+    let read_deadline = Deadline::after(shared.io_deadline);
+    let request = match read_request_deadline(&mut conn, read_deadline) {
         Ok(r) => r,
         Err(e) => {
-            let _ = write_response(
+            let (route, status) = if e.is_deadline() {
+                shared.metrics.io_deadline_hit();
+                ("timeout", 408)
+            } else {
+                ("bad", 400)
+            };
+            // The write gets its own (fresh) deadline: the read consumed
+            // the first one, and an unresponsive peer must not hold the
+            // 408/400 write open either.
+            let _ = write_response_deadline(
                 &mut conn,
-                400,
+                status,
                 "application/json",
+                &[],
                 &error_body(&e.to_string()),
+                Deadline::after(shared.io_deadline),
             );
-            shared.metrics.record_request("bad", 400, t0.elapsed());
+            shared.metrics.record_request(route, status, t0.elapsed());
             return;
         }
     };
-    let (route, status, content_type, body) = route(&request, shared);
-    let _ = write_response(&mut conn, status, content_type, &body);
+    let routed = route(&request, shared);
+    if write_response_deadline(
+        &mut conn,
+        routed.status,
+        routed.content_type,
+        &routed.headers,
+        &routed.body,
+        Deadline::after(shared.io_deadline),
+    )
+    .is_err_and(|e| e.kind() == std::io::ErrorKind::TimedOut)
+    {
+        shared.metrics.io_deadline_hit();
+    }
     let _ = conn.flush();
-    shared.metrics.record_request(route, status, t0.elapsed());
+    shared
+        .metrics
+        .record_request(routed.route, routed.status, t0.elapsed());
 }
 
 /// Dispatches a parsed request to its route.
-fn route(req: &HttpRequest, shared: &Arc<Shared>) -> (&'static str, u16, &'static str, Vec<u8>) {
+fn route(req: &HttpRequest, shared: &Arc<Shared>) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (
+        ("GET", "/healthz") => Routed::json(
             "healthz",
             200,
-            "application/json",
             Json::Obj(vec![("status".to_owned(), Json::str("ok"))])
                 .pretty()
                 .into_bytes(),
         ),
-        ("GET", "/metrics") => (
-            "metrics",
-            200,
-            "text/plain; version=0.0.4",
-            shared.metrics.render().into_bytes(),
-        ),
-        ("POST", "/run") => {
-            let (status, body) = handle_run(&req.body, shared);
-            ("run", status, "application/json", body)
-        }
+        ("GET", "/metrics") => Routed {
+            route: "metrics",
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+            body: shared.metrics.render().into_bytes(),
+        },
+        ("POST", "/run") => handle_run(&req.body, shared),
         ("POST", "/shutdown") => {
             shared.stop.store(true, Ordering::SeqCst);
-            (
+            Routed::json(
                 "shutdown",
                 200,
-                "application/json",
                 Json::Obj(vec![("status".to_owned(), Json::str("draining"))])
                     .pretty()
                     .into_bytes(),
             )
         }
-        (_, "/healthz" | "/metrics" | "/run" | "/shutdown") => (
+        (_, "/healthz" | "/metrics" | "/run" | "/shutdown") => Routed::json(
             "method_not_allowed",
             405,
-            "application/json",
             error_body(&format!("method {} not allowed here", req.method)),
         ),
-        _ => (
+        _ => Routed::json(
             "not_found",
             404,
-            "application/json",
             error_body(&format!("no route {:?}", req.path)),
         ),
     }
 }
 
-/// The `/run` route: validate → cache → enqueue (or 429) → await result.
-fn handle_run(body: &[u8], shared: &Arc<Shared>) -> (u16, Vec<u8>) {
+/// A 429/503 with the deterministic `Retry-After` header attached.
+fn shed_response(route: &'static str, status: u16, detail: &str, shared: &Shared) -> Routed {
+    let mut r = Routed::json(route, status, error_body(detail));
+    r.headers
+        .push(("retry-after", retry_after_secs(shared).to_string()));
+    r
+}
+
+/// The `/run` route: validate → cache → enqueue (or 429) → await result
+/// until the request deadline.
+fn handle_run(body: &[u8], shared: &Arc<Shared>) -> Routed {
     let request = match RunRequest::parse(body) {
         Ok(r) => r,
-        Err(e) => return (400, error_body(&e.to_string())),
+        Err(e) => return Routed::json("run", 400, error_body(&e.to_string())),
     };
     let canonical = request.canonical().to_string();
     let key = request.cache_key();
@@ -380,46 +503,60 @@ fn handle_run(body: &[u8], shared: &Arc<Shared>) -> (u16, Vec<u8>) {
         .get(key, &canonical)
     {
         shared.metrics.cache_hit();
-        return (200, hit.as_ref().clone());
+        return Routed::json("run", 200, hit.as_ref().clone());
     }
     shared.metrics.cache_miss();
+
+    // The default wait covers the executor budget (timeouts included)
+    // plus queue slack for everything ahead of this job; a client
+    // deadline_ms overrides it with a tighter budget.
+    let default_wait = shared
+        .budget
+        .saturating_mul(2)
+        .saturating_add(Duration::from_secs(30));
+    let deadline = RequestDeadline::for_request(&request, default_wait);
 
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         request,
         key,
         canonical,
+        deadline,
         reply: reply_tx,
     };
     // Clone the sender out of the lock so a slow experiment cannot block
     // other handlers on the mutex.
     let sender = shared.queue.lock().expect("queue lock").clone();
     let Some(sender) = sender else {
-        return (503, error_body("service is shutting down"));
+        return Routed::json("run", 503, error_body("service is shutting down"));
     };
     match sender.try_send(job) {
         Ok(()) => shared.metrics.job_enqueued(),
         Err(TrySendError::Full(_)) => {
             shared.metrics.rejected();
-            return (
+            return shed_response(
+                "run",
                 429,
-                error_body("experiment queue is full; retry after a running experiment finishes"),
+                "experiment queue is full; retry after a running experiment finishes",
+                shared,
             );
         }
         Err(TrySendError::Disconnected(_)) => {
-            return (503, error_body("service is shutting down"));
+            return Routed::json("run", 503, error_body("service is shutting down"));
         }
     }
 
-    // The executor answers within its budget (timeouts included); the
-    // slack covers queue wait for everything already ahead of this job.
-    let wait = shared
-        .budget
-        .saturating_mul(2)
-        .saturating_add(Duration::from_secs(30));
-    match reply_rx.recv_timeout(wait) {
-        Ok(Ok(body)) => (200, body.as_ref().clone()),
-        Ok(Err(detail)) => (500, error_body(&detail)),
-        Err(_) => (503, error_body("experiment reply timed out")),
+    match reply_rx.recv_timeout(deadline.remaining()) {
+        Ok(Ok(body)) => Routed::json("run", 200, body.as_ref().clone()),
+        Ok(Err(JobError::Failed(detail))) => Routed::json("run", 500, error_body(&detail)),
+        Ok(Err(JobError::Shed)) | Err(_) => {
+            shared.metrics.deadline_shed();
+            shed_response(
+                "run",
+                503,
+                "request deadline exceeded before the experiment finished",
+                shared,
+            )
+        }
     }
 }

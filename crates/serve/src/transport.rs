@@ -26,6 +26,11 @@ pub trait Connection: Read + Write + Send {}
 
 impl Connection for TcpStream {}
 
+/// Boxed connections are connections too, so decorators like
+/// [`ChaosConn`](crate::chaos::ChaosConn) can wrap whatever a transport
+/// hands out without knowing the concrete stream type.
+impl<C: Connection + ?Sized> Connection for Box<C> {}
+
 /// A source of inbound connections the service accept-loop drains.
 pub trait Transport: Send {
     /// Waits briefly for the next inbound connection. `Ok(None)` means

@@ -26,6 +26,7 @@ fn small_config() -> ServeConfig {
         cache_capacity: 8,
         threads: 1,
         budget: Duration::from_secs(120),
+        ..ServeConfig::default()
     }
 }
 
@@ -164,10 +165,18 @@ fn saturating_a_one_slot_queue_returns_429() {
         std::thread::yield_now();
     }
 
-    // Job C: queue full → immediate 429, no waiting.
+    // Job C: queue full → immediate 429, no waiting — and a
+    // deterministic Retry-After derived from the queue depth (B is the
+    // one queued job, so 1 + 1 = 2 seconds).
     let c = exchange(&connector, "POST", "/run", &run_body("twolf"));
     assert_eq!(c.status, 429, "{}", c.body_text());
     assert!(c.body_text().contains("queue is full"), "{}", c.body_text());
+    assert_eq!(
+        c.retry_after_secs(),
+        Some(2),
+        "429 must carry Retry-After = queue depth + 1; headers: {:?}",
+        c.headers
+    );
     assert_eq!(handle.metrics().rejections(), 1);
 
     // Release A and B; both must complete normally despite the flood.

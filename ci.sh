@@ -63,11 +63,50 @@ if [ "$status" -eq 0 ]; then
 fi
 echo "    run_all contained the injected cell panic and exited $status (expected nonzero)"
 
-echo "==> serve smoke (loopback ephemeral port, cache hit, graceful drain)"
+echo "==> sharding determinism gate (stdout + CSVs byte-identical across STEM_THREADS x STEM_SHARDS)"
+# Set-sharded replay is an execution strategy, never a result change:
+# run_all's stdout and every CSV must be byte-identical at every
+# (threads, shards) combination. Timing telemetry (stderr, the JSON) is
+# exempt by design.
+RUN_ALL_BIN=target/release/run_all
+run_det() { # <threads> <shards> <dir>
+    mkdir -p "$3"
+    STEM_ACCESSES=3000 STEM_SWEEP_ACCESSES=600 STEM_PERIODS=1 \
+        STEM_THREADS="$1" STEM_SHARDS="$2" STEM_CSV_DIR="$3" \
+        "$RUN_ALL_BIN" >"$3/stdout.txt" 2>"$3/stderr.txt"
+}
+DET_BASE="$CSV_DIR/det-t1s1"
+run_det 1 1 "$DET_BASE"
+for combo in "1 4" "5 1" "5 4"; do
+    read -r T S <<<"$combo"
+    DET_DIR="$CSV_DIR/det-t${T}s${S}"
+    run_det "$T" "$S" "$DET_DIR"
+    cmp "$DET_BASE/stdout.txt" "$DET_DIR/stdout.txt" || {
+        echo "ERROR: run_all stdout differs at STEM_THREADS=$T STEM_SHARDS=$S" >&2
+        exit 1
+    }
+    for csv in "$DET_BASE"/*.csv; do
+        cmp "$csv" "$DET_DIR/$(basename "$csv")" || {
+            echo "ERROR: $(basename "$csv") differs at STEM_THREADS=$T STEM_SHARDS=$S" >&2
+            exit 1
+        }
+    done
+done
+grep -q '"sharded_replay"' "$CSV_DIR/det-t5s4/BENCH_run_all.json" || {
+    echo "ERROR: the sharded run did not record its speedup section" >&2
+    exit 1
+}
+echo "    byte-identical stdout and CSVs at (threads, shards) in {1,5} x {1,4}"
+
+echo "==> serve smoke (loopback ephemeral port, cache hit, sharded profile, graceful drain)"
 ADDR_FILE="$CSV_DIR/serve-addr.txt"
 SERVE_LOG="$CSV_DIR/serve-smoke.log"
 rm -f "$ADDR_FILE"
-STEM_SERVE_ADDR=127.0.0.1:0 STEM_SERVE_ADDR_FILE="$ADDR_FILE" \
+# STEM_SHARDS=4 makes the capacity-profile path fan out over the shard
+# pool inside the server — the responses below must be exactly as cacheable
+# and byte-stable as the serial path (the sharded profiler is bit-identical
+# by construction; see DESIGN.md §13).
+STEM_SERVE_ADDR=127.0.0.1:0 STEM_SERVE_ADDR_FILE="$ADDR_FILE" STEM_SHARDS=4 \
     cargo run --release -q -p stem-serve --bin serve >"$SERVE_LOG" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
@@ -94,14 +133,28 @@ if [ "$FIRST" != "$SECOND" ]; then
     echo "ERROR: repeated request bodies differ" >&2
     exit 1
 fi
+# The profiled request drives the set-sharded capacity profiler (the
+# server runs with STEM_SHARDS=4): the repeat must still be a pure cache
+# hit with a byte-identical body.
+REQP='{"benchmark": "mcf", "scheme": "lru", "sets": 64, "ways": 4, "accesses": 5000, "profile": true}'
+FIRSTP="$(client POST /run "$REQP")"
+SECONDP="$(client POST /run "$REQP")"
+if [ "$FIRSTP" != "$SECONDP" ]; then
+    echo "ERROR: repeated profiled (sharded) request bodies differ" >&2
+    exit 1
+fi
+echo "$FIRSTP" | grep -q 'banded_fractions' || {
+    echo "ERROR: profiled response is missing the capacity profile" >&2
+    exit 1
+}
 METRICS="$(client GET /metrics)"
-echo "$METRICS" | grep -q '^stem_serve_sim_executions_total 1$' || {
-    echo "ERROR: expected exactly one simulation execution; /metrics follows" >&2
+echo "$METRICS" | grep -q '^stem_serve_sim_executions_total 2$' || {
+    echo "ERROR: expected exactly two simulation executions; /metrics follows" >&2
     echo "$METRICS" >&2
     exit 1
 }
-echo "$METRICS" | grep -q '^stem_serve_cache_hits_total 1$' || {
-    echo "ERROR: second request was not a cache hit; /metrics follows" >&2
+echo "$METRICS" | grep -q '^stem_serve_cache_hits_total 2$' || {
+    echo "ERROR: a repeated request was not a cache hit; /metrics follows" >&2
     echo "$METRICS" >&2
     exit 1
 }
@@ -133,5 +186,22 @@ echo "==> chaos smoke (fixed seed, in-memory transport, no-panic/no-hang gate)"
 # requests; the binary exits nonzero unless stem_serve_panics_total is 0
 # and /healthz still answers through the server's own front door.
 cargo run --release -q -p stem-serve --bin chaos_smoke
+
+echo "==> benchmark artifact drift check (warn-only)"
+# The repo root carries the committed BENCH_*.json trajectory artifacts
+# (regenerated by scripts/refresh_bench_artifacts.sh at full scale). CI's
+# smoke-sized copies are expected to differ in timings — the warning is a
+# reminder to refresh the committed artifacts when the *shape* changed
+# (new sections, schemes, or stages), not a failure.
+for f in BENCH_throughput.json BENCH_serve.json; do
+    if [ ! -s "$f" ]; then
+        echo "    WARNING: committed $f is missing from the repo root"
+    elif ! cmp -s "$CSV_DIR/$f" "$f"; then
+        echo "    note: $f drifted from the committed copy (timings move every run; refresh if the shape changed)"
+    else
+        echo "    $f matches the committed copy"
+    fi
+done
+[ -s BENCH_run_all.json ] || echo "    WARNING: committed BENCH_run_all.json is missing from the repo root"
 
 echo "==> CI PASSED"

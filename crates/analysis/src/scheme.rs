@@ -6,7 +6,10 @@ use std::str::FromStr;
 use stem_hierarchy::{System, SystemConfig, SystemMetrics};
 use stem_llc::{StemCache, StemConfig};
 use stem_replacement::{Bip, Dip, Drrip, Lru, Nru, PeLifo, Plru, SetAssocCache, Srrip};
-use stem_sim_core::{AuditedCacheModel, CacheGeometry, CacheModel, DecodedTrace, Trace};
+use stem_sim_core::{
+    AuditedCacheModel, CacheGeometry, CacheModel, CacheStats, DecodedTrace, ShardedTrace, Trace,
+    TraceShard,
+};
 use stem_spatial::{SbcCache, StaticSbcCache, VWayCache, VictimCache};
 
 /// Every LLC scheme the workspace can evaluate.
@@ -165,6 +168,102 @@ pub fn build_audited_cache(scheme: Scheme, geom: CacheGeometry) -> Box<dyn Audit
     }
 }
 
+/// The warm-up boundary every warmed runner uses: the first
+/// `warmup_fraction` (clamped to `[0, 0.9]`) of `len` accesses replay
+/// unmeasured. Centralised so the serial and sharded paths compute the
+/// *same* boundary from the same arithmetic.
+pub fn warm_split(len: usize, warmup_fraction: f64) -> usize {
+    ((len as f64) * warmup_fraction.clamp(0.0, 0.9)) as usize
+}
+
+/// Whether `scheme` (as built for `geom`) opts into set-sharded replay —
+/// the scheme-level view of
+/// [`CacheModel::supports_set_sharding`](stem_sim_core::CacheModel::supports_set_sharding).
+/// Dispatchers consult this capability instead of matching on scheme names,
+/// so the boundary lives with each scheme's own state declaration.
+pub fn scheme_supports_set_sharding(scheme: Scheme, geom: CacheGeometry) -> bool {
+    build_cache(scheme, geom).supports_set_sharding()
+}
+
+/// Replays one shard of a pair-folded partition under the standard warm-up
+/// protocol and returns the measured [`CacheStats`].
+///
+/// A *fresh* full-geometry cache instance backs the shard: only the shard's
+/// own sets are ever touched, so the untouched sets stay cold and contribute
+/// nothing. The global warm boundary `warm_before` (a source-trace index) is
+/// translated onto the shard with [`TraceShard::split_before`], giving every
+/// set exactly the warm/measured split it sees serially. Summing the
+/// returned stats across a plan's shards reproduces the serial totals
+/// bit-for-bit for any scheme whose
+/// [`supports_set_sharding`](stem_sim_core::CacheModel::supports_set_sharding)
+/// contract holds.
+pub fn replay_shard_warmed(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    shard: &TraceShard,
+    warm_before: usize,
+) -> CacheStats {
+    let mut cache = build_cache(scheme, geom);
+    debug_assert!(
+        cache.supports_set_sharding(),
+        "{scheme} declined set sharding; route it through the serial path"
+    );
+    let local_warm = shard.split_before(warm_before);
+    cache.replay_decoded(shard.trace(), 0..local_warm);
+    cache.reset_stats();
+    cache.replay_decoded(shard.trace(), local_warm..shard.len());
+    *cache.stats()
+}
+
+/// MPKI of merged shard stats: the instruction denominator comes from the
+/// *source* trace's measured range (O(1) via its prefix sum), exactly the
+/// number the serial runner divides by, so a correctly merged shard replay
+/// yields a bit-identical MPKI.
+pub fn sharded_mpki(stats: &CacheStats, source: &DecodedTrace, warm_len: usize) -> f64 {
+    stats.mpki(source.instructions_in(warm_len..source.len()).max(1))
+}
+
+/// Sharded twin of [`run_scheme_warmed_decoded`]: replays every shard of
+/// `plan` (serially, in domain order — callers wanting parallelism fan
+/// [`replay_shard_warmed`] out themselves), merges the per-shard stats, and
+/// returns the MPKI. Bit-identical to the serial runner for any scheme that
+/// reports [`scheme_supports_set_sharding`].
+pub fn run_scheme_warmed_sharded(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    source: &DecodedTrace,
+    plan: &ShardedTrace,
+    warmup_fraction: f64,
+) -> f64 {
+    let warm_len = warm_split(source.len(), warmup_fraction);
+    let stats = plan
+        .shards()
+        .iter()
+        .map(|s| replay_shard_warmed(scheme, geom, s, warm_len))
+        .fold(CacheStats::default(), |acc, s| acc + s);
+    sharded_mpki(&stats, source, warm_len)
+}
+
+/// Sharded twin of [`assoc_point_decoded`]: one sweep point evaluated by
+/// shard-merged replay. The plan is partitioned at the decode geometry,
+/// whose set count and line size every sweep point shares, so one partition
+/// serves the whole sweep just as one decode does.
+///
+/// # Panics
+///
+/// Panics if `ways` is zero (no valid cache geometry).
+pub fn assoc_point_sharded(
+    scheme: Scheme,
+    base: CacheGeometry,
+    ways: usize,
+    source: &DecodedTrace,
+    plan: &ShardedTrace,
+) -> f64 {
+    let geom =
+        CacheGeometry::new(base.sets(), ways, base.line_bytes()).expect("sweep geometry is valid");
+    run_scheme_warmed_sharded(scheme, geom, source, plan, 0.2)
+}
+
 /// Runs a trace directly against a bare LLC (no L1 filtering) and returns
 /// its MPKI. Used by the associativity sweeps, which study the LLC in
 /// isolation like the paper's Fig. 3.
@@ -181,7 +280,7 @@ pub fn run_scheme_warmed(
     warmup_fraction: f64,
 ) -> f64 {
     let mut cache = build_cache(scheme, geom);
-    let warm_len = ((trace.len() as f64) * warmup_fraction.clamp(0.0, 0.9)) as usize;
+    let warm_len = warm_split(trace.len(), warmup_fraction);
     let mut instructions = 0u64;
     for (i, a) in trace.iter().enumerate() {
         if i == warm_len {
@@ -207,7 +306,7 @@ pub fn run_scheme_warmed_decoded(
     warmup_fraction: f64,
 ) -> f64 {
     let mut cache = build_cache(scheme, geom);
-    let warm_len = ((trace.len() as f64) * warmup_fraction.clamp(0.0, 0.9)) as usize;
+    let warm_len = warm_split(trace.len(), warmup_fraction);
     cache.replay_decoded(trace, 0..warm_len);
     cache.reset_stats();
     cache.replay_decoded(trace, warm_len..trace.len());
@@ -227,7 +326,7 @@ pub fn run_system(
     warmup_fraction: f64,
 ) -> SystemMetrics {
     let mut system = System::new(cfg, build_cache(scheme, geom));
-    let warm_len = ((trace.len() as f64) * warmup_fraction.clamp(0.0, 0.9)) as usize;
+    let warm_len = warm_split(trace.len(), warmup_fraction);
     let warm: Trace = trace.iter().take(warm_len).copied().collect();
     let measured: Trace = trace.iter().skip(warm_len).copied().collect();
     system.warm_then_run(&warm, &measured)
@@ -244,7 +343,7 @@ pub fn run_system_decoded(
     warmup_fraction: f64,
 ) -> SystemMetrics {
     let mut system = System::new(cfg, build_cache(scheme, geom));
-    let warm_len = ((trace.len() as f64) * warmup_fraction.clamp(0.0, 0.9)) as usize;
+    let warm_len = warm_split(trace.len(), warmup_fraction);
     system.warm_then_run_decoded(trace, warm_len)
 }
 
@@ -430,6 +529,56 @@ mod tests {
                 fast.mpki.to_bits(),
                 "{scheme} system MPKI diverged"
             );
+        }
+    }
+
+    #[test]
+    fn sharding_capability_surface_is_exactly_the_per_set_schemes() {
+        let geom = small();
+        for scheme in Scheme::ALL {
+            let expected = matches!(
+                scheme,
+                Scheme::Lru | Scheme::Srrip | Scheme::Plru | Scheme::SbcStatic
+            );
+            assert_eq!(
+                scheme_supports_set_sharding(scheme, geom),
+                expected,
+                "{scheme}: sharding capability drifted from the documented boundary \
+                 (DESIGN.md §13) — if intentional, update the table and this test"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_runner_matches_serial_for_shardable_schemes() {
+        let geom = small();
+        let trace = BenchmarkProfile::by_name("omnetpp")
+            .unwrap()
+            .trace(geom, 20_000);
+        let decoded = DecodedTrace::decode(&trace, geom);
+        for scheme in Scheme::ALL {
+            if !scheme_supports_set_sharding(scheme, geom) {
+                continue;
+            }
+            let serial = run_scheme_warmed_decoded(scheme, geom, &decoded, 0.2);
+            for shards in [1, 2, 4, 7] {
+                let plan = ShardedTrace::partition(&decoded, shards);
+                let sharded = run_scheme_warmed_sharded(scheme, geom, &decoded, &plan, 0.2);
+                assert_eq!(
+                    serial.to_bits(),
+                    sharded.to_bits(),
+                    "{scheme} diverged at {shards} shards"
+                );
+                for ways in [2usize, 8] {
+                    let point = assoc_point_decoded(scheme, geom, ways, &decoded);
+                    let point_sharded = assoc_point_sharded(scheme, geom, ways, &decoded, &plan);
+                    assert_eq!(
+                        point.to_bits(),
+                        point_sharded.to_bits(),
+                        "{scheme} sweep point at {ways} ways diverged at {shards} shards"
+                    );
+                }
+            }
         }
     }
 

@@ -25,15 +25,19 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use stem_analysis::{assoc_point_decoded, geomean, CapacityDemandProfiler, Scheme, Table};
+use stem_analysis::{
+    geomean, run_scheme_warmed_decoded, scheme_supports_set_sharding, CapacityDemandProfiler,
+    Scheme, Table,
+};
 use stem_bench::config::Config;
 use stem_bench::harness::{
     normalized_table, prepare_trace, run_benchmark_matrix_isolated, sensitivity_benchmarks,
-    sweep_ways, PrepTimings,
+    sweep_ways, PrepTimings, WARMUP_FRACTION,
 };
 use stem_bench::resilience::{ExperimentOutcome, ExperimentRunner};
+use stem_bench::shard::{assoc_point_auto, sharded_warmed_mpki};
 use stem_llc::{overhead, StemConfig};
-use stem_sim_core::{CacheGeometry, DecodedTrace, Json};
+use stem_sim_core::{CacheGeometry, DecodedTrace, Json, ShardedTrace};
 
 /// Writes `table` to `<dir>/<name>.csv` when an artifact directory is
 /// configured.
@@ -57,6 +61,7 @@ fn maybe_csv(csv_dir: Option<&Path>, name: &str, table: &Table) {
 struct StageBreakdown {
     generate_secs: f64,
     decode_secs: f64,
+    shard_secs: f64,
     replay_secs: f64,
     analysis_secs: f64,
 }
@@ -85,9 +90,94 @@ impl StageBreakdown {
         StageBreakdown {
             generate_secs: prep.generate.as_secs_f64(),
             decode_secs: prep.decode.as_secs_f64(),
+            shard_secs: sum_where(&|n: &str| n.starts_with("shard_plan_")),
             replay_secs,
             analysis_secs: (analysis_cells - fig1_prep_secs).max(0.0),
         }
+    }
+}
+
+/// One scheme's serial-vs-sharded replay timing from the speedup
+/// measurement stage (best-of-N wall clock for the same warmed replay of
+/// the same trace; the MPKIs are asserted bit-identical first).
+struct SchemeSpeedup {
+    label: &'static str,
+    serial_secs: f64,
+    sharded_secs: f64,
+}
+
+/// The sharded-replay speedup record emitted (stderr + the
+/// `sharded_replay` section of `BENCH_run_all.json`) when `STEM_SHARDS`
+/// asks for more than one shard. Measured outside the experiment runner so
+/// the cell list keeps the same shape at every knob setting.
+struct ShardSpeedup {
+    trace_name: &'static str,
+    accesses: usize,
+    shards: usize,
+    threads: usize,
+    partition_secs: f64,
+    schemes: Vec<SchemeSpeedup>,
+}
+
+/// Measures serial vs sharded warmed replay of `source` for every scheme
+/// that opts into set sharding, best-of-`REPS` each, after asserting the
+/// two paths produce bit-identical MPKI. Progress goes to stderr only.
+fn measure_shard_speedup(
+    geom: CacheGeometry,
+    source: &DecodedTrace,
+    trace_name: &'static str,
+    shards: usize,
+    threads: usize,
+) -> ShardSpeedup {
+    const REPS: usize = 3;
+    let t0 = std::time::Instant::now();
+    let plan = ShardedTrace::partition(source, shards);
+    let partition_secs = t0.elapsed().as_secs_f64();
+    let mut schemes = Vec::new();
+    for &scheme in Scheme::ALL.iter() {
+        if !scheme_supports_set_sharding(scheme, geom) {
+            continue;
+        }
+        let mut serial_secs = f64::INFINITY;
+        let mut sharded_secs = f64::INFINITY;
+        let mut serial_mpki = 0.0;
+        let mut sharded_mpki_v = 0.0;
+        for _ in 0..REPS {
+            let t = std::time::Instant::now();
+            serial_mpki = run_scheme_warmed_decoded(scheme, geom, source, WARMUP_FRACTION);
+            serial_secs = serial_secs.min(t.elapsed().as_secs_f64());
+            let t = std::time::Instant::now();
+            sharded_mpki_v =
+                sharded_warmed_mpki(scheme, geom, source, &plan, WARMUP_FRACTION, threads);
+            sharded_secs = sharded_secs.min(t.elapsed().as_secs_f64());
+        }
+        assert_eq!(
+            serial_mpki.to_bits(),
+            sharded_mpki_v.to_bits(),
+            "sharded replay diverged from serial for {scheme} — boundary bug"
+        );
+        eprintln!(
+            "  {:<8} serial {:.3}s, sharded {:.3}s ({:.2}x at {} shards / {} threads)",
+            scheme.label(),
+            serial_secs,
+            sharded_secs,
+            serial_secs / sharded_secs.max(1e-12),
+            shards,
+            threads,
+        );
+        schemes.push(SchemeSpeedup {
+            label: scheme.label(),
+            serial_secs,
+            sharded_secs,
+        });
+    }
+    ShardSpeedup {
+        trace_name,
+        accesses: source.len(),
+        shards,
+        threads,
+        partition_secs,
+        schemes,
     }
 }
 
@@ -102,6 +192,7 @@ fn emit_timing_summary(
     threads: usize,
     outcomes: &[ExperimentOutcome],
     stages: &StageBreakdown,
+    speedup: Option<&ShardSpeedup>,
 ) {
     let total: f64 = outcomes.iter().map(|o| o.elapsed.as_secs_f64()).sum();
     eprintln!(
@@ -123,8 +214,12 @@ fn emit_timing_summary(
         );
     }
     eprintln!(
-        "stage breakdown: generate {:.2}s, decode {:.2}s, replay {:.2}s, analysis {:.2}s",
-        stages.generate_secs, stages.decode_secs, stages.replay_secs, stages.analysis_secs
+        "stage breakdown: generate {:.2}s, decode {:.2}s, shard {:.2}s, replay {:.2}s, analysis {:.2}s",
+        stages.generate_secs,
+        stages.decode_secs,
+        stages.shard_secs,
+        stages.replay_secs,
+        stages.analysis_secs
     );
 
     if let Some(dir) = csv_dir {
@@ -143,7 +238,7 @@ fn emit_timing_summary(
                 ])
             })
             .collect();
-        let doc = Json::Obj(vec![
+        let mut fields = vec![
             ("threads".into(), Json::Int(threads as i64)),
             ("total_cell_seconds".into(), secs3(total)),
             (
@@ -151,12 +246,42 @@ fn emit_timing_summary(
                 Json::Obj(vec![
                     ("generate_secs".into(), secs3(stages.generate_secs)),
                     ("decode_secs".into(), secs3(stages.decode_secs)),
+                    ("shard_secs".into(), secs3(stages.shard_secs)),
                     ("replay_secs".into(), secs3(stages.replay_secs)),
                     ("analysis_secs".into(), secs3(stages.analysis_secs)),
                 ]),
             ),
-            ("experiments".into(), Json::Arr(experiments)),
-        ]);
+        ];
+        if let Some(sp) = speedup {
+            let schemes: Vec<Json> = sp
+                .schemes
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("scheme".into(), Json::str(s.label)),
+                        ("serial_secs".into(), secs3(s.serial_secs)),
+                        ("sharded_secs".into(), secs3(s.sharded_secs)),
+                        (
+                            "speedup".into(),
+                            Json::float_rounded(s.serial_secs / s.sharded_secs.max(1e-12), 2),
+                        ),
+                    ])
+                })
+                .collect();
+            fields.push((
+                "sharded_replay".into(),
+                Json::Obj(vec![
+                    ("trace".into(), Json::str(sp.trace_name)),
+                    ("accesses".into(), Json::Int(sp.accesses as i64)),
+                    ("shards".into(), Json::Int(sp.shards as i64)),
+                    ("threads".into(), Json::Int(sp.threads as i64)),
+                    ("partition_secs".into(), secs3(sp.partition_secs)),
+                    ("schemes".into(), Json::Arr(schemes)),
+                ]),
+            ));
+        }
+        fields.push(("experiments".into(), Json::Arr(experiments)));
+        let doc = Json::Obj(fields);
         let path = dir.join("BENCH_run_all.json");
         if let Err(e) =
             std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, doc.pretty()))
@@ -179,6 +304,7 @@ fn main() -> ExitCode {
     let sweep_accesses = cfg.sweep_accesses();
     let periods = cfg.periods.unwrap_or(20);
     let threads = cfg.threads();
+    let shards = cfg.shards();
     let csv_dir = cfg.csv_dir.as_deref();
 
     let mut runner = ExperimentRunner::new();
@@ -297,6 +423,37 @@ fn main() -> ExitCode {
         })
         .collect();
 
+    // When STEM_SHARDS asks for intra-trace sharding, partition each
+    // sensitivity trace once (`shard_plan_<bench>` cells, counted as the
+    // `shard` stage); every sweep point of that trace shares the plan. The
+    // sweep replays each shard inline (threads = 1 inside the cell — the
+    // pool is already saturated with sweep points), so this changes no
+    // numbers and no stdout byte; schemes that decline sharding take the
+    // serial path inside `assoc_point_auto` regardless.
+    let sweep_plans: Vec<Option<Arc<ShardedTrace>>> = if shards > 1 {
+        let mut plan_jobs: Vec<(String, Box<dyn FnOnce() -> ShardedTrace + Send>)> = Vec::new();
+        let mut plan_keys: Vec<usize> = Vec::new();
+        for (bi, trace) in sweep_traces.iter().enumerate() {
+            let Some(trace) = trace else { continue };
+            let trace = Arc::clone(trace);
+            plan_jobs.push((
+                format!("shard_plan_{}", sens[bi].name()),
+                Box::new(move || ShardedTrace::partition(&trace, shards)),
+            ));
+            plan_keys.push(bi);
+        }
+        let mut plans = vec![None; sens.len()];
+        for (bi, plan) in plan_keys
+            .into_iter()
+            .zip(runner.run_batch(threads, plan_jobs))
+        {
+            plans[bi] = plan.map(Arc::new);
+        }
+        plans
+    } else {
+        vec![None; sens.len()]
+    };
+
     // Every (benchmark, scheme, ways) point is one cell.
     let mut point_jobs: Vec<(String, Box<dyn FnOnce() -> f64 + Send>)> = Vec::new();
     let mut point_keys: Vec<(usize, usize, usize)> = Vec::new();
@@ -306,9 +463,10 @@ fn main() -> ExitCode {
         for (si, &scheme) in Scheme::PAPER.iter().enumerate() {
             for (wi, &w) in ways.iter().enumerate() {
                 let trace = Arc::clone(trace);
+                let plan = sweep_plans[bi].clone();
                 point_jobs.push((
                     format!("sweep_{}/{}/{}w", sens[bi].name(), scheme.label(), w),
-                    Box::new(move || assoc_point_decoded(scheme, geom, w, &trace)),
+                    Box::new(move || assoc_point_auto(scheme, geom, w, &trace, plan.as_deref(), 1)),
                 ));
                 point_keys.push((bi, si, wi));
             }
@@ -357,9 +515,27 @@ fn main() -> ExitCode {
         println!("## Table 3 — STEM storage overhead vs LRU: {overhead_pct:+.2}% (paper: +3.1%)");
     }
 
+    // ---- Sharded-replay speedup (stderr + JSON only) ----------------
+    // Measured against the first sensitivity trace at the paper geometry
+    // so the committed BENCH_run_all.json carries the sharding trajectory.
+    // Runs only when the knob asks for shards; stdout is never touched.
+    let speedup = match (&sweep_traces[0], shards) {
+        (Some(trace), s) if s > 1 => {
+            eprintln!("\nmeasuring serial vs sharded replay ({}):", sens[0].name());
+            Some(measure_shard_speedup(geom, trace, "omnetpp", s, threads))
+        }
+        _ => None,
+    };
+
     // ---- Outcome ----------------------------------------------------
     let stages = StageBreakdown::from_outcomes(prep, fig1_prep_secs, runner.outcomes());
-    emit_timing_summary(csv_dir, threads, runner.outcomes(), &stages);
+    emit_timing_summary(
+        csv_dir,
+        threads,
+        runner.outcomes(),
+        &stages,
+        speedup.as_ref(),
+    );
     match runner.failure_report() {
         None => {
             eprintln!("\nall {} experiments completed", runner.outcomes().len());

@@ -31,6 +31,8 @@ use std::time::Duration;
 
 /// Environment variable overriding the worker count.
 pub const THREADS_ENV: &str = "STEM_THREADS";
+/// Set-shard count for intra-trace parallel replay (1 = serial).
+pub const SHARDS_ENV: &str = "STEM_SHARDS";
 /// Directory receiving CSV/JSON artifacts, when set.
 pub const CSV_DIR_ENV: &str = "STEM_CSV_DIR";
 /// Trace length per benchmark for the matrix drivers.
@@ -107,6 +109,8 @@ impl std::error::Error for ConfigError {}
 pub struct Config {
     /// `STEM_THREADS`: worker count for every parallel fan-out.
     pub threads: Option<usize>,
+    /// `STEM_SHARDS`: set-shard count for intra-trace replay.
+    pub shards: Option<usize>,
     /// `STEM_CSV_DIR`: artifact directory for CSVs and `BENCH_*.json`.
     pub csv_dir: Option<PathBuf>,
     /// `STEM_ACCESSES`: trace length per benchmark.
@@ -163,6 +167,7 @@ impl Config {
         let src = Source { get: &get };
         Ok(Config {
             threads: src.positive(THREADS_ENV)?,
+            shards: src.positive(SHARDS_ENV)?,
             csv_dir: src.raw(CSV_DIR_ENV).map(PathBuf::from),
             accesses: src.positive(ACCESSES_ENV)?,
             sweep_accesses: src.positive(SWEEP_ACCESSES_ENV)?,
@@ -194,12 +199,35 @@ impl Config {
         Config::from_env().unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// The process-wide validated `Config`, parsed from the environment
+    /// exactly once (first call wins; panics there on a malformed
+    /// variable, like [`from_env_or_panic`](Config::from_env_or_panic)).
+    ///
+    /// Hot paths — the pool's worker-count lookup, serve's request path —
+    /// read this instead of re-walking the environment per call. Nothing
+    /// in the workspace mutates `STEM_*` variables after startup
+    /// (determinism tests that vary them spawn subprocesses), so the
+    /// snapshot never goes stale.
+    pub fn cached() -> &'static Config {
+        static CACHED: std::sync::OnceLock<Config> = std::sync::OnceLock::new();
+        CACHED.get_or_init(Config::from_env_or_panic)
+    }
+
     /// Worker count: `STEM_THREADS`, defaulting to
     /// [`std::thread::available_parallelism`] (1 if even that is
     /// unavailable).
     pub fn threads(&self) -> usize {
         self.threads
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Set-shard count for intra-trace replay: `STEM_SHARDS`, defaulting
+    /// to 1 (serial replay; sharding is strictly opt-in). Only schemes
+    /// whose caches report
+    /// [`supports_set_sharding`](stem_sim_core::CacheModel::supports_set_sharding)
+    /// honour values above 1 — the rest replay serially regardless.
+    pub fn shards(&self) -> usize {
+        self.shards.unwrap_or(1)
     }
 
     /// Per-benchmark trace length, defaulting to the matrix drivers' 2M.
@@ -427,6 +455,23 @@ mod tests {
         assert!(cfg_of(&[(SERVE_IO_DEADLINE_ENV, "-1")]).is_err());
         assert!(cfg_of(&[(SERVE_RETRIES_ENV, "-1")]).is_err());
         assert!(cfg_of(&[(SERVE_CHAOS_SEED_ENV, "not-a-seed")]).is_err());
+    }
+
+    #[test]
+    fn shards_default_to_serial_and_reject_zero() {
+        let cfg = cfg_of(&[]).unwrap();
+        assert_eq!(cfg.shards(), 1, "sharding must be strictly opt-in");
+        assert_eq!(cfg_of(&[(SHARDS_ENV, "4")]).unwrap().shards(), 4);
+        assert!(cfg_of(&[(SHARDS_ENV, "0")]).is_err());
+        assert!(cfg_of(&[(SHARDS_ENV, "four")]).is_err());
+    }
+
+    #[test]
+    fn cached_config_is_one_stable_snapshot() {
+        let a = Config::cached();
+        let b = Config::cached();
+        assert!(std::ptr::eq(a, b), "cached() must not re-parse");
+        assert_eq!(*a, Config::from_env().unwrap());
     }
 
     #[test]

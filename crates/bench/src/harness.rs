@@ -18,10 +18,11 @@ use crate::resilience::ExperimentRunner;
 ///
 /// # Panics
 ///
-/// Panics with the [`ConfigError`](crate::config::ConfigError) message
-/// when `STEM_ACCESSES` is set but malformed.
+/// The first [`Config::cached`](crate::config::Config::cached) call in the
+/// process panics with the [`ConfigError`](crate::config::ConfigError)
+/// message when `STEM_ACCESSES` is set but malformed.
 pub fn accesses_per_benchmark() -> usize {
-    crate::config::Config::from_env_or_panic().accesses()
+    crate::config::Config::cached().accesses()
 }
 
 /// Warm-up fraction of every trace (discarded from measurement), matching

@@ -14,4 +14,5 @@ pub mod faults;
 pub mod harness;
 pub mod pool;
 pub mod resilience;
+pub mod shard;
 pub mod timing;

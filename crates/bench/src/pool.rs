@@ -30,15 +30,19 @@ pub use crate::config::THREADS_ENV;
 
 /// The worker count to use: `STEM_THREADS` when set to a positive
 /// integer, otherwise [`std::thread::available_parallelism`] (1 if even
-/// that is unavailable).
+/// that is unavailable). Reads the process-wide
+/// [`Config::cached`](crate::config::Config::cached) snapshot — the
+/// environment is parsed once, not on every call (this sits on serve's
+/// request path).
 ///
 /// # Panics
 ///
-/// Panics with the [`ConfigError`](crate::config::ConfigError) message
-/// when `STEM_THREADS` is set to something other than a positive integer
-/// (the old behaviour silently fell back to all cores).
+/// The *first* `Config::cached` call in the process panics with the
+/// [`ConfigError`](crate::config::ConfigError) message when `STEM_THREADS`
+/// is set to something other than a positive integer (the old behaviour
+/// silently fell back to all cores).
 pub fn configured_threads() -> usize {
-    crate::config::Config::from_env_or_panic().threads()
+    crate::config::Config::cached().threads()
 }
 
 /// Extracts the human-readable message from a panic payload.

@@ -106,9 +106,7 @@ impl ExperimentRunner {
     /// Panics with the [`ConfigError`](crate::config::ConfigError) message
     /// when the budget variable is set but malformed.
     pub fn new() -> Self {
-        ExperimentRunner::with_budget(
-            crate::config::Config::from_env_or_panic().experiment_budget(),
-        )
+        ExperimentRunner::with_budget(crate::config::Config::cached().experiment_budget())
     }
 
     /// Creates a runner with an explicit per-experiment budget.
@@ -174,7 +172,7 @@ impl ExperimentRunner {
         if n == 0 {
             return Vec::new();
         }
-        let inject_target = crate::config::Config::from_env_or_panic().inject_panic;
+        let inject_target = crate::config::Config::cached().inject_panic.clone();
         let mut names = Vec::with_capacity(n);
         let mut queue = VecDeque::with_capacity(n);
         for (index, (name, f)) in jobs.into_iter().enumerate() {

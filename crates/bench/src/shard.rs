@@ -1,0 +1,143 @@
+//! Pool-parallel dispatch for set-sharded intra-trace replay.
+//!
+//! The analysis crate owns the per-shard replay primitives
+//! ([`replay_shard_warmed`], [`sharded_mpki`]) and the correctness
+//! argument; this module fans those primitives across the deterministic
+//! [`pool`](crate::pool) and routes each scheme by its own
+//! [`supports_set_sharding`](stem_sim_core::CacheModel::supports_set_sharding)
+//! capability. The `STEM_SHARDS` knob
+//! ([`Config::shards`](crate::config::Config::shards)) only *offers*
+//! sharding — a scheme that declines replays serially regardless, so
+//! setting the knob can never change any scheme's results.
+
+use stem_analysis::{
+    replay_shard_warmed, run_scheme_warmed_decoded, scheme_supports_set_sharding, sharded_mpki,
+    warm_split, Scheme,
+};
+use stem_sim_core::{CacheGeometry, CacheStats, DecodedTrace, ShardedTrace};
+
+use crate::pool;
+
+/// Replays one warmed measurement with per-shard jobs fanned over up to
+/// `threads` pool workers and the per-shard stats merged. Bit-identical to
+/// [`run_scheme_warmed_decoded`] for schemes that support sharding (the
+/// merge is exact counter addition; the MPKI denominator comes from the
+/// source trace).
+///
+/// # Panics
+///
+/// Propagates the first (in shard order) panicking shard job, like
+/// [`pool::map_ordered`]; also panics (debug builds) if `scheme` declines
+/// sharding — route those through the serial path instead.
+pub fn sharded_warmed_mpki(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    source: &DecodedTrace,
+    plan: &ShardedTrace,
+    warmup_fraction: f64,
+    threads: usize,
+) -> f64 {
+    let warm_len = warm_split(source.len(), warmup_fraction);
+    let jobs: Vec<_> = plan
+        .shards()
+        .iter()
+        .map(|shard| move || replay_shard_warmed(scheme, geom, shard, warm_len))
+        .collect();
+    let stats = pool::run_ordered(threads, jobs)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+        .fold(CacheStats::default(), |acc, s| acc + s);
+    sharded_mpki(&stats, source, warm_len)
+}
+
+/// Capability-routed warmed replay: replays sharded when a plan with more
+/// than one shard is offered *and* the scheme's cache opts in; otherwise
+/// takes the serial [`run_scheme_warmed_decoded`] path. This is the one
+/// dispatch point drivers go through, so the sharding boundary stays a
+/// property of each scheme, not of the caller.
+pub fn replay_warmed_auto(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    source: &DecodedTrace,
+    plan: Option<&ShardedTrace>,
+    warmup_fraction: f64,
+    threads: usize,
+) -> f64 {
+    match plan {
+        Some(p) if p.shard_count() > 1 && scheme_supports_set_sharding(scheme, geom) => {
+            sharded_warmed_mpki(scheme, geom, source, p, warmup_fraction, threads)
+        }
+        _ => run_scheme_warmed_decoded(scheme, geom, source, warmup_fraction),
+    }
+}
+
+/// Sweep-point twin of [`replay_warmed_auto`]: evaluates `scheme` at
+/// `ways` ways (with `base`'s set count and line size) after the standard
+/// 20% warm-up, sharded when offered and supported. Bit-identical to
+/// [`assoc_point_decoded`](stem_analysis::assoc_point_decoded) either way.
+///
+/// # Panics
+///
+/// Panics if `ways` is zero (no valid cache geometry).
+pub fn assoc_point_auto(
+    scheme: Scheme,
+    base: CacheGeometry,
+    ways: usize,
+    source: &DecodedTrace,
+    plan: Option<&ShardedTrace>,
+    threads: usize,
+) -> f64 {
+    let geom =
+        CacheGeometry::new(base.sets(), ways, base.line_bytes()).expect("sweep geometry is valid");
+    replay_warmed_auto(scheme, geom, source, plan, 0.2, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_analysis::assoc_point_decoded;
+    use stem_workloads::BenchmarkProfile;
+
+    fn decoded(n: usize) -> (CacheGeometry, DecodedTrace) {
+        let geom = CacheGeometry::new(64, 4, 64).unwrap();
+        let trace = BenchmarkProfile::by_name("mcf").unwrap().trace(geom, n);
+        (geom, DecodedTrace::decode(&trace, geom))
+    }
+
+    #[test]
+    fn pool_fanout_matches_serial_at_any_thread_count() {
+        let (geom, d) = decoded(20_000);
+        let plan = ShardedTrace::partition(&d, 4);
+        let serial = run_scheme_warmed_decoded(Scheme::Lru, geom, &d, 0.2);
+        for threads in [1, 2, 7] {
+            let sharded = sharded_warmed_mpki(Scheme::Lru, geom, &d, &plan, 0.2, threads);
+            assert_eq!(serial.to_bits(), sharded.to_bits(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_honours_the_capability_not_the_knob() {
+        let (geom, d) = decoded(20_000);
+        let plan = ShardedTrace::partition(&d, 4);
+        for scheme in stem_analysis::Scheme::ALL {
+            let serial = run_scheme_warmed_decoded(scheme, geom, &d, 0.2);
+            let auto = replay_warmed_auto(scheme, geom, &d, Some(&plan), 0.2, 2);
+            assert_eq!(
+                serial.to_bits(),
+                auto.to_bits(),
+                "{scheme}: auto dispatch must never change results"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_points_match_decoded_baseline() {
+        let (geom, d) = decoded(20_000);
+        let plan = ShardedTrace::partition(&d, 4);
+        for ways in [2usize, 8] {
+            let baseline = assoc_point_decoded(Scheme::Lru, geom, ways, &d);
+            let auto = assoc_point_auto(Scheme::Lru, geom, ways, &d, Some(&plan), 2);
+            assert_eq!(baseline.to_bits(), auto.to_bits(), "{ways} ways");
+        }
+    }
+}

@@ -74,6 +74,15 @@ impl ReplacementPolicy for Bip {
         "BIP"
     }
 
+    // NOT sharding-safe: one global RNG is consumed on every fill, so which
+    // draw a given set's fill observes depends on the global miss
+    // interleaving. Stays on the serial path (the trait default, made
+    // explicit here because the per-set stacks alone would suggest
+    // otherwise).
+    fn supports_set_sharding(&self) -> bool {
+        false
+    }
+
     fn audit_set(&self, set: usize) -> Result<(), String> {
         if self.sets[set].is_permutation() {
             Ok(())
@@ -118,6 +127,11 @@ impl ReplacementPolicy for Lip {
 
     fn name(&self) -> &str {
         "LIP"
+    }
+
+    // Unlike BIP, LIP has no RNG — per-set stacks only, so sharding-safe.
+    fn supports_set_sharding(&self) -> bool {
+        true
     }
 
     fn audit_set(&self, set: usize) -> Result<(), String> {

@@ -270,6 +270,13 @@ impl CacheModel for SetAssocCache {
     fn name(&self) -> &str {
         &self.name
     }
+
+    /// The frames and stats are per-set by construction, so shardability is
+    /// exactly the policy's call
+    /// ([`ReplacementPolicy::supports_set_sharding`]).
+    fn supports_set_sharding(&self) -> bool {
+        self.policy.supports_set_sharding()
+    }
 }
 
 impl InvariantAuditor for SetAssocCache {

@@ -178,6 +178,13 @@ impl ReplacementPolicy for Dip {
         "DIP"
     }
 
+    // NOT sharding-safe: the global PSEL is bumped by leader-set misses and
+    // read by every follower fill, so follower insertion depth depends on
+    // the cross-set interleaving of leader updates. Serial path only.
+    fn supports_set_sharding(&self) -> bool {
+        false
+    }
+
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }

@@ -124,6 +124,12 @@ impl ReplacementPolicy for Drrip {
     fn name(&self) -> &str {
         "DRRIP"
     }
+
+    // NOT sharding-safe: global PSEL (leader-set duel) plus a global RNG on
+    // the BRRIP fill path. Serial path only.
+    fn supports_set_sharding(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

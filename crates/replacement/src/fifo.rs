@@ -41,6 +41,11 @@ impl ReplacementPolicy for Fifo {
         "FIFO"
     }
 
+    // One fill stack per set, nothing shared: sharding-safe.
+    fn supports_set_sharding(&self) -> bool {
+        true
+    }
+
     fn audit_set(&self, set: usize) -> Result<(), String> {
         if self.sets[set].is_permutation() {
             Ok(())

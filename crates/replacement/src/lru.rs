@@ -61,6 +61,12 @@ impl ReplacementPolicy for Lru {
         "LRU"
     }
 
+    // One RecencyStack per set, nothing shared: set-sharded replay is
+    // order-equivalent to serial replay.
+    fn supports_set_sharding(&self) -> bool {
+        true
+    }
+
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }

@@ -170,6 +170,14 @@ impl ReplacementPolicy for PeLifo {
         "PeLIFO"
     }
 
+    // NOT sharding-safe: the probabilistic-escape election (global
+    // `misses[]` histogram, `total_misses` period counter, elected winner)
+    // aggregates misses across all sets, so every set's fill depth depends
+    // on the global miss interleaving. Serial path only.
+    fn supports_set_sharding(&self) -> bool {
+        false
+    }
+
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }

@@ -113,6 +113,11 @@ impl ReplacementPolicy for Plru {
     fn name(&self) -> &str {
         "PLRU"
     }
+
+    // Per-set tree bits, no shared state: sharding-safe.
+    fn supports_set_sharding(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

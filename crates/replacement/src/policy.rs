@@ -56,6 +56,21 @@ pub trait ReplacementPolicy {
         None
     }
 
+    /// Whether every piece of this policy's mutable state is local to one
+    /// set, making set-sharded replay order-equivalent to serial replay
+    /// (the policy-level half of
+    /// [`CacheModel::supports_set_sharding`](stem_sim_core::CacheModel::supports_set_sharding);
+    /// `SetAssocCache` delegates here). Policies with *any* cross-set state
+    /// — DIP's and DRRIP's global PSEL, PeLIFO's election counters, a
+    /// global RNG consumed on a data-dependent subset of accesses (BIP,
+    /// NRU, Random), Belady's precomputed global future — must keep the
+    /// default `false`: interleaving changes what that shared state
+    /// observes. Purely per-set policies (LRU, FIFO, LIP, SRRIP, PLRU)
+    /// opt in.
+    fn supports_set_sharding(&self) -> bool {
+        false
+    }
+
     /// Checked-mode hook: verifies this policy's per-set bookkeeping for
     /// `set` (e.g. that a recency stack is still a permutation). The
     /// default accepts everything; stack-based policies override it.

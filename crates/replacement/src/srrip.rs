@@ -69,6 +69,11 @@ impl ReplacementPolicy for Srrip {
     fn name(&self) -> &str {
         "SRRIP"
     }
+
+    // Per-set RRPV arrays, no shared state: sharding-safe.
+    fn supports_set_sharding(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use stem_analysis::{run_system_decoded, CapacityDemandProfiler};
 use stem_bench::harness::prepare_trace;
 use stem_hierarchy::{SystemConfig, SystemMetrics};
-use stem_sim_core::{Json, SimError};
+use stem_sim_core::{DecodedTrace, Json, ShardedTrace, SimError};
 use stem_workloads::BenchmarkProfile;
 
 use crate::request::RunRequest;
@@ -108,7 +108,8 @@ pub fn run_simulation(req: &RunRequest) -> Result<Json, SimError> {
     let mut fields = vec![("metrics".to_owned(), metrics_json(&metrics))];
     if req.profile {
         let profiler = CapacityDemandProfiler::micro2010(geom);
-        let agg = CapacityDemandProfiler::aggregate(&profiler.profile_decoded(&prepared.trace));
+        let agg =
+            CapacityDemandProfiler::aggregate(&profile_histograms(&profiler, &prepared.trace));
         fields.push((
             "capacity_profile".to_owned(),
             Json::Obj(vec![
@@ -133,6 +134,37 @@ pub fn run_simulation(req: &RunRequest) -> Result<Json, SimError> {
         ));
     }
     Ok(Json::Obj(fields))
+}
+
+/// Computes the per-period capacity-demand histograms for `trace`,
+/// set-sharded across the bench pool when `STEM_SHARDS` asks for more
+/// than one shard, serial otherwise. The sharded path recovers the
+/// global sampling-period boundaries from each access's original index
+/// and merges partial histograms by exact counter addition, so the two
+/// paths are **bit-identical** — the response body (and therefore the
+/// result cache's purity) cannot depend on the knob. The metrics replay
+/// above always stays serial: the full system model's next-line
+/// prefetcher crosses set boundaries, so it never opts into sharding.
+fn profile_histograms(
+    profiler: &CapacityDemandProfiler,
+    trace: &DecodedTrace,
+) -> Vec<stem_analysis::DemandHistogram> {
+    let shards = stem_bench::config::Config::cached().shards();
+    if shards <= 1 {
+        return profiler.profile_decoded(trace);
+    }
+    let plan = ShardedTrace::partition(trace, shards);
+    let source_len = plan.source_len();
+    let jobs: Vec<_> = plan
+        .shards()
+        .iter()
+        .map(|shard| move || profiler.profile_shard(shard, source_len))
+        .collect();
+    let parts: Vec<_> = stem_bench::pool::run_ordered(stem_bench::pool::configured_threads(), jobs)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+        .collect();
+    CapacityDemandProfiler::merge_shard_profiles(&parts)
 }
 
 /// Serializes the system metrics with fixed 6-decimal rounding, so the

@@ -93,6 +93,9 @@ pub struct DecodedTrace {
     lines: Vec<u64>,
     write_words: Vec<u64>,
     inst_gaps: Vec<u32>,
+    /// `inst_prefix[i]` = instructions of accesses `0..i`; one entry per
+    /// access plus a leading zero, so any range query is two lookups.
+    inst_prefix: Vec<u64>,
     instructions: u64,
 }
 
@@ -114,6 +117,9 @@ impl DecodedTrace {
         let mut write_words = vec![0u64; n.div_ceil(64)];
         let mut inst_gaps = Vec::with_capacity(n);
         let line_bytes = geom.line_bytes();
+        let mut inst_prefix = Vec::with_capacity(n + 1);
+        inst_prefix.push(0u64);
+        let mut running = 0u64;
         for (i, a) in trace.iter().enumerate() {
             let line = a.addr.line(line_bytes);
             sets.push(geom.set_index_of_line(line) as u32);
@@ -122,6 +128,8 @@ impl DecodedTrace {
                 write_words[i >> 6] |= 1u64 << (i & 63);
             }
             inst_gaps.push(a.inst_gap);
+            running += u64::from(a.inst_gap);
+            inst_prefix.push(running);
         }
         DecodedTrace {
             geom,
@@ -129,7 +137,43 @@ impl DecodedTrace {
             lines,
             write_words,
             inst_gaps,
+            inst_prefix,
             instructions: trace.instructions(),
+        }
+    }
+
+    /// Assembles a `DecodedTrace` directly from pre-decoded columns, used by
+    /// the shard builder to materialize compacted per-shard streams without
+    /// round-tripping through byte addresses. The columns must be parallel
+    /// (`sets`, `lines`, `inst_gaps` of equal length; `write_words` packed 64
+    /// flags per word) and every set index must be below `geom.sets()`.
+    pub(crate) fn from_parts(
+        geom: CacheGeometry,
+        sets: Vec<u32>,
+        lines: Vec<u64>,
+        write_words: Vec<u64>,
+        inst_gaps: Vec<u32>,
+    ) -> Self {
+        let n = sets.len();
+        debug_assert_eq!(lines.len(), n);
+        debug_assert_eq!(inst_gaps.len(), n);
+        debug_assert_eq!(write_words.len(), n.div_ceil(64));
+        debug_assert!(sets.iter().all(|&s| (s as usize) < geom.sets()));
+        let mut inst_prefix = Vec::with_capacity(n + 1);
+        inst_prefix.push(0u64);
+        let mut running = 0u64;
+        for &g in &inst_gaps {
+            running += u64::from(g);
+            inst_prefix.push(running);
+        }
+        DecodedTrace {
+            geom,
+            sets,
+            lines,
+            write_words,
+            inst_gaps,
+            inst_prefix,
+            instructions: running,
         }
     }
 
@@ -158,13 +202,22 @@ impl DecodedTrace {
         self.instructions
     }
 
-    /// Instructions represented by the accesses in `range`.
+    /// Instructions represented by the accesses in `range`. O(1): answered
+    /// from the prefix-sum built at decode time, so per-shard and per-range
+    /// IPC accounting never rescans the gap column.
     ///
     /// # Panics
     ///
     /// Panics if `range` is out of bounds.
     pub fn instructions_in(&self, range: Range<usize>) -> u64 {
-        self.inst_gaps[range].iter().map(|&g| u64::from(g)).sum()
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "instructions_in range {}..{} out of bounds for length {}",
+            range.start,
+            range.end,
+            self.len()
+        );
+        self.inst_prefix[range.end] - self.inst_prefix[range.start]
     }
 
     /// Whether a cache of geometry `geom` may consume the pre-extracted
@@ -394,6 +447,27 @@ mod tests {
     fn out_of_bounds_range_panics() {
         let d = DecodedTrace::decode(&mixed_trace(4), geom());
         let _ = d.iter_range(2..9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn instructions_in_out_of_bounds_panics() {
+        let d = DecodedTrace::decode(&mixed_trace(4), geom());
+        let _ = d.instructions_in(2..9);
+    }
+
+    #[test]
+    fn instructions_in_is_prefix_sum_backed() {
+        let g = geom();
+        let t = mixed_trace(257); // crosses several prefix entries
+        let d = DecodedTrace::decode(&t, g);
+        for (start, end) in [(0, 257), (0, 0), (256, 257), (63, 65), (100, 200)] {
+            let manual: u64 = t.as_slice()[start..end]
+                .iter()
+                .map(|a| u64::from(a.inst_gap))
+                .sum();
+            assert_eq!(d.instructions_in(start..end), manual);
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod json;
 mod model;
 pub mod prop;
 mod rng;
+mod shard;
 mod stats;
 mod timing;
 mod trace;
@@ -70,6 +71,7 @@ pub use geometry::CacheGeometry;
 pub use json::{Json, JsonError};
 pub use model::{replay_decoded_via_access, AccessResult, CacheModel};
 pub use rng::SplitMix64;
+pub use shard::{ShardedTrace, TraceShard};
 pub use stats::CacheStats;
 pub use timing::{AccessLatency, TimingParams};
 pub use trace::{Trace, TraceStats};

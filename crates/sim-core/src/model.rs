@@ -181,6 +181,30 @@ pub trait CacheModel {
     fn run_decoded(&mut self, trace: &DecodedTrace) {
         self.replay_decoded(trace, 0..trace.len());
     }
+
+    /// Whether set-sharded replay of this cache is equivalent to serial
+    /// replay.
+    ///
+    /// # Contract
+    ///
+    /// Returning `true` asserts: for **any** partition of the set space into
+    /// disjoint groups that keeps each set's partner `s ^ (sets/2)` in the
+    /// same group (see [`ShardedTrace`](crate::ShardedTrace)), replaying
+    /// each group's accesses in source order against a *fresh* instance of
+    /// this cache produces, per access, exactly the outcome of the serial
+    /// replay — and the per-instance [`CacheStats`](crate::CacheStats) sum
+    /// to the serial totals. That holds precisely when every piece of
+    /// mutable state the access path reads or writes is local to one set
+    /// (or one partner pair): no global PSEL or election counters, no shared
+    /// victim buffer or data store, no RNG consumed on a data-dependent
+    /// subset of accesses.
+    ///
+    /// The default is `false` — serial replay is always correct, so a
+    /// scheme must opt in explicitly, and dispatchers route anything that
+    /// declines through the existing serial path.
+    fn supports_set_sharding(&self) -> bool {
+        false
+    }
 }
 
 /// The documented incompatible-geometry fallback for

@@ -381,6 +381,15 @@ impl CacheModel for SbcCache {
     fn name(&self) -> &str {
         "SBC"
     }
+
+    /// NOT sharding-safe: the association table couples *dynamically chosen*
+    /// set pairs, and the DSS candidate search plus coupling/decoupling
+    /// decisions read state across arbitrary sets, so the pairing a set ends
+    /// up with depends on the global access interleaving. Serial path only
+    /// (explicit for contrast with the static variant, which is safe).
+    fn supports_set_sharding(&self) -> bool {
+        false
+    }
 }
 
 impl InvariantAuditor for SbcCache {

@@ -225,6 +225,15 @@ impl CacheModel for StaticSbcCache {
     fn name(&self) -> &str {
         "SBC-static"
     }
+
+    /// Sharding-safe under the pair-folded partition: every piece of state —
+    /// saturation levels, spill decisions, partner probes and remote fills —
+    /// lives inside the static partner pair `(s, s ^ sets/2)`, and
+    /// [`ShardedTrace`](stem_sim_core::ShardedTrace) never splits a pair
+    /// across shards.
+    fn supports_set_sharding(&self) -> bool {
+        true
+    }
 }
 
 impl InvariantAuditor for StaticSbcCache {

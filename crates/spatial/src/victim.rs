@@ -202,6 +202,14 @@ impl CacheModel for VictimCache {
     fn name(&self) -> &str {
         "LRU+VC"
     }
+
+    /// NOT sharding-safe: the victim buffer is one global fully-associative
+    /// structure shared by evictions from *every* set, so its contents (and
+    /// therefore victim-hit outcomes) depend on the cross-set eviction
+    /// interleaving. Serial path only.
+    fn supports_set_sharding(&self) -> bool {
+        false
+    }
 }
 
 impl InvariantAuditor for VictimCache {

@@ -483,6 +483,14 @@ impl CacheModel for VWayCache {
     fn name(&self) -> &str {
         "V-Way"
     }
+
+    /// NOT sharding-safe: the data store (frames, free list, reuse counters,
+    /// global replacement hand) is shared by every set, so allocation and
+    /// global-replacement outcomes depend on the cross-set fill
+    /// interleaving. Serial path only.
+    fn supports_set_sharding(&self) -> bool {
+        false
+    }
 }
 
 impl InvariantAuditor for VWayCache {

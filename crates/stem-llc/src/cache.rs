@@ -486,6 +486,15 @@ impl CacheModel for StemCache {
     fn name(&self) -> &str {
         "STEM"
     }
+
+    /// NOT sharding-safe: STEM elects donor/receiver couplings from a
+    /// *global* ranking of per-set capacity demand (the coupling heap) on a
+    /// global epoch clock, and its set-dueling monitor aggregates misses
+    /// across leader sets — both make every set's coupling partner depend on
+    /// the cross-set access interleaving. Serial path only.
+    fn supports_set_sharding(&self) -> bool {
+        false
+    }
 }
 
 impl InvariantAuditor for StemCache {

@@ -1721,3 +1721,158 @@ fn replay_decoded_falls_back_on_incompatible_geometry() {
         "incompatible-geometry fallback diverged from the Access path"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Set-sharded replay vs serial replay (the sharding boundary).
+// ---------------------------------------------------------------------------
+//
+// `ShardedTrace` partitions a decoded stream into per-set-range shards
+// (pair-folded so SBC-static partner sets stay together); replaying each
+// shard through a fresh cache and summing the per-shard `CacheStats` must
+// be *indistinguishable* from a serial replay for every scheme whose
+// cache opts into `supports_set_sharding` — and must never be attempted
+// for the schemes that decline (their cross-set state makes the shard
+// order observable). Both directions are pinned here with the same
+// SplitMix64 synthetic streams the backend differentials use.
+
+use stem::analysis::{
+    build_cache, run_scheme_warmed_decoded, scheme_supports_set_sharding, Scheme,
+};
+use stem::sim_core::ShardedTrace;
+
+/// Synthesizes and decodes one differential trace.
+fn synth_decoded(geom: CacheGeometry, seed: u64, accesses: usize) -> DecodedTrace {
+    let mut rng = SplitMix64::new(seed);
+    let trace: Trace = (0..accesses)
+        .map(|i| {
+            let (addr, kind) = synth_access(&mut rng, geom, i);
+            match kind {
+                AccessKind::Write => Access::write(addr),
+                AccessKind::Read => Access::read(addr),
+            }
+        })
+        .collect();
+    DecodedTrace::decode(&trace, geom)
+}
+
+/// Replays every shard of `plan` through a fresh full-geometry cache and
+/// sums the stats — the sharded half of each differential below.
+fn sharded_stats(scheme: Scheme, geom: CacheGeometry, plan: &ShardedTrace) -> CacheStats {
+    plan.shards()
+        .iter()
+        .map(|shard| {
+            let mut cache = build_cache(scheme, geom);
+            cache.run_decoded(shard.trace());
+            *cache.stats()
+        })
+        .fold(CacheStats::default(), |acc, s| acc + s)
+}
+
+#[test]
+fn sharded_replay_matches_serial_for_every_shardable_scheme() {
+    let geom = paper_geom();
+    let decoded = synth_decoded(geom, 0x5AAD_0001, diff_accesses());
+    for scheme in Scheme::ALL {
+        if !scheme_supports_set_sharding(scheme, geom) {
+            continue;
+        }
+        let mut serial = build_cache(scheme, geom);
+        serial.run_decoded(&decoded);
+        for shards in [1usize, 2, 4, 7] {
+            let plan = ShardedTrace::partition(&decoded, shards);
+            assert_eq!(
+                *serial.stats(),
+                sharded_stats(scheme, geom, &plan),
+                "{scheme}: sharded CacheStats diverged from serial at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn surplus_shards_stay_empty_and_preserve_stats() {
+    // 16 sets fold to 8 pair domains; asking for 32 shards leaves at
+    // least 24 with an empty domain range. Empty shards must replay as
+    // no-ops, and the merged stats must still match serial exactly.
+    let geom = pressure_geom();
+    let decoded = synth_decoded(geom, 0x5AAD_0002, diff_accesses() / 10);
+    let plan = ShardedTrace::partition(&decoded, 32);
+    assert!(
+        plan.shards().iter().filter(|s| s.is_empty()).count() >= 24,
+        "expected surplus empty shards when shards exceed pair domains"
+    );
+    for scheme in Scheme::ALL {
+        if !scheme_supports_set_sharding(scheme, geom) {
+            continue;
+        }
+        let mut serial = build_cache(scheme, geom);
+        serial.run_decoded(&decoded);
+        assert_eq!(
+            *serial.stats(),
+            sharded_stats(scheme, geom, &plan),
+            "{scheme}: shards > domains diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn write_flags_survive_compaction_across_word_boundaries() {
+    // The decoded write flags live in 64-access bitmap words; compaction
+    // moves every surviving access to a new bit position, so any
+    // off-by-one in the scatter shows up as a read/write swap. A dense
+    // deterministic write pattern (every 3rd access) straddles every word
+    // boundary of every shard at 2/4/7 shards; the flags are checked
+    // access-by-access against the source via the original indices, and
+    // the dirty/writeback path is then exercised end to end.
+    let geom = pressure_geom();
+    let decoded = synth_decoded(geom, 0x5AAD_0003, 1_000);
+    let writes: usize = (0..decoded.len()).filter(|&i| decoded.is_write(i)).count();
+    assert!(writes > 0, "synthetic stream must contain writes");
+    for shards in [2usize, 4, 7] {
+        let plan = ShardedTrace::partition(&decoded, shards);
+        for (si, shard) in plan.shards().iter().enumerate() {
+            for (local, &orig) in shard.orig_indices().iter().enumerate() {
+                assert_eq!(
+                    shard.trace().is_write(local),
+                    decoded.is_write(orig as usize),
+                    "shard {si} access {local} (orig {orig}) write flag flipped at {shards} shards"
+                );
+            }
+        }
+        let mut serial = build_cache(Scheme::Lru, geom);
+        serial.run_decoded(&decoded);
+        let merged = sharded_stats(Scheme::Lru, geom, &plan);
+        assert_eq!(*serial.stats(), merged, "{shards} shards");
+        assert!(
+            merged.writebacks() > 0,
+            "dirty path must fire for the differential to mean anything"
+        );
+    }
+}
+
+#[test]
+fn serial_only_schemes_ignore_the_sharding_offer() {
+    // The negative direction of the boundary: offering a shard plan to a
+    // scheme whose cache declines `supports_set_sharding` must change
+    // nothing — `replay_warmed_auto` routes it through the serial path
+    // and the result is bit-identical to never having set `STEM_SHARDS`.
+    let geom = paper_geom();
+    let decoded = synth_decoded(geom, 0x5AAD_0004, diff_accesses() / 10);
+    let plan = ShardedTrace::partition(&decoded, 4);
+    let mut serial_only = 0;
+    for scheme in Scheme::ALL {
+        if scheme_supports_set_sharding(scheme, geom) {
+            continue;
+        }
+        serial_only += 1;
+        let serial = run_scheme_warmed_decoded(scheme, geom, &decoded, 0.2);
+        let auto =
+            stem_bench::shard::replay_warmed_auto(scheme, geom, &decoded, Some(&plan), 0.2, 2);
+        assert_eq!(
+            serial.to_bits(),
+            auto.to_bits(),
+            "{scheme}: a declined sharding offer must leave results untouched"
+        );
+    }
+    assert!(serial_only > 0, "boundary test must cover the serial side");
+}

@@ -98,7 +98,39 @@ grep -q '"sharded_replay"' "$CSV_DIR/det-t5s4/BENCH_run_all.json" || {
 }
 echo "    byte-identical stdout and CSVs at (threads, shards) in {1,5} x {1,4}"
 
-echo "==> serve smoke (loopback ephemeral port, cache hit, sharded profile, graceful drain)"
+echo "==> sampled-fidelity smoke gate (pinned error bound, byte-identical stdout across threads)"
+# The sampled tier must be (a) accurate within the pinned MPKI
+# relative-error bound on the fixed (benchmark, seed, scale) smoke cell,
+# and (b) a pure function of (benchmark, scheme, rate, seed): stdout
+# byte-identical at any STEM_THREADS/STEM_SHARDS setting. The bound is
+# deliberately loose against the measured smoke numbers (max ~0.053,
+# dominated by DIP's documented set-dueling approximation at rate 1/32;
+# per-set schemes stay under ~0.013 — see DESIGN.md §14).
+run_samp() { # <threads> <dir>
+    mkdir -p "$2"
+    STEM_BENCH_ACCESSES="${STEM_SAMPLING_ACCESSES:-60000}" \
+        STEM_SAMPLING_BENCHMARKS=omnetpp STEM_SAMPLE_SEED=0 \
+        STEM_SAMPLING_ERROR_BOUND="${STEM_SAMPLING_ERROR_BOUND:-0.10}" \
+        STEM_THREADS="$1" STEM_SHARDS="$1" STEM_CSV_DIR="$2" \
+        cargo bench -q -p stem-bench --bench sampling_bench \
+        >"$2/stdout.txt" 2>"$2/stderr.txt"
+}
+SAMP_BASE="$CSV_DIR/sampling-t1"
+SAMP_ALT="$CSV_DIR/sampling-t4"
+run_samp 1 "$SAMP_BASE"
+run_samp 4 "$SAMP_ALT"
+cmp "$SAMP_BASE/stdout.txt" "$SAMP_ALT/stdout.txt" || {
+    echo "ERROR: sampled-fidelity stdout differs across STEM_THREADS/STEM_SHARDS" >&2
+    exit 1
+}
+if [ ! -s "$SAMP_BASE/BENCH_sampling.json" ]; then
+    echo "ERROR: $SAMP_BASE/BENCH_sampling.json was not written" >&2
+    exit 1
+fi
+cp "$SAMP_BASE/BENCH_sampling.json" "$CSV_DIR/BENCH_sampling.json"
+echo "    all cells within the pinned rel-error bound; stdout byte-identical across {1,4} threads"
+
+echo "==> serve smoke (loopback ephemeral port, cache hit, sharded profile, sampled tier, graceful drain)"
 ADDR_FILE="$CSV_DIR/serve-addr.txt"
 SERVE_LOG="$CSV_DIR/serve-smoke.log"
 rm -f "$ADDR_FILE"
@@ -147,23 +179,51 @@ echo "$FIRSTP" | grep -q 'banded_fractions' || {
     echo "ERROR: profiled response is missing the capacity profile" >&2
     exit 1
 }
+# The sampled tier: a distinct experiment (its own cache entry — the
+# canonical form carries the fidelity axis), byte-stable on repeat, and
+# counted in stem_serve_sampled_requests_total.
+REQS='{"benchmark": "mcf", "scheme": "lru", "sets": 64, "ways": 4, "accesses": 5000, "fidelity": "sampled", "sample_rate": 4}'
+FIRSTS="$(client POST /run "$REQS")"
+SECONDS_S="$(client POST /run "$REQS")"
+if [ "$FIRSTS" != "$SECONDS_S" ]; then
+    echo "ERROR: repeated sampled request bodies differ" >&2
+    exit 1
+fi
+echo "$FIRSTS" | grep -q 'sampled_metrics' || {
+    echo "ERROR: sampled response is missing sampled_metrics" >&2
+    exit 1
+}
+if [ "$FIRSTS" = "$FIRST" ]; then
+    echo "ERROR: sampled response aliased the exact response" >&2
+    exit 1
+fi
 METRICS="$(client GET /metrics)"
-echo "$METRICS" | grep -q '^stem_serve_sim_executions_total 2$' || {
-    echo "ERROR: expected exactly two simulation executions; /metrics follows" >&2
+echo "$METRICS" | grep -q '^stem_serve_sim_executions_total 3$' || {
+    echo "ERROR: expected exactly three simulation executions; /metrics follows" >&2
     echo "$METRICS" >&2
     exit 1
 }
-echo "$METRICS" | grep -q '^stem_serve_cache_hits_total 2$' || {
+echo "$METRICS" | grep -q '^stem_serve_cache_hits_total 3$' || {
     echo "ERROR: a repeated request was not a cache hit; /metrics follows" >&2
     echo "$METRICS" >&2
     exit 1
 }
-echo "==> serve bench + BENCH_serve.json"
+echo "$METRICS" | grep -q '^stem_serve_sampled_requests_total 2$' || {
+    echo "ERROR: expected exactly two sampled-tier requests; /metrics follows" >&2
+    echo "$METRICS" >&2
+    exit 1
+}
+echo "==> serve bench + BENCH_serve.json (sampled vs exact, side by side)"
 # A short healthy serial run against the live server: requests/sec plus
-# p50/p99, archived next to the other BENCH_*.json artifacts. Cache hits
-# dominate after the first request, so this times the serving stack, not
-# the simulator.
-STEM_CSV_DIR="$CSV_DIR" client BENCH /run "$REQ" 20
+# p50/p99, archived next to the other BENCH_*.json artifacts. The sampled
+# body makes the client bench its exact twin too, recording both tiers
+# side by side. Cache hits dominate after the first request, so this
+# times the serving stack, not the simulator.
+STEM_CSV_DIR="$CSV_DIR" client BENCH /run "$REQS" 20
+grep -q '"sampled"' "$CSV_DIR/BENCH_serve.json" || {
+    echo "ERROR: BENCH_serve.json is missing the sampled-vs-exact sections" >&2
+    exit 1
+}
 if [ ! -s "$CSV_DIR/BENCH_serve.json" ]; then
     echo "ERROR: $CSV_DIR/BENCH_serve.json was not written" >&2
     exit 1
@@ -193,7 +253,7 @@ echo "==> benchmark artifact drift check (warn-only)"
 # smoke-sized copies are expected to differ in timings — the warning is a
 # reminder to refresh the committed artifacts when the *shape* changed
 # (new sections, schemes, or stages), not a failure.
-for f in BENCH_throughput.json BENCH_serve.json; do
+for f in BENCH_throughput.json BENCH_serve.json BENCH_sampling.json; do
     if [ ! -s "$f" ]; then
         echo "    WARNING: committed $f is missing from the repo root"
     elif ! cmp -s "$CSV_DIR/$f" "$f"; then

@@ -7,8 +7,8 @@ use stem_hierarchy::{System, SystemConfig, SystemMetrics};
 use stem_llc::{StemCache, StemConfig};
 use stem_replacement::{Bip, Dip, Drrip, Lru, Nru, PeLifo, Plru, SetAssocCache, Srrip};
 use stem_sim_core::{
-    AuditedCacheModel, CacheGeometry, CacheModel, CacheStats, DecodedTrace, ShardedTrace, Trace,
-    TraceShard,
+    AuditedCacheModel, CacheGeometry, CacheModel, CacheStats, DecodedTrace, SampledTrace,
+    ShardedTrace, Trace, TraceShard,
 };
 use stem_spatial::{SbcCache, StaticSbcCache, VWayCache, VictimCache};
 
@@ -262,6 +262,86 @@ pub fn assoc_point_sharded(
     let geom =
         CacheGeometry::new(base.sets(), ways, base.line_bytes()).expect("sweep geometry is valid");
     run_scheme_warmed_sharded(scheme, geom, source, plan, 0.2)
+}
+
+/// Whether `scheme` (as built for `geom`) opts into sampled replay — the
+/// scheme-level view of
+/// [`CacheModel::supports_set_sampling`](stem_sim_core::CacheModel::supports_set_sampling).
+/// The surface is the sharding set (per-set state ⇒ zero per-set
+/// distortion) plus DIP, whose set-dueling duel is itself a sampling
+/// estimator and opts in as a documented approximation.
+pub fn scheme_supports_set_sampling(scheme: Scheme, geom: CacheGeometry) -> bool {
+    build_cache(scheme, geom).supports_set_sampling()
+}
+
+/// Replays a strided-set sample under the standard warm-up protocol and
+/// returns the *raw* (unscaled) measured [`CacheStats`].
+///
+/// A fresh full-geometry cache instance backs the sample: only the selected
+/// domains' sets are ever touched, so the dropped sets stay cold and
+/// contribute nothing. The global warm boundary `warm_before` (a
+/// source-trace index) is translated onto the sample with
+/// [`SampledTrace::split_before`], so every selected set sees exactly the
+/// warm/measured split it would see serially. Replay is serial by
+/// construction — the result is a pure function of `(scheme, geom,
+/// sample)`, independent of thread and shard counts.
+///
+/// Callers scale the counts up with
+/// [`SampledTrace::scale_factor`](stem_sim_core::SampledTrace::scale_factor)
+/// (or take the MPKI shortcut, [`sampled_mpki`]).
+pub fn replay_sample_warmed(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    sample: &SampledTrace,
+    warm_before: usize,
+) -> CacheStats {
+    let mut cache = build_cache(scheme, geom);
+    debug_assert!(
+        cache.supports_set_sampling(),
+        "{scheme} declined set sampling; route it through the exact path"
+    );
+    let local_warm = sample.split_before(warm_before);
+    cache.replay_decoded(sample.trace(), 0..local_warm);
+    cache.reset_stats();
+    cache.replay_decoded(sample.trace(), local_warm..sample.len());
+    *cache.stats()
+}
+
+/// Scales a sampled measurement up to a whole-cache MPKI estimate: the
+/// sample's misses are multiplied by its
+/// [`scale_factor`](stem_sim_core::SampledTrace::scale_factor)
+/// (`domains / selected`), while the instruction denominator comes from the
+/// **source** trace's measured range — the estimate answers "what would the
+/// full cache's MPKI be over the full measured stream", so both numerator
+/// and denominator are extrapolated to full scale. At rate 1 the scale is
+/// exactly 1.0 and the sample's measured range covers the source's, so the
+/// estimate degenerates to the exact MPKI bit-for-bit.
+pub fn sampled_mpki(
+    stats: &CacheStats,
+    sample: &SampledTrace,
+    source: &DecodedTrace,
+    warm_len: usize,
+) -> f64 {
+    let instructions = source.instructions_in(warm_len..source.len()).max(1);
+    stats.mpki(instructions) * sample.scale_factor()
+}
+
+/// Sampled twin of [`run_scheme_warmed_decoded`]: replays the sample under
+/// the standard warm-up protocol and returns the scaled whole-cache MPKI
+/// estimate. For any scheme reporting [`scheme_supports_set_sampling`],
+/// a rate-1 sample reproduces the exact runner's MPKI bit-for-bit; at
+/// higher rates the estimate's relative error is measured per
+/// (scheme, benchmark, rate) in `BENCH_sampling.json` / EXPERIMENTS.md.
+pub fn run_scheme_warmed_sampled(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    source: &DecodedTrace,
+    sample: &SampledTrace,
+    warmup_fraction: f64,
+) -> f64 {
+    let warm_len = warm_split(source.len(), warmup_fraction);
+    let stats = replay_sample_warmed(scheme, geom, sample, warm_len);
+    sampled_mpki(&stats, sample, source, warm_len)
 }
 
 /// Runs a trace directly against a bare LLC (no L1 filtering) and returns
@@ -578,6 +658,73 @@ mod tests {
                         "{scheme} sweep point at {ways} ways diverged at {shards} shards"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_capability_surface_is_sharding_plus_dip() {
+        let geom = small();
+        for scheme in Scheme::ALL {
+            let expected = matches!(
+                scheme,
+                Scheme::Lru | Scheme::Srrip | Scheme::Plru | Scheme::SbcStatic | Scheme::Dip
+            );
+            assert_eq!(
+                scheme_supports_set_sampling(scheme, geom),
+                expected,
+                "{scheme}: sampling capability drifted from the documented boundary \
+                 (DESIGN.md §14) — if intentional, update the table and this test"
+            );
+        }
+    }
+
+    #[test]
+    fn full_rate_sample_reproduces_exact_replay_bit_for_bit() {
+        let geom = small();
+        let trace = BenchmarkProfile::by_name("omnetpp")
+            .unwrap()
+            .trace(geom, 20_000);
+        let decoded = DecodedTrace::decode(&trace, geom);
+        let sample = SampledTrace::select(&decoded, 1, 99);
+        for scheme in Scheme::ALL {
+            if !scheme_supports_set_sampling(scheme, geom) {
+                continue;
+            }
+            let exact = run_scheme_warmed_decoded(scheme, geom, &decoded, 0.2);
+            let sampled = run_scheme_warmed_sampled(scheme, geom, &decoded, &sample, 0.2);
+            assert_eq!(
+                exact.to_bits(),
+                sampled.to_bits(),
+                "{scheme} full-rate sample diverged from exact replay"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_estimates_are_deterministic_and_in_the_right_ballpark() {
+        let geom = small();
+        let trace = BenchmarkProfile::by_name("omnetpp")
+            .unwrap()
+            .trace(geom, 40_000);
+        let decoded = DecodedTrace::decode(&trace, geom);
+        let sample = SampledTrace::select(&decoded, 8, 1);
+        for scheme in Scheme::ALL {
+            if !scheme_supports_set_sampling(scheme, geom) {
+                continue;
+            }
+            let exact = run_scheme_warmed_decoded(scheme, geom, &decoded, 0.2);
+            let a = run_scheme_warmed_sampled(scheme, geom, &decoded, &sample, 0.2);
+            let b = run_scheme_warmed_sampled(scheme, geom, &decoded, &sample, 0.2);
+            assert_eq!(a.to_bits(), b.to_bits(), "{scheme} sampled MPKI not pure");
+            assert!(a.is_finite() && a >= 0.0, "{scheme} sampled MPKI = {a}");
+            // Not a tight bound — just that the estimator isn't nonsense.
+            if exact > 1.0 {
+                let rel = (a - exact).abs() / exact;
+                assert!(
+                    rel < 1.0,
+                    "{scheme} sampled MPKI {a} is off exact {exact} by {rel:.2}"
+                );
             }
         }
     }

@@ -26,10 +26,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use stem_analysis::{
-    geomean, run_scheme_warmed_decoded, scheme_supports_set_sharding, CapacityDemandProfiler,
-    Scheme, Table,
+    geomean, run_scheme_warmed_decoded, run_scheme_warmed_sampled, scheme_supports_set_sampling,
+    scheme_supports_set_sharding, CapacityDemandProfiler, Scheme, Table,
 };
-use stem_bench::config::Config;
+use stem_bench::config::{Config, Fidelity};
 use stem_bench::harness::{
     normalized_table, prepare_trace, run_benchmark_matrix_isolated, sensitivity_benchmarks,
     sweep_ways, PrepTimings, WARMUP_FRACTION,
@@ -37,6 +37,7 @@ use stem_bench::harness::{
 use stem_bench::resilience::{ExperimentOutcome, ExperimentRunner};
 use stem_bench::shard::{assoc_point_auto, sharded_warmed_mpki};
 use stem_llc::{overhead, StemConfig};
+use stem_sim_core::SampledTrace;
 use stem_sim_core::{CacheGeometry, DecodedTrace, Json, ShardedTrace};
 
 /// Writes `table` to `<dir>/<name>.csv` when an artifact directory is
@@ -181,6 +182,105 @@ fn measure_shard_speedup(
     }
 }
 
+/// One scheme's exact-vs-sampled comparison from the sampled-fidelity
+/// measurement stage: the whole-trace warmed MPKI and the scaled sampled
+/// estimate, with best-of-N wall clock for each path.
+struct SchemeSampleError {
+    label: &'static str,
+    exact_mpki: f64,
+    sampled_mpki: f64,
+    exact_secs: f64,
+    sampled_secs: f64,
+}
+
+impl SchemeSampleError {
+    /// |sampled - exact| / exact (0 when the exact MPKI is 0).
+    fn rel_error(&self) -> f64 {
+        if self.exact_mpki == 0.0 {
+            0.0
+        } else {
+            (self.sampled_mpki - self.exact_mpki).abs() / self.exact_mpki
+        }
+    }
+}
+
+/// The sampled-vs-exact record for one benchmark trace, emitted (stderr +
+/// the `sampled_fidelity` section of `BENCH_run_all.json`) when
+/// `STEM_FIDELITY=sampled`. Measured outside the experiment runner, stderr
+/// and JSON only — stdout stays byte-identical to the exact-path archive.
+struct SampledFidelity {
+    trace_name: String,
+    accesses: usize,
+    rate: u32,
+    seed: u64,
+    select_secs: f64,
+    schemes: Vec<SchemeSampleError>,
+}
+
+/// Measures exact vs sampled warmed replay of `source` for every scheme
+/// that opts into set sampling, best-of-`REPS` each. The sampled timing
+/// covers replay only (selection is timed once, separately — one sample
+/// serves every scheme, like one decode serves every cell).
+fn measure_sampled_fidelity(
+    geom: CacheGeometry,
+    source: &DecodedTrace,
+    trace_name: String,
+    rate: u32,
+    seed: u64,
+) -> SampledFidelity {
+    const REPS: usize = 3;
+    let t0 = std::time::Instant::now();
+    let sample = SampledTrace::select(source, rate, seed);
+    let select_secs = t0.elapsed().as_secs_f64();
+    let mut schemes = Vec::new();
+    for &scheme in Scheme::ALL.iter() {
+        if !scheme_supports_set_sampling(scheme, geom) {
+            continue;
+        }
+        let mut exact_secs = f64::INFINITY;
+        let mut sampled_secs = f64::INFINITY;
+        let mut exact_mpki = 0.0;
+        let mut sampled_mpki = 0.0;
+        for _ in 0..REPS {
+            let t = std::time::Instant::now();
+            exact_mpki = run_scheme_warmed_decoded(scheme, geom, source, WARMUP_FRACTION);
+            exact_secs = exact_secs.min(t.elapsed().as_secs_f64());
+            let t = std::time::Instant::now();
+            sampled_mpki =
+                run_scheme_warmed_sampled(scheme, geom, source, &sample, WARMUP_FRACTION);
+            sampled_secs = sampled_secs.min(t.elapsed().as_secs_f64());
+        }
+        let entry = SchemeSampleError {
+            label: scheme.label(),
+            exact_mpki,
+            sampled_mpki,
+            exact_secs,
+            sampled_secs,
+        };
+        eprintln!(
+            "  {:<8} exact {:.3} MPKI in {:.3}s, sampled {:.3} MPKI in {:.3}s \
+             (rel err {:.2}%, {:.1}x at rate 1/{})",
+            entry.label,
+            entry.exact_mpki,
+            entry.exact_secs,
+            entry.sampled_mpki,
+            entry.sampled_secs,
+            entry.rel_error() * 100.0,
+            entry.exact_secs / entry.sampled_secs.max(1e-12),
+            sample.stride(),
+        );
+        schemes.push(entry);
+    }
+    SampledFidelity {
+        trace_name,
+        accesses: source.len(),
+        rate,
+        seed,
+        select_secs,
+        schemes,
+    }
+}
+
 /// Emits the per-experiment wall-clock summary: always to stderr (stdout
 /// stays byte-stable across thread counts), and as
 /// `<csv_dir>/BENCH_run_all.json` when the artifact directory is set —
@@ -193,6 +293,7 @@ fn emit_timing_summary(
     outcomes: &[ExperimentOutcome],
     stages: &StageBreakdown,
     speedup: Option<&ShardSpeedup>,
+    sampled: &[SampledFidelity],
 ) {
     let total: f64 = outcomes.iter().map(|o| o.elapsed.as_secs_f64()).sum();
     eprintln!(
@@ -279,6 +380,46 @@ fn emit_timing_summary(
                     ("schemes".into(), Json::Arr(schemes)),
                 ]),
             ));
+        }
+        if !sampled.is_empty() {
+            let entries: Vec<Json> = sampled
+                .iter()
+                .map(|sf| {
+                    let schemes: Vec<Json> = sf
+                        .schemes
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("scheme".into(), Json::str(s.label)),
+                                ("exact_mpki".into(), Json::float_rounded(s.exact_mpki, 6)),
+                                (
+                                    "sampled_mpki".into(),
+                                    Json::float_rounded(s.sampled_mpki, 6),
+                                ),
+                                ("rel_error".into(), Json::float_rounded(s.rel_error(), 6)),
+                                ("exact_secs".into(), secs3(s.exact_secs)),
+                                ("sampled_secs".into(), secs3(s.sampled_secs)),
+                                (
+                                    "speedup".into(),
+                                    Json::float_rounded(
+                                        s.exact_secs / s.sampled_secs.max(1e-12),
+                                        2,
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    Json::Obj(vec![
+                        ("benchmark".into(), Json::str(sf.trace_name.clone())),
+                        ("accesses".into(), Json::Int(sf.accesses as i64)),
+                        ("rate".into(), Json::Int(i64::from(sf.rate))),
+                        ("seed".into(), Json::Int(sf.seed as i64)),
+                        ("select_secs".into(), secs3(sf.select_secs)),
+                        ("schemes".into(), Json::Arr(schemes)),
+                    ])
+                })
+                .collect();
+            fields.push(("sampled_fidelity".into(), Json::Arr(entries)));
         }
         fields.push(("experiments".into(), Json::Arr(experiments)));
         let doc = Json::Obj(fields);
@@ -527,6 +668,29 @@ fn main() -> ExitCode {
         _ => None,
     };
 
+    // ---- Sampled-fidelity error + speedup (stderr + JSON only) ------
+    // Measured per sensitivity benchmark against the exact path when
+    // STEM_FIDELITY=sampled; stdout stays byte-identical to the exact
+    // archive — the record lands on stderr and in BENCH_run_all.json.
+    let mut sampled_records = Vec::new();
+    if cfg.fidelity() == Fidelity::Sampled {
+        let (rate, seed) = (cfg.sample_rate(), cfg.sample_seed());
+        for (bi, trace) in sweep_traces.iter().enumerate() {
+            let Some(trace) = trace else { continue };
+            eprintln!(
+                "\nmeasuring exact vs sampled replay ({}, rate 1/{rate}, seed {seed}):",
+                sens[bi].name()
+            );
+            sampled_records.push(measure_sampled_fidelity(
+                geom,
+                trace,
+                sens[bi].name().to_owned(),
+                rate,
+                seed,
+            ));
+        }
+    }
+
     // ---- Outcome ----------------------------------------------------
     let stages = StageBreakdown::from_outcomes(prep, fig1_prep_secs, runner.outcomes());
     emit_timing_summary(
@@ -535,6 +699,7 @@ fn main() -> ExitCode {
         runner.outcomes(),
         &stages,
         speedup.as_ref(),
+        &sampled_records,
     );
     match runner.failure_report() {
         None => {

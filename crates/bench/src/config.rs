@@ -33,6 +33,12 @@ use std::time::Duration;
 pub const THREADS_ENV: &str = "STEM_THREADS";
 /// Set-shard count for intra-trace parallel replay (1 = serial).
 pub const SHARDS_ENV: &str = "STEM_SHARDS";
+/// Simulation fidelity: `exact` (default) or `sampled`.
+pub const FIDELITY_ENV: &str = "STEM_FIDELITY";
+/// Strided set-sampling rate (keep ~1/rate of the set space).
+pub const SAMPLE_RATE_ENV: &str = "STEM_SAMPLE_RATE";
+/// Seed for the sampled-set selection offset (0 allowed).
+pub const SAMPLE_SEED_ENV: &str = "STEM_SAMPLE_SEED";
 /// Directory receiving CSV/JSON artifacts, when set.
 pub const CSV_DIR_ENV: &str = "STEM_CSV_DIR";
 /// Trace length per benchmark for the matrix drivers.
@@ -77,6 +83,45 @@ pub const SERVE_CHAOS_SEED_ENV: &str = "STEM_SERVE_CHAOS_SEED";
 /// Per-connection I/O deadline in milliseconds for the `serve` binary.
 pub const SERVE_IO_DEADLINE_ENV: &str = "STEM_SERVE_IO_DEADLINE_MS";
 
+/// The simulation-fidelity tier selected by `STEM_FIDELITY`.
+///
+/// `Exact` replays every access of every set (the default — sampling is
+/// strictly opt-in, like sharding); `Sampled` replays only a strided
+/// subset of the set space ([`SampledTrace`](stem_sim_core::SampledTrace))
+/// and scales the measured counts back up, trading a measured MPKI error
+/// for an algorithmic reduction in work. Only schemes whose caches report
+/// [`supports_set_sampling`](stem_sim_core::CacheModel::supports_set_sampling)
+/// honour the sampled tier — the rest run exact regardless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// Replay everything; the answer is the answer.
+    #[default]
+    Exact,
+    /// Replay a strided set sample and extrapolate, with measured error.
+    Sampled,
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Fidelity::Exact => "exact",
+            Fidelity::Sampled => "sampled",
+        })
+    }
+}
+
+impl std::str::FromStr for Fidelity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "exact" => Ok(Fidelity::Exact),
+            "sampled" => Ok(Fidelity::Sampled),
+            other => Err(format!("unknown fidelity: {other}")),
+        }
+    }
+}
+
 /// A `STEM_*` variable was set to something unusable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigError {
@@ -111,6 +156,12 @@ pub struct Config {
     pub threads: Option<usize>,
     /// `STEM_SHARDS`: set-shard count for intra-trace replay.
     pub shards: Option<usize>,
+    /// `STEM_FIDELITY`: simulation fidelity tier.
+    pub fidelity: Option<Fidelity>,
+    /// `STEM_SAMPLE_RATE`: strided set-sampling rate.
+    pub sample_rate: Option<u32>,
+    /// `STEM_SAMPLE_SEED`: sampled-set selection seed.
+    pub sample_seed: Option<u64>,
     /// `STEM_CSV_DIR`: artifact directory for CSVs and `BENCH_*.json`.
     pub csv_dir: Option<PathBuf>,
     /// `STEM_ACCESSES`: trace length per benchmark.
@@ -168,6 +219,9 @@ impl Config {
         Ok(Config {
             threads: src.positive(THREADS_ENV)?,
             shards: src.positive(SHARDS_ENV)?,
+            fidelity: src.parsed(FIDELITY_ENV, "\"exact\" or \"sampled\"")?,
+            sample_rate: src.positive(SAMPLE_RATE_ENV)?,
+            sample_seed: src.parsed(SAMPLE_SEED_ENV, "a u64 seed (0 allowed)")?,
             csv_dir: src.raw(CSV_DIR_ENV).map(PathBuf::from),
             accesses: src.positive(ACCESSES_ENV)?,
             sweep_accesses: src.positive(SWEEP_ACCESSES_ENV)?,
@@ -228,6 +282,24 @@ impl Config {
     /// honour values above 1 — the rest replay serially regardless.
     pub fn shards(&self) -> usize {
         self.shards.unwrap_or(1)
+    }
+
+    /// Simulation fidelity: `STEM_FIDELITY`, defaulting to
+    /// [`Fidelity::Exact`] (sampling is strictly opt-in).
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity.unwrap_or_default()
+    }
+
+    /// Strided set-sampling rate: `STEM_SAMPLE_RATE`, defaulting to 16
+    /// (keep ~1/16 of the set space — the middle of the measured
+    /// error/speedup table in EXPERIMENTS.md).
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate.unwrap_or(16)
+    }
+
+    /// Sampled-set selection seed: `STEM_SAMPLE_SEED`, defaulting to 0.
+    pub fn sample_seed(&self) -> u64 {
+        self.sample_seed.unwrap_or(0)
     }
 
     /// Per-benchmark trace length, defaulting to the matrix drivers' 2M.
@@ -464,6 +536,43 @@ mod tests {
         assert_eq!(cfg_of(&[(SHARDS_ENV, "4")]).unwrap().shards(), 4);
         assert!(cfg_of(&[(SHARDS_ENV, "0")]).is_err());
         assert!(cfg_of(&[(SHARDS_ENV, "four")]).is_err());
+    }
+
+    #[test]
+    fn fidelity_knobs_default_to_exact_and_validate() {
+        let cfg = cfg_of(&[]).unwrap();
+        assert_eq!(cfg.fidelity(), Fidelity::Exact, "sampling must be opt-in");
+        assert_eq!(cfg.sample_rate(), 16);
+        assert_eq!(cfg.sample_seed(), 0);
+
+        let cfg = cfg_of(&[
+            (FIDELITY_ENV, "sampled"),
+            (SAMPLE_RATE_ENV, "8"),
+            (SAMPLE_SEED_ENV, "0"),
+        ])
+        .unwrap();
+        assert_eq!(cfg.fidelity(), Fidelity::Sampled);
+        assert_eq!(cfg.sample_rate(), 8);
+        assert_eq!(cfg.sample_seed(), 0, "seed 0 is a valid explicit seed");
+        assert_eq!(
+            cfg_of(&[(FIDELITY_ENV, "EXACT")]).unwrap().fidelity(),
+            Fidelity::Exact
+        );
+
+        let err = cfg_of(&[(FIDELITY_ENV, "approximate")]).expect_err("bad fidelity");
+        assert_eq!(err.var, FIDELITY_ENV);
+        assert!(err.to_string().contains("sampled"));
+        assert!(cfg_of(&[(SAMPLE_RATE_ENV, "0")]).is_err());
+        assert!(cfg_of(&[(SAMPLE_RATE_ENV, "sixteen")]).is_err());
+        assert!(cfg_of(&[(SAMPLE_SEED_ENV, "-1")]).is_err());
+    }
+
+    #[test]
+    fn fidelity_displays_its_wire_names() {
+        assert_eq!(Fidelity::Exact.to_string(), "exact");
+        assert_eq!(Fidelity::Sampled.to_string(), "sampled");
+        assert_eq!("sampled".parse::<Fidelity>().unwrap(), Fidelity::Sampled);
+        assert!("fuzzy".parse::<Fidelity>().is_err());
     }
 
     #[test]

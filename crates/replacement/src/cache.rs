@@ -277,6 +277,13 @@ impl CacheModel for SetAssocCache {
     fn supports_set_sharding(&self) -> bool {
         self.policy.supports_set_sharding()
     }
+
+    /// Likewise for sampled replay: the cache structure adds no cross-set
+    /// state, so eligibility is exactly the policy's call
+    /// ([`ReplacementPolicy::supports_set_sampling`]).
+    fn supports_set_sampling(&self) -> bool {
+        self.policy.supports_set_sampling()
+    }
 }
 
 impl InvariantAuditor for SetAssocCache {

@@ -185,6 +185,20 @@ impl ReplacementPolicy for Dip {
         false
     }
 
+    // Sampled replay IS meaningful for DIP, as a documented approximation:
+    // set dueling is itself a sampling estimator ("the behaviour of a few
+    // leader sets predicts the whole cache"), so training PSEL on the
+    // leader sets that survive a pair-preserving strided sample is the
+    // same estimator over a smaller population. The duel's verdict — and
+    // therefore follower insertion depth — may differ from the full-cache
+    // duel when the surviving leaders are unrepresentative; that error is
+    // measured per benchmark/rate and bounded in BENCH_sampling.json
+    // (DESIGN.md §14). At rate 1 every leader survives and the replay is
+    // bit-identical to serial.
+    fn supports_set_sampling(&self) -> bool {
+        true
+    }
+
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }

@@ -178,6 +178,16 @@ impl ReplacementPolicy for PeLifo {
         false
     }
 
+    // NOT sampling-safe: the election's `total_misses` period counter
+    // advances once per miss *anywhere*, so dropping sets stretches the
+    // election period in simulated time and elects from a miss histogram
+    // with different mass — unlike DIP's stationary duel, PeLIFO's
+    // elected escape depth is driven by the absolute miss volume, which
+    // sampling reduces by construction. Explicit refusal.
+    fn supports_set_sampling(&self) -> bool {
+        false
+    }
+
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }

@@ -71,6 +71,21 @@ pub trait ReplacementPolicy {
         false
     }
 
+    /// Whether sampled (strided-subset) replay of a cache driven by this
+    /// policy is a valid estimator of serial replay (the policy-level half
+    /// of
+    /// [`CacheModel::supports_set_sampling`](stem_sim_core::CacheModel::supports_set_sampling);
+    /// `SetAssocCache` delegates here). The default inherits
+    /// [`supports_set_sharding`](ReplacementPolicy::supports_set_sharding):
+    /// purely per-set state means dropped sets are invisible to kept ones,
+    /// so sampling introduces no per-set distortion. A policy with global
+    /// state may override this to opt into a *documented approximation*
+    /// (DIP does — set dueling is itself a sampling estimator); the rest
+    /// must keep the sharding answer.
+    fn supports_set_sampling(&self) -> bool {
+        self.supports_set_sharding()
+    }
+
     /// Checked-mode hook: verifies this policy's per-set bookkeeping for
     /// `set` (e.g. that a recency stack is still a permutation). The
     /// default accepts everything; stack-based policies override it.

@@ -31,6 +31,12 @@
 //! prints requests/sec and latency percentiles, and archives them as
 //! `BENCH_serve.json` under `STEM_CSV_DIR` (current directory when
 //! unset).
+//!
+//! When the body asks for `"fidelity": "sampled"`, bench mode also runs
+//! the request's **exact twin** (same body with the fidelity and
+//! sampling knobs stripped) and archives both measurements side by side
+//! (`exact` / `sampled` sections), so `BENCH_serve.json` records the
+//! sampled tier's req/s and p50/p99 against the exact tier's.
 
 use std::net::TcpStream;
 use std::process::ExitCode;
@@ -99,15 +105,51 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[idx]
 }
 
-/// Serial benchmark against a live server; archives `BENCH_serve.json`.
-fn bench(
+/// One measured serial run: steady-state requests/sec plus latency
+/// percentiles (first response discarded as warmup when `count` > 1).
+struct BenchStats {
+    measured: usize,
+    rps: f64,
+    p50: Duration,
+    p99: Duration,
+    wall: Duration,
+}
+
+impl BenchStats {
+    /// The flat measurement fields shared by every report shape.
+    fn fields(&self) -> Vec<(String, Json)> {
+        vec![
+            ("measured".to_owned(), Json::Int(self.measured as i64)),
+            (
+                "requests_per_sec".to_owned(),
+                Json::float_rounded(self.rps, 2),
+            ),
+            (
+                "p50_ms".to_owned(),
+                Json::float_rounded(self.p50.as_secs_f64() * 1e3, 3),
+            ),
+            (
+                "p99_ms".to_owned(),
+                Json::float_rounded(self.p99.as_secs_f64() * 1e3, 3),
+            ),
+            (
+                "wall_seconds".to_owned(),
+                Json::float_rounded(self.wall.as_secs_f64(), 3),
+            ),
+        ]
+    }
+}
+
+/// Runs `count` serial requests and measures the steady state.
+fn measure(
     addr: &str,
     path: &str,
     body: &[u8],
     count: usize,
+    label: &str,
     policy: &BackoffPolicy,
     rng: &mut SplitMix64,
-) -> Result<(), String> {
+) -> Result<BenchStats, String> {
     let mut latencies = Vec::with_capacity(count);
     let started = Instant::now();
     for i in 0..count {
@@ -115,7 +157,7 @@ fn bench(
         let resp = request_with_retries(addr, "POST", path, body, policy, rng)?;
         if resp.status != 200 {
             return Err(format!(
-                "bench request {i} got HTTP {}: {}",
+                "bench request {i} ({label}) got HTTP {}: {}",
                 resp.status,
                 resp.body_text()
             ));
@@ -126,41 +168,79 @@ fn bench(
             latencies.push(t0.elapsed());
         }
     }
-    let elapsed = started.elapsed();
+    let wall = started.elapsed();
     latencies.sort_unstable();
     let measured = latencies.len();
     let rps = measured as f64 / latencies.iter().sum::<Duration>().as_secs_f64().max(1e-9);
-    let p50 = percentile(&latencies, 0.50);
-    let p99 = percentile(&latencies, 0.99);
+    let stats = BenchStats {
+        measured,
+        rps,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        wall,
+    };
     println!(
-        "{count} requests in {:.2}s ({rps:.1} req/s steady-state, p50 {:.2}ms, p99 {:.2}ms)",
-        elapsed.as_secs_f64(),
-        p50.as_secs_f64() * 1e3,
-        p99.as_secs_f64() * 1e3,
+        "{label}: {count} requests in {:.2}s ({:.1} req/s steady-state, p50 {:.2}ms, p99 {:.2}ms)",
+        stats.wall.as_secs_f64(),
+        stats.rps,
+        stats.p50.as_secs_f64() * 1e3,
+        stats.p99.as_secs_f64() * 1e3,
     );
+    Ok(stats)
+}
 
-    let report = Json::Obj(vec![
+/// The exact twin of a sampled `/run` body: the same experiment with the
+/// fidelity tier and sampling knobs stripped (the request then defaults
+/// to `exact`). Returns `None` when the body is not a sampled request.
+fn exact_twin(body: &[u8]) -> Option<Vec<u8>> {
+    let text = std::str::from_utf8(body).ok()?;
+    let json = Json::parse(text).ok()?;
+    let obj = json.as_obj()?;
+    if json.get("fidelity")?.as_str()? != "sampled" {
+        return None;
+    }
+    let stripped: Vec<(String, Json)> = obj
+        .iter()
+        .filter(|(k, _)| !matches!(k.as_str(), "fidelity" | "sample_rate" | "sample_seed"))
+        .cloned()
+        .collect();
+    Some(Json::Obj(stripped).to_string().into_bytes())
+}
+
+/// Serial benchmark against a live server; archives `BENCH_serve.json`.
+/// A sampled body is measured against its exact twin side by side.
+fn bench(
+    addr: &str,
+    path: &str,
+    body: &[u8],
+    count: usize,
+    policy: &BackoffPolicy,
+    rng: &mut SplitMix64,
+) -> Result<(), String> {
+    let mut report = vec![
         ("bench".to_owned(), Json::str("stem-serve")),
         ("path".to_owned(), Json::str(path)),
         ("requests".to_owned(), Json::Int(count as i64)),
-        ("measured".to_owned(), Json::Int(measured as i64)),
-        ("requests_per_sec".to_owned(), Json::float_rounded(rps, 2)),
-        (
-            "p50_ms".to_owned(),
-            Json::float_rounded(p50.as_secs_f64() * 1e3, 3),
-        ),
-        (
-            "p99_ms".to_owned(),
-            Json::float_rounded(p99.as_secs_f64() * 1e3, 3),
-        ),
-        (
-            "wall_seconds".to_owned(),
-            Json::float_rounded(elapsed.as_secs_f64(), 3),
-        ),
-    ]);
+    ];
+    if let Some(exact_body) = exact_twin(body) {
+        let exact = measure(addr, path, &exact_body, count, "exact", policy, rng)?;
+        let sampled = measure(addr, path, body, count, "sampled", policy, rng)?;
+        report.push((
+            "sampled_vs_exact_p50".to_owned(),
+            Json::float_rounded(
+                exact.p50.as_secs_f64() / sampled.p50.as_secs_f64().max(1e-9),
+                2,
+            ),
+        ));
+        report.push(("exact".to_owned(), Json::Obj(exact.fields())));
+        report.push(("sampled".to_owned(), Json::Obj(sampled.fields())));
+    } else {
+        let stats = measure(addr, path, body, count, "steady-state", policy, rng)?;
+        report.extend(stats.fields());
+    }
     let dir = std::env::var("STEM_CSV_DIR").unwrap_or_else(|_| ".".to_owned());
     let out = std::path::Path::new(&dir).join("BENCH_serve.json");
-    std::fs::write(&out, report.pretty() + "\n")
+    std::fs::write(&out, Json::Obj(report).pretty() + "\n")
         .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!("wrote {}", out.display());
     Ok(())

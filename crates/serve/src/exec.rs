@@ -18,10 +18,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use stem_analysis::{run_system_decoded, CapacityDemandProfiler};
+use stem_analysis::{
+    replay_sample_warmed, run_system_decoded, sampled_mpki, warm_split, CapacityDemandProfiler,
+};
+use stem_bench::config::Fidelity;
 use stem_bench::harness::prepare_trace;
 use stem_hierarchy::{SystemConfig, SystemMetrics};
-use stem_sim_core::{DecodedTrace, Json, ShardedTrace, SimError};
+use stem_sim_core::{CacheGeometry, DecodedTrace, Json, SampledTrace, ShardedTrace, SimError};
 use stem_workloads::BenchmarkProfile;
 
 use crate::request::RunRequest;
@@ -97,6 +100,9 @@ pub fn run_simulation(req: &RunRequest) -> Result<Json, SimError> {
     })?;
     let geom = req.geometry();
     let prepared = prepare_trace(&bench, geom, req.accesses);
+    if req.fidelity == Fidelity::Sampled {
+        return run_sampled(req, geom, &prepared.trace);
+    }
     let metrics = run_system_decoded(
         req.scheme,
         geom,
@@ -134,6 +140,78 @@ pub fn run_simulation(req: &RunRequest) -> Result<Json, SimError> {
         ));
     }
     Ok(Json::Obj(fields))
+}
+
+/// The sampled-fidelity tier: selects a UMON-style strided set sample
+/// (deterministic in `(sample_seed, sets, sample_rate)`), replays it
+/// serially through the bare LLC under the standard warm-up protocol,
+/// and scales misses, writebacks, and MPKI back up by the sample's
+/// `domains / selected` factor.
+///
+/// The sampled result deliberately carries **LLC estimates only** — no
+/// `amat`/`cpi`. Those need the full hierarchy (L1 filtering, the
+/// next-line prefetcher), which crosses set boundaries and therefore has
+/// no sound sampled story; clients who need them ask for `exact`.
+///
+/// Determinism: selection and replay are both serial pure functions of
+/// the canonical request, so the response body is byte-identical at any
+/// `STEM_THREADS`/`STEM_SHARDS` setting and across cache hits/misses.
+fn run_sampled(
+    req: &RunRequest,
+    geom: CacheGeometry,
+    source: &DecodedTrace,
+) -> Result<Json, SimError> {
+    let sample = SampledTrace::select(source, req.sample_rate, req.sample_seed);
+    let warm_len = warm_split(source.len(), req.warmup_fraction);
+    let stats = replay_sample_warmed(req.scheme, geom, &sample, warm_len);
+    let mpki = sampled_mpki(&stats, &sample, source, warm_len);
+    let scale = sample.scale_factor();
+    Ok(Json::Obj(vec![(
+        "sampled_metrics".to_owned(),
+        Json::Obj(vec![
+            ("mpki".to_owned(), Json::float_rounded(mpki, 6)),
+            (
+                "estimated_misses".to_owned(),
+                Json::float_rounded(stats.misses() as f64 * scale, 3),
+            ),
+            (
+                "estimated_writebacks".to_owned(),
+                Json::float_rounded(stats.writebacks() as f64 * scale, 3),
+            ),
+            ("scale_factor".to_owned(), Json::float_rounded(scale, 6)),
+            (
+                "sample".to_owned(),
+                Json::Obj(vec![
+                    ("rate".to_owned(), Json::Int(i64::from(sample.rate()))),
+                    ("seed".to_owned(), Json::Int(sample.seed() as i64)),
+                    (
+                        "domains".to_owned(),
+                        Json::Int(sample.domain_count() as i64),
+                    ),
+                    (
+                        "selected_domains".to_owned(),
+                        Json::Int(sample.selected_domains().len() as i64),
+                    ),
+                    (
+                        "selected_accesses".to_owned(),
+                        Json::Int(sample.len() as i64),
+                    ),
+                    (
+                        "measured".to_owned(),
+                        Json::Obj(vec![
+                            ("accesses".to_owned(), Json::Int(stats.accesses() as i64)),
+                            ("hits".to_owned(), Json::Int(stats.hits() as i64)),
+                            ("misses".to_owned(), Json::Int(stats.misses() as i64)),
+                            (
+                                "writebacks".to_owned(),
+                                Json::Int(stats.writebacks() as i64),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
+        ]),
+    )]))
 }
 
 /// Computes the per-period capacity-demand histograms for `trace`,
@@ -238,6 +316,57 @@ mod tests {
             .and_then(Json::as_f64)
             .expect("mpki present");
         assert!(mpki.is_finite() && mpki >= 0.0, "mpki = {mpki}");
+    }
+
+    #[test]
+    fn sampled_run_is_reproducible_and_reports_the_scaling() {
+        let req = RunRequest::parse(
+            br#"{"benchmark": "mcf", "scheme": "lru", "sets": 64, "ways": 4,
+                 "accesses": 5000, "fidelity": "sampled", "sample_rate": 4}"#,
+        )
+        .expect("valid request");
+        let a = run_simulation(&req).expect("run a");
+        let b = run_simulation(&req).expect("run b");
+        assert_eq!(a.to_string(), b.to_string(), "sampled result must be pure");
+        let sm = a.get("sampled_metrics").expect("sampled_metrics present");
+        assert!(a.get("metrics").is_none(), "no full-hierarchy metrics");
+        let mpki = sm.get("mpki").and_then(Json::as_f64).expect("mpki");
+        assert!(mpki.is_finite() && mpki >= 0.0, "mpki = {mpki}");
+        let scale = sm
+            .get("scale_factor")
+            .and_then(Json::as_f64)
+            .expect("scale_factor");
+        assert!(scale >= 1.0, "scale = {scale}");
+        // 64 sets → 32 pair domains; 1-in-4 stride selects exactly 8.
+        let selected = sm
+            .get("sample")
+            .and_then(|s| s.get("selected_domains"))
+            .and_then(Json::as_u64)
+            .expect("selected_domains");
+        assert_eq!(selected, 8);
+    }
+
+    #[test]
+    fn rate_one_sample_measures_the_whole_trace() {
+        // A full-rate sample keeps every domain: the scale factor must be
+        // exactly 1 and the measured accesses must cover the whole
+        // post-warm-up stream (bit-level agreement with the exact bare-LLC
+        // replay is proven in the analysis crate's differentials).
+        let req = RunRequest::parse(
+            br#"{"benchmark": "mcf", "scheme": "lru", "sets": 64, "ways": 4,
+                 "accesses": 5000, "fidelity": "sampled", "sample_rate": 1}"#,
+        )
+        .expect("valid request");
+        let out = run_simulation(&req).expect("run");
+        let sm = out.get("sampled_metrics").expect("sampled_metrics");
+        assert_eq!(sm.get("scale_factor").and_then(Json::as_f64), Some(1.0));
+        let measured = sm
+            .get("sample")
+            .and_then(|s| s.get("measured"))
+            .and_then(|m| m.get("accesses"))
+            .and_then(Json::as_u64)
+            .expect("measured accesses");
+        assert_eq!(measured, 4000, "5000 accesses minus the 20% warm-up");
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct Metrics {
     cache_hits: AtomicU64,
     /// `/run` requests that missed the cache.
     cache_misses: AtomicU64,
+    /// Valid `/run` requests asking for the sampled-fidelity tier
+    /// (counted at validation time, so cache hits are included).
+    sampled_requests: AtomicU64,
     /// Requests rejected with 429 because the queue was full.
     rejected: AtomicU64,
     /// Experiment cells that panicked or overran their budget.
@@ -115,6 +118,16 @@ impl Metrics {
     /// A `/run` request missed the cache.
     pub fn cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A valid `/run` asked for the sampled-fidelity tier.
+    pub fn sampled_request(&self) {
+        self.sampled_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime sampled-fidelity `/run` requests.
+    pub fn sampled_requests(&self) -> u64 {
+        self.sampled_requests.load(Ordering::Relaxed)
     }
 
     /// A request bounced off the full queue with 429.
@@ -218,7 +231,7 @@ impl Metrics {
             self.latency_count.load(Ordering::Relaxed)
         ));
 
-        let gauges_and_counters: [(&str, &str, &str, u64); 10] = [
+        let gauges_and_counters: [(&str, &str, &str, u64); 11] = [
             (
                 "stem_serve_queue_depth",
                 "gauge",
@@ -242,6 +255,12 @@ impl Metrics {
                 "counter",
                 "Run requests that missed the result cache.",
                 self.cache_misses.load(Ordering::Relaxed),
+            ),
+            (
+                "stem_serve_sampled_requests_total",
+                "counter",
+                "Valid run requests asking for the sampled-fidelity tier.",
+                self.sampled_requests(),
             ),
             (
                 "stem_serve_rejected_total",
@@ -315,10 +334,13 @@ mod tests {
         m.sim_executed();
         m.cache_hit();
         m.rejected();
+        m.sampled_request();
+        m.sampled_request();
         let page = m.render();
         assert!(page.contains("stem_serve_requests_total{route=\"run\",status=\"200\"} 1"));
         assert!(page.contains("stem_serve_requests_total{route=\"run\",status=\"429\"} 1"));
         assert!(page.contains("stem_serve_sim_executions_total 1"));
+        assert!(page.contains("stem_serve_sampled_requests_total 2"));
         assert!(page.contains("stem_serve_cache_hits_total 1"));
         assert!(page.contains("stem_serve_rejected_total 1"));
         assert!(page.contains("stem_serve_request_seconds_count 3"));
@@ -354,6 +376,7 @@ mod tests {
         // must exist even when nothing has panicked.
         let page = Metrics::new().render();
         assert!(page.contains("stem_serve_panics_total 0"));
+        assert!(page.contains("stem_serve_sampled_requests_total 0"));
         assert!(!page.contains("chaos_faults_total{"), "no empty family");
     }
 

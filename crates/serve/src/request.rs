@@ -12,13 +12,19 @@
 //! experiment — regardless of field order or omitted defaults — share one
 //! cache entry and one byte-identical response body.
 
-use stem_analysis::Scheme;
+use stem_analysis::{scheme_supports_set_sampling, Scheme};
+use stem_bench::config::Fidelity;
 use stem_sim_core::{CacheGeometry, Json, SimError};
 use stem_workloads::{spec2010_suite, BenchmarkProfile};
 
 /// Hard ceiling on `accesses`: a service request is an interactive
 /// experiment, not a batch reproduction run.
 pub const MAX_ACCESSES: usize = 20_000_000;
+
+/// Hard ceiling on `sample_rate` (a 1-in-`rate` strided set selection;
+/// the selector clamps to the pair-domain count anyway, so anything
+/// larger is a typo, not a request).
+pub const MAX_SAMPLE_RATE: u64 = 65_536;
 
 /// Default trace length when the request does not override it.
 pub const DEFAULT_ACCESSES: usize = 200_000;
@@ -49,6 +55,18 @@ pub struct RunRequest {
     pub warmup_fraction: f64,
     /// Whether to include the §3.1 per-set capacity-demand profile.
     pub profile: bool,
+    /// Simulation fidelity tier: `exact` replays the whole trace through
+    /// the full system model; `sampled` replays a UMON-style strided set
+    /// sample through the bare LLC and scales the estimate back up.
+    pub fidelity: Fidelity,
+    /// Strided selection rate (1-in-`sample_rate` pair domains). Only
+    /// meaningful — and only accepted on the wire — when `fidelity` is
+    /// `sampled`; fixed to the default otherwise so the canonical form
+    /// stays a pure function of the experiment.
+    pub sample_rate: u32,
+    /// Selection seed (offsets the stride). Same wire rules as
+    /// [`sample_rate`](Self::sample_rate).
+    pub sample_seed: u64,
     /// Client-supplied wall-clock budget for this request, if any.
     ///
     /// **Operational metadata, not experiment identity**: the deadline is
@@ -75,11 +93,11 @@ fn field_u64(obj: &Json, key: &str) -> Result<Option<u64>, SimError> {
 }
 
 impl RunRequest {
-    /// Field names the decoder accepts: the eight canonical experiment
-    /// fields plus the operational `deadline_ms` (accepted and validated,
-    /// but excluded from the canonical form — see
-    /// [`deadline_ms`](Self::deadline_ms)).
-    pub const FIELDS: [&'static str; 9] = [
+    /// Field names the decoder accepts: the canonical experiment fields
+    /// (including the fidelity tier and its sampling knobs) plus the
+    /// operational `deadline_ms` (accepted and validated, but excluded
+    /// from the canonical form — see [`deadline_ms`](Self::deadline_ms)).
+    pub const FIELDS: [&'static str; 12] = [
         "benchmark",
         "scheme",
         "sets",
@@ -88,8 +106,19 @@ impl RunRequest {
         "accesses",
         "warmup_fraction",
         "profile",
+        "fidelity",
+        "sample_rate",
+        "sample_seed",
         "deadline_ms",
     ];
+
+    /// Default sampling rate when a `sampled` request omits it (matches
+    /// [`stem_bench::config::Config::sample_rate`]).
+    pub const DEFAULT_SAMPLE_RATE: u32 = 16;
+
+    /// Default sampling seed when a `sampled` request omits it (matches
+    /// [`stem_bench::config::Config::sample_seed`]).
+    pub const DEFAULT_SAMPLE_SEED: u64 = 0;
 
     /// Decodes and validates a request body.
     ///
@@ -183,6 +212,68 @@ impl RunRequest {
                 .ok_or_else(|| invalid("field \"profile\" must be a boolean"))?,
         };
 
+        let fidelity = match json.get("fidelity") {
+            None => Fidelity::Exact,
+            Some(v) => v
+                .as_str()
+                .and_then(|s| s.parse::<Fidelity>().ok())
+                .ok_or_else(|| invalid("field \"fidelity\" must be \"exact\" or \"sampled\""))?,
+        };
+        let sample_rate = field_u64(json, "sample_rate")?;
+        let sample_seed = field_u64(json, "sample_seed")?;
+        if fidelity == Fidelity::Exact && (sample_rate.is_some() || sample_seed.is_some()) {
+            return Err(invalid(
+                "fields \"sample_rate\"/\"sample_seed\" require \"fidelity\": \"sampled\"",
+            ));
+        }
+        if fidelity == Fidelity::Sampled {
+            // Sampling replays the bare LLC over a strided subset of
+            // sets; the §3.1 profile ranks *every* set's demand, so the
+            // two are incompatible by construction.
+            if profile {
+                return Err(invalid(
+                    "field \"profile\" requires \"fidelity\": \"exact\" \
+                     (the capacity profile ranks every set; a sampled replay drops most of them)",
+                ));
+            }
+            let geom = CacheGeometry::new(sets, ways, line_bytes)?;
+            if !scheme_supports_set_sampling(scheme, geom) {
+                let eligible: Vec<&str> = Scheme::ALL
+                    .iter()
+                    .filter(|&&s| scheme_supports_set_sampling(s, geom))
+                    .map(|s| s.label())
+                    .collect();
+                return Err(invalid(format!(
+                    "scheme {:?} holds cross-set state and does not support sampled \
+                     fidelity (eligible schemes: {})",
+                    scheme.label(),
+                    eligible.join(", ")
+                )));
+            }
+        }
+        let sample_rate = match sample_rate {
+            None => Self::DEFAULT_SAMPLE_RATE,
+            Some(r) => {
+                if r == 0 || r > MAX_SAMPLE_RATE {
+                    return Err(invalid(format!(
+                        "field \"sample_rate\" must be in 1..={MAX_SAMPLE_RATE}, got {r}"
+                    )));
+                }
+                r as u32
+            }
+        };
+        let sample_seed = match sample_seed {
+            None => Self::DEFAULT_SAMPLE_SEED,
+            Some(s) => {
+                if s > i64::MAX as u64 {
+                    return Err(invalid(format!(
+                        "field \"sample_seed\" must fit in a signed 64-bit JSON integer, got {s}"
+                    )));
+                }
+                s
+            }
+        };
+
         let deadline_ms = field_u64(json, "deadline_ms")?;
         if let Some(d) = deadline_ms {
             if d == 0 || d > MAX_DEADLINE_MS {
@@ -201,6 +292,9 @@ impl RunRequest {
             accesses,
             warmup_fraction,
             profile,
+            fidelity,
+            sample_rate,
+            sample_seed,
             deadline_ms,
         })
     }
@@ -216,12 +310,15 @@ impl RunRequest {
             .expect("request geometry was validated at parse time")
     }
 
-    /// The canonical JSON form: the eight experiment fields, fixed
-    /// order, defaults explicit. Hashing and response echoes both use
-    /// this. `deadline_ms` is intentionally absent — see
+    /// The canonical JSON form: the experiment fields in a fixed order,
+    /// defaults explicit. Hashing and response echoes both use this.
+    /// `fidelity` is always present, and the sampling knobs appear
+    /// exactly when it is `sampled` — a sampled request and its exact
+    /// twin can therefore never share a canonical form, a key, or a
+    /// cached body. `deadline_ms` is intentionally absent — see
     /// [`deadline_ms`](Self::deadline_ms).
     pub fn canonical(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("benchmark".into(), Json::str(self.benchmark.clone())),
             ("scheme".into(), Json::str(self.scheme.label())),
             ("sets".into(), Json::Int(self.sets as i64)),
@@ -233,7 +330,13 @@ impl RunRequest {
                 Json::float_rounded(self.warmup_fraction, 6),
             ),
             ("profile".into(), Json::Bool(self.profile)),
-        ])
+            ("fidelity".into(), Json::str(self.fidelity.to_string())),
+        ];
+        if self.fidelity == Fidelity::Sampled {
+            fields.push(("sample_rate".into(), Json::Int(i64::from(self.sample_rate))));
+            fields.push(("sample_seed".into(), Json::Int(self.sample_seed as i64)));
+        }
+        Json::Obj(fields)
     }
 
     /// The cache key: FNV-1a 64 over the canonical serialization.
@@ -272,6 +375,68 @@ mod tests {
         assert_eq!(req.accesses, DEFAULT_ACCESSES);
         assert!((req.warmup_fraction - DEFAULT_WARMUP).abs() < 1e-12);
         assert!(!req.profile);
+        assert_eq!(req.fidelity, Fidelity::Exact);
+        assert_eq!(req.sample_rate, RunRequest::DEFAULT_SAMPLE_RATE);
+        assert_eq!(req.sample_seed, RunRequest::DEFAULT_SAMPLE_SEED);
+    }
+
+    #[test]
+    fn fidelity_always_splits_the_cache_key() {
+        // The tentpole invariant: a sampled request and its exact twin
+        // must never alias — not in the canonical form (which the cache
+        // compares byte-for-byte on lookup, so even an FNV collision
+        // degrades to a miss) and not in the key.
+        let exact = RunRequest::parse(br#"{"benchmark": "mcf", "scheme": "lru"}"#).expect("valid");
+        let sampled =
+            RunRequest::parse(br#"{"benchmark": "mcf", "scheme": "lru", "fidelity": "sampled"}"#)
+                .expect("valid");
+        assert_ne!(exact.cache_key(), sampled.cache_key());
+        assert_ne!(
+            exact.canonical().to_string(),
+            sampled.canonical().to_string()
+        );
+        assert!(exact.canonical().to_string().contains("\"exact\""));
+        assert!(sampled.canonical().to_string().contains("\"sampled\""));
+
+        // Different rates and seeds are different experiments too.
+        let rate8 = RunRequest::parse(
+            br#"{"benchmark": "mcf", "scheme": "lru", "fidelity": "sampled", "sample_rate": 8}"#,
+        )
+        .expect("valid");
+        let seed7 = RunRequest::parse(
+            br#"{"benchmark": "mcf", "scheme": "lru", "fidelity": "sampled", "sample_seed": 7}"#,
+        )
+        .expect("valid");
+        let keys = [
+            exact.cache_key(),
+            sampled.cache_key(),
+            rate8.cache_key(),
+            seed7.cache_key(),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b, "fidelity variants must not share cache keys");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_defaults_are_explicit_in_the_canonical_form() {
+        let implicit =
+            RunRequest::parse(br#"{"benchmark": "mcf", "scheme": "lru", "fidelity": "sampled"}"#)
+                .expect("valid");
+        let explicit = RunRequest::parse(
+            br#"{"benchmark": "mcf", "scheme": "lru", "fidelity": "sampled",
+                 "sample_rate": 16, "sample_seed": 0}"#,
+        )
+        .expect("valid");
+        assert_eq!(implicit.cache_key(), explicit.cache_key());
+        assert!(implicit.canonical().to_string().contains("sample_rate"));
+        // Exact requests carry the fidelity marker but no sampling knobs.
+        let exact = RunRequest::parse(minimal().as_bytes()).expect("valid");
+        let canon = exact.canonical().to_string();
+        assert!(canon.contains("\"fidelity\""));
+        assert!(!canon.contains("sample_rate") && !canon.contains("sample_seed"));
     }
 
     #[test]
@@ -333,6 +498,34 @@ mod tests {
             (
                 r#"{"benchmark": "mcf", "scheme": "lru", "deadline_ms": 999999999999}"#,
                 "deadline_ms",
+            ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "lru", "fidelity": "fuzzy"}"#,
+                "fidelity",
+            ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "lru", "sample_rate": 8}"#,
+                "require \"fidelity\": \"sampled\"",
+            ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "lru", "sample_seed": 3}"#,
+                "require \"fidelity\": \"sampled\"",
+            ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "lru", "fidelity": "sampled", "sample_rate": 0}"#,
+                "sample_rate",
+            ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "lru", "fidelity": "sampled", "profile": true}"#,
+                "profile",
+            ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "stem", "fidelity": "sampled"}"#,
+                "eligible schemes",
+            ),
+            (
+                r#"{"benchmark": "mcf", "scheme": "vway", "fidelity": "sampled"}"#,
+                "cross-set state",
             ),
             (r#"[1, 2]"#, "object"),
         ];

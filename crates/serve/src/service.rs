@@ -493,6 +493,9 @@ fn handle_run(body: &[u8], shared: &Arc<Shared>) -> Routed {
         Ok(r) => r,
         Err(e) => return Routed::json("run", 400, error_body(&e.to_string())),
     };
+    if request.fidelity == stem_bench::config::Fidelity::Sampled {
+        shared.metrics.sampled_request();
+    }
     let canonical = request.canonical().to_string();
     let key = request.cache_key();
 

@@ -102,6 +102,80 @@ fn repeated_request_is_served_from_the_cache_without_rerunning() {
     handle.join();
 }
 
+/// The sampled-fidelity twin of [`SMALL_RUN`] (same experiment, sampled
+/// tier).
+const SMALL_RUN_SAMPLED: &[u8] = br#"{"benchmark": "mcf", "scheme": "lru", "sets": 64, "ways": 4,
+     "accesses": 5000, "fidelity": "sampled", "sample_rate": 4}"#;
+
+#[test]
+fn sampled_and_exact_requests_never_share_a_cache_entry() {
+    // The tentpole's cache-canonicalization invariant, end to end: two
+    // requests differing only in fidelity must hash to distinct keys,
+    // run as distinct experiments, and never serve each other's bytes —
+    // while each remains a byte-stable cache hit for its own repeats.
+    let (listener, connector) = duplex_transport();
+    let handle = service::start(Box::new(listener), small_config());
+
+    let exact = exchange(&connector, "POST", "/run", SMALL_RUN);
+    let sampled = exchange(&connector, "POST", "/run", SMALL_RUN_SAMPLED);
+    assert_eq!(exact.status, 200, "{}", exact.body_text());
+    assert_eq!(sampled.status, 200, "{}", sampled.body_text());
+    assert_ne!(
+        exact.body, sampled.body,
+        "fidelity tiers must not alias in the cache"
+    );
+    assert!(exact.body_text().contains("\"metrics\""));
+    assert!(sampled.body_text().contains("\"sampled_metrics\""));
+    assert!(
+        sampled.body_text().contains("\"scale_factor\""),
+        "{}",
+        sampled.body_text()
+    );
+
+    // Repeats are pure cache hits with byte-identical bodies per tier.
+    let exact2 = exchange(&connector, "POST", "/run", SMALL_RUN);
+    let sampled2 = exchange(&connector, "POST", "/run", SMALL_RUN_SAMPLED);
+    assert_eq!(exact.body, exact2.body);
+    assert_eq!(sampled.body, sampled2.body);
+
+    let page = exchange(&connector, "GET", "/metrics", b"").body_text();
+    assert_eq!(
+        metric(&page, "stem_serve_sim_executions_total"),
+        2,
+        "one execution per fidelity tier:\n{page}"
+    );
+    assert_eq!(metric(&page, "stem_serve_cache_hits_total"), 2);
+    assert_eq!(metric(&page, "stem_serve_cache_misses_total"), 2);
+    assert_eq!(
+        metric(&page, "stem_serve_sampled_requests_total"),
+        2,
+        "both sampled requests (miss and hit) must be counted:\n{page}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn sampled_requests_for_global_state_schemes_are_rejected() {
+    let (listener, connector) = duplex_transport();
+    let handle = service::start(Box::new(listener), small_config());
+    let body = br#"{"benchmark": "mcf", "scheme": "stem", "fidelity": "sampled"}"#;
+    let resp = exchange(&connector, "POST", "/run", body);
+    assert_eq!(resp.status, 400, "{}", resp.body_text());
+    assert!(
+        resp.body_text().contains("eligible schemes"),
+        "{}",
+        resp.body_text()
+    );
+    // A rejected request never reaches the executor or the sampled
+    // counter (which counts *valid* sampled requests).
+    assert_eq!(handle.metrics().sim_executions(), 0);
+    assert_eq!(handle.metrics().sampled_requests(), 0);
+    handle.shutdown();
+    handle.join();
+}
+
 /// An injectable executor that signals when a cell starts and then blocks
 /// until released, making queue-saturation timing deterministic.
 fn blocking_executor() -> (Executor, mpsc::Receiver<()>, mpsc::Sender<()>) {

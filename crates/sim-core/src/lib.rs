@@ -55,6 +55,7 @@ pub mod json;
 mod model;
 pub mod prop;
 mod rng;
+mod sample;
 mod shard;
 mod stats;
 mod timing;
@@ -71,6 +72,7 @@ pub use geometry::CacheGeometry;
 pub use json::{Json, JsonError};
 pub use model::{replay_decoded_via_access, AccessResult, CacheModel};
 pub use rng::SplitMix64;
+pub use sample::SampledTrace;
 pub use shard::{ShardedTrace, TraceShard};
 pub use stats::CacheStats;
 pub use timing::{AccessLatency, TimingParams};

@@ -205,6 +205,38 @@ pub trait CacheModel {
     fn supports_set_sharding(&self) -> bool {
         false
     }
+
+    /// Whether sampled (strided-subset) replay of this cache is a valid
+    /// estimator of its serial behaviour.
+    ///
+    /// # Contract
+    ///
+    /// Returning `true` asserts: replaying only the accesses of a
+    /// pair-preserving subset of the set space (see
+    /// [`SampledTrace`](crate::SampledTrace)) against a fresh instance of
+    /// this cache reproduces, for every *selected* set, exactly the
+    /// per-access outcomes of the serial full-trace replay — or, for a
+    /// scheme that opts in with global state (DIP), a documented
+    /// approximation whose error is measured and bounded in the bench
+    /// artifacts. Scaling the measured counts by
+    /// [`SampledTrace::scale_factor`](crate::SampledTrace::scale_factor)
+    /// then estimates the full-cache counts, with error coming only from
+    /// the extrapolation (per-set behaviour is not distorted).
+    ///
+    /// The default inherits [`supports_set_sharding`]: every piece of
+    /// state being set-local (or pair-local) is exactly the property that
+    /// makes dropped sets invisible to the kept ones, so the sharding
+    /// boundary is also the zero-distortion sampling boundary. Schemes
+    /// whose global state observes all sets (PeLIFO's election, V-Way's
+    /// shared tag/data store, STEM's shadow machinery, a global RNG) must
+    /// not opt in without their own documented story; DIP opts in
+    /// explicitly because set dueling *is* a sampling estimator (see its
+    /// policy override).
+    ///
+    /// [`supports_set_sharding`]: CacheModel::supports_set_sharding
+    fn supports_set_sampling(&self) -> bool {
+        self.supports_set_sharding()
+    }
 }
 
 /// The documented incompatible-geometry fallback for

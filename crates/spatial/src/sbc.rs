@@ -390,6 +390,15 @@ impl CacheModel for SbcCache {
     fn supports_set_sharding(&self) -> bool {
         false
     }
+
+    /// NOT sampling-safe: the DSS candidate search ranges over *all*
+    /// decoupled sets when picking an association partner, so removing
+    /// sets changes which pairings exist at all — a sampled SBC couples
+    /// different sets than the full cache, not the same sets in a
+    /// different order. Explicit refusal.
+    fn supports_set_sampling(&self) -> bool {
+        false
+    }
 }
 
 impl InvariantAuditor for SbcCache {

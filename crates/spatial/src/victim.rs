@@ -210,6 +210,14 @@ impl CacheModel for VictimCache {
     fn supports_set_sharding(&self) -> bool {
         false
     }
+
+    /// NOT sampling-safe: dropped sets stop contributing evictions to the
+    /// shared FA victim buffer, so the kept sets see less buffer pressure
+    /// than they would serially and their victim-hit rate is inflated.
+    /// Explicit refusal.
+    fn supports_set_sampling(&self) -> bool {
+        false
+    }
 }
 
 impl InvariantAuditor for VictimCache {

@@ -491,6 +491,16 @@ impl CacheModel for VWayCache {
     fn supports_set_sharding(&self) -> bool {
         false
     }
+
+    /// NOT sampling-safe either, and for a stronger reason than ordering:
+    /// decoupled tag/data means dropped sets free up *data frames* the
+    /// kept sets would have competed for, so a sampled replay simulates a
+    /// cache with the full data store but a fraction of the demand —
+    /// systematically underestimating misses, not just reordering them.
+    /// Explicit refusal; the exact path is the only valid one.
+    fn supports_set_sampling(&self) -> bool {
+        false
+    }
 }
 
 impl InvariantAuditor for VWayCache {

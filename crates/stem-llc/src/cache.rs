@@ -495,6 +495,18 @@ impl CacheModel for StemCache {
     fn supports_set_sharding(&self) -> bool {
         false
     }
+
+    /// NOT sampling-safe: the shadow-directory monitor ranks *every* set's
+    /// capacity demand to elect donor/receiver couplings, so a sampled
+    /// population elects different couplings (a set's donor may simply not
+    /// be in the sample), and the set-dueling miss aggregation shifts with
+    /// the surviving leader subset. Unlike DIP — whose only global state is
+    /// the duel itself — STEM's couplings *move capacity between sets*, so
+    /// the distortion is structural, not just a mistrained knob. Explicit
+    /// refusal; a sampled STEM story would need its own validated monitor.
+    fn supports_set_sampling(&self) -> bool {
+        false
+    }
 }
 
 impl InvariantAuditor for StemCache {

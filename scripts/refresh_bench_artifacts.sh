@@ -5,7 +5,10 @@
 #   BENCH_throughput.json  — scheme replay throughput (accesses/second)
 #   BENCH_run_all.json     — run_all wall clock, stage breakdown, and the
 #                            serial-vs-sharded replay speedup (STEM_SHARDS=4)
-#   BENCH_serve.json       — serve request latency against a live server
+#   BENCH_serve.json       — serve request latency against a live server,
+#                            sampled tier vs exact tier side by side
+#   BENCH_sampling.json    — sampled-fidelity MPKI relative error and
+#                            speedup per (benchmark, scheme, rate)
 #
 # Also byte-checks the full-scale run_all stdout against the archived
 # run_all_output.txt: the numbers in the committed artifacts must come
@@ -25,6 +28,9 @@ cargo build --release --workspace --bins --benches
 
 echo "==> throughput bench (full scale)"
 STEM_CSV_DIR="$OUT" cargo bench -q -p stem-bench --bench scheme_throughput
+
+echo "==> sampling bench (full scale: error + speedup per benchmark x scheme x rate)"
+STEM_CSV_DIR="$OUT" cargo bench -q -p stem-bench --bench sampling_bench
 
 echo "==> run_all (archive scale, STEM_SHARDS=4 for the speedup record)"
 # STEM_SWEEP_ACCESSES=800000 matches the archived run_all_output.txt
@@ -50,14 +56,16 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 ADDR="$(cat "$ADDR_FILE")"
-REQ='{"benchmark": "mcf", "scheme": "lru", "sets": 64, "ways": 4, "accesses": 5000}'
+# A sampled body makes serve_client bench the exact twin too, so the
+# committed BENCH_serve.json carries both tiers side by side.
+REQ='{"benchmark": "mcf", "scheme": "lru", "sets": 64, "ways": 4, "accesses": 5000, "fidelity": "sampled", "sample_rate": 4}'
 STEM_CSV_DIR="$OUT" target/release/serve_client "$ADDR" BENCH /run "$REQ" 200
 target/release/serve_client "$ADDR" POST /shutdown >/dev/null
 wait "$SERVE_PID"
 
-for f in BENCH_throughput.json BENCH_run_all.json BENCH_serve.json; do
+for f in BENCH_throughput.json BENCH_run_all.json BENCH_serve.json BENCH_sampling.json; do
     [ -s "$OUT/$f" ] || { echo "ERROR: $OUT/$f was not produced" >&2; exit 1; }
     cp "$OUT/$f" "$f"
     echo "    refreshed $f"
 done
-echo "==> artifacts refreshed; review and commit the three BENCH_*.json files"
+echo "==> artifacts refreshed; review and commit the four BENCH_*.json files"

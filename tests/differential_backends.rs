@@ -1736,9 +1736,10 @@ fn replay_decoded_falls_back_on_incompatible_geometry() {
 // SplitMix64 synthetic streams the backend differentials use.
 
 use stem::analysis::{
-    build_cache, run_scheme_warmed_decoded, scheme_supports_set_sharding, Scheme,
+    build_cache, run_scheme_warmed_decoded, run_scheme_warmed_sampled,
+    scheme_supports_set_sampling, scheme_supports_set_sharding, Scheme,
 };
-use stem::sim_core::ShardedTrace;
+use stem::sim_core::{SampledTrace, ShardedTrace};
 
 /// Synthesizes and decodes one differential trace.
 fn synth_decoded(geom: CacheGeometry, seed: u64, accesses: usize) -> DecodedTrace {
@@ -1847,6 +1848,101 @@ fn write_flags_survive_compaction_across_word_boundaries() {
             merged.writebacks() > 0,
             "dirty path must fire for the differential to mean anything"
         );
+    }
+}
+
+#[test]
+fn sampled_selection_is_a_pure_function_of_seed_sets_and_rate() {
+    // The sampled tier's determinism contract: which pair domains get
+    // selected depends on (seed, sets, rate) and on nothing else — not
+    // the trace contents, not the access count, and (structurally) not
+    // STEM_THREADS/STEM_SHARDS, which the selector never reads. Two
+    // different traces over the same geometry must therefore agree on
+    // the selected domains exactly, and repeated selection must agree on
+    // every compacted byte.
+    let geom = paper_geom();
+    let trace_a = synth_decoded(geom, 0x5A3D_0001, 20_000);
+    let trace_b = synth_decoded(geom, 0x5A3D_0002, 7_000);
+    for rate in [1u32, 8, 16, 32] {
+        for seed in [0u64, 1, 0xFEED] {
+            let sa = SampledTrace::select(&trace_a, rate, seed);
+            let sb = SampledTrace::select(&trace_b, rate, seed);
+            assert_eq!(
+                sa.selected_domains(),
+                sb.selected_domains(),
+                "domain choice leaked trace contents at rate {rate} seed {seed}"
+            );
+            let sa2 = SampledTrace::select(&trace_a, rate, seed);
+            assert_eq!(sa.orig_indices(), sa2.orig_indices());
+            assert_eq!(sa.selected_domains(), sa2.selected_domains());
+            // SBC-static pairing: a selected domain keeps both partners
+            // s and s + sets/2 in the sample.
+            let half = geom.sets() / 2;
+            let sets: std::collections::BTreeSet<usize> = sa.selected_sets().collect();
+            for &d in sa.selected_domains() {
+                assert!(sets.contains(&d) && sets.contains(&(d + half)));
+            }
+        }
+    }
+    // Different seeds must be able to pick different strided offsets
+    // (otherwise the seed is dead weight).
+    let offsets: std::collections::BTreeSet<usize> = (0..8)
+        .map(|seed| SampledTrace::select(&trace_a, 16, seed).selected_domains()[0])
+        .collect();
+    assert!(offsets.len() > 1, "seed never moved the stride offset");
+}
+
+#[test]
+fn full_rate_sample_replays_exactly_for_every_sampling_scheme() {
+    // The sampled differential: at rate 1 the sample keeps every domain
+    // and the scale factor is exactly 1.0, so the sampled runner must
+    // reproduce the exact decoded runner bit for bit — for every scheme
+    // that opts into sampling, over a shared randomized trace.
+    let geom = paper_geom();
+    let decoded = synth_decoded(geom, 0x5A3D_0003, diff_accesses() / 10);
+    let sample = SampledTrace::select(&decoded, 1, 0xFACE);
+    assert_eq!(sample.scale_factor().to_bits(), 1.0f64.to_bits());
+    let mut covered = 0;
+    for scheme in Scheme::ALL {
+        if !scheme_supports_set_sampling(scheme, geom) {
+            continue;
+        }
+        covered += 1;
+        let exact = run_scheme_warmed_decoded(scheme, geom, &decoded, 0.2);
+        let sampled = run_scheme_warmed_sampled(scheme, geom, &decoded, &sample, 0.2);
+        assert_eq!(
+            exact.to_bits(),
+            sampled.to_bits(),
+            "{scheme}: full-rate sample diverged from exact replay"
+        );
+    }
+    assert!(covered >= 5, "sampling surface shrank to {covered} schemes");
+}
+
+#[test]
+fn sampling_capability_is_a_subset_of_sharding_plus_dip() {
+    // Sampling leans on the same per-set state isolation that sharding
+    // proves; the only scheme allowed to opt in beyond that boundary is
+    // DIP, whose set dueling is itself a sampling estimator (measured,
+    // not bit-exact — see DESIGN.md §14). Any other divergence between
+    // the two capability surfaces is a bug in a scheme's declaration.
+    let geom = paper_geom();
+    for scheme in Scheme::ALL {
+        let shards = scheme_supports_set_sharding(scheme, geom);
+        let samples = scheme_supports_set_sampling(scheme, geom);
+        if samples && !shards {
+            assert_eq!(
+                scheme,
+                Scheme::Dip,
+                "{scheme}: opted into sampling without sharding support"
+            );
+        }
+        if shards {
+            assert!(
+                samples,
+                "{scheme}: shardable per-set state must also be sampleable"
+            );
+        }
     }
 }
 

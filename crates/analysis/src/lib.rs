@@ -37,10 +37,11 @@ pub use mrc::MissRateCurve;
 pub use report::{geomean, Table};
 pub use scheme::{
     assoc_point, assoc_point_decoded, assoc_point_sharded, assoc_sweep, assoc_sweep_decoded,
-    build_audited_cache, build_cache, replay_sample_warmed, replay_shard_warmed, run_scheme,
-    run_scheme_warmed, run_scheme_warmed_decoded, run_scheme_warmed_sampled,
-    run_scheme_warmed_sharded, run_system, run_system_decoded, sampled_mpki,
-    scheme_supports_set_sampling, scheme_supports_set_sharding, sharded_mpki, warm_split, Scheme,
+    build_audited_cache, build_cache, replay_sample_warmed, replay_shard_warmed, replay_warmed,
+    run_scheme, run_scheme_from_snapshot, run_scheme_warmed, run_scheme_warmed_decoded,
+    run_scheme_warmed_sampled, run_scheme_warmed_sharded, run_system, run_system_decoded,
+    sampled_mpki, scheme_supports_set_sampling, scheme_supports_set_sharding,
+    scheme_supports_snapshot, sharded_mpki, warm_scheme_snapshot, warm_split, Scheme,
 };
 pub use stack_distance::StackDistance;
 

@@ -8,7 +8,7 @@ use stem_llc::{StemCache, StemConfig};
 use stem_replacement::{Bip, Dip, Drrip, Lru, Nru, PeLifo, Plru, SetAssocCache, Srrip};
 use stem_sim_core::{
     AuditedCacheModel, CacheGeometry, CacheModel, CacheStats, DecodedTrace, SampledTrace,
-    ShardedTrace, Trace, TraceShard,
+    ShardedTrace, Snapshot, SnapshotError, Trace, TraceShard,
 };
 use stem_spatial::{SbcCache, StaticSbcCache, VWayCache, VictimCache};
 
@@ -176,6 +176,26 @@ pub fn warm_split(len: usize, warmup_fraction: f64) -> usize {
     ((len as f64) * warmup_fraction.clamp(0.0, 0.9)) as usize
 }
 
+/// The warm/reset/measure protocol every warmed replay follows: the first
+/// `warm_len` accesses replay unmeasured, the counters reset at the
+/// boundary, and the remainder replays measured. Returns the measured
+/// [`CacheStats`].
+///
+/// This is the single definition of the warm boundary's *mechanics* — the
+/// serial, sharded, and sampled runners all funnel through it (each after
+/// translating the global boundary onto its own stream), so the protocol
+/// cannot drift between paths.
+pub fn replay_warmed(
+    cache: &mut dyn CacheModel,
+    trace: &DecodedTrace,
+    warm_len: usize,
+) -> CacheStats {
+    cache.replay_decoded(trace, 0..warm_len);
+    cache.reset_stats();
+    cache.replay_decoded(trace, warm_len..trace.len());
+    *cache.stats()
+}
+
 /// Whether `scheme` (as built for `geom`) opts into set-sharded replay —
 /// the scheme-level view of
 /// [`CacheModel::supports_set_sharding`](stem_sim_core::CacheModel::supports_set_sharding).
@@ -209,10 +229,7 @@ pub fn replay_shard_warmed(
         "{scheme} declined set sharding; route it through the serial path"
     );
     let local_warm = shard.split_before(warm_before);
-    cache.replay_decoded(shard.trace(), 0..local_warm);
-    cache.reset_stats();
-    cache.replay_decoded(shard.trace(), local_warm..shard.len());
-    *cache.stats()
+    replay_warmed(cache.as_mut(), shard.trace(), local_warm)
 }
 
 /// MPKI of merged shard stats: the instruction denominator comes from the
@@ -301,10 +318,7 @@ pub fn replay_sample_warmed(
         "{scheme} declined set sampling; route it through the exact path"
     );
     let local_warm = sample.split_before(warm_before);
-    cache.replay_decoded(sample.trace(), 0..local_warm);
-    cache.reset_stats();
-    cache.replay_decoded(sample.trace(), local_warm..sample.len());
-    *cache.stats()
+    replay_warmed(cache.as_mut(), sample.trace(), local_warm)
 }
 
 /// Scales a sampled measurement up to a whole-cache MPKI estimate: the
@@ -342,6 +356,66 @@ pub fn run_scheme_warmed_sampled(
     let warm_len = warm_split(source.len(), warmup_fraction);
     let stats = replay_sample_warmed(scheme, geom, sample, warm_len);
     sampled_mpki(&stats, sample, source, warm_len)
+}
+
+/// Whether `scheme` (as built for `geom`) opts into checkpoint/restore —
+/// the scheme-level view of
+/// [`CacheModel::supports_snapshot`](stem_sim_core::CacheModel::supports_snapshot).
+/// The surface is every scheme whose complete replay state is a cheap,
+/// exact clone: the eleven `SetAssocCache` policies plus SBC-static and
+/// the victim cache. V-Way (global decoupled tag/data store), dynamic SBC
+/// (association/DSS machinery), and STEM (shadow sets, SCDM counters,
+/// coupling heap mid-epoch) decline and always run cold.
+pub fn scheme_supports_snapshot(scheme: Scheme, geom: CacheGeometry) -> bool {
+    build_cache(scheme, geom).supports_snapshot()
+}
+
+/// Warms a fresh cache of `scheme` on the first `warm_len` accesses of
+/// `trace`, zeroes its counters at the boundary, and checkpoints — the
+/// warm-once half of warm-prefix reuse. Returns `None` when the scheme
+/// declines the capability ([`scheme_supports_snapshot`]), in which case
+/// callers run each consumer cold, exactly as before snapshots existed.
+///
+/// The snapshot captures post-reset state, so a restored cache measures
+/// from zeroed counters just like the cold run does after its own warm-up.
+pub fn warm_scheme_snapshot(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    trace: &DecodedTrace,
+    warm_len: usize,
+) -> Option<Snapshot> {
+    let mut cache = build_cache(scheme, geom);
+    if !cache.supports_snapshot() {
+        return None;
+    }
+    cache.replay_decoded(trace, 0..warm_len);
+    cache.reset_stats();
+    cache.snapshot()
+}
+
+/// The restore half of warm-prefix reuse: builds a fresh cache of
+/// `scheme`, restores the warm checkpoint into it, measures the suffix
+/// from `warm_len`, and returns the MPKI. Bit-identical to
+/// [`run_scheme_warmed_decoded`] at the same boundary — the tentpole
+/// invariant, enforced by the differential suite and the
+/// `STEM_SNAPSHOTS={0,1}` determinism gate.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`] the restore reports (capability refusal, or a
+/// snapshot from a different scheme/geometry).
+pub fn run_scheme_from_snapshot(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    trace: &DecodedTrace,
+    snapshot: &Snapshot,
+    warm_len: usize,
+) -> Result<f64, SnapshotError> {
+    let mut cache = build_cache(scheme, geom);
+    cache.restore(snapshot)?;
+    cache.replay_decoded(trace, warm_len..trace.len());
+    let instructions = trace.instructions_in(warm_len..trace.len());
+    Ok(cache.stats().mpki(instructions.max(1)))
 }
 
 /// Runs a trace directly against a bare LLC (no L1 filtering) and returns
@@ -387,11 +461,9 @@ pub fn run_scheme_warmed_decoded(
 ) -> f64 {
     let mut cache = build_cache(scheme, geom);
     let warm_len = warm_split(trace.len(), warmup_fraction);
-    cache.replay_decoded(trace, 0..warm_len);
-    cache.reset_stats();
-    cache.replay_decoded(trace, warm_len..trace.len());
+    let stats = replay_warmed(cache.as_mut(), trace, warm_len);
     let instructions = trace.instructions_in(warm_len..trace.len());
-    cache.stats().mpki(instructions.max(1))
+    stats.mpki(instructions.max(1))
 }
 
 /// Runs a trace through the full system (core + L1 + LLC) with a warm-up
@@ -727,6 +799,73 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn snapshot_capability_surface_is_all_but_the_entangled_schemes() {
+        let geom = small();
+        for scheme in Scheme::ALL {
+            let expected = !matches!(scheme, Scheme::VWay | Scheme::Sbc | Scheme::Stem);
+            assert_eq!(
+                scheme_supports_snapshot(scheme, geom),
+                expected,
+                "{scheme}: snapshot capability drifted from the documented boundary \
+                 (DESIGN.md §15) — if intentional, update the table and this test"
+            );
+        }
+    }
+
+    #[test]
+    fn restored_runner_matches_cold_for_snapshottable_schemes() {
+        let geom = small();
+        let trace = BenchmarkProfile::by_name("omnetpp")
+            .unwrap()
+            .trace(geom, 20_000);
+        let decoded = DecodedTrace::decode(&trace, geom);
+        let warm_len = warm_split(decoded.len(), 0.2);
+        for scheme in Scheme::ALL {
+            let snap = warm_scheme_snapshot(scheme, geom, &decoded, warm_len);
+            if !scheme_supports_snapshot(scheme, geom) {
+                assert!(snap.is_none(), "{scheme} refused yet produced a snapshot");
+                continue;
+            }
+            let snap = snap.unwrap_or_else(|| panic!("{scheme} opted in but returned None"));
+            let cold = run_scheme_warmed_decoded(scheme, geom, &decoded, 0.2);
+            let restored = run_scheme_from_snapshot(scheme, geom, &decoded, &snap, warm_len)
+                .unwrap_or_else(|e| panic!("{scheme} restore failed: {e}"));
+            assert_eq!(
+                cold.to_bits(),
+                restored.to_bits(),
+                "{scheme} restored MPKI diverged from cold"
+            );
+            // The snapshot is reusable: a second restore must agree too.
+            let again = run_scheme_from_snapshot(scheme, geom, &decoded, &snap, warm_len).unwrap();
+            assert_eq!(
+                restored.to_bits(),
+                again.to_bits(),
+                "{scheme} reuse drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_the_wrong_target() {
+        let geom = small();
+        let trace = BenchmarkProfile::by_name("gromacs")
+            .unwrap()
+            .trace(geom, 5_000);
+        let decoded = DecodedTrace::decode(&trace, geom);
+        let warm_len = warm_split(decoded.len(), 0.2);
+        let snap = warm_scheme_snapshot(Scheme::Lru, geom, &decoded, warm_len).unwrap();
+        assert!(matches!(
+            run_scheme_from_snapshot(Scheme::Dip, geom, &decoded, &snap, warm_len),
+            Err(stem_sim_core::SnapshotError::SchemeMismatch { .. })
+        ));
+        let other = CacheGeometry::new(64, 8, 64).unwrap();
+        assert!(matches!(
+            run_scheme_from_snapshot(Scheme::Lru, other, &decoded, &snap, warm_len),
+            Err(stem_sim_core::SnapshotError::GeometryMismatch { .. })
+        ));
     }
 
     #[test]

@@ -26,19 +26,22 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use stem_analysis::{
-    geomean, run_scheme_warmed_decoded, run_scheme_warmed_sampled, scheme_supports_set_sampling,
-    scheme_supports_set_sharding, CapacityDemandProfiler, Scheme, Table,
+    geomean, run_scheme_from_snapshot, run_scheme_warmed_decoded, run_scheme_warmed_sampled,
+    scheme_supports_set_sampling, scheme_supports_set_sharding, scheme_supports_snapshot,
+    warm_scheme_snapshot, warm_split, CapacityDemandProfiler, Scheme, Table,
 };
 use stem_bench::config::{Config, Fidelity};
 use stem_bench::harness::{
-    normalized_table, prepare_trace, run_benchmark_matrix_isolated, sensitivity_benchmarks,
-    sweep_ways, PrepTimings, WARMUP_FRACTION,
+    capacity_sweep_sets, normalized_table, prepare_trace, prepare_trace_retaining_raw,
+    run_benchmark_matrix_isolated, sensitivity_benchmarks, sweep_ways, PrepTimings,
+    WARMUP_FRACTION,
 };
 use stem_bench::resilience::{ExperimentOutcome, ExperimentRunner};
-use stem_bench::shard::{assoc_point_auto, sharded_warmed_mpki};
+use stem_bench::shard::{assoc_point_auto, replay_warmed_auto, sharded_warmed_mpki};
+use stem_bench::snapshot::{replay_from_snapshot_or_cold, snapshot_path_applies};
 use stem_llc::{overhead, StemConfig};
 use stem_sim_core::SampledTrace;
-use stem_sim_core::{CacheGeometry, DecodedTrace, Json, ShardedTrace};
+use stem_sim_core::{CacheGeometry, DecodedTrace, Json, ShardedTrace, Snapshot, Trace};
 
 /// Writes `table` to `<dir>/<name>.csv` when an artifact directory is
 /// configured.
@@ -281,6 +284,94 @@ fn measure_sampled_fidelity(
     }
 }
 
+/// One scheme's cold-vs-restored timing from the snapshot-reuse
+/// measurement stage: the full warm-then-measure replay, the warm-once
+/// capture (warm prefix + checkpoint), and the restore-then-measure
+/// consumer, best-of-N each with the MPKIs asserted bit-identical first.
+struct SchemeSnapshotSpeedup {
+    label: &'static str,
+    cold_secs: f64,
+    warm_snapshot_secs: f64,
+    restore_secs: f64,
+}
+
+/// The warm-once-vs-cold record emitted (stderr + the `snapshot_reuse`
+/// section of `BENCH_run_all.json`) when `STEM_SNAPSHOTS` is on. Measured
+/// outside the experiment runner — stdout is never touched, so it stays
+/// byte-identical at either knob setting.
+struct SnapshotReuse {
+    trace_name: &'static str,
+    accesses: usize,
+    warm_len: usize,
+    schemes: Vec<SchemeSnapshotSpeedup>,
+}
+
+/// Measures cold vs warm-once-and-restore replay of `source` for every
+/// paper scheme that opts into snapshots, best-of-`REPS` each, after
+/// asserting the two paths produce bit-identical MPKI. The honest
+/// framing: one restore saves at most the warm fraction (20%) of a cold
+/// replay — the structural win comes from a *family* of points sharing
+/// one warm capture, which the sweep drivers and the serve snapshot
+/// cache exploit.
+fn measure_snapshot_speedup(
+    geom: CacheGeometry,
+    source: &DecodedTrace,
+    trace_name: &'static str,
+) -> SnapshotReuse {
+    const REPS: usize = 3;
+    let warm_len = warm_split(source.len(), WARMUP_FRACTION);
+    let mut schemes = Vec::new();
+    for &scheme in Scheme::PAPER.iter() {
+        if !scheme_supports_snapshot(scheme, geom) {
+            continue;
+        }
+        let mut cold_secs = f64::INFINITY;
+        let mut warm_snapshot_secs = f64::INFINITY;
+        let mut restore_secs = f64::INFINITY;
+        let mut cold_mpki = 0.0;
+        let mut restored_mpki = 0.0;
+        for _ in 0..REPS {
+            let t = std::time::Instant::now();
+            cold_mpki = run_scheme_warmed_decoded(scheme, geom, source, WARMUP_FRACTION);
+            cold_secs = cold_secs.min(t.elapsed().as_secs_f64());
+            let t = std::time::Instant::now();
+            let snap = warm_scheme_snapshot(scheme, geom, source, warm_len);
+            warm_snapshot_secs = warm_snapshot_secs.min(t.elapsed().as_secs_f64());
+            let s = snap.as_ref().expect("scheme opted into snapshots");
+            let t = std::time::Instant::now();
+            restored_mpki = run_scheme_from_snapshot(scheme, geom, source, s, warm_len)
+                .expect("snapshot restores into its own (scheme, geometry)");
+            restore_secs = restore_secs.min(t.elapsed().as_secs_f64());
+        }
+        assert_eq!(
+            cold_mpki.to_bits(),
+            restored_mpki.to_bits(),
+            "restored replay diverged from cold for {scheme} — snapshot bug"
+        );
+        eprintln!(
+            "  {:<8} cold {:.3}s, warm+snapshot {:.3}s, restore+measure {:.3}s \
+             ({:.2}x per restored point)",
+            scheme.label(),
+            cold_secs,
+            warm_snapshot_secs,
+            restore_secs,
+            cold_secs / restore_secs.max(1e-12),
+        );
+        schemes.push(SchemeSnapshotSpeedup {
+            label: scheme.label(),
+            cold_secs,
+            warm_snapshot_secs,
+            restore_secs,
+        });
+    }
+    SnapshotReuse {
+        trace_name,
+        accesses: source.len(),
+        warm_len,
+        schemes,
+    }
+}
+
 /// Emits the per-experiment wall-clock summary: always to stderr (stdout
 /// stays byte-stable across thread counts), and as
 /// `<csv_dir>/BENCH_run_all.json` when the artifact directory is set —
@@ -294,6 +385,7 @@ fn emit_timing_summary(
     stages: &StageBreakdown,
     speedup: Option<&ShardSpeedup>,
     sampled: &[SampledFidelity],
+    snapshot: Option<&SnapshotReuse>,
 ) {
     let total: f64 = outcomes.iter().map(|o| o.elapsed.as_secs_f64()).sum();
     eprintln!(
@@ -381,6 +473,37 @@ fn emit_timing_summary(
                 ]),
             ));
         }
+        if let Some(sr) = snapshot {
+            let schemes: Vec<Json> = sr
+                .schemes
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("scheme".into(), Json::str(s.label)),
+                        ("cold_secs".into(), secs3(s.cold_secs)),
+                        ("warm_snapshot_secs".into(), secs3(s.warm_snapshot_secs)),
+                        ("restore_secs".into(), secs3(s.restore_secs)),
+                        (
+                            "restore_speedup".into(),
+                            Json::float_rounded(s.cold_secs / s.restore_secs.max(1e-12), 2),
+                        ),
+                    ])
+                })
+                .collect();
+            fields.push((
+                "snapshot_reuse".into(),
+                Json::Obj(vec![
+                    ("trace".into(), Json::str(sr.trace_name)),
+                    ("accesses".into(), Json::Int(sr.accesses as i64)),
+                    ("warm_len".into(), Json::Int(sr.warm_len as i64)),
+                    (
+                        "warm_fraction".into(),
+                        Json::float_rounded(WARMUP_FRACTION, 2),
+                    ),
+                    ("schemes".into(), Json::Arr(schemes)),
+                ]),
+            ));
+        }
         if !sampled.is_empty() {
             let entries: Vec<Json> = sampled
                 .iter()
@@ -446,6 +569,7 @@ fn main() -> ExitCode {
     let periods = cfg.periods.unwrap_or(20);
     let threads = cfg.threads();
     let shards = cfg.shards();
+    let snapshots_on = cfg.snapshots();
     let csv_dir = cfg.csv_dir.as_deref();
 
     let mut runner = ExperimentRunner::new();
@@ -541,28 +665,82 @@ fn main() -> ExitCode {
     let ways = sweep_ways();
     let sens = sensitivity_benchmarks();
 
-    // The two sensitivity traces, generated and decoded once each; every
-    // sweep point replays the shared decoded stream (the sweeps keep the
-    // set count fixed, so one decode is compatible with every ways point).
+    // The two sensitivity traces, generated once each and decoded at the
+    // base geometry; every associativity point replays the shared decoded
+    // stream (the sweep keeps the set count fixed, so one decode is
+    // compatible with every ways point). The raw stream is retained so
+    // the capacity sweep can decode the *same* accesses at its other set
+    // counts — regenerating per geometry would confound the capacity
+    // comparison with trace differences.
     let sweep_trace_jobs: Vec<(String, _)> = sens
         .iter()
         .map(|bench| {
             let bench = bench.clone();
             (format!("sweep_trace_{}", bench.name()), move || {
-                prepare_trace(&bench, geom, sweep_accesses)
+                prepare_trace_retaining_raw(&bench, geom, sweep_accesses)
             })
         })
         .collect();
-    let sweep_traces: Vec<Option<Arc<DecodedTrace>>> = runner
+    let sweep_prepared: Vec<Option<(Arc<Trace>, Arc<DecodedTrace>)>> = runner
         .run_batch(threads, sweep_trace_jobs)
         .into_iter()
         .map(|p| {
             p.map(|p| {
                 prep.absorb(p.prep);
-                p.trace
+                (p.raw, p.trace)
             })
         })
         .collect();
+    let sweep_traces: Vec<Option<Arc<DecodedTrace>>> = sweep_prepared
+        .iter()
+        .map(|o| o.as_ref().map(|(_, d)| Arc::clone(d)))
+        .collect();
+
+    // Capacity-sweep decodes: the shared raw stream decoded at each
+    // non-base set count (`sweep_trace_cap_*` cells, decode-only — their
+    // time lands in the decode stage, like the base decodes). The base
+    // set count reuses the sweep decode outright.
+    let cap_sets = capacity_sweep_sets();
+    let mut cap_decodes: Vec<Vec<Option<Arc<DecodedTrace>>>> =
+        vec![vec![None; cap_sets.len()]; sens.len()];
+    {
+        type DecodeJob = Box<dyn FnOnce() -> (Arc<DecodedTrace>, std::time::Duration) + Send>;
+        let mut cap_jobs: Vec<(String, DecodeJob)> = Vec::new();
+        let mut cap_keys: Vec<(usize, usize)> = Vec::new();
+        for (bi, prepared) in sweep_prepared.iter().enumerate() {
+            let Some((raw, _)) = prepared else { continue };
+            for (ci, &sets) in cap_sets.iter().enumerate() {
+                if sets == geom.sets() {
+                    cap_decodes[bi][ci] = sweep_traces[bi].clone();
+                    continue;
+                }
+                let raw = Arc::clone(raw);
+                let cap_geom = CacheGeometry::new(sets, geom.ways(), geom.line_bytes())
+                    .expect("capacity geometry is valid");
+                cap_jobs.push((
+                    format!("sweep_trace_cap_{}/{}s", sens[bi].name(), sets),
+                    Box::new(move || {
+                        let t0 = std::time::Instant::now();
+                        let d = Arc::new(DecodedTrace::decode(&raw, cap_geom));
+                        (d, t0.elapsed())
+                    }),
+                ));
+                cap_keys.push((bi, ci));
+            }
+        }
+        for ((bi, ci), result) in cap_keys
+            .into_iter()
+            .zip(runner.run_batch(threads, cap_jobs))
+        {
+            cap_decodes[bi][ci] = result.map(|(d, decode)| {
+                prep.absorb(PrepTimings {
+                    generate: std::time::Duration::ZERO,
+                    decode,
+                });
+                d
+            });
+        }
+    }
 
     // When STEM_SHARDS asks for intra-trace sharding, partition each
     // sensitivity trace once (`shard_plan_<bench>` cells, counted as the
@@ -595,29 +773,135 @@ fn main() -> ExitCode {
         vec![None; sens.len()]
     };
 
-    // Every (benchmark, scheme, ways) point is one cell.
+    // Warm-once cells: when STEM_SNAPSHOTS is on, each (benchmark,
+    // scheme) whose scheme opts into checkpoints — and whose base-geometry
+    // points the sharded path does not already own — replays the shared
+    // 20% warm prefix exactly once at the paper geometry and snapshots the
+    // warmed state. The associativity point at the base ways and the
+    // capacity point at the base sets then restore instead of re-warming;
+    // points at any other geometry warm different state and stay cold.
+    // Either path is bit-identical (ci.sh compares STEM_SNAPSHOTS=0 vs 1).
+    let snapshot_schemes: Vec<usize> = Scheme::PAPER
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| snapshot_path_applies(s, geom, snapshots_on, shards))
+        .map(|(si, _)| si)
+        .collect();
+    let mut warm_snaps: Vec<Vec<Option<Arc<Snapshot>>>> =
+        vec![vec![None; Scheme::PAPER.len()]; sens.len()];
+    if !snapshot_schemes.is_empty() {
+        let mut warm_jobs: Vec<(String, Box<dyn FnOnce() -> Snapshot + Send>)> = Vec::new();
+        let mut warm_keys: Vec<(usize, usize)> = Vec::new();
+        for (bi, trace) in sweep_traces.iter().enumerate() {
+            let Some(trace) = trace else { continue };
+            for &si in &snapshot_schemes {
+                let scheme = Scheme::PAPER[si];
+                let trace = Arc::clone(trace);
+                warm_jobs.push((
+                    format!("sweep_warm_{}/{}", sens[bi].name(), scheme.label()),
+                    Box::new(move || {
+                        let warm_len = warm_split(trace.len(), WARMUP_FRACTION);
+                        warm_scheme_snapshot(scheme, geom, &trace, warm_len)
+                            .expect("scheme opted into snapshots")
+                    }),
+                ));
+                warm_keys.push((bi, si));
+            }
+        }
+        for ((bi, si), snap) in warm_keys
+            .into_iter()
+            .zip(runner.run_batch(threads, warm_jobs))
+        {
+            // A failed warm cell only costs the reuse: its points fall
+            // back to the cold path, which produces the same bits.
+            warm_snaps[bi][si] = snap.map(Arc::new);
+        }
+    }
+
+    // Every (benchmark, scheme, ways) associativity point and every
+    // (benchmark, scheme, sets) capacity point is one cell. Points whose
+    // geometry matches a warm snapshot restore it; the rest replay cold
+    // (sharded when a plan is offered and the scheme opts in).
+    enum PointKey {
+        Assoc(usize, usize, usize),
+        Cap(usize, usize, usize),
+    }
     let mut point_jobs: Vec<(String, Box<dyn FnOnce() -> f64 + Send>)> = Vec::new();
-    let mut point_keys: Vec<(usize, usize, usize)> = Vec::new();
+    let mut point_keys: Vec<PointKey> = Vec::new();
     for (bi, trace) in sweep_traces.iter().enumerate() {
         let Some(trace) = trace else { continue };
-        eprintln!("sweeping {} (Fig. 3 / Fig. 10)...", sens[bi].name());
+        eprintln!(
+            "sweeping {} (Fig. 3 / Fig. 10 + capacity)...",
+            sens[bi].name()
+        );
         for (si, &scheme) in Scheme::PAPER.iter().enumerate() {
             for (wi, &w) in ways.iter().enumerate() {
                 let trace = Arc::clone(trace);
                 let plan = sweep_plans[bi].clone();
+                let snap = (w == geom.ways())
+                    .then(|| warm_snaps[bi][si].clone())
+                    .flatten();
                 point_jobs.push((
                     format!("sweep_{}/{}/{}w", sens[bi].name(), scheme.label(), w),
-                    Box::new(move || assoc_point_auto(scheme, geom, w, &trace, plan.as_deref(), 1)),
+                    Box::new(move || match &snap {
+                        Some(s) => replay_from_snapshot_or_cold(
+                            scheme,
+                            geom,
+                            &trace,
+                            Some(s),
+                            WARMUP_FRACTION,
+                        ),
+                        None => assoc_point_auto(scheme, geom, w, &trace, plan.as_deref(), 1),
+                    }),
                 ));
-                point_keys.push((bi, si, wi));
+                point_keys.push(PointKey::Assoc(bi, si, wi));
+            }
+            for (ci, &sets) in cap_sets.iter().enumerate() {
+                let Some(source) = cap_decodes[bi][ci].clone() else {
+                    continue;
+                };
+                let cap_geom = CacheGeometry::new(sets, geom.ways(), geom.line_bytes())
+                    .expect("capacity geometry is valid");
+                let plan = (sets == geom.sets())
+                    .then(|| sweep_plans[bi].clone())
+                    .flatten();
+                let snap = (sets == geom.sets())
+                    .then(|| warm_snaps[bi][si].clone())
+                    .flatten();
+                point_jobs.push((
+                    format!("sweep_cap_{}/{}/{}s", sens[bi].name(), scheme.label(), sets),
+                    Box::new(move || match &snap {
+                        Some(s) => replay_from_snapshot_or_cold(
+                            scheme,
+                            cap_geom,
+                            &source,
+                            Some(s),
+                            WARMUP_FRACTION,
+                        ),
+                        None => replay_warmed_auto(
+                            scheme,
+                            cap_geom,
+                            &source,
+                            plan.as_deref(),
+                            WARMUP_FRACTION,
+                            1,
+                        ),
+                    }),
+                ));
+                point_keys.push(PointKey::Cap(bi, si, ci));
             }
         }
     }
     let point_results = runner.run_batch(threads, point_jobs);
     let mut series: Vec<Vec<Vec<Option<f64>>>> =
         vec![vec![vec![None; ways.len()]; Scheme::PAPER.len()]; sens.len()];
-    for ((bi, si, wi), v) in point_keys.into_iter().zip(point_results) {
-        series[bi][si][wi] = v;
+    let mut cap_series: Vec<Vec<Vec<Option<f64>>>> =
+        vec![vec![vec![None; cap_sets.len()]; Scheme::PAPER.len()]; sens.len()];
+    for (key, v) in point_keys.into_iter().zip(point_results) {
+        match key {
+            PointKey::Assoc(bi, si, wi) => series[bi][si][wi] = v,
+            PointKey::Cap(bi, si, ci) => cap_series[bi][si][ci] = v,
+        }
     }
     for (bi, bench_series) in series.into_iter().enumerate() {
         let name = sens[bi].name();
@@ -647,6 +931,40 @@ fn main() -> ExitCode {
         maybe_csv(csv_dir, &format!("fig10_{name}"), &t);
     }
 
+    // ---- Capacity sweep ---------------------------------------------
+    // Same traces, set count swept at the paper associativity; the base
+    // operating point (2048 sets, 16 ways) appears in both tables and is
+    // where the warm snapshot is reused across the two sweeps.
+    for (bi, bench_series) in cap_series.into_iter().enumerate() {
+        let name = sens[bi].name();
+        if sweep_traces[bi].is_none() {
+            eprintln!("skipping capacity sweep ({name}): trace generation failed");
+            continue;
+        }
+        let complete: Option<Vec<Vec<f64>>> = bench_series
+            .into_iter()
+            .map(|per_scheme| per_scheme.into_iter().collect())
+            .collect();
+        let Some(bench_series) = complete else {
+            eprintln!("skipping capacity sweep ({name}): a point failed; see final report");
+            continue;
+        };
+        let mut headers = vec!["capacity".to_owned()];
+        headers.extend(Scheme::PAPER.iter().map(|s| s.label().to_owned()));
+        let mut t = Table::new(headers);
+        for (ci, &sets) in cap_sets.iter().enumerate() {
+            let cap_geom = CacheGeometry::new(sets, geom.ways(), geom.line_bytes())
+                .expect("capacity geometry is valid");
+            let values: Vec<f64> = bench_series
+                .iter()
+                .map(|per_scheme| per_scheme[ci])
+                .collect();
+            t.row_f64(&format!("{}KB", cap_geom.capacity_bytes() / 1024), &values);
+        }
+        println!("## Capacity ({name}) — MPKI at 16 ways\n\n{t}");
+        maybe_csv(csv_dir, &format!("capacity_{name}"), &t);
+    }
+
     // ---- Table 3 -----------------------------------------------------
     if let Some(overhead_pct) = runner.run_value("table3_overhead", move || {
         let base = overhead::lru_baseline(geom);
@@ -664,6 +982,21 @@ fn main() -> ExitCode {
         (Some(trace), s) if s > 1 => {
             eprintln!("\nmeasuring serial vs sharded replay ({}):", sens[0].name());
             Some(measure_shard_speedup(geom, trace, "omnetpp", s, threads))
+        }
+        _ => None,
+    };
+
+    // ---- Snapshot warm-reuse speedup (stderr + JSON only) -----------
+    // Measured against the first sensitivity trace at the paper geometry
+    // so BENCH_run_all.json carries the warm-once-vs-cold trajectory.
+    // Runs whenever snapshots are on; stdout is never touched.
+    let snapshot_reuse = match (&sweep_traces[0], snapshots_on) {
+        (Some(trace), true) => {
+            eprintln!(
+                "\nmeasuring cold vs warm-once+restore replay ({}):",
+                sens[0].name()
+            );
+            Some(measure_snapshot_speedup(geom, trace, "omnetpp"))
         }
         _ => None,
     };
@@ -700,6 +1033,7 @@ fn main() -> ExitCode {
         &stages,
         speedup.as_ref(),
         &sampled_records,
+        snapshot_reuse.as_ref(),
     );
     match runner.failure_report() {
         None => {

@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use stem_analysis::{geomean, run_system_decoded, Scheme, SystemMetrics, Table};
 use stem_hierarchy::SystemConfig;
-use stem_sim_core::{CacheGeometry, DecodedTrace};
+use stem_sim_core::{CacheGeometry, DecodedTrace, Trace};
 use stem_workloads::{spec2010_suite, BenchmarkProfile};
 
 use crate::pool;
@@ -74,6 +74,41 @@ pub fn prepare_trace(
     let trace = Arc::new(DecodedTrace::decode(&raw, geom));
     let decode = t1.elapsed();
     PreparedTrace {
+        trace,
+        prep: PrepTimings { generate, decode },
+    }
+}
+
+/// A trace generated once with both the raw access stream and its decode
+/// at the base geometry retained, so callers can decode the *same* stream
+/// again at other set counts — the capacity sweep's
+/// one-trace-many-geometries protocol (re-generating per geometry would
+/// confound the capacity comparison with trace differences).
+#[derive(Debug, Clone)]
+pub struct PreparedTraceWithRaw {
+    /// The raw access stream, for further decodes.
+    pub raw: Arc<Trace>,
+    /// The decode at the base geometry.
+    pub trace: Arc<DecodedTrace>,
+    /// How long generation and the base decode took.
+    pub prep: PrepTimings,
+}
+
+/// Like [`prepare_trace`], but keeps the raw [`Trace`] alongside the base
+/// decode instead of dropping it.
+pub fn prepare_trace_retaining_raw(
+    bench: &BenchmarkProfile,
+    geom: CacheGeometry,
+    accesses: usize,
+) -> PreparedTraceWithRaw {
+    let t0 = Instant::now();
+    let raw = Arc::new(bench.trace(geom, accesses));
+    let generate = t0.elapsed();
+    let t1 = Instant::now();
+    let trace = Arc::new(DecodedTrace::decode(&raw, geom));
+    let decode = t1.elapsed();
+    PreparedTraceWithRaw {
+        raw,
         trace,
         prep: PrepTimings { generate, decode },
     }
@@ -240,6 +275,15 @@ pub fn sweep_ways() -> Vec<usize> {
     v
 }
 
+/// The `run_all` capacity-sweep set counts (16 ways fixed — 512KB to 4MB
+/// around the paper's 2MB operating point). The base configuration's own
+/// 2048 sets is always a member, so the capacity sweep and the
+/// associativity sweep share one (sets, ways) geometry — the warm-prefix
+/// family the snapshot path warms once and restores per point.
+pub fn capacity_sweep_sets() -> Vec<usize> {
+    vec![512, 1024, 2048, 4096]
+}
+
 /// The two sensitivity-study benchmarks of §3.3/§5.3.
 pub fn sensitivity_benchmarks() -> Vec<BenchmarkProfile> {
     ["omnetpp", "ammp"]
@@ -258,6 +302,16 @@ mod tests {
         assert_eq!(w.first(), Some(&1));
         assert_eq!(w.last(), Some(&32));
         assert_eq!(w.len(), 17);
+    }
+
+    #[test]
+    fn capacity_sweep_includes_the_base_operating_point() {
+        let sets = capacity_sweep_sets();
+        assert!(
+            sets.contains(&CacheGeometry::micro2010_l2().sets()),
+            "the shared warm-prefix family needs the base geometry in both sweeps"
+        );
+        assert!(sets.windows(2).all(|w| w[0] < w[1]), "axis must ascend");
     }
 
     #[test]

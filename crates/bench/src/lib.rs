@@ -15,4 +15,5 @@ pub mod harness;
 pub mod pool;
 pub mod resilience;
 pub mod shard;
+pub mod snapshot;
 pub mod timing;

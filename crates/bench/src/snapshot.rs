@@ -1,0 +1,113 @@
+//! Warm-state snapshot dispatch for sweep-prefix reuse.
+//!
+//! The analysis crate owns the checkpoint primitives
+//! ([`warm_scheme_snapshot`], [`run_scheme_from_snapshot`]) and the
+//! exactness contract; this module routes each sweep point by the same
+//! capability-not-knob rule the sharding dispatcher uses. The
+//! `STEM_SNAPSHOTS` knob ([`Config::snapshots`](crate::config::Config::snapshots))
+//! only *offers* warm-prefix reuse — a scheme that declines the
+//! capability replays cold regardless, so the knob can never change any
+//! scheme's results, only how much of the warm prefix is re-replayed.
+
+use stem_analysis::{
+    run_scheme_from_snapshot, run_scheme_warmed_decoded, scheme_supports_set_sharding,
+    scheme_supports_snapshot, warm_split, Scheme,
+};
+use stem_sim_core::{CacheGeometry, DecodedTrace, Snapshot};
+
+/// Whether a sweep point of `scheme` at `geom` takes the restored-warm
+/// path. Three gates, all scheduling-only (every path is bit-identical):
+/// the knob must be on, the scheme must opt into
+/// [`scheme_supports_snapshot`], and the sharded path must not already
+/// own the point — when `shards > 1` and the scheme also shards, the
+/// driver keeps the sharded replay, which parallelises the *whole* run,
+/// not just the measured suffix.
+pub fn snapshot_path_applies(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    snapshots: bool,
+    shards: usize,
+) -> bool {
+    snapshots
+        && scheme_supports_snapshot(scheme, geom)
+        && !(shards > 1 && scheme_supports_set_sharding(scheme, geom))
+}
+
+/// Restored-or-cold warmed replay: with a warm [`Snapshot`], restores it
+/// into a fresh cache and measures only the suffix; without one, replays
+/// the full warm-then-measure protocol. Bit-identical either way — the
+/// snapshot was captured at exactly the boundary
+/// [`warm_split`] computes for this `(len, warmup_fraction)`.
+///
+/// # Panics
+///
+/// Panics if the offered snapshot does not restore into `scheme` at
+/// `geom` (a driver wiring bug — snapshots are keyed per point family,
+/// so a mismatch must fail loudly, not silently run cold and hide the
+/// bug).
+pub fn replay_from_snapshot_or_cold(
+    scheme: Scheme,
+    geom: CacheGeometry,
+    source: &DecodedTrace,
+    snapshot: Option<&Snapshot>,
+    warmup_fraction: f64,
+) -> f64 {
+    match snapshot {
+        Some(snap) => {
+            let warm_len = warm_split(source.len(), warmup_fraction);
+            run_scheme_from_snapshot(scheme, geom, source, snap, warm_len)
+                .unwrap_or_else(|e| panic!("warm snapshot restore failed for {scheme}: {e}"))
+        }
+        None => run_scheme_warmed_decoded(scheme, geom, source, warmup_fraction),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_analysis::warm_scheme_snapshot;
+    use stem_workloads::BenchmarkProfile;
+
+    fn decoded(n: usize) -> (CacheGeometry, DecodedTrace) {
+        let geom = CacheGeometry::new(64, 4, 64).unwrap();
+        let trace = BenchmarkProfile::by_name("mcf").unwrap().trace(geom, n);
+        (geom, DecodedTrace::decode(&trace, geom))
+    }
+
+    #[test]
+    fn restored_dispatch_matches_cold_for_every_scheme() {
+        let (geom, d) = decoded(20_000);
+        let warm_len = warm_split(d.len(), 0.2);
+        for scheme in Scheme::ALL {
+            let cold = run_scheme_warmed_decoded(scheme, geom, &d, 0.2);
+            let snap = warm_scheme_snapshot(scheme, geom, &d, warm_len);
+            assert_eq!(
+                snap.is_some(),
+                scheme_supports_snapshot(scheme, geom),
+                "{scheme}: warm_scheme_snapshot must follow the capability"
+            );
+            let via = replay_from_snapshot_or_cold(scheme, geom, &d, snap.as_ref(), 0.2);
+            assert_eq!(
+                cold.to_bits(),
+                via.to_bits(),
+                "{scheme}: snapshot dispatch must never change results"
+            );
+        }
+    }
+
+    #[test]
+    fn eligibility_honours_knob_capability_and_shard_precedence() {
+        let (geom, _) = decoded(1);
+        // Knob off: nothing is eligible.
+        assert!(!snapshot_path_applies(Scheme::Lru, geom, false, 1));
+        // Refusing schemes are never eligible, knob or not.
+        for scheme in [Scheme::VWay, Scheme::Sbc, Scheme::Stem] {
+            assert!(!snapshot_path_applies(scheme, geom, true, 1), "{scheme}");
+        }
+        // Sharded path wins for schemes that shard; snapshot keeps the rest.
+        assert!(snapshot_path_applies(Scheme::Lru, geom, true, 1));
+        assert!(!snapshot_path_applies(Scheme::Lru, geom, true, 4));
+        assert!(snapshot_path_applies(Scheme::Dip, geom, true, 4));
+        assert!(snapshot_path_applies(Scheme::PeLifo, geom, true, 4));
+    }
+}

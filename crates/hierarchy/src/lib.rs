@@ -32,4 +32,4 @@ mod system;
 
 pub use metrics::SystemMetrics;
 pub use prefetch::NextLinePrefetcher;
-pub use system::{System, SystemConfig};
+pub use system::{System, SystemConfig, SystemSnapshot};

@@ -3,7 +3,9 @@
 use std::ops::Range;
 
 use stem_replacement::{Lru, SetAssocCache};
-use stem_sim_core::{CacheGeometry, CacheModel, DecodedTrace, TimingParams, Trace};
+use stem_sim_core::{
+    CacheGeometry, CacheModel, DecodedTrace, Snapshot, SnapshotError, TimingParams, Trace,
+};
 
 use crate::{NextLinePrefetcher, SystemMetrics};
 
@@ -196,6 +198,25 @@ impl System {
         trace: &DecodedTrace,
         warm_len: usize,
     ) -> SystemMetrics {
+        self.warm_decoded(trace, warm_len);
+        self.reset_stats();
+        self.run_decoded_range(trace, warm_len..trace.len())
+    }
+
+    /// The warm half of [`warm_then_run_decoded`](System::warm_then_run_decoded):
+    /// drives the first `warm_len` accesses through the full hierarchy
+    /// (prefetcher included) and stops, leaving statistics dirty. Callers
+    /// that intend to measure afterwards call
+    /// [`reset_stats`](System::reset_stats) — and may
+    /// [`snapshot`](System::snapshot) between the two, capturing the warm
+    /// state with zeroed counters so a restored system measures exactly
+    /// like this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warm_len` exceeds the trace length or the trace's line
+    /// size differs from the L1's.
+    pub fn warm_decoded(&mut self, trace: &DecodedTrace, warm_len: usize) {
         assert!(warm_len <= trace.len());
         assert_eq!(
             trace.geometry().line_bytes(),
@@ -221,9 +242,53 @@ impl System {
                 }
             }
         }
+    }
+
+    /// Zeroes both cache levels' statistics counters (the boundary between
+    /// a warm-up phase and a measured phase).
+    pub fn reset_stats(&mut self) {
         self.l1.reset_stats();
         self.l2.reset_stats();
-        self.run_decoded_range(trace, warm_len..trace.len())
+    }
+
+    /// Whether both cache levels can checkpoint their state. The L1 is
+    /// always a plain LRU cache and always can; the answer is therefore
+    /// the LLC's own [`CacheModel::supports_snapshot`].
+    pub fn supports_snapshot(&self) -> bool {
+        self.l1.supports_snapshot() && self.l2.supports_snapshot()
+    }
+
+    /// Checkpoints the whole hierarchy — L1 and LLC tag stores, policy
+    /// state, and statistics — or `None` if the LLC declines the
+    /// capability (see [`CacheModel::snapshot`]).
+    pub fn snapshot(&self) -> Option<SystemSnapshot> {
+        Some(SystemSnapshot {
+            cfg: self.cfg,
+            l1: self.l1.snapshot()?,
+            l2: self.l2.snapshot()?,
+        })
+    }
+
+    /// Restores a [`SystemSnapshot`] taken from an identically configured
+    /// system, after which this system replays exactly like the one the
+    /// snapshot was captured from.
+    ///
+    /// The LLC is restored first: its policy downcast is the last fallible
+    /// step, so a failed restore leaves this system untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ConfigMismatch`] if the snapshot was taken under a
+    /// different [`SystemConfig`], or any error the cache-level restores
+    /// return (scheme, geometry, or state-type mismatch).
+    pub fn restore(&mut self, snapshot: &SystemSnapshot) -> Result<(), SnapshotError> {
+        if snapshot.cfg != self.cfg {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        self.l2.restore(&snapshot.l2)?;
+        // Config equality pins the L1 to the same geometry and scheme, so
+        // this cannot fail once the L2 has accepted.
+        self.l1.restore(&snapshot.l1)
     }
 
     /// Decoded-stream twin of [`run`](System::run) over a sub-range of the
@@ -295,6 +360,40 @@ impl System {
             instructions,
             accesses,
         }
+    }
+}
+
+/// A checkpoint of a whole [`System`] — both cache levels plus the
+/// configuration they were captured under — taken by
+/// [`System::snapshot`] and consumed by [`System::restore`].
+///
+/// The configuration is carried so a restore onto a differently
+/// configured system (other timing, prefetcher degree, L1 geometry)
+/// is refused instead of silently producing drifted metrics. The
+/// prefetcher itself holds no replay state (its degree lives in the
+/// config), so the two cache-level [`Snapshot`]s are the complete
+/// replay state.
+#[derive(Debug, Clone)]
+pub struct SystemSnapshot {
+    cfg: SystemConfig,
+    l1: Snapshot,
+    l2: Snapshot,
+}
+
+impl SystemSnapshot {
+    /// The configuration the snapshot was captured under.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Report name of the LLC scheme the snapshot was captured from.
+    pub fn llc_scheme(&self) -> &str {
+        self.l2.scheme()
+    }
+
+    /// Geometry of the LLC the snapshot was captured from.
+    pub fn llc_geometry(&self) -> CacheGeometry {
+        self.l2.geometry()
     }
 }
 
@@ -491,6 +590,104 @@ mod tests {
         let got = fast.warm_then_run_decoded(&decoded, warm_len);
         assert_eq!(got.l2, expect.l2);
         assert_eq!(got.cpi, expect.cpi);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_cold_trajectory_exactly() {
+        // Warm a system, snapshot at the warm boundary, measure. A fresh
+        // system restored from the snapshot must produce bit-identical
+        // metrics on the measured suffix — the tentpole invariant.
+        let cfg = SystemConfig::micro2010().with_prefetcher(2);
+        let trace: Trace = (0..3000u64)
+            .map(|i| {
+                let a = Address::new((i % 413) * 192 + i % 64);
+                if i % 5 == 0 {
+                    Access::write(a).with_inst_gap((i % 7 + 1) as u32)
+                } else {
+                    Access::read(a).with_inst_gap((i % 7 + 1) as u32)
+                }
+            })
+            .collect();
+        let l2_geom = CacheGeometry::new(64, 4, 64).unwrap();
+        let decoded = DecodedTrace::decode(&trace, l2_geom);
+        let warm_len = trace.len() / 5;
+
+        let mut cold = System::new(cfg, lru_l2());
+        assert!(cold.supports_snapshot());
+        cold.warm_decoded(&decoded, warm_len);
+        cold.reset_stats();
+        let snap = cold.snapshot().expect("LRU hierarchy snapshots");
+        let expect = cold.run_decoded_range(&decoded, warm_len..decoded.len());
+
+        let mut restored = System::new(cfg, lru_l2());
+        restored.restore(&snap).expect("matching system restores");
+        let got = restored.run_decoded_range(&decoded, warm_len..decoded.len());
+
+        assert_eq!(got.l2, expect.l2);
+        assert_eq!(got.mpki, expect.mpki);
+        assert_eq!(got.amat, expect.amat);
+        assert_eq!(got.cpi, expect.cpi);
+        assert_eq!(got.l1_miss_rate, expect.l1_miss_rate);
+        assert_eq!(got.instructions, expect.instructions);
+        assert_eq!(got.accesses, expect.accesses);
+    }
+
+    #[test]
+    fn restore_refuses_a_differently_configured_system() {
+        let src = System::new(SystemConfig::micro2010(), lru_l2());
+        let snap = src.snapshot().unwrap();
+
+        let other_cfg = SystemConfig::micro2010().with_prefetcher(1);
+        let mut target = System::new(other_cfg, lru_l2());
+        assert_eq!(target.restore(&snap), Err(SnapshotError::ConfigMismatch));
+
+        // A mismatched LLC geometry is caught by the cache-level guard.
+        let other_geom = CacheGeometry::new(32, 8, 64).unwrap();
+        let other_l2: Box<dyn CacheModel> = Box::new(SetAssocCache::new(
+            other_geom,
+            Box::new(Lru::new(other_geom)),
+        ));
+        let mut target = System::new(SystemConfig::micro2010(), other_l2);
+        assert!(matches!(
+            target.restore(&snap),
+            Err(SnapshotError::GeometryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refusing_llc_disables_the_whole_system_snapshot() {
+        // A minimal LLC that keeps the CacheModel snapshot defaults
+        // (declines): the system must report unsupported and return None.
+        struct ColdOnly(stem_sim_core::CacheStats, CacheGeometry);
+        impl CacheModel for ColdOnly {
+            fn access(
+                &mut self,
+                _addr: Address,
+                _kind: stem_sim_core::AccessKind,
+            ) -> stem_sim_core::AccessResult {
+                self.0.record_local_miss();
+                stem_sim_core::AccessResult::MissLocal
+            }
+            fn stats(&self) -> &stem_sim_core::CacheStats {
+                &self.0
+            }
+            fn stats_mut(&mut self) -> &mut stem_sim_core::CacheStats {
+                &mut self.0
+            }
+            fn geometry(&self) -> CacheGeometry {
+                self.1
+            }
+            fn name(&self) -> &str {
+                "ColdOnly"
+            }
+        }
+        let geom = CacheGeometry::new(64, 4, 64).unwrap();
+        let sys = System::new(
+            SystemConfig::micro2010(),
+            Box::new(ColdOnly(stem_sim_core::CacheStats::default(), geom)),
+        );
+        assert!(!sys.supports_snapshot());
+        assert!(sys.snapshot().is_none());
     }
 
     #[test]

@@ -54,6 +54,8 @@ impl Bip {
 }
 
 impl ReplacementPolicy for Bip {
+    crate::snapshot_policy_via_clone!();
+
     fn on_hit(&mut self, set: usize, way: usize) {
         self.sets[set].touch_mru(way);
     }
@@ -113,6 +115,8 @@ impl Lip {
 }
 
 impl ReplacementPolicy for Lip {
+    crate::snapshot_policy_via_clone!();
+
     fn on_hit(&mut self, set: usize, way: usize) {
         self.sets[set].touch_mru(way);
     }

@@ -5,6 +5,7 @@ use std::ops::Range;
 use stem_sim_core::{
     replay_decoded_via_access, AccessKind, AccessResult, Address, AuditError, CacheGeometry,
     CacheModel, CacheStats, DecodedAccess, DecodedTrace, InvariantAuditor, LineAddr, SetFrames,
+    Snapshot, SnapshotError,
 };
 
 use crate::ReplacementPolicy;
@@ -284,6 +285,37 @@ impl CacheModel for SetAssocCache {
     fn supports_set_sampling(&self) -> bool {
         self.policy.supports_set_sampling()
     }
+
+    /// The cache's own state is exactly `(frames, stats)` — both plain
+    /// data — so snapshotability is the policy's call
+    /// ([`ReplacementPolicy::supports_snapshot`]).
+    fn supports_snapshot(&self) -> bool {
+        self.policy.supports_snapshot()
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        let policy = self.policy.snapshot_state()?;
+        Some(Snapshot::new(
+            self.name.clone(),
+            self.geom,
+            self.frames.clone(),
+            self.stats,
+            policy,
+        ))
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        if !self.policy.supports_snapshot() {
+            return Err(stem_sim_core::snapshot::unsupported(&self.name));
+        }
+        snapshot.verify_target(&self.name, self.geom)?;
+        // The policy restores first: its downcast is the last fallible
+        // step, so a failure leaves frames and stats untouched too.
+        self.policy.restore_state(snapshot.policy())?;
+        self.frames = snapshot.frames().clone();
+        self.stats = snapshot.stats();
+        Ok(())
+    }
 }
 
 impl InvariantAuditor for SetAssocCache {
@@ -484,6 +516,70 @@ mod tests {
             let last = Address::new(addrs[addrs.len() - 1] * 64);
             assert!(c.contains(last));
         });
+    }
+
+    /// A restored cache replays the post-snapshot suffix exactly like the
+    /// uninterrupted original — per-access outcomes and stats both — and
+    /// the snapshot survives arbitrary mutation of the live cache between
+    /// capture and restore.
+    #[test]
+    fn snapshot_restore_resumes_the_identical_trajectory() {
+        let geom = CacheGeometry::new(4, 2, 64).unwrap();
+        prop::check(64, |g| {
+            let prefix: Vec<u64> = g.vec_u64(1, 80, 0, 64);
+            let suffix: Vec<u64> = g.vec_u64(1, 80, 0, 64);
+            let mut original = lru_cache(geom);
+            for &a in &prefix {
+                original.access(Address::new(a * 64), AccessKind::Read);
+            }
+            assert!(original.supports_snapshot());
+            let snap = original.snapshot().expect("LRU snapshots");
+
+            // Mutate the live cache: the capture must be deep.
+            for &a in &suffix {
+                original.access(Address::new(a * 64 + 7), AccessKind::Write);
+            }
+
+            let mut restored = lru_cache(geom);
+            restored.restore(&snap).expect("restore onto same scheme");
+            let mut cold = lru_cache(geom);
+            for &a in &prefix {
+                cold.access(Address::new(a * 64), AccessKind::Read);
+            }
+            for &a in &suffix {
+                let addr = Address::new(a * 64);
+                assert_eq!(
+                    restored.access(addr, AccessKind::Read),
+                    cold.access(addr, AccessKind::Read),
+                    "restored run diverged from cold"
+                );
+            }
+            assert_eq!(*restored.stats(), *cold.stats());
+        });
+    }
+
+    /// Restore refuses the wrong scheme or geometry and leaves the target
+    /// untouched.
+    #[test]
+    fn restore_guards_scheme_and_geometry() {
+        let geom = small();
+        let mut src = lru_cache(geom);
+        src.access(Address::new(0), AccessKind::Read);
+        let snap = src.snapshot().expect("LRU snapshots");
+
+        let mut wrong_scheme = SetAssocCache::new(geom, Box::new(Bip::new(geom)));
+        assert!(wrong_scheme.restore(&snap).is_err());
+        assert_eq!(wrong_scheme.stats().accesses(), 0, "untouched on error");
+
+        let other = CacheGeometry::new(4, 4, 64).unwrap();
+        let mut wrong_geom = lru_cache(other);
+        assert!(wrong_geom.restore(&snap).is_err());
+        assert_eq!(wrong_geom.stats().accesses(), 0, "untouched on error");
+
+        let mut right = lru_cache(geom);
+        right.restore(&snap).expect("matching target restores");
+        assert_eq!(right.stats().accesses(), 1);
+        assert!(right.contains(Address::new(0)));
     }
 
     /// An infinite-capacity-equivalent cache (more ways than distinct

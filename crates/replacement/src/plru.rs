@@ -82,6 +82,8 @@ impl Plru {
 }
 
 impl ReplacementPolicy for Plru {
+    crate::snapshot_policy_via_clone!();
+
     fn on_hit(&mut self, set: usize, way: usize) {
         self.touch(set, way);
     }

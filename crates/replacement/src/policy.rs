@@ -1,5 +1,7 @@
 //! The replacement-policy trait shared by all temporal schemes.
 
+use stem_sim_core::{snapshot, PolicyState, SnapshotError};
+
 /// A whole-cache replacement policy: per-set victim selection and
 /// lifetime-adjustment state.
 ///
@@ -86,6 +88,39 @@ pub trait ReplacementPolicy {
         self.supports_set_sharding()
     }
 
+    /// Whether this policy's complete mutable state can be checkpointed
+    /// and restored exactly (the policy-level half of
+    /// [`CacheModel::supports_snapshot`](stem_sim_core::CacheModel::supports_snapshot);
+    /// `SetAssocCache` delegates here). Every policy in this crate opts in
+    /// by capturing a `Clone` of itself — the whole struct, including
+    /// global PSEL counters, election state, and RNG positions, so restore
+    /// resumes the *identical* deterministic trajectory. The default is
+    /// `false` so a future policy with uncloneable state (an external
+    /// handle, a shared oracle) refuses instead of snapshotting a lie.
+    fn supports_snapshot(&self) -> bool {
+        false
+    }
+
+    /// Checkpoints this policy's complete state, or `None` when it
+    /// declines ([`supports_snapshot`](ReplacementPolicy::supports_snapshot)
+    /// is `false`).
+    fn snapshot_state(&self) -> Option<PolicyState> {
+        None
+    }
+
+    /// Replaces this policy's state with a capture taken from another
+    /// instance of the same policy type.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] (the default refusal), or
+    /// [`SnapshotError::StateMismatch`] when `state` is not this policy's
+    /// own state type; the policy is unmodified on error.
+    fn restore_state(&mut self, state: &PolicyState) -> Result<(), SnapshotError> {
+        let _ = state;
+        Err(snapshot::unsupported(self.name()))
+    }
+
     /// Checked-mode hook: verifies this policy's per-set bookkeeping for
     /// `set` (e.g. that a recency stack is still a permutation). The
     /// default accepts everything; stack-based policies override it.
@@ -96,4 +131,35 @@ pub trait ReplacementPolicy {
     fn audit_set(&self, _set: usize) -> Result<(), String> {
         Ok(())
     }
+}
+
+/// Expands, inside an `impl ReplacementPolicy for …` block, to the
+/// standard clone-based snapshot hooks: the policy's complete state *is*
+/// the struct, so `snapshot_state` captures `self.clone()` and
+/// `restore_state` downcasts it back. Kept as one macro so the eleven
+/// policies cannot drift from each other or from the trait contract.
+#[macro_export]
+macro_rules! snapshot_policy_via_clone {
+    () => {
+        fn supports_snapshot(&self) -> bool {
+            true
+        }
+
+        fn snapshot_state(&self) -> Option<stem_sim_core::PolicyState> {
+            Some(stem_sim_core::PolicyState::new(self.clone()))
+        }
+
+        fn restore_state(
+            &mut self,
+            state: &stem_sim_core::PolicyState,
+        ) -> Result<(), stem_sim_core::SnapshotError> {
+            *self = state
+                .downcast_ref::<Self>()
+                .ok_or_else(|| stem_sim_core::SnapshotError::StateMismatch {
+                    scheme: self.name().to_owned(),
+                })?
+                .clone();
+            Ok(())
+        }
+    };
 }

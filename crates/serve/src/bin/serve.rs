@@ -13,6 +13,9 @@
 //! * `STEM_SERVE_ADDR_FILE` — file to write the bound address into;
 //! * `STEM_SERVE_QUEUE` — bounded queue slots (default 8);
 //! * `STEM_SERVE_CACHE` — result-cache entries (default 64, max 255);
+//! * `STEM_SERVE_SNAPSHOT_SLOTS` — warm-state snapshot-cache entries
+//!   (default 16, max 255; 0 disables warm-prefix reuse — results are
+//!   byte-identical either way, only warm-replay work changes);
 //! * `STEM_THREADS` — executor worker threads (shared workspace knob);
 //! * `STEM_SERVE_BUDGET_SECS` — per-experiment budget (default 600);
 //! * `STEM_SERVE_IO_DEADLINE_MS` — per-connection read/write deadline
@@ -48,6 +51,14 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    let snapshot_slots = cfg.serve_snapshot_slots();
+    if snapshot_slots > 255 {
+        eprintln!(
+            "configuration error: STEM_SERVE_SNAPSHOT_SLOTS={snapshot_slots} exceeds the \
+             255-entry bound"
+        );
+        return ExitCode::from(2);
+    }
 
     let addr = cfg.serve_addr();
     let tcp = match TcpTransport::bind(&addr) {
@@ -80,6 +91,7 @@ fn main() -> ExitCode {
     let config = ServeConfig {
         queue_capacity: cfg.serve_queue(),
         cache_capacity,
+        snapshot_slots,
         budget: cfg.serve_budget(),
         io_deadline: cfg.serve_io_deadline(),
         metrics: Some(metrics),

@@ -1,12 +1,16 @@
-//! The content-addressed result cache.
+//! The content-addressed caches: response bodies and warm-state
+//! snapshots.
 //!
-//! Responses are cached by the FNV-1a 64 hash of the request's canonical
-//! serialization ([`crate::request::RunRequest::cache_key`]), with the
+//! Both caches share one bounded-LRU core ([`Lru`]) keyed the same way:
+//! the FNV-1a 64 hash of a canonical serialization
+//! ([`crate::request::RunRequest::cache_key`] for responses,
+//! [`crate::request::RunRequest::snapshot_key`] for snapshots), with the
 //! canonical string stored alongside and compared on lookup so a hash
-//! collision degrades to a miss, never to a wrong answer.
+//! collision degrades to a miss, never to a wrong answer (or a wrong
+//! restore).
 //!
 //! Eviction is bounded LRU — and rather than writing a fourth LRU
-//! implementation, the cache dogfoods the simulator's own
+//! implementation, the core dogfoods the simulator's own
 //! [`RecencyStack`]: the cache is one "set" whose ways are cache slots,
 //! hits are `touch_mru`, and the victim on overflow is `lru_way()`. The
 //! stack's permutation invariant (audited extensively in
@@ -15,38 +19,35 @@
 
 use std::sync::Arc;
 
+use stem_hierarchy::SystemSnapshot;
 use stem_replacement::RecencyStack;
 
-/// One cached response.
+/// One cached value.
 #[derive(Debug)]
-struct Entry {
+struct Entry<V> {
     key: u64,
     canonical: String,
-    body: Arc<Vec<u8>>,
+    value: V,
 }
 
-/// A bounded LRU map from canonical request to response body.
+/// The shared bounded-LRU core: a map from canonical string (pre-hashed
+/// to `key`) to a cheaply clonable value.
 #[derive(Debug)]
-pub struct ResultCache {
-    slots: Vec<Option<Entry>>,
+struct Lru<V> {
+    slots: Vec<Option<Entry<V>>>,
     recency: RecencyStack,
     hits: u64,
     misses: u64,
 }
 
-impl ResultCache {
-    /// Default number of cached responses.
-    pub const DEFAULT_CAPACITY: usize = 64;
-
-    /// Creates a cache holding up to `capacity` responses.
-    ///
+impl<V: Clone> Lru<V> {
     /// # Panics
     ///
     /// Panics unless `capacity` is in `1..=255` ([`RecencyStack`]'s range
-    /// — a response cache deeper than 255 entries wants a different
-    /// structure anyway).
-    pub fn new(capacity: usize) -> Self {
-        ResultCache {
+    /// — a cache deeper than 255 entries wants a different structure
+    /// anyway).
+    fn new(capacity: usize) -> Self {
+        Lru {
             slots: (0..capacity).map(|_| None).collect(),
             recency: RecencyStack::new(capacity),
             hits: 0,
@@ -54,34 +55,13 @@ impl ResultCache {
         }
     }
 
-    /// Number of slots.
-    pub fn capacity(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Number of occupied slots.
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
-    }
-
-    /// Whether nothing is cached yet.
-    pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(|s| s.is_none())
-    }
-
-    /// Lifetime lookup hits.
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Lifetime lookup misses.
-    pub fn misses(&self) -> u64 {
-        self.misses
     }
 
     /// Looks `canonical` up (pre-hashed as `key`); a hit refreshes the
     /// entry to MRU.
-    pub fn get(&mut self, key: u64, canonical: &str) -> Option<Arc<Vec<u8>>> {
+    fn get(&mut self, key: u64, canonical: &str) -> Option<V> {
         let slot = self.slots.iter().position(|s| {
             s.as_ref()
                 .is_some_and(|e| e.key == key && e.canonical == canonical)
@@ -90,9 +70,13 @@ impl ResultCache {
             Some(way) => {
                 self.recency.touch_mru(way);
                 self.hits += 1;
-                Some(Arc::clone(
-                    &self.slots[way].as_ref().expect("matched slot").body,
-                ))
+                Some(
+                    self.slots[way]
+                        .as_ref()
+                        .expect("matched slot")
+                        .value
+                        .clone(),
+                )
             }
             None => {
                 self.misses += 1;
@@ -101,9 +85,9 @@ impl ResultCache {
         }
     }
 
-    /// Inserts (or refreshes) a response, evicting the LRU entry when
-    /// full. Returns the evicted canonical string, if any.
-    pub fn insert(&mut self, key: u64, canonical: String, body: Arc<Vec<u8>>) -> Option<String> {
+    /// Inserts (or refreshes) a value, evicting the LRU entry when full.
+    /// Returns the evicted canonical string, if any.
+    fn insert(&mut self, key: u64, canonical: String, value: V) -> Option<String> {
         // Refresh in place if the experiment raced its way in twice.
         if let Some(way) = self.slots.iter().position(|s| {
             s.as_ref()
@@ -112,7 +96,7 @@ impl ResultCache {
             self.slots[way] = Some(Entry {
                 key,
                 canonical,
-                body,
+                value,
             });
             self.recency.touch_mru(way);
             return None;
@@ -131,9 +115,151 @@ impl ResultCache {
         self.slots[way] = Some(Entry {
             key,
             canonical,
-            body,
+            value,
         });
         self.recency.touch_mru(way);
+        evicted
+    }
+}
+
+/// A bounded LRU map from canonical request to response body.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Lru<Arc<Vec<u8>>>,
+}
+
+impl ResultCache {
+    /// Default number of cached responses.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Creates a cache holding up to `capacity` responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is in `1..=255`.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Lru::new(capacity),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses
+    }
+
+    /// Looks `canonical` up (pre-hashed as `key`); a hit refreshes the
+    /// entry to MRU.
+    pub fn get(&mut self, key: u64, canonical: &str) -> Option<Arc<Vec<u8>>> {
+        self.inner.get(key, canonical)
+    }
+
+    /// Inserts (or refreshes) a response, evicting the LRU entry when
+    /// full. Returns the evicted canonical string, if any.
+    pub fn insert(&mut self, key: u64, canonical: String, body: Arc<Vec<u8>>) -> Option<String> {
+        self.inner.insert(key, canonical, body)
+    }
+}
+
+/// A bounded LRU map from canonical **warm prefix** to the warmed
+/// [`SystemSnapshot`] it produces, shared across every `/run` whose warm
+/// state is identical (see
+/// [`RunRequest::warm_prefix_canonical`](crate::request::RunRequest::warm_prefix_canonical)).
+///
+/// Purely a scheduling structure: a hit skips re-replaying the warm
+/// prefix; a miss (or a scheme whose LLC declines the snapshot
+/// capability, e.g. STEM) replays it cold. Either way the measured
+/// suffix — and therefore the response body — is byte-identical, which
+/// is why this cache and the [`ResultCache`] can never alias: they live
+/// in different key spaces *and* a snapshot hit still reruns the
+/// measured suffix rather than answering from stored bytes.
+#[derive(Debug)]
+pub struct SnapshotCache {
+    inner: Lru<Arc<SystemSnapshot>>,
+    evictions: u64,
+}
+
+impl SnapshotCache {
+    /// Creates a cache holding up to `capacity` warmed snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is in `1..=255`.
+    pub fn new(capacity: usize) -> Self {
+        SnapshotCache {
+            inner: Lru::new(capacity),
+            evictions: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses
+    }
+
+    /// Lifetime LRU evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks the warm prefix up (pre-hashed as `key`); a hit refreshes
+    /// the entry to MRU.
+    pub fn get(&mut self, key: u64, canonical: &str) -> Option<Arc<SystemSnapshot>> {
+        self.inner.get(key, canonical)
+    }
+
+    /// Inserts (or refreshes) a warmed snapshot, evicting the LRU entry
+    /// when full. Returns the evicted canonical string, if any.
+    pub fn insert(
+        &mut self,
+        key: u64,
+        canonical: String,
+        snapshot: Arc<SystemSnapshot>,
+    ) -> Option<String> {
+        let evicted = self.inner.insert(key, canonical, snapshot);
+        if evicted.is_some() {
+            self.evictions += 1;
+        }
         evicted
     }
 }
@@ -198,5 +324,48 @@ mod tests {
         put(&mut c, "a");
         put(&mut c, "a");
         assert_eq!(c.len(), 1);
+    }
+
+    mod snapshots {
+        use super::*;
+        use stem_analysis::build_cache;
+        use stem_hierarchy::{System, SystemConfig};
+        use stem_sim_core::CacheGeometry;
+
+        fn snap() -> Arc<SystemSnapshot> {
+            let geom = CacheGeometry::new(64, 4, 64).unwrap();
+            let system = System::new(
+                SystemConfig::micro2010(),
+                build_cache(stem_analysis::Scheme::Lru, geom),
+            );
+            Arc::new(system.snapshot().expect("LRU supports snapshots"))
+        }
+
+        fn put(cache: &mut SnapshotCache, name: &str) -> Option<String> {
+            cache.insert(fnv1a64(name.as_bytes()), name.to_owned(), snap())
+        }
+
+        #[test]
+        fn snapshot_cache_is_lru_and_counts_evictions() {
+            let mut c = SnapshotCache::new(2);
+            assert!(c.is_empty());
+            put(&mut c, "a");
+            put(&mut c, "b");
+            assert!(c.get(fnv1a64(b"a"), "a").is_some(), "refresh a to MRU");
+            assert_eq!(put(&mut c, "c").as_deref(), Some("b"), "b was LRU");
+            assert_eq!(c.evictions(), 1);
+            assert_eq!((c.hits(), c.misses()), (1, 0));
+            assert!(c.get(fnv1a64(b"b"), "b").is_none());
+            assert_eq!(c.len(), 2);
+            assert_eq!(c.capacity(), 2);
+        }
+
+        #[test]
+        fn snapshot_collision_degrades_to_a_miss() {
+            let mut c = SnapshotCache::new(2);
+            c.insert(7, "left".into(), snap());
+            assert!(c.get(7, "right").is_none(), "canonical mismatch");
+            assert!(c.get(7, "left").is_some());
+        }
     }
 }

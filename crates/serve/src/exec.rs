@@ -15,18 +15,21 @@
 //! randomness beyond the trace generators' fixed seeds, or ambient
 //! environment.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use stem_analysis::{
-    replay_sample_warmed, run_system_decoded, sampled_mpki, warm_split, CapacityDemandProfiler,
+    build_cache, replay_sample_warmed, run_system_decoded, sampled_mpki, warm_split,
+    CapacityDemandProfiler,
 };
 use stem_bench::config::Fidelity;
 use stem_bench::harness::prepare_trace;
-use stem_hierarchy::{SystemConfig, SystemMetrics};
+use stem_hierarchy::{System, SystemConfig, SystemMetrics};
 use stem_sim_core::{CacheGeometry, DecodedTrace, Json, SampledTrace, ShardedTrace, SimError};
 use stem_workloads::BenchmarkProfile;
 
+use crate::cache::SnapshotCache;
+use crate::metrics::Metrics;
 use crate::request::RunRequest;
 
 /// The pluggable experiment function.
@@ -82,9 +85,100 @@ pub fn expired_before_execution(deadline: &RequestDeadline) -> bool {
     deadline.expired()
 }
 
-/// Builds the production executor.
+/// Builds the production executor (no snapshot cache: every exact run
+/// replays its warm prefix cold).
 pub fn simulation_executor() -> Executor {
     Arc::new(run_simulation)
+}
+
+/// Builds the production executor with a bounded warm-state
+/// [`SnapshotCache`] of `snapshot_slots` entries (0 disables it,
+/// reducing to [`simulation_executor`]). Exact runs whose warm prefix is
+/// cached restore the warmed hierarchy instead of re-replaying it; hits,
+/// misses, and evictions land in `metrics`
+/// (`stem_serve_snapshot_*_total`).
+///
+/// Purely a scheduling cache: the measured suffix always reruns, so the
+/// response body is byte-identical with the cache on, off, hot, or cold
+/// (the warm-state snapshot exactness contract, proven differentially in
+/// `stem-hierarchy` and in this crate's service tests).
+///
+/// # Panics
+///
+/// Panics if `snapshot_slots` exceeds 255 ([`SnapshotCache::new`]'s
+/// bound; the daemon validates the knob before calling this).
+pub fn simulation_executor_with(snapshot_slots: usize, metrics: Arc<Metrics>) -> Executor {
+    if snapshot_slots == 0 {
+        return simulation_executor();
+    }
+    let store = Arc::new(Mutex::new(SnapshotCache::new(snapshot_slots)));
+    Arc::new(move |req| run_simulation_snapshotting(req, &store, &metrics))
+}
+
+/// [`run_simulation`] with warm-prefix reuse on the exact path. The
+/// sampled tier never consults the store (it replays a bare LLC, not the
+/// hierarchy the snapshots capture).
+fn run_simulation_snapshotting(
+    req: &RunRequest,
+    store: &Mutex<SnapshotCache>,
+    metrics: &Metrics,
+) -> Result<Json, SimError> {
+    run_simulation_inner(req, Some((store, metrics)))
+}
+
+/// The exact-path metrics replay, warm prefix restored from the snapshot
+/// store when possible.
+///
+/// The protocol mirrors the sweep drivers': warm → `reset_stats` →
+/// `snapshot` (so cached snapshots carry zeroed counters) → measure; a
+/// hit restores and goes straight to measuring. A scheme whose LLC
+/// declines the capability (STEM's shadow-tag and SCDM state) simply
+/// never yields a snapshot — every such run replays cold and counts a
+/// miss, with bit-identical results.
+fn exact_metrics_snapshotting(
+    req: &RunRequest,
+    geom: CacheGeometry,
+    trace: &DecodedTrace,
+    store: &Mutex<SnapshotCache>,
+    metrics: &Metrics,
+) -> SystemMetrics {
+    let warm_len = warm_split(trace.len(), req.warmup_fraction);
+    let key = req.snapshot_key();
+    let canonical = req.warm_prefix_canonical().to_string();
+    let mut system = System::new(SystemConfig::micro2010(), build_cache(req.scheme, geom));
+    let cached = store
+        .lock()
+        .expect("snapshot cache lock")
+        .get(key, &canonical);
+    match cached {
+        Some(snap) => {
+            metrics.snapshot_hit();
+            // The canonical comparison in `get` pins benchmark, scheme,
+            // geometry, length, and warm-up; the system config is the
+            // executor's constant. A failure here is a wiring bug and
+            // must fail loudly (the runner's panic isolation turns it
+            // into a 500, never silently-wrong bytes).
+            system
+                .restore(&snap)
+                .expect("cached snapshot restores into its own warm prefix");
+        }
+        None => {
+            metrics.snapshot_miss();
+            system.warm_decoded(trace, warm_len);
+            system.reset_stats();
+            if let Some(snap) = system.snapshot() {
+                let evicted = store.lock().expect("snapshot cache lock").insert(
+                    key,
+                    canonical,
+                    Arc::new(snap),
+                );
+                if evicted.is_some() {
+                    metrics.snapshot_evicted();
+                }
+            }
+        }
+    }
+    system.run_decoded_range(trace, warm_len..trace.len())
 }
 
 /// Runs one experiment end to end.
@@ -95,6 +189,13 @@ pub fn simulation_executor() -> Executor {
 /// execution (cannot happen for requests produced by
 /// [`RunRequest::parse`]).
 pub fn run_simulation(req: &RunRequest) -> Result<Json, SimError> {
+    run_simulation_inner(req, None)
+}
+
+fn run_simulation_inner(
+    req: &RunRequest,
+    snapshots: Option<(&Mutex<SnapshotCache>, &Metrics)>,
+) -> Result<Json, SimError> {
     let bench = BenchmarkProfile::by_name(&req.benchmark).ok_or_else(|| {
         SimError::config("serve", format!("unknown benchmark {:?}", req.benchmark))
     })?;
@@ -103,13 +204,16 @@ pub fn run_simulation(req: &RunRequest) -> Result<Json, SimError> {
     if req.fidelity == Fidelity::Sampled {
         return run_sampled(req, geom, &prepared.trace);
     }
-    let metrics = run_system_decoded(
-        req.scheme,
-        geom,
-        SystemConfig::micro2010(),
-        &prepared.trace,
-        req.warmup_fraction,
-    );
+    let metrics = match snapshots {
+        Some((store, m)) => exact_metrics_snapshotting(req, geom, &prepared.trace, store, m),
+        None => run_system_decoded(
+            req.scheme,
+            geom,
+            SystemConfig::micro2010(),
+            &prepared.trace,
+            req.warmup_fraction,
+        ),
+    };
 
     let mut fields = vec![("metrics".to_owned(), metrics_json(&metrics))];
     if req.profile {
@@ -367,6 +471,52 @@ mod tests {
             .and_then(Json::as_u64)
             .expect("measured accesses");
         assert_eq!(measured, 4000, "5000 accesses minus the 20% warm-up");
+    }
+
+    #[test]
+    fn snapshotting_runs_are_byte_identical_to_cold_and_count_traffic() {
+        let metrics = Metrics::new();
+        let store = Mutex::new(SnapshotCache::new(4));
+        let req = tiny_request(false);
+        let cold = run_simulation(&req).expect("cold run");
+        let miss = run_simulation_snapshotting(&req, &store, &metrics).expect("miss run");
+        let hit = run_simulation_snapshotting(&req, &store, &metrics).expect("hit run");
+        assert_eq!(cold.to_string(), miss.to_string());
+        assert_eq!(cold.to_string(), hit.to_string());
+        assert_eq!((metrics.snapshot_misses(), metrics.snapshot_hits()), (1, 1));
+        assert_eq!(store.lock().unwrap().len(), 1);
+
+        // A profile variant shares the warm prefix: snapshot hit, but a
+        // different (larger) response body.
+        let with_profile = tiny_request(true);
+        let out = run_simulation_snapshotting(&with_profile, &store, &metrics).expect("run");
+        assert_eq!(metrics.snapshot_hits(), 2);
+        assert!(out.get("capacity_profile").is_some());
+        assert_eq!(
+            out.get("metrics").expect("metrics").to_string(),
+            cold.get("metrics").expect("metrics").to_string(),
+            "restored metrics replay must match the cold replay exactly"
+        );
+    }
+
+    #[test]
+    fn refusing_scheme_runs_cold_and_never_populates_the_store() {
+        let metrics = Metrics::new();
+        let store = Mutex::new(SnapshotCache::new(4));
+        let req = RunRequest::parse(
+            br#"{"benchmark": "mcf", "scheme": "stem", "sets": 64, "ways": 16, "accesses": 5000}"#,
+        )
+        .expect("valid request");
+        let cold = run_simulation(&req).expect("cold run");
+        for _ in 0..2 {
+            let out = run_simulation_snapshotting(&req, &store, &metrics).expect("run");
+            assert_eq!(cold.to_string(), out.to_string());
+        }
+        assert!(
+            store.lock().unwrap().is_empty(),
+            "STEM's LLC declines the capability; nothing may be cached"
+        );
+        assert_eq!((metrics.snapshot_misses(), metrics.snapshot_hits()), (2, 0));
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //! * [`http`] — a minimal one-request-per-connection HTTP/1.1 codec;
 //! * [`request`] + [`cache`] — strict validation onto the
 //!   [`SimError`](stem_sim_core::SimError) taxonomy, canonicalization,
-//!   FNV-1a content addressing, and a bounded LRU result cache built on
-//!   the simulator's own
-//!   [`RecencyStack`](stem_replacement::RecencyStack);
+//!   FNV-1a content addressing, and two bounded LRU caches built on the
+//!   simulator's own [`RecencyStack`](stem_replacement::RecencyStack):
+//!   response bodies ([`ResultCache`]) and warmed simulator state
+//!   ([`SnapshotCache`] — exact runs sharing a warm prefix restore a
+//!   checkpoint instead of re-replaying it, byte-identically);
 //! * [`service`] + [`exec`] + [`metrics`] — routing, the bounded job
 //!   queue with 429 backpressure, panic/budget isolation via
 //!   [`ExperimentRunner`](stem_bench::resilience::ExperimentRunner),
@@ -83,9 +85,11 @@ pub mod service;
 pub mod transport;
 
 pub use backoff::BackoffPolicy;
-pub use cache::ResultCache;
+pub use cache::{ResultCache, SnapshotCache};
 pub use chaos::{ChaosConn, ChaosTransport, ConnPlan, FaultProfile};
-pub use exec::{run_simulation, simulation_executor, Executor, RequestDeadline};
+pub use exec::{
+    run_simulation, simulation_executor, simulation_executor_with, Executor, RequestDeadline,
+};
 pub use http::Deadline;
 pub use metrics::Metrics;
 pub use request::{fnv1a64, RunRequest};

@@ -39,6 +39,14 @@ pub struct Metrics {
     /// Valid `/run` requests asking for the sampled-fidelity tier
     /// (counted at validation time, so cache hits are included).
     sampled_requests: AtomicU64,
+    /// Executed exact runs whose warm prefix was restored from the
+    /// snapshot cache instead of re-replayed.
+    snapshot_hits: AtomicU64,
+    /// Executed exact runs that replayed their warm prefix cold (no
+    /// snapshot cached yet, or the scheme declines the capability).
+    snapshot_misses: AtomicU64,
+    /// Warmed snapshots evicted from the bounded snapshot cache.
+    snapshot_evictions: AtomicU64,
     /// Requests rejected with 429 because the queue was full.
     rejected: AtomicU64,
     /// Experiment cells that panicked or overran their budget.
@@ -128,6 +136,37 @@ impl Metrics {
     /// Lifetime sampled-fidelity `/run` requests.
     pub fn sampled_requests(&self) -> u64 {
         self.sampled_requests.load(Ordering::Relaxed)
+    }
+
+    /// An executed exact run restored its warm prefix from the snapshot
+    /// cache.
+    pub fn snapshot_hit(&self) {
+        self.snapshot_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime snapshot-cache hits.
+    pub fn snapshot_hits(&self) -> u64 {
+        self.snapshot_hits.load(Ordering::Relaxed)
+    }
+
+    /// An executed exact run replayed its warm prefix cold.
+    pub fn snapshot_miss(&self) {
+        self.snapshot_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime snapshot-cache misses.
+    pub fn snapshot_misses(&self) -> u64 {
+        self.snapshot_misses.load(Ordering::Relaxed)
+    }
+
+    /// A warmed snapshot was evicted from the bounded snapshot cache.
+    pub fn snapshot_evicted(&self) {
+        self.snapshot_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime snapshot-cache evictions.
+    pub fn snapshot_evictions(&self) -> u64 {
+        self.snapshot_evictions.load(Ordering::Relaxed)
     }
 
     /// A request bounced off the full queue with 429.
@@ -231,7 +270,7 @@ impl Metrics {
             self.latency_count.load(Ordering::Relaxed)
         ));
 
-        let gauges_and_counters: [(&str, &str, &str, u64); 11] = [
+        let gauges_and_counters: [(&str, &str, &str, u64); 14] = [
             (
                 "stem_serve_queue_depth",
                 "gauge",
@@ -261,6 +300,24 @@ impl Metrics {
                 "counter",
                 "Valid run requests asking for the sampled-fidelity tier.",
                 self.sampled_requests(),
+            ),
+            (
+                "stem_serve_snapshot_hits_total",
+                "counter",
+                "Executed exact runs whose warm prefix was restored from the snapshot cache.",
+                self.snapshot_hits(),
+            ),
+            (
+                "stem_serve_snapshot_misses_total",
+                "counter",
+                "Executed exact runs that replayed their warm prefix cold.",
+                self.snapshot_misses(),
+            ),
+            (
+                "stem_serve_snapshot_evictions_total",
+                "counter",
+                "Warmed snapshots evicted from the bounded snapshot cache.",
+                self.snapshot_evictions(),
             ),
             (
                 "stem_serve_rejected_total",
@@ -336,7 +393,14 @@ mod tests {
         m.rejected();
         m.sampled_request();
         m.sampled_request();
+        m.snapshot_hit();
+        m.snapshot_miss();
+        m.snapshot_miss();
+        m.snapshot_evicted();
         let page = m.render();
+        assert!(page.contains("stem_serve_snapshot_hits_total 1"));
+        assert!(page.contains("stem_serve_snapshot_misses_total 2"));
+        assert!(page.contains("stem_serve_snapshot_evictions_total 1"));
         assert!(page.contains("stem_serve_requests_total{route=\"run\",status=\"200\"} 1"));
         assert!(page.contains("stem_serve_requests_total{route=\"run\",status=\"429\"} 1"));
         assert!(page.contains("stem_serve_sim_executions_total 1"));
@@ -377,6 +441,9 @@ mod tests {
         let page = Metrics::new().render();
         assert!(page.contains("stem_serve_panics_total 0"));
         assert!(page.contains("stem_serve_sampled_requests_total 0"));
+        assert!(page.contains("stem_serve_snapshot_hits_total 0"));
+        assert!(page.contains("stem_serve_snapshot_misses_total 0"));
+        assert!(page.contains("stem_serve_snapshot_evictions_total 0"));
         assert!(!page.contains("chaos_faults_total{"), "no empty family");
     }
 

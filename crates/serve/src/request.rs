@@ -343,6 +343,39 @@ impl RunRequest {
     pub fn cache_key(&self) -> u64 {
         fnv1a64(self.canonical().to_string().as_bytes())
     }
+
+    /// The canonical **warm-prefix** form: exactly the fields the warmed
+    /// simulator state depends on — benchmark, scheme, geometry, trace
+    /// length, and warm-up fraction. `profile`, `fidelity`, the sampling
+    /// knobs, and `deadline_ms` are deliberately absent: they change what
+    /// is *measured or reported* after the warm boundary, never the state
+    /// the warm prefix leaves behind, so requests differing only in those
+    /// fields share one snapshot entry. A distinct fixed `"warm_prefix"`
+    /// marker field keeps this serialization from ever colliding with a
+    /// full [`canonical`](Self::canonical) form byte-for-byte.
+    pub fn warm_prefix_canonical(&self) -> Json {
+        Json::Obj(vec![
+            ("warm_prefix".into(), Json::Bool(true)),
+            ("benchmark".into(), Json::str(self.benchmark.clone())),
+            ("scheme".into(), Json::str(self.scheme.label())),
+            ("sets".into(), Json::Int(self.sets as i64)),
+            ("ways".into(), Json::Int(self.ways as i64)),
+            ("line_bytes".into(), Json::Int(self.line_bytes as i64)),
+            ("accesses".into(), Json::Int(self.accesses as i64)),
+            (
+                "warmup_fraction".into(),
+                Json::float_rounded(self.warmup_fraction, 6),
+            ),
+        ])
+    }
+
+    /// The snapshot-cache key: FNV-1a 64 over the warm-prefix canonical
+    /// serialization. As with [`cache_key`](Self::cache_key), the cache
+    /// stores the canonical string alongside and compares it on lookup,
+    /// so a hash collision degrades to a miss, never to a wrong restore.
+    pub fn snapshot_key(&self) -> u64 {
+        fnv1a64(self.warm_prefix_canonical().to_string().as_bytes())
+    }
 }
 
 /// FNV-1a 64-bit: tiny, dependency-free, and stable across platforms —
@@ -555,6 +588,62 @@ mod tests {
             "deadline must not split cache entries"
         );
         assert!(!patient.canonical().to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn warm_prefix_identity_follows_the_warm_state_not_the_measurement() {
+        // Fields that only change what is measured/reported after the
+        // warm boundary — profile, fidelity+sampling knobs, deadline —
+        // share one warm prefix; every field the warm state depends on
+        // splits it.
+        let base = RunRequest::parse(br#"{"benchmark": "mcf", "scheme": "lru"}"#).expect("valid");
+        let shares: &[&[u8]] = &[
+            br#"{"benchmark": "mcf", "scheme": "lru", "profile": true}"#,
+            br#"{"benchmark": "mcf", "scheme": "lru", "fidelity": "sampled"}"#,
+            br#"{"benchmark": "mcf", "scheme": "lru", "deadline_ms": 250}"#,
+        ];
+        for body in shares {
+            let req = RunRequest::parse(body).expect("valid");
+            assert_eq!(base.snapshot_key(), req.snapshot_key(), "{body:?}");
+            assert_eq!(
+                base.warm_prefix_canonical().to_string(),
+                req.warm_prefix_canonical().to_string()
+            );
+        }
+        let splits: &[&[u8]] = &[
+            br#"{"benchmark": "omnetpp", "scheme": "lru"}"#,
+            br#"{"benchmark": "mcf", "scheme": "dip"}"#,
+            br#"{"benchmark": "mcf", "scheme": "lru", "sets": 1024}"#,
+            br#"{"benchmark": "mcf", "scheme": "lru", "ways": 8}"#,
+            br#"{"benchmark": "mcf", "scheme": "lru", "accesses": 1000}"#,
+            br#"{"benchmark": "mcf", "scheme": "lru", "warmup_fraction": 0.1}"#,
+        ];
+        for body in splits {
+            let req = RunRequest::parse(body).expect("valid");
+            assert_ne!(
+                base.warm_prefix_canonical().to_string(),
+                req.warm_prefix_canonical().to_string(),
+                "{body:?} must not share the warm prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_prefix_serialization_never_aliases_a_result_canonical() {
+        // The two key spaces are hashed from serializations that can
+        // never be byte-equal (the warm-prefix marker field sees to it),
+        // so a snapshot entry can never masquerade as a result entry even
+        // if the two caches were ever merged.
+        let req = RunRequest::parse(br#"{"benchmark": "mcf", "scheme": "lru"}"#).expect("valid");
+        assert_ne!(
+            req.canonical().to_string(),
+            req.warm_prefix_canonical().to_string()
+        );
+        assert!(req
+            .warm_prefix_canonical()
+            .to_string()
+            .contains("warm_prefix"));
+        assert!(!req.canonical().to_string().contains("warm_prefix"));
     }
 
     #[test]

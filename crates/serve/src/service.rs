@@ -80,6 +80,11 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Result-cache entries (LRU beyond this).
     pub cache_capacity: usize,
+    /// Warm-state snapshot-cache entries for the production executor
+    /// (LRU beyond this; 0 disables warm-prefix reuse entirely). Only
+    /// consulted by [`start`] — [`start_with_executor`] callers own their
+    /// executor's caching.
+    pub snapshot_slots: usize,
     /// Worker threads the executor hands to
     /// [`ExperimentRunner::run_batch`].
     pub threads: usize,
@@ -99,6 +104,7 @@ impl Default for ServeConfig {
         ServeConfig {
             queue_capacity: 8,
             cache_capacity: ResultCache::DEFAULT_CAPACITY,
+            snapshot_slots: 16,
             threads: stem_bench::pool::configured_threads(),
             budget: Duration::from_secs(600),
             io_deadline: Duration::from_secs(10),
@@ -178,9 +184,17 @@ impl ServiceHandle {
 }
 
 /// Starts the service on `transport` with the production simulation
-/// executor.
-pub fn start(transport: Box<dyn Transport>, config: ServeConfig) -> ServiceHandle {
-    start_with_executor(transport, config, crate::exec::simulation_executor())
+/// executor, including the warm-state snapshot cache when
+/// [`ServeConfig::snapshot_slots`] is nonzero. The executor shares the
+/// service's metrics so snapshot traffic shows up on `/metrics`.
+pub fn start(transport: Box<dyn Transport>, mut config: ServeConfig) -> ServiceHandle {
+    let metrics = config
+        .metrics
+        .take()
+        .unwrap_or_else(|| Arc::new(Metrics::new()));
+    config.metrics = Some(Arc::clone(&metrics));
+    let executor = crate::exec::simulation_executor_with(config.snapshot_slots, metrics);
+    start_with_executor(transport, config, executor)
 }
 
 /// Starts the service with an arbitrary executor (tests inject blocking

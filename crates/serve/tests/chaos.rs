@@ -55,6 +55,9 @@ fn campaign_config(metrics: Arc<Metrics>) -> ServeConfig {
         // Short enough that slow-loris plans overrun it (exercising 408s),
         // long enough that healthy requests never graze it.
         io_deadline: Duration::from_millis(500),
+        // Warm-state reuse stays on under chaos: the no-panic guarantee
+        // must hold with the snapshot path live.
+        snapshot_slots: 16,
         metrics: Some(metrics),
     }
 }
@@ -118,6 +121,16 @@ fn storm(
         "seed {plan_seed:#x}: repeats must come from the cache ({} hits)",
         metrics.cache_hits()
     );
+    // The snapshot cache was live throughout the storm: each distinct
+    // request has a distinct warm prefix (the scripts differ in
+    // `accesses`), so all three executions warmed cold — and chaotic
+    // copies never reached the executor to inflate the counters.
+    assert_eq!(
+        metrics.snapshot_misses(),
+        3,
+        "seed {plan_seed:#x}: one warm-up per distinct warm prefix"
+    );
+    assert_eq!(metrics.snapshot_hits(), 0);
 
     handle.shutdown();
     drop(connector.connect()); // nudge the accept poll

@@ -156,6 +156,105 @@ fn sampled_and_exact_requests_never_share_a_cache_entry() {
     handle.join();
 }
 
+/// The profile twin of [`SMALL_RUN`]: it measures something extra (the
+/// §3.1 capacity profile) over the *same* warm prefix — same benchmark,
+/// scheme, geometry, accesses, and warmup fraction.
+const SMALL_RUN_PROFILE: &[u8] = br#"{"benchmark": "mcf", "scheme": "lru", "sets": 64, "ways": 4,
+     "accesses": 5000, "profile": true}"#;
+
+/// Extracts the rendered `"mpki": <value>` fragment of a response body.
+fn mpki_of(body: &str) -> &str {
+    let start = body.find("\"mpki\":").expect("mpki present");
+    let rest = &body[start..];
+    let end = rest.find([',', '}']).expect("mpki terminated");
+    &rest[..end]
+}
+
+#[test]
+fn warm_prefix_sharers_hit_the_snapshot_cache_but_never_the_result_cache() {
+    // Two requests that measure different things (one wants the §3.1
+    // profile) but share a warm prefix: the second restores the first's
+    // warmed state instead of re-replaying it. The snapshot cache is a
+    // pure accelerator — the result cache still sees two distinct
+    // entries, the bodies never alias, and the metric triple is
+    // identical because the restored state is exact.
+    let (listener, connector) = duplex_transport();
+    let handle = service::start(Box::new(listener), small_config());
+
+    let plain = exchange(&connector, "POST", "/run", SMALL_RUN);
+    let profiled = exchange(&connector, "POST", "/run", SMALL_RUN_PROFILE);
+    assert_eq!(plain.status, 200, "{}", plain.body_text());
+    assert_eq!(profiled.status, 200, "{}", profiled.body_text());
+    assert_ne!(plain.body, profiled.body, "profile must change the body");
+    assert!(profiled.body_text().contains("\"capacity_profile\""));
+    assert_eq!(
+        mpki_of(&plain.body_text()),
+        mpki_of(&profiled.body_text()),
+        "restoring the warm prefix must not perturb the measurement"
+    );
+
+    let page = exchange(&connector, "GET", "/metrics", b"").body_text();
+    assert_eq!(metric(&page, "stem_serve_sim_executions_total"), 2);
+    assert_eq!(
+        metric(&page, "stem_serve_cache_hits_total"),
+        0,
+        "a snapshot hit is not a result-cache hit:\n{page}"
+    );
+    assert_eq!(metric(&page, "stem_serve_cache_misses_total"), 2);
+    assert_eq!(metric(&page, "stem_serve_snapshot_misses_total"), 1);
+    assert_eq!(
+        metric(&page, "stem_serve_snapshot_hits_total"),
+        1,
+        "the profile twin must restore the warmed snapshot:\n{page}"
+    );
+
+    // Repeats of either variant are still plain result-cache hits that
+    // never consult the snapshot store again.
+    let plain2 = exchange(&connector, "POST", "/run", SMALL_RUN);
+    assert_eq!(plain.body, plain2.body);
+    let page = exchange(&connector, "GET", "/metrics", b"").body_text();
+    assert_eq!(metric(&page, "stem_serve_cache_hits_total"), 1);
+    assert_eq!(metric(&page, "stem_serve_snapshot_hits_total"), 1);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn disabling_the_snapshot_cache_never_changes_the_bytes() {
+    // snapshot_slots: 0 swaps in the plain executor; every byte of every
+    // response must be identical either way — the cache only removes
+    // redundant warm-replay work, never alters what is measured.
+    let mut bodies = Vec::new();
+    for slots in [0usize, 16] {
+        let (listener, connector) = duplex_transport();
+        let config = ServeConfig {
+            snapshot_slots: slots,
+            ..small_config()
+        };
+        let handle = service::start(Box::new(listener), config);
+        let plain = exchange(&connector, "POST", "/run", SMALL_RUN);
+        let profiled = exchange(&connector, "POST", "/run", SMALL_RUN_PROFILE);
+        assert_eq!(plain.status, 200, "{}", plain.body_text());
+        assert_eq!(profiled.status, 200, "{}", profiled.body_text());
+
+        let page = exchange(&connector, "GET", "/metrics", b"").body_text();
+        let expected_hits = if slots == 0 { 0 } else { 1 };
+        assert_eq!(
+            metric(&page, "stem_serve_snapshot_hits_total"),
+            expected_hits,
+            "slots={slots}:\n{page}"
+        );
+        bodies.push((plain.body, profiled.body));
+        handle.shutdown();
+        handle.join();
+    }
+    assert_eq!(
+        bodies[0], bodies[1],
+        "snapshot restore must be invisible in the response bytes"
+    );
+}
+
 #[test]
 fn sampled_requests_for_global_state_schemes_are_rejected() {
     let (listener, connector) = duplex_transport();

@@ -21,6 +21,9 @@
 //! * [`SplitMix64`] — a tiny deterministic RNG so every simulation is
 //!   reproducible without external crates;
 //! * [`CacheModel`] — the object-safe trait all six schemes implement;
+//! * [`Snapshot`] / [`PolicyState`] — opt-in checkpoint/restore of warm
+//!   replay state (tag store + policy state + stats), so shared warm-up
+//!   prefixes are replayed once and restored per consumer;
 //! * [`InvariantAuditor`] / [`run_audited`] — checked simulation mode that
 //!   verifies each scheme's internal bookkeeping during a run;
 //! * [`SimError`] / [`TraceError`] — the workspace-wide error taxonomy;
@@ -57,6 +60,7 @@ pub mod prop;
 mod rng;
 mod sample;
 mod shard;
+pub mod snapshot;
 mod stats;
 mod timing;
 mod trace;
@@ -74,6 +78,7 @@ pub use model::{replay_decoded_via_access, AccessResult, CacheModel};
 pub use rng::SplitMix64;
 pub use sample::SampledTrace;
 pub use shard::{ShardedTrace, TraceShard};
+pub use snapshot::{PolicyState, Snapshot, SnapshotError};
 pub use stats::CacheStats;
 pub use timing::{AccessLatency, TimingParams};
 pub use trace::{Trace, TraceStats};

@@ -5,7 +5,8 @@ use std::fmt;
 use std::ops::Range;
 
 use crate::{
-    Access, AccessKind, Address, CacheGeometry, CacheStats, DecodedAccess, DecodedTrace, Trace,
+    Access, AccessKind, Address, CacheGeometry, CacheStats, DecodedAccess, DecodedTrace, Snapshot,
+    SnapshotError, Trace,
 };
 
 /// The outcome of one cache access, at the granularity the paper's timing
@@ -236,6 +237,57 @@ pub trait CacheModel {
     /// [`supports_set_sharding`]: CacheModel::supports_set_sharding
     fn supports_set_sampling(&self) -> bool {
         self.supports_set_sharding()
+    }
+
+    /// Whether this cache can checkpoint and restore its complete replay
+    /// state.
+    ///
+    /// # Contract
+    ///
+    /// Returning `true` asserts: [`snapshot`](CacheModel::snapshot) returns
+    /// `Some` capture of **every** piece of mutable state the access path
+    /// reads or writes — tag store, replacement metadata, statistics, any
+    /// global counters or RNG — and [`restore`](CacheModel::restore) of
+    /// that capture into a fresh instance of the same scheme and geometry
+    /// makes the instance produce, per subsequent access, exactly the
+    /// [`AccessResult`] stream and [`CacheStats`] the captured instance
+    /// would have produced. Restore is exact or refused; there is no
+    /// approximate tier.
+    ///
+    /// The default is `false` — a cold run is always correct, so a scheme
+    /// must opt in explicitly, and dispatchers silently run anything that
+    /// declines from cold (a declined offer changes no results). Refusing
+    /// overrides document the disqualifying state they cannot capture
+    /// cheaply, mirroring the sharding/sampling boundaries above.
+    fn supports_snapshot(&self) -> bool {
+        false
+    }
+
+    /// Checkpoints the complete replay state, or `None` when the scheme
+    /// declines ([`supports_snapshot`](CacheModel::supports_snapshot) is
+    /// `false`).
+    ///
+    /// The capture is deep: the snapshot stays valid however the live
+    /// cache is mutated afterwards.
+    fn snapshot(&self) -> Option<Snapshot> {
+        None
+    }
+
+    /// Replaces this cache's complete replay state with `snapshot`'s.
+    ///
+    /// Implementations verify the target first
+    /// ([`Snapshot::verify_target`]): a snapshot of another scheme or
+    /// geometry is an error, never a silent partial restore. On any error
+    /// the cache is left unmodified.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] (the default — the scheme declines
+    /// the capability), or the scheme/geometry/state mismatches named in
+    /// [`SnapshotError`].
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        let _ = snapshot;
+        Err(crate::snapshot::unsupported(self.name()))
     }
 }
 

@@ -1736,10 +1736,11 @@ fn replay_decoded_falls_back_on_incompatible_geometry() {
 // SplitMix64 synthetic streams the backend differentials use.
 
 use stem::analysis::{
-    build_cache, run_scheme_warmed_decoded, run_scheme_warmed_sampled,
-    scheme_supports_set_sampling, scheme_supports_set_sharding, Scheme,
+    build_cache, run_scheme_from_snapshot, run_scheme_warmed_decoded, run_scheme_warmed_sampled,
+    scheme_supports_set_sampling, scheme_supports_set_sharding, scheme_supports_snapshot,
+    warm_scheme_snapshot, warm_split, Scheme,
 };
-use stem::sim_core::{SampledTrace, ShardedTrace};
+use stem::sim_core::{SampledTrace, ShardedTrace, SnapshotError};
 
 /// Synthesizes and decodes one differential trace.
 fn synth_decoded(geom: CacheGeometry, seed: u64, accesses: usize) -> DecodedTrace {
@@ -1847,6 +1848,136 @@ fn write_flags_survive_compaction_across_word_boundaries() {
         assert!(
             merged.writebacks() > 0,
             "dirty path must fire for the differential to mean anything"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore vs cold replay (the snapshot boundary).
+// ---------------------------------------------------------------------------
+//
+// `Snapshot` checkpoints a warmed cache's complete replay state; restoring
+// it into a fresh cache must be *invisible*: the post-restore per-access
+// `AccessResult` stream and the final `CacheStats` must be bit-identical
+// to a single uninterrupted replay of the same trace. Schemes that decline
+// the capability (V-Way, dynamic SBC, STEM) must refuse loudly at the
+// model layer — a named error, never a partial restore — while dispatch
+// helpers quietly route them to the cold path, exactly as if snapshots
+// did not exist.
+
+#[test]
+fn restored_replay_matches_cold_for_every_snapshottable_scheme() {
+    let geom = paper_geom();
+    let decoded = synth_decoded(geom, 0x5A4B_0001, diff_accesses() / 10);
+    let warm_len = warm_split(decoded.len(), 0.2);
+    let mut covered = 0;
+    for scheme in Scheme::ALL {
+        if !scheme_supports_snapshot(scheme, geom) {
+            continue;
+        }
+        covered += 1;
+        // Cold: one cache, never interrupted. Restored: a second cache is
+        // warmed identically, checkpointed, and the checkpoint lands in a
+        // *fresh* cache that then replays the suffix side by side.
+        let mut cold = build_cache(scheme, geom);
+        cold.replay_decoded(&decoded, 0..warm_len);
+        let snap = {
+            let mut warmed = build_cache(scheme, geom);
+            warmed.replay_decoded(&decoded, 0..warm_len);
+            warmed.snapshot().expect("scheme opted into snapshots")
+        };
+        let mut restored = build_cache(scheme, geom);
+        restored
+            .restore(&snap)
+            .expect("matching scheme and geometry");
+        for (i, d) in decoded.iter().enumerate().skip(warm_len) {
+            let want = cold.access_decoded(d);
+            let got = restored.access_decoded(d);
+            assert_eq!(want, got, "{scheme}: access #{i} diverged after restore");
+        }
+        assert_eq!(
+            cold.stats(),
+            restored.stats(),
+            "{scheme}: final CacheStats diverged after restore"
+        );
+    }
+    assert!(
+        covered >= 10,
+        "snapshot surface shrank to {covered} schemes"
+    );
+}
+
+#[test]
+fn refusing_schemes_decline_loudly_at_the_model_and_run_cold_at_dispatch() {
+    let geom = paper_geom();
+    let decoded = synth_decoded(geom, 0x5A4B_0002, diff_accesses() / 20);
+    let warm_len = warm_split(decoded.len(), 0.2);
+    let donor = warm_scheme_snapshot(Scheme::Lru, geom, &decoded, warm_len)
+        .expect("LRU opts into snapshots");
+    let mut refused = 0;
+    for scheme in Scheme::ALL {
+        if scheme_supports_snapshot(scheme, geom) {
+            continue;
+        }
+        refused += 1;
+        let cache = build_cache(scheme, geom);
+        assert!(
+            cache.snapshot().is_none(),
+            "{scheme}: a declining scheme must never emit a snapshot"
+        );
+        // The model layer refuses by name, even offered a valid donor.
+        let mut target = build_cache(scheme, geom);
+        match target.restore(&donor) {
+            Err(SnapshotError::Unsupported { scheme: name }) => {
+                assert!(!name.is_empty(), "{scheme}: refusal must name the scheme")
+            }
+            other => panic!("{scheme}: expected a named refusal, got {other:?}"),
+        }
+        // The dispatch layer declines silently: no snapshot is produced,
+        // so every consumer takes the cold path — whose result is the
+        // plain warmed replay, untouched by the feature existing.
+        assert!(warm_scheme_snapshot(scheme, geom, &decoded, warm_len).is_none());
+    }
+    assert_eq!(refused, 3, "the refusal surface is V-Way, SBC and STEM");
+}
+
+#[test]
+fn snapshot_of_restored_state_round_trips() {
+    // Restore is a state *copy*, not a transformation: re-checkpointing a
+    // just-restored cache must yield an equivalent snapshot, and the
+    // measured suffix from either generation (or from no snapshot at all)
+    // is bit-identical.
+    let geom = pressure_geom();
+    let decoded = synth_decoded(geom, 0x5A4B_0003, diff_accesses() / 20);
+    let warm_len = warm_split(decoded.len(), 0.2);
+    for scheme in Scheme::ALL {
+        if !scheme_supports_snapshot(scheme, geom) {
+            continue;
+        }
+        let first =
+            warm_scheme_snapshot(scheme, geom, &decoded, warm_len).expect("scheme opted in");
+        let second = {
+            let mut mid = build_cache(scheme, geom);
+            mid.restore(&first).expect("first-generation restore");
+            mid.snapshot().expect("a restored cache re-checkpoints")
+        };
+        assert_eq!(first.scheme(), second.scheme());
+        assert_eq!(first.geometry(), second.geometry());
+        assert_eq!(first.stats(), second.stats());
+        let a = run_scheme_from_snapshot(scheme, geom, &decoded, &first, warm_len)
+            .expect("first restores");
+        let b = run_scheme_from_snapshot(scheme, geom, &decoded, &second, warm_len)
+            .expect("second restores");
+        let cold = run_scheme_warmed_decoded(scheme, geom, &decoded, 0.2);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{scheme}: second-generation snapshot diverged"
+        );
+        assert_eq!(
+            a.to_bits(),
+            cold.to_bits(),
+            "{scheme}: snapshot path diverged from the cold path"
         );
     }
 }

@@ -47,6 +47,37 @@ if [ ! -s "$CSV_DIR/BENCH_throughput.json" ]; then
 fi
 echo "    archived $CSV_DIR/BENCH_throughput.json"
 
+echo "==> trace ingestion round-trip gate (convert -> ingest -> replay, byte-compare)"
+# The committed fixture is the canonical text form: binary and back must
+# reproduce it bit-identically in both directions, and replaying the
+# ingested fixture (the mix_quickstart example drives it through the
+# shared-LLC mix subsystem) must print byte-identical results on repeat.
+TRC_DIR="$CSV_DIR/trace-roundtrip"
+mkdir -p "$TRC_DIR"
+CONVERT=target/release/trace_convert
+"$CONVERT" fixtures/sample_mix.trace "$TRC_DIR/fixture.stemtrc" 2>/dev/null
+"$CONVERT" "$TRC_DIR/fixture.stemtrc" "$TRC_DIR/fixture_back.trace" 2>/dev/null
+cmp fixtures/sample_mix.trace "$TRC_DIR/fixture_back.trace" || {
+    echo "ERROR: text -> binary -> text did not reproduce the fixture" >&2
+    exit 1
+}
+"$CONVERT" "$TRC_DIR/fixture_back.trace" "$TRC_DIR/fixture_back.stemtrc" 2>/dev/null
+cmp "$TRC_DIR/fixture.stemtrc" "$TRC_DIR/fixture_back.stemtrc" || {
+    echo "ERROR: binary -> text -> binary did not reproduce the container" >&2
+    exit 1
+}
+cargo run --release -q --example mix_quickstart >"$TRC_DIR/replay1.txt"
+cargo run --release -q --example mix_quickstart >"$TRC_DIR/replay2.txt"
+cmp "$TRC_DIR/replay1.txt" "$TRC_DIR/replay2.txt" || {
+    echo "ERROR: re-ingested fixture replay is not deterministic" >&2
+    exit 1
+}
+grep -q 'weighted speedup' "$TRC_DIR/replay1.txt" || {
+    echo "ERROR: mix_quickstart did not report mix metrics" >&2
+    exit 1
+}
+echo "    fixture round-trips bit-identically; ingested replay is byte-stable"
+
 echo "==> fault-injection smoke"
 STEM_FAULT_ACCESSES=2000 cargo run --release -q -p stem-bench --bin fault_injection
 
@@ -180,7 +211,7 @@ fi
 cp "$SAMP_BASE/BENCH_sampling.json" "$CSV_DIR/BENCH_sampling.json"
 echo "    all cells within the pinned rel-error bound; stdout byte-identical across {1,4} threads"
 
-echo "==> serve smoke (loopback ephemeral port, cache hit, sharded profile, sampled tier, graceful drain)"
+echo "==> serve smoke (loopback ephemeral port, cache hit, sharded profile, sampled tier, mix requests, graceful drain)"
 ADDR_FILE="$CSV_DIR/serve-addr.txt"
 SERVE_LOG="$CSV_DIR/serve-smoke.log"
 rm -f "$ADDR_FILE"
@@ -189,6 +220,7 @@ rm -f "$ADDR_FILE"
 # and byte-stable as the serial path (the sharded profiler is bit-identical
 # by construction; see DESIGN.md §13).
 STEM_SERVE_ADDR=127.0.0.1:0 STEM_SERVE_ADDR_FILE="$ADDR_FILE" STEM_SHARDS=4 \
+    STEM_SERVE_TRACE_DIR="$(pwd)/fixtures" \
     cargo run --release -q -p stem-serve --bin serve >"$SERVE_LOG" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
@@ -247,13 +279,41 @@ if [ "$FIRSTS" = "$FIRST" ]; then
     echo "ERROR: sampled response aliased the exact response" >&2
     exit 1
 fi
+# The mix form (DESIGN.md §16): two benchmark analogs co-run on the
+# shared LLC; the repeat must be a pure cache hit with a byte-identical
+# body carrying the co-scheduling metrics.
+REQM='{"mix": [{"benchmark": "omnetpp"}, {"benchmark": "gromacs"}], "scheme": "lru", "sets": 64, "ways": 8, "accesses": 8000}'
+FIRSTM="$(client POST /run "$REQM")"
+SECONDM="$(client POST /run "$REQM")"
+if [ "$FIRSTM" != "$SECONDM" ]; then
+    echo "ERROR: repeated mix request bodies differ" >&2
+    exit 1
+fi
+echo "$FIRSTM" | grep -q 'weighted_speedup' || {
+    echo "ERROR: mix response is missing the co-scheduling metrics" >&2
+    exit 1
+}
+# A trace-file component: the server resolves it against
+# STEM_SERVE_TRACE_DIR (pointed at the committed fixture directory above)
+# and labels the core with the file it ingested.
+REQT='{"mix": [{"trace": "sample_mix.trace"}, {"benchmark": "gromacs"}], "scheme": "stem", "sets": 64, "ways": 8, "accesses": 8000}'
+FIRSTT="$(client POST /run "$REQT")"
+SECONDT="$(client POST /run "$REQT")"
+if [ "$FIRSTT" != "$SECONDT" ]; then
+    echo "ERROR: repeated trace-component mix request bodies differ" >&2
+    exit 1
+fi
+echo "$FIRSTT" | grep -q 'trace:sample_mix.trace' || {
+    echo "ERROR: trace-component mix response is missing the trace label" >&2
+    exit 1
+}
 METRICS="$(client GET /metrics)"
-echo "$METRICS" | grep -q '^stem_serve_sim_executions_total 3$' || {
-    echo "ERROR: expected exactly three simulation executions; /metrics follows" >&2
+echo "$METRICS" | grep -q '^stem_serve_sim_executions_total 5$' || {
+    echo "ERROR: expected exactly five simulation executions; /metrics follows" >&2
     echo "$METRICS" >&2
     exit 1
 }
-echo "$METRICS" | grep -q '^stem_serve_cache_hits_total 3$' || {
+echo "$METRICS" | grep -q '^stem_serve_cache_hits_total 5$' || {
     echo "ERROR: a repeated request was not a cache hit; /metrics follows" >&2
     echo "$METRICS" >&2
     exit 1
@@ -263,9 +323,15 @@ echo "$METRICS" | grep -q '^stem_serve_sampled_requests_total 2$' || {
     echo "$METRICS" >&2
     exit 1
 }
+echo "$METRICS" | grep -q '^stem_serve_mix_requests_total 4$' || {
+    echo "ERROR: expected exactly four mix requests; /metrics follows" >&2
+    echo "$METRICS" >&2
+    exit 1
+}
 # The snapshot cache: the exact request warmed cold (one miss), and the
 # profiled request — same warm prefix, different response — restored its
-# checkpoint (one hit). The sampled tier never consults the store.
+# checkpoint (one hit). Neither the sampled tier nor mix requests consult
+# the store, so the counts stay exactly there.
 echo "$METRICS" | grep -q '^stem_serve_snapshot_misses_total 1$' || {
     echo "ERROR: expected exactly one snapshot-cache miss; /metrics follows" >&2
     echo "$METRICS" >&2
@@ -326,5 +392,6 @@ for f in BENCH_throughput.json BENCH_serve.json BENCH_sampling.json BENCH_snapsh
     fi
 done
 [ -s BENCH_run_all.json ] || echo "    WARNING: committed BENCH_run_all.json is missing from the repo root"
+[ -s BENCH_mix.json ] || echo "    WARNING: committed BENCH_mix.json is missing from the repo root"
 
 echo "==> CI PASSED"

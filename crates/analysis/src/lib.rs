@@ -26,6 +26,7 @@
 
 mod capacity;
 mod classify;
+mod mix;
 mod mrc;
 mod report;
 mod scheme;
@@ -33,6 +34,7 @@ mod stack_distance;
 
 pub use capacity::{CapacityDemandProfiler, DemandHistogram};
 pub use classify::{classify_workload, ClassificationReport};
+pub use mix::{run_mix_decoded, MixOutcome};
 pub use mrc::MissRateCurve;
 pub use report::{geomean, Table};
 pub use scheme::{

@@ -26,9 +26,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use stem_analysis::{
-    geomean, run_scheme_from_snapshot, run_scheme_warmed_decoded, run_scheme_warmed_sampled,
-    scheme_supports_set_sampling, scheme_supports_set_sharding, scheme_supports_snapshot,
-    warm_scheme_snapshot, warm_split, CapacityDemandProfiler, Scheme, Table,
+    geomean, run_mix_decoded, run_scheme_from_snapshot, run_scheme_warmed_decoded,
+    run_scheme_warmed_sampled, scheme_supports_set_sampling, scheme_supports_set_sharding,
+    scheme_supports_snapshot, warm_scheme_snapshot, warm_split, CapacityDemandProfiler, MixOutcome,
+    Scheme, Table,
 };
 use stem_bench::config::{Config, Fidelity};
 use stem_bench::harness::{
@@ -39,6 +40,7 @@ use stem_bench::harness::{
 use stem_bench::resilience::{ExperimentOutcome, ExperimentRunner};
 use stem_bench::shard::{assoc_point_auto, replay_warmed_auto, sharded_warmed_mpki};
 use stem_bench::snapshot::{replay_from_snapshot_or_cold, snapshot_path_applies};
+use stem_hierarchy::SystemConfig;
 use stem_llc::{overhead, StemConfig};
 use stem_sim_core::SampledTrace;
 use stem_sim_core::{CacheGeometry, DecodedTrace, Json, ShardedTrace, Snapshot, Trace};
@@ -88,7 +90,9 @@ impl StageBreakdown {
                 .sum()
         };
         let replay_secs = sum_where(&|n: &str| {
-            n.starts_with("matrix/") || (n.starts_with("sweep_") && !n.starts_with("sweep_trace_"))
+            n.starts_with("matrix/")
+                || (n.starts_with("sweep_") && !n.starts_with("sweep_trace_"))
+                || (n.starts_with("mix_") && !n.starts_with("mix_trace_"))
         });
         let analysis_cells = sum_where(&|n: &str| n.starts_with("fig1_") || n == "table3_overhead");
         StageBreakdown {
@@ -555,6 +559,90 @@ fn emit_timing_summary(
     }
 }
 
+/// The deterministic interleave seed of the run_all mix stage (fixed so
+/// the committed `BENCH_mix.json` is reproducible byte-for-byte).
+const MIX_SEED: u64 = 42;
+
+/// The 2-core mix pairings of the run_all mix stage: one Class I + Class
+/// III pairing (capacity-hungry vs streaming) and one Class II + Class I.
+const MIX_DEFS: [(&str, &str); 2] = [("omnetpp", "gromacs"), ("mcf", "ammp")];
+
+/// Writes `<csv_dir>/BENCH_mix.json`: the shared-LLC mix stage's full
+/// record — per (mix, scheme) the weighted speedup, fairness, and
+/// per-core solo-vs-shared metrics, plus replay wall clock. Schema
+/// documented in `EXPERIMENTS.md`.
+fn emit_mix_artifact(
+    csv_dir: Option<&Path>,
+    accesses: usize,
+    results: &[Vec<Option<(MixOutcome, f64)>>],
+) {
+    let Some(dir) = csv_dir else { return };
+    let f6 = |v: f64| Json::float_rounded(v, 6);
+    let mixes: Vec<Json> = MIX_DEFS
+        .iter()
+        .zip(results)
+        .map(|(&(a, b), per_scheme)| {
+            let schemes: Vec<Json> = Scheme::PAPER
+                .iter()
+                .zip(per_scheme)
+                .filter_map(|(scheme, cell)| {
+                    let (o, secs) = cell.as_ref()?;
+                    let cores: Vec<Json> = [a, b]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &bench)| {
+                            Json::Obj(vec![
+                                ("benchmark".into(), Json::str(bench)),
+                                ("solo_mpki".into(), f6(o.solo[i].mpki)),
+                                ("shared_mpki".into(), f6(o.mix.per_core[i].mpki)),
+                                ("solo_cpi".into(), f6(o.solo[i].cpi)),
+                                ("shared_cpi".into(), f6(o.mix.per_core[i].cpi)),
+                                ("speedup".into(), f6(o.speedups[i])),
+                            ])
+                        })
+                        .collect();
+                    Some(Json::Obj(vec![
+                        ("scheme".into(), Json::str(scheme.label())),
+                        ("weighted_speedup".into(), f6(o.weighted_speedup)),
+                        ("fairness".into(), f6(o.fairness)),
+                        ("combined_mpki".into(), f6(o.mix.combined.mpki)),
+                        ("elapsed_secs".into(), Json::float_rounded(*secs, 3)),
+                        ("cores".into(), Json::Arr(cores)),
+                    ]))
+                })
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::str(format!("{a}+{b}"))),
+                (
+                    "benchmarks".into(),
+                    Json::Arr(vec![Json::str(a), Json::str(b)]),
+                ),
+                ("schemes".into(), Json::Arr(schemes)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("accesses_per_mix".into(), Json::Int(accesses as i64)),
+        ("seed".into(), Json::Int(MIX_SEED as i64)),
+        (
+            "warm_fraction".into(),
+            Json::float_rounded(WARMUP_FRACTION, 2),
+        ),
+        (
+            "weights".into(),
+            Json::Arr(vec![
+                Json::float_rounded(1.0, 1),
+                Json::float_rounded(1.0, 1),
+            ]),
+        ),
+        ("mixes".into(), Json::Arr(mixes)),
+    ]);
+    let path = dir.join("BENCH_mix.json");
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, doc.pretty())) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
 fn main() -> ExitCode {
     let cfg = match Config::from_env() {
         Ok(cfg) => cfg,
@@ -973,6 +1061,132 @@ fn main() -> ExitCode {
     }) {
         println!("## Table 3 — STEM storage overhead vs LRU: {overhead_pct:+.2}% (paper: +3.1%)");
     }
+
+    // ---- Mix stage (stderr + CSV + JSON only) -----------------------
+    // Two-core shared-LLC mixes through the mix subsystem: per-core
+    // streams interleaved by a seeded schedule, solo baselines, weighted
+    // speedup + fairness per scheme. stdout is never touched — the
+    // archived run_all_output.txt stays valid — and the results land in
+    // mix.csv + BENCH_mix.json (schema in EXPERIMENTS.md), both
+    // byte-identical at any thread count.
+    eprintln!("\nrunning the 2-core shared-LLC mix stage...");
+    let sys_cfg = SystemConfig::micro2010();
+    type MixStreams = Arc<Vec<DecodedTrace>>;
+    type MixTraceJob = Box<dyn FnOnce() -> (MixStreams, PrepTimings) + Send>;
+    let mix_trace_jobs: Vec<(String, MixTraceJob)> = MIX_DEFS
+        .iter()
+        .map(|&(a, b)| {
+            let job: MixTraceJob = Box::new(move || {
+                let mix = stem_workloads::WorkloadMix::new(vec![
+                    (
+                        stem_workloads::BenchmarkProfile::by_name(a).expect("suite benchmark"),
+                        1.0,
+                    ),
+                    (
+                        stem_workloads::BenchmarkProfile::by_name(b).expect("suite benchmark"),
+                        1.0,
+                    ),
+                ]);
+                let t0 = std::time::Instant::now();
+                let raw = mix.core_traces(geom, accesses);
+                let generate = t0.elapsed();
+                let t0 = std::time::Instant::now();
+                let streams: Vec<DecodedTrace> =
+                    raw.iter().map(|t| DecodedTrace::decode(t, geom)).collect();
+                let decode = t0.elapsed();
+                (Arc::new(streams), PrepTimings { generate, decode })
+            });
+            (format!("mix_trace_{a}+{b}"), job)
+        })
+        .collect();
+    let mix_streams: Vec<Option<MixStreams>> = runner
+        .run_batch(threads, mix_trace_jobs)
+        .into_iter()
+        .map(|o| {
+            o.map(|(s, p)| {
+                prep.absorb(p);
+                s
+            })
+        })
+        .collect();
+
+    type MixJob = Box<dyn FnOnce() -> (MixOutcome, f64) + Send>;
+    let mut mix_jobs: Vec<(String, MixJob)> = Vec::new();
+    let mut mix_keys: Vec<(usize, usize)> = Vec::new();
+    for (mi, streams) in mix_streams.iter().enumerate() {
+        let Some(streams) = streams else { continue };
+        for (si, &scheme) in Scheme::PAPER.iter().enumerate() {
+            let streams = Arc::clone(streams);
+            let job: MixJob = Box::new(move || {
+                let t0 = std::time::Instant::now();
+                let o = run_mix_decoded(
+                    scheme,
+                    geom,
+                    sys_cfg,
+                    &streams,
+                    &[1.0, 1.0],
+                    MIX_SEED,
+                    WARMUP_FRACTION,
+                );
+                (o, t0.elapsed().as_secs_f64())
+            });
+            mix_jobs.push((
+                format!(
+                    "mix_{}+{}/{}",
+                    MIX_DEFS[mi].0,
+                    MIX_DEFS[mi].1,
+                    scheme.label()
+                ),
+                job,
+            ));
+            mix_keys.push((mi, si));
+        }
+    }
+    let mut mix_results: Vec<Vec<Option<(MixOutcome, f64)>>> =
+        vec![vec![None; Scheme::PAPER.len()]; MIX_DEFS.len()];
+    for ((mi, si), r) in mix_keys
+        .into_iter()
+        .zip(runner.run_batch(threads, mix_jobs))
+    {
+        mix_results[mi][si] = r;
+    }
+
+    let mut mix_table = Table::new(vec![
+        "mix".into(),
+        "scheme".into(),
+        "weighted_speedup".into(),
+        "fairness".into(),
+        "core0_mpki".into(),
+        "core1_mpki".into(),
+        "core0_speedup".into(),
+        "core1_speedup".into(),
+    ]);
+    for (mi, per_scheme) in mix_results.iter().enumerate() {
+        let (a, b) = MIX_DEFS[mi];
+        for (scheme, cell) in Scheme::PAPER.iter().zip(per_scheme) {
+            let Some((o, _)) = cell else { continue };
+            eprintln!(
+                "  {a}+{b} {:<8} WS {:.3}, fairness {:.3}, MPKI {:.3}/{:.3}",
+                scheme.label(),
+                o.weighted_speedup,
+                o.fairness,
+                o.mix.per_core[0].mpki,
+                o.mix.per_core[1].mpki,
+            );
+            mix_table.row(vec![
+                format!("{a}+{b}"),
+                scheme.label().into(),
+                format!("{:.6}", o.weighted_speedup),
+                format!("{:.6}", o.fairness),
+                format!("{:.6}", o.mix.per_core[0].mpki),
+                format!("{:.6}", o.mix.per_core[1].mpki),
+                format!("{:.6}", o.speedups[0]),
+                format!("{:.6}", o.speedups[1]),
+            ]);
+        }
+    }
+    maybe_csv(csv_dir, "mix", &mix_table);
+    emit_mix_artifact(csv_dir, accesses, &mix_results);
 
     // ---- Sharded-replay speedup (stderr + JSON only) ----------------
     // Measured against the first sensitivity trace at the paper geometry

@@ -27,9 +27,11 @@
 //! ```
 
 mod metrics;
+mod mix;
 mod prefetch;
 mod system;
 
 pub use metrics::SystemMetrics;
+pub use mix::{interleave_schedule, MixMetrics, MixSystem};
 pub use prefetch::NextLinePrefetcher;
 pub use system::{System, SystemConfig, SystemSnapshot};

@@ -18,19 +18,21 @@
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use std::path::{Path, PathBuf};
+
 use stem_analysis::{
-    build_cache, replay_sample_warmed, run_system_decoded, sampled_mpki, warm_split,
-    CapacityDemandProfiler,
+    build_cache, replay_sample_warmed, run_mix_decoded, run_system_decoded, sampled_mpki,
+    warm_split, CapacityDemandProfiler, MixOutcome,
 };
 use stem_bench::config::Fidelity;
 use stem_bench::harness::prepare_trace;
 use stem_hierarchy::{System, SystemConfig, SystemMetrics};
 use stem_sim_core::{CacheGeometry, DecodedTrace, Json, SampledTrace, ShardedTrace, SimError};
-use stem_workloads::BenchmarkProfile;
+use stem_workloads::{offset_trace_into_region, pro_rata_shares, BenchmarkProfile};
 
 use crate::cache::SnapshotCache;
 use crate::metrics::Metrics;
-use crate::request::RunRequest;
+use crate::request::{MixSource, RunRequest, MAX_ACCESSES};
 
 /// The pluggable experiment function.
 pub type Executor = Arc<dyn Fn(&RunRequest) -> Result<Json, SimError> + Send + Sync>;
@@ -196,6 +198,12 @@ fn run_simulation_inner(
     req: &RunRequest,
     snapshots: Option<(&Mutex<SnapshotCache>, &Metrics)>,
 ) -> Result<Json, SimError> {
+    if req.mix.is_some() {
+        // Mix requests replay a multi-core shared-LLC hierarchy; the
+        // snapshot store (which captures one solo `System`) is never
+        // consulted — the run is deterministic and cold every time.
+        return run_mix_request(req, req.geometry(), trace_dir().as_deref());
+    }
     let bench = BenchmarkProfile::by_name(&req.benchmark).ok_or_else(|| {
         SimError::config("serve", format!("unknown benchmark {:?}", req.benchmark))
     })?;
@@ -244,6 +252,124 @@ fn run_simulation_inner(
         ));
     }
     Ok(Json::Obj(fields))
+}
+
+/// Environment variable naming the directory mix `trace` references
+/// resolve against. Unset means trace-file components are refused (the
+/// benchmark-analog components need nothing).
+pub const TRACE_DIR_ENV: &str = "STEM_SERVE_TRACE_DIR";
+
+fn trace_dir() -> Option<PathBuf> {
+    std::env::var_os(TRACE_DIR_ENV).map(PathBuf::from)
+}
+
+/// The multi-programmed mix tier: one core per component, benchmark
+/// analogs receiving their pro-rata share of `accesses` and trace-file
+/// components replaying their ingested file whole, each folded into its
+/// private address region, interleaved by the deterministic weighted
+/// lottery seeded with `mix_seed`, and replayed through a shared-LLC
+/// [`MixSystem`](stem_hierarchy::MixSystem) plus per-core solo baselines
+/// (see [`run_mix_decoded`]).
+///
+/// Determinism: generation, ingestion, scheduling, and replay are all
+/// serial pure functions of the canonical request plus the referenced
+/// trace bytes, so the response body is byte-identical at any
+/// `STEM_THREADS` setting and across cache hits/misses.
+fn run_mix_request(
+    req: &RunRequest,
+    geom: CacheGeometry,
+    trace_dir: Option<&Path>,
+) -> Result<Json, SimError> {
+    let mix = req.mix.as_ref().expect("mix path requires mix components");
+    let weights: Vec<f64> = mix.iter().map(|c| c.weight).collect();
+    let shares = pro_rata_shares(&weights, req.accesses);
+    let mut streams = Vec::with_capacity(mix.len());
+    let mut labels = Vec::with_capacity(mix.len());
+    for (i, (comp, share)) in mix.iter().zip(&shares).enumerate() {
+        let (label, trace) = match &comp.source {
+            MixSource::Benchmark(name) => {
+                let bench = BenchmarkProfile::by_name(name).ok_or_else(|| {
+                    SimError::config("serve", format!("unknown benchmark {name:?}"))
+                })?;
+                (name.clone(), bench.trace(geom, *share))
+            }
+            MixSource::Trace(name) => {
+                let dir = trace_dir.ok_or_else(|| {
+                    SimError::config(
+                        "serve",
+                        format!(
+                            "mix[{i}] references trace file {name:?}, \
+                             but {TRACE_DIR_ENV} is not set"
+                        ),
+                    )
+                })?;
+                let (_, trace) = stem_trace_io::load_trace(&dir.join(name))
+                    .map_err(|e| SimError::config("serve", format!("mix[{i}] {name:?}: {e}")))?;
+                if trace.len() > MAX_ACCESSES {
+                    return Err(SimError::config(
+                        "serve",
+                        format!(
+                            "mix[{i}] {name:?} holds {} accesses (limit {MAX_ACCESSES})",
+                            trace.len()
+                        ),
+                    ));
+                }
+                (format!("trace:{name}"), trace)
+            }
+        };
+        streams.push(DecodedTrace::decode(
+            &offset_trace_into_region(trace, i),
+            geom,
+        ));
+        labels.push(label);
+    }
+    let outcome = run_mix_decoded(
+        req.scheme,
+        geom,
+        SystemConfig::micro2010(),
+        &streams,
+        &weights,
+        req.mix_seed,
+        req.warmup_fraction,
+    );
+    Ok(mix_json(&labels, &weights, &outcome))
+}
+
+/// Serializes a mix outcome: the headline co-scheduling metrics plus the
+/// full per-core solo/shared metric pairs and the combined shared run.
+fn mix_json(labels: &[String], weights: &[f64], outcome: &MixOutcome) -> Json {
+    let per_core: Vec<Json> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, label)| {
+            Json::Obj(vec![
+                ("source".to_owned(), Json::str(label.clone())),
+                ("weight".to_owned(), Json::float_rounded(weights[i], 6)),
+                (
+                    "speedup".to_owned(),
+                    Json::float_rounded(outcome.speedups[i], 6),
+                ),
+                ("solo".to_owned(), metrics_json(&outcome.solo[i])),
+                ("shared".to_owned(), metrics_json(&outcome.mix.per_core[i])),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![(
+        "mix_metrics".to_owned(),
+        Json::Obj(vec![
+            ("cores".to_owned(), Json::Int(labels.len() as i64)),
+            (
+                "weighted_speedup".to_owned(),
+                Json::float_rounded(outcome.weighted_speedup, 6),
+            ),
+            (
+                "fairness".to_owned(),
+                Json::float_rounded(outcome.fairness, 6),
+            ),
+            ("per_core".to_owned(), Json::Arr(per_core)),
+            ("combined".to_owned(), metrics_json(&outcome.mix.combined)),
+        ]),
+    )])
 }
 
 /// The sampled-fidelity tier: selects a UMON-style strided set sample
@@ -517,6 +643,96 @@ mod tests {
             "STEM's LLC declines the capability; nothing may be cached"
         );
         assert_eq!((metrics.snapshot_misses(), metrics.snapshot_hits()), (2, 0));
+    }
+
+    #[test]
+    fn mix_run_is_reproducible_and_reports_per_core_metrics() {
+        let req = RunRequest::parse(
+            br#"{"mix": [{"benchmark": "omnetpp"}, {"benchmark": "gromacs"}],
+                 "scheme": "lru", "sets": 64, "ways": 8, "accesses": 10000}"#,
+        )
+        .expect("valid request");
+        let a = run_simulation(&req).expect("run a");
+        let b = run_simulation(&req).expect("run b");
+        assert_eq!(a.to_string(), b.to_string(), "mix result must be pure");
+        assert!(a.get("metrics").is_none(), "no solo metrics on a mix");
+        let mm = a.get("mix_metrics").expect("mix_metrics present");
+        assert_eq!(mm.get("cores").and_then(Json::as_u64), Some(2));
+        let ws = mm
+            .get("weighted_speedup")
+            .and_then(Json::as_f64)
+            .expect("weighted_speedup");
+        assert!(ws > 0.0 && ws <= 2.0 + 1e-6, "ws = {ws}");
+        let fairness = mm.get("fairness").and_then(Json::as_f64).expect("fairness");
+        assert!(
+            fairness > 0.0 && fairness <= 1.0 + 1e-9,
+            "fairness = {fairness}"
+        );
+        let per_core = mm.get("per_core").and_then(Json::as_arr).expect("per_core");
+        assert_eq!(per_core.len(), 2);
+        for (i, core) in per_core.iter().enumerate() {
+            for side in ["solo", "shared"] {
+                let mpki = core
+                    .get(side)
+                    .and_then(|m| m.get("mpki"))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(-1.0);
+                assert!(mpki >= 0.0, "core {i} {side} mpki = {mpki}");
+            }
+        }
+        assert_eq!(
+            per_core[0].get("source").and_then(Json::as_str),
+            Some("omnetpp")
+        );
+        assert!(mm
+            .get("combined")
+            .and_then(|m| m.get("mpki"))
+            .and_then(Json::as_f64)
+            .is_some());
+    }
+
+    #[test]
+    fn mix_trace_components_load_from_the_trace_dir() {
+        use stem_workloads::BenchmarkProfile;
+        let dir = std::env::temp_dir().join(format!("stem_serve_mix_exec_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create trace dir");
+        let geom = CacheGeometry::new(64, 8, 64).expect("geometry");
+        let trace = BenchmarkProfile::by_name("mcf")
+            .expect("suite")
+            .trace(geom, 4_000);
+        let file = std::fs::File::create(dir.join("mcf4k.stemtrc")).expect("create fixture");
+        stem_trace_io::write_binary(std::io::BufWriter::new(file), &trace).expect("write fixture");
+
+        let req = RunRequest::parse(
+            br#"{"mix": [{"trace": "mcf4k.stemtrc"}, {"benchmark": "gromacs"}],
+                 "scheme": "lru", "sets": 64, "ways": 8, "accesses": 4000}"#,
+        )
+        .expect("valid request");
+        let out = run_mix_request(&req, req.geometry(), Some(&dir)).expect("mix run");
+        let mm = out.get("mix_metrics").expect("mix_metrics");
+        let per_core = mm.get("per_core").and_then(Json::as_arr).expect("per_core");
+        assert_eq!(
+            per_core[0].get("source").and_then(Json::as_str),
+            Some("trace:mcf4k.stemtrc")
+        );
+        // The ingested stream replays whole: its shared accesses cover
+        // the file minus its schedule share of the warm-up.
+        let again = run_mix_request(&req, req.geometry(), Some(&dir)).expect("mix rerun");
+        assert_eq!(out.to_string(), again.to_string());
+
+        // No trace dir configured → a clear refusal naming the knob.
+        let err = run_mix_request(&req, req.geometry(), None).expect_err("no dir");
+        assert!(err.to_string().contains(TRACE_DIR_ENV), "{err}");
+        // A missing file names itself.
+        let missing = RunRequest::parse(
+            br#"{"mix": [{"trace": "nope.stemtrc"}], "scheme": "lru",
+                 "sets": 64, "ways": 8, "accesses": 4000}"#,
+        )
+        .expect("valid request");
+        let err = run_mix_request(&missing, missing.geometry(), Some(&dir)).expect_err("missing");
+        assert!(err.to_string().contains("nope.stemtrc"), "{err}");
+
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! reproduction: clients POST a JSON experiment description ("run
 //! benchmark X under scheme Y at geometry G") and receive the paper's
 //! metric triple (MPKI / AMAT / CPI), raw L2 statistics, and optionally
-//! the §3.1 per-set capacity-demand profile. See `DESIGN.md` §11 for the
-//! architecture.
+//! the §3.1 per-set capacity-demand profile. A request may instead carry
+//! a multi-programmed `mix` (benchmark analogs and/or ingested trace
+//! files, one per core) and receive per-core solo/shared metrics plus
+//! weighted speedup and fairness — see `DESIGN.md` §16. See `DESIGN.md`
+//! §11 for the architecture.
 //!
 //! The stack is four independently testable layers:
 //!
@@ -92,6 +95,6 @@ pub use exec::{
 };
 pub use http::Deadline;
 pub use metrics::Metrics;
-pub use request::{fnv1a64, RunRequest};
+pub use request::{fnv1a64, MixComponent, MixSource, RunRequest};
 pub use service::{start, start_with_executor, ServeConfig, ServiceHandle};
 pub use transport::{duplex_transport, DuplexConnector, DuplexTransport, TcpTransport, Transport};

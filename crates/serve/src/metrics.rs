@@ -39,6 +39,9 @@ pub struct Metrics {
     /// Valid `/run` requests asking for the sampled-fidelity tier
     /// (counted at validation time, so cache hits are included).
     sampled_requests: AtomicU64,
+    /// Valid `/run` requests carrying a multi-programmed `mix` (counted
+    /// at validation time, so cache hits are included).
+    mix_requests: AtomicU64,
     /// Executed exact runs whose warm prefix was restored from the
     /// snapshot cache instead of re-replayed.
     snapshot_hits: AtomicU64,
@@ -136,6 +139,16 @@ impl Metrics {
     /// Lifetime sampled-fidelity `/run` requests.
     pub fn sampled_requests(&self) -> u64 {
         self.sampled_requests.load(Ordering::Relaxed)
+    }
+
+    /// A valid `/run` carried a multi-programmed mix.
+    pub fn mix_request(&self) {
+        self.mix_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime mix `/run` requests.
+    pub fn mix_requests(&self) -> u64 {
+        self.mix_requests.load(Ordering::Relaxed)
     }
 
     /// An executed exact run restored its warm prefix from the snapshot
@@ -270,7 +283,7 @@ impl Metrics {
             self.latency_count.load(Ordering::Relaxed)
         ));
 
-        let gauges_and_counters: [(&str, &str, &str, u64); 14] = [
+        let gauges_and_counters: [(&str, &str, &str, u64); 15] = [
             (
                 "stem_serve_queue_depth",
                 "gauge",
@@ -300,6 +313,12 @@ impl Metrics {
                 "counter",
                 "Valid run requests asking for the sampled-fidelity tier.",
                 self.sampled_requests(),
+            ),
+            (
+                "stem_serve_mix_requests_total",
+                "counter",
+                "Valid run requests carrying a multi-programmed mix.",
+                self.mix_requests(),
             ),
             (
                 "stem_serve_snapshot_hits_total",
@@ -393,6 +412,7 @@ mod tests {
         m.rejected();
         m.sampled_request();
         m.sampled_request();
+        m.mix_request();
         m.snapshot_hit();
         m.snapshot_miss();
         m.snapshot_miss();
@@ -405,6 +425,7 @@ mod tests {
         assert!(page.contains("stem_serve_requests_total{route=\"run\",status=\"429\"} 1"));
         assert!(page.contains("stem_serve_sim_executions_total 1"));
         assert!(page.contains("stem_serve_sampled_requests_total 2"));
+        assert!(page.contains("stem_serve_mix_requests_total 1"));
         assert!(page.contains("stem_serve_cache_hits_total 1"));
         assert!(page.contains("stem_serve_rejected_total 1"));
         assert!(page.contains("stem_serve_request_seconds_count 3"));
@@ -441,6 +462,7 @@ mod tests {
         let page = Metrics::new().render();
         assert!(page.contains("stem_serve_panics_total 0"));
         assert!(page.contains("stem_serve_sampled_requests_total 0"));
+        assert!(page.contains("stem_serve_mix_requests_total 0"));
         assert!(page.contains("stem_serve_snapshot_hits_total 0"));
         assert!(page.contains("stem_serve_snapshot_misses_total 0"));
         assert!(page.contains("stem_serve_snapshot_evictions_total 0"));

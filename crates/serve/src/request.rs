@@ -15,7 +15,7 @@
 use stem_analysis::{scheme_supports_set_sampling, Scheme};
 use stem_bench::config::Fidelity;
 use stem_sim_core::{CacheGeometry, Json, SimError};
-use stem_workloads::{spec2010_suite, BenchmarkProfile};
+use stem_workloads::{spec2010_suite, BenchmarkProfile, MAX_MIX_PROGRAMS};
 
 /// Hard ceiling on `accesses`: a service request is an interactive
 /// experiment, not a batch reproduction run.
@@ -36,11 +36,43 @@ pub const DEFAULT_WARMUP: f64 = 0.2;
 /// service's own executor budget is the real long stop).
 pub const MAX_DEADLINE_MS: u64 = 3_600_000;
 
+/// Ceiling on a mix component's trace file name length.
+pub const MAX_TRACE_NAME_LEN: usize = 64;
+
+/// Where one mix component's accesses come from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixSource {
+    /// A Table 2 benchmark analog, by suite name.
+    Benchmark(String),
+    /// An ingested trace file, by plain file name; the executor resolves
+    /// it under the service's trace directory (`STEM_SERVE_TRACE_DIR`).
+    Trace(String),
+}
+
+/// One component (core) of a multi-programmed mix request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixComponent {
+    /// The workload this core replays.
+    pub source: MixSource,
+    /// Interleave weight (validated positive; defaults to 1.0).
+    pub weight: f64,
+}
+
 /// A validated experiment request in canonical form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRequest {
-    /// Benchmark analog name (Table 2 suite).
+    /// Benchmark analog name (Table 2 suite). Empty exactly when this is
+    /// a mix request ([`mix`](Self::mix) is `Some`); the two forms are
+    /// mutually exclusive on the wire.
     pub benchmark: String,
+    /// Multi-programmed mix components, one per core, when this is a mix
+    /// request. Mix requests replay a shared LLC under the full exact
+    /// hierarchy; they exclude `profile` and sampled fidelity.
+    pub mix: Option<Vec<MixComponent>>,
+    /// Seed of the deterministic interleave lottery (only meaningful —
+    /// and only accepted on the wire — with [`mix`](Self::mix); fixed to
+    /// 0 otherwise).
+    pub mix_seed: u64,
     /// Replacement/management scheme to evaluate.
     pub scheme: Scheme,
     /// LLC sets (default 2048 — the paper's L2).
@@ -82,6 +114,93 @@ fn invalid(detail: impl Into<String>) -> SimError {
     SimError::config("serve", detail)
 }
 
+/// Validates the `mix` array: 1..=[`MAX_MIX_PROGRAMS`] component objects,
+/// each naming exactly one of `benchmark` (a suite name) or `trace` (a
+/// plain file name), with an optional positive `weight` defaulting to 1.
+fn parse_mix(json: &Json) -> Result<Vec<MixComponent>, SimError> {
+    let arr = json
+        .as_arr()
+        .ok_or_else(|| invalid("field \"mix\" must be an array of component objects"))?;
+    if arr.is_empty() || arr.len() > MAX_MIX_PROGRAMS {
+        return Err(invalid(format!(
+            "field \"mix\" must hold 1..={MAX_MIX_PROGRAMS} components, got {}",
+            arr.len()
+        )));
+    }
+    arr.iter()
+        .enumerate()
+        .map(|(i, c)| parse_mix_component(i, c))
+        .collect()
+}
+
+fn parse_mix_component(i: usize, json: &Json) -> Result<MixComponent, SimError> {
+    let obj = json
+        .as_obj()
+        .ok_or_else(|| invalid(format!("mix[{i}] must be an object")))?;
+    for (key, _) in obj {
+        if !["benchmark", "trace", "weight"].contains(&key.as_str()) {
+            return Err(invalid(format!(
+                "unknown field {key:?} in mix[{i}] (accepted fields: benchmark, trace, weight)"
+            )));
+        }
+    }
+    let source = match (json.get("benchmark"), json.get("trace")) {
+        (Some(b), None) => {
+            let name = b
+                .as_str()
+                .ok_or_else(|| invalid(format!("mix[{i}].benchmark must be a string")))?;
+            if BenchmarkProfile::by_name(name).is_none() {
+                let known: Vec<&str> = spec2010_suite().iter().map(|b| b.name()).collect();
+                return Err(invalid(format!(
+                    "unknown benchmark {name:?} in mix[{i}] (suite: {})",
+                    known.join(", ")
+                )));
+            }
+            MixSource::Benchmark(name.to_owned())
+        }
+        (None, Some(t)) => {
+            let name = t
+                .as_str()
+                .ok_or_else(|| invalid(format!("mix[{i}].trace must be a string")))?;
+            validate_trace_name(i, name)?;
+            MixSource::Trace(name.to_owned())
+        }
+        _ => {
+            return Err(invalid(format!(
+                "mix[{i}] must name exactly one of \"benchmark\" or \"trace\""
+            )))
+        }
+    };
+    let weight = match json.get("weight") {
+        None => 1.0,
+        Some(v) => v
+            .as_f64()
+            .filter(|w| w.is_finite() && *w > 0.0)
+            .ok_or_else(|| invalid(format!("mix[{i}].weight must be a positive number")))?,
+    };
+    Ok(MixComponent { source, weight })
+}
+
+/// A mix trace reference is a *name*, not a path: the executor joins it
+/// to the configured trace directory, so anything that could climb out
+/// of it (separators, a leading dot) is rejected at the door.
+fn validate_trace_name(i: usize, name: &str) -> Result<(), SimError> {
+    let ok = !name.is_empty()
+        && name.len() <= MAX_TRACE_NAME_LEN
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-');
+    if ok {
+        Ok(())
+    } else {
+        Err(invalid(format!(
+            "mix[{i}].trace must be a plain file name (ASCII letters, digits, '.', '_', '-'; \
+             no leading '.'; at most {MAX_TRACE_NAME_LEN} chars), got {name:?}"
+        )))
+    }
+}
+
 fn field_u64(obj: &Json, key: &str) -> Result<Option<u64>, SimError> {
     match obj.get(key) {
         None => Ok(None),
@@ -97,8 +216,10 @@ impl RunRequest {
     /// (including the fidelity tier and its sampling knobs) plus the
     /// operational `deadline_ms` (accepted and validated, but excluded
     /// from the canonical form — see [`deadline_ms`](Self::deadline_ms)).
-    pub const FIELDS: [&'static str; 12] = [
+    pub const FIELDS: [&'static str; 14] = [
         "benchmark",
+        "mix",
+        "mix_seed",
         "scheme",
         "sets",
         "ways",
@@ -153,19 +274,47 @@ impl RunRequest {
             }
         }
 
-        let benchmark = json
-            .get("benchmark")
-            .ok_or_else(|| invalid("missing required field \"benchmark\""))?
-            .as_str()
-            .ok_or_else(|| invalid("field \"benchmark\" must be a string"))?
-            .to_owned();
-        if BenchmarkProfile::by_name(&benchmark).is_none() {
-            let known: Vec<&str> = spec2010_suite().iter().map(|b| b.name()).collect();
-            return Err(invalid(format!(
-                "unknown benchmark {benchmark:?} (suite: {})",
-                known.join(", ")
-            )));
+        let mix = json.get("mix").map(parse_mix).transpose()?;
+        let benchmark = match (&mix, json.get("benchmark")) {
+            (Some(_), Some(_)) => {
+                return Err(invalid(
+                    "fields \"benchmark\" and \"mix\" are mutually exclusive \
+                     (a mix names its workloads inside \"mix\")",
+                ))
+            }
+            (Some(_), None) => String::new(),
+            (None, maybe) => {
+                let benchmark = maybe
+                    .ok_or_else(|| invalid("missing required field \"benchmark\" (or \"mix\")"))?
+                    .as_str()
+                    .ok_or_else(|| invalid("field \"benchmark\" must be a string"))?
+                    .to_owned();
+                if BenchmarkProfile::by_name(&benchmark).is_none() {
+                    let known: Vec<&str> = spec2010_suite().iter().map(|b| b.name()).collect();
+                    return Err(invalid(format!(
+                        "unknown benchmark {benchmark:?} (suite: {})",
+                        known.join(", ")
+                    )));
+                }
+                benchmark
+            }
+        };
+
+        let mix_seed = field_u64(json, "mix_seed")?;
+        if mix.is_none() && mix_seed.is_some() {
+            return Err(invalid("field \"mix_seed\" requires \"mix\""));
         }
+        let mix_seed = match mix_seed {
+            None => 0,
+            Some(s) => {
+                if s > i64::MAX as u64 {
+                    return Err(invalid(format!(
+                        "field \"mix_seed\" must fit in a signed 64-bit JSON integer, got {s}"
+                    )));
+                }
+                s
+            }
+        };
 
         let scheme_name = json
             .get("scheme")
@@ -219,6 +368,20 @@ impl RunRequest {
                 .and_then(|s| s.parse::<Fidelity>().ok())
                 .ok_or_else(|| invalid("field \"fidelity\" must be \"exact\" or \"sampled\""))?,
         };
+        if mix.is_some() {
+            if profile {
+                return Err(invalid(
+                    "field \"profile\" requires a single-benchmark request \
+                     (the capacity profile ranks one program's sets)",
+                ));
+            }
+            if fidelity == Fidelity::Sampled {
+                return Err(invalid(
+                    "\"fidelity\": \"sampled\" requires a single-benchmark request \
+                     (a mix replays the full shared hierarchy, which set sampling cannot cover)",
+                ));
+            }
+        }
         let sample_rate = field_u64(json, "sample_rate")?;
         let sample_seed = field_u64(json, "sample_seed")?;
         if fidelity == Fidelity::Exact && (sample_rate.is_some() || sample_seed.is_some()) {
@@ -285,6 +448,8 @@ impl RunRequest {
 
         Ok(RunRequest {
             benchmark,
+            mix,
+            mix_seed,
             scheme,
             sets,
             ways,
@@ -310,16 +475,46 @@ impl RunRequest {
             .expect("request geometry was validated at parse time")
     }
 
+    /// The canonical JSON form of a mix array: each component as its
+    /// source key plus an always-explicit rounded weight, in wire order.
+    /// Defaults filled in, so an omitted weight and an explicit 1.0 share
+    /// one serialization.
+    fn mix_canonical(mix: &[MixComponent]) -> Json {
+        Json::Arr(
+            mix.iter()
+                .map(|c| {
+                    let (key, name) = match &c.source {
+                        MixSource::Benchmark(n) => ("benchmark", n),
+                        MixSource::Trace(n) => ("trace", n),
+                    };
+                    Json::Obj(vec![
+                        (key.to_owned(), Json::str(name.clone())),
+                        ("weight".to_owned(), Json::float_rounded(c.weight, 6)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
     /// The canonical JSON form: the experiment fields in a fixed order,
     /// defaults explicit. Hashing and response echoes both use this.
     /// `fidelity` is always present, and the sampling knobs appear
     /// exactly when it is `sampled` — a sampled request and its exact
     /// twin can therefore never share a canonical form, a key, or a
-    /// cached body. `deadline_ms` is intentionally absent — see
+    /// cached body. A mix request leads with `mix` + `mix_seed` instead
+    /// of `benchmark`, so the two request families can never alias
+    /// either. `deadline_ms` is intentionally absent — see
     /// [`deadline_ms`](Self::deadline_ms).
     pub fn canonical(&self) -> Json {
-        let mut fields = vec![
-            ("benchmark".into(), Json::str(self.benchmark.clone())),
+        let source_fields: Vec<(String, Json)> = match &self.mix {
+            Some(mix) => vec![
+                ("mix".into(), Self::mix_canonical(mix)),
+                ("mix_seed".into(), Json::Int(self.mix_seed as i64)),
+            ],
+            None => vec![("benchmark".into(), Json::str(self.benchmark.clone()))],
+        };
+        let mut fields = source_fields;
+        fields.extend([
             ("scheme".into(), Json::str(self.scheme.label())),
             ("sets".into(), Json::Int(self.sets as i64)),
             ("ways".into(), Json::Int(self.ways as i64)),
@@ -331,7 +526,7 @@ impl RunRequest {
             ),
             ("profile".into(), Json::Bool(self.profile)),
             ("fidelity".into(), Json::str(self.fidelity.to_string())),
-        ];
+        ]);
         if self.fidelity == Fidelity::Sampled {
             fields.push(("sample_rate".into(), Json::Int(i64::from(self.sample_rate))));
             fields.push(("sample_seed".into(), Json::Int(self.sample_seed as i64)));
@@ -353,10 +548,22 @@ impl RunRequest {
     /// fields share one snapshot entry. A distinct fixed `"warm_prefix"`
     /// marker field keeps this serialization from ever colliding with a
     /// full [`canonical`](Self::canonical) form byte-for-byte.
+    ///
+    /// Mix requests never consult the snapshot store (their warm state is
+    /// a whole multi-core hierarchy, not one `System`), but their prefix
+    /// form still carries the full mix identity so two different mixes
+    /// could never alias even if a future executor did.
     pub fn warm_prefix_canonical(&self) -> Json {
-        Json::Obj(vec![
-            ("warm_prefix".into(), Json::Bool(true)),
-            ("benchmark".into(), Json::str(self.benchmark.clone())),
+        let source_fields: Vec<(String, Json)> = match &self.mix {
+            Some(mix) => vec![
+                ("mix".into(), Self::mix_canonical(mix)),
+                ("mix_seed".into(), Json::Int(self.mix_seed as i64)),
+            ],
+            None => vec![("benchmark".into(), Json::str(self.benchmark.clone()))],
+        };
+        let mut fields = vec![("warm_prefix".into(), Json::Bool(true))];
+        fields.extend(source_fields);
+        fields.extend([
             ("scheme".into(), Json::str(self.scheme.label())),
             ("sets".into(), Json::Int(self.sets as i64)),
             ("ways".into(), Json::Int(self.ways as i64)),
@@ -366,7 +573,8 @@ impl RunRequest {
                 "warmup_fraction".into(),
                 Json::float_rounded(self.warmup_fraction, 6),
             ),
-        ])
+        ]);
+        Json::Obj(fields)
     }
 
     /// The snapshot-cache key: FNV-1a 64 over the warm-prefix canonical
@@ -644,6 +852,161 @@ mod tests {
             .to_string()
             .contains("warm_prefix"));
         assert!(!req.canonical().to_string().contains("warm_prefix"));
+    }
+
+    #[test]
+    fn mix_requests_parse_with_defaults_and_fold_into_the_cache_key() {
+        let req = RunRequest::parse(
+            br#"{"mix": [{"benchmark": "omnetpp"}, {"benchmark": "gromacs"}], "scheme": "stem"}"#,
+        )
+        .expect("valid mix");
+        assert!(req.benchmark.is_empty());
+        let mix = req.mix.as_ref().expect("mix present");
+        assert_eq!(mix.len(), 2);
+        assert_eq!(mix[0].source, MixSource::Benchmark("omnetpp".into()));
+        assert!((mix[0].weight - 1.0).abs() < 1e-12, "default weight");
+        assert_eq!(req.mix_seed, 0);
+
+        // Canonical: mix identity present, explicit weights, no
+        // benchmark field; defaults (omitted weight/seed) share the key
+        // with their explicit twins.
+        let canon = req.canonical().to_string();
+        assert!(canon.contains("\"mix\"") && canon.contains("\"mix_seed\""));
+        assert!(canon.contains("\"weight\""));
+        assert!(!canon.contains("\"benchmark\": \"\""));
+        let explicit = RunRequest::parse(
+            br#"{"mix": [{"benchmark": "omnetpp", "weight": 1.0},
+                          {"benchmark": "gromacs", "weight": 1.0}],
+                 "mix_seed": 0, "scheme": "stem"}"#,
+        )
+        .expect("valid mix");
+        assert_eq!(req.cache_key(), explicit.cache_key());
+
+        // Every mix knob splits the key: components, weights, seed — and
+        // a mix can never alias a solo request.
+        let solo =
+            RunRequest::parse(br#"{"benchmark": "omnetpp", "scheme": "stem"}"#).expect("valid");
+        let reordered = RunRequest::parse(
+            br#"{"mix": [{"benchmark": "gromacs"}, {"benchmark": "omnetpp"}], "scheme": "stem"}"#,
+        )
+        .expect("valid mix");
+        let reweighted = RunRequest::parse(
+            br#"{"mix": [{"benchmark": "omnetpp", "weight": 2.0}, {"benchmark": "gromacs"}],
+                 "scheme": "stem"}"#,
+        )
+        .expect("valid mix");
+        let reseeded = RunRequest::parse(
+            br#"{"mix": [{"benchmark": "omnetpp"}, {"benchmark": "gromacs"}],
+                 "mix_seed": 7, "scheme": "stem"}"#,
+        )
+        .expect("valid mix");
+        let traced = RunRequest::parse(
+            br#"{"mix": [{"benchmark": "omnetpp"}, {"trace": "gromacs"}], "scheme": "stem"}"#,
+        )
+        .expect("valid mix");
+        let keys = [
+            req.cache_key(),
+            solo.cache_key(),
+            reordered.cache_key(),
+            reweighted.cache_key(),
+            reseeded.cache_key(),
+            traced.cache_key(),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b, "mix variants must not share cache keys");
+            }
+        }
+        // And the warm-prefix space cannot alias across mixes either.
+        assert_ne!(req.snapshot_key(), reordered.snapshot_key());
+        assert_ne!(req.snapshot_key(), solo.snapshot_key());
+    }
+
+    #[test]
+    fn mix_rejections_name_the_problem() {
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"{"benchmark": "mcf", "mix": [{"benchmark": "mcf"}], "scheme": "lru"}"#,
+                "mutually exclusive",
+            ),
+            (r#"{"mix": [], "scheme": "lru"}"#, "1..=8"),
+            (
+                r#"{"mix": [{"benchmark": "mcf"}, {"benchmark": "mcf"}, {"benchmark": "mcf"},
+                           {"benchmark": "mcf"}, {"benchmark": "mcf"}, {"benchmark": "mcf"},
+                           {"benchmark": "mcf"}, {"benchmark": "mcf"}, {"benchmark": "mcf"}],
+                  "scheme": "lru"}"#,
+                "1..=8",
+            ),
+            (r#"{"mix": "mcf", "scheme": "lru"}"#, "array"),
+            (
+                r#"{"mix": [42], "scheme": "lru"}"#,
+                "mix[0] must be an object",
+            ),
+            (
+                r#"{"mix": [{"benchmark": "mcf", "trace": "t.stemtrc"}], "scheme": "lru"}"#,
+                "exactly one",
+            ),
+            (
+                r#"{"mix": [{"weight": 1.0}], "scheme": "lru"}"#,
+                "exactly one",
+            ),
+            (
+                r#"{"mix": [{"benchmark": "nope"}], "scheme": "lru"}"#,
+                "unknown benchmark",
+            ),
+            (
+                r#"{"mix": [{"benchmark": "mcf", "turbo": 1}], "scheme": "lru"}"#,
+                "unknown field",
+            ),
+            (
+                r#"{"mix": [{"benchmark": "mcf", "weight": 0}], "scheme": "lru"}"#,
+                "positive",
+            ),
+            (
+                r#"{"mix": [{"benchmark": "mcf", "weight": -1}], "scheme": "lru"}"#,
+                "positive",
+            ),
+            (
+                r#"{"mix": [{"trace": "../etc/passwd"}], "scheme": "lru"}"#,
+                "plain file name",
+            ),
+            (
+                r#"{"mix": [{"trace": ".hidden"}], "scheme": "lru"}"#,
+                "plain file name",
+            ),
+            (
+                r#"{"mix": [{"trace": "a/b.stemtrc"}], "scheme": "lru"}"#,
+                "plain file name",
+            ),
+            (
+                r#"{"mix": [{"trace": ""}], "scheme": "lru"}"#,
+                "plain file name",
+            ),
+            (
+                r#"{"benchmark": "mcf", "mix_seed": 3, "scheme": "lru"}"#,
+                "requires \"mix\"",
+            ),
+            (
+                r#"{"mix": [{"benchmark": "mcf"}], "scheme": "lru", "profile": true}"#,
+                "single-benchmark",
+            ),
+            (
+                r#"{"mix": [{"benchmark": "mcf"}], "scheme": "lru", "fidelity": "sampled"}"#,
+                "single-benchmark",
+            ),
+        ];
+        for (body, needle) in cases {
+            let err = RunRequest::parse(body.as_bytes()).expect_err(body);
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{body} → {msg} (wanted {needle:?})");
+        }
+        // A 65-char trace name trips the length bound.
+        let long = format!(
+            r#"{{"mix": [{{"trace": "{}"}}], "scheme": "lru"}}"#,
+            "a".repeat(MAX_TRACE_NAME_LEN + 1)
+        );
+        let err = RunRequest::parse(long.as_bytes()).expect_err("too long");
+        assert!(err.to_string().contains("plain file name"), "{err}");
     }
 
     #[test]

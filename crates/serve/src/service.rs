@@ -510,6 +510,9 @@ fn handle_run(body: &[u8], shared: &Arc<Shared>) -> Routed {
     if request.fidelity == stem_bench::config::Fidelity::Sampled {
         shared.metrics.sampled_request();
     }
+    if request.mix.is_some() {
+        shared.metrics.mix_request();
+    }
     let canonical = request.canonical().to_string();
     let key = request.cache_key();
 

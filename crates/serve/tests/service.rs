@@ -440,3 +440,68 @@ fn shutdown_over_http_drains_gracefully() {
         .connect()
         .expect_err("connect after drain must fail");
 }
+
+/// A 2-core shared-LLC mix at test scale (tiny geometry + short traces).
+const SMALL_RUN_MIX: &[u8] = br#"{"mix": [{"benchmark": "omnetpp"}, {"benchmark": "gromacs"}],
+     "scheme": "lru", "sets": 64, "ways": 8, "accesses": 8000}"#;
+
+#[test]
+fn mix_requests_cache_and_stay_byte_identical_across_thread_counts() {
+    // The mix acceptance invariant end to end: a 2-core mix through
+    // `/run` returns per-core metrics plus fairness/weighted-speedup,
+    // and the body is byte-identical across thread counts, across
+    // spellings (explicit defaults), and across cache hit vs miss.
+    let mut bodies = Vec::new();
+    for threads in [1usize, 4] {
+        let (listener, connector) = duplex_transport();
+        let config = ServeConfig {
+            threads,
+            ..small_config()
+        };
+        let handle = service::start(Box::new(listener), config);
+        let explicit = br#"{"mix": [{"benchmark": "omnetpp", "weight": 1.0},
+                                    {"benchmark": "gromacs", "weight": 1.0}],
+                            "mix_seed": 0, "scheme": "lru", "sets": 64, "ways": 8,
+                            "accesses": 8000}"#;
+        let a = exchange(&connector, "POST", "/run", SMALL_RUN_MIX);
+        let b = exchange(&connector, "POST", "/run", explicit);
+        assert_eq!(a.status, 200, "{}", a.body_text());
+        assert_eq!(b.status, 200, "{}", b.body_text());
+        assert_eq!(
+            a.body, b.body,
+            "spelling and cache state must not change the bytes"
+        );
+        let text = a.body_text();
+        for needle in [
+            "\"mix_metrics\"",
+            "\"weighted_speedup\"",
+            "\"fairness\"",
+            "\"per_core\"",
+            "\"mpki\"",
+            "omnetpp",
+            "gromacs",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+
+        let page = exchange(&connector, "GET", "/metrics", b"").body_text();
+        assert_eq!(
+            metric(&page, "stem_serve_sim_executions_total"),
+            1,
+            "the second spelling must be a pure cache hit:\n{page}"
+        );
+        assert_eq!(metric(&page, "stem_serve_cache_hits_total"), 1);
+        assert_eq!(
+            metric(&page, "stem_serve_mix_requests_total"),
+            2,
+            "both mix requests (miss and hit) must be counted:\n{page}"
+        );
+        bodies.push(a.body);
+        handle.shutdown();
+        handle.join();
+    }
+    assert_eq!(
+        bodies[0], bodies[1],
+        "thread count must not change the bytes"
+    );
+}

@@ -1,0 +1,78 @@
+//! Converts trace files between the STEMTRC binary container and the
+//! `stemtrace v1` text form.
+//!
+//! ```text
+//! trace_convert <input> <output> [binary|text]
+//! ```
+//!
+//! The input format is sniffed from its first bytes. The output format is
+//! the third argument if given, else inferred from the output extension
+//! (`.stemtrc`/`.bin` → binary; `.trace`/`.csv`/`.txt` → text), else the
+//! opposite of the input format. All failures print a typed diagnostic to
+//! stderr and exit 1 — never a panic.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use stem_trace_io::TraceFormat;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(summary) => {
+            eprintln!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("trace_convert: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let (input, output, requested) = match args {
+        [input, output] => (input, output, None),
+        [input, output, fmt] => (input, output, Some(parse_format(fmt)?)),
+        _ => return Err("usage: trace_convert <input> <output> [binary|text]".to_owned()),
+    };
+
+    let (in_format, trace) =
+        stem_trace_io::load_trace(Path::new(input)).map_err(|e| format!("{input}: {e}"))?;
+    let out_format = requested
+        .or_else(|| format_from_extension(Path::new(output)))
+        .unwrap_or(match in_format {
+            TraceFormat::Binary => TraceFormat::Text,
+            TraceFormat::Text => TraceFormat::Binary,
+        });
+
+    let mut bytes = Vec::new();
+    match out_format {
+        TraceFormat::Binary => stem_trace_io::write_binary(&mut bytes, &trace),
+        TraceFormat::Text => stem_trace_io::write_text(&mut bytes, &trace),
+    }
+    .map_err(|e| format!("{output}: serialize failed: {e}"))?;
+    std::fs::write(output, &bytes).map_err(|e| format!("{output}: {e}"))?;
+
+    Ok(format!(
+        "converted {input} ({in_format}, {} accesses) -> {output} ({out_format}, {} bytes)",
+        trace.len(),
+        bytes.len()
+    ))
+}
+
+fn parse_format(s: &str) -> Result<TraceFormat, String> {
+    match s {
+        "binary" => Ok(TraceFormat::Binary),
+        "text" => Ok(TraceFormat::Text),
+        other => Err(format!("unknown output format {other:?} (binary|text)")),
+    }
+}
+
+fn format_from_extension(path: &Path) -> Option<TraceFormat> {
+    match path.extension()?.to_str()? {
+        "stemtrc" | "bin" => Some(TraceFormat::Binary),
+        "trace" | "csv" | "txt" => Some(TraceFormat::Text),
+        _ => None,
+    }
+}

@@ -44,7 +44,7 @@ pub mod synthetic;
 mod zipf;
 
 pub use classes::WorkloadClass;
-pub use mix::WorkloadMix;
+pub use mix::{offset_trace_into_region, pro_rata_shares, WorkloadMix, MAX_MIX_PROGRAMS};
 pub use pattern::{PatternState, SetPattern};
 pub use profile::{spec2010_suite, BenchmarkProfile, DemandBucket, REFERENCE_SETS};
 pub use zipf::Zipf;

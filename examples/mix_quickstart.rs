@@ -1,0 +1,75 @@
+//! Quickstart for the trace-ingestion front-end: load an external trace
+//! file, co-run it with a benchmark analog on a shared LLC, and print
+//! the mix-level metrics.
+//!
+//! The committed fixture `fixtures/sample_mix.trace` is the canonical
+//! text form (see `DESIGN.md` §16); `trace_convert` turns it into the
+//! binary container and back bit-identically. Run from the repo root:
+//!
+//! ```sh
+//! cargo run --release --example mix_quickstart
+//! ```
+
+use std::path::Path;
+
+use stem::analysis::{run_mix_decoded, Scheme};
+use stem::hierarchy::SystemConfig;
+use stem::sim_core::{CacheGeometry, DecodedTrace};
+use stem::trace_io::load_trace;
+use stem::workloads::{offset_trace_into_region, BenchmarkProfile};
+
+fn main() {
+    let geom = CacheGeometry::micro2010_l2();
+    let path = Path::new("fixtures/sample_mix.trace");
+    let (format, trace) = match load_trace(path) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("cannot ingest {}: {e}", path.display());
+            eprintln!("(run from the repository root)");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "ingested {} ({format:?} form, {} accesses)\n",
+        path.display(),
+        trace.len()
+    );
+
+    // Core 0 replays the ingested file; core 1 runs a benchmark analog of
+    // the same length. Each is folded into its own private region of the
+    // 44-bit address space before decoding, so the only interference is
+    // capacity contention in the shared L2.
+    let analog = BenchmarkProfile::by_name("gromacs")
+        .expect("suite")
+        .trace(geom, trace.len());
+    let streams: Vec<DecodedTrace> = [trace, analog]
+        .into_iter()
+        .enumerate()
+        .map(|(core, t)| DecodedTrace::decode(&offset_trace_into_region(t, core), geom))
+        .collect();
+
+    let names = ["trace:sample_mix.trace", "gromacs"];
+    for scheme in [Scheme::Lru, Scheme::Stem] {
+        let out = run_mix_decoded(
+            scheme,
+            geom,
+            SystemConfig::micro2010(),
+            &streams,
+            &[1.0, 1.0],
+            42,
+            0.2,
+        );
+        println!("{}:", scheme.label());
+        for (i, name) in names.iter().enumerate() {
+            println!(
+                "  core {i} ({name:<22}) solo MPKI {:7.3}  shared MPKI {:7.3}  speedup {:.4}",
+                out.solo[i].mpki, out.mix.per_core[i].mpki, out.speedups[i]
+            );
+        }
+        println!(
+            "  weighted speedup {:.4}  fairness {:.4}\n",
+            out.weighted_speedup, out.fairness
+        );
+    }
+    println!("(POST the same mix to stem-serve — see README \"Multi-programmed mixes\".)");
+}

@@ -11,6 +11,8 @@
 #                            speedup per (benchmark, scheme, rate)
 #   BENCH_snapshot.json    — warm-state snapshot reuse: cold vs
 #                            warm-once+restore per (benchmark, scheme)
+#   BENCH_mix.json         — multi-programmed shared-LLC mixes: weighted
+#                            speedup and fairness per (mix, scheme)
 #
 # Also byte-checks the full-scale run_all stdout against the archived
 # run_all_output.txt: the numbers in the committed artifacts must come
@@ -81,9 +83,9 @@ STEM_CSV_DIR="$OUT" target/release/serve_client "$ADDR" BENCH /run "$REQ" 200
 target/release/serve_client "$ADDR" POST /shutdown >/dev/null
 wait "$SERVE_PID"
 
-for f in BENCH_throughput.json BENCH_run_all.json BENCH_serve.json BENCH_sampling.json BENCH_snapshot.json; do
+for f in BENCH_throughput.json BENCH_run_all.json BENCH_serve.json BENCH_sampling.json BENCH_snapshot.json BENCH_mix.json; do
     [ -s "$OUT/$f" ] || { echo "ERROR: $OUT/$f was not produced" >&2; exit 1; }
     cp "$OUT/$f" "$f"
     echo "    refreshed $f"
 done
-echo "==> artifacts refreshed; review and commit the five BENCH_*.json files"
+echo "==> artifacts refreshed; review and commit the six BENCH_*.json files"

@@ -9,4 +9,5 @@ pub use stem_llc as llc;
 pub use stem_replacement as replacement;
 pub use stem_sim_core as sim_core;
 pub use stem_spatial as spatial;
+pub use stem_trace_io as trace_io;
 pub use stem_workloads as workloads;
